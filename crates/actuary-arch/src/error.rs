@@ -1,0 +1,108 @@
+use std::error::Error;
+use std::fmt;
+
+use actuary_model::ModelError;
+use actuary_tech::TechError;
+use actuary_units::UnitError;
+use actuary_yield::YieldError;
+
+/// Error produced by architecture construction and portfolio costing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchError {
+    /// A system or portfolio was structurally invalid (no chips, SoC with
+    /// several dies, inconsistent shared package definitions, …).
+    InvalidArchitecture {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A partitioning request was infeasible (zero chiplets, more chiplets
+    /// than modules, …).
+    InvalidPartition {
+        /// What was wrong.
+        reason: String,
+    },
+    /// An underlying cost-engine call failed.
+    Model(ModelError),
+    /// An underlying technology lookup failed.
+    Tech(TechError),
+    /// An underlying yield/wafer computation failed.
+    Yield(YieldError),
+    /// An underlying unit value was invalid.
+    Unit(UnitError),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidArchitecture { reason } => {
+                write!(f, "invalid architecture: {reason}")
+            }
+            ArchError::InvalidPartition { reason } => write!(f, "invalid partition: {reason}"),
+            ArchError::Model(e) => write!(f, "{e}"),
+            ArchError::Tech(e) => write!(f, "{e}"),
+            ArchError::Yield(e) => write!(f, "{e}"),
+            ArchError::Unit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ArchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArchError::Model(e) => Some(e),
+            ArchError::Tech(e) => Some(e),
+            ArchError::Yield(e) => Some(e),
+            ArchError::Unit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ArchError {
+    fn from(e: ModelError) -> Self {
+        ArchError::Model(e)
+    }
+}
+
+impl From<TechError> for ArchError {
+    fn from(e: TechError) -> Self {
+        ArchError::Tech(e)
+    }
+}
+
+impl From<YieldError> for ArchError {
+    fn from(e: YieldError) -> Self {
+        ArchError::Yield(e)
+    }
+}
+
+impl From<UnitError> for ArchError {
+    fn from(e: UnitError) -> Self {
+        ArchError::Unit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = ArchError::InvalidArchitecture { reason: "no chips".into() };
+        assert!(e.to_string().contains("no chips"));
+        let e = ArchError::InvalidPartition { reason: "zero chiplets".into() };
+        assert!(e.to_string().contains("zero chiplets"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = ArchError::from(UnitError::DivisionByZero { context: "t" });
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<ArchError>();
+    }
+}

@@ -1,0 +1,322 @@
+//! Interposer and substrate floorplan estimation.
+//!
+//! The cost model sizes interposers and package bodies with simple area
+//! factors (`interposer area = factor × silicon area`). This module provides
+//! a mechanistic cross-check: a shelf-packing floorplanner that actually
+//! places die footprints with spacing rules and reports the resulting
+//! bounding box, so the area factors can be validated (or replaced) for a
+//! concrete chiplet set.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use actuary_units::Area;
+use actuary_yield::DieFootprint;
+
+use crate::error::ArchError;
+
+/// One placed die: position of its lower-left corner plus its footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// X of the lower-left corner in mm.
+    pub x_mm: f64,
+    /// Y of the lower-left corner in mm.
+    pub y_mm: f64,
+    /// Width of the die in mm.
+    pub width_mm: f64,
+    /// Height of the die in mm.
+    pub height_mm: f64,
+}
+
+impl Placement {
+    /// The die's right edge.
+    pub fn right_mm(&self) -> f64 {
+        self.x_mm + self.width_mm
+    }
+
+    /// The die's top edge.
+    pub fn top_mm(&self) -> f64 {
+        self.y_mm + self.height_mm
+    }
+
+    /// Whether two placements overlap (touching edges do not count).
+    pub fn overlaps(&self, other: &Placement) -> bool {
+        self.x_mm < other.right_mm()
+            && other.x_mm < self.right_mm()
+            && self.y_mm < other.top_mm()
+            && other.y_mm < self.top_mm()
+    }
+}
+
+/// Result of a floorplanning run: the bounding box and the placements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    width_mm: f64,
+    height_mm: f64,
+    placements: Vec<Placement>,
+}
+
+impl Floorplan {
+    /// Bounding-box width in mm.
+    pub fn width_mm(&self) -> f64 {
+        self.width_mm
+    }
+
+    /// Bounding-box height in mm.
+    pub fn height_mm(&self) -> f64 {
+        self.height_mm
+    }
+
+    /// Bounding-box area (the interposer/substrate area estimate).
+    pub fn area(&self) -> Area {
+        Area::from_mm2(self.width_mm * self.height_mm)
+            .expect("bounding box dimensions are finite and non-negative")
+    }
+
+    /// The individual die placements.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Silicon utilization: die area over bounding-box area (`0..=1`).
+    pub fn utilization(&self) -> f64 {
+        let silicon: f64 = self.placements.iter().map(|p| p.width_mm * p.height_mm).sum();
+        let bb = self.width_mm * self.height_mm;
+        if bb == 0.0 {
+            0.0
+        } else {
+            silicon / bb
+        }
+    }
+}
+
+impl fmt::Display for Floorplan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} × {:.1} mm floorplan, {} dies, {:.0}% utilization",
+            self.width_mm,
+            self.height_mm,
+            self.placements.len(),
+            self.utilization() * 100.0
+        )
+    }
+}
+
+/// Shelf-packs die footprints with a minimum spacing, targeting a roughly
+/// square bounding box.
+///
+/// Dies are sorted by height (descending) and placed left-to-right on
+/// shelves; a new shelf opens when the next die would exceed the target
+/// width. The target width is `√(1.2 × total die area)` unless `max_width_mm`
+/// is given. The returned bounding box includes `spacing_mm` margins between
+/// dies but not around the floorplan edge.
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidArchitecture`] if `dies` is empty or the
+/// spacing is negative.
+///
+/// # Examples
+///
+/// ```
+/// use actuary_arch::floorplan::shelf_pack;
+/// use actuary_yield::DieFootprint;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let die = DieFootprint::new(10.0, 10.0)?;
+/// let plan = shelf_pack(&[die; 4], 0.5, None)?;
+/// assert_eq!(plan.placements().len(), 4);
+/// assert!(plan.utilization() > 0.7);
+/// # Ok(())
+/// # }
+/// ```
+pub fn shelf_pack(
+    dies: &[DieFootprint],
+    spacing_mm: f64,
+    max_width_mm: Option<f64>,
+) -> Result<Floorplan, ArchError> {
+    if dies.is_empty() {
+        return Err(ArchError::InvalidArchitecture {
+            reason: "cannot floorplan zero dies".to_string(),
+        });
+    }
+    if !spacing_mm.is_finite() || spacing_mm < 0.0 {
+        return Err(ArchError::InvalidArchitecture {
+            reason: format!("spacing {spacing_mm} mm must be non-negative"),
+        });
+    }
+    let total_area: f64 = dies.iter().map(|d| d.area().mm2()).sum();
+    let widest = dies
+        .iter()
+        .map(|d| d.width_mm())
+        .fold(0.0f64, f64::max);
+    let target_width = match max_width_mm {
+        Some(w) => {
+            if w < widest {
+                return Err(ArchError::InvalidArchitecture {
+                    reason: format!(
+                        "max width {w} mm is narrower than the widest die ({widest} mm)"
+                    ),
+                });
+            }
+            w
+        }
+        None => (1.2 * total_area).sqrt().max(widest),
+    };
+
+    // Sort by height descending for tight shelves.
+    let mut order: Vec<&DieFootprint> = dies.iter().collect();
+    order.sort_by(|a, b| {
+        b.height_mm()
+            .partial_cmp(&a.height_mm())
+            .expect("die dimensions are finite")
+    });
+
+    let mut placements = Vec::with_capacity(dies.len());
+    let mut shelf_y = 0.0f64;
+    let mut shelf_height = 0.0f64;
+    let mut cursor_x = 0.0f64;
+    let mut bb_width = 0.0f64;
+
+    for die in order {
+        let needed = if cursor_x == 0.0 {
+            die.width_mm()
+        } else {
+            cursor_x + spacing_mm + die.width_mm()
+        };
+        if cursor_x > 0.0 && needed > target_width {
+            // Open a new shelf.
+            shelf_y += shelf_height + spacing_mm;
+            shelf_height = 0.0;
+            cursor_x = 0.0;
+        }
+        let x = if cursor_x == 0.0 { 0.0 } else { cursor_x + spacing_mm };
+        placements.push(Placement {
+            x_mm: x,
+            y_mm: shelf_y,
+            width_mm: die.width_mm(),
+            height_mm: die.height_mm(),
+        });
+        cursor_x = x + die.width_mm();
+        shelf_height = shelf_height.max(die.height_mm());
+        bb_width = bb_width.max(cursor_x);
+    }
+    let bb_height = shelf_y + shelf_height;
+    Ok(Floorplan { width_mm: bb_width, height_mm: bb_height, placements })
+}
+
+/// Estimates the interposer area for a set of die footprints by shelf
+/// packing with the given spacing — a mechanistic alternative to the
+/// interposer `area_factor` of the cost model.
+///
+/// # Errors
+///
+/// Same conditions as [`shelf_pack`].
+pub fn interposer_area_estimate(
+    dies: &[DieFootprint],
+    spacing_mm: f64,
+) -> Result<Area, ArchError> {
+    Ok(shelf_pack(dies, spacing_mm, None)?.area())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn square(side: f64) -> DieFootprint {
+        DieFootprint::new(side, side).unwrap()
+    }
+
+    #[test]
+    fn single_die_floorplan_is_the_die() {
+        let plan = shelf_pack(&[square(10.0)], 1.0, None).unwrap();
+        assert_eq!(plan.width_mm(), 10.0);
+        assert_eq!(plan.height_mm(), 10.0);
+        assert!((plan.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_squares_pack_in_a_grid() {
+        let dies = [square(10.0), square(10.0), square(10.0), square(10.0)];
+        let plan = shelf_pack(&dies, 0.0, Some(20.0)).unwrap();
+        assert_eq!(plan.width_mm(), 20.0);
+        assert_eq!(plan.height_mm(), 20.0);
+        assert!((plan.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spacing_grows_the_box() {
+        let dies = [square(10.0), square(10.0)];
+        let no_gap = shelf_pack(&dies, 0.0, Some(25.0)).unwrap();
+        let gap = shelf_pack(&dies, 1.0, Some(25.0)).unwrap();
+        assert!(gap.area().mm2() > no_gap.area().mm2());
+    }
+
+    #[test]
+    fn no_overlaps_ever() {
+        let dies = [
+            DieFootprint::new(12.0, 8.0).unwrap(),
+            DieFootprint::new(6.0, 14.0).unwrap(),
+            square(10.0),
+            DieFootprint::new(20.0, 4.0).unwrap(),
+            square(5.0),
+        ];
+        let plan = shelf_pack(&dies, 0.5, None).unwrap();
+        for (i, a) in plan.placements().iter().enumerate() {
+            for b in plan.placements().iter().skip(i + 1) {
+                assert!(!a.overlaps(b), "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(shelf_pack(&[], 0.5, None).is_err());
+        assert!(shelf_pack(&[square(10.0)], -1.0, None).is_err());
+        assert!(shelf_pack(&[square(10.0)], 0.0, Some(5.0)).is_err());
+    }
+
+    #[test]
+    fn epyc_like_interposer_estimate() {
+        // 8 CCDs (8.5 × 8.7 mm) + 1 IOD (30 × 14 mm): the bounding box must
+        // exceed the silicon but stay within ~2× of it.
+        let mut dies = vec![DieFootprint::new(30.0, 14.0).unwrap()];
+        dies.extend(std::iter::repeat_n(DieFootprint::new(8.5, 8.7).unwrap(), 8));
+        let silicon: f64 = dies.iter().map(|d| d.area().mm2()).sum();
+        let estimate = interposer_area_estimate(&dies, 1.0).unwrap();
+        assert!(estimate.mm2() > silicon);
+        assert!(estimate.mm2() < 2.0 * silicon, "estimate {estimate} vs silicon {silicon}");
+    }
+
+    proptest! {
+        #[test]
+        fn bounding_box_contains_all_dies(
+            sides in proptest::collection::vec(2.0f64..30.0, 1..12),
+            spacing in 0.0f64..2.0,
+        ) {
+            let dies: Vec<DieFootprint> = sides.iter().map(|&s| square(s)).collect();
+            let plan = shelf_pack(&dies, spacing, None).unwrap();
+            for p in plan.placements() {
+                prop_assert!(p.x_mm >= -1e-9 && p.y_mm >= -1e-9);
+                prop_assert!(p.right_mm() <= plan.width_mm() + 1e-9);
+                prop_assert!(p.top_mm() <= plan.height_mm() + 1e-9);
+            }
+            // Utilization is bounded and the box is at least the silicon.
+            let silicon: f64 = sides.iter().map(|s| s * s).sum();
+            prop_assert!(plan.area().mm2() + 1e-9 >= silicon);
+            prop_assert!(plan.utilization() <= 1.0 + 1e-9);
+        }
+
+        #[test]
+        fn placement_count_preserved(
+            sides in proptest::collection::vec(2.0f64..30.0, 1..15),
+        ) {
+            let dies: Vec<DieFootprint> = sides.iter().map(|&s| square(s)).collect();
+            let plan = shelf_pack(&dies, 0.5, None).unwrap();
+            prop_assert_eq!(plan.placements().len(), dies.len());
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Partitioning a monolithic design into chiplets.
+//!
+//! The paper frames "how many chiplets to partition" as one of the central
+//! chiplet-architecture decisions (§1, §4.1). This module provides:
+//!
+//! * [`equal_chiplets`] — the paper's Figure 4 workload: divide a monolithic
+//!   module area into `n` equal chiplets (distinct designs, no reuse);
+//! * [`enumerate_partitions`] — exhaustive set-partition enumeration of a
+//!   concrete module list into at most `k` chiplets (exact for small module
+//!   counts);
+//! * [`greedy_balance`] — an LPT (longest processing time) heuristic for
+//!   larger module lists;
+//! * [`best_partition`] — exhaustive search driven by a caller-supplied
+//!   cost function.
+
+use actuary_tech::NodeId;
+use actuary_units::Area;
+
+use crate::chip::Chip;
+use crate::error::ArchError;
+use crate::module::Module;
+
+/// Splits a monolithic design of `total_module_area` into `n` equal,
+/// *distinct* chiplets (the Figure 4 workload: "we divide a monolithic chip
+/// into different numbers of chiplets … no reuse is utilized").
+///
+/// Returns `n` chiplets named `{prefix}-part{i}`, each carrying one module
+/// named `{prefix}-slice{i}` of `total/n` area. Pass `n = 1` to get the
+/// monolithic die (built with [`Chip::monolithic`], no D2D).
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidPartition`] if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use actuary_arch::partition::equal_chiplets;
+/// use actuary_units::Area;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let chiplets = equal_chiplets("sys", "5nm", Area::from_mm2(800.0)?, 2)?;
+/// assert_eq!(chiplets.len(), 2);
+/// assert_eq!(chiplets[0].module_area().mm2(), 400.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn equal_chiplets(
+    prefix: &str,
+    node: impl Into<NodeId>,
+    total_module_area: Area,
+    n: u32,
+) -> Result<Vec<Chip>, ArchError> {
+    if n == 0 {
+        return Err(ArchError::InvalidPartition {
+            reason: "cannot partition into zero chiplets".to_string(),
+        });
+    }
+    let node = node.into();
+    let slice = total_module_area / n as f64;
+    let mut chips = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let module = Module::new(format!("{prefix}-slice{i}"), node.clone(), slice);
+        let chip = if n == 1 {
+            Chip::monolithic(format!("{prefix}-part{i}"), node.clone(), vec![module])
+        } else {
+            Chip::chiplet(format!("{prefix}-part{i}"), node.clone(), vec![module])
+        };
+        chips.push(chip);
+    }
+    Ok(chips)
+}
+
+/// A partition of module indices into non-empty groups.
+pub type Partition = Vec<Vec<usize>>;
+
+/// Enumerates every partition of `n_modules` modules into at most
+/// `max_groups` non-empty groups (restricted-growth-string enumeration).
+///
+/// The count is the sum of Stirling numbers of the second kind; it grows
+/// fast, so the function rejects `n_modules > 12`.
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidPartition`] if `max_groups` is zero or
+/// `n_modules` exceeds 12.
+///
+/// # Examples
+///
+/// ```
+/// use actuary_arch::partition::enumerate_partitions;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 3 modules into at most 2 groups: {abc}, {ab|c}, {ac|b}, {a|bc}.
+/// let parts = enumerate_partitions(3, 2)?;
+/// assert_eq!(parts.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn enumerate_partitions(n_modules: usize, max_groups: usize) -> Result<Vec<Partition>, ArchError> {
+    if max_groups == 0 {
+        return Err(ArchError::InvalidPartition {
+            reason: "max_groups must be positive".to_string(),
+        });
+    }
+    if n_modules == 0 {
+        return Ok(vec![]);
+    }
+    if n_modules > 12 {
+        return Err(ArchError::InvalidPartition {
+            reason: format!(
+                "exhaustive partition enumeration limited to 12 modules, got {n_modules} \
+                 (use greedy_balance instead)"
+            ),
+        });
+    }
+    // Restricted growth strings: a[0] = 0; a[i] <= max(a[0..i]) + 1.
+    let mut result = Vec::new();
+    let mut assignment = vec![0usize; n_modules];
+    fn recurse(
+        assignment: &mut Vec<usize>,
+        i: usize,
+        current_max: usize,
+        max_groups: usize,
+        result: &mut Vec<Partition>,
+    ) {
+        let n = assignment.len();
+        if i == n {
+            let groups = current_max + 1;
+            let mut partition: Partition = vec![Vec::new(); groups];
+            for (idx, &g) in assignment.iter().enumerate() {
+                partition[g].push(idx);
+            }
+            result.push(partition);
+            return;
+        }
+        let limit = (current_max + 1).min(max_groups - 1);
+        for g in 0..=limit {
+            assignment[i] = g;
+            recurse(assignment, i + 1, current_max.max(g), max_groups, result);
+        }
+    }
+    recurse(&mut assignment, 1, 0, max_groups, &mut result);
+    Ok(result)
+}
+
+/// Balances modules into exactly `k` groups with the LPT heuristic: sort by
+/// area descending, always add to the lightest group. Good enough when
+/// yield (superlinear in area) drives the cost.
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidPartition`] if `k` is zero or exceeds the
+/// module count.
+pub fn greedy_balance(modules: &[Module], k: usize) -> Result<Partition, ArchError> {
+    if k == 0 {
+        return Err(ArchError::InvalidPartition {
+            reason: "cannot balance into zero groups".to_string(),
+        });
+    }
+    if k > modules.len() {
+        return Err(ArchError::InvalidPartition {
+            reason: format!("{k} groups requested for {} modules", modules.len()),
+        });
+    }
+    let mut order: Vec<usize> = (0..modules.len()).collect();
+    order.sort_by(|&a, &b| {
+        modules[b]
+            .area()
+            .partial_cmp(&modules[a].area())
+            .expect("areas are finite")
+    });
+    let mut groups: Partition = vec![Vec::new(); k];
+    let mut loads = vec![0.0f64; k];
+    for idx in order {
+        let lightest = loads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+            .map(|(i, _)| i)
+            .expect("k >= 1");
+        groups[lightest].push(idx);
+        loads[lightest] += modules[idx].area().mm2();
+    }
+    Ok(groups)
+}
+
+/// Builds the chiplets corresponding to a partition of `modules`: group `g`
+/// becomes chiplet `{prefix}-part{g}` carrying its modules. A single-group
+/// partition yields a monolithic die.
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidPartition`] if the partition references a
+/// module index out of range, repeats an index, or has an empty group.
+pub fn chips_for_partition(
+    prefix: &str,
+    node: impl Into<NodeId>,
+    modules: &[Module],
+    partition: &Partition,
+) -> Result<Vec<Chip>, ArchError> {
+    let node = node.into();
+    let mut seen = vec![false; modules.len()];
+    for group in partition {
+        if group.is_empty() {
+            return Err(ArchError::InvalidPartition {
+                reason: "partition contains an empty group".to_string(),
+            });
+        }
+        for &idx in group {
+            if idx >= modules.len() {
+                return Err(ArchError::InvalidPartition {
+                    reason: format!("module index {idx} out of range"),
+                });
+            }
+            if seen[idx] {
+                return Err(ArchError::InvalidPartition {
+                    reason: format!("module index {idx} appears in two groups"),
+                });
+            }
+            seen[idx] = true;
+        }
+    }
+    let monolithic = partition.len() == 1;
+    let mut chips = Vec::with_capacity(partition.len());
+    for (g, group) in partition.iter().enumerate() {
+        let group_modules: Vec<Module> = group.iter().map(|&i| modules[i].clone()).collect();
+        let name = format!("{prefix}-part{g}");
+        let chip = if monolithic {
+            Chip::monolithic(name, node.clone(), group_modules)
+        } else {
+            Chip::chiplet(name, node.clone(), group_modules)
+        };
+        chips.push(chip);
+    }
+    Ok(chips)
+}
+
+/// Exhaustively searches every partition of `modules` into at most
+/// `max_groups` chiplets and returns the one minimizing `cost_fn`, together
+/// with its cost.
+///
+/// # Errors
+///
+/// Propagates enumeration errors and any error from `cost_fn`; errors if no
+/// partition exists.
+pub fn best_partition<F>(
+    modules: &[Module],
+    max_groups: usize,
+    mut cost_fn: F,
+) -> Result<(Partition, f64), ArchError>
+where
+    F: FnMut(&Partition) -> Result<f64, ArchError>,
+{
+    let partitions = enumerate_partitions(modules.len(), max_groups)?;
+    if partitions.is_empty() {
+        return Err(ArchError::InvalidPartition {
+            reason: "no partitions to search".to_string(),
+        });
+    }
+    let mut best: Option<(Partition, f64)> = None;
+    for p in partitions {
+        let cost = cost_fn(&p)?;
+        match &best {
+            Some((_, c)) if *c <= cost => {}
+            _ => best = Some((p, cost)),
+        }
+    }
+    Ok(best.expect("at least one partition was evaluated"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn area(mm2: f64) -> Area {
+        Area::from_mm2(mm2).unwrap()
+    }
+
+    fn modules(areas: &[f64]) -> Vec<Module> {
+        areas
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| Module::new(format!("m{i}"), "7nm", area(a)))
+            .collect()
+    }
+
+    #[test]
+    fn equal_chiplets_splits_area() {
+        let chips = equal_chiplets("sys", "5nm", area(800.0), 4).unwrap();
+        assert_eq!(chips.len(), 4);
+        for c in &chips {
+            assert_eq!(c.module_area().mm2(), 200.0);
+            assert!(c.is_chiplet());
+        }
+        // Distinct names → distinct NRE designs, as Figure 4 assumes.
+        assert_ne!(chips[0].name(), chips[1].name());
+    }
+
+    #[test]
+    fn equal_chiplets_one_is_monolithic() {
+        let chips = equal_chiplets("sys", "5nm", area(800.0), 1).unwrap();
+        assert_eq!(chips.len(), 1);
+        assert!(!chips[0].is_chiplet());
+        assert!(equal_chiplets("sys", "5nm", area(800.0), 0).is_err());
+    }
+
+    #[test]
+    fn partition_counts_match_stirling_sums() {
+        // B(n) for max_groups = n: Bell numbers 1, 2, 5, 15, 52.
+        for (n, bell) in [(1, 1), (2, 2), (3, 5), (4, 15), (5, 52)] {
+            let parts = enumerate_partitions(n, n).unwrap();
+            assert_eq!(parts.len(), bell, "bell({n})");
+        }
+        // S(4,1) + S(4,2) = 1 + 7 = 8 partitions into at most 2 groups.
+        assert_eq!(enumerate_partitions(4, 2).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn partitions_are_valid_set_partitions() {
+        let parts = enumerate_partitions(5, 3).unwrap();
+        for p in &parts {
+            let mut seen = [false; 5];
+            assert!(p.len() <= 3);
+            for group in p {
+                assert!(!group.is_empty());
+                for &i in group {
+                    assert!(!seen[i], "duplicate index {i}");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "all modules covered");
+        }
+    }
+
+    #[test]
+    fn enumeration_limits() {
+        assert!(enumerate_partitions(13, 2).is_err());
+        assert!(enumerate_partitions(3, 0).is_err());
+        assert!(enumerate_partitions(0, 2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn greedy_balance_is_reasonable() {
+        let ms = modules(&[100.0, 90.0, 50.0, 40.0, 30.0, 10.0]);
+        let partition = greedy_balance(&ms, 2).unwrap();
+        assert_eq!(partition.len(), 2);
+        let load =
+            |g: &Vec<usize>| -> f64 { g.iter().map(|&i| ms[i].area().mm2()).sum() };
+        let (a, b) = (load(&partition[0]), load(&partition[1]));
+        // LPT on this instance is near-perfect: 160 vs 160.
+        assert!((a - b).abs() <= 20.0, "loads {a} vs {b}");
+        assert!(greedy_balance(&ms, 0).is_err());
+        assert!(greedy_balance(&ms, 7).is_err());
+    }
+
+    #[test]
+    fn chips_for_partition_validates() {
+        let ms = modules(&[10.0, 20.0, 30.0]);
+        // Out of range.
+        assert!(chips_for_partition("p", "7nm", &ms, &vec![vec![0, 5]]).is_err());
+        // Duplicate.
+        assert!(chips_for_partition("p", "7nm", &ms, &vec![vec![0, 0], vec![1, 2]]).is_err());
+        // Empty group.
+        assert!(chips_for_partition("p", "7nm", &ms, &vec![vec![0, 1, 2], vec![]]).is_err());
+        // Valid two-group partition.
+        let chips =
+            chips_for_partition("p", "7nm", &ms, &vec![vec![0, 2], vec![1]]).unwrap();
+        assert_eq!(chips.len(), 2);
+        assert_eq!(chips[0].module_area().mm2(), 40.0);
+        assert_eq!(chips[1].module_area().mm2(), 20.0);
+        assert!(chips[0].is_chiplet());
+        // Single group → monolithic.
+        let mono = chips_for_partition("p", "7nm", &ms, &vec![vec![0, 1, 2]]).unwrap();
+        assert!(!mono[0].is_chiplet());
+    }
+
+    #[test]
+    fn best_partition_finds_minimum() {
+        let ms = modules(&[100.0, 90.0, 10.0]);
+        // Cost: squared imbalance across exactly two groups — the best
+        // 2-group split is {100 | 90+10}; other group counts are penalized.
+        let (best, cost) = best_partition(&ms, 2, |p| {
+            if p.len() != 2 {
+                return Ok(f64::MAX);
+            }
+            let loads: Vec<f64> = p
+                .iter()
+                .map(|g| g.iter().map(|&i| ms[i].area().mm2()).sum::<f64>())
+                .collect();
+            let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+            Ok(loads.iter().map(|l| (l - mean).powi(2)).sum())
+        })
+        .unwrap();
+        assert_eq!(cost, 0.0);
+        assert_eq!(best.len(), 2);
+        let g0: f64 = best[0].iter().map(|&i| ms[i].area().mm2()).sum();
+        assert!((g0 - 100.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn greedy_covers_all_modules(
+            sizes in proptest::collection::vec(1.0f64..200.0, 2..10),
+            k in 1usize..4,
+        ) {
+            prop_assume!(k <= sizes.len());
+            let ms = modules(&sizes);
+            let partition = greedy_balance(&ms, k).unwrap();
+            let covered: usize = partition.iter().map(|g| g.len()).sum();
+            prop_assert_eq!(covered, ms.len());
+            let total: f64 = partition
+                .iter()
+                .flat_map(|g| g.iter().map(|&i| ms[i].area().mm2()))
+                .sum();
+            let expected: f64 = sizes.iter().sum();
+            prop_assert!((total - expected).abs() < 1e-6);
+        }
+
+        #[test]
+        fn equal_chiplets_conserve_area(total in 50.0f64..900.0, n in 1u32..8) {
+            let chips = equal_chiplets("x", "7nm", area(total), n).unwrap();
+            let sum: f64 = chips.iter().map(|c| c.module_area().mm2()).sum();
+            prop_assert!((sum - total).abs() < 1e-9);
+        }
+    }
+}

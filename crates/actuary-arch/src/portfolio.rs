@@ -1,0 +1,707 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use actuary_model::{
+    chip_level_nre, d2d_nre, module_design_cost, package_nre_for_silicon, AssemblyFlow,
+    NreBreakdown, ReCostBreakdown,
+};
+use actuary_tech::TechLibrary;
+use actuary_units::{Area, Money, Quantity};
+
+use crate::error::ArchError;
+use crate::system::System;
+
+/// What kind of design artifact an NRE entity is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NreEntityKind {
+    /// A module design (`K_m·S_m`), shared by every chip embedding it.
+    Module,
+    /// A chip design (`K_c·S_c + C`), shared by every system placing it.
+    Chip,
+    /// A package design (`K_p·S_p + C_p`), shared under package reuse.
+    Package,
+    /// A D2D interface design (`C_D2D`), shared per process node.
+    D2d,
+}
+
+impl fmt::Display for NreEntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NreEntityKind::Module => f.write_str("module"),
+            NreEntityKind::Chip => f.write_str("chip"),
+            NreEntityKind::Package => f.write_str("package"),
+            NreEntityKind::D2d => f.write_str("d2d"),
+        }
+    }
+}
+
+/// One shared NRE artifact: its total cost and the per-unit share allocated
+/// to each system (proportional to usage × quantity, the paper's
+/// "amortized to each system depending on the number of modules and chips
+/// included", §4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NreEntity {
+    kind: NreEntityKind,
+    name: String,
+    cost: Money,
+    allocations: BTreeMap<String, Money>,
+}
+
+impl NreEntity {
+    /// The artifact kind.
+    pub fn kind(&self) -> NreEntityKind {
+        self.kind
+    }
+
+    /// The artifact's identity (module `name@node`, chip name, package
+    /// design name, or `d2d@node`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total NRE cost of the artifact (paid once for the portfolio).
+    pub fn cost(&self) -> Money {
+        self.cost
+    }
+
+    /// Per-unit cost allocated to the named system (zero if the system does
+    /// not use the artifact).
+    pub fn allocation_for(&self, system: &str) -> Money {
+        self.allocations.get(system).copied().unwrap_or(Money::ZERO)
+    }
+
+    /// All per-unit allocations, keyed by system name.
+    pub fn allocations(&self) -> &BTreeMap<String, Money> {
+        &self.allocations
+    }
+}
+
+/// Per-system cost result: RE breakdown plus the per-unit amortized NRE
+/// shares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemCost {
+    name: String,
+    quantity: Quantity,
+    re: ReCostBreakdown,
+    nre_per_unit: NreBreakdown,
+}
+
+impl SystemCost {
+    /// The system's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The production quantity.
+    pub fn quantity(&self) -> Quantity {
+        self.quantity
+    }
+
+    /// Per-unit RE breakdown.
+    pub fn re(&self) -> &ReCostBreakdown {
+        &self.re
+    }
+
+    /// Per-unit amortized NRE breakdown.
+    pub fn nre_per_unit(&self) -> &NreBreakdown {
+        &self.nre_per_unit
+    }
+
+    /// Per-unit total cost (RE + amortized NRE).
+    pub fn per_unit_total(&self) -> Money {
+        self.re.total() + self.nre_per_unit.total()
+    }
+
+    /// Fraction of the per-unit cost that is RE.
+    pub fn re_share(&self) -> f64 {
+        let total = self.per_unit_total();
+        if total.is_zero() {
+            0.0
+        } else {
+            self.re.total() / total
+        }
+    }
+}
+
+impl fmt::Display for SystemCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} / unit (RE {}, NRE {})",
+            self.name,
+            self.per_unit_total(),
+            self.re.total(),
+            self.nre_per_unit.total()
+        )
+    }
+}
+
+/// The full cost result of a [`Portfolio`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortfolioCost {
+    systems: Vec<SystemCost>,
+    entities: Vec<NreEntity>,
+    nre_total: NreBreakdown,
+}
+
+impl PortfolioCost {
+    /// Per-system results, in the portfolio's system order.
+    pub fn systems(&self) -> &[SystemCost] {
+        &self.systems
+    }
+
+    /// Looks up a system result by name.
+    pub fn system(&self, name: &str) -> Option<&SystemCost> {
+        self.systems.iter().find(|s| s.name() == name)
+    }
+
+    /// Every NRE artifact with its allocations.
+    pub fn entities(&self) -> &[NreEntity] {
+        &self.entities
+    }
+
+    /// Portfolio-wide NRE totals by component.
+    pub fn nre_total(&self) -> &NreBreakdown {
+        &self.nre_total
+    }
+
+    /// Whole-program cost: `Σ quantity × RE + total NRE`.
+    pub fn program_total(&self) -> Money {
+        let re: Money = self
+            .systems
+            .iter()
+            .map(|s| s.re().total() * s.quantity().as_f64())
+            .sum();
+        re + self.nre_total.total()
+    }
+
+    /// Unweighted mean of the per-unit totals across systems — the metric of
+    /// the paper's Figure 10 ("compared by average normalized cost").
+    pub fn average_per_unit(&self) -> Money {
+        if self.systems.is_empty() {
+            return Money::ZERO;
+        }
+        let sum: Money = self.systems.iter().map(|s| s.per_unit_total()).sum();
+        sum / self.systems.len() as f64
+    }
+}
+
+impl fmt::Display for PortfolioCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "portfolio of {} systems:", self.systems.len())?;
+        for s in &self.systems {
+            writeln!(f, "  {s}")?;
+        }
+        write!(f, "  total NRE: {}", self.nre_total.total())
+    }
+}
+
+/// A group of systems sharing module, chip, package and D2D designs — the
+/// `J` of the paper's Eq. (7)/(8).
+///
+/// # Examples
+///
+/// See the crate-level example; the reuse schemes in [`crate::reuse`] all
+/// produce portfolios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Portfolio {
+    systems: Vec<System>,
+}
+
+impl Portfolio {
+    /// Creates a portfolio from systems.
+    pub fn new(systems: Vec<System>) -> Self {
+        Portfolio { systems }
+    }
+
+    /// The member systems.
+    pub fn systems(&self) -> &[System] {
+        &self.systems
+    }
+
+    /// Adds a system.
+    pub fn push(&mut self, system: System) {
+        self.systems.push(system);
+    }
+
+    /// Number of member systems.
+    pub fn len(&self) -> usize {
+        self.systems.len()
+    }
+
+    /// Whether the portfolio has no systems.
+    pub fn is_empty(&self) -> bool {
+        self.systems.is_empty()
+    }
+
+    /// Computes RE for every system and NRE with full sharing (Eq. (7)/(8)).
+    ///
+    /// Shared package designs are sized for their largest member system;
+    /// smaller members pay the oversized package's RE (§5.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidArchitecture`] for duplicate system
+    /// names, conflicting design definitions (same module/chip name with
+    /// different geometry) or mixed-integration package-design groups;
+    /// propagates technology and cost-engine errors.
+    pub fn cost(&self, lib: &TechLibrary, flow: AssemblyFlow) -> Result<PortfolioCost, ArchError> {
+        if self.systems.is_empty() {
+            return Err(ArchError::InvalidArchitecture {
+                reason: "portfolio has no systems".to_string(),
+            });
+        }
+        // --- Uniqueness of system names. ---------------------------------
+        {
+            let mut seen = BTreeMap::new();
+            for s in &self.systems {
+                if seen.insert(s.name().to_string(), ()).is_some() {
+                    return Err(ArchError::InvalidArchitecture {
+                        reason: format!("duplicate system name {:?}", s.name()),
+                    });
+                }
+            }
+        }
+
+        // --- Shared package designs: group, validate, size. ---------------
+        let mut design_silicon: BTreeMap<String, Area> = BTreeMap::new();
+        let mut design_kind: BTreeMap<String, actuary_tech::IntegrationKind> = BTreeMap::new();
+        for s in &self.systems {
+            if let Some(design) = s.package_design() {
+                let silicon = s.total_silicon(lib)?;
+                let entry = design_silicon.entry(design.to_string()).or_insert(Area::ZERO);
+                *entry = entry.max(silicon);
+                match design_kind.get(design) {
+                    None => {
+                        design_kind.insert(design.to_string(), s.integration());
+                    }
+                    Some(kind) if *kind != s.integration() => {
+                        return Err(ArchError::InvalidArchitecture {
+                            reason: format!(
+                                "package design {design:?} is shared across different \
+                                 integration kinds ({kind} and {})",
+                                s.integration()
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+
+        // --- Per-system RE. -------------------------------------------------
+        let mut re_by_system: Vec<ReCostBreakdown> = Vec::with_capacity(self.systems.len());
+        for s in &self.systems {
+            let over = s
+                .package_design()
+                .map(|d| design_silicon[d])
+                .filter(|a| !a.is_zero());
+            re_by_system.push(s.re_cost(lib, flow, over)?);
+        }
+
+        // --- NRE entities with usage-weighted allocation. -------------------
+        // usage[system -> uses]; weight = uses × quantity.
+        struct EntityDraft {
+            kind: NreEntityKind,
+            name: String,
+            cost: Money,
+            uses: BTreeMap<String, f64>,
+        }
+        let mut drafts: Vec<EntityDraft> = Vec::new();
+        let mut index: BTreeMap<(NreEntityKind, String), usize> = BTreeMap::new();
+
+        let add_use = |drafts: &mut Vec<EntityDraft>,
+                           index: &mut BTreeMap<(NreEntityKind, String), usize>,
+                           kind: NreEntityKind,
+                           name: String,
+                           cost: Money,
+                           system: &str,
+                           uses: f64|
+         -> Result<(), ArchError> {
+            let key = (kind, name.clone());
+            let idx = match index.get(&key) {
+                Some(&i) => {
+                    // Same design must have consistent cost (geometry).
+                    if (drafts[i].cost.usd() - cost.usd()).abs() > 1e-6 {
+                        return Err(ArchError::InvalidArchitecture {
+                            reason: format!(
+                                "{kind} design {name:?} is defined with conflicting \
+                                 geometry across systems"
+                            ),
+                        });
+                    }
+                    i
+                }
+                None => {
+                    drafts.push(EntityDraft {
+                        kind,
+                        name: name.clone(),
+                        cost,
+                        uses: BTreeMap::new(),
+                    });
+                    index.insert(key, drafts.len() - 1);
+                    drafts.len() - 1
+                }
+            };
+            *drafts[idx].uses.entry(system.to_string()).or_insert(0.0) += uses;
+            Ok(())
+        };
+
+        for s in &self.systems {
+            // Module and chip designs.
+            for (chip, count) in s.chips() {
+                let node = lib.node(chip.node().as_str())?;
+                let die_area = chip.die_area(lib)?;
+                add_use(
+                    &mut drafts,
+                    &mut index,
+                    NreEntityKind::Chip,
+                    chip.name().to_string(),
+                    chip_level_nre(node, die_area),
+                    s.name(),
+                    *count as f64,
+                )?;
+                for m in chip.modules() {
+                    add_use(
+                        &mut drafts,
+                        &mut index,
+                        NreEntityKind::Module,
+                        format!("{}@{}", m.name(), m.node()),
+                        module_design_cost(node, m.area()),
+                        s.name(),
+                        *count as f64,
+                    )?;
+                }
+                // D2D interface design, once per node.
+                if chip.is_chiplet() {
+                    add_use(
+                        &mut drafts,
+                        &mut index,
+                        NreEntityKind::D2d,
+                        format!("d2d@{}", chip.node()),
+                        d2d_nre(node),
+                        s.name(),
+                        *count as f64,
+                    )?;
+                }
+            }
+            // Package design.
+            let packaging = lib.packaging(s.integration())?;
+            let (pkg_name, silicon_basis) = match s.package_design() {
+                Some(design) => (design.to_string(), design_silicon[design]),
+                None => (format!("pkg:{}", s.name()), s.total_silicon(lib)?),
+            };
+            add_use(
+                &mut drafts,
+                &mut index,
+                NreEntityKind::Package,
+                pkg_name,
+                package_nre_for_silicon(packaging, silicon_basis)?,
+                s.name(),
+                1.0,
+            )?;
+        }
+
+        // --- Allocate entity costs per unit. -------------------------------
+        let quantity_of: BTreeMap<&str, Quantity> =
+            self.systems.iter().map(|s| (s.name(), s.quantity())).collect();
+        let mut entities = Vec::with_capacity(drafts.len());
+        for draft in drafts {
+            let total_weight: f64 = draft
+                .uses
+                .iter()
+                .map(|(sys, uses)| uses * quantity_of[sys.as_str()].as_f64())
+                .sum();
+            let mut allocations = BTreeMap::new();
+            for (sys, uses) in &draft.uses {
+                // share_j (total) = cost × (uses_j × q_j) / Σ; per unit
+                // divide by q_j → cost × uses_j / Σ.
+                let per_unit = if total_weight > 0.0 {
+                    draft.cost * (uses / total_weight)
+                } else {
+                    Money::ZERO
+                };
+                allocations.insert(sys.clone(), per_unit);
+            }
+            entities.push(NreEntity {
+                kind: draft.kind,
+                name: draft.name,
+                cost: draft.cost,
+                allocations,
+            });
+        }
+
+        // --- Assemble per-system breakdowns and totals. ---------------------
+        let mut systems_out = Vec::with_capacity(self.systems.len());
+        for (s, re) in self.systems.iter().zip(re_by_system) {
+            let mut nre = NreBreakdown::default();
+            for e in &entities {
+                let share = e.allocation_for(s.name());
+                match e.kind() {
+                    NreEntityKind::Module => nre.modules += share,
+                    NreEntityKind::Chip => nre.chips += share,
+                    NreEntityKind::Package => nre.packages += share,
+                    NreEntityKind::D2d => nre.d2d += share,
+                }
+            }
+            systems_out.push(SystemCost {
+                name: s.name().to_string(),
+                quantity: s.quantity(),
+                re,
+                nre_per_unit: nre,
+            });
+        }
+        let mut nre_total = NreBreakdown::default();
+        for e in &entities {
+            match e.kind() {
+                NreEntityKind::Module => nre_total.modules += e.cost(),
+                NreEntityKind::Chip => nre_total.chips += e.cost(),
+                NreEntityKind::Package => nre_total.packages += e.cost(),
+                NreEntityKind::D2d => nre_total.d2d += e.cost(),
+            }
+        }
+
+        Ok(PortfolioCost { systems: systems_out, entities, nre_total })
+    }
+}
+
+impl FromIterator<System> for Portfolio {
+    fn from_iter<T: IntoIterator<Item = System>>(iter: T) -> Self {
+        Portfolio::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::Chip;
+    use crate::module::Module;
+    use actuary_tech::IntegrationKind;
+
+    fn area(mm2: f64) -> Area {
+        Area::from_mm2(mm2).unwrap()
+    }
+
+    fn lib() -> TechLibrary {
+        TechLibrary::paper_defaults().unwrap()
+    }
+
+    fn chiplet(name: &str, module: &str, mm2: f64) -> Chip {
+        Chip::chiplet(name, "7nm", vec![Module::new(module, "7nm", area(mm2))])
+    }
+
+    fn simple_system(name: &str, chip: Chip, n: u32, qty: u64) -> System {
+        System::builder(name, IntegrationKind::Mcm)
+            .chip(chip, n)
+            .quantity(Quantity::new(qty))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_portfolio_errors() {
+        let p = Portfolio::new(vec![]);
+        assert!(p.cost(&lib(), AssemblyFlow::ChipLast).is_err());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let c = chiplet("c", "m", 100.0);
+        let p = Portfolio::new(vec![
+            simple_system("s", c.clone(), 1, 1000),
+            simple_system("s", c, 2, 1000),
+        ]);
+        let err = p.cost(&lib(), AssemblyFlow::ChipLast).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn shared_chiplet_nre_is_paid_once() {
+        let lib = lib();
+        let c = chiplet("shared", "m", 180.0);
+        // Two systems using the same chiplet vs two distinct chiplets.
+        let shared = Portfolio::new(vec![
+            simple_system("a", c.clone(), 1, 500_000),
+            simple_system("b", c.clone(), 2, 500_000),
+        ]);
+        let distinct = Portfolio::new(vec![
+            simple_system("a", chiplet("c1", "m1", 180.0), 1, 500_000),
+            simple_system("b", chiplet("c2", "m2", 180.0), 2, 500_000),
+        ]);
+        let shared_cost = shared.cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let distinct_cost = distinct.cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        assert!(
+            shared_cost.nre_total().chips < distinct_cost.nre_total().chips,
+            "chip reuse must halve chip NRE"
+        );
+        assert!(
+            shared_cost.nre_total().modules < distinct_cost.nre_total().modules,
+            "module reuse must halve module NRE"
+        );
+        // Chip entity count: 1 shared vs 2 distinct.
+        let shared_chips = shared_cost
+            .entities()
+            .iter()
+            .filter(|e| e.kind() == NreEntityKind::Chip)
+            .count();
+        let distinct_chips = distinct_cost
+            .entities()
+            .iter()
+            .filter(|e| e.kind() == NreEntityKind::Chip)
+            .count();
+        assert_eq!(shared_chips, 1);
+        assert_eq!(distinct_chips, 2);
+    }
+
+    #[test]
+    fn allocation_proportional_to_usage_and_quantity() {
+        let lib = lib();
+        let c = chiplet("shared", "m", 100.0);
+        // System a uses 1 chip at 1M units; system b uses 3 chips at 1M.
+        let p = Portfolio::new(vec![
+            simple_system("a", c.clone(), 1, 1_000_000),
+            simple_system("b", c, 3, 1_000_000),
+        ]);
+        let cost = p.cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let chip_entity = cost
+            .entities()
+            .iter()
+            .find(|e| e.kind() == NreEntityKind::Chip)
+            .unwrap();
+        let a = chip_entity.allocation_for("a").usd();
+        let b = chip_entity.allocation_for("b").usd();
+        assert!((b / a - 3.0).abs() < 1e-9, "b uses 3x the chips per unit");
+        // Total allocated × quantity = entity cost.
+        let recovered = a * 1.0e6 + b * 1.0e6;
+        assert!((recovered - chip_entity.cost().usd()).abs() < 1.0);
+    }
+
+    #[test]
+    fn conflicting_chip_geometry_rejected() {
+        let lib = lib();
+        let p = Portfolio::new(vec![
+            simple_system("a", chiplet("c", "m", 100.0), 1, 1000),
+            simple_system("b", chiplet("c", "m", 200.0), 1, 1000),
+        ]);
+        let err = p.cost(&lib, AssemblyFlow::ChipLast).unwrap_err();
+        assert!(err.to_string().contains("conflicting"), "{err}");
+    }
+
+    #[test]
+    fn package_reuse_shares_nre_but_costs_small_system_re() {
+        let lib = lib();
+        let c = chiplet("c", "m", 180.0);
+        let build = |reuse: bool| {
+            let mut small = System::builder("1x", IntegrationKind::Mcm)
+                .chip(c.clone(), 1)
+                .quantity(Quantity::new(500_000));
+            let mut large = System::builder("4x", IntegrationKind::Mcm)
+                .chip(c.clone(), 4)
+                .quantity(Quantity::new(500_000));
+            if reuse {
+                small = small.package_design("shared-pkg");
+                large = large.package_design("shared-pkg");
+            }
+            Portfolio::new(vec![small.build().unwrap(), large.build().unwrap()])
+        };
+        let no_reuse = build(false).cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let reuse = build(true).cost(&lib, AssemblyFlow::ChipLast).unwrap();
+
+        // Package NRE: one design instead of two.
+        assert!(reuse.nre_total().packages < no_reuse.nre_total().packages);
+        // The small system pays more RE on the oversized package.
+        let small_re_no = no_reuse.system("1x").unwrap().re().raw_package;
+        let small_re_yes = reuse.system("1x").unwrap().re().raw_package;
+        assert!(small_re_yes > small_re_no);
+        // The large system's RE is unchanged.
+        let large_re_no = no_reuse.system("4x").unwrap().re().total();
+        let large_re_yes = reuse.system("4x").unwrap().re().total();
+        assert!((large_re_no.usd() - large_re_yes.usd()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_integration_package_design_rejected() {
+        let lib = lib();
+        let c = chiplet("c", "m", 100.0);
+        let a = System::builder("a", IntegrationKind::Mcm)
+            .chip(c.clone(), 1)
+            .quantity(Quantity::new(1000))
+            .package_design("pkg")
+            .build()
+            .unwrap();
+        let b = System::builder("b", IntegrationKind::TwoPointFiveD)
+            .chip(c, 2)
+            .quantity(Quantity::new(1000))
+            .package_design("pkg")
+            .build()
+            .unwrap();
+        let err = Portfolio::new(vec![a, b]).cost(&lib, AssemblyFlow::ChipLast).unwrap_err();
+        assert!(err.to_string().contains("integration"), "{err}");
+    }
+
+    #[test]
+    fn d2d_nre_paid_once_per_node() {
+        let lib = lib();
+        let c7 = chiplet("c7", "m7", 100.0);
+        let c7b = chiplet("c7b", "m7b", 120.0);
+        let p = Portfolio::new(vec![
+            simple_system("a", c7, 2, 1000),
+            simple_system("b", c7b, 2, 1000),
+        ]);
+        let cost = p.cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let d2d_entities: Vec<_> = cost
+            .entities()
+            .iter()
+            .filter(|e| e.kind() == NreEntityKind::D2d)
+            .collect();
+        assert_eq!(d2d_entities.len(), 1, "one D2D design for 7nm");
+        assert_eq!(cost.nre_total().d2d, d2d_nre(lib.node("7nm").unwrap()));
+    }
+
+    #[test]
+    fn soc_systems_have_no_d2d_nre() {
+        let lib = lib();
+        let soc = Chip::monolithic("soc", "7nm", vec![Module::new("m", "7nm", area(400.0))]);
+        let s = System::builder("solo", IntegrationKind::Soc)
+            .chip(soc, 1)
+            .quantity(Quantity::new(1_000_000))
+            .build()
+            .unwrap();
+        let cost = Portfolio::new(vec![s]).cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        assert_eq!(cost.nre_total().d2d, Money::ZERO);
+        assert!(cost.nre_total().chips.usd() > 0.0);
+        assert!(cost.nre_total().packages.usd() > 0.0);
+    }
+
+    #[test]
+    fn per_unit_totals_and_program_total_consistent() {
+        let lib = lib();
+        let c = chiplet("c", "m", 150.0);
+        let p = Portfolio::new(vec![
+            simple_system("a", c.clone(), 1, 500_000),
+            simple_system("b", c, 4, 2_000_000),
+        ]);
+        let cost = p.cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        // Reconstruct program total from per-system numbers.
+        let per_system: f64 = cost
+            .systems()
+            .iter()
+            .map(|s| s.per_unit_total().usd() * s.quantity().as_f64())
+            .sum();
+        assert!(
+            (per_system - cost.program_total().usd()).abs() / cost.program_total().usd() < 1e-9,
+            "allocations must exactly cover the NRE total"
+        );
+        assert!(cost.average_per_unit().usd() > 0.0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let c = chiplet("c", "m", 100.0);
+        let p: Portfolio = vec![simple_system("a", c, 1, 1000)].into_iter().collect();
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Smoke tests for the `actuary` binary: every subcommand runs on the
+//! default library and prints the expected structure.
+
+use std::process::{Command, Output};
+
+fn actuary(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_actuary"))
+        .args(args)
+        .output()
+        .expect("the actuary binary must spawn")
+}
+
+fn stdout(args: &[&str]) -> String {
+    let out = actuary(args);
+    assert!(
+        out.status.success(),
+        "actuary {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = actuary(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: actuary"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = actuary(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn list_shows_the_library() {
+    let text = stdout(&["list"]);
+    assert!(text.contains("7 nodes"));
+    assert!(text.contains("5nm"));
+    assert!(text.contains("2.5D"));
+}
+
+#[test]
+fn yield_reports_eq1() {
+    let text = stdout(&["yield", "--node", "7nm", "--area", "400"]);
+    assert!(text.contains("yield (Eq. 1)"));
+    assert!(text.contains("dies per wafer"));
+}
+
+#[test]
+fn yield_requires_node() {
+    let out = actuary(&["yield", "--area", "400"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--node"));
+}
+
+#[test]
+fn cost_prints_both_re_and_nre() {
+    let text = stdout(&[
+        "cost",
+        "--node",
+        "5nm",
+        "--area",
+        "800",
+        "--chiplets",
+        "2",
+        "--integration",
+        "mcm",
+        "--quantity",
+        "2000000",
+    ]);
+    assert!(text.contains("Cost of Wasted KGD"));
+    assert!(text.contains("NRE Cost of D2D Interface"));
+    assert!(text.contains("per-unit total"));
+}
+
+#[test]
+fn sweep_covers_the_area_grid() {
+    let text = stdout(&["sweep", "--node", "5nm", "--chiplets", "2", "--integration", "mcm"]);
+    assert!(text.contains("100"));
+    assert!(text.contains("900"));
+    assert!(text.contains("saving"));
+}
+
+#[test]
+fn partition_recommends() {
+    let text = stdout(&["partition", "--node", "5nm", "--area", "800", "--quantity", "10000000"]);
+    assert!(text.contains("chiplet"));
+    assert!(text.contains("SoC"));
+}
+
+#[test]
+fn mc_agrees_with_analytic() {
+    let text = stdout(&[
+        "mc", "--node", "7nm", "--area", "150", "--chiplets", "2", "--systems", "1500",
+    ]);
+    assert!(text.contains("monte-carlo"));
+    assert!(text.contains("agreement within 4 standard errors: yes"), "{text}");
+}
+
+#[test]
+fn repro_figure_2_prints_claims() {
+    let text = stdout(&["repro", "--figure", "2"]);
+    assert!(text.contains("Figure 2a"));
+    assert!(text.contains("[PASS]"));
+    assert!(!text.contains("[FAIL]"), "{text}");
+}
+
+#[test]
+fn repro_figure_8_csv_is_machine_readable() {
+    let text = stdout(&["repro", "--figure", "8", "--csv"]);
+    let mut lines = text.lines();
+    assert_eq!(
+        lines.next().unwrap(),
+        "multiplicity,variant,re,re_packaging,nre_modules,nre_chips,nre_packages,nre_d2d,total"
+    );
+    assert!(text.lines().count() > 10);
+}
+
+#[test]
+fn repro_rejects_unknown_figure() {
+    let out = actuary(&["repro", "--figure", "3"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown figure"));
+}
+
+#[test]
+fn sensitivity_ranks_parameters() {
+    let text = stdout(&["sensitivity", "--node", "5nm", "--area", "800", "--chiplets", "2"]);
+    assert!(text.contains("elasticity"));
+    assert!(text.contains("defect density"));
+    assert!(text.contains("wafer price"));
+}
+
+#[test]
+fn experiments_emits_markdown_record() {
+    let text = stdout(&["experiments"]);
+    assert!(text.contains("## Figure 2"));
+    assert!(text.contains("## Figure 10"));
+    assert!(text.contains("| paper claim |"));
+    assert!(!text.contains("| FAIL |"), "all claims must hold:\n{text}");
+}
+
+#[test]
+fn flags_validation() {
+    let out = actuary(&["cost", "--node"]);
+    assert!(!out.status.success());
+    let out = actuary(&["cost", "node", "5nm"]);
+    assert!(!out.status.success());
+    let out = actuary(&["cost", "--node", "5nm", "--area", "not-a-number"]);
+    assert!(!out.status.success());
+}

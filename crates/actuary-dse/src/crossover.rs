@@ -1,0 +1,197 @@
+//! Turning-point finders: the area where multi-chip starts to win and the
+//! production quantity where chiplet NRE pays back.
+
+use actuary_arch::ArchError;
+use actuary_units::{Area, Quantity};
+
+/// Locates a sign change of `f` on `[lo, hi]` (mm²) by bisection and
+/// returns the crossover area. `f` is typically
+/// `cost_multichip(area) − cost_soc(area)`, so the returned area is where
+/// multi-chip integration begins to pay off (the paper's "turning point",
+/// §4.1).
+///
+/// Returns `None` when `f` has the same sign at both ends (no crossover in
+/// range).
+///
+/// # Errors
+///
+/// Propagates errors from `f`; rejects an empty or inverted range.
+///
+/// # Examples
+///
+/// ```
+/// use actuary_dse::crossover::find_area_crossover;
+/// use actuary_units::Area;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // f crosses zero at 400 mm².
+/// let root = find_area_crossover(|a| Ok(a.mm2() - 400.0), 100.0, 900.0, 0.01)?;
+/// assert!((root.unwrap().mm2() - 400.0).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn find_area_crossover<F>(
+    mut f: F,
+    lo_mm2: f64,
+    hi_mm2: f64,
+    tol_mm2: f64,
+) -> Result<Option<Area>, ArchError>
+where
+    F: FnMut(Area) -> Result<f64, ArchError>,
+{
+    if lo_mm2 >= hi_mm2 || lo_mm2 < 0.0 {
+        return Err(ArchError::InvalidArchitecture {
+            reason: format!("invalid crossover range [{lo_mm2}, {hi_mm2}]"),
+        });
+    }
+    let mut lo = lo_mm2;
+    let mut hi = hi_mm2;
+    let mut f_lo = f(Area::from_mm2(lo)?)?;
+    let f_hi = f(Area::from_mm2(hi)?)?;
+    if f_lo == 0.0 {
+        return Ok(Some(Area::from_mm2(lo)?));
+    }
+    if f_hi == 0.0 {
+        return Ok(Some(Area::from_mm2(hi)?));
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Ok(None);
+    }
+    while hi - lo > tol_mm2 {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = f(Area::from_mm2(mid)?)?;
+        if f_mid == 0.0 {
+            return Ok(Some(Area::from_mm2(mid)?));
+        }
+        if f_mid.signum() == f_lo.signum() {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(Area::from_mm2(0.5 * (lo + hi))?))
+}
+
+/// Finds the smallest production quantity in `[lo, hi]` at which `f`
+/// becomes non-positive, assuming `f` is non-increasing in quantity.
+/// `f` is typically `total_multichip(q) − total_soc(q)`: amortization only
+/// helps the multi-chip side, so the first non-positive quantity is the
+/// payback point of §4.2 ("for 5 nm systems, when the quantity reaches two
+/// million, multi-chip architecture starts to pay back").
+///
+/// Returns `None` if `f` is still positive at `hi`.
+///
+/// # Errors
+///
+/// Propagates errors from `f`; rejects an empty or inverted range.
+pub fn find_quantity_payback<F>(
+    mut f: F,
+    lo: Quantity,
+    hi: Quantity,
+) -> Result<Option<Quantity>, ArchError>
+where
+    F: FnMut(Quantity) -> Result<f64, ArchError>,
+{
+    if lo.count() == 0 || lo >= hi {
+        return Err(ArchError::InvalidArchitecture {
+            reason: format!("invalid payback range [{lo}, {hi}]"),
+        });
+    }
+    if f(lo)? <= 0.0 {
+        return Ok(Some(lo));
+    }
+    if f(hi)? > 0.0 {
+        return Ok(None);
+    }
+    let mut lo_q = lo.count();
+    let mut hi_q = hi.count();
+    while hi_q - lo_q > 1 {
+        let mid = lo_q + (hi_q - lo_q) / 2;
+        if f(Quantity::new(mid))? <= 0.0 {
+            hi_q = mid;
+        } else {
+            lo_q = mid;
+        }
+    }
+    Ok(Some(Quantity::new(hi_q)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_crossover_finds_root() {
+        let root = find_area_crossover(|a| Ok((a.mm2() - 123.456).powi(3)), 50.0, 900.0, 1e-4)
+            .unwrap()
+            .unwrap();
+        assert!((root.mm2() - 123.456).abs() < 1e-3);
+    }
+
+    #[test]
+    fn area_crossover_none_when_no_sign_change() {
+        let none = find_area_crossover(|a| Ok(a.mm2() + 1.0), 50.0, 900.0, 0.1).unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn area_crossover_endpoint_roots() {
+        let at_lo = find_area_crossover(|a| Ok(a.mm2() - 50.0), 50.0, 900.0, 0.1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(at_lo.mm2(), 50.0);
+    }
+
+    #[test]
+    fn area_crossover_validates_range() {
+        assert!(find_area_crossover(|_| Ok(0.0), 900.0, 50.0, 0.1).is_err());
+        assert!(find_area_crossover(|_| Ok(0.0), -10.0, 50.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn quantity_payback_finds_threshold() {
+        // f(q) = 1e6/q − 1: crosses zero at exactly 1,000,000.
+        let q = find_quantity_payback(
+            |q| Ok(1.0e6 / q.count() as f64 - 1.0),
+            Quantity::new(1_000),
+            Quantity::new(100_000_000),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(q.count(), 1_000_000);
+    }
+
+    #[test]
+    fn quantity_payback_none_when_never() {
+        let none = find_quantity_payback(
+            |_| Ok(1.0),
+            Quantity::new(1_000),
+            Quantity::new(1_000_000),
+        )
+        .unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn quantity_payback_immediate() {
+        let q = find_quantity_payback(
+            |_| Ok(-1.0),
+            Quantity::new(1_000),
+            Quantity::new(1_000_000),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(q.count(), 1_000);
+    }
+
+    #[test]
+    fn quantity_payback_validates_range() {
+        assert!(
+            find_quantity_payback(|_| Ok(0.0), Quantity::new(0), Quantity::new(10)).is_err()
+        );
+        assert!(
+            find_quantity_payback(|_| Ok(0.0), Quantity::new(10), Quantity::new(10)).is_err()
+        );
+    }
+}

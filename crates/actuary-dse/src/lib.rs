@@ -1,0 +1,56 @@
+//! Design-space exploration on top of the *Chiplet Actuary* cost model.
+//!
+//! The paper's §6 frames the architecture questions this crate answers
+//! mechanically:
+//!
+//! * *"Which integration scheme to use, how many chiplets to partition?"*
+//!   — [`optimizer::recommend`] searches integration kind × chiplet count
+//!   for the cheapest configuration of a single system.
+//! * *"Multi-chip architecture begins to pay off when the cost of die
+//!   defects exceeds the total cost resulting from packaging"* —
+//!   [`crossover::find_area_crossover`] and
+//!   [`crossover::find_quantity_payback`] locate the turning points in area
+//!   and production quantity.
+//! * *"As the yield of 7 nm technology improves … the advantage is further
+//!   smaller"* — [`maturity::DefectRamp`] models defect-density learning
+//!   curves and replays any study over process age.
+//! * Parameter robustness — [`sensitivity::elasticity`] measures
+//!   d(ln cost)/d(ln parameter) for any scalar knob.
+//! * Trade-off surfaces — [`pareto::pareto_min_indices`] extracts the
+//!   non-dominated frontier from any two-objective sweep.
+//!
+//! # Examples
+//!
+//! ```
+//! use actuary_dse::optimizer::{recommend, SearchSpace};
+//! use actuary_tech::TechLibrary;
+//! use actuary_units::{Area, Quantity};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = TechLibrary::paper_defaults()?;
+//! let best = recommend(
+//!     &lib,
+//!     "5nm",
+//!     Area::from_mm2(800.0)?,
+//!     Quantity::new(10_000_000),
+//!     &SearchSpace::default(),
+//! )?;
+//! assert!(best.chiplets >= 2, "an 800 mm² 5 nm system at volume wants chiplets");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod crossover;
+pub mod maturity;
+pub mod optimizer;
+pub mod pareto;
+pub mod sensitivity;
+pub mod sweep;
+
+pub use actuary_arch::ArchError;
+
+/// Convenience result alias for this crate (errors are architecture-level).
+pub type Result<T> = std::result::Result<T, ArchError>;

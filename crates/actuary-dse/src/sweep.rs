@@ -1,0 +1,258 @@
+//! Generic parameter sweeps: area and quantity grids evaluated against any
+//! cost function, with CSV-ready results.
+
+use actuary_arch::ArchError;
+use actuary_units::{Area, Quantity};
+
+/// One sampled point of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter value (mm² or units, depending on the sweep).
+    pub x: f64,
+    /// One value per configured series, in series order.
+    pub values: Vec<f64>,
+}
+
+/// A completed sweep: series names plus sampled points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    series: Vec<String>,
+    points: Vec<SweepPoint>,
+    x_label: String,
+}
+
+impl Sweep {
+    /// The series names.
+    pub fn series(&self) -> &[String] {
+        &self.series
+    }
+
+    /// The sampled points in x order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// The label of the swept parameter.
+    pub fn x_label(&self) -> &str {
+        &self.x_label
+    }
+
+    /// The values of one series across the sweep.
+    ///
+    /// Returns `None` if the series name is unknown.
+    pub fn series_values(&self, name: &str) -> Option<Vec<(f64, f64)>> {
+        let idx = self.series.iter().position(|s| s == name)?;
+        Some(self.points.iter().map(|p| (p.x, p.values[idx])).collect())
+    }
+
+    /// Index of the first point (in x order) where series `a` drops below
+    /// series `b` — a discrete crossover detector.
+    pub fn first_crossover(&self, a: &str, b: &str) -> Option<f64> {
+        let ia = self.series.iter().position(|s| s == a)?;
+        let ib = self.series.iter().position(|s| s == b)?;
+        self.points
+            .iter()
+            .find(|p| p.values[ia] < p.values[ib])
+            .map(|p| p.x)
+    }
+
+    /// Renders the sweep as CSV (x column plus one column per series).
+    pub fn to_csv(&self) -> String {
+        let mut records = Vec::with_capacity(self.points.len() + 1);
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.series.iter().cloned());
+        records.push(header);
+        for p in &self.points {
+            let mut row = vec![format!("{}", p.x)];
+            row.extend(p.values.iter().map(|v| format!("{v:.6}")));
+            records.push(row);
+        }
+        actuary_report::write_csv(&records)
+    }
+}
+
+/// Sweeps die/module area over `areas_mm2`, evaluating every series
+/// function at each point.
+///
+/// # Errors
+///
+/// Propagates errors from the series functions; rejects empty grids or
+/// series lists.
+///
+/// # Examples
+///
+/// ```
+/// use actuary_dse::sweep::sweep_area;
+/// use actuary_units::Area;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sweep = sweep_area(
+///     &[100.0, 200.0, 300.0],
+///     vec![
+///         ("linear".to_string(), Box::new(|a: Area| Ok(a.mm2()))),
+///         ("quadratic".to_string(), Box::new(|a: Area| Ok(a.mm2() * a.mm2()))),
+///     ],
+/// )?;
+/// assert_eq!(sweep.points().len(), 3);
+/// assert_eq!(sweep.series().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[allow(clippy::type_complexity)]
+pub fn sweep_area(
+    areas_mm2: &[f64],
+    mut series: Vec<(String, Box<dyn FnMut(Area) -> Result<f64, ArchError> + '_>)>,
+) -> Result<Sweep, ArchError> {
+    if areas_mm2.is_empty() || series.is_empty() {
+        return Err(ArchError::InvalidArchitecture {
+            reason: "sweep needs at least one point and one series".to_string(),
+        });
+    }
+    let mut points = Vec::with_capacity(areas_mm2.len());
+    for &mm2 in areas_mm2 {
+        let area = Area::from_mm2(mm2)?;
+        let mut values = Vec::with_capacity(series.len());
+        for (_, f) in series.iter_mut() {
+            values.push(f(area)?);
+        }
+        points.push(SweepPoint { x: mm2, values });
+    }
+    Ok(Sweep {
+        series: series.into_iter().map(|(name, _)| name).collect(),
+        points,
+        x_label: "area_mm2".to_string(),
+    })
+}
+
+/// Sweeps production quantity over `quantities`, evaluating every series
+/// function at each point.
+///
+/// # Errors
+///
+/// Propagates errors from the series functions; rejects empty grids or
+/// series lists.
+#[allow(clippy::type_complexity)]
+pub fn sweep_quantity(
+    quantities: &[u64],
+    mut series: Vec<(String, Box<dyn FnMut(Quantity) -> Result<f64, ArchError> + '_>)>,
+) -> Result<Sweep, ArchError> {
+    if quantities.is_empty() || series.is_empty() {
+        return Err(ArchError::InvalidArchitecture {
+            reason: "sweep needs at least one point and one series".to_string(),
+        });
+    }
+    let mut points = Vec::with_capacity(quantities.len());
+    for &q in quantities {
+        let quantity = Quantity::new(q);
+        let mut values = Vec::with_capacity(series.len());
+        for (_, f) in series.iter_mut() {
+            values.push(f(quantity)?);
+        }
+        points.push(SweepPoint { x: q as f64, values });
+    }
+    Ok(Sweep {
+        series: series.into_iter().map(|(name, _)| name).collect(),
+        points,
+        x_label: "quantity".to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actuary_model::{re_cost, AssemblyFlow, DiePlacement};
+    use actuary_tech::{IntegrationKind, TechLibrary};
+
+    #[test]
+    fn area_sweep_basics() {
+        let sweep = sweep_area(
+            &[10.0, 20.0],
+            vec![("id".to_string(), Box::new(|a: Area| Ok(a.mm2())))],
+        )
+        .unwrap();
+        assert_eq!(sweep.points().len(), 2);
+        assert_eq!(sweep.series_values("id").unwrap(), vec![(10.0, 10.0), (20.0, 20.0)]);
+        assert!(sweep.series_values("nope").is_none());
+        assert_eq!(sweep.x_label(), "area_mm2");
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(sweep_area(&[], vec![("x".to_string(), Box::new(|_| Ok(0.0)))]).is_err());
+        assert!(sweep_area(&[1.0], vec![]).is_err());
+        assert!(sweep_quantity(&[], vec![("x".to_string(), Box::new(|_| Ok(0.0)))]).is_err());
+    }
+
+    #[test]
+    fn csv_output_shape() {
+        let sweep = sweep_quantity(
+            &[100, 200],
+            vec![("cost".to_string(), Box::new(|q: Quantity| Ok(1.0e6 / q.as_f64())))],
+        )
+        .unwrap();
+        let csv = sweep.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "quantity,cost");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn crossover_detection() {
+        let sweep = sweep_area(
+            &[100.0, 200.0, 300.0, 400.0],
+            vec![
+                ("falling".to_string(), Box::new(|a: Area| Ok(1000.0 - 2.0 * a.mm2()))),
+                ("flat".to_string(), Box::new(|_| Ok(500.0))),
+            ],
+        )
+        .unwrap();
+        // falling < flat first at a = 300 (1000-600=400 < 500).
+        assert_eq!(sweep.first_crossover("falling", "flat"), Some(300.0));
+        assert_eq!(sweep.first_crossover("flat", "falling"), Some(100.0));
+        assert_eq!(sweep.first_crossover("flat", "nope"), None);
+    }
+
+    /// The paper's Figure 4 turning point, rediscovered with the generic
+    /// sweep machinery.
+    #[test]
+    fn soc_vs_mcm_sweep_reproduces_turning_point() {
+        let lib = TechLibrary::paper_defaults().unwrap();
+        let node = lib.node("5nm").unwrap();
+        let soc_pkg = lib.packaging(IntegrationKind::Soc).unwrap();
+        let mcm_pkg = lib.packaging(IntegrationKind::Mcm).unwrap();
+        let grid: Vec<f64> = (1..=9).map(|i| i as f64 * 100.0).collect();
+        let sweep = sweep_area(
+            &grid,
+            vec![
+                (
+                    "mcm2".to_string(),
+                    Box::new(|a: Area| {
+                        let die = node.d2d().inflate_module_area(a / 2.0)?;
+                        Ok(re_cost(
+                            &[DiePlacement::new(node, die, 2)],
+                            mcm_pkg,
+                            AssemblyFlow::ChipLast,
+                        )?
+                        .total()
+                        .usd())
+                    }),
+                ),
+                (
+                    "soc".to_string(),
+                    Box::new(|a: Area| {
+                        Ok(re_cost(
+                            &[DiePlacement::new(node, a, 1)],
+                            soc_pkg,
+                            AssemblyFlow::ChipLast,
+                        )?
+                        .total()
+                        .usd())
+                    }),
+                ),
+            ],
+        )
+        .unwrap();
+        let crossover = sweep.first_crossover("mcm2", "soc").expect("5nm must cross");
+        assert!(crossover <= 400.0, "5nm MCM should win early, got {crossover}");
+    }
+}

@@ -1,0 +1,291 @@
+//! Figure 2: yield and normalized cost/area vs die area for six
+//! technologies (3/5/7/14 nm logic, fan-out RDL, silicon interposer).
+
+use actuary_report::{LineChart, Table};
+use actuary_tech::{IntegrationKind, TechLibrary};
+use actuary_units::Area;
+use actuary_yield::{DefectDensity, NegativeBinomial, WaferSpec, YieldModel};
+
+use crate::common::ShapeCheck;
+use crate::Result;
+
+/// One sampled point of a Figure 2 curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Row {
+    /// Technology label ("3nm", …, "RDL", "SI").
+    pub tech: String,
+    /// Die area in mm².
+    pub area_mm2: f64,
+    /// Die yield per Eq. (1), in `[0, 1]`.
+    pub yield_frac: f64,
+    /// Cost per good mm², normalized to the raw-wafer cost per mm².
+    pub norm_cost_per_area: f64,
+}
+
+/// The full Figure 2 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2 {
+    /// All sampled points, grouped by technology in area order.
+    pub rows: Vec<Fig2Row>,
+}
+
+/// Area grid of the paper's Figure 2 (50 … 800 mm²).
+pub const AREAS_MM2: [f64; 16] = [
+    50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0, 450.0, 500.0, 550.0, 600.0, 650.0,
+    700.0, 750.0, 800.0,
+];
+
+/// One technology curve source: defect parameters plus wafer economics.
+struct TechCurve {
+    label: String,
+    defect: DefectDensity,
+    cluster: f64,
+    wafer_price: actuary_units::Money,
+    wafer: WaferSpec,
+}
+
+/// Computes the Figure 2 dataset from a technology library: the four logic
+/// nodes the paper plots plus the two packaging processes (RDL from InFO,
+/// silicon interposer from 2.5D).
+///
+/// # Errors
+///
+/// Propagates library-lookup and geometry errors.
+pub fn compute(lib: &TechLibrary) -> Result<Fig2> {
+    let mut curves = Vec::new();
+    for id in ["3nm", "5nm", "7nm", "14nm"] {
+        let node = lib.node(id)?;
+        curves.push(TechCurve {
+            label: id.to_string(),
+            defect: node.defect_density(),
+            cluster: node.cluster(),
+            wafer_price: node.wafer_price(),
+            wafer: node.wafer(),
+        });
+    }
+    let rdl = lib
+        .packaging(IntegrationKind::Info)?
+        .interposer()
+        .expect("InFO defines an RDL interposer");
+    curves.push(TechCurve {
+        label: "RDL".to_string(),
+        defect: rdl.defect_density(),
+        cluster: rdl.cluster(),
+        wafer_price: rdl.wafer_price(),
+        wafer: rdl.wafer(),
+    });
+    let si = lib
+        .packaging(IntegrationKind::TwoPointFiveD)?
+        .interposer()
+        .expect("2.5D defines a silicon interposer");
+    curves.push(TechCurve {
+        label: "SI".to_string(),
+        defect: si.defect_density(),
+        cluster: si.cluster(),
+        wafer_price: si.wafer_price(),
+        wafer: si.wafer(),
+    });
+
+    let mut rows = Vec::with_capacity(curves.len() * AREAS_MM2.len());
+    for curve in &curves {
+        let model = NegativeBinomial::new(curve.cluster)
+            .expect("preset cluster parameters are positive");
+        let per_mm2 = curve.wafer.cost_per_usable_mm2(curve.wafer_price);
+        for &area_mm2 in &AREAS_MM2 {
+            let area = Area::from_mm2(area_mm2)?;
+            let y = model.die_yield(curve.defect, area);
+            let raw = curve.wafer.raw_die_cost(curve.wafer_price, area)?;
+            let yielded = raw * y.reciprocal().map_err(actuary_model::ModelError::from)?;
+            let norm = (yielded.usd() / area_mm2) / per_mm2.usd();
+            rows.push(Fig2Row {
+                tech: curve.label.clone(),
+                area_mm2,
+                yield_frac: y.value(),
+                norm_cost_per_area: norm,
+            });
+        }
+    }
+    Ok(Fig2 { rows })
+}
+
+impl Fig2 {
+    /// The distinct technology labels, in plot order.
+    pub fn technologies(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            if !out.contains(&row.tech.as_str()) {
+                out.push(row.tech.as_str());
+            }
+        }
+        out
+    }
+
+    /// Looks up one sampled point.
+    pub fn point(&self, tech: &str, area_mm2: f64) -> Option<&Fig2Row> {
+        self.rows
+            .iter()
+            .find(|r| r.tech == tech && (r.area_mm2 - area_mm2).abs() < 1e-9)
+    }
+
+    /// Renders the two panels (yield and normalized cost/area) as ASCII
+    /// line charts plus the data table.
+    pub fn render(&self) -> String {
+        let mut yield_chart = LineChart::new("Figure 2a: die yield vs area", "mm²", "yield %");
+        let mut cost_chart =
+            LineChart::new("Figure 2b: normalized cost per area vs area", "mm²", "x raw wafer");
+        for tech in self.technologies() {
+            let pts_yield: Vec<(f64, f64)> = self
+                .rows
+                .iter()
+                .filter(|r| r.tech == tech)
+                .map(|r| (r.area_mm2, r.yield_frac * 100.0))
+                .collect();
+            let pts_cost: Vec<(f64, f64)> = self
+                .rows
+                .iter()
+                .filter(|r| r.tech == tech)
+                .map(|r| (r.area_mm2, r.norm_cost_per_area))
+                .collect();
+            yield_chart.push_series(tech, pts_yield);
+            cost_chart.push_series(tech, pts_cost);
+        }
+        format!("{}\n{}", yield_chart.render(64, 16), cost_chart.render(64, 16))
+    }
+
+    /// The dataset as a table (tech, area, yield %, normalized cost/area).
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(vec!["tech", "area_mm2", "yield_pct", "norm_cost_per_area"]);
+        for r in &self.rows {
+            table.push_row(vec![
+                r.tech.clone(),
+                format!("{:.0}", r.area_mm2),
+                format!("{:.2}", r.yield_frac * 100.0),
+                format!("{:.4}", r.norm_cost_per_area),
+            ]);
+        }
+        table
+    }
+
+    /// The paper's qualitative claims about Figure 2.
+    pub fn checks(&self) -> Vec<ShapeCheck> {
+        let mut checks = Vec::new();
+
+        // Anchor: 3 nm at 800 mm² yields ≈ 20-25 %.
+        if let Some(p) = self.point("3nm", 800.0) {
+            checks.push(ShapeCheck::new(
+                "3nm yield at 800 mm² (Figure 2 curve reads ≈ 20-25%)",
+                "20-25%",
+                crate::common::pct(p.yield_frac),
+                (0.20..=0.25).contains(&p.yield_frac),
+            ));
+        }
+        // Yield monotone decreasing in area for every technology.
+        let mut monotone = true;
+        for tech in self.technologies() {
+            let ys: Vec<f64> = self
+                .rows
+                .iter()
+                .filter(|r| r.tech == tech)
+                .map(|r| r.yield_frac)
+                .collect();
+            if ys.windows(2).any(|w| w[1] > w[0] + 1e-12) {
+                monotone = false;
+            }
+        }
+        checks.push(ShapeCheck::new(
+            "yield decreases with area for every technology",
+            "monotone decreasing",
+            if monotone { "monotone" } else { "non-monotone" },
+            monotone,
+        ));
+        // Cost per area rises with area, fastest for the most advanced node.
+        let rise = |tech: &str| -> f64 {
+            let first = self.point(tech, 50.0).map(|r| r.norm_cost_per_area).unwrap_or(1.0);
+            let last = self.point(tech, 800.0).map(|r| r.norm_cost_per_area).unwrap_or(1.0);
+            last / first
+        };
+        let rise_3nm = rise("3nm");
+        let rise_14nm = rise("14nm");
+        checks.push(ShapeCheck::new(
+            "normalized cost/area rises fastest at the most advanced node",
+            "3nm rise > 14nm rise",
+            format!("3nm {rise_3nm:.2}x vs 14nm {rise_14nm:.2}x"),
+            rise_3nm > rise_14nm,
+        ));
+        // Packaging processes stay cheap: RDL/SI yields at 800 mm² above 60%.
+        for tech in ["RDL", "SI"] {
+            if let Some(p) = self.point(tech, 800.0) {
+                checks.push(ShapeCheck::new(
+                    format!("{tech} yield stays high at 800 mm² (Figure 2 reads > 60%)"),
+                    "> 60%",
+                    crate::common::pct(p.yield_frac),
+                    p.yield_frac > 0.60,
+                ));
+            }
+        }
+        checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig2 {
+        compute(&TechLibrary::paper_defaults().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn six_technologies_sampled() {
+        let f = fig();
+        assert_eq!(f.technologies(), vec!["3nm", "5nm", "7nm", "14nm", "RDL", "SI"]);
+        assert_eq!(f.rows.len(), 6 * AREAS_MM2.len());
+    }
+
+    #[test]
+    fn paper_anchor_points() {
+        let f = fig();
+        // Yields at 800 mm², read off the paper's curves.
+        let expect = [("3nm", 0.2267), ("5nm", 0.4303), ("7nm", 0.4991), ("14nm", 0.5377)];
+        for (tech, y) in expect {
+            let p = f.point(tech, 800.0).unwrap();
+            assert!(
+                (p.yield_frac - y).abs() < 0.01,
+                "{tech}: {} vs {y}",
+                p.yield_frac
+            );
+        }
+    }
+
+    #[test]
+    fn all_shape_checks_pass() {
+        for c in fig().checks() {
+            assert!(c.pass, "{c}");
+        }
+    }
+
+    #[test]
+    fn normalized_cost_starts_near_one() {
+        // For small dies the cost/area approaches the raw wafer cost/area
+        // (normalization ≈ 1 + small yield/edge loss).
+        let f = fig();
+        for tech in f.technologies() {
+            let p = f.point(tech, 50.0).unwrap();
+            assert!(
+                (1.0..1.5).contains(&p.norm_cost_per_area),
+                "{tech}: {}",
+                p.norm_cost_per_area
+            );
+        }
+    }
+
+    #[test]
+    fn render_and_table() {
+        let f = fig();
+        let text = f.render();
+        assert!(text.contains("Figure 2a"));
+        assert!(text.contains("Figure 2b"));
+        let table = f.to_table();
+        assert_eq!(table.row_count(), f.rows.len());
+    }
+}

@@ -1,0 +1,372 @@
+//! Figure 6: total (RE + amortized NRE) cost structure of a single
+//! 800 mm²-module system at 14 nm and 5 nm, built as a monolithic SoC or as
+//! two chiplets on MCM/InFO/2.5D, across production quantities 500 k / 2 M
+//! / 10 M — normalized to the SoC RE cost of each node.
+
+use actuary_arch::{partition::equal_chiplets, Portfolio, System, SystemCost};
+use actuary_model::AssemblyFlow;
+use actuary_report::{StackedBarChart, Table};
+use actuary_tech::{IntegrationKind, TechLibrary};
+use actuary_units::{Area, Quantity};
+
+use crate::common::{pct, ShapeCheck};
+use crate::Result;
+
+/// The two panel nodes.
+pub const NODES: [&str; 2] = ["14nm", "5nm"];
+/// The production quantities of the paper.
+pub const QUANTITIES: [u64; 3] = [500_000, 2_000_000, 10_000_000];
+/// Total module area of the single system.
+pub const MODULE_AREA_MM2: f64 = 800.0;
+/// Chiplet count of the multi-chip variants.
+pub const CHIPLETS: u32 = 2;
+
+/// One bar of Figure 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Cell {
+    /// Panel node.
+    pub node: String,
+    /// Production quantity.
+    pub quantity: u64,
+    /// Integration scheme.
+    pub integration: IntegrationKind,
+    /// Per-unit RE, normalized to the node's SoC RE.
+    pub re_norm: f64,
+    /// Per-unit amortized module NRE (normalized).
+    pub nre_modules_norm: f64,
+    /// Per-unit amortized chip NRE (normalized).
+    pub nre_chips_norm: f64,
+    /// Per-unit amortized package NRE (normalized).
+    pub nre_packages_norm: f64,
+    /// Per-unit amortized D2D NRE (normalized).
+    pub nre_d2d_norm: f64,
+}
+
+impl Fig6Cell {
+    /// Normalized per-unit total.
+    pub fn total(&self) -> f64 {
+        self.re_norm
+            + self.nre_modules_norm
+            + self.nre_chips_norm
+            + self.nre_packages_norm
+            + self.nre_d2d_norm
+    }
+
+    /// RE share of the total (the percentage the paper prints under each
+    /// bar).
+    pub fn re_share(&self) -> f64 {
+        self.re_norm / self.total()
+    }
+
+    /// Share of one NRE component in the total.
+    pub fn share_of(&self, component: f64) -> f64 {
+        component / self.total()
+    }
+}
+
+/// The full Figure 6 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6 {
+    /// Every bar: 2 nodes × 3 quantities × 4 integrations.
+    pub cells: Vec<Fig6Cell>,
+}
+
+/// Builds the single system of one bar (no reuse: distinct chiplets).
+fn build_system(node: &str, integration: IntegrationKind, quantity: u64) -> Result<System> {
+    let area = Area::from_mm2(MODULE_AREA_MM2)?;
+    let chips = if integration.is_multi_chip() {
+        equal_chiplets("fig6", node, area, CHIPLETS)?
+    } else {
+        equal_chiplets("fig6", node, area, 1)?
+    };
+    let mut builder =
+        System::builder("fig6-sys", integration).quantity(Quantity::new(quantity));
+    for chip in chips {
+        builder = builder.chip(chip, 1);
+    }
+    builder.build()
+}
+
+/// Per-unit cost of one bar.
+fn system_cost(lib: &TechLibrary, system: System) -> Result<SystemCost> {
+    let cost = Portfolio::new(vec![system]).cost(lib, AssemblyFlow::ChipLast)?;
+    Ok(cost.systems()[0].clone())
+}
+
+/// Computes the Figure 6 dataset.
+///
+/// # Errors
+///
+/// Propagates library and cost-engine errors.
+pub fn compute(lib: &TechLibrary) -> Result<Fig6> {
+    let mut cells = Vec::new();
+    for node in NODES {
+        // Normalization basis: the node's SoC RE (quantity-independent).
+        let soc = system_cost(lib, build_system(node, IntegrationKind::Soc, 1_000_000)?)?;
+        let basis = soc.re().total().usd();
+        for &quantity in &QUANTITIES {
+            for kind in IntegrationKind::ALL {
+                let sc = system_cost(lib, build_system(node, kind, quantity)?)?;
+                let nre = sc.nre_per_unit();
+                cells.push(Fig6Cell {
+                    node: node.to_string(),
+                    quantity,
+                    integration: kind,
+                    re_norm: sc.re().total().usd() / basis,
+                    nre_modules_norm: nre.modules.usd() / basis,
+                    nre_chips_norm: nre.chips.usd() / basis,
+                    nre_packages_norm: nre.packages.usd() / basis,
+                    nre_d2d_norm: nre.d2d.usd() / basis,
+                });
+            }
+        }
+    }
+    Ok(Fig6 { cells })
+}
+
+impl Fig6 {
+    /// Looks up one bar.
+    pub fn cell(
+        &self,
+        node: &str,
+        quantity: u64,
+        integration: IntegrationKind,
+    ) -> Option<&Fig6Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.node == node && c.quantity == quantity && c.integration == integration)
+    }
+
+    /// Renders one panel (node) as a stacked bar chart.
+    pub fn render_panel(&self, node: &str) -> String {
+        let mut chart = StackedBarChart::new(format!(
+            "Figure 6 panel: {CHIPLETS} chiplets, {node} (normalized to SoC RE)"
+        ));
+        for &q in &QUANTITIES {
+            for kind in IntegrationKind::ALL {
+                if let Some(c) = self.cell(node, q, kind) {
+                    chart.push_bar(
+                        format!("{}k {kind}", q / 1_000),
+                        &[
+                            ("RE Cost of Systems", c.re_norm),
+                            ("NRE Cost of Modules", c.nre_modules_norm),
+                            ("NRE Cost of Chips", c.nre_chips_norm),
+                            ("NRE Cost of Packages", c.nre_packages_norm),
+                            ("NRE Cost of D2D Interface", c.nre_d2d_norm),
+                        ],
+                    );
+                }
+            }
+        }
+        chart.render(48)
+    }
+
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        format!("{}\n{}", self.render_panel("14nm"), self.render_panel("5nm"))
+    }
+
+    /// The dataset as a table.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "node",
+            "quantity",
+            "integration",
+            "re",
+            "nre_modules",
+            "nre_chips",
+            "nre_packages",
+            "nre_d2d",
+            "total",
+            "re_share",
+        ]);
+        for c in &self.cells {
+            table.push_row(vec![
+                c.node.clone(),
+                c.quantity.to_string(),
+                c.integration.to_string(),
+                format!("{:.3}", c.re_norm),
+                format!("{:.3}", c.nre_modules_norm),
+                format!("{:.3}", c.nre_chips_norm),
+                format!("{:.3}", c.nre_packages_norm),
+                format!("{:.3}", c.nre_d2d_norm),
+                format!("{:.3}", c.total()),
+                pct(c.re_share()),
+            ]);
+        }
+        table
+    }
+
+    /// The paper's qualitative claims about Figure 6 (§4.2).
+    pub fn checks(&self) -> Vec<ShapeCheck> {
+        let mut checks = Vec::new();
+
+        // D2D NRE ≤ 2 % of the total for every multi-chip bar.
+        {
+            let mut worst = 0.0f64;
+            for c in &self.cells {
+                if c.integration.is_multi_chip() {
+                    worst = worst.max(c.share_of(c.nre_d2d_norm));
+                }
+            }
+            checks.push(ShapeCheck::new(
+                "the D2D interface NRE overhead is no more than 2%",
+                "≤ 2%",
+                pct(worst),
+                worst <= 0.02,
+            ));
+        }
+        // Package NRE ≤ 9 % (worst case is 2.5D at the smallest quantity).
+        {
+            let mut worst = 0.0f64;
+            for c in &self.cells {
+                worst = worst.max(c.share_of(c.nre_packages_norm));
+            }
+            checks.push(ShapeCheck::new(
+                "the packaging NRE overhead is no more than 9% (2.5D)",
+                "≤ 9%",
+                pct(worst),
+                worst <= 0.09,
+            ));
+        }
+        // Multi-chip chip NRE ≈ 36 % of the total at 500 k (5 nm MCM).
+        if let Some(c) = self.cell("5nm", 500_000, IntegrationKind::Mcm) {
+            let share = c.share_of(c.nre_chips_norm);
+            checks.push(ShapeCheck::new(
+                "multi-chip chip NRE is ~36% of total at 500k (5nm MCM)",
+                "~36% (25-45%)",
+                pct(share),
+                (0.25..=0.45).contains(&share),
+            ));
+        }
+        // 5 nm multi-chip pays back at ~2 M units: SoC wins at 500 k, MCM
+        // wins by 2 M.
+        {
+            let soc_500k = self.cell("5nm", 500_000, IntegrationKind::Soc);
+            let mcm_500k = self.cell("5nm", 500_000, IntegrationKind::Mcm);
+            let soc_2m = self.cell("5nm", 2_000_000, IntegrationKind::Soc);
+            let mcm_2m = self.cell("5nm", 2_000_000, IntegrationKind::Mcm);
+            if let (Some(s5), Some(m5), Some(s2), Some(m2)) =
+                (soc_500k, mcm_500k, soc_2m, mcm_2m)
+            {
+                checks.push(ShapeCheck::new(
+                    "at 5nm multi-chip pays back when quantity reaches ~2M",
+                    "SoC ≤ MCM at 500k, MCM ≤ SoC at 2M",
+                    format!(
+                        "500k: {:.2} vs {:.2}; 2M: {:.2} vs {:.2}",
+                        s5.total(),
+                        m5.total(),
+                        s2.total(),
+                        m2.total()
+                    ),
+                    s5.total() <= m5.total() && m2.total() <= s2.total(),
+                ));
+            }
+        }
+        // RE share of the 14 nm SoC grows ≈ 22 % → 53 % → 85 %.
+        {
+            let targets = [(500_000u64, 0.22), (2_000_000, 0.53), (10_000_000, 0.85)];
+            let mut measured = Vec::new();
+            let mut ok = true;
+            for (q, expected) in targets {
+                if let Some(c) = self.cell("14nm", q, IntegrationKind::Soc) {
+                    let share = c.re_share();
+                    measured.push(format!("{}k:{}", q / 1000, pct(share)));
+                    if (share - expected).abs() > 0.10 {
+                        ok = false;
+                    }
+                }
+            }
+            checks.push(ShapeCheck::new(
+                "14nm SoC RE share grows ≈ 22% → 53% → 85% with quantity",
+                "22% / 53% / 85% (±10 pts)",
+                measured.join(" "),
+                ok,
+            ));
+        }
+        // Monolithic SoC is the better choice at 500 k for both nodes.
+        {
+            let mut ok = true;
+            let mut measured = Vec::new();
+            for node in NODES {
+                if let (Some(soc), Some(mcm)) = (
+                    self.cell(node, 500_000, IntegrationKind::Soc),
+                    self.cell(node, 500_000, IntegrationKind::Mcm),
+                ) {
+                    measured.push(format!("{node}: {:.2} vs {:.2}", soc.total(), mcm.total()));
+                    if soc.total() > mcm.total() {
+                        ok = false;
+                    }
+                }
+            }
+            checks.push(ShapeCheck::new(
+                "monolithic SoC is the better single-system choice at 500k",
+                "SoC ≤ MCM at 500k",
+                measured.join("; "),
+                ok,
+            ));
+        }
+        checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig6 {
+        compute(&TechLibrary::paper_defaults().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dataset_dimensions() {
+        assert_eq!(fig().cells.len(), 2 * 3 * 4);
+    }
+
+    #[test]
+    fn re_does_not_depend_on_quantity() {
+        let f = fig();
+        let a = f.cell("5nm", 500_000, IntegrationKind::Mcm).unwrap();
+        let b = f.cell("5nm", 10_000_000, IntegrationKind::Mcm).unwrap();
+        assert!((a.re_norm - b.re_norm).abs() < 1e-9);
+        assert!(a.nre_chips_norm > b.nre_chips_norm, "NRE amortizes with quantity");
+    }
+
+    #[test]
+    fn soc_re_normalizes_to_one() {
+        let f = fig();
+        for node in NODES {
+            let c = f.cell(node, 500_000, IntegrationKind::Soc).unwrap();
+            assert!((c.re_norm - 1.0).abs() < 1e-9, "{node}: {}", c.re_norm);
+            assert_eq!(c.nre_d2d_norm, 0.0, "SoC has no D2D");
+        }
+    }
+
+    #[test]
+    fn all_shape_checks_pass() {
+        for c in fig().checks() {
+            assert!(c.pass, "{c}");
+        }
+    }
+
+    #[test]
+    fn totals_decrease_with_quantity() {
+        let f = fig();
+        for node in NODES {
+            for kind in IntegrationKind::ALL {
+                let t500 = f.cell(node, 500_000, kind).unwrap().total();
+                let t10m = f.cell(node, 10_000_000, kind).unwrap().total();
+                assert!(t10m < t500, "{node} {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_and_table() {
+        let f = fig();
+        let text = f.render();
+        assert!(text.contains("14nm"));
+        assert!(text.contains("5nm"));
+        assert_eq!(f.to_table().row_count(), 24);
+    }
+}

@@ -1,0 +1,346 @@
+//! Figure 8: total cost of the SCMS reuse scheme — one 7 nm chiplet
+//! (200 mm² module area) building 1X/2X/4X systems on MCM and 2.5D, with
+//! and without package reuse, 500 k units each — normalized to the RE cost
+//! of the 4X MCM system.
+
+use actuary_arch::reuse::ScmsSpec;
+use actuary_arch::PortfolioCost;
+use actuary_model::AssemblyFlow;
+use actuary_report::{StackedBarChart, Table};
+use actuary_tech::{IntegrationKind, TechLibrary};
+
+use crate::common::{pct, ShapeCheck};
+use crate::Result;
+
+/// The five compared variants per multiplicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fig8Variant {
+    /// Monolithic SoC baseline (module reuse only).
+    Soc,
+    /// MCM, each system with its own package design.
+    Mcm,
+    /// MCM with one shared (4X-sized) package design.
+    McmPackageReuse,
+    /// 2.5D, each system with its own interposer design.
+    TwoPointFiveD,
+    /// 2.5D with one shared (4X-sized) interposer design.
+    TwoPointFiveDPackageReuse,
+}
+
+impl Fig8Variant {
+    /// All variants in display order.
+    pub const ALL: [Fig8Variant; 5] = [
+        Fig8Variant::Soc,
+        Fig8Variant::Mcm,
+        Fig8Variant::McmPackageReuse,
+        Fig8Variant::TwoPointFiveD,
+        Fig8Variant::TwoPointFiveDPackageReuse,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig8Variant::Soc => "SoC",
+            Fig8Variant::Mcm => "MCM",
+            Fig8Variant::McmPackageReuse => "MCM+pkg-reuse",
+            Fig8Variant::TwoPointFiveD => "2.5D",
+            Fig8Variant::TwoPointFiveDPackageReuse => "2.5D+pkg-reuse",
+        }
+    }
+}
+
+/// One bar of Figure 8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Cell {
+    /// Chiplet multiplicity (1, 2 or 4).
+    pub multiplicity: u32,
+    /// Compared variant.
+    pub variant: Fig8Variant,
+    /// Normalized per-unit RE.
+    pub re_norm: f64,
+    /// Normalized per-unit RE spent on packaging only.
+    pub re_packaging_norm: f64,
+    /// Normalized per-unit amortized NRE of modules.
+    pub nre_modules_norm: f64,
+    /// Normalized per-unit amortized NRE of chips.
+    pub nre_chips_norm: f64,
+    /// Normalized per-unit amortized NRE of packages.
+    pub nre_packages_norm: f64,
+    /// Normalized per-unit amortized NRE of the D2D interface.
+    pub nre_d2d_norm: f64,
+}
+
+impl Fig8Cell {
+    /// Normalized per-unit total.
+    pub fn total(&self) -> f64 {
+        self.re_norm
+            + self.nre_modules_norm
+            + self.nre_chips_norm
+            + self.nre_packages_norm
+            + self.nre_d2d_norm
+    }
+}
+
+/// The full Figure 8 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8 {
+    /// Every bar: 3 multiplicities × 5 variants.
+    pub cells: Vec<Fig8Cell>,
+}
+
+fn spec(integration: IntegrationKind, package_reuse: bool) -> Result<ScmsSpec> {
+    let mut spec = ScmsSpec::paper_example()?;
+    spec.integration = integration;
+    spec.package_reuse = package_reuse;
+    Ok(spec)
+}
+
+fn push_cells(
+    cells: &mut Vec<Fig8Cell>,
+    cost: &PortfolioCost,
+    variant: Fig8Variant,
+    suffix: &str,
+    basis: f64,
+) {
+    for sc in cost.systems() {
+        let multiplicity: u32 = sc
+            .name()
+            .trim_end_matches(suffix)
+            .trim_end_matches('X')
+            .parse()
+            .expect("SCMS system names start with the multiplicity");
+        let nre = sc.nre_per_unit();
+        cells.push(Fig8Cell {
+            multiplicity,
+            variant,
+            re_norm: sc.re().total().usd() / basis,
+            re_packaging_norm: sc.re().packaging_total().usd() / basis,
+            nre_modules_norm: nre.modules.usd() / basis,
+            nre_chips_norm: nre.chips.usd() / basis,
+            nre_packages_norm: nre.packages.usd() / basis,
+            nre_d2d_norm: nre.d2d.usd() / basis,
+        });
+    }
+}
+
+/// Computes the Figure 8 dataset.
+///
+/// # Errors
+///
+/// Propagates library and cost-engine errors.
+pub fn compute(lib: &TechLibrary) -> Result<Fig8> {
+    let flow = AssemblyFlow::ChipLast;
+    let mcm = spec(IntegrationKind::Mcm, false)?.portfolio()?.cost(lib, flow)?;
+    // Normalization basis: RE of the 4X MCM system.
+    let basis = mcm
+        .system("4X")
+        .expect("SCMS portfolio contains a 4X system")
+        .re()
+        .total()
+        .usd();
+
+    let mut cells = Vec::new();
+    let soc = spec(IntegrationKind::Mcm, false)?.soc_portfolio()?.cost(lib, flow)?;
+    push_cells(&mut cells, &soc, Fig8Variant::Soc, "-soc", basis);
+    push_cells(&mut cells, &mcm, Fig8Variant::Mcm, "", basis);
+    let mcm_reuse = spec(IntegrationKind::Mcm, true)?.portfolio()?.cost(lib, flow)?;
+    push_cells(&mut cells, &mcm_reuse, Fig8Variant::McmPackageReuse, "", basis);
+    let p25 = spec(IntegrationKind::TwoPointFiveD, false)?.portfolio()?.cost(lib, flow)?;
+    push_cells(&mut cells, &p25, Fig8Variant::TwoPointFiveD, "", basis);
+    let p25_reuse = spec(IntegrationKind::TwoPointFiveD, true)?.portfolio()?.cost(lib, flow)?;
+    push_cells(
+        &mut cells,
+        &p25_reuse,
+        Fig8Variant::TwoPointFiveDPackageReuse,
+        "",
+        basis,
+    );
+    Ok(Fig8 { cells })
+}
+
+impl Fig8 {
+    /// Looks up one bar.
+    pub fn cell(&self, multiplicity: u32, variant: Fig8Variant) -> Option<&Fig8Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.multiplicity == multiplicity && c.variant == variant)
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let mut chart = StackedBarChart::new(
+            "Figure 8: SCMS reuse (normalized to the 4X MCM RE cost)",
+        );
+        for &m in &[1u32, 2, 4] {
+            for variant in Fig8Variant::ALL {
+                if let Some(c) = self.cell(m, variant) {
+                    chart.push_bar(
+                        format!("{m}X {}", variant.label()),
+                        &[
+                            ("RE (non-packaging)", c.re_norm - c.re_packaging_norm),
+                            ("RE packaging", c.re_packaging_norm),
+                            ("NRE modules", c.nre_modules_norm),
+                            ("NRE chips", c.nre_chips_norm),
+                            ("NRE packages", c.nre_packages_norm),
+                            ("NRE D2D", c.nre_d2d_norm),
+                        ],
+                    );
+                }
+            }
+        }
+        chart.render(48)
+    }
+
+    /// The dataset as a table.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "multiplicity",
+            "variant",
+            "re",
+            "re_packaging",
+            "nre_modules",
+            "nre_chips",
+            "nre_packages",
+            "nre_d2d",
+            "total",
+        ]);
+        for c in &self.cells {
+            table.push_row(vec![
+                format!("{}X", c.multiplicity),
+                c.variant.label().to_string(),
+                format!("{:.3}", c.re_norm),
+                format!("{:.3}", c.re_packaging_norm),
+                format!("{:.3}", c.nre_modules_norm),
+                format!("{:.3}", c.nre_chips_norm),
+                format!("{:.3}", c.nre_packages_norm),
+                format!("{:.3}", c.nre_d2d_norm),
+                format!("{:.3}", c.total()),
+            ]);
+        }
+        table
+    }
+
+    /// The paper's qualitative claims about Figure 8 (§5.1).
+    pub fn checks(&self) -> Vec<ShapeCheck> {
+        let mut checks = Vec::new();
+
+        // Chiplet reuse saves ~¾ of the 4X chip NRE vs monolithic SoC.
+        if let (Some(mcm), Some(soc)) =
+            (self.cell(4, Fig8Variant::Mcm), self.cell(4, Fig8Variant::Soc))
+        {
+            let saving = 1.0 - mcm.nre_chips_norm / soc.nre_chips_norm;
+            checks.push(ShapeCheck::new(
+                "chiplet reuse saves nearly ¾ of the 4X chip NRE vs SoC",
+                "~75% (60-90%)",
+                pct(saving),
+                (0.60..=0.90).contains(&saving),
+            ));
+        }
+        // Package reuse cuts the 4X package NRE by ~⅔.
+        if let (Some(own), Some(reused)) = (
+            self.cell(4, Fig8Variant::Mcm),
+            self.cell(4, Fig8Variant::McmPackageReuse),
+        ) {
+            let saving = 1.0 - reused.nre_packages_norm / own.nre_packages_norm;
+            checks.push(ShapeCheck::new(
+                "package reuse cuts the 4X package NRE by two-thirds",
+                "~67% (55-75%)",
+                pct(saving),
+                (0.55..=0.75).contains(&saving),
+            ));
+        }
+        // Package reuse raises the 1X MCM total by > 20 %.
+        if let (Some(own), Some(reused)) = (
+            self.cell(1, Fig8Variant::Mcm),
+            self.cell(1, Fig8Variant::McmPackageReuse),
+        ) {
+            let increase = reused.total() / own.total() - 1.0;
+            checks.push(ShapeCheck::new(
+                "package reuse raises the 1X system total by more than 20%",
+                "> 20%",
+                pct(increase),
+                increase > 0.20,
+            ));
+        }
+        // Reusing the 4X interposer in the 1X 2.5D system makes packaging
+        // more than 50 % of its (RE) cost.
+        if let Some(c) = self.cell(1, Fig8Variant::TwoPointFiveDPackageReuse) {
+            let share = c.re_packaging_norm / c.re_norm;
+            checks.push(ShapeCheck::new(
+                "the 1X 2.5D system on the reused 4X interposer spends >50% on packaging",
+                "> 50%",
+                pct(share),
+                share > 0.50,
+            ));
+        }
+        // 2.5D still benefits from chiplet reuse (4X 2.5D beats 4X SoC in
+        // chip NRE).
+        if let (Some(p25), Some(soc)) = (
+            self.cell(4, Fig8Variant::TwoPointFiveD),
+            self.cell(4, Fig8Variant::Soc),
+        ) {
+            checks.push(ShapeCheck::new(
+                "2.5D still benefits from chiplet reuse",
+                "chip NRE(2.5D 4X) < chip NRE(SoC 4X)",
+                format!("{:.3} vs {:.3}", p25.nre_chips_norm, soc.nre_chips_norm),
+                p25.nre_chips_norm < soc.nre_chips_norm,
+            ));
+        }
+        checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig8 {
+        compute(&TechLibrary::paper_defaults().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dataset_dimensions() {
+        assert_eq!(fig().cells.len(), 3 * 5);
+    }
+
+    #[test]
+    fn normalization_basis_is_4x_mcm_re() {
+        let f = fig();
+        let c = f.cell(4, Fig8Variant::Mcm).unwrap();
+        assert!((c.re_norm - 1.0).abs() < 1e-9, "{}", c.re_norm);
+    }
+
+    #[test]
+    fn all_shape_checks_pass() {
+        for c in fig().checks() {
+            assert!(c.pass, "{c}");
+        }
+    }
+
+    #[test]
+    fn bigger_systems_cost_more_re() {
+        let f = fig();
+        for variant in [Fig8Variant::Mcm, Fig8Variant::TwoPointFiveD] {
+            let re1 = f.cell(1, variant).unwrap().re_norm;
+            let re4 = f.cell(4, variant).unwrap().re_norm;
+            assert!(re4 > re1, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn package_reuse_does_not_change_4x_re() {
+        let f = fig();
+        let own = f.cell(4, Fig8Variant::Mcm).unwrap();
+        let reused = f.cell(4, Fig8Variant::McmPackageReuse).unwrap();
+        assert!((own.re_norm - reused.re_norm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_and_table() {
+        let f = fig();
+        let text = f.render();
+        assert!(text.contains("4X MCM"));
+        assert!(text.contains("pkg-reuse"));
+        assert_eq!(f.to_table().row_count(), 15);
+    }
+}

@@ -1,0 +1,335 @@
+//! Figure 9: total cost of the OCME reuse scheme — a reused center die plus
+//! extension dies (7 nm, 4 × 160 mm² sockets, 500 k units per system),
+//! compared as SoC / plain MCM / package-reused MCM / package-reused
+//! heterogeneous MCM (center at 14 nm) — normalized to the RE cost of the
+//! largest MCM system.
+
+use actuary_arch::reuse::OcmeSpec;
+use actuary_arch::PortfolioCost;
+use actuary_model::AssemblyFlow;
+use actuary_report::{StackedBarChart, Table};
+use actuary_tech::{NodeId, TechLibrary};
+
+use crate::common::{pct, ShapeCheck};
+use crate::Result;
+
+/// System names of the four OCME configurations, in size order.
+pub const SYSTEMS: [&str; 4] = ["C", "C+1X", "C+1X+1Y", "C+2X+2Y"];
+
+/// The four compared variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fig9Variant {
+    /// Monolithic SoC baseline.
+    Soc,
+    /// Ordinary MCM (own package per system).
+    Mcm,
+    /// MCM with one shared package design.
+    McmPackageReuse,
+    /// Package-reused MCM with the center die at 14 nm.
+    McmPackageReuseHetero,
+}
+
+impl Fig9Variant {
+    /// All variants in display order.
+    pub const ALL: [Fig9Variant; 4] = [
+        Fig9Variant::Soc,
+        Fig9Variant::Mcm,
+        Fig9Variant::McmPackageReuse,
+        Fig9Variant::McmPackageReuseHetero,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig9Variant::Soc => "SoC",
+            Fig9Variant::Mcm => "MCM",
+            Fig9Variant::McmPackageReuse => "MCM+pkg-reuse",
+            Fig9Variant::McmPackageReuseHetero => "MCM+pkg-reuse+hetero",
+        }
+    }
+}
+
+/// One bar of Figure 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Cell {
+    /// System name (`C`, `C+1X`, …).
+    pub system: String,
+    /// Compared variant.
+    pub variant: Fig9Variant,
+    /// Normalized per-unit RE.
+    pub re_norm: f64,
+    /// Normalized per-unit amortized NRE (modules).
+    pub nre_modules_norm: f64,
+    /// Normalized per-unit amortized NRE (chips).
+    pub nre_chips_norm: f64,
+    /// Normalized per-unit amortized NRE (packages).
+    pub nre_packages_norm: f64,
+    /// Normalized per-unit amortized NRE (D2D).
+    pub nre_d2d_norm: f64,
+}
+
+impl Fig9Cell {
+    /// Normalized per-unit total.
+    pub fn total(&self) -> f64 {
+        self.re_norm
+            + self.nre_modules_norm
+            + self.nre_chips_norm
+            + self.nre_packages_norm
+            + self.nre_d2d_norm
+    }
+}
+
+/// The full Figure 9 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9 {
+    /// Every bar: 4 systems × 4 variants.
+    pub cells: Vec<Fig9Cell>,
+}
+
+fn push_cells(
+    cells: &mut Vec<Fig9Cell>,
+    cost: &PortfolioCost,
+    variant: Fig9Variant,
+    basis: f64,
+) {
+    for sc in cost.systems() {
+        let system = sc.name().trim_end_matches("-soc").to_string();
+        let nre = sc.nre_per_unit();
+        cells.push(Fig9Cell {
+            system,
+            variant,
+            re_norm: sc.re().total().usd() / basis,
+            nre_modules_norm: nre.modules.usd() / basis,
+            nre_chips_norm: nre.chips.usd() / basis,
+            nre_packages_norm: nre.packages.usd() / basis,
+            nre_d2d_norm: nre.d2d.usd() / basis,
+        });
+    }
+}
+
+/// Computes the Figure 9 dataset.
+///
+/// # Errors
+///
+/// Propagates library and cost-engine errors.
+pub fn compute(lib: &TechLibrary) -> Result<Fig9> {
+    let flow = AssemblyFlow::ChipLast;
+    let plain = OcmeSpec::paper_example()?;
+    let mcm = plain.portfolio()?.cost(lib, flow)?;
+    // Normalization basis: RE of the largest MCM system.
+    let basis = mcm
+        .system("C+2X+2Y")
+        .expect("OCME portfolio contains C+2X+2Y")
+        .re()
+        .total()
+        .usd();
+
+    let mut cells = Vec::new();
+    let soc = plain.soc_portfolio()?.cost(lib, flow)?;
+    push_cells(&mut cells, &soc, Fig9Variant::Soc, basis);
+    push_cells(&mut cells, &mcm, Fig9Variant::Mcm, basis);
+
+    let mut reuse = OcmeSpec::paper_example()?;
+    reuse.package_reuse = true;
+    let mcm_reuse = reuse.portfolio()?.cost(lib, flow)?;
+    push_cells(&mut cells, &mcm_reuse, Fig9Variant::McmPackageReuse, basis);
+
+    let mut hetero = OcmeSpec::paper_example()?;
+    hetero.package_reuse = true;
+    hetero.center_node = Some(NodeId::new("14nm"));
+    let mcm_hetero = hetero.portfolio()?.cost(lib, flow)?;
+    push_cells(&mut cells, &mcm_hetero, Fig9Variant::McmPackageReuseHetero, basis);
+
+    Ok(Fig9 { cells })
+}
+
+impl Fig9 {
+    /// Looks up one bar.
+    pub fn cell(&self, system: &str, variant: Fig9Variant) -> Option<&Fig9Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.system == system && c.variant == variant)
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let mut chart = StackedBarChart::new(
+            "Figure 9: OCME reuse (normalized to the C+2X+2Y MCM RE cost)",
+        );
+        for system in SYSTEMS {
+            for variant in Fig9Variant::ALL {
+                if let Some(c) = self.cell(system, variant) {
+                    chart.push_bar(
+                        format!("{system} {}", variant.label()),
+                        &[
+                            ("RE", c.re_norm),
+                            ("NRE modules", c.nre_modules_norm),
+                            ("NRE chips", c.nre_chips_norm),
+                            ("NRE packages", c.nre_packages_norm),
+                            ("NRE D2D", c.nre_d2d_norm),
+                        ],
+                    );
+                }
+            }
+        }
+        chart.render(48)
+    }
+
+    /// The dataset as a table.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "system",
+            "variant",
+            "re",
+            "nre_modules",
+            "nre_chips",
+            "nre_packages",
+            "nre_d2d",
+            "total",
+        ]);
+        for c in &self.cells {
+            table.push_row(vec![
+                c.system.clone(),
+                c.variant.label().to_string(),
+                format!("{:.3}", c.re_norm),
+                format!("{:.3}", c.nre_modules_norm),
+                format!("{:.3}", c.nre_chips_norm),
+                format!("{:.3}", c.nre_packages_norm),
+                format!("{:.3}", c.nre_d2d_norm),
+                format!("{:.3}", c.total()),
+            ]);
+        }
+        table
+    }
+
+    /// Average normalized total over the four systems of a variant.
+    pub fn average_total(&self, variant: Fig9Variant) -> f64 {
+        let totals: Vec<f64> = SYSTEMS
+            .iter()
+            .filter_map(|s| self.cell(s, variant))
+            .map(|c| c.total())
+            .collect();
+        totals.iter().sum::<f64>() / totals.len() as f64
+    }
+
+    /// The paper's qualitative claims about Figure 9 (§5.2).
+    pub fn checks(&self) -> Vec<ShapeCheck> {
+        let mut checks = Vec::new();
+
+        // NRE saving vs SoC is real but below 50 % (less than SCMS).
+        {
+            let nre_of = |variant: Fig9Variant| -> f64 {
+                SYSTEMS
+                    .iter()
+                    .filter_map(|s| self.cell(s, variant))
+                    .map(|c| {
+                        c.nre_modules_norm
+                            + c.nre_chips_norm
+                            + c.nre_packages_norm
+                            + c.nre_d2d_norm
+                    })
+                    .sum()
+            };
+            let soc = nre_of(Fig9Variant::Soc);
+            let mcm = nre_of(Fig9Variant::Mcm);
+            let saving = 1.0 - mcm / soc;
+            checks.push(ShapeCheck::new(
+                "OCME NRE saving vs SoC is evident but below 50%",
+                "0% < saving < 50%",
+                pct(saving),
+                saving > 0.0 && saving < 0.50,
+            ));
+        }
+        // Heterogeneous integration cuts totals by more than 10 % further.
+        {
+            let homo = self.average_total(Fig9Variant::McmPackageReuse);
+            let hetero = self.average_total(Fig9Variant::McmPackageReuseHetero);
+            let saving = 1.0 - hetero / homo;
+            checks.push(ShapeCheck::new(
+                "heterogeneity (14nm center) cuts the total by more than 10%",
+                "> 10%",
+                pct(saving),
+                saving > 0.10,
+            ));
+        }
+        // The single-C system benefits the most from heterogeneity
+        // ("almost half the cost-saving").
+        if let (Some(homo), Some(hetero)) = (
+            self.cell("C", Fig9Variant::McmPackageReuse),
+            self.cell("C", Fig9Variant::McmPackageReuseHetero),
+        ) {
+            let saving = 1.0 - hetero.total() / homo.total();
+            checks.push(ShapeCheck::new(
+                "the single-C system nearly halves with heterogeneity",
+                "~50% (30-60%)",
+                pct(saving),
+                (0.30..=0.60).contains(&saving),
+            ));
+        }
+        // Package reuse helps the big system but hurts the small one (RE).
+        if let (Some(own), Some(reused)) =
+            (self.cell("C", Fig9Variant::Mcm), self.cell("C", Fig9Variant::McmPackageReuse))
+        {
+            checks.push(ShapeCheck::new(
+                "the C system pays extra RE on the reused 5-socket package",
+                "RE(reused) > RE(own)",
+                format!("{:.3} vs {:.3}", reused.re_norm, own.re_norm),
+                reused.re_norm > own.re_norm,
+            ));
+        }
+        checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig9 {
+        compute(&TechLibrary::paper_defaults().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dataset_dimensions() {
+        assert_eq!(fig().cells.len(), 4 * 4);
+    }
+
+    #[test]
+    fn normalization_basis() {
+        let f = fig();
+        let c = f.cell("C+2X+2Y", Fig9Variant::Mcm).unwrap();
+        assert!((c.re_norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_shape_checks_pass() {
+        for c in fig().checks() {
+            assert!(c.pass, "{c}");
+        }
+    }
+
+    #[test]
+    fn soc_has_no_d2d() {
+        let f = fig();
+        for system in SYSTEMS {
+            assert_eq!(f.cell(system, Fig9Variant::Soc).unwrap().nre_d2d_norm, 0.0);
+        }
+    }
+
+    #[test]
+    fn bigger_systems_cost_more() {
+        let f = fig();
+        for variant in Fig9Variant::ALL {
+            let c = f.cell("C", variant).unwrap().re_norm;
+            let big = f.cell("C+2X+2Y", variant).unwrap().re_norm;
+            assert!(big > c, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn render_and_table() {
+        let f = fig();
+        assert!(f.render().contains("C+2X+2Y"));
+        assert_eq!(f.to_table().row_count(), 16);
+    }
+}

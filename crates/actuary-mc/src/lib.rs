@@ -1,0 +1,58 @@
+//! Monte-Carlo assembly-flow simulator for the *Chiplet Actuary* model.
+//!
+//! The paper's cost model is purely analytical (Eq. (2), (4), (5)). This
+//! crate provides an independent, mechanistic check: it simulates the
+//! physical production flow — wafers with clustered defects, wafer sort,
+//! known-good-die inventory, per-chip bonding, interposer attach, final test
+//! — and accumulates the actual money spent per good system. By the law of
+//! large numbers the empirical mean converges to the analytical expected
+//! cost, which the integration suite asserts.
+//!
+//! Defects can be drawn two ways ([`DefectProcess`]):
+//!
+//! * [`DefectProcess::Bernoulli`] — each die is good with the marginal
+//!   probability of Eq. (1) (fast, exact in the mean);
+//! * [`DefectProcess::CompoundGamma`] — the *derivation* of the
+//!   negative-binomial model: each wafer draws a Gamma(c, 1/c) defect-rate
+//!   multiplier and each die suffers Poisson(D·S·G) defects, which yields
+//!   Eq. (1) exactly in distribution and reproduces wafer-to-wafer
+//!   clustering.
+//!
+//! # Examples
+//!
+//! ```
+//! use actuary_arch::{Chip, Module, System};
+//! use actuary_mc::{simulate_system, DefectProcess, McConfig};
+//! use actuary_model::AssemblyFlow;
+//! use actuary_tech::{IntegrationKind, TechLibrary};
+//! use actuary_units::{Area, Quantity};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = TechLibrary::paper_defaults()?;
+//! let chiplet = Chip::chiplet(
+//!     "c",
+//!     "7nm",
+//!     vec![Module::new("m", "7nm", Area::from_mm2(180.0)?)],
+//! );
+//! let system = System::builder("2x", IntegrationKind::Mcm)
+//!     .chip(chiplet, 2)
+//!     .quantity(Quantity::new(500_000))
+//!     .build()?;
+//! let cfg = McConfig { systems: 500, seed: 7, defect_process: DefectProcess::Bernoulli };
+//! let result = simulate_system(&system, &lib, AssemblyFlow::ChipLast, &cfg)?;
+//! assert!(result.mean_cost().usd() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod assembly;
+mod factory;
+pub mod sampling;
+mod wafermap;
+
+pub use assembly::{simulate_system, McConfig, McResult};
+pub use factory::{DefectProcess, DieFactory};
+pub use wafermap::{DieSite, WaferMap};

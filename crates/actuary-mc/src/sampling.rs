@@ -1,0 +1,184 @@
+//! Random-variate sampling primitives.
+//!
+//! The simulator needs Gamma and Poisson variates; the sanctioned `rand`
+//! crate ships only uniform sources, so the classical algorithms are
+//! implemented here: Box-Muller for normals, Marsaglia-Tsang for Gamma, and
+//! Knuth's product method (with a normal approximation for large rates) for
+//! Poisson.
+
+use rand::Rng;
+
+/// Draws a standard normal variate via the Box-Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let z = actuary_mc::sampling::standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a Gamma(shape, scale = 1) variate with the Marsaglia-Tsang
+/// squeeze method; shapes below 1 use the standard boosting identity.
+///
+/// # Panics
+///
+/// Panics if `shape` is not finite and positive.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(
+        shape.is_finite() && shape > 0.0,
+        "gamma shape must be positive, got {shape}"
+    );
+    if shape < 1.0 {
+        // Boost: G(a) = G(a+1) · U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Draws a Poisson(lambda) variate. Uses Knuth's product method for small
+/// rates and a clamped normal approximation above 30.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or not finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "poisson rate must be non-negative, got {lambda}"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation with continuity correction.
+        let z = standard_normal(rng);
+        let value = lambda + lambda.sqrt() * z + 0.5;
+        return value.max(0.0) as u64;
+    }
+    let threshold = (-lambda).exp();
+    let mut count = 0u64;
+    let mut product: f64 = rng.gen();
+    while product > threshold {
+        count += 1;
+        product *= rng.gen::<f64>();
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 200_000;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..N).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / N as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / N as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        for shape in [0.5, 1.0, 3.0, 10.0] {
+            let mut r = rng();
+            let samples: Vec<f64> = (0..N).map(|_| gamma(&mut r, shape)).collect();
+            let mean = samples.iter().sum::<f64>() / N as f64;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / N as f64;
+            // Gamma(shape, 1): mean = shape, variance = shape.
+            assert!((mean - shape).abs() < 0.05 * shape.max(1.0), "shape {shape}: mean {mean}");
+            assert!((var - shape).abs() < 0.1 * shape.max(1.0), "shape {shape}: var {var}");
+            assert!(samples.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn poisson_moments_small_rate() {
+        for lambda in [0.1, 1.0, 5.0] {
+            let mut r = rng();
+            let samples: Vec<u64> = (0..N).map(|_| poisson(&mut r, lambda)).collect();
+            let mean = samples.iter().sum::<u64>() as f64 / N as f64;
+            assert!((mean - lambda).abs() < 0.05 * lambda.max(1.0), "λ={lambda}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn poisson_large_rate_uses_normal_branch() {
+        let mut r = rng();
+        let samples: Vec<u64> = (0..N / 10).map(|_| poisson(&mut r, 100.0)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / (N / 10) as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_rate() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn compound_gamma_poisson_reproduces_negative_binomial_yield() {
+        // The derivation behind Eq. (1): P(Poisson(λG) = 0) with
+        // G ~ Gamma(c, 1/c) equals (1 + λ/c)^(−c).
+        let lambda = 0.8; // D·S for e.g. D=0.1, S=800 mm²
+        let c = 10.0;
+        let mut r = rng();
+        let mut good = 0usize;
+        for _ in 0..N {
+            let g = gamma(&mut r, c) / c;
+            if poisson(&mut r, lambda * g) == 0 {
+                good += 1;
+            }
+        }
+        let empirical = good as f64 / N as f64;
+        let analytic = (1.0 + lambda / c).powf(-c);
+        assert!(
+            (empirical - analytic).abs() < 0.005,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma shape must be positive")]
+    fn gamma_rejects_bad_shape() {
+        let mut r = rng();
+        gamma(&mut r, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "poisson rate must be non-negative")]
+    fn poisson_rejects_negative_rate() {
+        let mut r = rng();
+        poisson(&mut r, -1.0);
+    }
+}

@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+use actuary_tech::TechError;
+use actuary_units::UnitError;
+use actuary_yield::YieldError;
+
+/// Error produced by the cost engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The die set is inconsistent with the chosen packaging technology
+    /// (e.g. several dies in a single-die SoC package, or an empty die set).
+    InvalidConfiguration {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A yield collapsed to zero so the expected cost diverges.
+    ZeroYield {
+        /// Which process step had zero yield.
+        step: &'static str,
+    },
+    /// An underlying technology lookup or spec failed.
+    Tech(TechError),
+    /// An underlying yield/wafer computation failed.
+    Yield(YieldError),
+    /// An underlying unit value was invalid.
+    Unit(UnitError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidConfiguration { reason } => {
+                write!(f, "invalid system configuration: {reason}")
+            }
+            ModelError::ZeroYield { step } => {
+                write!(f, "zero yield at {step}: the expected cost diverges")
+            }
+            ModelError::Tech(e) => write!(f, "{e}"),
+            ModelError::Yield(e) => write!(f, "{e}"),
+            ModelError::Unit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Tech(e) => Some(e),
+            ModelError::Yield(e) => Some(e),
+            ModelError::Unit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TechError> for ModelError {
+    fn from(e: TechError) -> Self {
+        ModelError::Tech(e)
+    }
+}
+
+impl From<YieldError> for ModelError {
+    fn from(e: YieldError) -> Self {
+        ModelError::Yield(e)
+    }
+}
+
+impl From<UnitError> for ModelError {
+    fn from(e: UnitError) -> Self {
+        ModelError::Unit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = ModelError::InvalidConfiguration { reason: "no dies".into() };
+        assert!(e.to_string().contains("no dies"));
+        let e = ModelError::ZeroYield { step: "interposer manufacturing" };
+        assert!(e.to_string().contains("interposer"));
+    }
+
+    #[test]
+    fn conversion_chain() {
+        let unit = UnitError::DivisionByZero { context: "test" };
+        let model: ModelError = unit.into();
+        assert!(Error::source(&model).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<ModelError>();
+    }
+}

@@ -1,0 +1,183 @@
+//! NRE (non-recurring engineering) cost primitives: the paper's §3.3,
+//! Eq. (6)–(8).
+//!
+//! The paper expresses the NRE cost of any chip as
+//!
+//! `Cost = K_c·S_c + Σ K_m·S_mᵢ + C`                         (Eq. 6)
+//!
+//! where `K_c` covers chip-level work (system verification, physical
+//! design), `K_m` covers module-level work (module design, block
+//! verification) and `C` is the fixed per-chip cost (masks, IP licensing).
+//! Families of systems (Eq. 7 for monolithic SoCs, Eq. 8 for chiplet-based
+//! ones) sum these primitives while sharing module, chip, package and D2D
+//! terms according to what is reused; that portfolio bookkeeping lives in
+//! `actuary-arch`, built on the four primitives below.
+
+use actuary_tech::{PackagingTech, ProcessNode};
+use actuary_units::{Area, Money};
+
+use crate::error::ModelError;
+
+/// Module-design NRE: `K_m × S_m` (module design + block verification).
+///
+/// Paid once per distinct module, no matter how many chips or systems embed
+/// it — the sharing rule behind both Eq. (7) and Eq. (8).
+///
+/// # Examples
+///
+/// ```
+/// use actuary_model::module_design_cost;
+/// use actuary_tech::TechLibrary;
+/// use actuary_units::Area;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lib = TechLibrary::paper_defaults()?;
+/// let cost = module_design_cost(lib.node("14nm")?, Area::from_mm2(100.0)?);
+/// assert_eq!(cost.musd(), 20.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn module_design_cost(node: &ProcessNode, module_area: Area) -> Money {
+    node.nre().k_module * module_area.mm2()
+}
+
+/// Chip-level NRE: `K_c × S_c + C` (system verification, physical design,
+/// plus the fixed mask-set and IP cost).
+///
+/// Paid once per distinct chip taped out. The module term of Eq. (6) is
+/// *not* included here — add [`module_design_cost`] for every distinct
+/// module the chip carries.
+pub fn chip_level_nre(node: &ProcessNode, chip_area: Area) -> Money {
+    node.nre().k_chip * chip_area.mm2() + node.nre().fixed_per_chip()
+}
+
+/// Package-design NRE: `K_p × S_p + C_p` (Eq. 7/8's package terms).
+///
+/// For interposer-based technologies the interposer area dominates the
+/// design effort, so `S_p` should be the interposer area; for organic
+/// substrates it is the package body area. [`package_nre_for_silicon`]
+/// computes the right area from the carried silicon automatically.
+pub fn package_nre(packaging: &PackagingTech, package_area: Area) -> Money {
+    packaging.k_package_per_mm2() * package_area.mm2() + packaging.fixed_package_nre()
+}
+
+/// Package-design NRE derived from the total silicon the package carries
+/// (picks interposer area for InFO/2.5D, body area otherwise).
+///
+/// # Errors
+///
+/// Returns [`ModelError::Unit`] if the derived area is invalid.
+pub fn package_nre_for_silicon(
+    packaging: &PackagingTech,
+    total_silicon: Area,
+) -> Result<Money, ModelError> {
+    let area = match packaging.interposer() {
+        Some(spec) => spec.interposer_area(total_silicon)?,
+        None => packaging.package_area(total_silicon)?,
+    };
+    Ok(package_nre(packaging, area))
+}
+
+/// D2D-interface design NRE for one process node: the `C_D2D` of Eq. (8),
+/// paid once per node used by a chiplet family.
+pub fn d2d_nre(node: &ProcessNode) -> Money {
+    node.d2d().nre_cost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actuary_tech::{IntegrationKind, TechLibrary};
+    use proptest::prelude::*;
+
+    fn lib() -> TechLibrary {
+        TechLibrary::paper_defaults().unwrap()
+    }
+
+    fn area(mm2: f64) -> Area {
+        Area::from_mm2(mm2).unwrap()
+    }
+
+    #[test]
+    fn module_cost_is_linear_in_area() {
+        let lib = lib();
+        let n5 = lib.node("5nm").unwrap();
+        let one = module_design_cost(n5, area(100.0));
+        let two = module_design_cost(n5, area(200.0));
+        assert!((two.usd() - 2.0 * one.usd()).abs() < 1e-6);
+        assert_eq!(module_design_cost(n5, Area::ZERO), Money::ZERO);
+    }
+
+    #[test]
+    fn chip_nre_includes_fixed_cost() {
+        let lib = lib();
+        let n7 = lib.node("7nm").unwrap();
+        let zero_area = chip_level_nre(n7, Area::ZERO);
+        assert_eq!(zero_area, n7.nre().fixed_per_chip());
+        let with_area = chip_level_nre(n7, area(100.0));
+        assert!((with_area.usd() - (zero_area.usd() + 100.0 * n7.nre().k_chip.usd())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn package_nre_uses_interposer_area_for_advanced() {
+        let lib = lib();
+        let silicon = area(800.0);
+        let mcm = lib.packaging(IntegrationKind::Mcm).unwrap();
+        let p25 = lib.packaging(IntegrationKind::TwoPointFiveD).unwrap();
+        let mcm_nre = package_nre_for_silicon(mcm, silicon).unwrap();
+        let p25_nre = package_nre_for_silicon(p25, silicon).unwrap();
+        // 2.5D: 880 mm² interposer at $30k/mm² + $5M fixed.
+        let expected = 880.0 * 30_000.0 + 5.0e6;
+        assert!((p25_nre.usd() - expected).abs() < 1.0);
+        assert!(p25_nre > mcm_nre, "interposer design must dominate organic substrate design");
+    }
+
+    #[test]
+    fn d2d_nre_comes_from_node() {
+        let lib = lib();
+        assert_eq!(d2d_nre(lib.node("5nm").unwrap()).musd(), 15.0);
+        assert_eq!(d2d_nre(lib.node("14nm").unwrap()).musd(), 6.0);
+    }
+
+    #[test]
+    fn eq6_composition() {
+        // Eq. (6) for a chip with two modules of 60 and 40 mm² plus 10 mm²
+        // of D2D on 7 nm.
+        let lib = lib();
+        let n7 = lib.node("7nm").unwrap();
+        let chip_area = area(110.0);
+        let total = chip_level_nre(n7, chip_area)
+            + module_design_cost(n7, area(60.0))
+            + module_design_cost(n7, area(40.0));
+        let k = n7.nre();
+        let expected = k.k_chip.usd() * 110.0
+            + k.k_module.usd() * 100.0
+            + k.fixed_per_chip().usd();
+        assert!((total.usd() - expected).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn nre_monotone_in_area(a in 0.0f64..900.0, b in 0.0f64..900.0) {
+            let lib = lib();
+            let n = lib.node("7nm").unwrap();
+            let (small, large) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(
+                chip_level_nre(n, area(small)).usd() <= chip_level_nre(n, area(large)).usd()
+            );
+            prop_assert!(
+                module_design_cost(n, area(small)).usd()
+                    <= module_design_cost(n, area(large)).usd()
+            );
+        }
+
+        #[test]
+        fn advanced_nodes_cost_more_nre(a in 1.0f64..900.0) {
+            let lib = lib();
+            let n5 = lib.node("5nm").unwrap();
+            let n14 = lib.node("14nm").unwrap();
+            prop_assert!(chip_level_nre(n5, area(a)) > chip_level_nre(n14, area(a)));
+            prop_assert!(module_design_cost(n5, area(a)) > module_design_cost(n14, area(a)));
+        }
+    }
+}

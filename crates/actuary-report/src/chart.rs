@@ -1,0 +1,305 @@
+//! ASCII charts: horizontal stacked bars (the paper's cost-breakdown
+//! figures) and line charts (the yield/cost-vs-area curves of Figure 2).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Fill glyphs cycled through by stacked-bar segments, in legend order.
+const SEGMENT_GLYPHS: [char; 8] = ['█', '▓', '▒', '░', '◆', '●', '○', '·'];
+
+/// A horizontal stacked bar chart.
+///
+/// Each bar is a labelled row whose segments are scaled to a shared maximum
+/// so bars are visually comparable — exactly the layout of the paper's
+/// Figures 4–10 turned sideways.
+///
+/// # Examples
+///
+/// ```
+/// use actuary_report::StackedBarChart;
+///
+/// let mut chart = StackedBarChart::new("cost");
+/// chart.push_bar("SoC", &[("chips", 1.0), ("package", 0.2)]);
+/// chart.push_bar("MCM", &[("chips", 0.7), ("package", 0.35)]);
+/// let out = chart.render(40);
+/// assert!(out.contains("SoC"));
+/// assert!(out.contains("legend"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackedBarChart {
+    title: String,
+    bars: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl StackedBarChart {
+    /// Creates an empty chart with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        StackedBarChart { title: title.into(), bars: Vec::new() }
+    }
+
+    /// Appends one bar with `(segment label, value)` pairs. Negative
+    /// segment values are clamped to zero.
+    pub fn push_bar(&mut self, label: impl Into<String>, segments: &[(&str, f64)]) {
+        self.bars.push((
+            label.into(),
+            segments
+                .iter()
+                .map(|(name, v)| (name.to_string(), v.max(0.0)))
+                .collect(),
+        ));
+    }
+
+    /// Number of bars.
+    pub fn bar_count(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// Renders the chart with bars at most `width` characters long,
+    /// followed by a glyph legend.
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(10);
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+
+        // Stable legend: first-seen order of segment labels.
+        let mut legend: Vec<String> = Vec::new();
+        for (_, segments) in &self.bars {
+            for (name, _) in segments {
+                if !legend.contains(name) {
+                    legend.push(name.clone());
+                }
+            }
+        }
+        let glyph_of: BTreeMap<&str, char> = legend
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.as_str(), SEGMENT_GLYPHS[i % SEGMENT_GLYPHS.len()]))
+            .collect();
+
+        let max_total = self
+            .bars
+            .iter()
+            .map(|(_, segs)| segs.iter().map(|(_, v)| v).sum::<f64>())
+            .fold(0.0f64, f64::max);
+        let label_width = self
+            .bars
+            .iter()
+            .map(|(l, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
+
+        for (label, segments) in &self.bars {
+            let total: f64 = segments.iter().map(|(_, v)| v).sum();
+            let _ = write!(out, "{label:<label_width$} |");
+            if max_total > 0.0 {
+                let mut drawn = 0usize;
+                let bar_len =
+                    ((total / max_total) * width as f64).round() as usize;
+                for (name, value) in segments {
+                    let len = if total > 0.0 {
+                        ((value / total) * bar_len as f64).round() as usize
+                    } else {
+                        0
+                    };
+                    let glyph = glyph_of[name.as_str()];
+                    for _ in 0..len.min(bar_len.saturating_sub(drawn)) {
+                        out.push(glyph);
+                    }
+                    drawn += len;
+                }
+            }
+            let _ = writeln!(out, " {total:.3}");
+        }
+        let _ = writeln!(out, "legend:");
+        for name in &legend {
+            let _ = writeln!(out, "  {} {}", glyph_of[name.as_str()], name);
+        }
+        out
+    }
+}
+
+/// A multi-series ASCII line chart on a character grid.
+///
+/// # Examples
+///
+/// ```
+/// use actuary_report::LineChart;
+///
+/// let mut chart = LineChart::new("yield vs area", "mm²", "%");
+/// chart.push_series("5nm", vec![(100.0, 90.0), (500.0, 60.0), (800.0, 43.0)]);
+/// let out = chart.render(40, 10);
+/// assert!(out.contains("yield vs area"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl LineChart {
+    /// Series marker glyphs, cycled in order.
+    const MARKERS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a named series of `(x, y)` points.
+    pub fn push_series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push((name.into(), points));
+    }
+
+    /// Number of series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Renders onto a `width × height` character grid with axis ranges
+    /// derived from the data, followed by a marker legend.
+    pub fn render(&self, width: usize, height: usize) -> String {
+        let width = width.max(10);
+        let height = height.max(4);
+        let mut out = String::new();
+        let _ = writeln!(out, "{} ({} vs {})", self.title, self.y_label, self.x_label);
+
+        let all: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+        if all.is_empty() {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in &all {
+            x_min = x_min.min(*x);
+            x_max = x_max.max(*x);
+            y_min = y_min.min(*y);
+            y_max = y_max.max(*y);
+        }
+        if x_max == x_min {
+            x_max = x_min + 1.0;
+        }
+        if y_max == y_min {
+            y_max = y_min + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; width]; height];
+        for (s_idx, (_, points)) in self.series.iter().enumerate() {
+            let marker = Self::MARKERS[s_idx % Self::MARKERS.len()];
+            for (x, y) in points {
+                let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+                let row =
+                    (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+                let row = height - 1 - row;
+                grid[row.min(height - 1)][col.min(width - 1)] = marker;
+            }
+        }
+        for (i, row) in grid.iter().enumerate() {
+            let y_val = y_max - (y_max - y_min) * i as f64 / (height - 1) as f64;
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{y_val:>10.2} |{line}");
+        }
+        let _ = writeln!(out, "{:>11}+{}", "", "-".repeat(width));
+        let _ = writeln!(out, "{:>12}{x_min:<.0}{:>w$}{x_max:<.0}", "", "", w = width.saturating_sub(8));
+        let _ = writeln!(out, "legend:");
+        for (i, (name, _)) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "  {} {}", Self::MARKERS[i % Self::MARKERS.len()], name);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacked_bar_scales_to_longest() {
+        let mut chart = StackedBarChart::new("t");
+        chart.push_bar("big", &[("a", 2.0)]);
+        chart.push_bar("small", &[("a", 1.0)]);
+        let out = chart.render(20);
+        let lines: Vec<&str> = out.lines().collect();
+        let big_len = lines[1].chars().filter(|&c| c == '█').count();
+        let small_len = lines[2].chars().filter(|&c| c == '█').count();
+        assert!(big_len > small_len);
+        assert!((big_len as f64 / small_len as f64 - 2.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn stacked_bar_segments_use_distinct_glyphs() {
+        let mut chart = StackedBarChart::new("t");
+        chart.push_bar("x", &[("first", 1.0), ("second", 1.0)]);
+        let out = chart.render(20);
+        assert!(out.contains('█'));
+        assert!(out.contains('▓'));
+        assert!(out.contains("first"));
+        assert!(out.contains("second"));
+        assert_eq!(chart.bar_count(), 1);
+    }
+
+    #[test]
+    fn stacked_bar_clamps_negatives() {
+        let mut chart = StackedBarChart::new("t");
+        chart.push_bar("x", &[("a", -5.0), ("b", 1.0)]);
+        let out = chart.render(20);
+        assert!(out.contains("1.000"), "{out}");
+    }
+
+    #[test]
+    fn stacked_bar_totals_shown() {
+        let mut chart = StackedBarChart::new("costs");
+        chart.push_bar("SoC", &[("chips", 0.75), ("pkg", 0.25)]);
+        let out = chart.render(30);
+        assert!(out.contains("1.000"));
+    }
+
+    #[test]
+    fn empty_bar_chart_renders_title() {
+        let chart = StackedBarChart::new("empty");
+        let out = chart.render(20);
+        assert!(out.starts_with("empty"));
+    }
+
+    #[test]
+    fn line_chart_renders_grid() {
+        let mut chart = LineChart::new("yield", "area", "%");
+        chart.push_series("5nm", vec![(0.0, 100.0), (800.0, 43.0)]);
+        chart.push_series("14nm", vec![(0.0, 100.0), (800.0, 54.0)]);
+        let out = chart.render(40, 12);
+        assert!(out.contains('*'));
+        assert!(out.contains('+'));
+        assert!(out.contains("5nm"));
+        assert!(out.contains("14nm"));
+        assert_eq!(chart.series_count(), 2);
+        // 12 grid rows + title + axis + labels + legend rows.
+        assert!(out.lines().count() >= 16);
+    }
+
+    #[test]
+    fn line_chart_no_data() {
+        let chart = LineChart::new("t", "x", "y");
+        assert!(chart.render(30, 8).contains("no data"));
+    }
+
+    #[test]
+    fn line_chart_degenerate_ranges() {
+        let mut chart = LineChart::new("t", "x", "y");
+        chart.push_series("s", vec![(1.0, 1.0), (1.0, 1.0)]);
+        // Must not panic or divide by zero.
+        let out = chart.render(20, 6);
+        assert!(out.contains('*'));
+    }
+}

@@ -1,0 +1,73 @@
+//! Minimal RFC-4180 CSV emission (writer only; no external dependency).
+
+/// Escapes one CSV field: quotes it when it contains a comma, quote, or
+/// newline, doubling embedded quotes.
+///
+/// # Examples
+///
+/// ```
+/// use actuary_report::csv_escape;
+///
+/// assert_eq!(csv_escape("plain"), "plain");
+/// assert_eq!(csv_escape("a,b"), "\"a,b\"");
+/// assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+/// ```
+pub fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serializes records as CSV text with `\n` line endings.
+///
+/// # Examples
+///
+/// ```
+/// use actuary_report::write_csv;
+///
+/// let rows = vec![
+///     vec!["a".to_string(), "b".to_string()],
+///     vec!["1".to_string(), "x,y".to_string()],
+/// ];
+/// assert_eq!(write_csv(&rows), "a,b\n1,\"x,y\"\n");
+/// ```
+pub fn write_csv(records: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for record in records {
+        let escaped: Vec<String> = record.iter().map(|f| csv_escape(f)).collect();
+        out.push_str(&escaped.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(csv_escape(""), "");
+        assert_eq!(csv_escape("simple"), "simple");
+        assert_eq!(csv_escape("with,comma"), "\"with,comma\"");
+        assert_eq!(csv_escape("with\nnewline"), "\"with\nnewline\"");
+        assert_eq!(csv_escape("q\"uote"), "\"q\"\"uote\"");
+    }
+
+    #[test]
+    fn empty_records() {
+        assert_eq!(write_csv(&[]), "");
+        assert_eq!(write_csv(&[vec![]]), "\n");
+    }
+
+    #[test]
+    fn multi_row() {
+        let rows = vec![
+            vec!["h1".to_string(), "h2".to_string()],
+            vec!["1.5".to_string(), "2.5".to_string()],
+        ];
+        assert_eq!(write_csv(&rows), "h1,h2\n1.5,2.5\n");
+    }
+}

@@ -1,0 +1,35 @@
+//! Terminal-friendly reporting for the *Chiplet Actuary* reproduction:
+//! tables, stacked-bar charts, line charts, CSV and Markdown.
+//!
+//! The paper's evaluation figures are stacked bar charts (cost breakdowns
+//! per configuration) and line plots (yield/cost vs area). This crate
+//! renders both as plain text so every experiment can be inspected in a
+//! terminal, diffed in CI, and pasted into `EXPERIMENTS.md` — replacing the
+//! original matplotlib pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use actuary_report::{StackedBarChart, Table};
+//!
+//! let mut chart = StackedBarChart::new("Normalized RE cost");
+//! chart.push_bar("SoC", &[("raw chips", 0.6), ("defects", 0.4)]);
+//! chart.push_bar("MCM", &[("raw chips", 0.55), ("defects", 0.25)]);
+//! let text = chart.render(40);
+//! assert!(text.contains("SoC"));
+//!
+//! let mut table = Table::new(vec!["area", "yield"]);
+//! table.push_row(vec!["100".to_string(), "91.4%".to_string()]);
+//! assert!(table.to_markdown().contains("| area |"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chart;
+mod csv;
+mod table;
+
+pub use chart::{LineChart, StackedBarChart};
+pub use csv::{csv_escape, write_csv};
+pub use table::Table;

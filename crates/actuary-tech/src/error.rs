@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+use actuary_units::UnitError;
+use actuary_yield::YieldError;
+
+/// Error produced by technology-library construction and lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TechError {
+    /// A process node id was not found in the library.
+    UnknownNode {
+        /// The requested node id.
+        id: String,
+    },
+    /// A packaging technology was not found in the library.
+    UnknownPackaging {
+        /// Display name of the requested integration kind.
+        kind: String,
+    },
+    /// A builder was finalized with a missing or inconsistent field.
+    InvalidSpec {
+        /// What was wrong.
+        reason: String,
+    },
+    /// An underlying unit value was invalid.
+    Unit(UnitError),
+    /// An underlying yield/wafer parameter was invalid.
+    Yield(YieldError),
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::UnknownNode { id } => write!(f, "unknown process node: {id:?}"),
+            TechError::UnknownPackaging { kind } => {
+                write!(f, "unknown packaging technology: {kind}")
+            }
+            TechError::InvalidSpec { reason } => write!(f, "invalid technology spec: {reason}"),
+            TechError::Unit(e) => write!(f, "{e}"),
+            TechError::Yield(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for TechError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TechError::Unit(e) => Some(e),
+            TechError::Yield(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnitError> for TechError {
+    fn from(e: UnitError) -> Self {
+        TechError::Unit(e)
+    }
+}
+
+impl From<YieldError> for TechError {
+    fn from(e: YieldError) -> Self {
+        TechError::Yield(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(TechError::UnknownNode { id: "9nm".into() }.to_string().contains("9nm"));
+        assert!(TechError::UnknownPackaging { kind: "MCM".into() }.to_string().contains("MCM"));
+        assert!(TechError::InvalidSpec { reason: "x".into() }.to_string().contains("x"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = TechError::from(UnitError::InvalidArea { value: -1.0 });
+        assert!(Error::source(&e).is_some());
+        let e = TechError::from(YieldError::InvalidDefectDensity { value: -1.0 });
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<TechError>();
+    }
+}

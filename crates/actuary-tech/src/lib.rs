@@ -1,0 +1,55 @@
+//! Process, packaging and D2D technology library for `chiplet-actuary`.
+//!
+//! The cost model of *Chiplet Actuary* (DAC 2022) is parameterized by
+//! manufacturing data: per-node defect densities and wafer prices, packaging
+//! technology properties (substrate costs, bonding yields, interposer
+//! processes) and die-to-die (D2D) interface overheads. This crate holds all
+//! of that data behind typed, validated APIs:
+//!
+//! * [`ProcessNode`] — one silicon process (defect density, cluster
+//!   parameter, wafer price, NRE factors, relative transistor density);
+//! * [`PackagingTech`] + [`IntegrationKind`] — the four integration schemes
+//!   compared by the paper (single-die SoC package, MCM, InFO, 2.5D);
+//! * [`InterposerSpec`] — the RDL or silicon-interposer process used by
+//!   advanced packaging;
+//! * [`D2dSpec`] — D2D interface area overhead and NRE;
+//! * [`TechLibrary`] — a registry bundling the above, with
+//!   [`TechLibrary::paper_defaults`] reproducing the paper's calibration.
+//!
+//! Every default can be overridden through the builder APIs, so the library
+//! doubles as the "latest relevant data" entry point the paper recommends
+//! for applying the model to new cases (§4).
+//!
+//! # Examples
+//!
+//! ```
+//! use actuary_tech::{IntegrationKind, TechLibrary};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = TechLibrary::paper_defaults()?;
+//! let n5 = lib.node("5nm")?;
+//! assert_eq!(n5.defect_density().value(), 0.11);
+//! let mcm = lib.packaging(IntegrationKind::Mcm)?;
+//! assert!(mcm.substrate_layer_factor() > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod d2d;
+mod error;
+mod library;
+mod node;
+mod packaging;
+mod presets;
+
+pub use d2d::D2dSpec;
+pub use error::TechError;
+pub use library::TechLibrary;
+pub use node::{NodeId, NreFactors, ProcessNode, ProcessNodeBuilder};
+pub use packaging::{IntegrationKind, InterposerSpec, PackagingTech, PackagingTechBuilder};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, TechError>;

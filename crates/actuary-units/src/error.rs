@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or combining unit values with
+/// dimensionally invalid inputs (negative areas, non-finite money,
+/// probabilities outside `[0, 1]`, …).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitError {
+    /// An area was negative or not finite.
+    InvalidArea {
+        /// The offending raw value in mm².
+        value: f64,
+    },
+    /// A monetary amount was not finite.
+    InvalidMoney {
+        /// The offending raw value in USD.
+        value: f64,
+    },
+    /// A probability was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// The offending raw value.
+        value: f64,
+    },
+    /// A division by zero was attempted (e.g. amortizing over zero units).
+    DivisionByZero {
+        /// Human-readable description of the operation that failed.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitError::InvalidArea { value } => {
+                write!(f, "invalid area: {value} mm² (must be finite and non-negative)")
+            }
+            UnitError::InvalidMoney { value } => {
+                write!(f, "invalid money amount: {value} USD (must be finite)")
+            }
+            UnitError::InvalidProbability { value } => {
+                write!(f, "invalid probability: {value} (must be finite and within [0, 1])")
+            }
+            UnitError::DivisionByZero { context } => {
+                write!(f, "division by zero while {context}")
+            }
+        }
+    }
+}
+
+impl Error for UnitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(UnitError, &str)> = vec![
+            (UnitError::InvalidArea { value: -1.0 }, "invalid area"),
+            (UnitError::InvalidMoney { value: f64::NAN }, "invalid money"),
+            (UnitError::InvalidProbability { value: 2.0 }, "invalid probability"),
+            (
+                UnitError::DivisionByZero { context: "amortizing NRE" },
+                "division by zero",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "message {msg:?} should contain {needle:?}");
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<UnitError>();
+    }
+}

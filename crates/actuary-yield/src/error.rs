@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+use actuary_units::UnitError;
+
+/// Error produced by yield-model construction or wafer-geometry queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum YieldError {
+    /// A defect density was negative or not finite.
+    InvalidDefectDensity {
+        /// The offending value in defects/cm².
+        value: f64,
+    },
+    /// A model shape parameter (cluster parameter, critical-level count) was
+    /// non-positive or not finite.
+    InvalidModelParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Wafer geometry was inconsistent (e.g. edge exclusion larger than the
+    /// wafer radius, non-positive diameter).
+    InvalidWaferGeometry {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// A die does not fit the wafer or the reticle.
+    DieTooLarge {
+        /// Die area in mm².
+        die_mm2: f64,
+        /// The limiting area in mm².
+        limit_mm2: f64,
+    },
+    /// An underlying unit value was invalid.
+    Unit(UnitError),
+}
+
+impl fmt::Display for YieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YieldError::InvalidDefectDensity { value } => {
+                write!(f, "invalid defect density: {value} /cm² (must be finite and non-negative)")
+            }
+            YieldError::InvalidModelParameter { name, value } => {
+                write!(f, "invalid yield-model parameter {name}: {value} (must be finite and positive)")
+            }
+            YieldError::InvalidWaferGeometry { reason } => {
+                write!(f, "invalid wafer geometry: {reason}")
+            }
+            YieldError::DieTooLarge { die_mm2, limit_mm2 } => {
+                write!(f, "die of {die_mm2} mm² exceeds the {limit_mm2} mm² limit")
+            }
+            YieldError::Unit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for YieldError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            YieldError::Unit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnitError> for YieldError {
+    fn from(e: UnitError) -> Self {
+        YieldError::Unit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = YieldError::InvalidDefectDensity { value: -0.1 };
+        assert!(e.to_string().contains("defect density"));
+        let e = YieldError::DieTooLarge { die_mm2: 900.0, limit_mm2: 858.0 };
+        assert!(e.to_string().contains("858"));
+    }
+
+    #[test]
+    fn unit_error_chains_as_source() {
+        let inner = UnitError::InvalidArea { value: -1.0 };
+        let outer = YieldError::from(inner.clone());
+        assert_eq!(outer.to_string(), inner.to_string());
+        assert!(Error::source(&outer).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<YieldError>();
+    }
+}

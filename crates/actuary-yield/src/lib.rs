@@ -1,0 +1,54 @@
+//! Yield models and wafer geometry for the `chiplet-actuary` cost model.
+//!
+//! This crate is the manufacturing-statistics substrate of the paper
+//! *Chiplet Actuary* (DAC 2022). It provides:
+//!
+//! * [`DefectDensity`] — defects per cm², the `D` of the paper's Eq. (1);
+//! * the [`YieldModel`] trait with the negative-binomial / Seed's model used
+//!   by the paper ([`NegativeBinomial`]) plus the classical alternatives
+//!   ([`Poisson`], [`Murphy`], [`SeedsExponential`], [`BoseEinstein`]) so the
+//!   model choice itself can be ablated;
+//! * [`WaferSpec`] — wafer diameter, edge exclusion and scribe lanes, with
+//!   both the standard analytic dies-per-wafer estimate and an exact
+//!   rectangular-grid placement count ([`WaferSpec::dies_per_wafer_grid`]);
+//! * [`Reticle`] — lithographic field-size limits ("Moore Limit" checks).
+//!
+//! # Examples
+//!
+//! Reproducing an anchor point of the paper's Figure 2 (3 nm, `D = 0.20`,
+//! `c = 10`, 800 mm² die → ≈ 22.7 % yield):
+//!
+//! ```
+//! use actuary_units::Area;
+//! use actuary_yield::{DefectDensity, NegativeBinomial, YieldModel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = NegativeBinomial::new(10.0)?;
+//! let d = DefectDensity::per_cm2(0.20)?;
+//! let y = model.die_yield(d, Area::from_mm2(800.0)?);
+//! assert!((y.value() - 0.2267).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod defect;
+mod error;
+mod gridding;
+mod harvest;
+mod model;
+mod reticle;
+mod wafer;
+
+pub use defect::DefectDensity;
+pub use error::YieldError;
+pub use gridding::{DieFootprint, GridCount, GridOffset};
+pub use harvest::HarvestSpec;
+pub use model::{BoseEinstein, Murphy, NegativeBinomial, Poisson, SeedsExponential, YieldModel};
+pub use reticle::Reticle;
+pub use wafer::WaferSpec;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, YieldError>;

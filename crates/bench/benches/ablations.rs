@@ -1,0 +1,173 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * chip-first vs chip-last assembly (Eq. 5);
+//! * the yield-model choice (negative binomial vs Poisson vs Murphy);
+//! * chiplet granularity (1–8 chiplets);
+//! * the Monte-Carlo simulator vs the closed-form engine.
+
+use bench::library;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use actuary_arch::{Chip, Module, System};
+use actuary_mc::{simulate_system, DefectProcess, McConfig};
+use actuary_model::{re_cost, AssemblyFlow, DiePlacement};
+use actuary_tech::IntegrationKind;
+use actuary_units::{Area, Quantity};
+use actuary_yield::{DefectDensity, Murphy, NegativeBinomial, Poisson, YieldModel};
+
+fn bench_assembly_flows(c: &mut Criterion) {
+    let lib = library();
+    let n5 = lib.node("5nm").unwrap();
+    let p25 = lib.packaging(IntegrationKind::TwoPointFiveD).unwrap();
+    let die = Area::from_mm2(222.2).unwrap();
+
+    // Print the ablation series: cost of each flow for 2-5 chiplets.
+    println!("=== ablation: chip-first vs chip-last (5nm, 2.5D, Eq. 5) ===");
+    for n in 2u32..=5 {
+        let dies = [DiePlacement::new(n5, die, n)];
+        let last = re_cost(&dies, p25, AssemblyFlow::ChipLast).unwrap();
+        let first = re_cost(&dies, p25, AssemblyFlow::ChipFirst).unwrap();
+        println!(
+            "  {n} chiplets: chip-last {} vs chip-first {} (+{:.1}%)",
+            last.total(),
+            first.total(),
+            (first.total().usd() / last.total().usd() - 1.0) * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("assembly_flow");
+    group.bench_function("chip_last", |b| {
+        b.iter(|| {
+            re_cost(
+                black_box(&[DiePlacement::new(n5, die, 4)]),
+                p25,
+                AssemblyFlow::ChipLast,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("chip_first", |b| {
+        b.iter(|| {
+            re_cost(
+                black_box(&[DiePlacement::new(n5, die, 4)]),
+                p25,
+                AssemblyFlow::ChipFirst,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_yield_models(c: &mut Criterion) {
+    let d = DefectDensity::per_cm2(0.11).unwrap();
+    let area = Area::from_mm2(800.0).unwrap();
+    let nb = NegativeBinomial::new(10.0).unwrap();
+    let poisson = Poisson::new();
+    let murphy = Murphy::new();
+
+    println!("=== ablation: yield model choice (D=0.11, 800 mm²) ===");
+    println!("  negative binomial: {}", nb.die_yield(d, area));
+    println!("  poisson:           {}", poisson.die_yield(d, area));
+    println!("  murphy:            {}", murphy.die_yield(d, area));
+
+    let mut group = c.benchmark_group("yield_model");
+    group.bench_function("negative_binomial", |b| {
+        b.iter(|| nb.die_yield(black_box(d), black_box(area)))
+    });
+    group.bench_function("poisson", |b| {
+        b.iter(|| poisson.die_yield(black_box(d), black_box(area)))
+    });
+    group.bench_function("murphy", |b| {
+        b.iter(|| murphy.die_yield(black_box(d), black_box(area)))
+    });
+    group.finish();
+}
+
+fn bench_granularity(c: &mut Criterion) {
+    let lib = library();
+    let n5 = lib.node("5nm").unwrap();
+    let mcm = lib.packaging(IntegrationKind::Mcm).unwrap();
+    let soc = lib.packaging(IntegrationKind::Soc).unwrap();
+    let total = Area::from_mm2(800.0).unwrap();
+
+    println!("=== ablation: chiplet granularity (5nm, 800 mm², MCM) ===");
+    for n in 1u32..=8 {
+        let breakdown = if n == 1 {
+            re_cost(&[DiePlacement::new(n5, total, 1)], soc, AssemblyFlow::ChipLast).unwrap()
+        } else {
+            let die = n5.d2d().inflate_module_area(total / n as f64).unwrap();
+            re_cost(&[DiePlacement::new(n5, die, n)], mcm, AssemblyFlow::ChipLast).unwrap()
+        };
+        println!(
+            "  {n} chiplet(s): RE {} (defects {}, packaging {})",
+            breakdown.total(),
+            breakdown.chip_defects,
+            breakdown.packaging_total()
+        );
+    }
+
+    c.bench_function("granularity_sweep_1_to_8", |b| {
+        b.iter(|| {
+            for n in 1u32..=8 {
+                let breakdown = if n == 1 {
+                    re_cost(
+                        black_box(&[DiePlacement::new(n5, total, 1)]),
+                        soc,
+                        AssemblyFlow::ChipLast,
+                    )
+                    .unwrap()
+                } else {
+                    let die = n5.d2d().inflate_module_area(total / n as f64).unwrap();
+                    re_cost(
+                        black_box(&[DiePlacement::new(n5, die, n)]),
+                        mcm,
+                        AssemblyFlow::ChipLast,
+                    )
+                    .unwrap()
+                };
+                black_box(breakdown);
+            }
+        })
+    });
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let lib = library();
+    let chiplet = Chip::chiplet(
+        "bench-c",
+        "7nm",
+        vec![Module::new("bench-m", "7nm", Area::from_mm2(180.0).unwrap())],
+    );
+    let system = System::builder("bench-sys", IntegrationKind::Mcm)
+        .chip(chiplet, 2)
+        .quantity(Quantity::new(500_000))
+        .build()
+        .unwrap();
+
+    let analytic = system.re_cost(&lib, AssemblyFlow::ChipLast, None).unwrap().total();
+    let cfg = McConfig { systems: 500, seed: 7, defect_process: DefectProcess::Bernoulli };
+    let mc = simulate_system(&system, &lib, AssemblyFlow::ChipLast, &cfg).unwrap();
+    println!("=== ablation: analytic vs Monte-Carlo (7nm 2×200mm² MCM) ===");
+    println!("  analytic {analytic} | monte-carlo {mc}");
+
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("analytic_re_cost", |b| {
+        b.iter(|| system.re_cost(black_box(&lib), AssemblyFlow::ChipLast, None).unwrap())
+    });
+    group.sample_size(10);
+    group.bench_function("monte_carlo_500_systems", |b| {
+        b.iter(|| simulate_system(black_box(&system), &lib, AssemblyFlow::ChipLast, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_assembly_flows,
+    bench_yield_models,
+    bench_granularity,
+    bench_monte_carlo
+);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates the paper's Figure 10 and benchmarks the computation.
+
+use bench::{announce, library};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let lib = library();
+    let fig = actuary_figures::fig10::compute(&lib).expect("figure 10 must compute");
+    announce("Figure 10", &fig.render(), &fig.checks());
+    c.bench_function("fig10_compute", |b| {
+        b.iter(|| actuary_figures::fig10::compute(black_box(&lib)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates the paper's Figure 2 and benchmarks the computation.
+
+use bench::{announce, library};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let lib = library();
+    let fig = actuary_figures::fig2::compute(&lib).expect("figure 2 must compute");
+    announce("Figure 2", &fig.render(), &fig.checks());
+    c.bench_function("fig2_compute", |b| {
+        b.iter(|| actuary_figures::fig2::compute(black_box(&lib)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates the paper's Figure 4 and benchmarks the computation.
+
+use bench::{announce, library};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let lib = library();
+    let fig = actuary_figures::fig4::compute(&lib).expect("figure 4 must compute");
+    announce("Figure 4", &fig.render(), &fig.checks());
+    c.bench_function("fig4_compute", |b| {
+        b.iter(|| actuary_figures::fig4::compute(black_box(&lib)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates the paper's Figure 5 and benchmarks the computation.
+
+use bench::{announce, library};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let lib = library();
+    let fig = actuary_figures::fig5::compute(&lib).expect("figure 5 must compute");
+    announce("Figure 5", &fig.render(), &fig.checks());
+    c.bench_function("fig5_compute", |b| {
+        b.iter(|| actuary_figures::fig5::compute(black_box(&lib)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

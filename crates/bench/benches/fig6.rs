@@ -1,0 +1,17 @@
+//! Regenerates the paper's Figure 6 and benchmarks the computation.
+
+use bench::{announce, library};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let lib = library();
+    let fig = actuary_figures::fig6::compute(&lib).expect("figure 6 must compute");
+    announce("Figure 6", &fig.render(), &fig.checks());
+    c.bench_function("fig6_compute", |b| {
+        b.iter(|| actuary_figures::fig6::compute(black_box(&lib)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates the paper's Figure 8 and benchmarks the computation.
+
+use bench::{announce, library};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let lib = library();
+    let fig = actuary_figures::fig8::compute(&lib).expect("figure 8 must compute");
+    announce("Figure 8", &fig.render(), &fig.checks());
+    c.bench_function("fig8_compute", |b| {
+        b.iter(|| actuary_figures::fig8::compute(black_box(&lib)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

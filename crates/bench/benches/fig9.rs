@@ -1,0 +1,17 @@
+//! Regenerates the paper's Figure 9 and benchmarks the computation.
+
+use bench::{announce, library};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let lib = library();
+    let fig = actuary_figures::fig9::compute(&lib).expect("figure 9 must compute");
+    announce("Figure 9", &fig.render(), &fig.checks());
+    c.bench_function("fig9_compute", |b| {
+        b.iter(|| actuary_figures::fig9::compute(black_box(&lib)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

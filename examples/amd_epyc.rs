@@ -1,0 +1,48 @@
+//! The paper's Figure 5 scenario as a library walkthrough: AMD-style
+//! 7 nm CCDs + 12 nm IOD on an MCM vs a hypothetical monolithic 7 nm die.
+//!
+//! Run with `cargo run --example amd_epyc`.
+
+use chiplet_actuary::figures::fig5;
+use chiplet_actuary::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = TechLibrary::paper_defaults()?;
+
+    println!("== AMD EPYC-style chiplet validation (paper Figure 5) ==\n");
+    println!(
+        "assumptions: CCD {} mm² @7nm (D={}), IOD {} mm² @12nm (D={}), 8 cores/CCD,",
+        fig5::CCD_AREA_MM2,
+        fig5::D_7NM,
+        fig5::IOD_AREA_MM2,
+        fig5::D_12NM
+    );
+    println!("constant server-socket substrate sized for the 64-core configuration\n");
+
+    let fig = fig5::compute(&base)?;
+    println!("{}", fig.to_table());
+    println!("{}", fig.render());
+
+    for check in fig.checks() {
+        println!("{check}");
+    }
+
+    // Bonus: what the same dies would cost if assembled chip-first — the
+    // flow comparison behind the paper's Eq. (5).
+    let lib = fig5::validation_library(&base)?;
+    let n7 = lib.node("7nm")?;
+    let n12 = lib.node("12nm")?;
+    let mcm = lib.packaging(IntegrationKind::Mcm)?;
+    let dies = [
+        DiePlacement::new(n7, Area::from_mm2(fig5::CCD_AREA_MM2)?, 8),
+        DiePlacement::new(n12, Area::from_mm2(fig5::IOD_AREA_MM2)?, 1),
+    ];
+    let last = re_cost(&dies, mcm, AssemblyFlow::ChipLast)?;
+    let first = re_cost(&dies, mcm, AssemblyFlow::ChipFirst)?;
+    println!(
+        "\n64-core assembly flow check (Eq. 5): chip-last {} vs chip-first {} per unit",
+        last.total(),
+        first.total()
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Die harvesting (binning) extension: how partial-good salvage changes the
+//! chiplet-vs-monolithic comparison.
+//!
+//! The paper's yield model scraps any die with a defect. Real products bin:
+//! an 8-core CCD with one bad core ships as a 6-core SKU. This example uses
+//! the closed-form salvage model ([`HarvestSpec`]) to re-run the AMD-style
+//! comparison of Figure 5 with binning enabled.
+//!
+//! Run with `cargo run --example harvest_binning`.
+
+use chiplet_actuary::prelude::*;
+use chiplet_actuary::report::Table;
+use chiplet_actuary::yield_model::HarvestSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = TechLibrary::paper_defaults()?;
+    let n7 = lib.node("7nm")?;
+    let ccd = Area::from_mm2(74.0)?;
+    // Early-ramp 7 nm, as the paper's Figure 5 assumes.
+    let d = chiplet_actuary::yield_model::DefectDensity::per_cm2(0.13)?;
+    let cluster = 10.0;
+    let raw = n7.wafer().raw_die_cost(n7.wafer_price(), ccd)?;
+
+    println!("== die harvesting on a 74 mm² 8-core CCD (7nm, D=0.13) ==\n");
+    let mut table = Table::new(vec![
+        "bin requirement",
+        "sellable yield",
+        "cost per sellable die",
+        "vs strict",
+    ]);
+    let strict = HarvestSpec::new(8, 8, 0.60)?;
+    let strict_cost = strict.cost_per_sellable_die(raw, d, ccd, cluster)?;
+    for min_good in [8u32, 7, 6, 4] {
+        let spec = HarvestSpec::new(8, min_good, 0.60)?;
+        let y = spec.sellable_yield(d, ccd, cluster)?;
+        let cost = spec.cost_per_sellable_die(raw, d, ccd, cluster)?;
+        table.push_row(vec![
+            format!("≥{min_good} of 8 cores"),
+            y.to_string(),
+            cost.to_string(),
+            format!("{:+.1}%", (cost.usd() / strict_cost.usd() - 1.0) * 100.0),
+        ]);
+    }
+    println!("{table}");
+
+    // The monolithic competitor gains even more from salvage: a 64-core
+    // monolithic die has 64 cores to harvest across, but one defect in the
+    // uncore still kills it — compare the uncore exposure.
+    println!("monolithic 64-core die (≈700 mm²) vs 8 chiplets, both with ≥75% cores good:");
+    let mono_area = Area::from_mm2(700.0)?;
+    let mono_raw = n7.wafer().raw_die_cost(n7.wafer_price(), mono_area)?;
+    let mono = HarvestSpec::new(64, 48, 0.60)?;
+    let mono_y = mono.sellable_yield(d, mono_area, cluster)?;
+    let mono_cost = mono.cost_per_sellable_die(mono_raw, d, mono_area, cluster)?;
+    let chiplet = HarvestSpec::new(8, 6, 0.60)?;
+    let chiplet_y = chiplet.sellable_yield(d, ccd, cluster)?;
+    let chiplet_cost = chiplet.cost_per_sellable_die(raw, d, ccd, cluster)?;
+    println!("  monolithic: sellable yield {mono_y}, {mono_cost} per die");
+    println!(
+        "  chiplets:   sellable yield {chiplet_y}, {} for 8 dies",
+        chiplet_cost * 8.0
+    );
+    println!(
+        "\nsalvage narrows the yield gap (the monolithic uncore is {:.0} mm² of\n\
+         unrepairable area vs {:.0} mm² per chiplet), but the chiplet version\n\
+         still wins on silicon cost — binning strengthens, not replaces, the\n\
+         paper's conclusion that defect cost drives re-partitioning",
+        mono_area.mm2() * 0.4,
+        ccd.mm2() * 0.4
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Partitioning a realistic heterogeneous module list into chiplets:
+//! exhaustive search over set partitions, driven by total cost.
+//!
+//! Run with `cargo run --example partition_explorer`.
+
+use chiplet_actuary::arch::partition::{best_partition, chips_for_partition};
+use chiplet_actuary::dse::optimizer::{recommend, SearchSpace};
+use chiplet_actuary::prelude::*;
+use chiplet_actuary::report::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = TechLibrary::paper_defaults()?;
+    let node = "5nm";
+    let quantity = Quantity::new(5_000_000);
+
+    // A server-SoC-like module list (areas in mm² at 5 nm).
+    let modules = vec![
+        Module::new("core-cluster-0", node, Area::from_mm2(120.0)?),
+        Module::new("core-cluster-1", node, Area::from_mm2(120.0)?),
+        Module::new("l3-cache", node, Area::from_mm2(90.0)?),
+        Module::new("memory-ctrl", node, Area::from_mm2(70.0)?),
+        Module::new("io-serdes", node, Area::from_mm2(80.0)?),
+        Module::new("accelerator", node, Area::from_mm2(110.0)?),
+    ];
+    let total: Area = modules.iter().map(|m| m.area()).sum();
+    println!("== partition explorer: {total} of modules at {node}, {quantity} units ==\n");
+
+    // Cost of a concrete partition: build the chiplets, wrap them in an MCM
+    // system, take per-unit total cost (single-system portfolio).
+    let cost_of = |partition: &Vec<Vec<usize>>| -> Result<f64, chiplet_actuary::arch::ArchError> {
+        let chips = chips_for_partition("srv", node, &modules, partition)?;
+        let kind = if chips.len() == 1 { IntegrationKind::Soc } else { IntegrationKind::Mcm };
+        let mut builder = System::builder("srv-sys", kind).quantity(quantity);
+        for chip in chips {
+            builder = builder.chip(chip, 1);
+        }
+        let cost = Portfolio::new(vec![builder.build()?]).cost(&lib, AssemblyFlow::ChipLast)?;
+        Ok(cost.systems()[0].per_unit_total().usd())
+    };
+
+    let mut table = Table::new(vec!["max chiplets", "best grouping", "per-unit total"]);
+    for max_groups in 1..=4usize {
+        let (best, cost) = best_partition(&modules, max_groups, |p| cost_of(p))?;
+        let grouping = best
+            .iter()
+            .map(|group| {
+                let names: Vec<&str> =
+                    group.iter().map(|&i| modules[i].name()).collect();
+                format!("[{}]", names.join(" "))
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        table.push_row(vec![
+            max_groups.to_string(),
+            grouping,
+            format!("${cost:.2}"),
+        ]);
+    }
+    println!("{table}");
+
+    // Cross-check with the coarse optimizer (equal splits, all schemes).
+    let rec = recommend(&lib, node, total, quantity, &SearchSpace::default())?;
+    println!("coarse equal-split optimizer says: {rec}");
+    println!("\n(§6: \"splitting a single system into two or three chiplets is usually");
+    println!(" sufficient\" — the exhaustive search agrees: gains flatten beyond 2-3.)");
+    Ok(())
+}

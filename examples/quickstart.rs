@@ -1,0 +1,82 @@
+//! Quickstart: should my 600 mm² 5 nm design be one die or two chiplets?
+//!
+//! Run with `cargo run --example quickstart`.
+
+use chiplet_actuary::prelude::*;
+use chiplet_actuary::report::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = TechLibrary::paper_defaults()?;
+    let n5 = lib.node("5nm")?;
+    let module_area = Area::from_mm2(600.0)?;
+
+    println!("== chiplet-actuary quickstart ==\n");
+    println!(
+        "design: {module_area} of logic at {} (D = {}, wafer {})\n",
+        n5.id(),
+        n5.defect_density(),
+        n5.wafer_price()
+    );
+
+    // --- RE cost: monolithic SoC vs two-chiplet MCM. ----------------------
+    let soc = re_cost(
+        &[DiePlacement::new(n5, module_area, 1)],
+        lib.packaging(IntegrationKind::Soc)?,
+        AssemblyFlow::ChipLast,
+    )?;
+    let chiplet_die = n5.d2d().inflate_module_area(module_area / 2.0)?;
+    let mcm = re_cost(
+        &[DiePlacement::new(n5, chiplet_die, 2)],
+        lib.packaging(IntegrationKind::Mcm)?,
+        AssemblyFlow::ChipLast,
+    )?;
+
+    let mut table = Table::new(vec!["component", "SoC", "2-chiplet MCM"]);
+    for ((label, soc_part), (_, mcm_part)) in
+        soc.components().iter().zip(mcm.components().iter())
+    {
+        table.push_row(vec![
+            label.to_string(),
+            format!("{soc_part}"),
+            format!("{mcm_part}"),
+        ]);
+    }
+    table.push_row(vec![
+        "TOTAL (RE / unit)".to_string(),
+        format!("{}", soc.total()),
+        format!("{}", mcm.total()),
+    ]);
+    println!("{table}");
+
+    let saving = (soc.total().usd() - mcm.total().usd()) / soc.total().usd();
+    println!("re-partitioning saves {:.1}% of the recurring cost\n", saving * 100.0);
+
+    // --- Total cost: when does the chiplet NRE pay back? -------------------
+    println!("per-unit total cost (RE + amortized NRE), no reuse:");
+    let mut totals = Table::new(vec!["quantity", "SoC", "2-chiplet MCM", "winner"]);
+    for quantity in [200_000u64, 500_000, 2_000_000, 10_000_000] {
+        let build = |kind: IntegrationKind, n: u32| -> Result<Money, Box<dyn std::error::Error>> {
+            let chips = partition::equal_chiplets("qs", "5nm", module_area, n)?;
+            let mut builder =
+                System::builder("qs-sys", kind).quantity(Quantity::new(quantity));
+            for chip in chips {
+                builder = builder.chip(chip, 1);
+            }
+            let cost =
+                Portfolio::new(vec![builder.build()?]).cost(&lib, AssemblyFlow::ChipLast)?;
+            Ok(cost.systems()[0].per_unit_total())
+        };
+        let soc_total = build(IntegrationKind::Soc, 1)?;
+        let mcm_total = build(IntegrationKind::Mcm, 2)?;
+        totals.push_row(vec![
+            Quantity::new(quantity).to_string(),
+            soc_total.to_string(),
+            mcm_total.to_string(),
+            if mcm_total < soc_total { "MCM" } else { "SoC" }.to_string(),
+        ]);
+    }
+    println!("{totals}");
+    println!("(the paper's §4.2: a single system should stay monolithic unless the");
+    println!(" production quantity is large enough to amortize the extra chip NRE)");
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! The three chiplet-reuse schemes of the paper's §5 (SCMS, OCME, FSMC)
+//! evaluated as portfolios, with per-system cost breakdowns.
+//!
+//! Run with `cargo run --example reuse_portfolio`.
+
+use chiplet_actuary::arch::reuse::{FsmcSpec, OcmeSpec, ScmsSpec};
+use chiplet_actuary::prelude::*;
+use chiplet_actuary::report::Table;
+
+fn print_portfolio(
+    title: &str,
+    cost: &PortfolioCost,
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!("-- {title} --");
+    let mut table = Table::new(vec!["system", "RE/unit", "NRE/unit", "total/unit", "RE share"]);
+    for sc in cost.systems() {
+        table.push_row(vec![
+            sc.name().to_string(),
+            sc.re().total().to_string(),
+            sc.nre_per_unit().total().to_string(),
+            sc.per_unit_total().to_string(),
+            format!("{:.0}%", sc.re_share() * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "portfolio NRE {} | program total {} | average per-unit {}\n",
+        cost.nre_total().total(),
+        cost.program_total(),
+        cost.average_per_unit()
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = TechLibrary::paper_defaults()?;
+    let flow = AssemblyFlow::ChipLast;
+
+    // --- SCMS: one chiplet, three system grades (§5.1). -------------------
+    let scms = ScmsSpec::paper_example()?;
+    print_portfolio(
+        "SCMS: one 7nm 200mm² chiplet builds 1X/2X/4X on MCM",
+        &scms.portfolio()?.cost(&lib, flow)?,
+    )?;
+    let mut scms_reuse = ScmsSpec::paper_example()?;
+    scms_reuse.package_reuse = true;
+    print_portfolio(
+        "SCMS with package reuse (one 4X-sized package design)",
+        &scms_reuse.portfolio()?.cost(&lib, flow)?,
+    )?;
+
+    // --- OCME: a reused center + extensions, heterogeneous option (§5.2). --
+    let mut ocme = OcmeSpec::paper_example()?;
+    ocme.package_reuse = true;
+    print_portfolio(
+        "OCME: center + extensions, shared package",
+        &ocme.portfolio()?.cost(&lib, flow)?,
+    )?;
+    ocme.center_node = Some(NodeId::new("14nm"));
+    print_portfolio(
+        "OCME heterogeneous: the center die moves to 14nm",
+        &ocme.portfolio()?.cost(&lib, flow)?,
+    )?;
+
+    // --- FSMC: k sockets × n chiplet types, every collocation (§5.3). -----
+    let fsmc = FsmcSpec::paper_example(3, 4)?;
+    println!(
+        "FSMC (k=3 sockets, n=4 types) builds {} distinct systems from 4 chiplets",
+        fsmc.system_count()
+    );
+    let cost = fsmc.portfolio()?.cost(&lib, flow)?;
+    println!(
+        "average per-unit cost {} vs per-system SoCs {}\n",
+        cost.average_per_unit(),
+        fsmc.soc_portfolio()?.cost(&lib, flow)?.average_per_unit()
+    );
+    println!("(§5.3: \"the basic principle is building more systems by fewer chiplets\")");
+    Ok(())
+}

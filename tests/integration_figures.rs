@@ -1,0 +1,151 @@
+//! End-to-end reproduction tests: every figure of the paper computes from
+//! the default library and every qualitative claim from the paper's prose
+//! holds ("shape checks"). This is the repository's headline guarantee.
+
+use chiplet_actuary::figures::{fig10, fig2, fig4, fig5, fig6, fig8, fig9, ShapeCheck};
+use chiplet_actuary::prelude::*;
+
+fn assert_all_pass(figure: &str, checks: &[ShapeCheck]) {
+    let failures: Vec<&ShapeCheck> = checks.iter().filter(|c| !c.pass).collect();
+    assert!(
+        failures.is_empty(),
+        "{figure}: {} claim(s) failed:\n{}",
+        failures.len(),
+        failures
+            .iter()
+            .map(|c| format!("  {c}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn figure2_reproduces_with_all_claims() {
+    let lib = TechLibrary::paper_defaults().unwrap();
+    let fig = fig2::compute(&lib).unwrap();
+    assert_eq!(fig.technologies().len(), 6);
+    assert_all_pass("Figure 2", &fig.checks());
+}
+
+#[test]
+fn figure4_reproduces_with_all_claims() {
+    let lib = TechLibrary::paper_defaults().unwrap();
+    let fig = fig4::compute(&lib).unwrap();
+    assert_eq!(fig.cells.len(), 324);
+    assert_all_pass("Figure 4", &fig.checks());
+}
+
+#[test]
+fn figure5_reproduces_with_all_claims() {
+    let lib = TechLibrary::paper_defaults().unwrap();
+    let fig = fig5::compute(&lib).unwrap();
+    assert_all_pass("Figure 5", &fig.checks());
+}
+
+#[test]
+fn figure6_reproduces_with_all_claims() {
+    let lib = TechLibrary::paper_defaults().unwrap();
+    let fig = fig6::compute(&lib).unwrap();
+    assert_all_pass("Figure 6", &fig.checks());
+}
+
+#[test]
+fn figure8_reproduces_with_all_claims() {
+    let lib = TechLibrary::paper_defaults().unwrap();
+    let fig = fig8::compute(&lib).unwrap();
+    assert_all_pass("Figure 8", &fig.checks());
+}
+
+#[test]
+fn figure9_reproduces_with_all_claims() {
+    let lib = TechLibrary::paper_defaults().unwrap();
+    let fig = fig9::compute(&lib).unwrap();
+    assert_all_pass("Figure 9", &fig.checks());
+}
+
+#[test]
+fn figure10_reproduces_with_all_claims() {
+    let lib = TechLibrary::paper_defaults().unwrap();
+    let fig = fig10::compute(&lib).unwrap();
+    assert_all_pass("Figure 10", &fig.checks());
+}
+
+/// Cross-figure consistency: Figure 4's SoC bar at (5nm, 800 mm²) and
+/// Figure 6's 5 nm SoC RE must describe the same system, so their ratios to
+/// their own normalization bases must agree.
+#[test]
+fn figure4_and_figure6_describe_the_same_soc() {
+    let lib = TechLibrary::paper_defaults().unwrap();
+    let n5 = lib.node("5nm").unwrap();
+
+    // Figure 4's normalized SoC total × its basis = absolute RE cost.
+    let fig4 = fig4::compute(&lib).unwrap();
+    let bar = fig4.cell("5nm", 2, IntegrationKind::Soc, 800.0).unwrap();
+    let basis = re_cost(
+        &[DiePlacement::new(n5, Area::from_mm2(100.0).unwrap(), 1)],
+        lib.packaging(IntegrationKind::Soc).unwrap(),
+        AssemblyFlow::ChipLast,
+    )
+    .unwrap()
+    .total();
+    let fig4_absolute = bar.total() * basis.usd();
+
+    let direct = re_cost(
+        &[DiePlacement::new(n5, Area::from_mm2(800.0).unwrap(), 1)],
+        lib.packaging(IntegrationKind::Soc).unwrap(),
+        AssemblyFlow::ChipLast,
+    )
+    .unwrap()
+    .total();
+    assert!(
+        (fig4_absolute - direct.usd()).abs() < 1e-6,
+        "fig4 {} vs direct {}",
+        fig4_absolute,
+        direct
+    );
+}
+
+/// The renders and tables never panic and carry the full datasets (these
+/// are what the benches and EXPERIMENTS.md print).
+#[test]
+fn all_figures_render_and_tabulate() {
+    let lib = TechLibrary::paper_defaults().unwrap();
+    let f2 = fig2::compute(&lib).unwrap();
+    assert!(f2.render().contains("Figure 2a"));
+    assert_eq!(f2.to_table().row_count(), f2.rows.len());
+
+    let f4 = fig4::compute(&lib).unwrap();
+    assert!(f4.render().len() > 1000);
+
+    let f5 = fig5::compute(&lib).unwrap();
+    assert!(f5.render().contains("chiplet"));
+
+    let f6 = fig6::compute(&lib).unwrap();
+    assert!(f6.render().contains("normalized to SoC RE"));
+
+    let f8 = fig8::compute(&lib).unwrap();
+    assert!(f8.render().contains("SCMS"));
+
+    let f9 = fig9::compute(&lib).unwrap();
+    assert!(f9.render().contains("OCME"));
+
+    let f10 = fig10::compute(&lib).unwrap();
+    assert!(f10.render().contains("FSMC"));
+}
+
+/// Every check of every figure collected at once — the exact content of
+/// EXPERIMENTS.md's verdict column.
+#[test]
+fn complete_claim_inventory_holds() {
+    let lib = TechLibrary::paper_defaults().unwrap();
+    let mut all: Vec<ShapeCheck> = Vec::new();
+    all.extend(fig2::compute(&lib).unwrap().checks());
+    all.extend(fig4::compute(&lib).unwrap().checks());
+    all.extend(fig5::compute(&lib).unwrap().checks());
+    all.extend(fig6::compute(&lib).unwrap().checks());
+    all.extend(fig8::compute(&lib).unwrap().checks());
+    all.extend(fig9::compute(&lib).unwrap().checks());
+    all.extend(fig10::compute(&lib).unwrap().checks());
+    assert!(all.len() >= 30, "expected a rich claim inventory, got {}", all.len());
+    assert_all_pass("all figures", &all);
+}

@@ -1,0 +1,216 @@
+//! Deep integration tests of the §5 reuse schemes: quantitative sharing
+//! arithmetic that the figure-level shape checks do not pin down.
+
+use chiplet_actuary::arch::reuse::{
+    binomial, fsmc_system_count, multiset_count, multisets, FsmcSpec, OcmeSpec, ScmsSpec,
+};
+use chiplet_actuary::arch::NreEntityKind;
+use chiplet_actuary::prelude::*;
+
+fn lib() -> TechLibrary {
+    TechLibrary::paper_defaults().unwrap()
+}
+
+/// With three SCMS systems of equal quantity sharing one package design,
+/// each gets exactly a third of the package NRE — so the 4X system's share
+/// falls by exactly two-thirds vs owning the design. The paper's "the NRE
+/// cost of the package will be reduced by two-thirds" is exact arithmetic.
+#[test]
+fn scms_package_reuse_is_exactly_two_thirds_for_equal_quantities() {
+    let lib = lib();
+    let own = ScmsSpec::paper_example().unwrap();
+    let mut shared = ScmsSpec::paper_example().unwrap();
+    shared.package_reuse = true;
+
+    let own_cost = own.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+    let shared_cost = shared.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+
+    // The shared design is sized for the 4X system, so the 4X system's
+    // own-design NRE equals the shared design's total cost.
+    let own_4x = own_cost.system("4X").unwrap().nre_per_unit().packages;
+    let shared_4x = shared_cost.system("4X").unwrap().nre_per_unit().packages;
+    let ratio = shared_4x.usd() / own_4x.usd();
+    assert!(
+        (ratio - 1.0 / 3.0).abs() < 1e-9,
+        "4X package NRE share must fall to exactly 1/3, got {ratio}"
+    );
+}
+
+/// Chiplet NRE allocation follows usage: the 4X system uses 4 of the 7
+/// chiplet instances across the portfolio, so it carries 4/7 of the chip
+/// design cost.
+#[test]
+fn scms_chip_allocation_follows_usage() {
+    let lib = lib();
+    let cost = ScmsSpec::paper_example()
+        .unwrap()
+        .portfolio()
+        .unwrap()
+        .cost(&lib, AssemblyFlow::ChipLast)
+        .unwrap();
+    let chip_entity = cost
+        .entities()
+        .iter()
+        .find(|e| e.kind() == NreEntityKind::Chip)
+        .unwrap();
+    let total = chip_entity.cost().usd();
+    let q = 500_000.0;
+    // Per-unit × quantity = absolute share; 1X + 2X + 4X uses = 7.
+    for (system, uses) in [("1X", 1.0), ("2X", 2.0), ("4X", 4.0)] {
+        let per_unit = chip_entity.allocation_for(system).usd();
+        let absolute = per_unit * q;
+        let expected = total * uses / 7.0;
+        assert!(
+            (absolute - expected).abs() < 1.0,
+            "{system}: {absolute} vs expected {expected}"
+        );
+    }
+}
+
+/// The SCMS SoC baseline pays three chip designs (one per grade) but only
+/// one module design — chip entities 3, module entities 1.
+#[test]
+fn scms_soc_baseline_entity_structure() {
+    let lib = lib();
+    let cost = ScmsSpec::paper_example()
+        .unwrap()
+        .soc_portfolio()
+        .unwrap()
+        .cost(&lib, AssemblyFlow::ChipLast)
+        .unwrap();
+    let chips = cost.entities().iter().filter(|e| e.kind() == NreEntityKind::Chip).count();
+    let modules =
+        cost.entities().iter().filter(|e| e.kind() == NreEntityKind::Module).count();
+    let d2d = cost.entities().iter().filter(|e| e.kind() == NreEntityKind::D2d).count();
+    assert_eq!(chips, 3, "one SoC die per grade");
+    assert_eq!(modules, 1, "the 200mm² module is designed once");
+    assert_eq!(d2d, 0, "monolithic SoCs need no D2D");
+}
+
+/// OCME with a heterogeneous (14 nm) center adds a second D2D design (one
+/// per node) — Eq. (8)'s per-node D2D term.
+#[test]
+fn ocme_heterogeneous_pays_two_d2d_designs() {
+    let lib = lib();
+    let mut spec = OcmeSpec::paper_example().unwrap();
+    let homo = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+    spec.center_node = Some(NodeId::new("14nm"));
+    let hetero = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+
+    let d2d_count = |cost: &PortfolioCost| {
+        cost.entities().iter().filter(|e| e.kind() == NreEntityKind::D2d).count()
+    };
+    assert_eq!(d2d_count(&homo), 1);
+    assert_eq!(d2d_count(&hetero), 2);
+
+    let d2d_7 = d2d_nre_of(&lib, "7nm");
+    let d2d_14 = d2d_nre_of(&lib, "14nm");
+    assert!((hetero.nre_total().d2d.usd() - (d2d_7 + d2d_14)).abs() < 1.0);
+}
+
+fn d2d_nre_of(lib: &TechLibrary, node: &str) -> f64 {
+    lib.node(node).unwrap().d2d().nre_cost().usd()
+}
+
+/// The heterogeneous center die is cheaper to manufacture *and* design
+/// (mature wafers, mature NRE) when its modules are unscalable.
+#[test]
+fn ocme_heterogeneous_center_economics() {
+    let lib = lib();
+    let mut spec = OcmeSpec::paper_example().unwrap();
+    let homo = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+    spec.center_node = Some(NodeId::new("14nm"));
+    let hetero = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+
+    // RE of the C-only system falls (cheaper wafer at the same area).
+    let re_homo = homo.system("C").unwrap().re().total();
+    let re_hetero = hetero.system("C").unwrap().re().total();
+    assert!(re_hetero < re_homo);
+
+    // Module + chip NRE fall as well.
+    assert!(hetero.nre_total().modules < homo.nre_total().modules);
+    assert!(hetero.nre_total().chips < homo.nre_total().chips);
+}
+
+/// FSMC combinatorics: enumeration matches the closed formulas everywhere,
+/// and every generated collocation is a valid multiset.
+#[test]
+fn fsmc_combinatorics_are_exact() {
+    for types in 1..=6u32 {
+        for size in 1..=4u32 {
+            let sets = multisets(types, size);
+            assert_eq!(sets.len() as u64, multiset_count(types, size));
+            for counts in &sets {
+                assert_eq!(counts.len(), types as usize);
+                assert_eq!(counts.iter().sum::<u32>(), size);
+            }
+            // No duplicates.
+            let mut sorted = sets.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), sets.len());
+        }
+    }
+    assert_eq!(binomial(9, 4), 126);
+    assert_eq!(fsmc_system_count(6, 4), 209);
+}
+
+/// FSMC portfolios build exactly the advertised number of systems and the
+/// whole family shares one package design and n chip designs.
+#[test]
+fn fsmc_portfolio_entity_structure() {
+    let lib = lib();
+    let spec = FsmcSpec::paper_example(3, 4).unwrap();
+    let portfolio = spec.portfolio().unwrap();
+    assert_eq!(portfolio.len() as u64, spec.system_count());
+    let cost = portfolio.cost(&lib, AssemblyFlow::ChipLast).unwrap();
+    let packages =
+        cost.entities().iter().filter(|e| e.kind() == NreEntityKind::Package).count();
+    let chips = cost.entities().iter().filter(|e| e.kind() == NreEntityKind::Chip).count();
+    assert_eq!(packages, 1, "one shared k-socket package design");
+    assert_eq!(chips, 4, "one design per chiplet type");
+}
+
+/// The FSMC single-chiplet collocations pay the oversized shared package —
+/// their RE exceeds what a right-sized package would cost.
+#[test]
+fn fsmc_small_collocations_pay_for_the_big_package() {
+    let lib = lib();
+    let spec = FsmcSpec::paper_example(4, 4).unwrap();
+    let cost = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+    // "1A" (one chiplet) vs "4A" (four chiplets): same die design; the
+    // package materials dominate the difference in raw package cost.
+    let one = cost.system("1A").unwrap().re();
+    let four = cost.system("4A").unwrap().re();
+    assert!(one.raw_chips < four.raw_chips);
+    // Same package sizing basis: raw package costs differ only by bond
+    // count (3 extra bonds at $0.50).
+    let delta = four.raw_package.usd() - one.raw_package.usd();
+    assert!(
+        (delta - 1.5).abs() < 1e-6,
+        "package material difference should be 3 bonds, got {delta}"
+    );
+}
+
+/// Reuse benefit grows with the number of systems sharing: FSMC average
+/// NRE per unit decreases monotonically along the paper's five situations.
+#[test]
+fn fsmc_nre_amortization_monotone_across_situations() {
+    let lib = lib();
+    let mut last = f64::INFINITY;
+    for (k, n) in [(2u32, 2u32), (2, 4), (3, 4), (4, 4), (4, 6)] {
+        let spec = FsmcSpec::paper_example(k, n).unwrap();
+        let cost = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let avg_nre: f64 = cost
+            .systems()
+            .iter()
+            .map(|s| s.nre_per_unit().total().usd())
+            .sum::<f64>()
+            / cost.systems().len() as f64;
+        assert!(
+            avg_nre <= last + 1e-9,
+            "(k={k},n={n}): avg NRE {avg_nre} rose above {last}"
+        );
+        last = avg_nre;
+    }
+}
