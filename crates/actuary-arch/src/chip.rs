@@ -43,12 +43,13 @@ pub struct Chip {
 impl Chip {
     /// Creates a chiplet: modules plus the node's D2D interface. The die
     /// area is inflated by the node's D2D area fraction.
-    pub fn chiplet(
-        name: impl Into<String>,
-        node: impl Into<NodeId>,
-        modules: Vec<Module>,
-    ) -> Self {
-        Chip { name: name.into(), node: node.into(), modules, is_chiplet: true }
+    pub fn chiplet(name: impl Into<String>, node: impl Into<NodeId>, modules: Vec<Module>) -> Self {
+        Chip {
+            name: name.into(),
+            node: node.into(),
+            modules,
+            is_chiplet: true,
+        }
     }
 
     /// Creates a monolithic SoC die: modules only, no D2D interface.
@@ -57,7 +58,12 @@ impl Chip {
         node: impl Into<NodeId>,
         modules: Vec<Module>,
     ) -> Self {
-        Chip { name: name.into(), node: node.into(), modules, is_chiplet: false }
+        Chip {
+            name: name.into(),
+            node: node.into(),
+            modules,
+            is_chiplet: false,
+        }
     }
 
     /// The chip's design name (the NRE-sharing identity).
@@ -133,7 +139,11 @@ impl fmt::Display for Chip {
             f,
             "{} ({} @ {}, {} modules)",
             self.name,
-            if self.is_chiplet { "chiplet" } else { "SoC die" },
+            if self.is_chiplet {
+                "chiplet"
+            } else {
+                "SoC die"
+            },
             self.node,
             self.modules.len()
         )
@@ -158,7 +168,10 @@ mod tests {
         let c = Chip::chiplet(
             "x",
             "5nm",
-            vec![Module::new("a", "5nm", area(45.0)), Module::new("b", "5nm", area(45.0))],
+            vec![
+                Module::new("a", "5nm", area(45.0)),
+                Module::new("b", "5nm", area(45.0)),
+            ],
         );
         assert_eq!(c.module_area().mm2(), 90.0);
         assert!((c.die_area(&lib).unwrap().mm2() - 100.0).abs() < 1e-9);

@@ -88,9 +88,13 @@ mod tests {
 
     #[test]
     fn messages() {
-        let e = ArchError::InvalidArchitecture { reason: "no chips".into() };
+        let e = ArchError::InvalidArchitecture {
+            reason: "no chips".into(),
+        };
         assert!(e.to_string().contains("no chips"));
-        let e = ArchError::InvalidPartition { reason: "zero chiplets".into() };
+        let e = ArchError::InvalidPartition {
+            reason: "zero chiplets".into(),
+        };
         assert!(e.to_string().contains("zero chiplets"));
     }
 

@@ -81,7 +81,11 @@ impl Floorplan {
 
     /// Silicon utilization: die area over bounding-box area (`0..=1`).
     pub fn utilization(&self) -> f64 {
-        let silicon: f64 = self.placements.iter().map(|p| p.width_mm * p.height_mm).sum();
+        let silicon: f64 = self
+            .placements
+            .iter()
+            .map(|p| p.width_mm * p.height_mm)
+            .sum();
         let bb = self.width_mm * self.height_mm;
         if bb == 0.0 {
             0.0
@@ -148,10 +152,7 @@ pub fn shelf_pack(
         });
     }
     let total_area: f64 = dies.iter().map(|d| d.area().mm2()).sum();
-    let widest = dies
-        .iter()
-        .map(|d| d.width_mm())
-        .fold(0.0f64, f64::max);
+    let widest = dies.iter().map(|d| d.width_mm()).fold(0.0f64, f64::max);
     let target_width = match max_width_mm {
         Some(w) => {
             if w < widest {
@@ -192,7 +193,11 @@ pub fn shelf_pack(
             shelf_height = 0.0;
             cursor_x = 0.0;
         }
-        let x = if cursor_x == 0.0 { 0.0 } else { cursor_x + spacing_mm };
+        let x = if cursor_x == 0.0 {
+            0.0
+        } else {
+            cursor_x + spacing_mm
+        };
         placements.push(Placement {
             x_mm: x,
             y_mm: shelf_y,
@@ -204,7 +209,11 @@ pub fn shelf_pack(
         bb_width = bb_width.max(cursor_x);
     }
     let bb_height = shelf_y + shelf_height;
-    Ok(Floorplan { width_mm: bb_width, height_mm: bb_height, placements })
+    Ok(Floorplan {
+        width_mm: bb_width,
+        height_mm: bb_height,
+        placements,
+    })
 }
 
 /// Estimates the interposer area for a set of die footprints by shelf
@@ -214,10 +223,7 @@ pub fn shelf_pack(
 /// # Errors
 ///
 /// Same conditions as [`shelf_pack`].
-pub fn interposer_area_estimate(
-    dies: &[DieFootprint],
-    spacing_mm: f64,
-) -> Result<Area, ArchError> {
+pub fn interposer_area_estimate(dies: &[DieFootprint], spacing_mm: f64) -> Result<Area, ArchError> {
     Ok(shelf_pack(dies, spacing_mm, None)?.area())
 }
 
@@ -288,7 +294,10 @@ mod tests {
         let silicon: f64 = dies.iter().map(|d| d.area().mm2()).sum();
         let estimate = interposer_area_estimate(&dies, 1.0).unwrap();
         assert!(estimate.mm2() > silicon);
-        assert!(estimate.mm2() < 2.0 * silicon, "estimate {estimate} vs silicon {silicon}");
+        assert!(
+            estimate.mm2() < 2.0 * silicon,
+            "estimate {estimate} vs silicon {silicon}"
+        );
     }
 
     proptest! {

@@ -37,7 +37,11 @@ pub struct Module {
 impl Module {
     /// Creates a module of `area` designed at `node`.
     pub fn new(name: impl Into<String>, node: impl Into<NodeId>, area: Area) -> Self {
-        Module { name: name.into(), node: node.into(), area }
+        Module {
+            name: name.into(),
+            node: node.into(),
+            area,
+        }
     }
 
     /// The module's design name.
@@ -72,7 +76,11 @@ impl Module {
     pub fn ported_to(&self, target: &ProcessNode, lib: &TechLibrary) -> Result<Module, ArchError> {
         let source = lib.node(self.node.as_str())?;
         let area = target.port_area_from(self.area, source)?;
-        Ok(Module { name: self.name.clone(), node: target.id().clone(), area })
+        Ok(Module {
+            name: self.name.clone(),
+            node: target.id().clone(),
+            area,
+        })
     }
 }
 
@@ -104,7 +112,11 @@ mod tests {
         let b = Module::new("x", "14nm", area(10.0));
         assert_ne!(a.design_key(), b.design_key());
         let c = Module::new("x", "7nm", area(20.0));
-        assert_eq!(a.design_key(), c.design_key(), "area does not affect identity");
+        assert_eq!(
+            a.design_key(),
+            c.design_key(),
+            "area does not affect identity"
+        );
     }
 
     #[test]

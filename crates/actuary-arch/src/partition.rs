@@ -97,7 +97,10 @@ pub type Partition = Vec<Vec<usize>>;
 /// # Ok(())
 /// # }
 /// ```
-pub fn enumerate_partitions(n_modules: usize, max_groups: usize) -> Result<Vec<Partition>, ArchError> {
+pub fn enumerate_partitions(
+    n_modules: usize,
+    max_groups: usize,
+) -> Result<Vec<Partition>, ArchError> {
     if max_groups == 0 {
         return Err(ArchError::InvalidPartition {
             reason: "max_groups must be positive".to_string(),
@@ -346,8 +349,7 @@ mod tests {
         let ms = modules(&[100.0, 90.0, 50.0, 40.0, 30.0, 10.0]);
         let partition = greedy_balance(&ms, 2).unwrap();
         assert_eq!(partition.len(), 2);
-        let load =
-            |g: &Vec<usize>| -> f64 { g.iter().map(|&i| ms[i].area().mm2()).sum() };
+        let load = |g: &Vec<usize>| -> f64 { g.iter().map(|&i| ms[i].area().mm2()).sum() };
         let (a, b) = (load(&partition[0]), load(&partition[1]));
         // LPT on this instance is near-perfect: 160 vs 160.
         assert!((a - b).abs() <= 20.0, "loads {a} vs {b}");
@@ -365,8 +367,7 @@ mod tests {
         // Empty group.
         assert!(chips_for_partition("p", "7nm", &ms, &vec![vec![0, 1, 2], vec![]]).is_err());
         // Valid two-group partition.
-        let chips =
-            chips_for_partition("p", "7nm", &ms, &vec![vec![0, 2], vec![1]]).unwrap();
+        let chips = chips_for_partition("p", "7nm", &ms, &vec![vec![0, 2], vec![1]]).unwrap();
         assert_eq!(chips.len(), 2);
         assert_eq!(chips[0].module_area().mm2(), 40.0);
         assert_eq!(chips[1].module_area().mm2(), 20.0);

@@ -271,7 +271,9 @@ impl Portfolio {
         for s in &self.systems {
             if let Some(design) = s.package_design() {
                 let silicon = s.total_silicon(lib)?;
-                let entry = design_silicon.entry(design.to_string()).or_insert(Area::ZERO);
+                let entry = design_silicon
+                    .entry(design.to_string())
+                    .or_insert(Area::ZERO);
                 *entry = entry.max(silicon);
                 match design_kind.get(design) {
                     None => {
@@ -313,12 +315,12 @@ impl Portfolio {
         let mut index: BTreeMap<(NreEntityKind, String), usize> = BTreeMap::new();
 
         let add_use = |drafts: &mut Vec<EntityDraft>,
-                           index: &mut BTreeMap<(NreEntityKind, String), usize>,
-                           kind: NreEntityKind,
-                           name: String,
-                           cost: Money,
-                           system: &str,
-                           uses: f64|
+                       index: &mut BTreeMap<(NreEntityKind, String), usize>,
+                       kind: NreEntityKind,
+                       name: String,
+                       cost: Money,
+                       system: &str,
+                       uses: f64|
          -> Result<(), ArchError> {
             let key = (kind, name.clone());
             let idx = match index.get(&key) {
@@ -405,8 +407,11 @@ impl Portfolio {
         }
 
         // --- Allocate entity costs per unit. -------------------------------
-        let quantity_of: BTreeMap<&str, Quantity> =
-            self.systems.iter().map(|s| (s.name(), s.quantity())).collect();
+        let quantity_of: BTreeMap<&str, Quantity> = self
+            .systems
+            .iter()
+            .map(|s| (s.name(), s.quantity()))
+            .collect();
         let mut entities = Vec::with_capacity(drafts.len());
         for draft in drafts {
             let total_weight: f64 = draft
@@ -463,7 +468,11 @@ impl Portfolio {
             }
         }
 
-        Ok(PortfolioCost { systems: systems_out, entities, nre_total })
+        Ok(PortfolioCost {
+            systems: systems_out,
+            entities,
+            nre_total,
+        })
     }
 }
 
@@ -638,7 +647,9 @@ mod tests {
             .package_design("pkg")
             .build()
             .unwrap();
-        let err = Portfolio::new(vec![a, b]).cost(&lib, AssemblyFlow::ChipLast).unwrap_err();
+        let err = Portfolio::new(vec![a, b])
+            .cost(&lib, AssemblyFlow::ChipLast)
+            .unwrap_err();
         assert!(err.to_string().contains("integration"), "{err}");
     }
 
@@ -670,7 +681,9 @@ mod tests {
             .quantity(Quantity::new(1_000_000))
             .build()
             .unwrap();
-        let cost = Portfolio::new(vec![s]).cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let cost = Portfolio::new(vec![s])
+            .cost(&lib, AssemblyFlow::ChipLast)
+            .unwrap();
         assert_eq!(cost.nre_total().d2d, Money::ZERO);
         assert!(cost.nre_total().chips.usd() > 0.0);
         assert!(cost.nre_total().packages.usd() > 0.0);

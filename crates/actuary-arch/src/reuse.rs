@@ -155,7 +155,11 @@ impl ScmsSpec {
         Chip::chiplet(
             "scms-chiplet",
             self.node.clone(),
-            vec![Module::new("scms-module", self.node.clone(), self.chiplet_module_area)],
+            vec![Module::new(
+                "scms-module",
+                self.node.clone(),
+                self.chiplet_module_area,
+            )],
         )
     }
 
@@ -202,9 +206,7 @@ impl ScmsSpec {
         let mut systems = Vec::with_capacity(self.multiplicities.len());
         for &m in &self.multiplicities {
             let modules = (0..m)
-                .map(|_| {
-                    Module::new("scms-module", self.node.clone(), self.chiplet_module_area)
-                })
+                .map(|_| Module::new("scms-module", self.node.clone(), self.chiplet_module_area))
                 .collect();
             let die = Chip::monolithic(format!("scms-soc-{m}x"), self.node.clone(), modules);
             systems.push(
@@ -261,7 +263,10 @@ impl OcmeSpec {
 
     /// The center chip `C` (at the heterogeneous node if configured).
     pub fn center_chip(&self) -> Chip {
-        let node = self.center_node.clone().unwrap_or_else(|| self.node.clone());
+        let node = self
+            .center_node
+            .clone()
+            .unwrap_or_else(|| self.node.clone());
         Chip::chiplet(
             "ocme-center",
             node.clone(),
@@ -292,8 +297,12 @@ impl OcmeSpec {
         let x = self.extension_chip("X");
         let y = self.extension_chip("Y");
         // (name, #X, #Y)
-        let configs: [(&str, u32, u32); 4] =
-            [("C", 0, 0), ("C+1X", 1, 0), ("C+1X+1Y", 1, 1), ("C+2X+2Y", 2, 2)];
+        let configs: [(&str, u32, u32); 4] = [
+            ("C", 0, 0),
+            ("C+1X", 1, 0),
+            ("C+1X+1Y", 1, 1),
+            ("C+2X+2Y", 2, 2),
+        ];
         let mut systems = Vec::with_capacity(configs.len());
         for (name, nx, ny) in configs {
             let mut builder = System::builder(name, self.integration)
@@ -321,12 +330,19 @@ impl OcmeSpec {
     ///
     /// Propagates system-construction errors.
     pub fn soc_portfolio(&self) -> Result<Portfolio, ArchError> {
-        let configs: [(&str, u32, u32); 4] =
-            [("C", 0, 0), ("C+1X", 1, 0), ("C+1X+1Y", 1, 1), ("C+2X+2Y", 2, 2)];
+        let configs: [(&str, u32, u32); 4] = [
+            ("C", 0, 0),
+            ("C+1X", 1, 0),
+            ("C+1X+1Y", 1, 1),
+            ("C+2X+2Y", 2, 2),
+        ];
         let mut systems = Vec::with_capacity(configs.len());
         for (name, nx, ny) in configs {
-            let mut modules =
-                vec![Module::new("ocme-center-m", self.node.clone(), self.socket_module_area)];
+            let mut modules = vec![Module::new(
+                "ocme-center-m",
+                self.node.clone(),
+                self.socket_module_area,
+            )];
             for _ in 0..nx {
                 modules.push(Module::new(
                     "ocme-ext-X-m",
@@ -463,8 +479,7 @@ impl FsmcSpec {
                         ));
                     }
                 }
-                let die =
-                    Chip::monolithic(format!("fsmc-soc-{name}"), self.node.clone(), modules);
+                let die = Chip::monolithic(format!("fsmc-soc-{name}"), self.node.clone(), modules);
                 systems.push(
                     System::builder(format!("{name}-soc"), IntegrationKind::Soc)
                         .chip(die, 1)
@@ -566,8 +581,16 @@ mod tests {
         // (nearly three quarters for 4X system) compared with monolithic".
         let lib = lib();
         let spec = ScmsSpec::paper_example().unwrap();
-        let mcm = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
-        let soc = spec.soc_portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let mcm = spec
+            .portfolio()
+            .unwrap()
+            .cost(&lib, AssemblyFlow::ChipLast)
+            .unwrap();
+        let soc = spec
+            .soc_portfolio()
+            .unwrap()
+            .cost(&lib, AssemblyFlow::ChipLast)
+            .unwrap();
         let mcm_chip_nre = mcm.nre_total().chips;
         let soc_chip_nre = soc.nre_total().chips;
         assert!(
@@ -584,9 +607,17 @@ mod tests {
         // total by >20 % (for MCM the paper's bound; we assert direction).
         let lib = lib();
         let mut spec = ScmsSpec::paper_example().unwrap();
-        let without = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let without = spec
+            .portfolio()
+            .unwrap()
+            .cost(&lib, AssemblyFlow::ChipLast)
+            .unwrap();
         spec.package_reuse = true;
-        let with = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let with = spec
+            .portfolio()
+            .unwrap()
+            .cost(&lib, AssemblyFlow::ChipLast)
+            .unwrap();
         assert!(with.nre_total().packages < without.nre_total().packages);
         let one_x_without = without.system("1X").unwrap().re().total();
         let one_x_with = with.system("1X").unwrap().re().total();
@@ -623,9 +654,17 @@ mod tests {
         let lib = lib();
         let mut spec = OcmeSpec::paper_example().unwrap();
         spec.package_reuse = true;
-        let homo = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let homo = spec
+            .portfolio()
+            .unwrap()
+            .cost(&lib, AssemblyFlow::ChipLast)
+            .unwrap();
         spec.center_node = Some(NodeId::new("14nm"));
-        let hetero = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let hetero = spec
+            .portfolio()
+            .unwrap()
+            .cost(&lib, AssemblyFlow::ChipLast)
+            .unwrap();
         assert!(
             hetero.program_total() < homo.program_total(),
             "mature-node center must cut total cost: {} vs {}",
@@ -657,12 +696,23 @@ mod tests {
         let lib = lib();
         let low = FsmcSpec::paper_example(2, 2).unwrap();
         let high = FsmcSpec::paper_example(4, 4).unwrap();
-        let low_cost = low.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
-        let high_cost = high.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let low_cost = low
+            .portfolio()
+            .unwrap()
+            .cost(&lib, AssemblyFlow::ChipLast)
+            .unwrap();
+        let high_cost = high
+            .portfolio()
+            .unwrap()
+            .cost(&lib, AssemblyFlow::ChipLast)
+            .unwrap();
         // Average per-unit NRE share must shrink with more collocations.
         let avg_nre = |c: &crate::portfolio::PortfolioCost| {
-            let total: f64 =
-                c.systems().iter().map(|s| s.nre_per_unit().total().usd()).sum();
+            let total: f64 = c
+                .systems()
+                .iter()
+                .map(|s| s.nre_per_unit().total().usd())
+                .sum();
             total / c.systems().len() as f64
         };
         assert!(
@@ -677,8 +727,16 @@ mod tests {
     fn fsmc_beats_soc_on_average_at_scale() {
         let lib = lib();
         let spec = FsmcSpec::paper_example(3, 4).unwrap();
-        let mcm = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
-        let soc = spec.soc_portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let mcm = spec
+            .portfolio()
+            .unwrap()
+            .cost(&lib, AssemblyFlow::ChipLast)
+            .unwrap();
+        let soc = spec
+            .soc_portfolio()
+            .unwrap()
+            .cost(&lib, AssemblyFlow::ChipLast)
+            .unwrap();
         assert!(
             mcm.average_per_unit() < soc.average_per_unit(),
             "full reuse must beat per-system SoCs: {} vs {}",

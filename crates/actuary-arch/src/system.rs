@@ -104,7 +104,10 @@ impl System {
 
     /// Total functional module area (the paper's x-axis in Figure 4).
     pub fn module_area(&self) -> Area {
-        self.chips.iter().map(|(c, n)| c.module_area() * *n as f64).sum()
+        self.chips
+            .iter()
+            .map(|(c, n)| c.module_area() * *n as f64)
+            .sum()
     }
 
     /// Per-unit RE cost breakdown (§3.2), optionally sizing the package for
@@ -125,7 +128,12 @@ impl System {
             let node = lib.node(chip.node().as_str())?;
             placements.push(DiePlacement::new(node, chip.die_area(lib)?, *count));
         }
-        Ok(re_cost_sized(&placements, packaging, flow, package_silicon)?)
+        Ok(re_cost_sized(
+            &placements,
+            packaging,
+            flow,
+            package_silicon,
+        )?)
     }
 }
 
@@ -238,7 +246,11 @@ mod tests {
     }
 
     fn chiplet(name: &str, mm2: f64) -> Chip {
-        Chip::chiplet(name, "7nm", vec![Module::new(format!("{name}-m"), "7nm", area(mm2))])
+        Chip::chiplet(
+            name,
+            "7nm",
+            vec![Module::new(format!("{name}-m"), "7nm", area(mm2))],
+        )
     }
 
     #[test]

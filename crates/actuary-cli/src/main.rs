@@ -119,6 +119,16 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(command) = args.first() else {
         return Err("no command given".to_string());
     };
+    // Honor help/version anywhere on the line (so `actuary repro --help`
+    // shows usage instead of a flag-parse error).
+    if command == "help" || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("actuary {}", env!("CARGO_PKG_VERSION"));
+        return Ok(());
+    }
     let flags = parse_flags(&args[1..])?;
     let lib = TechLibrary::paper_defaults().map_err(|e| e.to_string())?;
 
@@ -207,8 +217,7 @@ fn build_single_system(
 ) -> Result<System, String> {
     let area = Area::from_mm2(area_mm2).map_err(|e| e.to_string())?;
     let chips = equal_chiplets("cli", node, area, chiplets).map_err(|e| e.to_string())?;
-    let mut builder =
-        System::builder("cli-sys", integration).quantity(Quantity::new(quantity));
+    let mut builder = System::builder("cli-sys", integration).quantity(Quantity::new(quantity));
     for chip in chips {
         builder = builder.chip(chip, 1);
     }
@@ -252,7 +261,11 @@ fn cmd_cost(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<(), S
         println!("  {label:<26} {money}");
     }
     println!("  {:<26} {}", "TOTAL NRE/unit", sc.nre_per_unit().total());
-    println!("\nper-unit total: {} (RE share {:.0}%)", sc.per_unit_total(), sc.re_share() * 100.0);
+    println!(
+        "\nper-unit total: {} (RE share {:.0}%)",
+        sc.per_unit_total(),
+        sc.re_share() * 100.0
+    );
     Ok(())
 }
 
@@ -265,7 +278,9 @@ fn cmd_sweep(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<(), 
     };
     let node = lib.node(node_id).map_err(|e| e.to_string())?;
     let packaging = lib.packaging(integration).map_err(|e| e.to_string())?;
-    let soc_packaging = lib.packaging(IntegrationKind::Soc).map_err(|e| e.to_string())?;
+    let soc_packaging = lib
+        .packaging(IntegrationKind::Soc)
+        .map_err(|e| e.to_string())?;
 
     let mut table = actuary_report::Table::new(vec![
         "area_mm2",
@@ -345,7 +360,11 @@ fn cmd_mc(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<(), Str
         .re_cost(lib, AssemblyFlow::ChipLast, None)
         .map_err(|e| e.to_string())?
         .total();
-    let cfg = McConfig { systems, seed: 1, defect_process: DefectProcess::Bernoulli };
+    let cfg = McConfig {
+        systems,
+        seed: 1,
+        defect_process: DefectProcess::Bernoulli,
+    };
     let result =
         simulate_system(&system, lib, AssemblyFlow::ChipLast, &cfg).map_err(|e| e.to_string())?;
     println!("analytic expected cost: {analytic}");
@@ -358,13 +377,19 @@ fn cmd_mc(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<(), Str
     );
     println!(
         "agreement within 4 standard errors: {}",
-        if result.agrees_with(analytic, 4.0) { "yes" } else { "NO" }
+        if result.agrees_with(analytic, 4.0) {
+            "yes"
+        } else {
+            "NO"
+        }
     );
     Ok(())
 }
 
 fn cmd_repro(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<(), String> {
-    let figure = flags.get("figure").ok_or("missing required flag --figure")?;
+    let figure = flags
+        .get("figure")
+        .ok_or("missing required flag --figure")?;
     let csv = flags.contains_key("csv");
     let all = figure == "all";
     let mut any = false;
@@ -415,24 +440,35 @@ fn cmd_repro(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<(), 
     if all || figure == "ext" {
         let maturity = actuary_figures::ext::maturity_study(lib).map_err(|e| e.to_string())?;
         emit(csv, &maturity.to_table(), || {
-            format!("Extension: process-maturity study\n{}", maturity.to_table().render())
+            format!(
+                "Extension: process-maturity study\n{}",
+                maturity.to_table().render()
+            )
         });
         all_checks.extend(maturity.checks());
         let harvest = actuary_figures::ext::harvest_study(lib).map_err(|e| e.to_string())?;
         emit(csv, &harvest.to_table(), || {
-            format!("Extension: die-harvest (binning) study\n{}", harvest.to_table().render())
+            format!(
+                "Extension: die-harvest (binning) study\n{}",
+                harvest.to_table().render()
+            )
         });
         all_checks.extend(harvest.checks());
         let ablation =
             actuary_figures::ext::yield_model_ablation(lib).map_err(|e| e.to_string())?;
         emit(csv, &ablation.to_table(), || {
-            format!("Extension: yield-model ablation\n{}", ablation.to_table().render())
+            format!(
+                "Extension: yield-model ablation\n{}",
+                ablation.to_table().render()
+            )
         });
         all_checks.extend(ablation.checks());
         any = true;
     }
     if !any {
-        return Err(format!("unknown figure {figure:?} (2|4|5|6|8|9|10|ext|all)"));
+        return Err(format!(
+            "unknown figure {figure:?} (2|4|5|6|8|9|10|ext|all)"
+        ));
     }
     if !csv {
         println!("shape claims vs the paper:");
@@ -464,11 +500,17 @@ fn emit<F: FnOnce() -> String>(csv: bool, table: &actuary_report::Table, render:
 /// parameters of one system — which inputs the user should source most
 /// carefully (§4: "include the latest relevant data").
 fn cmd_sensitivity(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<(), String> {
-    let node_id = flags.get("node").ok_or("missing required flag --node")?.clone();
+    let node_id = flags
+        .get("node")
+        .ok_or("missing required flag --node")?
+        .clone();
     let area_mm2 = get_f64(flags, "area")?;
     let chiplets = get_u64_or(flags, "chiplets", 2)? as u32;
-    let integration =
-        if chiplets > 1 { IntegrationKind::Mcm } else { IntegrationKind::Soc };
+    let integration = if chiplets > 1 {
+        IntegrationKind::Mcm
+    } else {
+        IntegrationKind::Soc
+    };
 
     let base_node = lib.node(&node_id).map_err(|e| e.to_string())?.clone();
     let re_total = |library: &TechLibrary| -> Result<f64, actuary_arch::ArchError> {
@@ -481,7 +523,9 @@ fn cmd_sensitivity(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Resul
         } else {
             vec![DiePlacement::new(node, area, 1)]
         };
-        Ok(re_cost(&placements, packaging, AssemblyFlow::ChipLast)?.total().usd())
+        Ok(re_cost(&placements, packaging, AssemblyFlow::ChipLast)?
+            .total()
+            .usd())
     };
 
     let rebuild = |defect: f64, wafer_usd: f64| -> Result<TechLibrary, String> {
@@ -525,8 +569,7 @@ fn cmd_sensitivity(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Resul
         "RE-cost elasticities for {chiplets} × {:.1} mm² at {node_id} on {integration}:",
         area_mm2 / chiplets as f64
     );
-    let mut table =
-        actuary_report::Table::new(vec!["parameter", "base value", "elasticity"]);
+    let mut table = actuary_report::Table::new(vec!["parameter", "base value", "elasticity"]);
     for s in sensitivities {
         table.push_row(vec![
             s.parameter,
@@ -547,57 +590,75 @@ fn cmd_experiments(lib: &TechLibrary) -> Result<(), String> {
         (
             "Figure 2",
             "Yield / normalized cost-per-area vs die area for six technologies",
-            actuary_figures::fig2::compute(lib).map_err(|e| e.to_string())?.checks(),
+            actuary_figures::fig2::compute(lib)
+                .map_err(|e| e.to_string())?
+                .checks(),
         ),
         (
             "Figure 4",
             "Normalized RE cost breakdown: SoC/MCM/InFO/2.5D × {2,3,5} chiplets × \
              {14,7,5}nm × 100-900mm²",
-            actuary_figures::fig4::compute(lib).map_err(|e| e.to_string())?.checks(),
+            actuary_figures::fig4::compute(lib)
+                .map_err(|e| e.to_string())?
+                .checks(),
         ),
         (
             "Figure 5",
             "AMD validation: 7nm CCD + 12nm IOD MCM vs hypothetical monolithic 7nm, \
              16-64 cores",
-            actuary_figures::fig5::compute(lib).map_err(|e| e.to_string())?.checks(),
+            actuary_figures::fig5::compute(lib)
+                .map_err(|e| e.to_string())?
+                .checks(),
         ),
         (
             "Figure 6",
             "Total cost structure of a single 800mm² system at 14/5nm over \
              500k/2M/10M units",
-            actuary_figures::fig6::compute(lib).map_err(|e| e.to_string())?.checks(),
+            actuary_figures::fig6::compute(lib)
+                .map_err(|e| e.to_string())?
+                .checks(),
         ),
         (
             "Figure 8",
             "SCMS reuse: one 7nm 200mm² chiplet builds 1X/2X/4X on MCM/2.5D, \
              package reuse on/off",
-            actuary_figures::fig8::compute(lib).map_err(|e| e.to_string())?.checks(),
+            actuary_figures::fig8::compute(lib)
+                .map_err(|e| e.to_string())?
+                .checks(),
         ),
         (
             "Figure 9",
             "OCME reuse: center + extensions, package reuse, heterogeneous \
              14nm center",
-            actuary_figures::fig9::compute(lib).map_err(|e| e.to_string())?.checks(),
+            actuary_figures::fig9::compute(lib)
+                .map_err(|e| e.to_string())?
+                .checks(),
         ),
         (
             "Figure 10",
             "FSMC reuse: all collocations of n chiplet types in a k-socket package, \
              five (k,n) situations",
-            actuary_figures::fig10::compute(lib).map_err(|e| e.to_string())?.checks(),
+            actuary_figures::fig10::compute(lib)
+                .map_err(|e| e.to_string())?
+                .checks(),
         ),
         (
             "Extension: process maturity",
             "defect-density learning curve (0.13 → 0.05, τ=12mo) vs the chiplet \
              advantage at 7nm/600mm² — §4.1's 'as yield improves the advantage \
              is smaller'",
-            actuary_figures::ext::maturity_study(lib).map_err(|e| e.to_string())?.checks(),
+            actuary_figures::ext::maturity_study(lib)
+                .map_err(|e| e.to_string())?
+                .checks(),
         ),
         (
             "Extension: die harvesting",
             "partial-good salvage (binning) on an 8-core CCD vs a 64-core \
              monolithic die at early 7nm — the industry practice behind the \
              paper's EPYC reference",
-            actuary_figures::ext::harvest_study(lib).map_err(|e| e.to_string())?.checks(),
+            actuary_figures::ext::harvest_study(lib)
+                .map_err(|e| e.to_string())?
+                .checks(),
         ),
         (
             "Extension: yield-model ablation",

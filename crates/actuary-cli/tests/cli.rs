@@ -28,6 +28,41 @@ fn no_args_prints_usage_and_fails() {
 }
 
 #[test]
+fn help_flag_prints_usage_and_succeeds() {
+    for invocation in [&["--help"][..], &["-h"], &["help"]] {
+        let text = stdout(invocation);
+        assert!(text.contains("usage: actuary"), "{invocation:?}: {text}");
+        assert!(
+            text.contains("repro"),
+            "{invocation:?} must list subcommands"
+        );
+    }
+}
+
+#[test]
+fn version_flag_prints_version() {
+    let text = stdout(&["--version"]);
+    assert!(text.starts_with("actuary "), "{text}");
+}
+
+#[test]
+fn subcommand_help_prints_usage_not_an_error() {
+    for invocation in [&["repro", "--help"][..], &["cost", "-h"]] {
+        let text = stdout(invocation);
+        assert!(text.contains("usage: actuary"), "{invocation:?}: {text}");
+    }
+}
+
+#[test]
+fn help_then_repro_figure_smoke() {
+    // The satellite smoke path: `--help` followed by one figure
+    // reproduction, neither panicking.
+    stdout(&["--help"]);
+    let text = stdout(&["repro", "--figure", "4"]);
+    assert!(text.contains("Figure 4"), "{text}");
+}
+
+#[test]
 fn unknown_command_fails_with_message() {
     let out = actuary(&["frobnicate"]);
     assert!(!out.status.success());
@@ -78,7 +113,15 @@ fn cost_prints_both_re_and_nre() {
 
 #[test]
 fn sweep_covers_the_area_grid() {
-    let text = stdout(&["sweep", "--node", "5nm", "--chiplets", "2", "--integration", "mcm"]);
+    let text = stdout(&[
+        "sweep",
+        "--node",
+        "5nm",
+        "--chiplets",
+        "2",
+        "--integration",
+        "mcm",
+    ]);
     assert!(text.contains("100"));
     assert!(text.contains("900"));
     assert!(text.contains("saving"));
@@ -86,7 +129,15 @@ fn sweep_covers_the_area_grid() {
 
 #[test]
 fn partition_recommends() {
-    let text = stdout(&["partition", "--node", "5nm", "--area", "800", "--quantity", "10000000"]);
+    let text = stdout(&[
+        "partition",
+        "--node",
+        "5nm",
+        "--area",
+        "800",
+        "--quantity",
+        "10000000",
+    ]);
     assert!(text.contains("chiplet"));
     assert!(text.contains("SoC"));
 }
@@ -94,10 +145,21 @@ fn partition_recommends() {
 #[test]
 fn mc_agrees_with_analytic() {
     let text = stdout(&[
-        "mc", "--node", "7nm", "--area", "150", "--chiplets", "2", "--systems", "1500",
+        "mc",
+        "--node",
+        "7nm",
+        "--area",
+        "150",
+        "--chiplets",
+        "2",
+        "--systems",
+        "1500",
     ]);
     assert!(text.contains("monte-carlo"));
-    assert!(text.contains("agreement within 4 standard errors: yes"), "{text}");
+    assert!(
+        text.contains("agreement within 4 standard errors: yes"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -128,7 +190,15 @@ fn repro_rejects_unknown_figure() {
 
 #[test]
 fn sensitivity_ranks_parameters() {
-    let text = stdout(&["sensitivity", "--node", "5nm", "--area", "800", "--chiplets", "2"]);
+    let text = stdout(&[
+        "sensitivity",
+        "--node",
+        "5nm",
+        "--area",
+        "800",
+        "--chiplets",
+        "2",
+    ]);
     assert!(text.contains("elasticity"));
     assert!(text.contains("defect density"));
     assert!(text.contains("wafer price"));

@@ -164,34 +164,23 @@ mod tests {
 
     #[test]
     fn quantity_payback_none_when_never() {
-        let none = find_quantity_payback(
-            |_| Ok(1.0),
-            Quantity::new(1_000),
-            Quantity::new(1_000_000),
-        )
-        .unwrap();
+        let none =
+            find_quantity_payback(|_| Ok(1.0), Quantity::new(1_000), Quantity::new(1_000_000))
+                .unwrap();
         assert!(none.is_none());
     }
 
     #[test]
     fn quantity_payback_immediate() {
-        let q = find_quantity_payback(
-            |_| Ok(-1.0),
-            Quantity::new(1_000),
-            Quantity::new(1_000_000),
-        )
-        .unwrap()
-        .unwrap();
+        let q = find_quantity_payback(|_| Ok(-1.0), Quantity::new(1_000), Quantity::new(1_000_000))
+            .unwrap()
+            .unwrap();
         assert_eq!(q.count(), 1_000);
     }
 
     #[test]
     fn quantity_payback_validates_range() {
-        assert!(
-            find_quantity_payback(|_| Ok(0.0), Quantity::new(0), Quantity::new(10)).is_err()
-        );
-        assert!(
-            find_quantity_payback(|_| Ok(0.0), Quantity::new(10), Quantity::new(10)).is_err()
-        );
+        assert!(find_quantity_payback(|_| Ok(0.0), Quantity::new(0), Quantity::new(10)).is_err());
+        assert!(find_quantity_payback(|_| Ok(0.0), Quantity::new(10), Quantity::new(10)).is_err());
     }
 }

@@ -63,7 +63,11 @@ impl DefectRamp {
                 reason: format!("time constant {time_constant} must be positive"),
             });
         }
-        Ok(DefectRamp { initial, mature, time_constant })
+        Ok(DefectRamp {
+            initial,
+            mature,
+            time_constant,
+        })
     }
 
     /// Defect density at process age `t`.
@@ -132,7 +136,10 @@ mod tests {
     fn ramp_validates() {
         assert!(DefectRamp::new(0.13, 0.07, 12.0).is_ok());
         assert!(DefectRamp::new(-0.1, 0.07, 12.0).is_err());
-        assert!(DefectRamp::new(0.07, 0.13, 12.0).is_err(), "mature above initial");
+        assert!(
+            DefectRamp::new(0.07, 0.13, 12.0).is_err(),
+            "mature above initial"
+        );
         assert!(DefectRamp::new(0.13, 0.07, 0.0).is_err());
         let ramp = DefectRamp::new(0.13, 0.07, 12.0).unwrap();
         assert!(ramp.density_at(-1.0).is_err());

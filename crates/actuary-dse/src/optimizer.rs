@@ -78,7 +78,9 @@ pub struct Recommendation {
 impl Recommendation {
     /// The monolithic baseline candidate.
     pub fn soc_baseline(&self) -> Option<&Candidate> {
-        self.candidates.iter().find(|c| c.integration == IntegrationKind::Soc)
+        self.candidates
+            .iter()
+            .find(|c| c.integration == IntegrationKind::Soc)
     }
 
     /// Relative saving of the winner vs the monolithic baseline
@@ -247,7 +249,11 @@ mod tests {
         )
         .unwrap();
         assert!(rec.chiplets >= 2, "got {rec}");
-        assert!(rec.saving_vs_soc() > 0.05, "saving {:.3}", rec.saving_vs_soc());
+        assert!(
+            rec.saving_vs_soc() > 0.05,
+            "saving {:.3}",
+            rec.saving_vs_soc()
+        );
     }
 
     #[test]
@@ -270,14 +276,7 @@ mod tests {
     #[test]
     fn candidates_are_sorted_and_complete() {
         let space = SearchSpace::default();
-        let rec = recommend(
-            &lib(),
-            "7nm",
-            area(600.0),
-            Quantity::new(2_000_000),
-            &space,
-        )
-        .unwrap();
+        let rec = recommend(&lib(), "7nm", area(600.0), Quantity::new(2_000_000), &space).unwrap();
         // 1 SoC baseline + 3 kinds × 4 counts = 13 candidates.
         assert_eq!(rec.candidates.len(), 13);
         for pair in rec.candidates.windows(2) {
@@ -298,7 +297,11 @@ mod tests {
                 "5nm",
                 area(800.0),
                 Quantity::new(1),
-                if n == 1 { IntegrationKind::Soc } else { IntegrationKind::Mcm },
+                if n == 1 {
+                    IntegrationKind::Soc
+                } else {
+                    IntegrationKind::Mcm
+                },
                 n,
                 AssemblyFlow::ChipLast,
             )
@@ -325,14 +328,7 @@ mod tests {
             integrations: vec![],
             flow: AssemblyFlow::ChipLast,
         };
-        assert!(recommend(
-            &lib(),
-            "7nm",
-            area(100.0),
-            Quantity::new(1_000),
-            &space
-        )
-        .is_err());
+        assert!(recommend(&lib(), "7nm", area(100.0), Quantity::new(1_000), &space).is_err());
     }
 
     #[test]

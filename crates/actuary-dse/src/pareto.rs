@@ -24,7 +24,12 @@ pub fn pareto_min_indices(points: &[(f64, f64)]) -> Vec<usize> {
             .0
             .partial_cmp(&points[b].0)
             .expect("objectives must be finite")
-            .then(points[a].1.partial_cmp(&points[b].1).expect("objectives must be finite"))
+            .then(
+                points[a]
+                    .1
+                    .partial_cmp(&points[b].1)
+                    .expect("objectives must be finite"),
+            )
     });
     let mut frontier = Vec::new();
     let mut best_second = f64::INFINITY;
@@ -45,7 +50,10 @@ pub fn pareto_min_indices(points: &[(f64, f64)]) -> Vec<usize> {
 
 /// Convenience wrapper returning the non-dominated points themselves.
 pub fn pareto_min(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
-    pareto_min_indices(points).into_iter().map(|i| points[i]).collect()
+    pareto_min_indices(points)
+        .into_iter()
+        .map(|i| points[i])
+        .collect()
 }
 
 #[cfg(test)]
@@ -57,7 +65,10 @@ mod tests {
     fn simple_frontier() {
         let points = [(1.0, 5.0), (2.0, 3.0), (3.0, 4.0), (4.0, 1.0)];
         assert_eq!(pareto_min_indices(&points), vec![0, 1, 3]);
-        assert_eq!(pareto_min(&points), vec![(1.0, 5.0), (2.0, 3.0), (4.0, 1.0)]);
+        assert_eq!(
+            pareto_min(&points),
+            vec![(1.0, 5.0), (2.0, 3.0), (4.0, 1.0)]
+        );
     }
 
     #[test]

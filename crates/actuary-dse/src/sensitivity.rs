@@ -82,7 +82,11 @@ where
     let mut out = Vec::with_capacity(params.len());
     for (name, base) in params {
         let e = elasticity(base, rel_step, |v| cost_at(&name, v))?;
-        out.push(Sensitivity { parameter: name, base_value: base, elasticity: e });
+        out.push(Sensitivity {
+            parameter: name,
+            base_value: base,
+            elasticity: e,
+        });
     }
     out.sort_by(|a, b| {
         b.elasticity

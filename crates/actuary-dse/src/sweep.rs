@@ -67,7 +67,7 @@ impl Sweep {
             row.extend(p.values.iter().map(|v| format!("{v:.6}")));
             records.push(row);
         }
-        actuary_report::write_csv(&records)
+        actuary_units::write_csv(&records)
     }
 }
 
@@ -134,7 +134,10 @@ pub fn sweep_area(
 #[allow(clippy::type_complexity)]
 pub fn sweep_quantity(
     quantities: &[u64],
-    mut series: Vec<(String, Box<dyn FnMut(Quantity) -> Result<f64, ArchError> + '_>)>,
+    mut series: Vec<(
+        String,
+        Box<dyn FnMut(Quantity) -> Result<f64, ArchError> + '_>,
+    )>,
 ) -> Result<Sweep, ArchError> {
     if quantities.is_empty() || series.is_empty() {
         return Err(ArchError::InvalidArchitecture {
@@ -148,7 +151,10 @@ pub fn sweep_quantity(
         for (_, f) in series.iter_mut() {
             values.push(f(quantity)?);
         }
-        points.push(SweepPoint { x: q as f64, values });
+        points.push(SweepPoint {
+            x: q as f64,
+            values,
+        });
     }
     Ok(Sweep {
         series: series.into_iter().map(|(name, _)| name).collect(),
@@ -171,7 +177,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sweep.points().len(), 2);
-        assert_eq!(sweep.series_values("id").unwrap(), vec![(10.0, 10.0), (20.0, 20.0)]);
+        assert_eq!(
+            sweep.series_values("id").unwrap(),
+            vec![(10.0, 10.0), (20.0, 20.0)]
+        );
         assert!(sweep.series_values("nope").is_none());
         assert_eq!(sweep.x_label(), "area_mm2");
     }
@@ -187,7 +196,10 @@ mod tests {
     fn csv_output_shape() {
         let sweep = sweep_quantity(
             &[100, 200],
-            vec![("cost".to_string(), Box::new(|q: Quantity| Ok(1.0e6 / q.as_f64())))],
+            vec![(
+                "cost".to_string(),
+                Box::new(|q: Quantity| Ok(1.0e6 / q.as_f64())),
+            )],
         )
         .unwrap();
         let csv = sweep.to_csv();
@@ -201,7 +213,10 @@ mod tests {
         let sweep = sweep_area(
             &[100.0, 200.0, 300.0, 400.0],
             vec![
-                ("falling".to_string(), Box::new(|a: Area| Ok(1000.0 - 2.0 * a.mm2()))),
+                (
+                    "falling".to_string(),
+                    Box::new(|a: Area| Ok(1000.0 - 2.0 * a.mm2())),
+                ),
                 ("flat".to_string(), Box::new(|_| Ok(500.0))),
             ],
         )
@@ -252,7 +267,12 @@ mod tests {
             ],
         )
         .unwrap();
-        let crossover = sweep.first_crossover("mcm2", "soc").expect("5nm must cross");
-        assert!(crossover <= 400.0, "5nm MCM should win early, got {crossover}");
+        let crossover = sweep
+            .first_crossover("mcm2", "soc")
+            .expect("5nm must cross");
+        assert!(
+            crossover <= 400.0,
+            "5nm MCM should win early, got {crossover}"
+        );
     }
 }

@@ -86,8 +86,13 @@ pub fn maturity_study(lib: &TechLibrary) -> Result<MaturityStudy> {
 impl MaturityStudy {
     /// The study as a table.
     pub fn to_table(&self) -> Table {
-        let mut table =
-            Table::new(vec!["age_months", "defect_density", "soc_usd", "mcm_usd", "saving"]);
+        let mut table = Table::new(vec![
+            "age_months",
+            "defect_density",
+            "soc_usd",
+            "mcm_usd",
+            "saving",
+        ]);
         for r in &self.rows {
             table.push_row(vec![
                 format!("{:.0}", r.age_months),
@@ -179,7 +184,9 @@ pub fn harvest_study(lib: &TechLibrary) -> Result<HarvestStudy> {
         rows.push(HarvestRow {
             min_good,
             ccd_yield: ccd_yield.value(),
-            ccd_cost: ccd_spec.cost_per_sellable_die(ccd_raw, d, ccd, cluster)?.usd(),
+            ccd_cost: ccd_spec
+                .cost_per_sellable_die(ccd_raw, d, ccd, cluster)?
+                .usd(),
             mono_yield: mono_yield.value(),
             mono_cost: mono_spec
                 .cost_per_sellable_die(mono_raw, d, mono, cluster)?
@@ -243,7 +250,10 @@ impl HarvestStudy {
             checks.push(ShapeCheck::new(
                 "even with salvage, eight chiplets stay cheaper than the monolith",
                 "8 × ccd cost < mono cost at every bin",
-                format!("{:.2}x at the loosest bin", 8.0 * loose.ccd_cost / loose.mono_cost),
+                format!(
+                    "{:.2}x at the loosest bin",
+                    8.0 * loose.ccd_cost / loose.mono_cost
+                ),
                 self.rows.iter().all(|r| 8.0 * r.ccd_cost < r.mono_cost),
             ));
         }
@@ -280,8 +290,11 @@ pub struct YieldModelAblation {
 ///
 /// Propagates library and cost-engine errors.
 pub fn yield_model_ablation(lib: &TechLibrary) -> Result<YieldModelAblation> {
-    let variants: [(&str, f64); 3] =
-        [("poisson-like (c=1e6)", 1.0e6), ("paper (c=10)", 10.0), ("max clustering (c=1)", 1.0)];
+    let variants: [(&str, f64); 3] = [
+        ("poisson-like (c=1e6)", 1.0e6),
+        ("paper (c=10)", 10.0),
+        ("max clustering (c=1)", 1.0),
+    ];
     let mut rows = Vec::new();
     for (label, cluster) in variants {
         let snapshot = lib.with_modified_node("5nm", |n| {
@@ -333,8 +346,7 @@ pub fn yield_model_ablation(lib: &TechLibrary) -> Result<YieldModelAblation> {
 impl YieldModelAblation {
     /// The ablation as a table.
     pub fn to_table(&self) -> Table {
-        let mut table =
-            Table::new(vec!["model", "cluster", "yield@800mm2", "mcm crossover"]);
+        let mut table = Table::new(vec!["model", "cluster", "yield@800mm2", "mcm crossover"]);
         for r in &self.rows {
             table.push_row(vec![
                 r.label.clone(),

@@ -89,8 +89,11 @@ pub fn compute(lib: &TechLibrary) -> Result<Fig10> {
 
     let mut cells = Vec::new();
     for (k, n) in SITUATIONS {
-        for kind in [IntegrationKind::Soc, IntegrationKind::Mcm, IntegrationKind::TwoPointFiveD]
-        {
+        for kind in [
+            IntegrationKind::Soc,
+            IntegrationKind::Mcm,
+            IntegrationKind::TwoPointFiveD,
+        ] {
             let mut spec = FsmcSpec::paper_example(k, n)?;
             let cost = if kind == IntegrationKind::Soc {
                 spec.soc_portfolio()?.cost(lib, flow)?
@@ -117,20 +120,21 @@ pub fn compute(lib: &TechLibrary) -> Result<Fig10> {
 impl Fig10 {
     /// Looks up one bar.
     pub fn cell(&self, k: u32, n: u32, integration: IntegrationKind) -> Option<&Fig10Cell> {
-        self.cells.iter().find(|c| {
-            c.sockets == k && c.chiplet_types == n && c.integration == integration
-        })
+        self.cells
+            .iter()
+            .find(|c| c.sockets == k && c.chiplet_types == n && c.integration == integration)
     }
 
     /// Renders the chart.
     pub fn render(&self) -> String {
-        let mut chart = StackedBarChart::new(
-            "Figure 10: FSMC reuse, average cost (normalized to k=2,n=2 SoC)",
-        );
+        let mut chart =
+            StackedBarChart::new("Figure 10: FSMC reuse, average cost (normalized to k=2,n=2 SoC)");
         for (k, n) in SITUATIONS {
-            for kind in
-                [IntegrationKind::Soc, IntegrationKind::Mcm, IntegrationKind::TwoPointFiveD]
-            {
+            for kind in [
+                IntegrationKind::Soc,
+                IntegrationKind::Mcm,
+                IntegrationKind::TwoPointFiveD,
+            ] {
                 if let Some(c) = self.cell(k, n, kind) {
                     chart.push_bar(
                         format!("k={k} n={n} {kind}"),
@@ -212,7 +216,11 @@ impl Fig10 {
                     self.cell(k, n, IntegrationKind::Mcm),
                     self.cell(k, n, IntegrationKind::Soc),
                 ) {
-                    measured.push(format!("(k={k},n={n}): {:.2} vs {:.2}", mcm.total(), soc.total()));
+                    measured.push(format!(
+                        "(k={k},n={n}): {:.2} vs {:.2}",
+                        mcm.total(),
+                        soc.total()
+                    ));
                     if mcm.total() >= soc.total() {
                         ok = false;
                     }
@@ -251,7 +259,10 @@ mod tests {
     fn dataset_dimensions() {
         let f = fig();
         assert_eq!(f.cells.len(), 5 * 3);
-        assert_eq!(f.cell(4, 6, IntegrationKind::Mcm).unwrap().system_count, 209);
+        assert_eq!(
+            f.cell(4, 6, IntegrationKind::Mcm).unwrap().system_count,
+            209
+        );
         assert_eq!(f.cell(2, 2, IntegrationKind::Mcm).unwrap().system_count, 5);
     }
 

@@ -88,8 +88,8 @@ pub fn compute(lib: &TechLibrary) -> Result<Fig2> {
 
     let mut rows = Vec::with_capacity(curves.len() * AREAS_MM2.len());
     for curve in &curves {
-        let model = NegativeBinomial::new(curve.cluster)
-            .expect("preset cluster parameters are positive");
+        let model =
+            NegativeBinomial::new(curve.cluster).expect("preset cluster parameters are positive");
         let per_mm2 = curve.wafer.cost_per_usable_mm2(curve.wafer_price);
         for &area_mm2 in &AREAS_MM2 {
             let area = Area::from_mm2(area_mm2)?;
@@ -131,8 +131,11 @@ impl Fig2 {
     /// line charts plus the data table.
     pub fn render(&self) -> String {
         let mut yield_chart = LineChart::new("Figure 2a: die yield vs area", "mm²", "yield %");
-        let mut cost_chart =
-            LineChart::new("Figure 2b: normalized cost per area vs area", "mm²", "x raw wafer");
+        let mut cost_chart = LineChart::new(
+            "Figure 2b: normalized cost per area vs area",
+            "mm²",
+            "x raw wafer",
+        );
         for tech in self.technologies() {
             let pts_yield: Vec<(f64, f64)> = self
                 .rows
@@ -149,7 +152,11 @@ impl Fig2 {
             yield_chart.push_series(tech, pts_yield);
             cost_chart.push_series(tech, pts_cost);
         }
-        format!("{}\n{}", yield_chart.render(64, 16), cost_chart.render(64, 16))
+        format!(
+            "{}\n{}",
+            yield_chart.render(64, 16),
+            cost_chart.render(64, 16)
+        )
     }
 
     /// The dataset as a table (tech, area, yield %, normalized cost/area).
@@ -200,8 +207,14 @@ impl Fig2 {
         ));
         // Cost per area rises with area, fastest for the most advanced node.
         let rise = |tech: &str| -> f64 {
-            let first = self.point(tech, 50.0).map(|r| r.norm_cost_per_area).unwrap_or(1.0);
-            let last = self.point(tech, 800.0).map(|r| r.norm_cost_per_area).unwrap_or(1.0);
+            let first = self
+                .point(tech, 50.0)
+                .map(|r| r.norm_cost_per_area)
+                .unwrap_or(1.0);
+            let last = self
+                .point(tech, 800.0)
+                .map(|r| r.norm_cost_per_area)
+                .unwrap_or(1.0);
             last / first
         };
         let rise_3nm = rise("3nm");
@@ -238,7 +251,10 @@ mod tests {
     #[test]
     fn six_technologies_sampled() {
         let f = fig();
-        assert_eq!(f.technologies(), vec!["3nm", "5nm", "7nm", "14nm", "RDL", "SI"]);
+        assert_eq!(
+            f.technologies(),
+            vec!["3nm", "5nm", "7nm", "14nm", "RDL", "SI"]
+        );
         assert_eq!(f.rows.len(), 6 * AREAS_MM2.len());
     }
 
@@ -246,7 +262,12 @@ mod tests {
     fn paper_anchor_points() {
         let f = fig();
         // Yields at 800 mm², read off the paper's curves.
-        let expect = [("3nm", 0.2267), ("5nm", 0.4303), ("7nm", 0.4991), ("14nm", 0.5377)];
+        let expect = [
+            ("3nm", 0.2267),
+            ("5nm", 0.4303),
+            ("7nm", 0.4991),
+            ("14nm", 0.5377),
+        ];
         for (tech, y) in expect {
             let p = f.point(tech, 800.0).unwrap();
             assert!(

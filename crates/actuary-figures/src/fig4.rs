@@ -16,8 +16,9 @@ pub const NODES: [&str; 3] = ["14nm", "7nm", "5nm"];
 /// Chiplet counts of the three panel columns.
 pub const CHIPLET_COUNTS: [u32; 3] = [2, 3, 5];
 /// Module-area grid (mm²).
-pub const AREAS_MM2: [f64; 9] =
-    [100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0];
+pub const AREAS_MM2: [f64; 9] = [
+    100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0,
+];
 
 /// One bar of Figure 4: a (node, chiplet count, integration, area) cell
 /// with its five-component breakdown normalized to the node's 100 mm² SoC.
@@ -244,15 +245,19 @@ impl Fig4 {
 
         // 3. Overhead shares at 14 nm / 900 mm²: > 25 % for MCM, > 50 % for
         //    2.5D (D2D + packaging overhead of the multi-chip total).
-        for (kind, bound) in
-            [(IntegrationKind::Mcm, 0.25), (IntegrationKind::TwoPointFiveD, 0.50)]
-        {
+        for (kind, bound) in [
+            (IntegrationKind::Mcm, 0.25),
+            (IntegrationKind::TwoPointFiveD, 0.50),
+        ] {
             if let Some(cell) = self.cell("14nm", 2, kind, 900.0) {
                 let d2d_die_cost = cell.breakdown.die_total().usd() * 0.10;
                 let overhead =
                     (cell.breakdown.packaging_total().usd() + d2d_die_cost) / cell.total();
                 checks.push(ShapeCheck::new(
-                    format!("14nm {kind} D2D+packaging overhead exceeds {:.0}%", bound * 100.0),
+                    format!(
+                        "14nm {kind} D2D+packaging overhead exceeds {:.0}%",
+                        bound * 100.0
+                    ),
                     format!("> {:.0}%", bound * 100.0),
                     pct(overhead),
                     overhead > bound,
@@ -301,8 +306,7 @@ impl Fig4 {
             self.cell("5nm", 5, IntegrationKind::Mcm, 800.0),
             self.cell("5nm", 3, IntegrationKind::Soc, 800.0),
         ) {
-            let saving = (three.breakdown.chip_defects.usd()
-                - five.breakdown.chip_defects.usd())
+            let saving = (three.breakdown.chip_defects.usd() - five.breakdown.chip_defects.usd())
                 / soc.total();
             checks.push(ShapeCheck::new(
                 "extra defect saving from 3→5 chiplets is <10% at 5nm/800mm² MCM",

@@ -79,8 +79,7 @@ fn build_system(node: &str, integration: IntegrationKind, quantity: u64) -> Resu
     } else {
         equal_chiplets("fig6", node, area, 1)?
     };
-    let mut builder =
-        System::builder("fig6-sys", integration).quantity(Quantity::new(quantity));
+    let mut builder = System::builder("fig6-sys", integration).quantity(Quantity::new(quantity));
     for chip in chips {
         builder = builder.chip(chip, 1);
     }
@@ -163,7 +162,11 @@ impl Fig6 {
 
     /// Renders both panels.
     pub fn render(&self) -> String {
-        format!("{}\n{}", self.render_panel("14nm"), self.render_panel("5nm"))
+        format!(
+            "{}\n{}",
+            self.render_panel("14nm"),
+            self.render_panel("5nm")
+        )
     }
 
     /// The dataset as a table.
@@ -246,9 +249,7 @@ impl Fig6 {
             let mcm_500k = self.cell("5nm", 500_000, IntegrationKind::Mcm);
             let soc_2m = self.cell("5nm", 2_000_000, IntegrationKind::Soc);
             let mcm_2m = self.cell("5nm", 2_000_000, IntegrationKind::Mcm);
-            if let (Some(s5), Some(m5), Some(s2), Some(m2)) =
-                (soc_500k, mcm_500k, soc_2m, mcm_2m)
-            {
+            if let (Some(s5), Some(m5), Some(s2), Some(m2)) = (soc_500k, mcm_500k, soc_2m, mcm_2m) {
                 checks.push(ShapeCheck::new(
                     "at 5nm multi-chip pays back when quantity reaches ~2M",
                     "SoC ≤ MCM at 500k, MCM ≤ SoC at 2M",
@@ -329,7 +330,10 @@ mod tests {
         let a = f.cell("5nm", 500_000, IntegrationKind::Mcm).unwrap();
         let b = f.cell("5nm", 10_000_000, IntegrationKind::Mcm).unwrap();
         assert!((a.re_norm - b.re_norm).abs() < 1e-9);
-        assert!(a.nre_chips_norm > b.nre_chips_norm, "NRE amortizes with quantity");
+        assert!(
+            a.nre_chips_norm > b.nre_chips_norm,
+            "NRE amortizes with quantity"
+        );
     }
 
     #[test]

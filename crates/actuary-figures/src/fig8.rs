@@ -130,7 +130,9 @@ fn push_cells(
 /// Propagates library and cost-engine errors.
 pub fn compute(lib: &TechLibrary) -> Result<Fig8> {
     let flow = AssemblyFlow::ChipLast;
-    let mcm = spec(IntegrationKind::Mcm, false)?.portfolio()?.cost(lib, flow)?;
+    let mcm = spec(IntegrationKind::Mcm, false)?
+        .portfolio()?
+        .cost(lib, flow)?;
     // Normalization basis: RE of the 4X MCM system.
     let basis = mcm
         .system("4X")
@@ -140,14 +142,28 @@ pub fn compute(lib: &TechLibrary) -> Result<Fig8> {
         .usd();
 
     let mut cells = Vec::new();
-    let soc = spec(IntegrationKind::Mcm, false)?.soc_portfolio()?.cost(lib, flow)?;
+    let soc = spec(IntegrationKind::Mcm, false)?
+        .soc_portfolio()?
+        .cost(lib, flow)?;
     push_cells(&mut cells, &soc, Fig8Variant::Soc, "-soc", basis);
     push_cells(&mut cells, &mcm, Fig8Variant::Mcm, "", basis);
-    let mcm_reuse = spec(IntegrationKind::Mcm, true)?.portfolio()?.cost(lib, flow)?;
-    push_cells(&mut cells, &mcm_reuse, Fig8Variant::McmPackageReuse, "", basis);
-    let p25 = spec(IntegrationKind::TwoPointFiveD, false)?.portfolio()?.cost(lib, flow)?;
+    let mcm_reuse = spec(IntegrationKind::Mcm, true)?
+        .portfolio()?
+        .cost(lib, flow)?;
+    push_cells(
+        &mut cells,
+        &mcm_reuse,
+        Fig8Variant::McmPackageReuse,
+        "",
+        basis,
+    );
+    let p25 = spec(IntegrationKind::TwoPointFiveD, false)?
+        .portfolio()?
+        .cost(lib, flow)?;
     push_cells(&mut cells, &p25, Fig8Variant::TwoPointFiveD, "", basis);
-    let p25_reuse = spec(IntegrationKind::TwoPointFiveD, true)?.portfolio()?.cost(lib, flow)?;
+    let p25_reuse = spec(IntegrationKind::TwoPointFiveD, true)?
+        .portfolio()?
+        .cost(lib, flow)?;
     push_cells(
         &mut cells,
         &p25_reuse,
@@ -168,9 +184,8 @@ impl Fig8 {
 
     /// Renders the chart.
     pub fn render(&self) -> String {
-        let mut chart = StackedBarChart::new(
-            "Figure 8: SCMS reuse (normalized to the 4X MCM RE cost)",
-        );
+        let mut chart =
+            StackedBarChart::new("Figure 8: SCMS reuse (normalized to the 4X MCM RE cost)");
         for &m in &[1u32, 2, 4] {
             for variant in Fig8Variant::ALL {
                 if let Some(c) = self.cell(m, variant) {
@@ -225,9 +240,10 @@ impl Fig8 {
         let mut checks = Vec::new();
 
         // Chiplet reuse saves ~¾ of the 4X chip NRE vs monolithic SoC.
-        if let (Some(mcm), Some(soc)) =
-            (self.cell(4, Fig8Variant::Mcm), self.cell(4, Fig8Variant::Soc))
-        {
+        if let (Some(mcm), Some(soc)) = (
+            self.cell(4, Fig8Variant::Mcm),
+            self.cell(4, Fig8Variant::Soc),
+        ) {
             let saving = 1.0 - mcm.nre_chips_norm / soc.nre_chips_norm;
             checks.push(ShapeCheck::new(
                 "chiplet reuse saves nearly ¾ of the 4X chip NRE vs SoC",

@@ -86,12 +86,7 @@ pub struct Fig9 {
     pub cells: Vec<Fig9Cell>,
 }
 
-fn push_cells(
-    cells: &mut Vec<Fig9Cell>,
-    cost: &PortfolioCost,
-    variant: Fig9Variant,
-    basis: f64,
-) {
+fn push_cells(cells: &mut Vec<Fig9Cell>, cost: &PortfolioCost, variant: Fig9Variant, basis: f64) {
     for sc in cost.systems() {
         let system = sc.name().trim_end_matches("-soc").to_string();
         let nre = sc.nre_per_unit();
@@ -138,7 +133,12 @@ pub fn compute(lib: &TechLibrary) -> Result<Fig9> {
     hetero.package_reuse = true;
     hetero.center_node = Some(NodeId::new("14nm"));
     let mcm_hetero = hetero.portfolio()?.cost(lib, flow)?;
-    push_cells(&mut cells, &mcm_hetero, Fig9Variant::McmPackageReuseHetero, basis);
+    push_cells(
+        &mut cells,
+        &mcm_hetero,
+        Fig9Variant::McmPackageReuseHetero,
+        basis,
+    );
 
     Ok(Fig9 { cells })
 }
@@ -153,9 +153,8 @@ impl Fig9 {
 
     /// Renders the chart.
     pub fn render(&self) -> String {
-        let mut chart = StackedBarChart::new(
-            "Figure 9: OCME reuse (normalized to the C+2X+2Y MCM RE cost)",
-        );
+        let mut chart =
+            StackedBarChart::new("Figure 9: OCME reuse (normalized to the C+2X+2Y MCM RE cost)");
         for system in SYSTEMS {
             for variant in Fig9Variant::ALL {
                 if let Some(c) = self.cell(system, variant) {
@@ -223,10 +222,7 @@ impl Fig9 {
                     .iter()
                     .filter_map(|s| self.cell(s, variant))
                     .map(|c| {
-                        c.nre_modules_norm
-                            + c.nre_chips_norm
-                            + c.nre_packages_norm
-                            + c.nre_d2d_norm
+                        c.nre_modules_norm + c.nre_chips_norm + c.nre_packages_norm + c.nre_d2d_norm
                     })
                     .sum()
             };
@@ -267,9 +263,10 @@ impl Fig9 {
             ));
         }
         // Package reuse helps the big system but hurts the small one (RE).
-        if let (Some(own), Some(reused)) =
-            (self.cell("C", Fig9Variant::Mcm), self.cell("C", Fig9Variant::McmPackageReuse))
-        {
+        if let (Some(own), Some(reused)) = (
+            self.cell("C", Fig9Variant::Mcm),
+            self.cell("C", Fig9Variant::McmPackageReuse),
+        ) {
             checks.push(ShapeCheck::new(
                 "the C system pays extra RE on the reused 5-socket package",
                 "RE(reused) > RE(own)",

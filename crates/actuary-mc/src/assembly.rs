@@ -27,7 +27,11 @@ pub struct McConfig {
 
 impl Default for McConfig {
     fn default() -> Self {
-        McConfig { systems: 1_000, seed: 0, defect_process: DefectProcess::Bernoulli }
+        McConfig {
+            systems: 1_000,
+            seed: 0,
+            defect_process: DefectProcess::Bernoulli,
+        }
     }
 }
 
@@ -117,7 +121,11 @@ pub fn simulate_system(
     let mut counts = Vec::new();
     for (chip, count) in system.chips() {
         let node = lib.node(chip.node().as_str())?;
-        factories.push(DieFactory::new(node, chip.die_area(lib)?, cfg.defect_process)?);
+        factories.push(DieFactory::new(
+            node,
+            chip.die_area(lib)?,
+            cfg.defect_process,
+        )?);
         counts.push(*count);
     }
     let n_total: u32 = counts.iter().sum();
@@ -291,7 +299,11 @@ mod tests {
     fn mcm_chip_last_converges_to_analytic() {
         let lib = lib();
         let system = two_chiplet_system(IntegrationKind::Mcm);
-        let cfg = McConfig { systems: 8_000, seed: 1, defect_process: DefectProcess::Bernoulli };
+        let cfg = McConfig {
+            systems: 8_000,
+            seed: 1,
+            defect_process: DefectProcess::Bernoulli,
+        };
         let result = simulate_system(&system, &lib, AssemblyFlow::ChipLast, &cfg).unwrap();
         let analytic = analytic_total(&system, &lib, AssemblyFlow::ChipLast);
         assert!(
@@ -304,7 +316,11 @@ mod tests {
     fn interposer_chip_last_converges_to_analytic() {
         let lib = lib();
         let system = two_chiplet_system(IntegrationKind::TwoPointFiveD);
-        let cfg = McConfig { systems: 8_000, seed: 2, defect_process: DefectProcess::Bernoulli };
+        let cfg = McConfig {
+            systems: 8_000,
+            seed: 2,
+            defect_process: DefectProcess::Bernoulli,
+        };
         let result = simulate_system(&system, &lib, AssemblyFlow::ChipLast, &cfg).unwrap();
         let analytic = analytic_total(&system, &lib, AssemblyFlow::ChipLast);
         assert!(
@@ -318,7 +334,11 @@ mod tests {
     fn chip_first_converges_to_analytic() {
         let lib = lib();
         let system = two_chiplet_system(IntegrationKind::TwoPointFiveD);
-        let cfg = McConfig { systems: 8_000, seed: 3, defect_process: DefectProcess::Bernoulli };
+        let cfg = McConfig {
+            systems: 8_000,
+            seed: 3,
+            defect_process: DefectProcess::Bernoulli,
+        };
         let result = simulate_system(&system, &lib, AssemblyFlow::ChipFirst, &cfg).unwrap();
         let analytic = analytic_total(&system, &lib, AssemblyFlow::ChipFirst);
         assert!(
@@ -331,8 +351,11 @@ mod tests {
     fn compound_gamma_also_converges_in_mean() {
         let lib = lib();
         let system = two_chiplet_system(IntegrationKind::Mcm);
-        let cfg =
-            McConfig { systems: 8_000, seed: 4, defect_process: DefectProcess::CompoundGamma };
+        let cfg = McConfig {
+            systems: 8_000,
+            seed: 4,
+            defect_process: DefectProcess::CompoundGamma,
+        };
         let result = simulate_system(&system, &lib, AssemblyFlow::ChipLast, &cfg).unwrap();
         let analytic = analytic_total(&system, &lib, AssemblyFlow::ChipLast);
         // Clustered defects raise variance, so allow a wider band.
@@ -346,7 +369,10 @@ mod tests {
     fn zero_systems_rejected() {
         let lib = lib();
         let system = two_chiplet_system(IntegrationKind::Mcm);
-        let cfg = McConfig { systems: 0, ..Default::default() };
+        let cfg = McConfig {
+            systems: 0,
+            ..Default::default()
+        };
         assert!(simulate_system(&system, &lib, AssemblyFlow::ChipLast, &cfg).is_err());
     }
 
@@ -354,7 +380,11 @@ mod tests {
     fn deterministic_given_seed() {
         let lib = lib();
         let system = two_chiplet_system(IntegrationKind::Mcm);
-        let cfg = McConfig { systems: 200, seed: 9, defect_process: DefectProcess::Bernoulli };
+        let cfg = McConfig {
+            systems: 200,
+            seed: 9,
+            defect_process: DefectProcess::Bernoulli,
+        };
         let a = simulate_system(&system, &lib, AssemblyFlow::ChipLast, &cfg).unwrap();
         let b = simulate_system(&system, &lib, AssemblyFlow::ChipLast, &cfg).unwrap();
         assert_eq!(a, b);
@@ -364,7 +394,11 @@ mod tests {
     fn resource_counters_are_plausible() {
         let lib = lib();
         let system = two_chiplet_system(IntegrationKind::Mcm);
-        let cfg = McConfig { systems: 500, seed: 5, defect_process: DefectProcess::Bernoulli };
+        let cfg = McConfig {
+            systems: 500,
+            seed: 5,
+            defect_process: DefectProcess::Bernoulli,
+        };
         let r = simulate_system(&system, &lib, AssemblyFlow::ChipLast, &cfg).unwrap();
         // At least 2 dies per good system.
         assert!(r.dies_consumed() >= 1_000);

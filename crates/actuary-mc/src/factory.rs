@@ -61,16 +61,14 @@ impl DieFactory {
     ///
     /// Returns [`ModelError::Yield`] if the die does not fit the node's
     /// wafer, or [`ModelError::ZeroYield`] if the marginal yield is zero.
-    pub fn new(
-        node: &ProcessNode,
-        area: Area,
-        process: DefectProcess,
-    ) -> Result<Self, ModelError> {
+    pub fn new(node: &ProcessNode, area: Area, process: DefectProcess) -> Result<Self, ModelError> {
         let dpw = node.wafer().dies_per_wafer(area)?;
         let cost_per_attempt = node.raw_die_cost(area)?;
         let marginal_yield = node.die_yield(area);
         if marginal_yield.is_zero() {
-            return Err(ModelError::ZeroYield { step: "die manufacturing" });
+            return Err(ModelError::ZeroYield {
+                step: "die manufacturing",
+            });
         }
         Ok(DieFactory {
             cost_per_attempt,
@@ -197,7 +195,10 @@ mod tests {
         let empirical = total / trials as f64;
         let analytic = n5.yielded_die_cost(area).unwrap();
         let rel = (empirical.usd() - analytic.usd()).abs() / analytic.usd();
-        assert!(rel < 0.02, "empirical {empirical} vs analytic {analytic} ({rel})");
+        assert!(
+            rel < 0.02,
+            "empirical {empirical} vs analytic {analytic} ({rel})"
+        );
     }
 
     #[test]
@@ -210,9 +211,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(45);
         let wafer_goods = |f: &mut DieFactory, rng: &mut StdRng| -> Vec<f64> {
             (0..400)
-                .map(|_| {
-                    (0..wafer_size).filter(|_| f.draw_die(rng)).count() as f64
-                })
+                .map(|_| (0..wafer_size).filter(|_| f.draw_die(rng)).count() as f64)
                 .collect()
         };
         let var = |xs: &[f64]| {
@@ -221,7 +220,10 @@ mod tests {
         };
         let vb = var(&wafer_goods(&mut fb, &mut rng));
         let vc = var(&wafer_goods(&mut fc, &mut rng));
-        assert!(vc > 1.5 * vb, "clustered variance {vc} must exceed bernoulli {vb}");
+        assert!(
+            vc > 1.5 * vb,
+            "clustered variance {vc} must exceed bernoulli {vb}"
+        );
     }
 
     #[test]

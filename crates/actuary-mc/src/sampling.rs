@@ -116,8 +116,14 @@ mod tests {
             let mean = samples.iter().sum::<f64>() / N as f64;
             let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / N as f64;
             // Gamma(shape, 1): mean = shape, variance = shape.
-            assert!((mean - shape).abs() < 0.05 * shape.max(1.0), "shape {shape}: mean {mean}");
-            assert!((var - shape).abs() < 0.1 * shape.max(1.0), "shape {shape}: var {var}");
+            assert!(
+                (mean - shape).abs() < 0.05 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+            assert!(
+                (var - shape).abs() < 0.1 * shape.max(1.0),
+                "shape {shape}: var {var}"
+            );
             assert!(samples.iter().all(|&x| x > 0.0));
         }
     }
@@ -128,7 +134,10 @@ mod tests {
             let mut r = rng();
             let samples: Vec<u64> = (0..N).map(|_| poisson(&mut r, lambda)).collect();
             let mean = samples.iter().sum::<u64>() as f64 / N as f64;
-            assert!((mean - lambda).abs() < 0.05 * lambda.max(1.0), "λ={lambda}: mean {mean}");
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(1.0),
+                "λ={lambda}: mean {mean}"
+            );
         }
     }
 

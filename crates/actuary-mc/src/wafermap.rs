@@ -89,14 +89,17 @@ impl WaferMap {
                 }
                 let good = match process {
                     DefectProcess::Bernoulli => rng.gen::<f64>() < marginal,
-                    DefectProcess::CompoundGamma => {
-                        poisson(&mut rng, lambda * multiplier) == 0
-                    }
+                    DefectProcess::CompoundGamma => poisson(&mut rng, lambda * multiplier) == 0,
                 };
                 sites.push(if good { DieSite::Good } else { DieSite::Bad });
             }
         }
-        Ok(WaferMap { columns, rows, sites, defect_multiplier: multiplier })
+        Ok(WaferMap {
+            columns,
+            rows,
+            sites,
+            defect_multiplier: multiplier,
+        })
     }
 
     /// Grid width in dies.
@@ -172,7 +175,11 @@ mod tests {
     use actuary_tech::TechLibrary;
 
     fn node() -> actuary_tech::ProcessNode {
-        TechLibrary::paper_defaults().unwrap().node("7nm").unwrap().clone()
+        TechLibrary::paper_defaults()
+            .unwrap()
+            .node("7nm")
+            .unwrap()
+            .clone()
     }
 
     fn area(mm2: f64) -> Area {
@@ -199,8 +206,7 @@ mod tests {
         let mut good = 0usize;
         let mut total = 0usize;
         for seed in 0..30 {
-            let map =
-                WaferMap::simulate(&n, area(200.0), DefectProcess::Bernoulli, seed).unwrap();
+            let map = WaferMap::simulate(&n, area(200.0), DefectProcess::Bernoulli, seed).unwrap();
             good += map.good_dies();
             total += map.dies();
         }

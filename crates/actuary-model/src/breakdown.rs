@@ -62,7 +62,10 @@ impl ReCostBreakdown {
 
     /// Total RE cost (sum of all five components).
     pub fn total(&self) -> Money {
-        self.raw_chips + self.chip_defects + self.raw_package + self.package_defects
+        self.raw_chips
+            + self.chip_defects
+            + self.raw_package
+            + self.package_defects
             + self.wasted_kgd
     }
 

@@ -78,9 +78,13 @@ mod tests {
 
     #[test]
     fn messages() {
-        let e = ModelError::InvalidConfiguration { reason: "no dies".into() };
+        let e = ModelError::InvalidConfiguration {
+            reason: "no dies".into(),
+        };
         assert!(e.to_string().contains("no dies"));
-        let e = ModelError::ZeroYield { step: "interposer manufacturing" };
+        let e = ModelError::ZeroYield {
+            step: "interposer manufacturing",
+        };
         assert!(e.to_string().contains("interposer"));
     }
 

@@ -129,7 +129,10 @@ mod tests {
         // 2.5D: 880 mm² interposer at $30k/mm² + $5M fixed.
         let expected = 880.0 * 30_000.0 + 5.0e6;
         assert!((p25_nre.usd() - expected).abs() < 1.0);
-        assert!(p25_nre > mcm_nre, "interposer design must dominate organic substrate design");
+        assert!(
+            p25_nre > mcm_nre,
+            "interposer design must dominate organic substrate design"
+        );
     }
 
     #[test]
@@ -150,9 +153,7 @@ mod tests {
             + module_design_cost(n7, area(60.0))
             + module_design_cost(n7, area(40.0));
         let k = n7.nre();
-        let expected = k.k_chip.usd() * 110.0
-            + k.k_module.usd() * 100.0
-            + k.fixed_per_chip().usd();
+        let expected = k.k_chip.usd() * 110.0 + k.k_module.usd() * 100.0 + k.fixed_per_chip().usd();
         assert!((total.usd() - expected).abs() < 1e-6);
     }
 

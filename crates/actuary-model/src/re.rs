@@ -180,7 +180,9 @@ pub fn re_cost_sized(
         let raw_one = d.node().raw_die_cost(d.area())?;
         let y = d.node().die_yield(d.area());
         if y.is_zero() {
-            return Err(ModelError::ZeroYield { step: "die manufacturing" });
+            return Err(ModelError::ZeroYield {
+                step: "die manufacturing",
+            });
         }
         let raw = raw_one * d.count() as f64;
         let defects = raw * y.waste_factor()?;
@@ -209,7 +211,9 @@ pub fn re_cost_sized(
         interposer_raw = spec.raw_cost(interposer_area)?;
         y1 = spec.manufacturing_yield(interposer_area);
         if y1.is_zero() {
-            return Err(ModelError::ZeroYield { step: "interposer manufacturing" });
+            return Err(ModelError::ZeroYield {
+                step: "interposer manufacturing",
+            });
         }
     }
     let raw_package = substrate_raw + interposer_raw + bonds_raw + assembly_raw;
@@ -219,13 +223,19 @@ pub fn re_cost_sized(
     let y3 = packaging.substrate_attach_yield();
     let yt = packaging.package_test_yield();
     if y2_all.is_zero() {
-        return Err(ModelError::ZeroYield { step: "chip bonding" });
+        return Err(ModelError::ZeroYield {
+            step: "chip bonding",
+        });
     }
     if y3.is_zero() {
-        return Err(ModelError::ZeroYield { step: "substrate attach" });
+        return Err(ModelError::ZeroYield {
+            step: "substrate attach",
+        });
     }
     if yt.is_zero() {
-        return Err(ModelError::ZeroYield { step: "final package test" });
+        return Err(ModelError::ZeroYield {
+            step: "final package test",
+        });
     }
 
     let (package_defects, wasted_kgd) = match flow {
@@ -247,8 +257,7 @@ pub fn re_cost_sized(
             } else {
                 // SoC / MCM: dies bond directly onto the substrate.
                 let chain = (y2_all * yt).reciprocal()?;
-                let package_defects =
-                    (substrate_raw + bonds_raw + assembly_raw) * (chain - 1.0);
+                let package_defects = (substrate_raw + bonds_raw + assembly_raw) * (chain - 1.0);
                 let wasted_kgd = kgd_total * (chain - 1.0);
                 (package_defects, wasted_kgd)
             }
@@ -293,7 +302,12 @@ mod tests {
         let n7 = lib.node("7nm").unwrap();
         let soc = lib.packaging(IntegrationKind::Soc).unwrap();
         let die = area(100.0);
-        let b = re_cost(&[DiePlacement::new(n7, die, 1)], soc, AssemblyFlow::ChipLast).unwrap();
+        let b = re_cost(
+            &[DiePlacement::new(n7, die, 1)],
+            soc,
+            AssemblyFlow::ChipLast,
+        )
+        .unwrap();
 
         let raw = n7.raw_die_cost(die).unwrap();
         assert!((b.raw_chips.usd() - raw.usd()).abs() < 1e-9);
@@ -318,7 +332,10 @@ mod tests {
         // With the final-test yield set to 1, the chip-last breakdown must
         // reproduce Eq. (4) exactly.
         let mut lib = lib();
-        let base = lib.packaging(IntegrationKind::TwoPointFiveD).unwrap().clone();
+        let base = lib
+            .packaging(IntegrationKind::TwoPointFiveD)
+            .unwrap()
+            .clone();
         let rebuilt = PackagingTech::builder(IntegrationKind::TwoPointFiveD)
             .substrate_cost_per_mm2(base.substrate_cost_per_mm2())
             .substrate_layer_factor(base.substrate_layer_factor())
@@ -344,14 +361,15 @@ mod tests {
         let int_area = spec.interposer_area(total_silicon).unwrap();
         let c_int = spec.raw_cost(int_area).unwrap().usd();
         let y1 = spec.manufacturing_yield(int_area).value();
-        let c_sub = p.substrate_cost(p.package_area(total_silicon).unwrap()).usd();
+        let c_sub = p
+            .substrate_cost(p.package_area(total_silicon).unwrap())
+            .usd();
         let y2n = p.chip_bond_yield().value().powi(n as i32);
         let y3 = p.substrate_attach_yield().value();
         let kgd = b.raw_chips.usd() + b.chip_defects.usd();
 
         // Eq. (4): interposer, substrate and KGD defect terms.
-        let expected_pkg_defects =
-            c_int * (1.0 / (y1 * y2n * y3) - 1.0) + c_sub * (1.0 / y3 - 1.0);
+        let expected_pkg_defects = c_int * (1.0 / (y1 * y2n * y3) - 1.0) + c_sub * (1.0 / y3 - 1.0);
         let expected_kgd = kgd * (1.0 / (y2n * y3) - 1.0);
         assert!(
             (b.package_defects.usd() - expected_pkg_defects).abs() < 1e-9,
@@ -420,7 +438,11 @@ mod tests {
         ));
         let n7 = lib.node("7nm").unwrap();
         assert!(matches!(
-            re_cost(&[DiePlacement::new(n7, area(100.0), 0)], mcm, AssemblyFlow::ChipLast),
+            re_cost(
+                &[DiePlacement::new(n7, area(100.0), 0)],
+                mcm,
+                AssemblyFlow::ChipLast
+            ),
             Err(ModelError::InvalidConfiguration { .. })
         ));
     }
@@ -431,7 +453,11 @@ mod tests {
         let lib = lib();
         let n7 = lib.node("7nm").unwrap();
         let mcm = lib.packaging(IntegrationKind::Mcm).unwrap();
-        let b = re_cost(&[DiePlacement::new(n7, area(222.2), 1)], mcm, AssemblyFlow::ChipLast);
+        let b = re_cost(
+            &[DiePlacement::new(n7, area(222.2), 1)],
+            mcm,
+            AssemblyFlow::ChipLast,
+        );
         assert!(b.is_ok());
     }
 
@@ -457,7 +483,10 @@ mod tests {
             five.packaging_total() > two.packaging_total(),
             "more bonds and worse bonding chain must cost more"
         );
-        assert!(five.chip_defects < two.chip_defects, "smaller dies yield better");
+        assert!(
+            five.chip_defects < two.chip_defects,
+            "smaller dies yield better"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub struct StackedBarChart {
 impl StackedBarChart {
     /// Creates an empty chart with a title.
     pub fn new(title: impl Into<String>) -> Self {
-        StackedBarChart { title: title.into(), bars: Vec::new() }
+        StackedBarChart {
+            title: title.into(),
+            bars: Vec::new(),
+        }
     }
 
     /// Appends one bar with `(segment label, value)` pairs. Negative
@@ -93,8 +96,7 @@ impl StackedBarChart {
             let _ = write!(out, "{label:<label_width$} |");
             if max_total > 0.0 {
                 let mut drawn = 0usize;
-                let bar_len =
-                    ((total / max_total) * width as f64).round() as usize;
+                let bar_len = ((total / max_total) * width as f64).round() as usize;
                 for (name, value) in segments {
                     let len = if total > 0.0 {
                         ((value / total) * bar_len as f64).round() as usize
@@ -174,8 +176,11 @@ impl LineChart {
         let mut out = String::new();
         let _ = writeln!(out, "{} ({} vs {})", self.title, self.y_label, self.x_label);
 
-        let all: Vec<(f64, f64)> =
-            self.series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().copied())
+            .collect();
         if all.is_empty() {
             let _ = writeln!(out, "(no data)");
             return out;
@@ -200,8 +205,7 @@ impl LineChart {
             let marker = Self::MARKERS[s_idx % Self::MARKERS.len()];
             for (x, y) in points {
                 let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
-                let row =
-                    (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+                let row = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
                 let row = height - 1 - row;
                 grid[row.min(height - 1)][col.min(width - 1)] = marker;
             }
@@ -212,7 +216,13 @@ impl LineChart {
             let _ = writeln!(out, "{y_val:>10.2} |{line}");
         }
         let _ = writeln!(out, "{:>11}+{}", "", "-".repeat(width));
-        let _ = writeln!(out, "{:>12}{x_min:<.0}{:>w$}{x_max:<.0}", "", "", w = width.saturating_sub(8));
+        let _ = writeln!(
+            out,
+            "{:>12}{x_min:<.0}{:>w$}{x_max:<.0}",
+            "",
+            "",
+            w = width.saturating_sub(8)
+        );
         let _ = writeln!(out, "legend:");
         for (i, (name, _)) in self.series.iter().enumerate() {
             let _ = writeln!(out, "  {} {}", Self::MARKERS[i % Self::MARKERS.len()], name);

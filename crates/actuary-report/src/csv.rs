@@ -1,47 +1,10 @@
 //! Minimal RFC-4180 CSV emission (writer only; no external dependency).
 
-/// Escapes one CSV field: quotes it when it contains a comma, quote, or
-/// newline, doubling embedded quotes.
-///
-/// # Examples
-///
-/// ```
-/// use actuary_report::csv_escape;
-///
-/// assert_eq!(csv_escape("plain"), "plain");
-/// assert_eq!(csv_escape("a,b"), "\"a,b\"");
-/// assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
-/// ```
-pub fn csv_escape(field: &str) -> String {
-    if field.contains(',') || field.contains('"') || field.contains('\n') {
-        format!("\"{}\"", field.replace('"', "\"\""))
-    } else {
-        field.to_string()
-    }
-}
-
-/// Serializes records as CSV text with `\n` line endings.
-///
-/// # Examples
-///
-/// ```
-/// use actuary_report::write_csv;
-///
-/// let rows = vec![
-///     vec!["a".to_string(), "b".to_string()],
-///     vec!["1".to_string(), "x,y".to_string()],
-/// ];
-/// assert_eq!(write_csv(&rows), "a,b\n1,\"x,y\"\n");
-/// ```
-pub fn write_csv(records: &[Vec<String>]) -> String {
-    let mut out = String::new();
-    for record in records {
-        let escaped: Vec<String> = record.iter().map(|f| csv_escape(f)).collect();
-        out.push_str(&escaped.join(","));
-        out.push('\n');
-    }
-    out
-}
+// The CSV primitives live in the base layer (`actuary-units`) so the DSE
+// crate can emit CSV without depending upward on this crate; re-exported
+// here to keep `actuary_report::{csv_escape, write_csv}` the canonical
+// public names.
+pub use actuary_units::{csv_escape, write_csv};
 
 #[cfg(test)]
 mod tests {

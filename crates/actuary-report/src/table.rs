@@ -26,7 +26,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; short rows are padded with empty cells, long rows are
@@ -49,8 +52,7 @@ impl Table {
 
     /// Column widths: max display length of header and cells.
     fn widths(&self) -> Vec<usize> {
-        let mut widths: Vec<usize> =
-            self.headers.iter().map(|h| h.chars().count()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.chars().count());

@@ -54,13 +54,19 @@ impl D2dSpec {
                 reason: "d2d NRE cost must be non-negative".to_string(),
             });
         }
-        Ok(D2dSpec { area_fraction, nre_cost })
+        Ok(D2dSpec {
+            area_fraction,
+            nre_cost,
+        })
     }
 
     /// A D2D interface with zero overhead and zero NRE (what a monolithic
     /// SoC effectively has).
     pub fn none() -> Self {
-        D2dSpec { area_fraction: 0.0, nre_cost: Money::ZERO }
+        D2dSpec {
+            area_fraction: 0.0,
+            nre_cost: Money::ZERO,
+        }
     }
 
     /// Fraction of the chip area occupied by the D2D interface.
@@ -95,7 +101,10 @@ impl Default for D2dSpec {
     /// Defaults to the paper's experimental assumption: 10 % area overhead,
     /// zero NRE (NRE is configured per node in the presets).
     fn default() -> Self {
-        D2dSpec { area_fraction: 0.10, nre_cost: Money::ZERO }
+        D2dSpec {
+            area_fraction: 0.10,
+            nre_cost: Money::ZERO,
+        }
     }
 }
 
@@ -128,7 +137,9 @@ mod tests {
     fn inflation_matches_paper_convention() {
         // 10% of the *chip* area is D2D: 90 mm² of modules → 100 mm² die.
         let d2d = D2dSpec::new(0.10, Money::ZERO).unwrap();
-        let die = d2d.inflate_module_area(Area::from_mm2(90.0).unwrap()).unwrap();
+        let die = d2d
+            .inflate_module_area(Area::from_mm2(90.0).unwrap())
+            .unwrap();
         assert!((die.mm2() - 100.0).abs() < 1e-9);
         assert!((d2d.interface_area(die).mm2() - 10.0).abs() < 1e-9);
     }

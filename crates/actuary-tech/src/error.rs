@@ -70,9 +70,15 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(TechError::UnknownNode { id: "9nm".into() }.to_string().contains("9nm"));
-        assert!(TechError::UnknownPackaging { kind: "MCM".into() }.to_string().contains("MCM"));
-        assert!(TechError::InvalidSpec { reason: "x".into() }.to_string().contains("x"));
+        assert!(TechError::UnknownNode { id: "9nm".into() }
+            .to_string()
+            .contains("9nm"));
+        assert!(TechError::UnknownPackaging { kind: "MCM".into() }
+            .to_string()
+            .contains("MCM"));
+        assert!(TechError::InvalidSpec { reason: "x".into() }
+            .to_string()
+            .contains("x"));
     }
 
     #[test]

@@ -75,7 +75,9 @@ impl TechLibrary {
     /// Returns [`TechError::UnknownNode`] if the id is not registered.
     pub fn node(&self, id: impl AsRef<str>) -> Result<&ProcessNode, TechError> {
         let key = NodeId::new(id.as_ref());
-        self.nodes.get(&key).ok_or_else(|| TechError::UnknownNode { id: key.to_string() })
+        self.nodes.get(&key).ok_or_else(|| TechError::UnknownNode {
+            id: key.to_string(),
+        })
     }
 
     /// Looks up a packaging technology.
@@ -87,7 +89,9 @@ impl TechLibrary {
     pub fn packaging(&self, kind: IntegrationKind) -> Result<&PackagingTech, TechError> {
         self.packaging
             .get(&kind)
-            .ok_or_else(|| TechError::UnknownPackaging { kind: kind.to_string() })
+            .ok_or_else(|| TechError::UnknownPackaging {
+                kind: kind.to_string(),
+            })
     }
 
     /// Iterates over all registered nodes in id order.
@@ -155,7 +159,10 @@ mod tests {
     #[test]
     fn unknown_lookups_error() {
         let lib = TechLibrary::paper_defaults().unwrap();
-        assert!(matches!(lib.node("9nm"), Err(TechError::UnknownNode { .. })));
+        assert!(matches!(
+            lib.node("9nm"),
+            Err(TechError::UnknownNode { .. })
+        ));
         let empty = TechLibrary::new();
         assert!(matches!(
             empty.packaging(IntegrationKind::Mcm),
@@ -191,13 +198,19 @@ mod tests {
             })
             .unwrap();
         assert_eq!(modified.node("7nm").unwrap().defect_density().value(), 0.13);
-        assert_eq!(lib.node("7nm").unwrap().defect_density().value(), original_d);
+        assert_eq!(
+            lib.node("7nm").unwrap().defect_density().value(),
+            original_d
+        );
     }
 
     #[test]
     fn display() {
         let lib = TechLibrary::paper_defaults().unwrap();
-        assert_eq!(lib.to_string(), "tech library (7 nodes, 4 packaging technologies)");
+        assert_eq!(
+            lib.to_string(),
+            "tech library (7 nodes, 4 packaging technologies)"
+        );
     }
 
     #[test]
@@ -208,7 +221,10 @@ mod tests {
         let mut last = Money::ZERO;
         for id in order {
             let price = lib.node(id).unwrap().wafer_price();
-            assert!(price > last, "wafer price must increase towards advanced nodes ({id})");
+            assert!(
+                price > last,
+                "wafer price must increase towards advanced nodes ({id})"
+            );
             last = price;
         }
         // NRE factors rise with node advancement as well.

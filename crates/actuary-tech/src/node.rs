@@ -176,8 +176,7 @@ impl ProcessNode {
 
     /// The negative-binomial yield model configured for this node.
     pub fn yield_model(&self) -> NegativeBinomial {
-        NegativeBinomial::new(self.cluster)
-            .expect("cluster parameter validated at construction")
+        NegativeBinomial::new(self.cluster).expect("cluster parameter validated at construction")
     }
 
     /// Die yield for a die of the given area, per Eq. (1).
@@ -362,7 +361,9 @@ impl ProcessNodeBuilder {
         let mask_set = self.mask_set.ok_or_else(|| TechError::InvalidSpec {
             reason: format!("node {}: mask_set is required", self.id),
         })?;
-        if k_module.is_negative() || k_chip.is_negative() || mask_set.is_negative()
+        if k_module.is_negative()
+            || k_chip.is_negative()
+            || mask_set.is_negative()
             || self.ip_license.is_negative()
         {
             return Err(TechError::InvalidSpec {

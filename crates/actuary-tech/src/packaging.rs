@@ -119,7 +119,13 @@ impl InterposerSpec {
                 reason: format!("interposer area factor {area_factor} must be at least 1"),
             });
         }
-        Ok(InterposerSpec { defect_density, cluster, wafer_price, wafer, area_factor })
+        Ok(InterposerSpec {
+            defect_density,
+            cluster,
+            wafer_price,
+            wafer,
+            area_factor,
+        })
     }
 
     /// Defect density of the interposer process.
@@ -535,7 +541,9 @@ mod tests {
     #[test]
     fn builder_enforces_interposer_consistency() {
         // 2.5D without interposer fails.
-        assert!(PackagingTech::builder(IntegrationKind::TwoPointFiveD).build().is_err());
+        assert!(PackagingTech::builder(IntegrationKind::TwoPointFiveD)
+            .build()
+            .is_err());
         // MCM with interposer fails.
         assert!(PackagingTech::builder(IntegrationKind::Mcm)
             .interposer(sample_interposer())

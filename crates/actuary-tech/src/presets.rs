@@ -302,7 +302,11 @@ mod tests {
         // substrate through InFO to silicon interposer.
         let lib = paper_defaults().unwrap();
         let die = Area::from_mm2(400.0).unwrap();
-        let kinds = [IntegrationKind::Mcm, IntegrationKind::Info, IntegrationKind::TwoPointFiveD];
+        let kinds = [
+            IntegrationKind::Mcm,
+            IntegrationKind::Info,
+            IntegrationKind::TwoPointFiveD,
+        ];
         let mut costs = Vec::new();
         for kind in kinds {
             let p = lib.packaging(kind).unwrap();
@@ -313,19 +317,33 @@ mod tests {
             }
             costs.push((kind, cost));
         }
-        assert!(costs[0].1 < costs[1].1, "MCM substrate must be cheaper than InFO: {costs:?}");
-        assert!(costs[1].1 < costs[2].1, "InFO must be cheaper than 2.5D: {costs:?}");
+        assert!(
+            costs[0].1 < costs[1].1,
+            "MCM substrate must be cheaper than InFO: {costs:?}"
+        );
+        assert!(
+            costs[1].1 < costs[2].1,
+            "InFO must be cheaper than 2.5D: {costs:?}"
+        );
     }
 
     #[test]
     fn mature_nodes_have_cheaper_nre() {
         let lib = paper_defaults().unwrap();
-        let pairs = [("3nm", "5nm"), ("5nm", "7nm"), ("7nm", "14nm"), ("14nm", "28nm")];
+        let pairs = [
+            ("3nm", "5nm"),
+            ("5nm", "7nm"),
+            ("7nm", "14nm"),
+            ("14nm", "28nm"),
+        ];
         for (advanced, mature) in pairs {
             let a = lib.node(advanced).unwrap().nre();
             let m = lib.node(mature).unwrap().nre();
             assert!(a.k_module > m.k_module, "{advanced} vs {mature}");
-            assert!(a.fixed_per_chip() > m.fixed_per_chip(), "{advanced} vs {mature}");
+            assert!(
+                a.fixed_per_chip() > m.fixed_per_chip(),
+                "{advanced} vs {mature}"
+            );
         }
     }
 }

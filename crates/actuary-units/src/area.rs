@@ -68,7 +68,9 @@ impl Area {
     /// product is not finite.
     pub fn from_rect_mm(width_mm: f64, height_mm: f64) -> Result<Self, UnitError> {
         if width_mm < 0.0 || height_mm < 0.0 {
-            return Err(UnitError::InvalidArea { value: width_mm * height_mm });
+            return Err(UnitError::InvalidArea {
+                value: width_mm * height_mm,
+            });
         }
         Self::from_mm2(width_mm * height_mm)
     }
@@ -140,7 +142,9 @@ impl Area {
     /// Returns [`UnitError::DivisionByZero`] if `other` is zero.
     pub fn ratio(self, other: Area) -> Result<f64, UnitError> {
         if other.is_zero() {
-            Err(UnitError::DivisionByZero { context: "computing an area ratio" })
+            Err(UnitError::DivisionByZero {
+                context: "computing an area ratio",
+            })
         } else {
             Ok(self.0 / other.0)
         }

@@ -32,13 +32,19 @@ impl fmt::Display for UnitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             UnitError::InvalidArea { value } => {
-                write!(f, "invalid area: {value} mm² (must be finite and non-negative)")
+                write!(
+                    f,
+                    "invalid area: {value} mm² (must be finite and non-negative)"
+                )
             }
             UnitError::InvalidMoney { value } => {
                 write!(f, "invalid money amount: {value} USD (must be finite)")
             }
             UnitError::InvalidProbability { value } => {
-                write!(f, "invalid probability: {value} (must be finite and within [0, 1])")
+                write!(
+                    f,
+                    "invalid probability: {value} (must be finite and within [0, 1])"
+                )
             }
             UnitError::DivisionByZero { context } => {
                 write!(f, "division by zero while {context}")
@@ -58,15 +64,23 @@ mod tests {
         let cases: Vec<(UnitError, &str)> = vec![
             (UnitError::InvalidArea { value: -1.0 }, "invalid area"),
             (UnitError::InvalidMoney { value: f64::NAN }, "invalid money"),
-            (UnitError::InvalidProbability { value: 2.0 }, "invalid probability"),
             (
-                UnitError::DivisionByZero { context: "amortizing NRE" },
+                UnitError::InvalidProbability { value: 2.0 },
+                "invalid probability",
+            ),
+            (
+                UnitError::DivisionByZero {
+                    context: "amortizing NRE",
+                },
                 "division by zero",
             ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
-            assert!(msg.contains(needle), "message {msg:?} should contain {needle:?}");
+            assert!(
+                msg.contains(needle),
+                "message {msg:?} should contain {needle:?}"
+            );
             assert!(!msg.ends_with('.'), "no trailing punctuation: {msg:?}");
         }
     }

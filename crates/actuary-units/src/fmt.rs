@@ -50,6 +50,52 @@ pub fn format_ratio(ratio: f64, decimals: usize) -> String {
     format!("{ratio:.decimals$}x")
 }
 
+/// Escapes one RFC-4180 CSV field: quotes it when it contains a comma,
+/// quote, or line break, doubling embedded quotes.
+///
+/// Lives in the base layer so both the DSE and report layers can emit CSV
+/// without an edge between them.
+///
+/// # Examples
+///
+/// ```
+/// use actuary_units::csv_escape;
+///
+/// assert_eq!(csv_escape("plain"), "plain");
+/// assert_eq!(csv_escape("a,b"), "\"a,b\"");
+/// assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+/// ```
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serializes records as RFC-4180 CSV text with `\n` line endings.
+///
+/// # Examples
+///
+/// ```
+/// use actuary_units::write_csv;
+///
+/// let rows = vec![
+///     vec!["a".to_string(), "b".to_string()],
+///     vec!["1".to_string(), "x,y".to_string()],
+/// ];
+/// assert_eq!(write_csv(&rows), "a,b\n1,\"x,y\"\n");
+/// ```
+pub fn write_csv(records: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for record in records {
+        let escaped: Vec<String> = record.iter().map(|f| csv_escape(f)).collect();
+        out.push_str(&escaped.join(","));
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +124,15 @@ mod tests {
     fn ratio_formatting() {
         assert_eq!(format_ratio(2.0, 1), "2.0x");
         assert_eq!(format_ratio(0.333, 2), "0.33x");
+    }
+
+    #[test]
+    fn csv_escaping_rules() {
+        assert_eq!(csv_escape(""), "");
+        assert_eq!(csv_escape("simple"), "simple");
+        assert_eq!(csv_escape("with,comma"), "\"with,comma\"");
+        assert_eq!(csv_escape("with\nnewline"), "\"with\nnewline\"");
+        assert_eq!(csv_escape("with\rreturn"), "\"with\rreturn\"");
+        assert_eq!(csv_escape("q\"uote"), "\"q\"\"uote\"");
     }
 }

@@ -112,7 +112,9 @@ impl Money {
     /// Returns [`UnitError::DivisionByZero`] if `reference` is zero.
     pub fn normalized_to(self, reference: Money) -> Result<f64, UnitError> {
         if reference.is_zero() {
-            Err(UnitError::DivisionByZero { context: "normalizing a cost" })
+            Err(UnitError::DivisionByZero {
+                context: "normalizing a cost",
+            })
         } else {
             Ok(self.0 / reference.0)
         }
@@ -126,7 +128,9 @@ impl Money {
     /// Returns [`UnitError::DivisionByZero`] if `quantity` is zero.
     pub fn amortize(self, quantity: Quantity) -> Result<Money, UnitError> {
         if quantity.is_zero() {
-            Err(UnitError::DivisionByZero { context: "amortizing NRE over zero units" })
+            Err(UnitError::DivisionByZero {
+                context: "amortizing NRE over zero units",
+            })
         } else {
             Ok(Money(self.0 / quantity.count() as f64))
         }
@@ -141,7 +145,11 @@ impl Money {
 
 impl fmt::Display for Money {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let (sign, magnitude) = if self.0 < 0.0 { ("-", -self.0) } else { ("", self.0) };
+        let (sign, magnitude) = if self.0 < 0.0 {
+            ("-", -self.0)
+        } else {
+            ("", self.0)
+        };
         let cents = (magnitude * 100.0).round() / 100.0;
         let whole = cents.trunc();
         let frac = ((cents - whole) * 100.0).round() as u64;
@@ -266,7 +274,10 @@ mod tests {
     #[test]
     fn display_with_thousands_separator() {
         assert_eq!(Money::from_usd(16_988.0).unwrap().to_string(), "$16,988");
-        assert_eq!(Money::from_usd(1234567.5).unwrap().to_string(), "$1,234,567.50");
+        assert_eq!(
+            Money::from_usd(1234567.5).unwrap().to_string(),
+            "$1,234,567.50"
+        );
         assert_eq!(Money::from_usd(-42.0).unwrap().to_string(), "-$42");
         assert_eq!(Money::ZERO.to_string(), "$0");
     }

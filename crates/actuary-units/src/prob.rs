@@ -94,7 +94,9 @@ impl Prob {
     /// Returns [`UnitError::DivisionByZero`] if the probability is zero.
     pub fn reciprocal(self) -> Result<f64, UnitError> {
         if self.0 == 0.0 {
-            Err(UnitError::DivisionByZero { context: "inverting a zero yield" })
+            Err(UnitError::DivisionByZero {
+                context: "inverting a zero yield",
+            })
         } else {
             Ok(1.0 / self.0)
         }

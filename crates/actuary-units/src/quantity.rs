@@ -146,7 +146,9 @@ mod tests {
         let total: Quantity = [1u64, 2, 3].iter().map(|&v| Quantity::new(v)).sum();
         assert_eq!(total.count(), 6);
         assert_eq!(
-            Quantity::new(u64::MAX).saturating_add(Quantity::new(1)).count(),
+            Quantity::new(u64::MAX)
+                .saturating_add(Quantity::new(1))
+                .count(),
             u64::MAX
         );
     }

@@ -40,10 +40,16 @@ impl fmt::Display for YieldError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             YieldError::InvalidDefectDensity { value } => {
-                write!(f, "invalid defect density: {value} /cm² (must be finite and non-negative)")
+                write!(
+                    f,
+                    "invalid defect density: {value} /cm² (must be finite and non-negative)"
+                )
             }
             YieldError::InvalidModelParameter { name, value } => {
-                write!(f, "invalid yield-model parameter {name}: {value} (must be finite and positive)")
+                write!(
+                    f,
+                    "invalid yield-model parameter {name}: {value} (must be finite and positive)"
+                )
             }
             YieldError::InvalidWaferGeometry { reason } => {
                 write!(f, "invalid wafer geometry: {reason}")
@@ -79,7 +85,10 @@ mod tests {
     fn messages_are_descriptive() {
         let e = YieldError::InvalidDefectDensity { value: -0.1 };
         assert!(e.to_string().contains("defect density"));
-        let e = YieldError::DieTooLarge { die_mm2: 900.0, limit_mm2: 858.0 };
+        let e = YieldError::DieTooLarge {
+            die_mm2: 900.0,
+            limit_mm2: 858.0,
+        };
         assert!(e.to_string().contains("858"));
     }
 

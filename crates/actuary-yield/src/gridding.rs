@@ -44,13 +44,15 @@ impl DieFootprint {
     /// Returns [`YieldError::InvalidWaferGeometry`] if either side is not
     /// finite and positive.
     pub fn new(width_mm: f64, height_mm: f64) -> Result<Self, YieldError> {
-        if !width_mm.is_finite() || width_mm <= 0.0 || !height_mm.is_finite() || height_mm <= 0.0
-        {
+        if !width_mm.is_finite() || width_mm <= 0.0 || !height_mm.is_finite() || height_mm <= 0.0 {
             return Err(YieldError::InvalidWaferGeometry {
                 reason: format!("die footprint {width_mm} × {height_mm} mm must be positive"),
             });
         }
-        Ok(DieFootprint { width_mm, height_mm })
+        Ok(DieFootprint {
+            width_mm,
+            height_mm,
+        })
     }
 
     /// A square die of the given area.
@@ -101,7 +103,10 @@ impl DieFootprint {
     /// The footprint rotated by 90°.
     #[inline]
     pub fn rotated(self) -> DieFootprint {
-        DieFootprint { width_mm: self.height_mm, height_mm: self.width_mm }
+        DieFootprint {
+            width_mm: self.height_mm,
+            height_mm: self.width_mm,
+        }
     }
 
     /// Aspect ratio `width / height`.
@@ -188,12 +193,21 @@ pub fn count_dies_in_circle(
     let offsets = [(0.0, 0.0), (0.5, 0.0), (0.0, 0.5), (0.5, 0.5)];
     let mut best = GridCount {
         count: 0,
-        offset: GridOffset { dx_frac: 0.0, dy_frac: 0.0 },
+        offset: GridOffset {
+            dx_frac: 0.0,
+            dy_frac: 0.0,
+        },
     };
     for (fx, fy) in offsets {
         let count = count_for_offset(radius_mm, die, pitch_x, pitch_y, fx, fy);
         if count > best.count {
-            best = GridCount { count, offset: GridOffset { dx_frac: fx, dy_frac: fy } };
+            best = GridCount {
+                count,
+                offset: GridOffset {
+                    dx_frac: fx,
+                    dy_frac: fy,
+                },
+            };
         }
     }
     Ok(best)
@@ -287,7 +301,10 @@ mod tests {
         let c = count_dies_in_circle(r_fit, die, 0.0).unwrap();
         assert!(c.count() >= 1, "die must fit at offset (0.5, 0.5): {c}");
         let r_too_small = 10.0 * std::f64::consts::SQRT_2 / 2.0 - 0.1;
-        assert_eq!(count_dies_in_circle(r_too_small, die, 0.0).unwrap().count(), 0);
+        assert_eq!(
+            count_dies_in_circle(r_too_small, die, 0.0).unwrap().count(),
+            0
+        );
     }
 
     #[test]
@@ -314,7 +331,9 @@ mod tests {
     fn rotation_can_matter_for_rectangles() {
         let die = DieFootprint::new(30.0, 10.0).unwrap();
         let a = count_dies_in_circle(50.0, die, 0.0).unwrap().count();
-        let b = count_dies_in_circle(50.0, die.rotated(), 0.0).unwrap().count();
+        let b = count_dies_in_circle(50.0, die.rotated(), 0.0)
+            .unwrap()
+            .count();
         // Same area and symmetric disc: counts must match under rotation.
         assert_eq!(a, b);
     }

@@ -79,7 +79,8 @@ impl HarvestSpec {
                 value: min_good_units as f64,
             });
         }
-        if !unit_area_fraction.is_finite() || !(0.0..=1.0).contains(&unit_area_fraction)
+        if !unit_area_fraction.is_finite()
+            || !(0.0..=1.0).contains(&unit_area_fraction)
             || unit_area_fraction == 0.0
         {
             return Err(YieldError::InvalidModelParameter {
@@ -87,7 +88,11 @@ impl HarvestSpec {
                 value: unit_area_fraction,
             });
         }
-        Ok(HarvestSpec { units, min_good_units, unit_area_fraction })
+        Ok(HarvestSpec {
+            units,
+            min_good_units,
+            unit_area_fraction,
+        })
     }
 
     /// Number of redundant units on the die.
@@ -125,11 +130,13 @@ impl HarvestSpec {
         cluster: f64,
     ) -> Result<Prob, YieldError> {
         if !cluster.is_finite() || cluster <= 0.0 {
-            return Err(YieldError::InvalidModelParameter { name: "cluster", value: cluster });
+            return Err(YieldError::InvalidModelParameter {
+                name: "cluster",
+                value: cluster,
+            });
         }
         let lambda = density.expected_defects(die);
-        Ok(Prob::new(Self::laplace(lambda, cluster))
-            .expect("laplace transform is within [0, 1]"))
+        Ok(Prob::new(Self::laplace(lambda, cluster)).expect("laplace transform is within [0, 1]"))
     }
 
     /// Probability that the die is sellable: clean common region and at
@@ -151,7 +158,10 @@ impl HarvestSpec {
         cluster: f64,
     ) -> Result<Prob, YieldError> {
         if !cluster.is_finite() || cluster <= 0.0 {
-            return Err(YieldError::InvalidModelParameter { name: "cluster", value: cluster });
+            return Err(YieldError::InvalidModelParameter {
+                name: "cluster",
+                value: cluster,
+            });
         }
         let lambda = density.expected_defects(die);
         let lambda_unit = lambda * self.unit_area_fraction / self.units as f64;
@@ -262,8 +272,7 @@ fn binomial_tail(n: u32, m: u32, p: f64) -> f64 {
     let n_f = n as f64;
     let q = 1.0 - p;
     // Seed at k = m: ln C(n,m) + m ln p + (n−m) ln q.
-    let ln_term = ln_gamma(n_f + 1.0) - ln_gamma(m as f64 + 1.0)
-        - ln_gamma((n - m) as f64 + 1.0)
+    let ln_term = ln_gamma(n_f + 1.0) - ln_gamma(m as f64 + 1.0) - ln_gamma((n - m) as f64 + 1.0)
         + m as f64 * p.ln()
         + (n - m) as f64 * q.ln();
     let mut term = ln_term.exp();
@@ -406,9 +415,10 @@ mod tests {
             // Gamma(c, 1/c) via sum of exponentials is wrong for non-integer
             // c; use the Marsaglia-Tsang-free approach: for c = 10 (integer)
             // the sum of 10 Exp(1) / 10 is exact.
-            let g: f64 =
-                (0..10).map(|_| -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln()).sum::<f64>()
-                    / 10.0;
+            let g: f64 = (0..10)
+                .map(|_| -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln())
+                .sum::<f64>()
+                / 10.0;
             let common_clean = rng.gen::<f64>() < (-lambda_common * g).exp();
             if !common_clean {
                 continue;

@@ -66,7 +66,10 @@ impl NegativeBinomial {
         if cluster.is_finite() && cluster > 0.0 {
             Ok(NegativeBinomial { cluster })
         } else {
-            Err(YieldError::InvalidModelParameter { name: "cluster", value: cluster })
+            Err(YieldError::InvalidModelParameter {
+                name: "cluster",
+                value: cluster,
+            })
         }
     }
 
@@ -182,7 +185,10 @@ impl BoseEinstein {
         if levels.is_finite() && levels > 0.0 {
             Ok(BoseEinstein { levels })
         } else {
-            Err(YieldError::InvalidModelParameter { name: "levels", value: levels })
+            Err(YieldError::InvalidModelParameter {
+                name: "levels",
+                value: levels,
+            })
         }
     }
 
@@ -263,7 +269,12 @@ mod tests {
         ];
         for m in &models {
             assert_eq!(m.die_yield(dd(0.2), Area::ZERO), Prob::ONE, "{}", m.name());
-            assert_eq!(m.die_yield(DefectDensity::ZERO, area(500.0)), Prob::ONE, "{}", m.name());
+            assert_eq!(
+                m.die_yield(DefectDensity::ZERO, area(500.0)),
+                Prob::ONE,
+                "{}",
+                m.name()
+            );
         }
     }
 
@@ -310,7 +321,10 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(NegativeBinomial::new(10.0).unwrap().name(), "negative binomial");
+        assert_eq!(
+            NegativeBinomial::new(10.0).unwrap().name(),
+            "negative binomial"
+        );
         assert_eq!(Poisson::new().name(), "poisson");
         assert_eq!(Murphy::new().name(), "murphy");
         assert_eq!(SeedsExponential::new().name(), "seeds exponential");

@@ -37,7 +37,10 @@ pub struct Reticle {
 impl Reticle {
     /// The standard full-field reticle: 26 × 33 mm.
     pub fn standard() -> Self {
-        Reticle { width_mm: 26.0, height_mm: 33.0 }
+        Reticle {
+            width_mm: 26.0,
+            height_mm: 33.0,
+        }
     }
 
     /// Creates a custom reticle field.
@@ -47,13 +50,15 @@ impl Reticle {
     /// Returns [`YieldError::InvalidWaferGeometry`] if either side is not
     /// finite and positive.
     pub fn new(width_mm: f64, height_mm: f64) -> Result<Self, YieldError> {
-        if !width_mm.is_finite() || width_mm <= 0.0 || !height_mm.is_finite() || height_mm <= 0.0
-        {
+        if !width_mm.is_finite() || width_mm <= 0.0 || !height_mm.is_finite() || height_mm <= 0.0 {
             return Err(YieldError::InvalidWaferGeometry {
                 reason: format!("reticle field {width_mm} × {height_mm} mm must be positive"),
             });
         }
-        Ok(Reticle { width_mm, height_mm })
+        Ok(Reticle {
+            width_mm,
+            height_mm,
+        })
     }
 
     /// Field width in mm.
@@ -84,7 +89,8 @@ impl Reticle {
     /// Whether the exact die footprint fits the field, allowing 90°
     /// rotation.
     pub fn fits_footprint(self, die: DieFootprint) -> bool {
-        let fits = |d: DieFootprint| d.width_mm() <= self.width_mm && d.height_mm() <= self.height_mm;
+        let fits =
+            |d: DieFootprint| d.width_mm() <= self.width_mm && d.height_mm() <= self.height_mm;
         fits(die) || fits(die.rotated())
     }
 
@@ -98,7 +104,10 @@ impl Reticle {
         if self.fits_area(die) {
             Ok(())
         } else {
-            Err(YieldError::DieTooLarge { die_mm2: die.mm2(), limit_mm2: self.max_area().mm2() })
+            Err(YieldError::DieTooLarge {
+                die_mm2: die.mm2(),
+                limit_mm2: self.max_area().mm2(),
+            })
         }
     }
 
@@ -122,7 +131,13 @@ impl Default for Reticle {
 
 impl fmt::Display for Reticle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} × {} mm reticle ({} mm² max)", self.width_mm, self.height_mm, self.width_mm * self.height_mm)
+        write!(
+            f,
+            "{} × {} mm reticle ({} mm² max)",
+            self.width_mm,
+            self.height_mm,
+            self.width_mm * self.height_mm
+        )
     }
 }
 
@@ -154,7 +169,10 @@ mod tests {
         assert!(r.fits_area(area(858.0)));
         assert!(!r.fits_area(area(858.1)));
         assert!(r.check_area(area(500.0)).is_ok());
-        assert!(matches!(r.check_area(area(900.0)), Err(YieldError::DieTooLarge { .. })));
+        assert!(matches!(
+            r.check_area(area(900.0)),
+            Err(YieldError::DieTooLarge { .. })
+        ));
     }
 
     #[test]
@@ -188,6 +206,10 @@ mod tests {
         assert_eq!(r.fields_required(area(859.0)), 2);
         assert_eq!(r.fields_required(area(1716.0)), 2);
         assert_eq!(r.fields_required(area(2000.0)), 3);
-        assert_eq!(r.fields_required(Area::ZERO), 1, "degenerate areas still take a field");
+        assert_eq!(
+            r.fields_required(Area::ZERO),
+            1,
+            "degenerate areas still take a field"
+        );
     }
 }

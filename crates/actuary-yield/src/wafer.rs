@@ -74,7 +74,11 @@ impl WaferSpec {
                 reason: format!("scribe lane {scribe_lane_mm} mm must be non-negative"),
             });
         }
-        Ok(WaferSpec { diameter_mm, edge_exclusion_mm, scribe_lane_mm })
+        Ok(WaferSpec {
+            diameter_mm,
+            edge_exclusion_mm,
+            scribe_lane_mm,
+        })
     }
 
     /// The standard 300 mm production wafer: 3 mm edge exclusion and a
@@ -252,7 +256,10 @@ mod tests {
         let dpw = w.dies_per_wafer(area(100.0)).unwrap();
         let expected = std::f64::consts::PI * 150.0 * 150.0 / 100.0
             - std::f64::consts::PI * 300.0 / (200.0f64).sqrt();
-        assert!((dpw - expected).abs() < 1e-9, "got {dpw}, expected {expected}");
+        assert!(
+            (dpw - expected).abs() < 1e-9,
+            "got {dpw}, expected {expected}"
+        );
         assert!((expected - 640.2).abs() < 0.5);
     }
 
@@ -311,7 +318,10 @@ mod tests {
     #[test]
     fn display() {
         let w = WaferSpec::mm300().unwrap();
-        assert_eq!(w.to_string(), "300 mm wafer (edge exclusion 3 mm, scribe 0.1 mm)");
+        assert_eq!(
+            w.to_string(),
+            "300 mm wafer (edge exclusion 3 mm, scribe 0.1 mm)"
+        );
     }
 
     proptest! {

@@ -95,10 +95,20 @@ fn bench_granularity(c: &mut Criterion) {
     println!("=== ablation: chiplet granularity (5nm, 800 mm², MCM) ===");
     for n in 1u32..=8 {
         let breakdown = if n == 1 {
-            re_cost(&[DiePlacement::new(n5, total, 1)], soc, AssemblyFlow::ChipLast).unwrap()
+            re_cost(
+                &[DiePlacement::new(n5, total, 1)],
+                soc,
+                AssemblyFlow::ChipLast,
+            )
+            .unwrap()
         } else {
             let die = n5.d2d().inflate_module_area(total / n as f64).unwrap();
-            re_cost(&[DiePlacement::new(n5, die, n)], mcm, AssemblyFlow::ChipLast).unwrap()
+            re_cost(
+                &[DiePlacement::new(n5, die, n)],
+                mcm,
+                AssemblyFlow::ChipLast,
+            )
+            .unwrap()
         };
         println!(
             "  {n} chiplet(s): RE {} (defects {}, packaging {})",
@@ -138,7 +148,11 @@ fn bench_monte_carlo(c: &mut Criterion) {
     let chiplet = Chip::chiplet(
         "bench-c",
         "7nm",
-        vec![Module::new("bench-m", "7nm", Area::from_mm2(180.0).unwrap())],
+        vec![Module::new(
+            "bench-m",
+            "7nm",
+            Area::from_mm2(180.0).unwrap(),
+        )],
     );
     let system = System::builder("bench-sys", IntegrationKind::Mcm)
         .chip(chiplet, 2)
@@ -146,15 +160,26 @@ fn bench_monte_carlo(c: &mut Criterion) {
         .build()
         .unwrap();
 
-    let analytic = system.re_cost(&lib, AssemblyFlow::ChipLast, None).unwrap().total();
-    let cfg = McConfig { systems: 500, seed: 7, defect_process: DefectProcess::Bernoulli };
+    let analytic = system
+        .re_cost(&lib, AssemblyFlow::ChipLast, None)
+        .unwrap()
+        .total();
+    let cfg = McConfig {
+        systems: 500,
+        seed: 7,
+        defect_process: DefectProcess::Bernoulli,
+    };
     let mc = simulate_system(&system, &lib, AssemblyFlow::ChipLast, &cfg).unwrap();
     println!("=== ablation: analytic vs Monte-Carlo (7nm 2×200mm² MCM) ===");
     println!("  analytic {analytic} | monte-carlo {mc}");
 
     let mut group = c.benchmark_group("engine");
     group.bench_function("analytic_re_cost", |b| {
-        b.iter(|| system.re_cost(black_box(&lib), AssemblyFlow::ChipLast, None).unwrap())
+        b.iter(|| {
+            system
+                .re_cost(black_box(&lib), AssemblyFlow::ChipLast, None)
+                .unwrap()
+        })
     });
     group.sample_size(10);
     group.bench_function("monte_carlo_500_systems", |b| {

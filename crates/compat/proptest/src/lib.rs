@@ -1,0 +1,499 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! vendors the subset of the proptest API its tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * range strategies (`0usize..4`, `30.0f64..700.0`, `0.0f64..=1.0`, …),
+//! * tuple strategies, [`bool::ANY`], and [`collection::vec`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Differences from real proptest, by design: inputs are drawn from a
+//! deterministic fixed-seed RNG (every run explores the same cases, so CI
+//! is reproducible) and failing cases are **not shrunk** — the failure
+//! message reports the case number so it can be replayed by re-running the
+//! test. The default number of cases is 64 (real proptest: 256) to keep
+//! `cargo test` fast; override per-block with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+pub mod test_runner {
+    //! Case outcome types and the run configuration.
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed: the property is violated.
+        Fail(String),
+        /// The case was rejected by `prop_assume!`; try another input.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed property with an explanatory message.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            Self::Fail(reason.into())
+        }
+
+        /// A rejected (skipped) case.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            Self::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Self::Fail(reason) => write!(f, "property failed: {reason}"),
+                Self::Reject(reason) => write!(f, "input rejected: {reason}"),
+            }
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Configuration for one `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of accepted (non-rejected) cases each test must pass.
+        pub cases: u32,
+        /// Hard ceiling on `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` accepted cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self {
+                cases: 64,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of one type (sampling only — the
+    /// shim does not shrink).
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    /// Scalars that can be drawn uniformly from a half-open or closed
+    /// range (backing `lo..hi` and `lo..=hi` strategies).
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+        fn sample_uniform(lo: Self, hi: Self, inclusive: bool, rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform(lo: Self, hi: Self, inclusive: bool, rng: &mut StdRng) -> Self {
+                    let lo_w = lo as i128;
+                    let hi_w = hi as i128;
+                    let span = if inclusive { hi_w - lo_w + 1 } else { hi_w - lo_w };
+                    assert!(span > 0, "empty integer range {lo}..{hi}");
+                    let draw = (rng.gen::<u64>() as i128).rem_euclid(span);
+                    (lo_w + draw) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform(lo: Self, hi: Self, inclusive: bool, rng: &mut StdRng) -> Self {
+                    assert!(lo < hi || (inclusive && lo <= hi), "empty float range {lo}..{hi}");
+                    // A plain uniform draw lands exactly on an endpoint with
+                    // probability ~0, so bias toward them (real proptest does
+                    // the same): without this, `lo..=hi` would advertise
+                    // endpoint coverage that never materializes.
+                    let bias = rng.gen::<f64>();
+                    if bias < 1.0 / 32.0 {
+                        return lo;
+                    }
+                    if inclusive && bias < 2.0 / 32.0 {
+                        return hi;
+                    }
+                    let unit = rng.gen::<f64>() as $t;
+                    let x = lo + unit * (hi - lo);
+                    if !inclusive && x >= hi { lo } else { x.min(hi) }
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_float!(f32, f64);
+
+    impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::sample_uniform(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::sample_uniform(*self.start(), *self.end(), true, rng)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_strategy_tuple!(A);
+    impl_strategy_tuple!(A, B);
+    impl_strategy_tuple!(A, B, C);
+    impl_strategy_tuple!(A, B, C, D);
+    impl_strategy_tuple!(A, B, C, D, E);
+    impl_strategy_tuple!(A, B, C, D, E, F);
+
+    /// Always produces a clone of the given value (mirrors
+    /// `proptest::strategy::Just`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl crate::strategy::Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{SampleUniform, Strategy};
+    use rand::rngs::StdRng;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length drawn
+    /// from a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy: each case draws a length in `size`, then that many
+    /// elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = usize::sample_uniform(self.size.start, self.size.end, false, rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The imports a `proptest!` test module needs.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[doc(hidden)]
+pub mod __runtime {
+    //! Support code the macros expand to; not part of the public API.
+
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Fixed base seed: every run explores the same deterministic cases.
+    pub const BASE_SEED: u64 = 0xC0FF_EE00_D00D;
+
+    /// Derives the per-case RNG seed from the test name and case index.
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        // FNV-1a over the name, mixed with the case index.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^ BASE_SEED.wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut case: u32 = 0;
+            while accepted < config.cases {
+                let mut rng = <$crate::__runtime::StdRng as $crate::__runtime::SeedableRng>::seed_from_u64(
+                    $crate::__runtime::case_seed(stringify!($name), case),
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                )+
+                let outcome = (move || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= config.max_global_rejects,
+                            "proptest `{}`: too many inputs rejected by prop_assume! \
+                             ({rejected} rejects for {accepted} accepted cases)",
+                            stringify!($name),
+                        );
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(reason)) => {
+                        panic!(
+                            "proptest `{}` failed at case {case} (deterministic seed): {reason}",
+                            stringify!($name),
+                        );
+                    }
+                }
+                case += 1;
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a property inside `proptest!`; on failure the current case
+/// fails with the formatted message (no panic unwinding mid-case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!` with a `{:?}`-formatted report.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside `proptest!` with a `{:?}`-formatted report.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Skips the current case when its generated inputs are out of scope.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(
+            x in 10.0f64..20.0,
+            n in 1u32..5,
+            i in 0usize..3,
+        ) {
+            prop_assert!((10.0..20.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(i < 3);
+        }
+
+        #[test]
+        fn inclusive_ranges_cover_the_top(p in 0.0f64..=1.0) {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size_and_element_ranges(
+            xs in crate::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..50),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 50);
+            for (a, b) in &xs {
+                prop_assert!((0.0..100.0).contains(a));
+                prop_assert!((0.0..100.0).contains(b));
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(k in 0u32..10) {
+            prop_assume!(k % 2 == 0);
+            prop_assert_eq!(k % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        /// The custom case budget really applies: k stays in range for
+        /// every generated case.
+        #[test]
+        fn config_override_applies(k in 0usize..3) {
+            prop_assert!(k < 3);
+        }
+    }
+
+    #[test]
+    fn inclusive_float_ranges_produce_both_endpoints() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let strategy = 0.0f64..=1.0;
+        let draws: Vec<f64> = (0..1000).map(|_| strategy.sample(&mut rng)).collect();
+        assert!(draws.contains(&0.0), "lo endpoint never drawn");
+        assert!(draws.contains(&1.0), "hi endpoint never drawn");
+        assert!(draws.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn half_open_float_ranges_exclude_the_top() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(10);
+        let strategy = 0.0f64..1.0;
+        assert!((0..1000)
+            .map(|_| strategy.sample(&mut rng))
+            .all(|x| x < 1.0));
+    }
+
+    #[test]
+    fn bool_any_produces_both_values() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let draws: Vec<bool> = (0..64).map(|_| crate::bool::ANY.sample(&mut rng)).collect();
+        assert!(draws.iter().any(|&b| b) && draws.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn case_seed_differs_across_names_and_cases() {
+        let a = crate::__runtime::case_seed("a", 0);
+        let b = crate::__runtime::case_seed("b", 0);
+        let a1 = crate::__runtime::case_seed("a", 1);
+        assert_ne!(a, b);
+        assert_ne!(a, a1);
+    }
+}

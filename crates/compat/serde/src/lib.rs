@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! This build environment has no registry access, so the workspace vendors
+//! the minimal surface it uses: the `Serialize` / `Deserialize` trait names
+//! and (behind the `derive` feature) the no-op derive macros from the
+//! sibling `serde_derive` shim. Types in the workspace derive these traits
+//! to mark themselves serialization-ready; nothing calls a serde runtime,
+//! so no data-model machinery is vendored. Point the workspace dependency
+//! back at crates.io to restore the real implementation unchanged.
+
+/// Marker trait mirroring `serde::Serialize` (no runtime machinery).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no runtime machinery).
+pub trait Deserialize<'de>: Sized {}
+
+// Like real serde with the `derive` feature: re-export the derive macros
+// under the same names as the traits (macro and trait namespaces coexist).
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The real registry is unreachable in this build environment, so the
+//! workspace vendors the exact macro surface it uses: `#[derive(Serialize,
+//! Deserialize)]` with inert `#[serde(...)]` helper attributes. The derives
+//! accept the input and expand to nothing — the workspace only annotates
+//! types for *future* serialization support and never calls serde's
+//! runtime, so empty trait impl expansion is not needed either.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (with inert `#[serde(...)]` attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (with inert `#[serde(...)]` attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -25,10 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "analytic",
         "monte-carlo",
         "std err",
-        "agree(4σ)",
+        "agree",
     ]);
 
-    for kind in [IntegrationKind::Mcm, IntegrationKind::Info, IntegrationKind::TwoPointFiveD] {
+    for kind in [
+        IntegrationKind::Mcm,
+        IntegrationKind::Info,
+        IntegrationKind::TwoPointFiveD,
+    ] {
         let system = System::builder("mc-sys", kind)
             .chip(chiplet.clone(), 2)
             .quantity(Quantity::new(500_000))
@@ -36,8 +40,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for flow in [AssemblyFlow::ChipLast, AssemblyFlow::ChipFirst] {
             for process in [DefectProcess::Bernoulli, DefectProcess::CompoundGamma] {
                 let analytic = system.re_cost(&lib, flow, None)?.total();
-                let cfg = McConfig { systems: 4_000, seed: 2024, defect_process: process };
+                let cfg = McConfig {
+                    systems: 4_000,
+                    seed: 2024,
+                    defect_process: process,
+                };
                 let result = simulate_system(&system, &lib, flow, &cfg)?;
+                // The reported standard error assumes i.i.d. systems. Under
+                // the compound Gamma-Poisson process, dies sampled from the
+                // same wafer share its defect multiplier, so the i.i.d.
+                // estimate understates the true sampling spread — widen the
+                // band for that process (same reasoning as the
+                // compound_gamma_also_converges_in_mean unit test).
+                let sigmas = match process {
+                    DefectProcess::Bernoulli => 4.0,
+                    DefectProcess::CompoundGamma => 6.0,
+                };
                 table.push_row(vec![
                     kind.to_string(),
                     flow.to_string(),
@@ -45,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     analytic.to_string(),
                     result.mean_cost().to_string(),
                     result.std_error().to_string(),
-                    if result.agrees_with(analytic, 4.0) { "yes" } else { "NO" }.to_string(),
+                    if result.agrees_with(analytic, sigmas) {
+                        format!("yes ({sigmas:.0}σ)")
+                    } else {
+                        format!("NO ({sigmas:.0}σ)")
+                    },
                 ]);
             }
         }

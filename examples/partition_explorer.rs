@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // system, take per-unit total cost (single-system portfolio).
     let cost_of = |partition: &Vec<Vec<usize>>| -> Result<f64, chiplet_actuary::arch::ArchError> {
         let chips = chips_for_partition("srv", node, &modules, partition)?;
-        let kind = if chips.len() == 1 { IntegrationKind::Soc } else { IntegrationKind::Mcm };
+        let kind = if chips.len() == 1 {
+            IntegrationKind::Soc
+        } else {
+            IntegrationKind::Mcm
+        };
         let mut builder = System::builder("srv-sys", kind).quantity(quantity);
         for chip in chips {
             builder = builder.chip(chip, 1);
@@ -44,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let grouping = best
             .iter()
             .map(|group| {
-                let names: Vec<&str> =
-                    group.iter().map(|&i| modules[i].name()).collect();
+                let names: Vec<&str> = group.iter().map(|&i| modules[i].name()).collect();
                 format!("[{}]", names.join(" "))
             })
             .collect::<Vec<_>>()

@@ -18,6 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         n5.wafer_price()
     );
 
+    // Sanity anchor against the paper's Figure 2: a monolithic 800 mm² die
+    // at 3 nm yields ≈ 22.7 % under Eq. (1).
+    let n3 = lib.node("3nm")?;
+    let anchor = n3.die_yield(Area::from_mm2(800.0)?);
+    println!("paper anchor (Fig. 2): 3nm, 800 mm² die yield = {anchor} (paper: ≈ 22.7%)\n");
+
     // --- RE cost: monolithic SoC vs two-chiplet MCM. ----------------------
     let soc = re_cost(
         &[DiePlacement::new(n5, module_area, 1)],
@@ -32,9 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let mut table = Table::new(vec!["component", "SoC", "2-chiplet MCM"]);
-    for ((label, soc_part), (_, mcm_part)) in
-        soc.components().iter().zip(mcm.components().iter())
-    {
+    for ((label, soc_part), (_, mcm_part)) in soc.components().iter().zip(mcm.components().iter()) {
         table.push_row(vec![
             label.to_string(),
             format!("{soc_part}"),
@@ -49,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{table}");
 
     let saving = (soc.total().usd() - mcm.total().usd()) / soc.total().usd();
-    println!("re-partitioning saves {:.1}% of the recurring cost\n", saving * 100.0);
+    println!(
+        "re-partitioning saves {:.1}% of the recurring cost\n",
+        saving * 100.0
+    );
 
     // --- Total cost: when does the chiplet NRE pay back? -------------------
     println!("per-unit total cost (RE + amortized NRE), no reuse:");
@@ -57,13 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for quantity in [200_000u64, 500_000, 2_000_000, 10_000_000] {
         let build = |kind: IntegrationKind, n: u32| -> Result<Money, Box<dyn std::error::Error>> {
             let chips = partition::equal_chiplets("qs", "5nm", module_area, n)?;
-            let mut builder =
-                System::builder("qs-sys", kind).quantity(Quantity::new(quantity));
+            let mut builder = System::builder("qs-sys", kind).quantity(Quantity::new(quantity));
             for chip in chips {
                 builder = builder.chip(chip, 1);
             }
-            let cost =
-                Portfolio::new(vec![builder.build()?]).cost(&lib, AssemblyFlow::ChipLast)?;
+            let cost = Portfolio::new(vec![builder.build()?]).cost(&lib, AssemblyFlow::ChipLast)?;
             Ok(cost.systems()[0].per_unit_total())
         };
         let soc_total = build(IntegrationKind::Soc, 1)?;

@@ -7,12 +7,15 @@ use chiplet_actuary::arch::reuse::{FsmcSpec, OcmeSpec, ScmsSpec};
 use chiplet_actuary::prelude::*;
 use chiplet_actuary::report::Table;
 
-fn print_portfolio(
-    title: &str,
-    cost: &PortfolioCost,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn print_portfolio(title: &str, cost: &PortfolioCost) -> Result<(), Box<dyn std::error::Error>> {
     println!("-- {title} --");
-    let mut table = Table::new(vec!["system", "RE/unit", "NRE/unit", "total/unit", "RE share"]);
+    let mut table = Table::new(vec![
+        "system",
+        "RE/unit",
+        "NRE/unit",
+        "total/unit",
+        "RE share",
+    ]);
     for sc in cost.systems() {
         table.push_row(vec![
             sc.name().to_string(),

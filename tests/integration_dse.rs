@@ -60,7 +60,11 @@ fn optimizer_agrees_with_crossover_finder() {
         &space,
     )
     .unwrap();
-    assert_eq!(below.integration, IntegrationKind::Soc, "below the crossover: {below}");
+    assert_eq!(
+        below.integration,
+        IntegrationKind::Soc,
+        "below the crossover: {below}"
+    );
     let above = recommend(
         &lib,
         "5nm",
@@ -69,7 +73,11 @@ fn optimizer_agrees_with_crossover_finder() {
         &space,
     )
     .unwrap();
-    assert_eq!(above.integration, IntegrationKind::Mcm, "above the crossover: {above}");
+    assert_eq!(
+        above.integration,
+        IntegrationKind::Mcm,
+        "above the crossover: {above}"
+    );
 }
 
 /// Chiplets hedge yield risk: the elasticity of RE cost with respect to
@@ -95,14 +103,26 @@ fn chiplets_reduce_defect_density_elasticity() {
         })?;
         let node = snapshot.node("5nm")?;
         let (placements, kind) = if chiplets > 1 {
-            let die = node.d2d().inflate_module_area(module_area / chiplets as f64)?;
-            (vec![DiePlacement::new(node, die, chiplets)], IntegrationKind::Mcm)
+            let die = node
+                .d2d()
+                .inflate_module_area(module_area / chiplets as f64)?;
+            (
+                vec![DiePlacement::new(node, die, chiplets)],
+                IntegrationKind::Mcm,
+            )
         } else {
-            (vec![DiePlacement::new(node, module_area, 1)], IntegrationKind::Soc)
+            (
+                vec![DiePlacement::new(node, module_area, 1)],
+                IntegrationKind::Soc,
+            )
         };
-        Ok(re_cost(&placements, snapshot.packaging(kind)?, AssemblyFlow::ChipLast)?
-            .total()
-            .usd())
+        Ok(re_cost(
+            &placements,
+            snapshot.packaging(kind)?,
+            AssemblyFlow::ChipLast,
+        )?
+        .total()
+        .usd())
     };
     let soc_elasticity = elasticity(0.11, 0.01, |d| cost_at(d, 1)).unwrap();
     let mcm_elasticity = elasticity(0.11, 0.01, |d| cost_at(d, 2)).unwrap();
@@ -110,7 +130,10 @@ fn chiplets_reduce_defect_density_elasticity() {
         mcm_elasticity < 0.7 * soc_elasticity,
         "splitting must hedge defect risk: SoC {soc_elasticity:.3} vs MCM {mcm_elasticity:.3}"
     );
-    assert!(soc_elasticity > 0.5, "a big 5 nm die must be yield-dominated");
+    assert!(
+        soc_elasticity > 0.5,
+        "a big 5 nm die must be yield-dominated"
+    );
 }
 
 /// Process maturity flips the optimizer's decision: a 500 mm² 7 nm system

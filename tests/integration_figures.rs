@@ -146,6 +146,10 @@ fn complete_claim_inventory_holds() {
     all.extend(fig8::compute(&lib).unwrap().checks());
     all.extend(fig9::compute(&lib).unwrap().checks());
     all.extend(fig10::compute(&lib).unwrap().checks());
-    assert!(all.len() >= 30, "expected a rich claim inventory, got {}", all.len());
+    assert!(
+        all.len() >= 30,
+        "expected a rich claim inventory, got {}",
+        all.len()
+    );
     assert_all_pass("all figures", &all);
 }

@@ -101,7 +101,11 @@ fn custom_library_runs_the_whole_stack() {
     assert_eq!(cost.nre_total().d2d, Money::from_musd(7.0).unwrap());
 
     // Monte-Carlo agreement on the custom node.
-    let cfg = McConfig { systems: 4_000, seed: 11, defect_process: DefectProcess::Bernoulli };
+    let cfg = McConfig {
+        systems: 4_000,
+        seed: 11,
+        defect_process: DefectProcess::Bernoulli,
+    };
     let mc = simulate_system(&system, &lib, AssemblyFlow::ChipLast, &cfg).unwrap();
     assert!(
         mc.agrees_with(mcm.total(), 4.0),
@@ -123,7 +127,10 @@ fn custom_library_runs_the_whole_stack() {
         &space,
     )
     .unwrap();
-    assert!(rec.chiplets >= 2, "high volume on a leaky node must split: {rec}");
+    assert!(
+        rec.chiplets >= 2,
+        "high volume on a leaky node must split: {rec}"
+    );
 }
 
 #[test]
@@ -165,7 +172,10 @@ fn area_crossover_exists_and_is_reasonable_at_5nm() {
 fn quantity_payback_for_5nm_mcm_is_near_two_million() {
     let lib = TechLibrary::paper_defaults().unwrap();
     let module_area = Area::from_mm2(800.0).unwrap();
-    let per_unit = |kind: IntegrationKind, n: u32, q: Quantity| -> Result<f64, chiplet_actuary::arch::ArchError> {
+    let per_unit = |kind: IntegrationKind,
+                    n: u32,
+                    q: Quantity|
+     -> Result<f64, chiplet_actuary::arch::ArchError> {
         let chips = partition::equal_chiplets("pp", "5nm", module_area, n)?;
         let mut builder = System::builder("pp-sys", kind).quantity(q);
         for chip in chips {

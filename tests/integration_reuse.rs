@@ -22,8 +22,16 @@ fn scms_package_reuse_is_exactly_two_thirds_for_equal_quantities() {
     let mut shared = ScmsSpec::paper_example().unwrap();
     shared.package_reuse = true;
 
-    let own_cost = own.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
-    let shared_cost = shared.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+    let own_cost = own
+        .portfolio()
+        .unwrap()
+        .cost(&lib, AssemblyFlow::ChipLast)
+        .unwrap();
+    let shared_cost = shared
+        .portfolio()
+        .unwrap()
+        .cost(&lib, AssemblyFlow::ChipLast)
+        .unwrap();
 
     // The shared design is sized for the 4X system, so the 4X system's
     // own-design NRE equals the shared design's total cost.
@@ -78,10 +86,21 @@ fn scms_soc_baseline_entity_structure() {
         .unwrap()
         .cost(&lib, AssemblyFlow::ChipLast)
         .unwrap();
-    let chips = cost.entities().iter().filter(|e| e.kind() == NreEntityKind::Chip).count();
-    let modules =
-        cost.entities().iter().filter(|e| e.kind() == NreEntityKind::Module).count();
-    let d2d = cost.entities().iter().filter(|e| e.kind() == NreEntityKind::D2d).count();
+    let chips = cost
+        .entities()
+        .iter()
+        .filter(|e| e.kind() == NreEntityKind::Chip)
+        .count();
+    let modules = cost
+        .entities()
+        .iter()
+        .filter(|e| e.kind() == NreEntityKind::Module)
+        .count();
+    let d2d = cost
+        .entities()
+        .iter()
+        .filter(|e| e.kind() == NreEntityKind::D2d)
+        .count();
     assert_eq!(chips, 3, "one SoC die per grade");
     assert_eq!(modules, 1, "the 200mm² module is designed once");
     assert_eq!(d2d, 0, "monolithic SoCs need no D2D");
@@ -93,12 +112,23 @@ fn scms_soc_baseline_entity_structure() {
 fn ocme_heterogeneous_pays_two_d2d_designs() {
     let lib = lib();
     let mut spec = OcmeSpec::paper_example().unwrap();
-    let homo = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+    let homo = spec
+        .portfolio()
+        .unwrap()
+        .cost(&lib, AssemblyFlow::ChipLast)
+        .unwrap();
     spec.center_node = Some(NodeId::new("14nm"));
-    let hetero = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+    let hetero = spec
+        .portfolio()
+        .unwrap()
+        .cost(&lib, AssemblyFlow::ChipLast)
+        .unwrap();
 
     let d2d_count = |cost: &PortfolioCost| {
-        cost.entities().iter().filter(|e| e.kind() == NreEntityKind::D2d).count()
+        cost.entities()
+            .iter()
+            .filter(|e| e.kind() == NreEntityKind::D2d)
+            .count()
     };
     assert_eq!(d2d_count(&homo), 1);
     assert_eq!(d2d_count(&hetero), 2);
@@ -118,9 +148,17 @@ fn d2d_nre_of(lib: &TechLibrary, node: &str) -> f64 {
 fn ocme_heterogeneous_center_economics() {
     let lib = lib();
     let mut spec = OcmeSpec::paper_example().unwrap();
-    let homo = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+    let homo = spec
+        .portfolio()
+        .unwrap()
+        .cost(&lib, AssemblyFlow::ChipLast)
+        .unwrap();
     spec.center_node = Some(NodeId::new("14nm"));
-    let hetero = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+    let hetero = spec
+        .portfolio()
+        .unwrap()
+        .cost(&lib, AssemblyFlow::ChipLast)
+        .unwrap();
 
     // RE of the C-only system falls (cheaper wafer at the same area).
     let re_homo = homo.system("C").unwrap().re().total();
@@ -164,9 +202,16 @@ fn fsmc_portfolio_entity_structure() {
     let portfolio = spec.portfolio().unwrap();
     assert_eq!(portfolio.len() as u64, spec.system_count());
     let cost = portfolio.cost(&lib, AssemblyFlow::ChipLast).unwrap();
-    let packages =
-        cost.entities().iter().filter(|e| e.kind() == NreEntityKind::Package).count();
-    let chips = cost.entities().iter().filter(|e| e.kind() == NreEntityKind::Chip).count();
+    let packages = cost
+        .entities()
+        .iter()
+        .filter(|e| e.kind() == NreEntityKind::Package)
+        .count();
+    let chips = cost
+        .entities()
+        .iter()
+        .filter(|e| e.kind() == NreEntityKind::Chip)
+        .count();
     assert_eq!(packages, 1, "one shared k-socket package design");
     assert_eq!(chips, 4, "one design per chiplet type");
 }
@@ -177,7 +222,11 @@ fn fsmc_portfolio_entity_structure() {
 fn fsmc_small_collocations_pay_for_the_big_package() {
     let lib = lib();
     let spec = FsmcSpec::paper_example(4, 4).unwrap();
-    let cost = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+    let cost = spec
+        .portfolio()
+        .unwrap()
+        .cost(&lib, AssemblyFlow::ChipLast)
+        .unwrap();
     // "1A" (one chiplet) vs "4A" (four chiplets): same die design; the
     // package materials dominate the difference in raw package cost.
     let one = cost.system("1A").unwrap().re();
@@ -200,7 +249,11 @@ fn fsmc_nre_amortization_monotone_across_situations() {
     let mut last = f64::INFINITY;
     for (k, n) in [(2u32, 2u32), (2, 4), (3, 4), (4, 4), (4, 6)] {
         let spec = FsmcSpec::paper_example(k, n).unwrap();
-        let cost = spec.portfolio().unwrap().cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let cost = spec
+            .portfolio()
+            .unwrap()
+            .cost(&lib, AssemblyFlow::ChipLast)
+            .unwrap();
         let avg_nre: f64 = cost
             .systems()
             .iter()
