@@ -10,6 +10,8 @@
 //!   over the Figure 4 area grid;
 //! * `actuary partition --node 5nm --area 800 --quantity 2000000` — the
 //!   optimizer's recommendation;
+//! * `actuary explore --threads 0` — the multi-axis (node × area ×
+//!   quantity × integration × chiplet count) grid, evaluated in parallel;
 //! * `actuary mc --node 7nm --area 180 --chiplets 2 --integration 2.5d`
 //!   — Monte-Carlo vs analytic;
 //! * `actuary repro --figure 2|4|5|6|8|9|10|ext|all [--csv]` — regenerate
@@ -21,6 +23,7 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use actuary_arch::{partition::equal_chiplets, Portfolio, System};
+use actuary_dse::explore::{explore, ExploreSpace};
 use actuary_dse::optimizer::{recommend, SearchSpace};
 use actuary_mc::{simulate_system, DefectProcess, McConfig};
 use actuary_model::{re_cost, AssemblyFlow, DiePlacement};
@@ -49,10 +52,15 @@ fn usage() -> &'static str {
              [--quantity Q] [--flow chip-first|chip-last]\n\
        sweep --node N [--chiplets K] [--integration KIND]\n\
        partition --node N --area MM2 [--quantity Q]\n\
+       explore [--nodes N,N2,..] [--areas MM2,..] [--quantities Q,..]\n\
+               [--integrations KIND,..] [--chiplets K,..] [--flow F]\n\
+               [--threads T] [--csv]     multi-axis parallel grid exploration\n\
+                                         (T = 0 or omitted: all hardware threads)\n\
        mc    --node N --area MM2 [--chiplets K] [--integration KIND] [--systems S]\n\
        repro --figure 2|4|5|6|8|9|10|ext|all [--csv]\n\
        experiments                        paper-vs-measured Markdown record\n\
-       sensitivity --node N --area MM2 [--chiplets K]  cost elasticities"
+       sensitivity --node N --area MM2 [--chiplets K]  cost elasticities\n\
+     flags not listed for a command are rejected, not ignored"
 }
 
 /// Parses `--key value` pairs after the subcommand.
@@ -129,21 +137,79 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("actuary {}", env!("CARGO_PKG_VERSION"));
         return Ok(());
     }
+    // Every subcommand declares the flags it accepts alongside its
+    // handler; anything else is rejected instead of silently ignored (a
+    // misspelled `--quanttiy` used to fall back to the default quantity
+    // and print a wrong answer).
+    type Handler = fn(&TechLibrary, &BTreeMap<String, String>) -> Result<(), String>;
+    let (accepted, handler): (&[&str], Handler) = match command.as_str() {
+        "list" => (&[], |lib, _| cmd_list(lib)),
+        "yield" => (&["node", "area"], cmd_yield),
+        "cost" => (
+            &[
+                "node",
+                "area",
+                "chiplets",
+                "integration",
+                "quantity",
+                "flow",
+            ],
+            cmd_cost,
+        ),
+        "sweep" => (&["node", "chiplets", "integration"], cmd_sweep),
+        "partition" => (&["node", "area", "quantity"], cmd_partition),
+        "explore" => (
+            &[
+                "nodes",
+                "areas",
+                "quantities",
+                "integrations",
+                "chiplets",
+                "flow",
+                "threads",
+                "csv",
+            ],
+            cmd_explore,
+        ),
+        "mc" => (
+            &["node", "area", "chiplets", "integration", "systems"],
+            cmd_mc,
+        ),
+        "repro" => (&["figure", "csv"], cmd_repro),
+        "experiments" => (&[], |lib, _| cmd_experiments(lib)),
+        "sensitivity" => (&["node", "area", "chiplets"], cmd_sensitivity),
+        other => return Err(format!("unknown command {other:?}")),
+    };
     let flags = parse_flags(&args[1..])?;
+    reject_unknown_flags(command, &flags, accepted)?;
     let lib = TechLibrary::paper_defaults().map_err(|e| e.to_string())?;
+    handler(&lib, &flags)
+}
 
-    match command.as_str() {
-        "list" => cmd_list(&lib),
-        "yield" => cmd_yield(&lib, &flags),
-        "cost" => cmd_cost(&lib, &flags),
-        "sweep" => cmd_sweep(&lib, &flags),
-        "partition" => cmd_partition(&lib, &flags),
-        "mc" => cmd_mc(&lib, &flags),
-        "repro" => cmd_repro(&lib, &flags),
-        "experiments" => cmd_experiments(&lib),
-        "sensitivity" => cmd_sensitivity(&lib, &flags),
-        other => Err(format!("unknown command {other:?}")),
+/// Fails with the command's accepted flag list when any parsed flag is not
+/// on it.
+fn reject_unknown_flags(
+    command: &str,
+    flags: &BTreeMap<String, String>,
+    accepted: &[&str],
+) -> Result<(), String> {
+    for key in flags.keys() {
+        if !accepted.contains(&key.as_str()) {
+            let listing = if accepted.is_empty() {
+                "none".to_string()
+            } else {
+                accepted
+                    .iter()
+                    .map(|a| format!("--{a}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            return Err(format!(
+                "unknown flag --{key} for `{command}` (accepted: {listing})"
+            ));
+        }
     }
+    Ok(())
 }
 
 fn cmd_list(lib: &TechLibrary) -> Result<(), String> {
@@ -342,6 +408,117 @@ fn cmd_partition(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<
         ]);
     }
     println!("{table}");
+    Ok(())
+}
+
+/// Parses a comma-separated flag value (`--areas 100,200,300`) through a
+/// per-item parser.
+fn parse_list<T>(
+    raw: &str,
+    key: &str,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    let items: Vec<&str> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if items.is_empty() {
+        return Err(format!("--{key} needs at least one comma-separated value"));
+    }
+    items.into_iter().map(parse).collect()
+}
+
+fn cmd_explore(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let mut space = ExploreSpace::default();
+    if let Some(raw) = flags.get("nodes") {
+        space.nodes = parse_list(raw, "nodes", |s| Ok(s.to_string()))?;
+    }
+    if let Some(raw) = flags.get("areas") {
+        space.areas_mm2 = parse_list(raw, "areas", |s| {
+            s.parse().map_err(|e| format!("invalid area {s:?}: {e}"))
+        })?;
+    }
+    if let Some(raw) = flags.get("quantities") {
+        space.quantities = parse_list(raw, "quantities", |s| {
+            s.parse()
+                .map_err(|e| format!("invalid quantity {s:?}: {e}"))
+        })?;
+    }
+    if let Some(raw) = flags.get("integrations") {
+        space.integrations = parse_list(raw, "integrations", parse_integration)?;
+    }
+    if let Some(raw) = flags.get("chiplets") {
+        space.chiplet_counts = parse_list(raw, "chiplets", |s| {
+            s.parse()
+                .map_err(|e| format!("invalid chiplet count {s:?}: {e}"))
+        })?;
+    }
+    if let Some(raw) = flags.get("flow") {
+        space.flow = parse_flow(raw)?;
+    }
+    let threads = get_u64_or(flags, "threads", 0)? as usize;
+
+    let result = explore(lib, &space, threads).map_err(|e| e.to_string())?;
+    if flags.contains_key("csv") {
+        print!("{}", result.to_csv());
+        return Ok(());
+    }
+
+    println!("explored {result}\n");
+    println!("cheapest configuration per (node, area, quantity):");
+    let mut winners = actuary_report::Table::new(vec![
+        "node",
+        "area_mm2",
+        "quantity",
+        "integration",
+        "chiplets",
+        "per-unit",
+        "vs SoC",
+    ]);
+    for w in result.winners() {
+        let (integration, chiplets, per_unit) = match &w.best {
+            Some(c) => (
+                c.integration.to_string(),
+                c.chiplets.to_string(),
+                c.per_unit.to_string(),
+            ),
+            None => ("-".to_string(), "-".to_string(), "infeasible".to_string()),
+        };
+        winners.push_row(vec![
+            w.node.clone(),
+            format!("{}", w.area_mm2),
+            Quantity::new(w.quantity).to_string(),
+            integration,
+            chiplets,
+            per_unit,
+            w.saving_vs_soc_display().unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    println!("{winners}");
+
+    println!("Pareto front over (per-unit cost, chiplet count):");
+    let mut front = actuary_report::Table::new(vec![
+        "per-unit",
+        "chiplets",
+        "node",
+        "area_mm2",
+        "quantity",
+        "integration",
+    ]);
+    for cell in result.pareto_front() {
+        let c = cell.outcome.candidate().expect("Pareto cells are feasible");
+        front.push_row(vec![
+            c.per_unit.to_string(),
+            cell.chiplets.to_string(),
+            cell.node.clone(),
+            format!("{}", cell.area_mm2),
+            Quantity::new(cell.quantity).to_string(),
+            cell.integration.to_string(),
+        ]);
+    }
+    println!("{front}");
+    println!("(re-run with --csv for the full machine-readable grid)");
     Ok(())
 }
 

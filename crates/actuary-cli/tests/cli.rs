@@ -222,3 +222,104 @@ fn flags_validation() {
     let out = actuary(&["cost", "--node", "5nm", "--area", "not-a-number"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn misspelled_flag_is_rejected_not_ignored() {
+    // Regression: `--quanttiy` used to be dropped silently, so the run
+    // proceeded with the default quantity and printed a wrong answer.
+    let out = actuary(&[
+        "cost",
+        "--node",
+        "5nm",
+        "--area",
+        "800",
+        "--quanttiy",
+        "2000000",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--quanttiy"), "{stderr}");
+    assert!(stderr.contains("accepted"), "{stderr}");
+    assert!(
+        stderr.contains("--quantity"),
+        "must list the real flag: {stderr}"
+    );
+}
+
+#[test]
+fn every_subcommand_rejects_foreign_flags() {
+    for args in [
+        &["list", "--verbose", "x"][..],
+        &["yield", "--node", "7nm", "--area", "400", "--quantity", "5"],
+        &["sweep", "--node", "5nm", "--area", "800"],
+        &[
+            "partition",
+            "--node",
+            "5nm",
+            "--area",
+            "800",
+            "--flow",
+            "chip-last",
+        ],
+        &["explore", "--node", "5nm"],
+        &["mc", "--node", "7nm", "--area", "150", "--figure", "2"],
+        &["repro", "--figure", "2", "--node", "7nm"],
+        &["experiments", "--csv"],
+        &[
+            "sensitivity",
+            "--node",
+            "5nm",
+            "--area",
+            "800",
+            "--systems",
+            "9",
+        ],
+    ] {
+        let out = actuary(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unknown flag"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn explore_summarizes_the_grid() {
+    let text = stdout(&[
+        "explore",
+        "--nodes",
+        "7nm,5nm",
+        "--areas",
+        "400,800",
+        "--quantities",
+        "2000000",
+        "--chiplets",
+        "1,2,3",
+        "--threads",
+        "2",
+    ]);
+    assert!(text.contains("feasible"), "{text}");
+    assert!(text.contains("Pareto front"), "{text}");
+    assert!(text.contains("cheapest configuration"), "{text}");
+}
+
+#[test]
+fn explore_csv_is_byte_identical_across_thread_counts() {
+    // The default grid is 1,620 cells — comfortably over the 1,000-cell
+    // determinism bar.
+    let csv = |threads: &str| stdout(&["explore", "--threads", threads, "--csv"]);
+    let serial = csv("1");
+    assert_eq!(
+        serial.lines().next().unwrap(),
+        "node,area_mm2,quantity,integration,chiplets,status,per_unit_usd,re_per_unit_usd,detail"
+    );
+    assert_eq!(serial.lines().count(), 1_620 + 1);
+    assert_eq!(serial, csv("8"), "threads must not change a single byte");
+}
+
+#[test]
+fn explore_rejects_an_empty_axis() {
+    let out = actuary(&["explore", "--nodes", ","]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--nodes"), "{stderr}");
+}

@@ -1,0 +1,884 @@
+//! Multi-axis architecture exploration: the full Cartesian grid the
+//! paper's §6 walks by hand, evaluated in parallel.
+//!
+//! [`crate::optimizer::recommend`] answers the §6 question for *one*
+//! (node, area, quantity) operating point; this module scales the same
+//! [`crate::optimizer::evaluate_candidate`] core to the whole grid of
+//! operating points × (integration, chiplet count) configurations, the way
+//! cost-aware exploration tools (Tang & Xie, arXiv:2206.07308; CATCH,
+//! arXiv:2503.15753) derive crossovers and Pareto fronts.
+//!
+//! Three properties distinguish the engine from a nest of loops:
+//!
+//! * **Parallel** — candidates are pre-expanded into a flat work list and
+//!   pulled by `std::thread::scope` workers over an atomic index; the
+//!   [`actuary_tech::TechLibrary`] is shared by reference, no dependencies
+//!   are added.
+//! * **Deterministic** — results come back in grid order (node → area →
+//!   quantity → integration → chiplet count) regardless of thread count,
+//!   so one-threaded and N-threaded runs emit byte-identical CSV.
+//! * **Loss-free** — infeasible cells (die exceeds the wafer, interposer
+//!   unmanufacturable) and incompatible cells (monolithic SoC × several
+//!   chiplets) are *recorded* with their reason, not silently dropped.
+//!
+//! # Examples
+//!
+//! ```
+//! use actuary_dse::explore::{explore, ExploreSpace};
+//! use actuary_tech::TechLibrary;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = TechLibrary::paper_defaults()?;
+//! let space = ExploreSpace {
+//!     nodes: vec!["7nm".to_string()],
+//!     areas_mm2: vec![400.0, 800.0],
+//!     quantities: vec![2_000_000],
+//!     ..ExploreSpace::default()
+//! };
+//! let result = explore(&lib, &space, 2)?;
+//! assert_eq!(result.len(), 2 * 4 * 5); // areas × integrations × counts
+//! assert!(result.feasible_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use actuary_arch::ArchError;
+use actuary_model::AssemblyFlow;
+use actuary_tech::{IntegrationKind, TechLibrary};
+use actuary_units::{write_csv, Area, Quantity};
+
+use crate::optimizer::{evaluate_candidate, Candidate};
+use crate::pareto::pareto_min_indices;
+
+/// The exploration grid: the Cartesian product of every axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExploreSpace {
+    /// Process-node identifiers to explore (must exist in the library).
+    pub nodes: Vec<String>,
+    /// Total module areas in mm² (pre-D2D-inflation, as in the optimizer).
+    pub areas_mm2: Vec<f64>,
+    /// Production quantities.
+    pub quantities: Vec<u64>,
+    /// Integration schemes (the monolithic SoC is a regular grid member
+    /// here, compatible only with a chiplet count of 1).
+    pub integrations: Vec<IntegrationKind>,
+    /// Chiplet counts (1 = monolithic for SoC, single-die package for
+    /// multi-chip schemes).
+    pub chiplet_counts: Vec<u32>,
+    /// Assembly flow applied to every cell.
+    pub flow: AssemblyFlow,
+}
+
+impl Default for ExploreSpace {
+    /// The §6 replication grid: the paper's three headline nodes, the
+    /// Figure 4 area range, the Figure 6 quantities, all four integration
+    /// schemes and 1–5 chiplets — 1,620 cells.
+    fn default() -> Self {
+        ExploreSpace {
+            nodes: vec!["14nm".to_string(), "7nm".to_string(), "5nm".to_string()],
+            areas_mm2: (1..=9).map(|i| i as f64 * 100.0).collect(),
+            quantities: vec![500_000, 2_000_000, 10_000_000],
+            integrations: IntegrationKind::ALL.to_vec(),
+            chiplet_counts: vec![1, 2, 3, 4, 5],
+            flow: AssemblyFlow::ChipLast,
+        }
+    }
+}
+
+impl ExploreSpace {
+    /// The number of grid cells (product of the axis lengths).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+            * self.areas_mm2.len()
+            * self.quantities.len()
+            * self.integrations.len()
+            * self.chiplet_counts.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validates every axis independently, so a single empty axis cannot
+    /// silently collapse the grid (the same class of bug as the old
+    /// optimizer guard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidArchitecture`] naming the offending
+    /// axis, or [`ArchError::Unit`] for a non-finite area.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        let axis_err = |axis: &str| ArchError::InvalidArchitecture {
+            reason: format!("exploration space has no {axis}"),
+        };
+        if self.nodes.is_empty() {
+            return Err(axis_err("nodes"));
+        }
+        if self.areas_mm2.is_empty() {
+            return Err(axis_err("areas"));
+        }
+        if self.quantities.is_empty() {
+            return Err(axis_err("quantities"));
+        }
+        if self.integrations.is_empty() {
+            return Err(axis_err("integration kinds"));
+        }
+        if self.chiplet_counts.is_empty() {
+            return Err(axis_err("chiplet counts"));
+        }
+        for &mm2 in &self.areas_mm2 {
+            Area::from_mm2(mm2)?;
+        }
+        if let Some(&n) = self.chiplet_counts.iter().find(|&&n| n == 0) {
+            return Err(ArchError::InvalidArchitecture {
+                reason: format!("chiplet count must be at least 1, got {n}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What happened when one grid cell was evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The configuration was costed successfully.
+    Feasible(Candidate),
+    /// The configuration cannot be manufactured (die exceeds the wafer,
+    /// interposer too large, zero yield); the engine's reason is kept.
+    Infeasible(String),
+    /// The axes combined into a contradiction (monolithic SoC × more than
+    /// one chiplet); recorded so grid accounting stays exhaustive.
+    Incompatible(String),
+}
+
+impl CellOutcome {
+    /// The costed candidate, if the cell was feasible.
+    pub fn candidate(&self) -> Option<&Candidate> {
+        match self {
+            CellOutcome::Feasible(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Whether the cell was costed successfully.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, CellOutcome::Feasible(_))
+    }
+
+    /// The CSV status keyword for this outcome.
+    fn status(&self) -> &'static str {
+        match self {
+            CellOutcome::Feasible(_) => "feasible",
+            CellOutcome::Infeasible(_) => "infeasible",
+            CellOutcome::Incompatible(_) => "incompatible",
+        }
+    }
+
+    /// The recorded reason for a cell that was not costed.
+    fn detail(&self) -> &str {
+        match self {
+            CellOutcome::Feasible(_) => "",
+            CellOutcome::Infeasible(reason) | CellOutcome::Incompatible(reason) => reason,
+        }
+    }
+}
+
+/// One evaluated grid cell: its coordinates plus the outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreCell {
+    /// Process-node identifier.
+    pub node: String,
+    /// Total module area in mm².
+    pub area_mm2: f64,
+    /// Production quantity.
+    pub quantity: u64,
+    /// Integration scheme.
+    pub integration: IntegrationKind,
+    /// Chiplet count.
+    pub chiplets: u32,
+    /// What evaluation produced.
+    pub outcome: CellOutcome,
+}
+
+/// The cheapest feasible configuration of one (node, area, quantity)
+/// operating point — one row of the §6 takeaway table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridWinner {
+    /// Process-node identifier.
+    pub node: String,
+    /// Total module area in mm².
+    pub area_mm2: f64,
+    /// Production quantity.
+    pub quantity: u64,
+    /// The cheapest feasible candidate, or `None` if every configuration
+    /// of this operating point was infeasible.
+    pub best: Option<Candidate>,
+    /// Relative saving of the winner vs the monolithic SoC baseline
+    /// (`0.25` = 25 % cheaper); `None` when the SoC cell itself was
+    /// infeasible or absent from the grid.
+    pub saving_vs_soc: Option<f64>,
+}
+
+impl GridWinner {
+    /// The saving vs the SoC baseline rendered as a signed percentage of
+    /// cost change (`"-13.6%"` = 13.6 % cheaper than the SoC), or `None`
+    /// when there is no SoC baseline to compare against.
+    pub fn saving_vs_soc_display(&self) -> Option<String> {
+        // `+ 0.0` folds the negative zero of a SoC winner to "+0.0%".
+        self.saving_vs_soc
+            .map(|s| format!("{:+.1}%", -s * 100.0 + 0.0))
+    }
+}
+
+impl fmt::Display for GridWinner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.best {
+            Some(c) => {
+                write!(
+                    f,
+                    "{} / {:.0} mm² / {} units: {} × {} chiplets at {} / unit",
+                    self.node, self.area_mm2, self.quantity, c.integration, c.chiplets, c.per_unit
+                )?;
+                if let Some(saving) = self.saving_vs_soc_display() {
+                    write!(f, " ({saving} vs SoC)")?;
+                }
+                Ok(())
+            }
+            None => write!(
+                f,
+                "{} / {:.0} mm² / {} units: no feasible configuration",
+                self.node, self.area_mm2, self.quantity
+            ),
+        }
+    }
+}
+
+/// The outcome of [`explore`]: every cell in grid order plus the
+/// post-processed views.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreResult {
+    space: ExploreSpace,
+    cells: Vec<ExploreCell>,
+    threads: usize,
+}
+
+impl ExploreResult {
+    /// The space that was explored.
+    pub fn space(&self) -> &ExploreSpace {
+        &self.space
+    }
+
+    /// Every cell, in deterministic grid order (node → area → quantity →
+    /// integration → chiplet count).
+    pub fn cells(&self) -> &[ExploreCell] {
+        &self.cells
+    }
+
+    /// The number of grid cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid has no cells (never true for a validated space).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The number of worker threads the evaluation ran on.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The cells that were costed successfully.
+    pub fn feasible(&self) -> impl Iterator<Item = &ExploreCell> {
+        self.cells.iter().filter(|c| c.outcome.is_feasible())
+    }
+
+    /// How many cells were costed successfully.
+    pub fn feasible_count(&self) -> usize {
+        self.feasible().count()
+    }
+
+    /// How many cells were manufacturable in principle but infeasible.
+    pub fn infeasible_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Infeasible(_)))
+            .count()
+    }
+
+    /// How many cells combined contradictory axes (SoC × several chiplets).
+    pub fn incompatible_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Incompatible(_)))
+            .count()
+    }
+
+    /// The Pareto front over (per-unit cost, chiplet count), minimizing
+    /// both: the cheapest way to buy each level of partitioning restraint.
+    /// Returned in ascending per-unit-cost order.
+    pub fn pareto_front(&self) -> Vec<&ExploreCell> {
+        let feasible: Vec<&ExploreCell> = self.feasible().collect();
+        let points: Vec<(f64, f64)> = feasible
+            .iter()
+            .map(|c| {
+                let candidate = c.outcome.candidate().expect("feasible cells carry one");
+                (candidate.per_unit.usd(), f64::from(c.chiplets))
+            })
+            .collect();
+        pareto_min_indices(&points)
+            .into_iter()
+            .map(|i| feasible[i])
+            .collect()
+    }
+
+    /// The per-(node, area, quantity) winner table: for every operating
+    /// point, the cheapest feasible configuration — the paper's §6
+    /// takeaways reproduced mechanically at grid scale. Operating points
+    /// with no feasible configuration are reported with `best: None`, not
+    /// dropped.
+    pub fn winners(&self) -> Vec<GridWinner> {
+        // Grid order makes each (node, area, quantity) block contiguous.
+        let block = self.space.integrations.len() * self.space.chiplet_counts.len();
+        self.cells
+            .chunks(block)
+            .map(|cells| {
+                let head = &cells[0];
+                let best = cells
+                    .iter()
+                    .filter_map(|c| c.outcome.candidate())
+                    .min_by(|a, b| {
+                        a.per_unit
+                            .partial_cmp(&b.per_unit)
+                            .expect("costs are finite")
+                    })
+                    .cloned();
+                let soc = cells.iter().find_map(|c| {
+                    (c.integration == IntegrationKind::Soc && c.chiplets == 1)
+                        .then(|| c.outcome.candidate())
+                        .flatten()
+                });
+                let saving_vs_soc = match (&best, soc) {
+                    (Some(b), Some(s)) if s.per_unit.usd() > 0.0 => {
+                        Some((s.per_unit.usd() - b.per_unit.usd()) / s.per_unit.usd())
+                    }
+                    _ => None,
+                };
+                GridWinner {
+                    node: head.node.clone(),
+                    area_mm2: head.area_mm2,
+                    quantity: head.quantity,
+                    best,
+                    saving_vs_soc,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the full grid as CSV, one row per cell in grid order;
+    /// byte-identical across thread counts.
+    pub fn to_csv(&self) -> String {
+        let mut records = Vec::with_capacity(self.cells.len() + 1);
+        records.push(
+            [
+                "node",
+                "area_mm2",
+                "quantity",
+                "integration",
+                "chiplets",
+                "status",
+                "per_unit_usd",
+                "re_per_unit_usd",
+                "detail",
+            ]
+            .map(str::to_string)
+            .to_vec(),
+        );
+        for cell in &self.cells {
+            let (per_unit, re_per_unit) = match cell.outcome.candidate() {
+                Some(c) => (
+                    format!("{:.6}", c.per_unit.usd()),
+                    format!("{:.6}", c.re_per_unit.usd()),
+                ),
+                None => (String::new(), String::new()),
+            };
+            records.push(vec![
+                cell.node.clone(),
+                format!("{}", cell.area_mm2),
+                cell.quantity.to_string(),
+                cell.integration.to_string(),
+                cell.chiplets.to_string(),
+                cell.outcome.status().to_string(),
+                per_unit,
+                re_per_unit,
+                cell.outcome.detail().to_string(),
+            ]);
+        }
+        write_csv(&records)
+    }
+
+    /// Renders the winner table as CSV, one row per (node, area, quantity)
+    /// operating point.
+    pub fn winners_to_csv(&self) -> String {
+        let mut records = Vec::new();
+        records.push(
+            [
+                "node",
+                "area_mm2",
+                "quantity",
+                "integration",
+                "chiplets",
+                "per_unit_usd",
+                "saving_vs_soc",
+            ]
+            .map(str::to_string)
+            .to_vec(),
+        );
+        for w in self.winners() {
+            let (integration, chiplets, per_unit) = match &w.best {
+                Some(c) => (
+                    c.integration.to_string(),
+                    c.chiplets.to_string(),
+                    format!("{:.6}", c.per_unit.usd()),
+                ),
+                None => (String::new(), String::new(), String::new()),
+            };
+            records.push(vec![
+                w.node.clone(),
+                format!("{}", w.area_mm2),
+                w.quantity.to_string(),
+                integration,
+                chiplets,
+                per_unit,
+                w.saving_vs_soc
+                    .map(|s| format!("{s:.6}"))
+                    .unwrap_or_default(),
+            ]);
+        }
+        write_csv(&records)
+    }
+}
+
+impl fmt::Display for ExploreResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cells ({} feasible, {} infeasible, {} incompatible) on {} thread(s)",
+            self.len(),
+            self.feasible_count(),
+            self.infeasible_count(),
+            self.incompatible_count(),
+            self.threads
+        )
+    }
+}
+
+/// One pre-expanded unit of work: the resolved coordinates of a grid cell.
+struct CellCoord<'a> {
+    node: &'a str,
+    area_mm2: f64,
+    area: Area,
+    quantity: u64,
+    integration: IntegrationKind,
+    chiplets: u32,
+}
+
+/// Evaluates every cell of `space` through the optimizer's
+/// [`evaluate_candidate`] path, on `threads` worker threads (`0` = the
+/// machine's available parallelism).
+///
+/// Cells are pulled from a pre-expanded work list via an atomic index, so
+/// the split adapts to whatever cells turn out to be slow; results are
+/// reassembled in grid order, making the output independent of the thread
+/// count.
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidArchitecture`] for an invalid space (any
+/// empty axis, a zero chiplet count), [`ArchError::Tech`] for an unknown
+/// node id, and propagates unexpected engine errors. Per-cell geometric
+/// infeasibility is *not* an error — it is recorded in the cell's
+/// [`CellOutcome`].
+pub fn explore(
+    lib: &TechLibrary,
+    space: &ExploreSpace,
+    threads: usize,
+) -> Result<ExploreResult, ArchError> {
+    space.validate()?;
+    // Resolve every node up front: an unknown id is a caller error, and
+    // catching it here keeps the workers infallible on lookups.
+    for id in &space.nodes {
+        lib.node(id).map_err(ArchError::Tech)?;
+    }
+
+    // Pre-expand the Cartesian grid in its canonical order.
+    let mut coords = Vec::with_capacity(space.len());
+    for node in &space.nodes {
+        for &area_mm2 in &space.areas_mm2 {
+            let area = Area::from_mm2(area_mm2)?;
+            for &quantity in &space.quantities {
+                for &integration in &space.integrations {
+                    for &chiplets in &space.chiplet_counts {
+                        coords.push(CellCoord {
+                            node,
+                            area_mm2,
+                            area,
+                            quantity,
+                            integration,
+                            chiplets,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(coords.len())
+    .max(1);
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, Result<CellOutcome, ArchError>)>> =
+        Mutex::new(Vec::with_capacity(coords.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(coord) = coords.get(i) else { break };
+                    local.push((i, evaluate_cell(lib, coord, space.flow)));
+                }
+                collected
+                    .lock()
+                    .expect("a worker panicked while holding the result lock")
+                    .extend(local);
+            });
+        }
+    });
+
+    let mut outcomes = collected
+        .into_inner()
+        .expect("a worker panicked while holding the result lock");
+    // Grid order regardless of which worker evaluated which cell.
+    outcomes.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(outcomes.len(), coords.len());
+
+    let mut cells = Vec::with_capacity(coords.len());
+    for ((_, outcome), coord) in outcomes.into_iter().zip(&coords) {
+        cells.push(ExploreCell {
+            node: coord.node.to_string(),
+            area_mm2: coord.area_mm2,
+            quantity: coord.quantity,
+            integration: coord.integration,
+            chiplets: coord.chiplets,
+            outcome: outcome?,
+        });
+    }
+    Ok(ExploreResult {
+        space: space.clone(),
+        cells,
+        threads,
+    })
+}
+
+/// Costs one cell, folding geometric infeasibility into the outcome and
+/// letting unexpected engine errors surface.
+fn evaluate_cell(
+    lib: &TechLibrary,
+    coord: &CellCoord<'_>,
+    flow: AssemblyFlow,
+) -> Result<CellOutcome, ArchError> {
+    if !coord.integration.is_multi_chip() && coord.chiplets != 1 {
+        return Ok(CellOutcome::Incompatible(format!(
+            "monolithic {} cannot hold {} chiplets",
+            coord.integration, coord.chiplets
+        )));
+    }
+    if coord.integration.is_multi_chip() && coord.chiplets < 2 {
+        return Ok(CellOutcome::Incompatible(format!(
+            "{} needs at least 2 chiplets (a single die has no D2D interface)",
+            coord.integration
+        )));
+    }
+    match evaluate_candidate(
+        lib,
+        coord.node,
+        coord.area,
+        Quantity::new(coord.quantity),
+        coord.integration,
+        coord.chiplets,
+        flow,
+    ) {
+        Ok(candidate) => Ok(CellOutcome::Feasible(candidate)),
+        // Infeasible geometry (die too large, zero yield): recorded, not
+        // dropped — the grid stays exhaustive.
+        Err(ArchError::Model(e)) => Ok(CellOutcome::Infeasible(e.to_string())),
+        Err(ArchError::Yield(e)) => Ok(CellOutcome::Infeasible(e.to_string())),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> TechLibrary {
+        TechLibrary::paper_defaults().unwrap()
+    }
+
+    fn small_space() -> ExploreSpace {
+        ExploreSpace {
+            nodes: vec!["7nm".to_string(), "5nm".to_string()],
+            areas_mm2: vec![200.0, 600.0],
+            quantities: vec![1_000_000],
+            integrations: IntegrationKind::ALL.to_vec(),
+            chiplet_counts: vec![1, 2, 3],
+            flow: AssemblyFlow::ChipLast,
+        }
+    }
+
+    #[test]
+    fn default_space_has_the_documented_grid() {
+        let space = ExploreSpace::default();
+        assert_eq!(space.len(), 3 * 9 * 3 * 4 * 5);
+        assert!(!space.is_empty());
+        space.validate().unwrap();
+    }
+
+    #[test]
+    fn every_axis_is_validated_independently() {
+        let base = small_space();
+        let cases: Vec<(ExploreSpace, &str)> = vec![
+            (
+                ExploreSpace {
+                    nodes: vec![],
+                    ..base.clone()
+                },
+                "nodes",
+            ),
+            (
+                ExploreSpace {
+                    areas_mm2: vec![],
+                    ..base.clone()
+                },
+                "areas",
+            ),
+            (
+                ExploreSpace {
+                    quantities: vec![],
+                    ..base.clone()
+                },
+                "quantities",
+            ),
+            (
+                ExploreSpace {
+                    integrations: vec![],
+                    ..base.clone()
+                },
+                "integration kinds",
+            ),
+            (
+                ExploreSpace {
+                    chiplet_counts: vec![],
+                    ..base.clone()
+                },
+                "chiplet counts",
+            ),
+        ];
+        for (space, axis) in cases {
+            let err = explore(&lib(), &space, 1).expect_err(axis);
+            assert!(err.to_string().contains(axis), "{axis}: {err}");
+        }
+        let zero_count = ExploreSpace {
+            chiplet_counts: vec![1, 0],
+            ..base
+        };
+        assert!(explore(&lib(), &zero_count, 1).is_err());
+    }
+
+    #[test]
+    fn unknown_node_is_a_hard_error() {
+        let space = ExploreSpace {
+            nodes: vec!["6nm".to_string()],
+            ..small_space()
+        };
+        assert!(explore(&lib(), &space, 1).is_err());
+    }
+
+    #[test]
+    fn grid_is_exhaustive_and_in_canonical_order() {
+        let lib = lib();
+        let space = small_space();
+        let result = explore(&lib, &space, 2).unwrap();
+        assert_eq!(result.len(), space.len());
+        // First block: 7nm, 200 mm², every integration × count in order.
+        let first = &result.cells()[0];
+        assert_eq!(
+            (first.node.as_str(), first.integration, first.chiplets),
+            ("7nm", IntegrationKind::Soc, 1)
+        );
+        let second = &result.cells()[1];
+        assert_eq!(
+            (second.integration, second.chiplets),
+            (IntegrationKind::Soc, 2)
+        );
+        // SoC × {2, 3} and {Mcm, InFO, 2.5D} × 1 cells are recorded as
+        // incompatible, never dropped: 2 + 3 per operating point.
+        assert_eq!(
+            result.incompatible_count(),
+            2 * 2 * 5, // nodes × areas × (2 SoC + 3 multi-chip cells each)
+        );
+        assert_eq!(
+            result.feasible_count() + result.infeasible_count() + result.incompatible_count(),
+            result.len()
+        );
+    }
+
+    #[test]
+    fn oversized_dies_are_recorded_as_infeasible() {
+        let space = ExploreSpace {
+            nodes: vec!["7nm".to_string()],
+            areas_mm2: vec![40_000.0], // larger than a 300 mm wafer
+            quantities: vec![1_000_000],
+            integrations: vec![IntegrationKind::Soc],
+            chiplet_counts: vec![1],
+            flow: AssemblyFlow::ChipLast,
+        };
+        let result = explore(&lib(), &space, 1).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.feasible_count(), 0);
+        match &result.cells()[0].outcome {
+            CellOutcome::Infeasible(reason) => {
+                assert!(!reason.is_empty(), "the engine's reason must be kept")
+            }
+            other => panic!("expected an infeasible cell, got {other:?}"),
+        }
+        // The winner table reports the dead operating point instead of
+        // dropping it.
+        let winners = result.winners();
+        assert_eq!(winners.len(), 1);
+        assert!(winners[0].best.is_none());
+        assert!(winners[0].to_string().contains("no feasible"));
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_agree_exactly() {
+        let lib = lib();
+        let space = small_space();
+        let serial = explore(&lib, &space, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = explore(&lib, &space, threads).unwrap();
+            assert_eq!(serial.cells(), parallel.cells(), "threads={threads}");
+            assert_eq!(serial.to_csv(), parallel.to_csv(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn winners_agree_with_the_single_point_optimizer() {
+        use crate::optimizer::{recommend, SearchSpace};
+        let lib = lib();
+        let space = small_space();
+        let result = explore(&lib, &space, 2).unwrap();
+        // The same feasible configuration set through `recommend`: the SoC
+        // baseline plus all multi-chip kinds × {2, 3} (the grid's
+        // single-chiplet multi-chip cells are incompatible, so they add
+        // nothing).
+        let search = SearchSpace {
+            chiplet_counts: vec![2, 3],
+            integrations: IntegrationKind::MULTI_CHIP.to_vec(),
+            flow: AssemblyFlow::ChipLast,
+        };
+        for w in result.winners() {
+            let rec = recommend(
+                &lib,
+                &w.node,
+                Area::from_mm2(w.area_mm2).unwrap(),
+                Quantity::new(w.quantity),
+                &search,
+            )
+            .unwrap();
+            let best = w.best.as_ref().expect("small grid is fully feasible");
+            assert!(
+                (best.per_unit.usd() - rec.per_unit.usd()).abs() < 1e-9,
+                "{}/{}/{}: grid {} vs optimizer {}",
+                w.node,
+                w.area_mm2,
+                w.quantity,
+                best.per_unit,
+                rec.per_unit
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_front_contains_the_global_minimum() {
+        let result = explore(&lib(), &small_space(), 2).unwrap();
+        let front = result.pareto_front();
+        assert!(!front.is_empty());
+        let global_min = result
+            .feasible()
+            .map(|c| c.outcome.candidate().unwrap().per_unit)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .unwrap();
+        assert!(front
+            .iter()
+            .any(|c| c.outcome.candidate().unwrap().per_unit == global_min));
+        // Ascending in cost, strictly improving in chiplet count.
+        for pair in front.windows(2) {
+            let (a, b) = (
+                pair[0].outcome.candidate().unwrap(),
+                pair[1].outcome.candidate().unwrap(),
+            );
+            assert!(a.per_unit <= b.per_unit);
+            assert!(pair[0].chiplets > pair[1].chiplets);
+        }
+    }
+
+    #[test]
+    fn csv_shapes_are_machine_readable() {
+        let result = explore(&lib(), &small_space(), 2).unwrap();
+        let grid = result.to_csv();
+        let mut lines = grid.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "node,area_mm2,quantity,integration,chiplets,status,per_unit_usd,re_per_unit_usd,detail"
+        );
+        assert_eq!(grid.lines().count(), result.len() + 1);
+        let winners = result.winners_to_csv();
+        assert_eq!(
+            winners.lines().next().unwrap(),
+            "node,area_mm2,quantity,integration,chiplets,per_unit_usd,saving_vs_soc"
+        );
+        assert_eq!(winners.lines().count(), 2 * 2 + 1); // operating points + header
+    }
+
+    #[test]
+    fn thread_count_is_clamped_and_reported() {
+        let space = ExploreSpace {
+            nodes: vec!["7nm".to_string()],
+            areas_mm2: vec![200.0],
+            quantities: vec![1_000_000],
+            integrations: vec![IntegrationKind::Mcm],
+            chiplet_counts: vec![2],
+            flow: AssemblyFlow::ChipLast,
+        };
+        let result = explore(&lib(), &space, 64).unwrap();
+        assert_eq!(result.threads(), 1, "one cell cannot use 64 threads");
+        assert!(result.to_string().contains("1 cells"), "{result}");
+    }
+}

@@ -18,6 +18,10 @@
 //!   d(ln cost)/d(ln parameter) for any scalar knob.
 //! * Trade-off surfaces — [`pareto::pareto_min_indices`] extracts the
 //!   non-dominated frontier from any two-objective sweep.
+//! * Grid-scale exploration — [`explore::explore`] evaluates the full
+//!   (node × area × quantity × integration × chiplet count) Cartesian
+//!   grid in parallel and post-processes it into winner tables, Pareto
+//!   fronts and CSV.
 //!
 //! # Examples
 //!
@@ -44,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod crossover;
+pub mod explore;
 pub mod maturity;
 pub mod optimizer;
 pub mod pareto;

@@ -157,9 +157,17 @@ pub fn recommend(
     quantity: Quantity,
     space: &SearchSpace,
 ) -> Result<Recommendation, ArchError> {
-    if space.chiplet_counts.is_empty() && space.integrations.is_empty() {
+    // Each axis is validated independently: with only one axis empty the
+    // Cartesian search degenerates to the SoC baseline alone, which used to
+    // be returned as a "recommendation" without any search having happened.
+    if space.integrations.is_empty() {
         return Err(ArchError::InvalidArchitecture {
-            reason: "empty search space".to_string(),
+            reason: "search space has no integration kinds".to_string(),
+        });
+    }
+    if space.chiplet_counts.is_empty() {
+        return Err(ArchError::InvalidArchitecture {
+            reason: "search space has no chiplet counts".to_string(),
         });
     }
     let mut candidates = Vec::new();
@@ -329,6 +337,42 @@ mod tests {
             flow: AssemblyFlow::ChipLast,
         };
         assert!(recommend(&lib(), "7nm", area(100.0), Quantity::new(1_000), &space).is_err());
+    }
+
+    #[test]
+    fn one_sided_empty_space_is_rejected() {
+        // Regression: the guard used `&&`, so a space with one empty axis
+        // slipped through and silently returned an SoC-only
+        // "recommendation" that never searched anything.
+        let counts_only = SearchSpace {
+            chiplet_counts: vec![2, 3],
+            integrations: vec![],
+            flow: AssemblyFlow::ChipLast,
+        };
+        let err = recommend(
+            &lib(),
+            "7nm",
+            area(100.0),
+            Quantity::new(1_000),
+            &counts_only,
+        )
+        .expect_err("empty integrations axis must be rejected");
+        assert!(err.to_string().contains("integration"), "{err}");
+
+        let kinds_only = SearchSpace {
+            chiplet_counts: vec![],
+            integrations: vec![IntegrationKind::Mcm],
+            flow: AssemblyFlow::ChipLast,
+        };
+        let err = recommend(
+            &lib(),
+            "7nm",
+            area(100.0),
+            Quantity::new(1_000),
+            &kinds_only,
+        )
+        .expect_err("empty chiplet-count axis must be rejected");
+        assert!(err.to_string().contains("chiplet count"), "{err}");
     }
 
     #[test]

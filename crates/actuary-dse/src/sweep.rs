@@ -45,9 +45,36 @@ impl Sweep {
         Some(self.points.iter().map(|p| (p.x, p.values[idx])).collect())
     }
 
-    /// Index of the first point (in x order) where series `a` drops below
-    /// series `b` — a discrete crossover detector.
+    /// The first point (in x order) where series `a` drops below series
+    /// `b` *after* having been at or above it — a discrete sign-change
+    /// detector.
+    ///
+    /// A series that simply starts below the other never crossed it, so no
+    /// point is reported (use [`Sweep::first_below`] for the weaker "first
+    /// point where `a < b`" question). Returns `None` if either series name
+    /// is unknown or no sign change occurs on the grid.
     pub fn first_crossover(&self, a: &str, b: &str) -> Option<f64> {
+        let ia = self.series.iter().position(|s| s == a)?;
+        let ib = self.series.iter().position(|s| s == b)?;
+        let mut was_at_or_above = false;
+        for p in &self.points {
+            if p.values[ia] < p.values[ib] {
+                if was_at_or_above {
+                    return Some(p.x);
+                }
+            } else {
+                was_at_or_above = true;
+            }
+        }
+        None
+    }
+
+    /// The first point (in x order) where series `a` is below series `b`,
+    /// whether or not `a` was ever at or above `b` before it.
+    ///
+    /// Returns `None` if either series name is unknown or `a` never drops
+    /// below `b`.
+    pub fn first_below(&self, a: &str, b: &str) -> Option<f64> {
         let ia = self.series.iter().position(|s| s == a)?;
         let ib = self.series.iter().position(|s| s == b)?;
         self.points
@@ -223,8 +250,34 @@ mod tests {
         .unwrap();
         // falling < flat first at a = 300 (1000-600=400 < 500).
         assert_eq!(sweep.first_crossover("falling", "flat"), Some(300.0));
-        assert_eq!(sweep.first_crossover("flat", "falling"), Some(100.0));
         assert_eq!(sweep.first_crossover("flat", "nope"), None);
+        // `first_below` keeps the old "first point where a < b" semantics.
+        assert_eq!(sweep.first_below("falling", "flat"), Some(300.0));
+        assert_eq!(sweep.first_below("flat", "falling"), Some(100.0));
+        assert_eq!(sweep.first_below("flat", "nope"), None);
+    }
+
+    #[test]
+    fn no_crossover_without_a_sign_change() {
+        // Regression: `first_crossover` used to report a "crossover" at the
+        // very first grid point when series `a` started below `b`, even
+        // though no sign change ever happened.
+        let sweep = sweep_area(
+            &[100.0, 200.0, 300.0, 400.0],
+            vec![
+                (
+                    "falling".to_string(),
+                    Box::new(|a: Area| Ok(1000.0 - 2.0 * a.mm2())),
+                ),
+                ("flat".to_string(), Box::new(|_| Ok(500.0))),
+            ],
+        )
+        .unwrap();
+        // flat starts below falling (500 < 800) and only moves further
+        // ahead — flat never drops below falling *after* having been at or
+        // above it, so there is no flat-under-falling crossover.
+        assert_eq!(sweep.first_crossover("flat", "falling"), None);
+        assert_eq!(sweep.first_below("flat", "falling"), Some(100.0));
     }
 
     /// The paper's Figure 4 turning point, rediscovered with the generic

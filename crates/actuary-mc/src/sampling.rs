@@ -37,9 +37,12 @@ pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
         "gamma shape must be positive, got {shape}"
     );
     if shape < 1.0 {
-        // Boost: G(a) = G(a+1) · U^(1/a).
+        // Boost: G(a) = G(a+1) · U^(1/a). For tiny shapes U^(1/a) can
+        // underflow to exactly 0.0 (a = 0.001 sends any U < ~0.49 below
+        // the subnormal range), so clamp to the smallest positive double:
+        // a Gamma variate is strictly positive with probability one.
         let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+        return (gamma(rng, shape + 1.0) * u.powf(1.0 / shape)).max(f64::MIN_POSITIVE);
     }
     let d = shape - 1.0 / 3.0;
     let c = 1.0 / (9.0 * d).sqrt();
@@ -156,6 +159,24 @@ mod tests {
     }
 
     #[test]
+    fn poisson_mean_is_continuous_across_the_branch_boundary() {
+        // λ = 29.5 runs Knuth's product method, λ = 30.5 the clamped normal
+        // approximation; both must land on their rate to the same relative
+        // tolerance, otherwise the λ = 30 switchover would put a kink in
+        // every defect-count statistic that straddles it.
+        for lambda in [29.5, 30.5] {
+            let mut r = rng();
+            let n = N / 4;
+            let mean = (0..n).map(|_| poisson(&mut r, lambda)).sum::<u64>() as f64 / n as f64;
+            // Standard error of the mean is sqrt(λ/n) ≈ 0.025; 0.2 is 8σ.
+            assert!(
+                (mean - lambda).abs() < 0.2,
+                "λ={lambda}: mean {mean} drifted across the branch boundary"
+            );
+        }
+    }
+
+    #[test]
     fn compound_gamma_poisson_reproduces_negative_binomial_yield() {
         // The derivation behind Eq. (1): P(Poisson(λG) = 0) with
         // G ~ Gamma(c, 1/c) equals (1 + λ/c)^(−c).
@@ -182,6 +203,27 @@ mod tests {
     fn gamma_rejects_bad_shape() {
         let mut r = rng();
         gamma(&mut r, 0.0);
+    }
+
+    proptest::proptest! {
+        /// Regression: for tiny shapes the boost `G(a+1) · U^(1/a)` can
+        /// underflow `U^(1/a)` to exactly 0.0 (e.g. a = 0.001 turns any
+        /// U < ~0.49 into a subnormal-then-zero power), and a zero Gamma
+        /// variate poisons every downstream compound draw.
+        #[test]
+        fn gamma_is_strictly_positive_for_sub_unit_shapes(
+            shape in 0.001f64..1.0,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut r = StdRng::seed_from_u64(seed);
+            for _ in 0..8 {
+                let x = gamma(&mut r, shape);
+                proptest::prop_assert!(
+                    x > 0.0,
+                    "gamma(shape={shape}) returned {x}"
+                );
+            }
+        }
     }
 
     #[test]
