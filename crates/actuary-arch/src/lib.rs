@@ -64,7 +64,9 @@ mod system;
 pub use chip::Chip;
 pub use error::ArchError;
 pub use module::Module;
-pub use portfolio::{NreEntity, NreEntityKind, Portfolio, PortfolioCost, SystemCost};
+pub use portfolio::{
+    NreEntity, NreEntityKind, Portfolio, PortfolioCore, PortfolioCost, SystemCost,
+};
 pub use system::{System, SystemBuilder};
 
 /// Convenience result alias for this crate.

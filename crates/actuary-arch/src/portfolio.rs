@@ -198,6 +198,157 @@ impl fmt::Display for PortfolioCost {
     }
 }
 
+/// One shared NRE artifact before amortization: total cost plus the usage
+/// weight each system contributes (`uses × quantity` is the allocation
+/// weight of Eq. (7)/(8)).
+#[derive(Debug, Clone, PartialEq)]
+struct EntityDraft {
+    kind: NreEntityKind,
+    name: String,
+    cost: Money,
+    uses: BTreeMap<String, f64>,
+}
+
+/// The quantity-independent part of a [`Portfolio::cost`] evaluation:
+/// per-system RE breakdowns plus every shared NRE artifact's total cost and
+/// usage weights.
+///
+/// Computing the core is the expensive step (yield models, wafer gridding,
+/// package sizing); spreading it over production quantities is cheap
+/// arithmetic. Exploration engines therefore cache cores keyed on geometry
+/// and re-amortize one core per quantity (and per reuse scheme), which is
+/// where the quantity axis of a grid stops costing anything.
+///
+/// [`PortfolioCore::amortize`] reproduces [`Portfolio::cost`] exactly —
+/// `cost` is implemented as `core` followed by `amortize`, so the two paths
+/// cannot drift apart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioCore {
+    names: Vec<String>,
+    quantities: Vec<Quantity>,
+    re: Vec<ReCostBreakdown>,
+    drafts: Vec<EntityDraft>,
+}
+
+impl PortfolioCore {
+    /// The member system names, in portfolio order.
+    pub fn system_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of member systems.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the core has no systems (never true: empty portfolios fail
+    /// [`Portfolio::core`]).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Amortizes the NRE over the quantities the systems were built with —
+    /// together with [`Portfolio::core`] this *is* [`Portfolio::cost`].
+    pub fn amortize(&self) -> PortfolioCost {
+        self.amortize_impl(&self.quantities)
+    }
+
+    /// Amortizes the NRE with every system at the same production
+    /// `quantity` — the per-quantity pass of a cached exploration grid.
+    pub fn amortize_at(&self, quantity: Quantity) -> PortfolioCost {
+        self.amortize_impl(&vec![quantity; self.names.len()])
+    }
+
+    /// Amortizes the NRE over caller-supplied per-system quantities (in
+    /// portfolio order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidArchitecture`] if `quantities` does not
+    /// have one entry per system.
+    pub fn amortize_with(&self, quantities: &[Quantity]) -> Result<PortfolioCost, ArchError> {
+        if quantities.len() != self.names.len() {
+            return Err(ArchError::InvalidArchitecture {
+                reason: format!(
+                    "portfolio has {} systems but {} quantities were supplied",
+                    self.names.len(),
+                    quantities.len()
+                ),
+            });
+        }
+        Ok(self.amortize_impl(quantities))
+    }
+
+    fn amortize_impl(&self, quantities: &[Quantity]) -> PortfolioCost {
+        let quantity_of: BTreeMap<&str, Quantity> = self
+            .names
+            .iter()
+            .map(String::as_str)
+            .zip(quantities.iter().copied())
+            .collect();
+        let mut entities = Vec::with_capacity(self.drafts.len());
+        for draft in &self.drafts {
+            let total_weight: f64 = draft
+                .uses
+                .iter()
+                .map(|(sys, uses)| uses * quantity_of[sys.as_str()].as_f64())
+                .sum();
+            let mut allocations = BTreeMap::new();
+            for (sys, uses) in &draft.uses {
+                // share_j (total) = cost × (uses_j × q_j) / Σ; per unit
+                // divide by q_j → cost × uses_j / Σ.
+                let per_unit = if total_weight > 0.0 {
+                    draft.cost * (uses / total_weight)
+                } else {
+                    Money::ZERO
+                };
+                allocations.insert(sys.clone(), per_unit);
+            }
+            entities.push(NreEntity {
+                kind: draft.kind,
+                name: draft.name.clone(),
+                cost: draft.cost,
+                allocations,
+            });
+        }
+
+        let mut systems_out = Vec::with_capacity(self.names.len());
+        for ((name, &quantity), re) in self.names.iter().zip(quantities).zip(&self.re) {
+            let mut nre = NreBreakdown::default();
+            for e in &entities {
+                let share = e.allocation_for(name);
+                match e.kind() {
+                    NreEntityKind::Module => nre.modules += share,
+                    NreEntityKind::Chip => nre.chips += share,
+                    NreEntityKind::Package => nre.packages += share,
+                    NreEntityKind::D2d => nre.d2d += share,
+                }
+            }
+            systems_out.push(SystemCost {
+                name: name.clone(),
+                quantity,
+                re: *re,
+                nre_per_unit: nre,
+            });
+        }
+        let mut nre_total = NreBreakdown::default();
+        for e in &entities {
+            match e.kind() {
+                NreEntityKind::Module => nre_total.modules += e.cost(),
+                NreEntityKind::Chip => nre_total.chips += e.cost(),
+                NreEntityKind::Package => nre_total.packages += e.cost(),
+                NreEntityKind::D2d => nre_total.d2d += e.cost(),
+            }
+        }
+
+        PortfolioCost {
+            systems: systems_out,
+            entities,
+            nre_total,
+        }
+    }
+}
+
 /// A group of systems sharing module, chip, package and D2D designs — the
 /// `J` of the paper's Eq. (7)/(8).
 ///
@@ -241,6 +392,10 @@ impl Portfolio {
     /// Shared package designs are sized for their largest member system;
     /// smaller members pay the oversized package's RE (§5.1).
     ///
+    /// Implemented as [`Portfolio::core`] followed by
+    /// [`PortfolioCore::amortize`], so cached exploration engines that
+    /// re-amortize one core per quantity produce byte-identical results.
+    ///
     /// # Errors
     ///
     /// Returns [`ArchError::InvalidArchitecture`] for duplicate system
@@ -248,6 +403,18 @@ impl Portfolio {
     /// different geometry) or mixed-integration package-design groups;
     /// propagates technology and cost-engine errors.
     pub fn cost(&self, lib: &TechLibrary, flow: AssemblyFlow) -> Result<PortfolioCost, ArchError> {
+        Ok(self.core(lib, flow)?.amortize())
+    }
+
+    /// Computes the quantity-independent [`PortfolioCore`]: validation,
+    /// shared-package sizing, per-system RE and the NRE entity drafts —
+    /// everything of [`Portfolio::cost`] except the amortization over
+    /// production quantities.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Portfolio::cost`].
+    pub fn core(&self, lib: &TechLibrary, flow: AssemblyFlow) -> Result<PortfolioCore, ArchError> {
         if self.systems.is_empty() {
             return Err(ArchError::InvalidArchitecture {
                 reason: "portfolio has no systems".to_string(),
@@ -305,12 +472,6 @@ impl Portfolio {
 
         // --- NRE entities with usage-weighted allocation. -------------------
         // usage[system -> uses]; weight = uses × quantity.
-        struct EntityDraft {
-            kind: NreEntityKind,
-            name: String,
-            cost: Money,
-            uses: BTreeMap<String, f64>,
-        }
         let mut drafts: Vec<EntityDraft> = Vec::new();
         let mut index: BTreeMap<(NreEntityKind, String), usize> = BTreeMap::new();
 
@@ -406,72 +567,11 @@ impl Portfolio {
             )?;
         }
 
-        // --- Allocate entity costs per unit. -------------------------------
-        let quantity_of: BTreeMap<&str, Quantity> = self
-            .systems
-            .iter()
-            .map(|s| (s.name(), s.quantity()))
-            .collect();
-        let mut entities = Vec::with_capacity(drafts.len());
-        for draft in drafts {
-            let total_weight: f64 = draft
-                .uses
-                .iter()
-                .map(|(sys, uses)| uses * quantity_of[sys.as_str()].as_f64())
-                .sum();
-            let mut allocations = BTreeMap::new();
-            for (sys, uses) in &draft.uses {
-                // share_j (total) = cost × (uses_j × q_j) / Σ; per unit
-                // divide by q_j → cost × uses_j / Σ.
-                let per_unit = if total_weight > 0.0 {
-                    draft.cost * (uses / total_weight)
-                } else {
-                    Money::ZERO
-                };
-                allocations.insert(sys.clone(), per_unit);
-            }
-            entities.push(NreEntity {
-                kind: draft.kind,
-                name: draft.name,
-                cost: draft.cost,
-                allocations,
-            });
-        }
-
-        // --- Assemble per-system breakdowns and totals. ---------------------
-        let mut systems_out = Vec::with_capacity(self.systems.len());
-        for (s, re) in self.systems.iter().zip(re_by_system) {
-            let mut nre = NreBreakdown::default();
-            for e in &entities {
-                let share = e.allocation_for(s.name());
-                match e.kind() {
-                    NreEntityKind::Module => nre.modules += share,
-                    NreEntityKind::Chip => nre.chips += share,
-                    NreEntityKind::Package => nre.packages += share,
-                    NreEntityKind::D2d => nre.d2d += share,
-                }
-            }
-            systems_out.push(SystemCost {
-                name: s.name().to_string(),
-                quantity: s.quantity(),
-                re,
-                nre_per_unit: nre,
-            });
-        }
-        let mut nre_total = NreBreakdown::default();
-        for e in &entities {
-            match e.kind() {
-                NreEntityKind::Module => nre_total.modules += e.cost(),
-                NreEntityKind::Chip => nre_total.chips += e.cost(),
-                NreEntityKind::Package => nre_total.packages += e.cost(),
-                NreEntityKind::D2d => nre_total.d2d += e.cost(),
-            }
-        }
-
-        Ok(PortfolioCost {
-            systems: systems_out,
-            entities,
-            nre_total,
+        Ok(PortfolioCore {
+            names: self.systems.iter().map(|s| s.name().to_string()).collect(),
+            quantities: self.systems.iter().map(System::quantity).collect(),
+            re: re_by_system,
+            drafts,
         })
     }
 }
@@ -709,6 +809,58 @@ mod tests {
             "allocations must exactly cover the NRE total"
         );
         assert!(cost.average_per_unit().usd() > 0.0);
+    }
+
+    #[test]
+    fn core_amortize_reproduces_cost_exactly() {
+        let lib = lib();
+        let c = chiplet("shared", "m", 180.0);
+        let p = Portfolio::new(vec![
+            simple_system("a", c.clone(), 1, 500_000),
+            simple_system("b", c, 4, 2_000_000),
+        ]);
+        let direct = p.cost(&lib, AssemblyFlow::ChipLast).unwrap();
+        let core = p.core(&lib, AssemblyFlow::ChipLast).unwrap();
+        assert_eq!(core.system_names(), ["a", "b"]);
+        assert_eq!(core.len(), 2);
+        assert!(!core.is_empty());
+        assert_eq!(core.amortize(), direct);
+        // amortize_with the same quantities is the same computation.
+        let explicit = core
+            .amortize_with(&[Quantity::new(500_000), Quantity::new(2_000_000)])
+            .unwrap();
+        assert_eq!(explicit, direct);
+    }
+
+    #[test]
+    fn amortize_at_matches_a_rebuilt_portfolio() {
+        // The cached-grid contract: one core re-amortized per quantity must
+        // be byte-identical to rebuilding and costing the portfolio at that
+        // quantity.
+        let lib = lib();
+        let build = |qty: u64| {
+            Portfolio::new(vec![
+                simple_system("a", chiplet("c", "m", 150.0), 1, qty),
+                simple_system("b", chiplet("c", "m", 150.0), 3, qty),
+            ])
+        };
+        let core = build(1).core(&lib, AssemblyFlow::ChipLast).unwrap();
+        for qty in [1_000u64, 500_000, 10_000_000] {
+            let cached = core.amortize_at(Quantity::new(qty));
+            let rebuilt = build(qty).cost(&lib, AssemblyFlow::ChipLast).unwrap();
+            assert_eq!(cached, rebuilt, "quantity {qty}");
+        }
+    }
+
+    #[test]
+    fn amortize_with_rejects_wrong_arity() {
+        let lib = lib();
+        let p = Portfolio::new(vec![simple_system("a", chiplet("c", "m", 100.0), 1, 1000)]);
+        let core = p.core(&lib, AssemblyFlow::ChipLast).unwrap();
+        let err = core
+            .amortize_with(&[Quantity::new(1), Quantity::new(2)])
+            .unwrap_err();
+        assert!(err.to_string().contains("quantities"), "{err}");
     }
 
     #[test]

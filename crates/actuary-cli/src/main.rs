@@ -25,6 +25,7 @@ use std::process::ExitCode;
 use actuary_arch::{partition::equal_chiplets, Portfolio, System};
 use actuary_dse::explore::{explore, ExploreSpace};
 use actuary_dse::optimizer::{recommend, SearchSpace};
+use actuary_dse::portfolio::{explore_portfolio, PortfolioSpace, ReuseScheme};
 use actuary_mc::{simulate_system, DefectProcess, McConfig};
 use actuary_model::{re_cost, AssemblyFlow, DiePlacement};
 use actuary_tech::{IntegrationKind, TechLibrary};
@@ -54,14 +55,22 @@ fn usage() -> &'static str {
        partition --node N --area MM2 [--quantity Q]\n\
        explore [--nodes N,N2,..] [--areas MM2,..] [--quantities Q,..]\n\
                [--integrations KIND,..] [--chiplets K,..] [--flow F]\n\
-               [--threads T] [--csv]     multi-axis parallel grid exploration\n\
-                                         (T = 0 or omitted: all hardware threads)\n\
+               [--schemes none,scms,ocme,fsmc|all] [--flow-axis]\n\
+               [--threads T] [--csv] [--out FILE]\n\
+                                         multi-axis parallel grid exploration\n\
+                                         (T = 0 or omitted: all hardware threads;\n\
+                                         --schemes grids the paper's reuse schemes,\n\
+                                         --flow-axis grids chip-first vs chip-last,\n\
+                                         --out streams the grid CSV to FILE)\n\
        mc    --node N --area MM2 [--chiplets K] [--integration KIND] [--systems S]\n\
        repro --figure 2|4|5|6|8|9|10|ext|all [--csv]\n\
        experiments                        paper-vs-measured Markdown record\n\
        sensitivity --node N --area MM2 [--chiplets K]  cost elasticities\n\
      flags not listed for a command are rejected, not ignored"
 }
+
+/// Flags that take no value (present = true).
+const BOOLEAN_FLAGS: [&str; 2] = ["csv", "flow-axis"];
 
 /// Parses `--key value` pairs after the subcommand.
 fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
@@ -71,12 +80,13 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+        let boolean = BOOLEAN_FLAGS.contains(&key);
         if let Some(value) = args.get(i + 1) {
-            if value.starts_with("--") && key != "csv" {
+            if value.starts_with("--") && !boolean {
                 return Err(format!("flag --{key} is missing a value"));
             }
         }
-        if key == "csv" {
+        if boolean {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
         } else {
@@ -166,8 +176,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 "integrations",
                 "chiplets",
                 "flow",
+                "flow-axis",
+                "schemes",
                 "threads",
                 "csv",
+                "out",
             ],
             cmd_explore,
         ),
@@ -429,8 +442,67 @@ fn parse_list<T>(
     items.into_iter().map(parse).collect()
 }
 
+fn parse_scheme(s: &str) -> Result<ReuseScheme, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "none" | "single" | "baseline" => Ok(ReuseScheme::None),
+        "scms" => Ok(ReuseScheme::Scms),
+        "ocme" => Ok(ReuseScheme::Ocme),
+        "fsmc" => Ok(ReuseScheme::Fsmc),
+        other => Err(format!(
+            "unknown reuse scheme {other:?} (none|scms|ocme|fsmc, or all)"
+        )),
+    }
+}
+
+/// Adapts an [`std::io::Write`] sink to [`std::fmt::Write`] so the
+/// exploration results can stream CSV straight into a file without
+/// materializing the document; the underlying io error is kept for the
+/// caller's message.
+struct IoSink<W: std::io::Write> {
+    inner: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> std::fmt::Write for IoSink<W> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.inner.write_all(s.as_bytes()).map_err(|e| {
+            self.error = Some(e);
+            std::fmt::Error
+        })
+    }
+}
+
+/// Streams `write` into `path`, translating the sink's io error.
+fn stream_to_file(
+    path: &str,
+    write: impl FnOnce(&mut dyn std::fmt::Write) -> std::fmt::Result,
+) -> Result<(), String> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| format!("cannot create --out file {path:?}: {e}"))?;
+    let mut sink = IoSink {
+        inner: std::io::BufWriter::new(file),
+        error: None,
+    };
+    write(&mut sink).map_err(|_| {
+        let cause = sink
+            .error
+            .take()
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "formatting error".to_string());
+        format!("writing {path:?} failed: {cause}")
+    })?;
+    use std::io::Write as _;
+    sink.inner
+        .flush()
+        .map_err(|e| format!("flushing {path:?} failed: {e}"))
+}
+
 fn cmd_explore(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<(), String> {
-    let mut space = ExploreSpace::default();
+    let mut space = PortfolioSpace {
+        flows: vec![AssemblyFlow::ChipLast],
+        schemes: vec![ReuseScheme::None],
+        ..PortfolioSpace::default()
+    };
     if let Some(raw) = flags.get("nodes") {
         space.nodes = parse_list(raw, "nodes", |s| Ok(s.to_string()))?;
     }
@@ -454,12 +526,48 @@ fn cmd_explore(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<()
                 .map_err(|e| format!("invalid chiplet count {s:?}: {e}"))
         })?;
     }
+    if flags.contains_key("flow") && flags.contains_key("flow-axis") {
+        return Err("choose --flow FLOW or --flow-axis, not both".to_string());
+    }
+    if flags.contains_key("csv") && flags.contains_key("out") {
+        return Err("choose --csv (stdout) or --out FILE, not both".to_string());
+    }
     if let Some(raw) = flags.get("flow") {
-        space.flow = parse_flow(raw)?;
+        space.flows = vec![parse_flow(raw)?];
+    }
+    if flags.contains_key("flow-axis") {
+        space.flows = vec![AssemblyFlow::ChipLast, AssemblyFlow::ChipFirst];
+    }
+    if let Some(raw) = flags.get("schemes") {
+        space.schemes = if raw.eq_ignore_ascii_case("all") {
+            ReuseScheme::ALL.to_vec()
+        } else {
+            parse_list(raw, "schemes", parse_scheme)?
+        };
     }
     let threads = get_u64_or(flags, "threads", 0)? as usize;
 
-    let result = explore(lib, &space, threads).map_err(|e| e.to_string())?;
+    // A portfolio request (a scheme or flow axis) runs the portfolio
+    // engine; a plain request stays on the single-system grid and output.
+    let portfolio_mode = flags.contains_key("schemes") || flags.contains_key("flow-axis");
+    if portfolio_mode {
+        return cmd_explore_portfolio(lib, flags, &space, threads);
+    }
+
+    let single = ExploreSpace {
+        nodes: space.nodes,
+        areas_mm2: space.areas_mm2,
+        quantities: space.quantities,
+        integrations: space.integrations,
+        chiplet_counts: space.chiplet_counts,
+        flow: space.flows[0],
+    };
+    let result = explore(lib, &single, threads).map_err(|e| e.to_string())?;
+    if let Some(path) = flags.get("out") {
+        stream_to_file(path, |sink| result.write_csv_to(sink))?;
+        println!("wrote {} grid cells to {path}", result.len());
+        return Ok(());
+    }
     if flags.contains_key("csv") {
         print!("{}", result.to_csv());
         return Ok(());
@@ -519,6 +627,89 @@ fn cmd_explore(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<()
     }
     println!("{front}");
     println!("(re-run with --csv for the full machine-readable grid)");
+    Ok(())
+}
+
+/// The `--schemes` / `--flow-axis` output path: per-scheme winner tables
+/// and Pareto fronts over the portfolio grid.
+fn cmd_explore_portfolio(
+    lib: &TechLibrary,
+    flags: &BTreeMap<String, String>,
+    space: &PortfolioSpace,
+    threads: usize,
+) -> Result<(), String> {
+    let result = explore_portfolio(lib, space, threads).map_err(|e| e.to_string())?;
+    if let Some(path) = flags.get("out") {
+        stream_to_file(path, |sink| result.write_csv_to(sink))?;
+        println!("wrote {} grid cells to {path}", result.len());
+        return Ok(());
+    }
+    if flags.contains_key("csv") {
+        print!("{}", result.to_csv());
+        return Ok(());
+    }
+
+    println!("explored {result}\n");
+    for &scheme in &result.space().schemes {
+        println!("[{scheme}] cheapest configuration per (node, area, quantity):");
+        let mut winners = actuary_report::Table::new(vec![
+            "node",
+            "area_mm2",
+            "quantity",
+            "integration",
+            "chiplets",
+            "flow",
+            "per-unit",
+            "vs SoC",
+        ]);
+        for w in result.winners(scheme) {
+            let (integration, chiplets, flow, per_unit) = match &w.best {
+                Some((c, flow)) => (
+                    c.integration.to_string(),
+                    c.chiplets.to_string(),
+                    flow.to_string(),
+                    c.per_unit.to_string(),
+                ),
+                None => (
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "infeasible".to_string(),
+                ),
+            };
+            winners.push_row(vec![
+                w.node.clone(),
+                format!("{}", w.area_mm2),
+                Quantity::new(w.quantity).to_string(),
+                integration,
+                chiplets,
+                flow,
+                per_unit,
+                w.saving_vs_soc_display().unwrap_or_else(|| "-".to_string()),
+            ]);
+        }
+        println!("{winners}");
+        let front = result.pareto_front(scheme);
+        println!(
+            "[{scheme}] Pareto front over (per-unit cost, chiplet count): {} point(s)",
+            front.len()
+        );
+        for cell in front {
+            let c = cell.outcome.candidate().expect("Pareto cells are feasible");
+            println!(
+                "  {} at {} chiplet(s): {} / {:.0} mm2 / {} units, {} ({})",
+                c.per_unit,
+                cell.chiplets,
+                cell.node,
+                cell.area_mm2,
+                Quantity::new(cell.quantity),
+                cell.integration,
+                cell.flow,
+            );
+        }
+        println!();
+    }
+    println!("(re-run with --csv or --out FILE for the full machine-readable grid)");
     Ok(())
 }
 

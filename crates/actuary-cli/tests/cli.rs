@@ -323,3 +323,116 @@ fn explore_rejects_an_empty_axis() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--nodes"), "{stderr}");
 }
+
+#[test]
+fn explore_schemes_prints_per_scheme_winner_tables() {
+    let text = stdout(&[
+        "explore",
+        "--nodes",
+        "7nm",
+        "--areas",
+        "400,800",
+        "--quantities",
+        "500000",
+        "--schemes",
+        "scms,fsmc",
+        "--threads",
+        "2",
+    ]);
+    assert!(text.contains("[scms] cheapest configuration"), "{text}");
+    assert!(text.contains("[fsmc] cheapest configuration"), "{text}");
+    assert!(
+        !text.contains("[ocme]"),
+        "unrequested schemes must not appear: {text}"
+    );
+    assert!(text.contains("Pareto front"), "{text}");
+}
+
+#[test]
+fn explore_schemes_csv_carries_the_new_axes() {
+    let csv = stdout(&[
+        "explore",
+        "--nodes",
+        "7nm",
+        "--areas",
+        "400",
+        "--quantities",
+        "500000",
+        "--schemes",
+        "all",
+        "--flow-axis",
+        "--threads",
+        "1",
+        "--csv",
+    ]);
+    assert_eq!(
+        csv.lines().next().unwrap(),
+        "node,area_mm2,quantity,integration,chiplets,flow,scheme,status,per_unit_usd,\
+         re_per_unit_usd,detail"
+    );
+    // 1 node × 1 area × 1 quantity × 4 integrations × 5 counts × 2 flows ×
+    // 4 schemes.
+    assert_eq!(csv.lines().count(), 4 * 5 * 2 * 4 + 1);
+    assert!(csv.contains(",chip-first,"), "{csv}");
+    assert!(csv.contains(",fsmc,"), "{csv}");
+}
+
+#[test]
+fn explore_out_streams_the_grid_to_a_file() {
+    let path = std::env::temp_dir().join(format!("actuary-explore-{}.csv", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    let text = stdout(&[
+        "explore",
+        "--nodes",
+        "7nm",
+        "--areas",
+        "400",
+        "--quantities",
+        "500000,2000000",
+        "--threads",
+        "1",
+        "--out",
+        path_str,
+    ]);
+    assert!(text.contains("wrote 40 grid cells"), "{text}");
+    let written = std::fs::read_to_string(&path).expect("the --out file must exist");
+    std::fs::remove_file(&path).ok();
+    // Identical bytes to the stdout --csv path.
+    let csv = stdout(&[
+        "explore",
+        "--nodes",
+        "7nm",
+        "--areas",
+        "400",
+        "--quantities",
+        "500000,2000000",
+        "--threads",
+        "1",
+        "--csv",
+    ]);
+    assert_eq!(written, csv);
+}
+
+#[test]
+fn explore_rejects_csv_and_out_together() {
+    let out = actuary(&["explore", "--csv", "--out", "/tmp/unused.csv"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--csv"), "{stderr}");
+}
+
+#[test]
+fn explore_rejects_flow_and_flow_axis_together() {
+    let out = actuary(&["explore", "--flow", "chip-first", "--flow-axis"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--flow"), "{stderr}");
+}
+
+#[test]
+fn explore_rejects_an_unknown_scheme() {
+    let out = actuary(&["explore", "--schemes", "scsm"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown reuse scheme"), "{stderr}");
+}

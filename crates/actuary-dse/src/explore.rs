@@ -8,18 +8,29 @@
 //! cost-aware exploration tools (Tang & Xie, arXiv:2206.07308; CATCH,
 //! arXiv:2503.15753) derive crossovers and Pareto fronts.
 //!
-//! Three properties distinguish the engine from a nest of loops:
+//! Four properties distinguish the engine from a nest of loops:
 //!
 //! * **Parallel** — candidates are pre-expanded into a flat work list and
-//!   pulled by `std::thread::scope` workers over an atomic index; the
-//!   [`actuary_tech::TechLibrary`] is shared by reference, no dependencies
-//!   are added.
+//!   pulled in small chunks by `std::thread::scope` workers over an atomic
+//!   index (the shared chunked engine); the [`actuary_tech::TechLibrary`] is
+//!   shared by reference, no dependencies are added.
+//! * **Cached** — the expensive RE/NRE core of a cell depends only on
+//!   (node, area, integration, chiplet count, flow), so one core is
+//!   evaluated per distinct geometry and re-amortized per quantity: ~3×
+//!   fewer full evaluations on the default grid, byte-identical output
+//!   (see [`ExploreResult::core_evaluations`] and
+//!   [`crate::portfolio::CorePolicy`]).
 //! * **Deterministic** — results come back in grid order (node → area →
 //!   quantity → integration → chiplet count) regardless of thread count,
 //!   so one-threaded and N-threaded runs emit byte-identical CSV.
 //! * **Loss-free** — infeasible cells (die exceeds the wafer, interposer
 //!   unmanufacturable) and incompatible cells (monolithic SoC × several
 //!   chiplets) are *recorded* with their reason, not silently dropped.
+//!
+//! This engine grids *single systems*; [`crate::portfolio`] crosses the
+//! same axes with the paper's reuse schemes and the assembly-flow axis
+//! (both engines share one implementation — `explore` is the
+//! single-scheme, single-flow special case).
 //!
 //! # Examples
 //!
@@ -43,18 +54,17 @@
 //! ```
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
 use actuary_arch::ArchError;
 use actuary_model::AssemblyFlow;
 use actuary_tech::{IntegrationKind, TechLibrary};
-use actuary_units::{write_csv, Area, Quantity};
+use actuary_units::{write_csv, write_csv_row, Area};
 
-use crate::optimizer::{evaluate_candidate, Candidate};
+use crate::optimizer::Candidate;
 use crate::pareto::pareto_min_indices;
+use crate::portfolio::{explore_portfolio_with, CorePolicy, PortfolioSpace};
 
 /// The exploration grid: the Cartesian product of every axis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -173,7 +183,7 @@ impl CellOutcome {
     }
 
     /// The CSV status keyword for this outcome.
-    fn status(&self) -> &'static str {
+    pub(crate) fn status(&self) -> &'static str {
         match self {
             CellOutcome::Feasible(_) => "feasible",
             CellOutcome::Infeasible(_) => "infeasible",
@@ -182,7 +192,7 @@ impl CellOutcome {
     }
 
     /// The recorded reason for a cell that was not costed.
-    fn detail(&self) -> &str {
+    pub(crate) fn detail(&self) -> &str {
         match self {
             CellOutcome::Feasible(_) => "",
             CellOutcome::Infeasible(reason) | CellOutcome::Incompatible(reason) => reason,
@@ -267,6 +277,7 @@ pub struct ExploreResult {
     space: ExploreSpace,
     cells: Vec<ExploreCell>,
     threads: usize,
+    core_evaluations: usize,
 }
 
 impl ExploreResult {
@@ -294,6 +305,15 @@ impl ExploreResult {
     /// The number of worker threads the evaluation ran on.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// How many full RE/NRE core evaluations the run performed — under the
+    /// default cached policy this is the number of distinct (node, area,
+    /// integration, chiplet count) geometries, not the number of cells
+    /// (the quantity axis amortizes cached cores instead of re-evaluating
+    /// them).
+    pub fn core_evaluations(&self) -> usize {
+        self.core_evaluations
     }
 
     /// The cells that were costed successfully.
@@ -383,12 +403,17 @@ impl ExploreResult {
             .collect()
     }
 
-    /// Renders the full grid as CSV, one row per cell in grid order;
-    /// byte-identical across thread counts.
-    pub fn to_csv(&self) -> String {
-        let mut records = Vec::with_capacity(self.cells.len() + 1);
-        records.push(
-            [
+    /// Streams the full grid as CSV into `out`, one row per cell in grid
+    /// order, without materializing the document (10⁶-cell grids stay
+    /// memory-flat); byte-identical across thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's [`fmt::Error`] (infallible for `String`).
+    pub fn write_csv_to<W: fmt::Write + ?Sized>(&self, out: &mut W) -> fmt::Result {
+        write_csv_row(
+            out,
+            &[
                 "node",
                 "area_mm2",
                 "quantity",
@@ -398,10 +423,8 @@ impl ExploreResult {
                 "per_unit_usd",
                 "re_per_unit_usd",
                 "detail",
-            ]
-            .map(str::to_string)
-            .to_vec(),
-        );
+            ],
+        )?;
         for cell in &self.cells {
             let (per_unit, re_per_unit) = match cell.outcome.candidate() {
                 Some(c) => (
@@ -410,19 +433,30 @@ impl ExploreResult {
                 ),
                 None => (String::new(), String::new()),
             };
-            records.push(vec![
-                cell.node.clone(),
-                format!("{}", cell.area_mm2),
-                cell.quantity.to_string(),
-                cell.integration.to_string(),
-                cell.chiplets.to_string(),
-                cell.outcome.status().to_string(),
-                per_unit,
-                re_per_unit,
-                cell.outcome.detail().to_string(),
-            ]);
+            write_csv_row(
+                out,
+                &[
+                    cell.node.clone(),
+                    format!("{}", cell.area_mm2),
+                    cell.quantity.to_string(),
+                    cell.integration.to_string(),
+                    cell.chiplets.to_string(),
+                    cell.outcome.status().to_string(),
+                    per_unit,
+                    re_per_unit,
+                    cell.outcome.detail().to_string(),
+                ],
+            )?;
         }
-        write_csv(&records)
+        Ok(())
+    }
+
+    /// Renders the full grid as CSV (delegates to [`Self::write_csv_to`]).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        self.write_csv_to(&mut out)
+            .expect("writing to a String cannot fail");
+        out
     }
 
     /// Renders the winner table as CSV, one row per (node, area, quantity)
@@ -481,24 +515,16 @@ impl fmt::Display for ExploreResult {
     }
 }
 
-/// One pre-expanded unit of work: the resolved coordinates of a grid cell.
-struct CellCoord<'a> {
-    node: &'a str,
-    area_mm2: f64,
-    area: Area,
-    quantity: u64,
-    integration: IntegrationKind,
-    chiplets: u32,
-}
-
-/// Evaluates every cell of `space` through the optimizer's
-/// [`evaluate_candidate`] path, on `threads` worker threads (`0` = the
-/// machine's available parallelism).
+/// Evaluates every cell of `space` through the cached RE-core engine, on
+/// `threads` worker threads (`0` = the machine's available parallelism).
 ///
-/// Cells are pulled from a pre-expanded work list via an atomic index, so
-/// the split adapts to whatever cells turn out to be slow; results are
-/// reassembled in grid order, making the output independent of the thread
-/// count.
+/// Cells are pulled from a pre-expanded work list in small chunks via an
+/// atomic index, so the split adapts to whatever cells turn out to be
+/// slow; results are reassembled in grid order, making the output
+/// independent of the thread count. One RE/NRE core is evaluated per
+/// distinct (node, area, integration, chiplet count) geometry and
+/// re-amortized per quantity — byte-identical to evaluating every cell
+/// from scratch, at a third of the work on the default grid.
 ///
 /// # Errors
 ///
@@ -512,130 +538,57 @@ pub fn explore(
     space: &ExploreSpace,
     threads: usize,
 ) -> Result<ExploreResult, ArchError> {
+    explore_with(lib, space, threads, CorePolicy::Cached)
+}
+
+/// [`explore`] under an explicit [`CorePolicy`] — [`CorePolicy::Uncached`]
+/// is the evaluate-every-cell reference path the cache is tested against.
+///
+/// # Errors
+///
+/// Same conditions as [`explore`].
+pub fn explore_with(
+    lib: &TechLibrary,
+    space: &ExploreSpace,
+    threads: usize,
+    policy: CorePolicy,
+) -> Result<ExploreResult, ArchError> {
     space.validate()?;
     // Resolve every node up front: an unknown id is a caller error, and
     // catching it here keeps the workers infallible on lookups.
     for id in &space.nodes {
         lib.node(id).map_err(ArchError::Tech)?;
     }
-
-    // Pre-expand the Cartesian grid in its canonical order.
-    let mut coords = Vec::with_capacity(space.len());
-    for node in &space.nodes {
-        for &area_mm2 in &space.areas_mm2 {
-            let area = Area::from_mm2(area_mm2)?;
-            for &quantity in &space.quantities {
-                for &integration in &space.integrations {
-                    for &chiplets in &space.chiplet_counts {
-                        coords.push(CellCoord {
-                            node,
-                            area_mm2,
-                            area,
-                            quantity,
-                            integration,
-                            chiplets,
-                        });
-                    }
-                }
-            }
-        }
-    }
-
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-    .min(coords.len())
-    .max(1);
-
-    let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, Result<CellOutcome, ArchError>)>> =
-        Mutex::new(Vec::with_capacity(coords.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut local = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(coord) = coords.get(i) else { break };
-                    local.push((i, evaluate_cell(lib, coord, space.flow)));
-                }
-                collected
-                    .lock()
-                    .expect("a worker panicked while holding the result lock")
-                    .extend(local);
-            });
-        }
-    });
-
-    let mut outcomes = collected
-        .into_inner()
-        .expect("a worker panicked while holding the result lock");
-    // Grid order regardless of which worker evaluated which cell.
-    outcomes.sort_unstable_by_key(|(i, _)| *i);
-    debug_assert_eq!(outcomes.len(), coords.len());
-
-    let mut cells = Vec::with_capacity(coords.len());
-    for ((_, outcome), coord) in outcomes.into_iter().zip(&coords) {
-        cells.push(ExploreCell {
-            node: coord.node.to_string(),
-            area_mm2: coord.area_mm2,
-            quantity: coord.quantity,
-            integration: coord.integration,
-            chiplets: coord.chiplets,
-            outcome: outcome?,
-        });
-    }
+    // The portfolio engine with one scheme (standalone systems) and one
+    // flow *is* the single-system engine; its grid order (node → area →
+    // quantity → integration → chiplets → flow → scheme) degenerates to
+    // this module's documented order.
+    let lifted = PortfolioSpace::from_single_system(space);
+    let result = explore_portfolio_with(lib, &lifted, threads, policy)?;
+    let cells = result
+        .cells
+        .into_iter()
+        .map(|c| ExploreCell {
+            node: c.node,
+            area_mm2: c.area_mm2,
+            quantity: c.quantity,
+            integration: c.integration,
+            chiplets: c.chiplets,
+            outcome: c.outcome,
+        })
+        .collect();
     Ok(ExploreResult {
         space: space.clone(),
         cells,
-        threads,
+        threads: result.threads,
+        core_evaluations: result.core_evaluations,
     })
-}
-
-/// Costs one cell, folding geometric infeasibility into the outcome and
-/// letting unexpected engine errors surface.
-fn evaluate_cell(
-    lib: &TechLibrary,
-    coord: &CellCoord<'_>,
-    flow: AssemblyFlow,
-) -> Result<CellOutcome, ArchError> {
-    if !coord.integration.is_multi_chip() && coord.chiplets != 1 {
-        return Ok(CellOutcome::Incompatible(format!(
-            "monolithic {} cannot hold {} chiplets",
-            coord.integration, coord.chiplets
-        )));
-    }
-    if coord.integration.is_multi_chip() && coord.chiplets < 2 {
-        return Ok(CellOutcome::Incompatible(format!(
-            "{} needs at least 2 chiplets (a single die has no D2D interface)",
-            coord.integration
-        )));
-    }
-    match evaluate_candidate(
-        lib,
-        coord.node,
-        coord.area,
-        Quantity::new(coord.quantity),
-        coord.integration,
-        coord.chiplets,
-        flow,
-    ) {
-        Ok(candidate) => Ok(CellOutcome::Feasible(candidate)),
-        // Infeasible geometry (die too large, zero yield): recorded, not
-        // dropped — the grid stays exhaustive.
-        Err(ArchError::Model(e)) => Ok(CellOutcome::Infeasible(e.to_string())),
-        Err(ArchError::Yield(e)) => Ok(CellOutcome::Infeasible(e.to_string())),
-        Err(e) => Err(e),
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use actuary_units::Quantity;
 
     fn lib() -> TechLibrary {
         TechLibrary::paper_defaults().unwrap()

@@ -48,10 +48,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod crossover;
+mod engine;
 pub mod explore;
 pub mod maturity;
 pub mod optimizer;
 pub mod pareto;
+pub mod portfolio;
 pub mod sensitivity;
 pub mod sweep;
 

@@ -9,7 +9,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use actuary_arch::{partition::equal_chiplets, ArchError, Portfolio, System};
+use actuary_arch::{partition::equal_chiplets, ArchError, Portfolio, PortfolioCore, System};
 use actuary_model::AssemblyFlow;
 use actuary_tech::{IntegrationKind, TechLibrary};
 use actuary_units::{Area, Money, Quantity};
@@ -108,9 +108,73 @@ impl fmt::Display for Recommendation {
     }
 }
 
+/// The quantity-independent part of one candidate evaluation: the RE
+/// breakdown and NRE entity totals of the configured system, computed once
+/// and re-amortizable over any production quantity.
+///
+/// This is the expensive half of [`evaluate_candidate`] (yield models,
+/// wafer gridding); [`CandidateCore::at_quantity`] is the cheap half.
+/// Exploration grids cache cores keyed on geometry, which removes the
+/// quantity axis from the evaluation cost entirely.
+#[derive(Debug, Clone)]
+pub struct CandidateCore {
+    integration: IntegrationKind,
+    chiplets: u32,
+    core: PortfolioCore,
+}
+
+impl CandidateCore {
+    /// Amortizes the cached core at `quantity`, producing the same
+    /// [`Candidate`] as [`evaluate_candidate`] — byte for byte, because
+    /// both run the identical [`PortfolioCore`] arithmetic.
+    pub fn at_quantity(&self, quantity: Quantity) -> Candidate {
+        let cost = self.core.amortize_at(quantity);
+        let sc = &cost.systems()[0];
+        Candidate {
+            integration: self.integration,
+            chiplets: self.chiplets,
+            per_unit: sc.per_unit_total(),
+            re_per_unit: sc.re().total(),
+        }
+    }
+}
+
+/// Computes the quantity-independent [`CandidateCore`] of one
+/// (integration, chiplet count) configuration of a single system with
+/// `module_area` of logic at `node_id`.
+///
+/// # Errors
+///
+/// Propagates architecture and cost-engine errors.
+pub fn candidate_core(
+    lib: &TechLibrary,
+    node_id: &str,
+    module_area: Area,
+    integration: IntegrationKind,
+    chiplets: u32,
+    flow: AssemblyFlow,
+) -> Result<CandidateCore, ArchError> {
+    let chips = equal_chiplets("opt", node_id, module_area, chiplets)?;
+    let mut builder = System::builder("opt-sys", integration);
+    for chip in chips {
+        builder = builder.chip(chip, 1);
+    }
+    let system = builder.build()?;
+    let core = Portfolio::new(vec![system]).core(lib, flow)?;
+    Ok(CandidateCore {
+        integration,
+        chiplets,
+        core,
+    })
+}
+
 /// Evaluates one (integration, chiplet count) configuration of a single
 /// system with `module_area` of logic at `node_id`, producing its per-unit
 /// total cost at `quantity`.
+///
+/// Implemented as [`candidate_core`] followed by
+/// [`CandidateCore::at_quantity`], so grids that cache the core across
+/// quantities reproduce this function exactly.
 ///
 /// # Errors
 ///
@@ -124,20 +188,10 @@ pub fn evaluate_candidate(
     chiplets: u32,
     flow: AssemblyFlow,
 ) -> Result<Candidate, ArchError> {
-    let chips = equal_chiplets("opt", node_id, module_area, chiplets)?;
-    let mut builder = System::builder("opt-sys", integration).quantity(quantity);
-    for chip in chips {
-        builder = builder.chip(chip, 1);
-    }
-    let system = builder.build()?;
-    let cost = Portfolio::new(vec![system]).cost(lib, flow)?;
-    let sc = &cost.systems()[0];
-    Ok(Candidate {
-        integration,
-        chiplets,
-        per_unit: sc.per_unit_total(),
-        re_per_unit: sc.re().total(),
-    })
+    Ok(
+        candidate_core(lib, node_id, module_area, integration, chiplets, flow)?
+            .at_quantity(quantity),
+    )
 }
 
 /// Searches the space and returns the cheapest configuration for a single
@@ -187,7 +241,13 @@ pub fn recommend(
     }
     for &kind in &space.integrations {
         for &n in &space.chiplet_counts {
-            if n < 1 || (!kind.is_multi_chip() && n != 1) {
+            // Incompatible axis combinations are skipped the way `explore`
+            // records them: a monolithic kind holds exactly one die, and a
+            // multi-chip kind needs at least two (a single die has no D2D
+            // interface — `equal_chiplets` would hand the system builder a
+            // D2D-less chip and the whole search used to hard-error).
+            let compatible = if kind.is_multi_chip() { n >= 2 } else { n == 1 };
+            if !compatible {
                 continue;
             }
             match evaluate_candidate(lib, node_id, module_area, quantity, kind, n, space.flow) {
@@ -373,6 +433,56 @@ mod tests {
         )
         .expect_err("empty chiplet-count axis must be rejected");
         assert!(err.to_string().contains("chiplet count"), "{err}");
+    }
+
+    #[test]
+    fn multi_chip_space_with_single_chiplet_count_is_searchable() {
+        // Regression: a search space listing 1 among the chiplet counts of
+        // a multi-chip kind used to hard-error the whole `recommend` call
+        // (`equal_chiplets` produced a D2D-less die the system builder
+        // rejected). `explore` records such cells as incompatible; the
+        // optimizer now skips them the same way.
+        let space = SearchSpace {
+            chiplet_counts: vec![1, 2, 3],
+            integrations: IntegrationKind::MULTI_CHIP.to_vec(),
+            flow: AssemblyFlow::ChipLast,
+        };
+        let rec = recommend(&lib(), "7nm", area(400.0), Quantity::new(2_000_000), &space)
+            .expect("multi-chip × 1 cells must be skipped, not fatal");
+        // The SoC baseline + 3 kinds × {2, 3}: the ×1 cells add nothing.
+        assert_eq!(rec.candidates.len(), 1 + 3 * 2);
+        assert!(rec
+            .candidates
+            .iter()
+            .all(|c| c.integration == IntegrationKind::Soc || c.chiplets >= 2));
+    }
+
+    #[test]
+    fn candidate_core_amortizes_identically_to_direct_evaluation() {
+        let lib = lib();
+        let core = candidate_core(
+            &lib,
+            "5nm",
+            area(800.0),
+            IntegrationKind::Mcm,
+            3,
+            AssemblyFlow::ChipLast,
+        )
+        .unwrap();
+        for qty in [1u64, 500_000, 10_000_000] {
+            let cached = core.at_quantity(Quantity::new(qty));
+            let direct = evaluate_candidate(
+                &lib,
+                "5nm",
+                area(800.0),
+                Quantity::new(qty),
+                IntegrationKind::Mcm,
+                3,
+                AssemblyFlow::ChipLast,
+            )
+            .unwrap();
+            assert_eq!(cached, direct, "quantity {qty}");
+        }
     }
 
     #[test]

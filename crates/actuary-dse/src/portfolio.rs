@@ -1,0 +1,1404 @@
+//! Portfolio-grid exploration: the paper's reuse schemes as a search axis.
+//!
+//! [`crate::explore`] grids *single systems* — it answers "how should one
+//! chip be built", not the paper's headline question "how much does chiplet
+//! *reuse across derivative systems* save" (§5, Figures 8–10). This module
+//! crosses the single-system axes with two more:
+//!
+//! * a **reuse-scheme axis** ([`ReuseScheme`]): the standalone baseline
+//!   plus the paper's SCMS, OCME and FSMC schemes, built from
+//!   [`actuary_arch::reuse`] — each grid cell is one member system of the
+//!   scheme's derivative family, with the family's shared module, chip,
+//!   package and D2D NRE amortized by [`actuary_arch::Portfolio`];
+//! * a **flow axis**: chip-first vs chip-last is a per-cell coordinate
+//!   instead of a whole-grid scalar, exposing the §5 flow comparison
+//!   mechanically.
+//!
+//! # Cell semantics
+//!
+//! Every cell keeps the single-system reading of its coordinates: `area`
+//! is the member system's total module area and `chiplets` its chiplet
+//! count. The scheme decides what *family* that member amortizes NRE with:
+//!
+//! | scheme | family | member selected by `chiplets` |
+//! |--------|--------|-------------------------------|
+//! | `none` | the member alone (PR-2 semantics) | any count |
+//! | `scms` | one chiplet design of `area/chiplets` builds every multiplicity in [`PortfolioSpace::scms_multiplicities`] | a listed multiplicity |
+//! | `ocme` | centre + extensions of `area/chiplets` sockets (`C`, `C+1X`, `C+1X+1Y`, `C+2X+2Y`) | 1, 2, 3 or 5 chips |
+//! | `fsmc` | every collocation of [`PortfolioSpace::fsmc_chiplet_types`] types in a [`PortfolioSpace::fsmc_sockets`]-socket package | a collocation size `1..=sockets` |
+//!
+//! A cell whose `chiplets` is not a member of its scheme's family is
+//! recorded as incompatible, never dropped. Under the `Soc` integration a
+//! scheme cell is the family's *monolithic baseline* member (one SoC die
+//! per derivative, module reuse only — the comparison bar of Figs. 8–10).
+//!
+//! # The cached RE core
+//!
+//! The expensive half of a cell (RE: yield models, wafer gridding; NRE
+//! entity totals) depends only on (scheme, node, per-socket area,
+//! integration, flow) — not on quantity, and not on which family member
+//! the cell reads out. The engine therefore evaluates one
+//! [`actuary_arch::PortfolioCore`] per distinct key and re-amortizes it
+//! per quantity, which removes the quantity axis (and the member axis of
+//! the reuse families) from the evaluation cost: on the default grid this
+//! is ~3× fewer full evaluations, with byte-identical output because
+//! [`actuary_arch::Portfolio::cost`] itself is core + amortize.
+//! [`CorePolicy::Uncached`] keeps the reference path alive for tests.
+//!
+//! Work is pulled in small chunks from an atomic index (the shared
+//! chunked engine), and results are reassembled in grid order: one
+//! thread and N threads emit byte-identical CSV.
+//!
+//! # Examples
+//!
+//! ```
+//! use actuary_dse::portfolio::{explore_portfolio, PortfolioSpace, ReuseScheme};
+//! use actuary_tech::TechLibrary;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = TechLibrary::paper_defaults()?;
+//! let space = PortfolioSpace {
+//!     nodes: vec!["7nm".to_string()],
+//!     areas_mm2: vec![400.0, 800.0],
+//!     quantities: vec![500_000],
+//!     ..PortfolioSpace::default()
+//! };
+//! let result = explore_portfolio(&lib, &space, 2)?;
+//! assert_eq!(result.len(), space.len());
+//! assert!(result.core_evaluations() < result.len());
+//! for winner in result.winners(ReuseScheme::Scms) {
+//!     println!("{winner}");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use actuary_arch::reuse::{FsmcSpec, OcmeSpec, ScmsSpec};
+use actuary_arch::{ArchError, PortfolioCore, PortfolioCost};
+use actuary_model::AssemblyFlow;
+use actuary_tech::{IntegrationKind, NodeId, TechLibrary};
+use actuary_units::{write_csv, write_csv_row, Area, Quantity};
+
+use crate::engine::{resolve_threads, run_chunked};
+use crate::explore::CellOutcome;
+use crate::optimizer::{candidate_core, Candidate, CandidateCore};
+use crate::pareto::pareto_min_indices;
+
+/// How a grid cell's NRE is shared across derivative systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ReuseScheme {
+    /// No cross-derivative reuse: the cell is a standalone single system
+    /// (the monolithic-portfolio baseline, PR-2's `explore` semantics).
+    None,
+    /// *Single Chiplet Multiple Systems* (§5.1, Figure 8).
+    Scms,
+    /// *One Center Multiple Extensions* (§5.2, Figure 9).
+    Ocme,
+    /// *A few Sockets Multiple Collocations* (§5.3, Figure 10).
+    Fsmc,
+}
+
+impl ReuseScheme {
+    /// Every scheme, in display order.
+    pub const ALL: [ReuseScheme; 4] = [
+        ReuseScheme::None,
+        ReuseScheme::Scms,
+        ReuseScheme::Ocme,
+        ReuseScheme::Fsmc,
+    ];
+
+    /// Stable lower-case label (used in CSV and on the CLI).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReuseScheme::None => "none",
+            ReuseScheme::Scms => "scms",
+            ReuseScheme::Ocme => "ocme",
+            ReuseScheme::Fsmc => "fsmc",
+        }
+    }
+}
+
+impl fmt::Display for ReuseScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The portfolio exploration grid: the Cartesian product of every axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortfolioSpace {
+    /// Process-node identifiers to explore (must exist in the library).
+    pub nodes: Vec<String>,
+    /// Total module areas of the member system, in mm².
+    pub areas_mm2: Vec<f64>,
+    /// Production quantities (per derivative system).
+    pub quantities: Vec<u64>,
+    /// Integration schemes (`Soc` selects the reuse family's monolithic
+    /// baseline portfolio).
+    pub integrations: Vec<IntegrationKind>,
+    /// Chiplet counts of the member system.
+    pub chiplet_counts: Vec<u32>,
+    /// Assembly flows — a per-cell axis, not a scalar.
+    pub flows: Vec<AssemblyFlow>,
+    /// Reuse schemes.
+    pub schemes: Vec<ReuseScheme>,
+    /// SCMS family multiplicities (the paper's 1X/2X/4X).
+    pub scms_multiplicities: Vec<u32>,
+    /// FSMC package sockets `k`.
+    pub fsmc_sockets: u32,
+    /// FSMC chiplet types `n`.
+    pub fsmc_chiplet_types: u32,
+}
+
+impl Default for PortfolioSpace {
+    /// The §6 replication grid crossed with all four schemes under the
+    /// paper's chip-last flow — 6,480 cells (~4× the single-system grid).
+    fn default() -> Self {
+        PortfolioSpace {
+            nodes: vec!["14nm".to_string(), "7nm".to_string(), "5nm".to_string()],
+            areas_mm2: (1..=9).map(|i| i as f64 * 100.0).collect(),
+            quantities: vec![500_000, 2_000_000, 10_000_000],
+            integrations: IntegrationKind::ALL.to_vec(),
+            chiplet_counts: vec![1, 2, 3, 4, 5],
+            flows: vec![AssemblyFlow::ChipLast],
+            schemes: ReuseScheme::ALL.to_vec(),
+            scms_multiplicities: vec![1, 2, 4],
+            fsmc_sockets: 4,
+            fsmc_chiplet_types: 4,
+        }
+    }
+}
+
+impl PortfolioSpace {
+    /// The single-system space `space`, lifted into a one-scheme
+    /// one-flow portfolio space — [`crate::explore::explore`] runs on the
+    /// portfolio engine through this conversion.
+    pub fn from_single_system(space: &crate::explore::ExploreSpace) -> Self {
+        PortfolioSpace {
+            nodes: space.nodes.clone(),
+            areas_mm2: space.areas_mm2.clone(),
+            quantities: space.quantities.clone(),
+            integrations: space.integrations.clone(),
+            chiplet_counts: space.chiplet_counts.clone(),
+            flows: vec![space.flow],
+            schemes: vec![ReuseScheme::None],
+            ..PortfolioSpace::default()
+        }
+    }
+
+    /// The number of grid cells (product of the axis lengths).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+            * self.areas_mm2.len()
+            * self.quantities.len()
+            * self.integrations.len()
+            * self.chiplet_counts.len()
+            * self.flows.len()
+            * self.schemes.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validates every axis independently (an empty axis must error, not
+    /// silently collapse the grid) plus the scheme family parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidArchitecture`] naming the offending
+    /// axis, or [`ArchError::Unit`] for a non-finite area.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        let axis_err = |axis: &str| ArchError::InvalidArchitecture {
+            reason: format!("portfolio exploration space has no {axis}"),
+        };
+        if self.nodes.is_empty() {
+            return Err(axis_err("nodes"));
+        }
+        if self.areas_mm2.is_empty() {
+            return Err(axis_err("areas"));
+        }
+        if self.quantities.is_empty() {
+            return Err(axis_err("quantities"));
+        }
+        if self.integrations.is_empty() {
+            return Err(axis_err("integration kinds"));
+        }
+        if self.chiplet_counts.is_empty() {
+            return Err(axis_err("chiplet counts"));
+        }
+        if self.flows.is_empty() {
+            return Err(axis_err("assembly flows"));
+        }
+        if self.schemes.is_empty() {
+            return Err(axis_err("reuse schemes"));
+        }
+        for &mm2 in &self.areas_mm2 {
+            Area::from_mm2(mm2)?;
+        }
+        if self.chiplet_counts.contains(&0) {
+            return Err(ArchError::InvalidArchitecture {
+                reason: "chiplet count must be at least 1, got 0".to_string(),
+            });
+        }
+        if self.schemes.contains(&ReuseScheme::Scms) {
+            if self.scms_multiplicities.is_empty() {
+                return Err(axis_err("SCMS multiplicities"));
+            }
+            if self.scms_multiplicities.contains(&0) {
+                return Err(ArchError::InvalidArchitecture {
+                    reason: "SCMS multiplicity must be at least 1, got 0".to_string(),
+                });
+            }
+            let unique: std::collections::BTreeSet<u32> =
+                self.scms_multiplicities.iter().copied().collect();
+            if unique.len() != self.scms_multiplicities.len() {
+                return Err(ArchError::InvalidArchitecture {
+                    reason: format!(
+                        "SCMS multiplicities must be distinct, got {:?}",
+                        self.scms_multiplicities
+                    ),
+                });
+            }
+        }
+        if self.schemes.contains(&ReuseScheme::Fsmc)
+            && (self.fsmc_sockets == 0 || self.fsmc_chiplet_types == 0)
+        {
+            return Err(ArchError::InvalidArchitecture {
+                reason: "FSMC needs at least one socket and one chiplet type".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Whether the engine may share one RE/NRE core evaluation across every
+/// cell with the same geometry key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorePolicy {
+    /// Share cores across cells that differ only in quantity or family
+    /// member — the default, ~3× fewer full evaluations on the default
+    /// grid with byte-identical output.
+    Cached,
+    /// Evaluate every cell from scratch. The reference path the cache is
+    /// tested against; it exists so the byte-identity claim stays a
+    /// mechanical assertion instead of an argument.
+    Uncached,
+}
+
+/// One evaluated portfolio-grid cell: its coordinates plus the outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioCell {
+    /// Process-node identifier.
+    pub node: String,
+    /// Total module area of the member system in mm².
+    pub area_mm2: f64,
+    /// Production quantity (per derivative system).
+    pub quantity: u64,
+    /// Integration scheme.
+    pub integration: IntegrationKind,
+    /// Chiplet count of the member system.
+    pub chiplets: u32,
+    /// Assembly flow.
+    pub flow: AssemblyFlow,
+    /// Reuse scheme.
+    pub scheme: ReuseScheme,
+    /// What evaluation produced.
+    pub outcome: CellOutcome,
+}
+
+/// The cheapest feasible configuration of one (node, area, quantity)
+/// operating point *under one reuse scheme* — one row of the per-scheme
+/// takeaway tables that replay Figs. 8–10 at grid scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeWinner {
+    /// The scheme this row summarizes.
+    pub scheme: ReuseScheme,
+    /// Process-node identifier.
+    pub node: String,
+    /// Total module area in mm².
+    pub area_mm2: f64,
+    /// Production quantity.
+    pub quantity: u64,
+    /// The cheapest feasible candidate and its flow, or `None` when every
+    /// configuration of this operating point was infeasible under the
+    /// scheme.
+    pub best: Option<(Candidate, AssemblyFlow)>,
+    /// Relative saving of the winner vs the *monolithic implementation of
+    /// the same system* (the scheme's SoC-baseline cell with the winner's
+    /// chiplet count — for `none`, the one-die SoC): `0.25` = 25 % cheaper.
+    /// `None` when that baseline is absent or infeasible.
+    pub saving_vs_soc: Option<f64>,
+}
+
+impl SchemeWinner {
+    /// The saving rendered as a signed cost-change percentage
+    /// (`"-13.6%"` = 13.6 % cheaper than the monolithic baseline).
+    pub fn saving_vs_soc_display(&self) -> Option<String> {
+        // `+ 0.0` folds the negative zero of a SoC winner to "+0.0%".
+        self.saving_vs_soc
+            .map(|s| format!("{:+.1}%", -s * 100.0 + 0.0))
+    }
+}
+
+impl fmt::Display for SchemeWinner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.best {
+            Some((c, flow)) => {
+                write!(
+                    f,
+                    "[{}] {} / {:.0} mm² / {} units: {} × {} chiplets ({flow}) at {} / unit",
+                    self.scheme,
+                    self.node,
+                    self.area_mm2,
+                    self.quantity,
+                    c.integration,
+                    c.chiplets,
+                    c.per_unit
+                )?;
+                if let Some(saving) = self.saving_vs_soc_display() {
+                    write!(f, " ({saving} vs SoC)")?;
+                }
+                Ok(())
+            }
+            None => write!(
+                f,
+                "[{}] {} / {:.0} mm² / {} units: no feasible configuration",
+                self.scheme, self.node, self.area_mm2, self.quantity
+            ),
+        }
+    }
+}
+
+/// The outcome of [`explore_portfolio`]: every cell in grid order plus the
+/// post-processed per-scheme views.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioResult {
+    pub(crate) space: PortfolioSpace,
+    pub(crate) cells: Vec<PortfolioCell>,
+    pub(crate) threads: usize,
+    pub(crate) core_evaluations: usize,
+}
+
+impl PortfolioResult {
+    /// The space that was explored.
+    pub fn space(&self) -> &PortfolioSpace {
+        &self.space
+    }
+
+    /// Every cell, in deterministic grid order (node → area → quantity →
+    /// integration → chiplet count → flow → scheme).
+    pub fn cells(&self) -> &[PortfolioCell] {
+        &self.cells
+    }
+
+    /// The number of grid cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid has no cells (never true for a validated space).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The number of worker threads the evaluation ran on.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// How many full RE/NRE core evaluations the run performed — the
+    /// denominator of the caching claim: under [`CorePolicy::Cached`] this
+    /// is the number of *distinct* geometry keys, under
+    /// [`CorePolicy::Uncached`] the number of evaluable cells.
+    pub fn core_evaluations(&self) -> usize {
+        self.core_evaluations
+    }
+
+    /// The cells that were costed successfully.
+    pub fn feasible(&self) -> impl Iterator<Item = &PortfolioCell> {
+        self.cells.iter().filter(|c| c.outcome.is_feasible())
+    }
+
+    /// How many cells were costed successfully.
+    pub fn feasible_count(&self) -> usize {
+        self.feasible().count()
+    }
+
+    /// How many cells were recorded infeasible (their own geometry, or a
+    /// sibling of their reuse family, cannot be manufactured).
+    pub fn infeasible_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Infeasible(_)))
+            .count()
+    }
+
+    /// How many cells combined contradictory axes (SoC × several chiplets,
+    /// a chiplet count outside the scheme's family).
+    pub fn incompatible_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Incompatible(_)))
+            .count()
+    }
+
+    /// The per-(node, area, quantity) winner table of one scheme; every
+    /// operating point is reported, feasible or not.
+    pub fn winners(&self, scheme: ReuseScheme) -> Vec<SchemeWinner> {
+        let block = self.space.integrations.len()
+            * self.space.chiplet_counts.len()
+            * self.space.flows.len()
+            * self.space.schemes.len();
+        self.cells
+            .chunks(block)
+            .map(|cells| {
+                let head = &cells[0];
+                let scheme_cells: Vec<&PortfolioCell> =
+                    cells.iter().filter(|c| c.scheme == scheme).collect();
+                let best_cell = scheme_cells
+                    .iter()
+                    .filter(|c| c.outcome.is_feasible())
+                    .min_by(|a, b| {
+                        let (ca, cb) = (
+                            a.outcome.candidate().expect("feasible cells carry one"),
+                            b.outcome.candidate().expect("feasible cells carry one"),
+                        );
+                        ca.per_unit
+                            .partial_cmp(&cb.per_unit)
+                            .expect("costs are finite")
+                    })
+                    .copied();
+                let saving_vs_soc = best_cell.and_then(|bc| {
+                    let best = bc.outcome.candidate().expect("feasible");
+                    let baseline_chiplets = match scheme {
+                        ReuseScheme::None => 1,
+                        _ => bc.chiplets,
+                    };
+                    let soc = scheme_cells
+                        .iter()
+                        .find(|c| {
+                            c.integration == IntegrationKind::Soc
+                                && c.chiplets == baseline_chiplets
+                                && c.flow == bc.flow
+                        })
+                        .and_then(|c| c.outcome.candidate());
+                    match soc {
+                        Some(s) if s.per_unit.usd() > 0.0 => {
+                            Some((s.per_unit.usd() - best.per_unit.usd()) / s.per_unit.usd())
+                        }
+                        _ => None,
+                    }
+                });
+                SchemeWinner {
+                    scheme,
+                    node: head.node.clone(),
+                    area_mm2: head.area_mm2,
+                    quantity: head.quantity,
+                    best: best_cell
+                        .map(|c| (c.outcome.candidate().expect("feasible").clone(), c.flow)),
+                    saving_vs_soc,
+                }
+            })
+            .collect()
+    }
+
+    /// The winner tables of every scheme in the space, concatenated in
+    /// scheme order.
+    pub fn all_winners(&self) -> Vec<SchemeWinner> {
+        self.space
+            .schemes
+            .iter()
+            .flat_map(|&s| self.winners(s))
+            .collect()
+    }
+
+    /// The Pareto front of one scheme over (per-unit cost, chiplet count),
+    /// minimizing both; ascending per-unit-cost order.
+    pub fn pareto_front(&self, scheme: ReuseScheme) -> Vec<&PortfolioCell> {
+        let feasible: Vec<&PortfolioCell> =
+            self.feasible().filter(|c| c.scheme == scheme).collect();
+        let points: Vec<(f64, f64)> = feasible
+            .iter()
+            .map(|c| {
+                let candidate = c.outcome.candidate().expect("feasible cells carry one");
+                (candidate.per_unit.usd(), f64::from(c.chiplets))
+            })
+            .collect();
+        pareto_min_indices(&points)
+            .into_iter()
+            .map(|i| feasible[i])
+            .collect()
+    }
+
+    /// Streams the full grid as CSV into `out`, one row per cell in grid
+    /// order, without materializing the document — byte-identical across
+    /// thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's [`fmt::Error`] (infallible for `String`).
+    pub fn write_csv_to<W: fmt::Write + ?Sized>(&self, out: &mut W) -> fmt::Result {
+        write_csv_row(
+            out,
+            &[
+                "node",
+                "area_mm2",
+                "quantity",
+                "integration",
+                "chiplets",
+                "flow",
+                "scheme",
+                "status",
+                "per_unit_usd",
+                "re_per_unit_usd",
+                "detail",
+            ],
+        )?;
+        for cell in &self.cells {
+            let (per_unit, re_per_unit) = match cell.outcome.candidate() {
+                Some(c) => (
+                    format!("{:.6}", c.per_unit.usd()),
+                    format!("{:.6}", c.re_per_unit.usd()),
+                ),
+                None => (String::new(), String::new()),
+            };
+            write_csv_row(
+                out,
+                &[
+                    cell.node.clone(),
+                    format!("{}", cell.area_mm2),
+                    cell.quantity.to_string(),
+                    cell.integration.to_string(),
+                    cell.chiplets.to_string(),
+                    cell.flow.to_string(),
+                    cell.scheme.to_string(),
+                    cell.outcome.status().to_string(),
+                    per_unit,
+                    re_per_unit,
+                    cell.outcome.detail().to_string(),
+                ],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Renders the full grid as CSV (delegates to [`Self::write_csv_to`]).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        self.write_csv_to(&mut out)
+            .expect("writing to a String cannot fail");
+        out
+    }
+
+    /// Renders every scheme's winner table as CSV.
+    pub fn winners_to_csv(&self) -> String {
+        let mut records = Vec::new();
+        records.push(
+            [
+                "scheme",
+                "node",
+                "area_mm2",
+                "quantity",
+                "integration",
+                "chiplets",
+                "flow",
+                "per_unit_usd",
+                "saving_vs_soc",
+            ]
+            .map(str::to_string)
+            .to_vec(),
+        );
+        for w in self.all_winners() {
+            let (integration, chiplets, flow, per_unit) = match &w.best {
+                Some((c, flow)) => (
+                    c.integration.to_string(),
+                    c.chiplets.to_string(),
+                    flow.to_string(),
+                    format!("{:.6}", c.per_unit.usd()),
+                ),
+                None => (String::new(), String::new(), String::new(), String::new()),
+            };
+            records.push(vec![
+                w.scheme.to_string(),
+                w.node.clone(),
+                format!("{}", w.area_mm2),
+                w.quantity.to_string(),
+                integration,
+                chiplets,
+                flow,
+                per_unit,
+                w.saving_vs_soc
+                    .map(|s| format!("{s:.6}"))
+                    .unwrap_or_default(),
+            ]);
+        }
+        write_csv(&records)
+    }
+}
+
+impl fmt::Display for PortfolioResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cells ({} feasible, {} infeasible, {} incompatible) across {} scheme(s) \
+             on {} thread(s), {} core evaluation(s)",
+            self.len(),
+            self.feasible_count(),
+            self.infeasible_count(),
+            self.incompatible_count(),
+            self.space.schemes.len(),
+            self.threads,
+            self.core_evaluations
+        )
+    }
+}
+
+/// The resolved coordinates of one grid cell.
+struct CellCoord<'a> {
+    node: &'a str,
+    area_mm2: f64,
+    quantity: u64,
+    integration: IntegrationKind,
+    chiplets: u32,
+    flow: AssemblyFlow,
+    scheme: ReuseScheme,
+}
+
+/// What phase C has to do for one cell.
+enum CellPlan {
+    /// The axes contradict each other; the reason is final.
+    Incompatible(String),
+    /// Amortize core `spec` at the cell's quantity and read out `member`
+    /// (`None` = the single-system core itself).
+    Eval { spec: usize, member: Option<String> },
+}
+
+/// The deduplication key of one core evaluation. `area_bits` carries the
+/// exact f64 bits of the per-system (scheme `none`) or per-socket (reuse
+/// families) module area, so cells share a core only on *identical*
+/// geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CoreKey {
+    scheme: ReuseScheme,
+    node: usize,
+    area_bits: u64,
+    integration: u8,
+    chiplets: u32,
+    flow: u8,
+}
+
+/// Everything phase B needs to build and evaluate one core.
+struct CoreSpec<'a> {
+    scheme: ReuseScheme,
+    node: &'a str,
+    area: Area,
+    integration: IntegrationKind,
+    chiplets: u32,
+    flow: AssemblyFlow,
+}
+
+/// A computed core: a standalone candidate or a whole reuse family.
+enum CoreValue {
+    Single(CandidateCore),
+    Family(PortfolioCore),
+}
+
+fn integration_rank(kind: IntegrationKind) -> u8 {
+    match kind {
+        IntegrationKind::Soc => 0,
+        IntegrationKind::Mcm => 1,
+        IntegrationKind::Info => 2,
+        IntegrationKind::TwoPointFiveD => 3,
+    }
+}
+
+fn flow_rank(flow: AssemblyFlow) -> u8 {
+    match flow {
+        AssemblyFlow::ChipFirst => 0,
+        AssemblyFlow::ChipLast => 1,
+    }
+}
+
+/// The OCME family's chip counts and member names, in portfolio order.
+const OCME_MEMBERS: [(u32, &str); 4] = [(1, "C"), (2, "C+1X"), (3, "C+1X+1Y"), (5, "C+2X+2Y")];
+
+/// Evaluates every cell of `space` on `threads` worker threads (`0` = the
+/// machine's available parallelism) with core caching enabled.
+///
+/// # Errors
+///
+/// See [`explore_portfolio_with`].
+pub fn explore_portfolio(
+    lib: &TechLibrary,
+    space: &PortfolioSpace,
+    threads: usize,
+) -> Result<PortfolioResult, ArchError> {
+    explore_portfolio_with(lib, space, threads, CorePolicy::Cached)
+}
+
+/// Evaluates every cell of `space` under an explicit [`CorePolicy`].
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidArchitecture`] for an invalid space,
+/// [`ArchError::Tech`] for an unknown node id, and propagates unexpected
+/// engine errors. Per-cell geometric infeasibility and axis contradictions
+/// are recorded in the cells, not raised.
+pub fn explore_portfolio_with(
+    lib: &TechLibrary,
+    space: &PortfolioSpace,
+    threads: usize,
+    policy: CorePolicy,
+) -> Result<PortfolioResult, ArchError> {
+    space.validate()?;
+    for id in &space.nodes {
+        lib.node(id).map_err(ArchError::Tech)?;
+    }
+
+    // --- Phase A: expand the grid, classify cells, dedup core keys. ------
+    let mut coords: Vec<CellCoord<'_>> = Vec::with_capacity(space.len());
+    let mut plans: Vec<CellPlan> = Vec::with_capacity(space.len());
+    let mut specs: Vec<CoreSpec<'_>> = Vec::new();
+    let mut key_index: BTreeMap<CoreKey, usize> = BTreeMap::new();
+    for (node_index, node) in space.nodes.iter().enumerate() {
+        for &area_mm2 in &space.areas_mm2 {
+            for &quantity in &space.quantities {
+                for &integration in &space.integrations {
+                    for &chiplets in &space.chiplet_counts {
+                        for &flow in &space.flows {
+                            for &scheme in &space.schemes {
+                                let coord = CellCoord {
+                                    node,
+                                    area_mm2,
+                                    quantity,
+                                    integration,
+                                    chiplets,
+                                    flow,
+                                    scheme,
+                                };
+                                let plan = plan_cell(
+                                    space,
+                                    node_index,
+                                    &coord,
+                                    policy,
+                                    &mut specs,
+                                    &mut key_index,
+                                )?;
+                                coords.push(coord);
+                                plans.push(plan);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let threads = resolve_threads(threads, coords.len());
+
+    // --- Phase B: evaluate each distinct core once, in parallel. ---------
+    let core_results = run_chunked(&specs, threads, |_, spec| eval_core(lib, space, spec));
+    let mut cores: Vec<Result<CoreValue, String>> = Vec::with_capacity(core_results.len());
+    for result in core_results {
+        match result {
+            Ok(value) => cores.push(Ok(value)),
+            // Infeasible geometry: recorded per referencing cell.
+            Err(ArchError::Model(e)) => cores.push(Err(e.to_string())),
+            Err(ArchError::Yield(e)) => cores.push(Err(e.to_string())),
+            Err(e) => return Err(e),
+        }
+    }
+    let core_evaluations = cores.len();
+
+    // --- Phase C: one amortization per (core, quantity) pair, in ---------
+    // parallel. Cells sharing a core at the same quantity (different
+    // members of one family, or the same geometry under several schemes'
+    // readouts) reuse one amortization instead of redoing the whole-family
+    // allocation each.
+    let mut amort_jobs: Vec<(usize, u64)> = Vec::new();
+    let mut amort_index: BTreeMap<(usize, u64), usize> = BTreeMap::new();
+    for (plan, coord) in plans.iter().zip(&coords) {
+        if let CellPlan::Eval { spec, .. } = plan {
+            amort_index
+                .entry((*spec, coord.quantity))
+                .or_insert_with(|| {
+                    amort_jobs.push((*spec, coord.quantity));
+                    amort_jobs.len() - 1
+                });
+        }
+    }
+    enum Amortized {
+        Single(Candidate),
+        Family(PortfolioCost),
+        /// The core failed; the per-cell reason is cloned from `cores`.
+        Infeasible,
+    }
+    let amortized = run_chunked(&amort_jobs, threads, |_, &(spec, quantity)| {
+        match &cores[spec] {
+            Err(_) => Amortized::Infeasible,
+            Ok(CoreValue::Single(core)) => {
+                Amortized::Single(core.at_quantity(Quantity::new(quantity)))
+            }
+            Ok(CoreValue::Family(core)) => {
+                Amortized::Family(core.amortize_at(Quantity::new(quantity)))
+            }
+        }
+    });
+
+    // --- Member readout: trivial per cell (a name lookup and a clone). ---
+    let cells = coords
+        .into_iter()
+        .zip(&plans)
+        .map(|(coord, plan)| {
+            let outcome = match plan {
+                CellPlan::Incompatible(reason) => CellOutcome::Incompatible(reason.clone()),
+                CellPlan::Eval { spec, member } => {
+                    match &amortized[amort_index[&(*spec, coord.quantity)]] {
+                        Amortized::Infeasible => {
+                            let Err(reason) = &cores[*spec] else {
+                                unreachable!("infeasible amortizations come from failed cores")
+                            };
+                            CellOutcome::Infeasible(reason.clone())
+                        }
+                        Amortized::Single(candidate) => CellOutcome::Feasible(candidate.clone()),
+                        Amortized::Family(cost) => {
+                            let name = member.as_deref().expect("family plans name their member");
+                            let sc = cost
+                                .system(name)
+                                .expect("the family contains every planned member");
+                            CellOutcome::Feasible(Candidate {
+                                integration: coord.integration,
+                                chiplets: coord.chiplets,
+                                per_unit: sc.per_unit_total(),
+                                re_per_unit: sc.re().total(),
+                            })
+                        }
+                    }
+                }
+            };
+            PortfolioCell {
+                node: coord.node.to_string(),
+                area_mm2: coord.area_mm2,
+                quantity: coord.quantity,
+                integration: coord.integration,
+                chiplets: coord.chiplets,
+                flow: coord.flow,
+                scheme: coord.scheme,
+                outcome,
+            }
+        })
+        .collect();
+    Ok(PortfolioResult {
+        space: space.clone(),
+        cells,
+        threads,
+        core_evaluations,
+    })
+}
+
+/// Classifies one cell and registers its core spec (deduplicated under
+/// [`CorePolicy::Cached`], one spec per cell under
+/// [`CorePolicy::Uncached`]).
+fn plan_cell<'a>(
+    space: &PortfolioSpace,
+    node_index: usize,
+    coord: &CellCoord<'a>,
+    policy: CorePolicy,
+    specs: &mut Vec<CoreSpec<'a>>,
+    key_index: &mut BTreeMap<CoreKey, usize>,
+) -> Result<CellPlan, ArchError> {
+    let soc = coord.integration == IntegrationKind::Soc;
+    let member_suffix = if soc { "-soc" } else { "" };
+    let (area_mm2, key_chiplets, member) = match coord.scheme {
+        ReuseScheme::None => {
+            if !coord.integration.is_multi_chip() && coord.chiplets != 1 {
+                return Ok(CellPlan::Incompatible(format!(
+                    "monolithic {} cannot hold {} chiplets",
+                    coord.integration, coord.chiplets
+                )));
+            }
+            if coord.integration.is_multi_chip() && coord.chiplets < 2 {
+                return Ok(CellPlan::Incompatible(format!(
+                    "{} needs at least 2 chiplets (a single die has no D2D interface)",
+                    coord.integration
+                )));
+            }
+            (coord.area_mm2, coord.chiplets, None)
+        }
+        ReuseScheme::Scms => {
+            if !space.scms_multiplicities.contains(&coord.chiplets) {
+                return Ok(CellPlan::Incompatible(format!(
+                    "SCMS family {:?} has no {}-chiplet member",
+                    space.scms_multiplicities, coord.chiplets
+                )));
+            }
+            (
+                coord.area_mm2 / f64::from(coord.chiplets),
+                0,
+                Some(format!("{}X{member_suffix}", coord.chiplets)),
+            )
+        }
+        ReuseScheme::Ocme => {
+            let Some((_, name)) = OCME_MEMBERS.iter().find(|(n, _)| *n == coord.chiplets) else {
+                return Ok(CellPlan::Incompatible(format!(
+                    "OCME family (C, C+1X, C+1X+1Y, C+2X+2Y) has no {}-chip member",
+                    coord.chiplets
+                )));
+            };
+            (
+                coord.area_mm2 / f64::from(coord.chiplets),
+                0,
+                Some(format!("{name}{member_suffix}")),
+            )
+        }
+        ReuseScheme::Fsmc => {
+            if coord.chiplets > space.fsmc_sockets {
+                return Ok(CellPlan::Incompatible(format!(
+                    "FSMC package has {} sockets, cannot collocate {} chiplets",
+                    space.fsmc_sockets, coord.chiplets
+                )));
+            }
+            // Every size-s collocation of identical-footprint types costs
+            // the same (symmetric usage weights); `sA` is the canonical
+            // read-out member.
+            (
+                coord.area_mm2 / f64::from(coord.chiplets),
+                0,
+                Some(format!("{}A{member_suffix}", coord.chiplets)),
+            )
+        }
+    };
+    let area = Area::from_mm2(area_mm2)?;
+    let spec = CoreSpec {
+        scheme: coord.scheme,
+        node: coord.node,
+        area,
+        integration: coord.integration,
+        chiplets: key_chiplets,
+        flow: coord.flow,
+    };
+    let spec_index = match policy {
+        CorePolicy::Uncached => {
+            specs.push(spec);
+            specs.len() - 1
+        }
+        CorePolicy::Cached => {
+            let key = CoreKey {
+                scheme: coord.scheme,
+                node: node_index,
+                area_bits: area.mm2().to_bits(),
+                integration: integration_rank(coord.integration),
+                chiplets: key_chiplets,
+                flow: flow_rank(coord.flow),
+            };
+            *key_index.entry(key).or_insert_with(|| {
+                specs.push(spec);
+                specs.len() - 1
+            })
+        }
+    };
+    Ok(CellPlan::Eval {
+        spec: spec_index,
+        member,
+    })
+}
+
+/// Evaluates one core: the standalone candidate or the whole reuse family,
+/// at a placeholder quantity of 1 (quantity only enters at amortization).
+fn eval_core(
+    lib: &TechLibrary,
+    space: &PortfolioSpace,
+    spec: &CoreSpec<'_>,
+) -> Result<CoreValue, ArchError> {
+    let soc = spec.integration == IntegrationKind::Soc;
+    match spec.scheme {
+        ReuseScheme::None => Ok(CoreValue::Single(candidate_core(
+            lib,
+            spec.node,
+            spec.area,
+            spec.integration,
+            spec.chiplets,
+            spec.flow,
+        )?)),
+        ReuseScheme::Scms => {
+            let scms = ScmsSpec {
+                chiplet_module_area: spec.area,
+                node: NodeId::new(spec.node),
+                multiplicities: space.scms_multiplicities.clone(),
+                integration: spec.integration,
+                quantity_each: Quantity::new(1),
+                package_reuse: false,
+            };
+            let portfolio = if soc {
+                scms.soc_portfolio()?
+            } else {
+                scms.portfolio()?
+            };
+            Ok(CoreValue::Family(portfolio.core(lib, spec.flow)?))
+        }
+        ReuseScheme::Ocme => {
+            let ocme = OcmeSpec {
+                socket_module_area: spec.area,
+                node: NodeId::new(spec.node),
+                center_node: None,
+                integration: spec.integration,
+                quantity_each: Quantity::new(1),
+                package_reuse: false,
+            };
+            let portfolio = if soc {
+                ocme.soc_portfolio()?
+            } else {
+                ocme.portfolio()?
+            };
+            Ok(CoreValue::Family(portfolio.core(lib, spec.flow)?))
+        }
+        ReuseScheme::Fsmc => {
+            let fsmc = FsmcSpec {
+                sockets: space.fsmc_sockets,
+                chiplet_types: space.fsmc_chiplet_types,
+                socket_module_area: spec.area,
+                node: NodeId::new(spec.node),
+                integration: spec.integration,
+                quantity_each: Quantity::new(1),
+            };
+            let portfolio = if soc {
+                fsmc.soc_portfolio()?
+            } else {
+                fsmc.portfolio()?
+            };
+            Ok(CoreValue::Family(portfolio.core(lib, spec.flow)?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actuary_model::AssemblyFlow;
+
+    fn lib() -> TechLibrary {
+        TechLibrary::paper_defaults().unwrap()
+    }
+
+    fn small_space() -> PortfolioSpace {
+        PortfolioSpace {
+            nodes: vec!["7nm".to_string()],
+            areas_mm2: vec![200.0, 800.0],
+            quantities: vec![500_000, 2_000_000],
+            integrations: vec![IntegrationKind::Soc, IntegrationKind::Mcm],
+            chiplet_counts: vec![1, 2, 3, 4],
+            flows: vec![AssemblyFlow::ChipLast, AssemblyFlow::ChipFirst],
+            schemes: ReuseScheme::ALL.to_vec(),
+            ..PortfolioSpace::default()
+        }
+    }
+
+    #[test]
+    fn default_space_has_the_documented_grid() {
+        let space = PortfolioSpace::default();
+        // nodes × areas × quantities × integrations × counts × flows × schemes
+        assert_eq!(space.len(), 3 * 9 * 3 * 4 * 5 * 4);
+        assert!(!space.is_empty());
+        space.validate().unwrap();
+    }
+
+    #[test]
+    fn every_axis_is_validated_independently() {
+        let base = small_space();
+        let cases: Vec<(PortfolioSpace, &str)> = vec![
+            (
+                PortfolioSpace {
+                    nodes: vec![],
+                    ..base.clone()
+                },
+                "nodes",
+            ),
+            (
+                PortfolioSpace {
+                    flows: vec![],
+                    ..base.clone()
+                },
+                "assembly flows",
+            ),
+            (
+                PortfolioSpace {
+                    schemes: vec![],
+                    ..base.clone()
+                },
+                "reuse schemes",
+            ),
+            (
+                PortfolioSpace {
+                    scms_multiplicities: vec![],
+                    ..base.clone()
+                },
+                "SCMS multiplicities",
+            ),
+        ];
+        for (space, axis) in cases {
+            let err = explore_portfolio(&lib(), &space, 1).expect_err(axis);
+            assert!(err.to_string().contains(axis), "{axis}: {err}");
+        }
+        let dup = PortfolioSpace {
+            scms_multiplicities: vec![1, 2, 2],
+            ..base.clone()
+        };
+        assert!(explore_portfolio(&lib(), &dup, 1).is_err());
+        let fsmc = PortfolioSpace {
+            fsmc_sockets: 0,
+            ..base
+        };
+        assert!(explore_portfolio(&lib(), &fsmc, 1).is_err());
+    }
+
+    #[test]
+    fn grid_is_exhaustive_and_deterministic_across_threads() {
+        let lib = lib();
+        let space = small_space();
+        let serial = explore_portfolio(&lib, &space, 1).unwrap();
+        assert_eq!(serial.len(), space.len());
+        assert_eq!(
+            serial.feasible_count() + serial.infeasible_count() + serial.incompatible_count(),
+            serial.len()
+        );
+        for threads in [2, 4, 8] {
+            let parallel = explore_portfolio(&lib, &space, threads).unwrap();
+            assert_eq!(serial.cells(), parallel.cells(), "threads={threads}");
+            assert_eq!(serial.to_csv(), parallel.to_csv(), "threads={threads}");
+            assert_eq!(serial.winners_to_csv(), parallel.winners_to_csv());
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_agree_byte_for_byte_with_fewer_evaluations() {
+        let lib = lib();
+        let space = small_space();
+        let cached = explore_portfolio_with(&lib, &space, 2, CorePolicy::Cached).unwrap();
+        let uncached = explore_portfolio_with(&lib, &space, 2, CorePolicy::Uncached).unwrap();
+        assert_eq!(cached.cells(), uncached.cells());
+        assert_eq!(cached.to_csv(), uncached.to_csv());
+        assert!(
+            cached.core_evaluations() * 2 <= uncached.core_evaluations(),
+            "cache must at least halve the full evaluations: {} vs {}",
+            cached.core_evaluations(),
+            uncached.core_evaluations()
+        );
+    }
+
+    #[test]
+    fn scms_member_matches_the_direct_reuse_portfolio() {
+        // A cell must read out exactly what costing the ScmsSpec family
+        // directly reports for the same member — the grid adds nothing.
+        let lib = lib();
+        let space = PortfolioSpace {
+            nodes: vec!["7nm".to_string()],
+            areas_mm2: vec![800.0],
+            quantities: vec![500_000],
+            integrations: vec![IntegrationKind::Mcm],
+            chiplet_counts: vec![4],
+            flows: vec![AssemblyFlow::ChipLast],
+            schemes: vec![ReuseScheme::Scms],
+            ..PortfolioSpace::default()
+        };
+        let result = explore_portfolio(&lib, &space, 1).unwrap();
+        assert_eq!(result.feasible_count(), 1);
+        let cell = &result.cells()[0];
+        let grid = cell.outcome.candidate().unwrap();
+
+        let spec = ScmsSpec {
+            chiplet_module_area: Area::from_mm2(200.0).unwrap(),
+            node: NodeId::new("7nm"),
+            multiplicities: vec![1, 2, 4],
+            integration: IntegrationKind::Mcm,
+            quantity_each: Quantity::new(500_000),
+            package_reuse: false,
+        };
+        let direct = spec
+            .portfolio()
+            .unwrap()
+            .cost(&lib, AssemblyFlow::ChipLast)
+            .unwrap();
+        let member = direct.system("4X").unwrap();
+        assert_eq!(grid.per_unit, member.per_unit_total());
+        assert_eq!(grid.re_per_unit, member.re().total());
+    }
+
+    #[test]
+    fn family_membership_is_enforced_per_scheme() {
+        let lib = lib();
+        let space = PortfolioSpace {
+            nodes: vec!["7nm".to_string()],
+            areas_mm2: vec![400.0],
+            quantities: vec![500_000],
+            integrations: vec![IntegrationKind::Mcm],
+            chiplet_counts: vec![3, 5, 6],
+            flows: vec![AssemblyFlow::ChipLast],
+            schemes: vec![ReuseScheme::Scms, ReuseScheme::Ocme, ReuseScheme::Fsmc],
+            ..PortfolioSpace::default()
+        };
+        let result = explore_portfolio(&lib, &space, 1).unwrap();
+        let outcome_of = |chiplets: u32, scheme: ReuseScheme| {
+            &result
+                .cells()
+                .iter()
+                .find(|c| c.chiplets == chiplets && c.scheme == scheme)
+                .unwrap()
+                .outcome
+        };
+        // SCMS family is {1,2,4}: 3, 5 and 6 are all incompatible.
+        for m in [3, 5, 6] {
+            assert!(
+                matches!(
+                    outcome_of(m, ReuseScheme::Scms),
+                    CellOutcome::Incompatible(_)
+                ),
+                "scms x{m}"
+            );
+        }
+        // OCME has a 3-chip (C+1X+1Y) and 5-chip (C+2X+2Y) member, not 6.
+        assert!(outcome_of(3, ReuseScheme::Ocme).is_feasible());
+        assert!(outcome_of(5, ReuseScheme::Ocme).is_feasible());
+        assert!(matches!(
+            outcome_of(6, ReuseScheme::Ocme),
+            CellOutcome::Incompatible(_)
+        ));
+        // FSMC holds up to 4 sockets: size 3 fits, 5 and 6 do not.
+        assert!(outcome_of(3, ReuseScheme::Fsmc).is_feasible());
+        for m in [5, 6] {
+            assert!(
+                matches!(
+                    outcome_of(m, ReuseScheme::Fsmc),
+                    CellOutcome::Incompatible(_)
+                ),
+                "fsmc x{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn reuse_schemes_beat_the_standalone_baseline_at_grid_scale() {
+        // The paper's headline: amortizing NRE across a derivative family
+        // undercuts building each system standalone (Figs. 8-10).
+        let lib = lib();
+        let space = PortfolioSpace {
+            nodes: vec!["7nm".to_string()],
+            areas_mm2: vec![800.0],
+            quantities: vec![500_000],
+            integrations: vec![IntegrationKind::Soc, IntegrationKind::Mcm],
+            // 2 is a member of every family: SCMS 2X, OCME C+1X, FSMC size 2.
+            chiplet_counts: vec![2],
+            flows: vec![AssemblyFlow::ChipLast],
+            schemes: ReuseScheme::ALL.to_vec(),
+            ..PortfolioSpace::default()
+        };
+        let result = explore_portfolio(&lib, &space, 1).unwrap();
+        let per_unit = |scheme: ReuseScheme| {
+            result
+                .cells()
+                .iter()
+                .find(|c| c.scheme == scheme && c.integration == IntegrationKind::Mcm)
+                .and_then(|c| c.outcome.candidate())
+                .map(|c| c.per_unit.usd())
+                .expect("feasible MCM cell")
+        };
+        let standalone = per_unit(ReuseScheme::None);
+        for scheme in [ReuseScheme::Scms, ReuseScheme::Ocme, ReuseScheme::Fsmc] {
+            assert!(
+                per_unit(scheme) < standalone,
+                "{scheme} must amortize NRE below the standalone {standalone}"
+            );
+        }
+    }
+
+    #[test]
+    fn winner_tables_and_pareto_fronts_are_per_scheme() {
+        let lib = lib();
+        let result = explore_portfolio(&lib, &small_space(), 2).unwrap();
+        for &scheme in &ReuseScheme::ALL {
+            let winners = result.winners(scheme);
+            // One row per (node, area, quantity) operating point.
+            assert_eq!(winners.len(), 2 * 2, "{scheme}"); // areas × quantities
+            for w in &winners {
+                assert_eq!(w.scheme, scheme);
+                if let Some((c, _flow)) = &w.best {
+                    assert!(c.per_unit.usd() > 0.0);
+                }
+            }
+            let front = result.pareto_front(scheme);
+            assert!(!front.is_empty(), "{scheme}");
+            assert!(front.iter().all(|c| c.scheme == scheme));
+        }
+        assert_eq!(result.all_winners().len(), 4 * 4);
+    }
+
+    #[test]
+    fn flow_axis_exposes_the_section_5_flow_comparison() {
+        // Chip-first and chip-last cells of the same 2.5D geometry must
+        // differ (the flows price the interposer stage differently — for
+        // interposer-less MCM they coincide by Eq. (5)) and chip-last must
+        // win, the §5 conclusion.
+        let lib = lib();
+        let space = PortfolioSpace {
+            nodes: vec!["7nm".to_string()],
+            areas_mm2: vec![800.0],
+            quantities: vec![2_000_000],
+            integrations: vec![IntegrationKind::TwoPointFiveD],
+            chiplet_counts: vec![4],
+            flows: vec![AssemblyFlow::ChipLast, AssemblyFlow::ChipFirst],
+            schemes: vec![ReuseScheme::None],
+            ..PortfolioSpace::default()
+        };
+        let result = explore_portfolio(&lib, &space, 1).unwrap();
+        let cell = |flow: AssemblyFlow| {
+            result
+                .cells()
+                .iter()
+                .find(|c| c.flow == flow)
+                .and_then(|c| c.outcome.candidate())
+                .expect("feasible")
+                .per_unit
+                .usd()
+        };
+        assert!(
+            cell(AssemblyFlow::ChipLast) < cell(AssemblyFlow::ChipFirst),
+            "chip-last must avoid wasting KGDs on interposer defects"
+        );
+    }
+
+    #[test]
+    fn csv_shapes_are_machine_readable() {
+        let result = explore_portfolio(&lib(), &small_space(), 2).unwrap();
+        let grid = result.to_csv();
+        assert_eq!(
+            grid.lines().next().unwrap(),
+            "node,area_mm2,quantity,integration,chiplets,flow,scheme,status,per_unit_usd,\
+             re_per_unit_usd,detail"
+        );
+        assert_eq!(grid.lines().count(), result.len() + 1);
+        let winners = result.winners_to_csv();
+        assert_eq!(
+            winners.lines().next().unwrap(),
+            "scheme,node,area_mm2,quantity,integration,chiplets,flow,per_unit_usd,saving_vs_soc"
+        );
+        assert_eq!(winners.lines().count(), 4 * 4 + 1);
+        // Streaming and materializing produce the same bytes.
+        let mut streamed = String::new();
+        result.write_csv_to(&mut streamed).unwrap();
+        assert_eq!(streamed, grid);
+    }
+
+    #[test]
+    fn scheme_labels_round_trip() {
+        for &s in &ReuseScheme::ALL {
+            assert_eq!(s.to_string(), s.label());
+        }
+        assert_eq!(ReuseScheme::Scms.to_string(), "scms");
+    }
+}

@@ -4,7 +4,7 @@
 // crate can emit CSV without depending upward on this crate; re-exported
 // here to keep `actuary_report::{csv_escape, write_csv}` the canonical
 // public names.
-pub use actuary_units::{csv_escape, write_csv};
+pub use actuary_units::{csv_escape, write_csv, write_csv_row};
 
 #[cfg(test)]
 mod tests {

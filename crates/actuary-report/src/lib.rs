@@ -31,5 +31,5 @@ mod csv;
 mod table;
 
 pub use chart::{LineChart, StackedBarChart};
-pub use csv::{csv_escape, write_csv};
+pub use csv::{csv_escape, write_csv, write_csv_row};
 pub use table::Table;

@@ -73,6 +73,36 @@ pub fn csv_escape(field: &str) -> String {
     }
 }
 
+/// Writes one record to `out` as an RFC-4180 CSV line (`\n` terminated) —
+/// the streaming primitive behind [`write_csv`], so huge documents (a
+/// 10⁶-cell exploration grid) never materialize as one `String`.
+///
+/// # Errors
+///
+/// Propagates the sink's [`std::fmt::Error`] (infallible for `String`).
+///
+/// # Examples
+///
+/// ```
+/// use actuary_units::write_csv_row;
+///
+/// let mut out = String::new();
+/// write_csv_row(&mut out, &["1", "x,y"]).unwrap();
+/// assert_eq!(out, "1,\"x,y\"\n");
+/// ```
+pub fn write_csv_row<W: std::fmt::Write + ?Sized, S: AsRef<str>>(
+    out: &mut W,
+    record: &[S],
+) -> std::fmt::Result {
+    for (i, field) in record.iter().enumerate() {
+        if i > 0 {
+            out.write_char(',')?;
+        }
+        out.write_str(&csv_escape(field.as_ref()))?;
+    }
+    out.write_char('\n')
+}
+
 /// Serializes records as RFC-4180 CSV text with `\n` line endings.
 ///
 /// # Examples
@@ -89,9 +119,7 @@ pub fn csv_escape(field: &str) -> String {
 pub fn write_csv(records: &[Vec<String>]) -> String {
     let mut out = String::new();
     for record in records {
-        let escaped: Vec<String> = record.iter().map(|f| csv_escape(f)).collect();
-        out.push_str(&escaped.join(","));
-        out.push('\n');
+        write_csv_row(&mut out, record).expect("writing to a String cannot fail");
     }
     out
 }

@@ -42,7 +42,7 @@ mod quantity;
 
 pub use area::Area;
 pub use error::UnitError;
-pub use fmt::{csv_escape, fmt_thousands, format_percent, format_ratio, write_csv};
+pub use fmt::{csv_escape, fmt_thousands, format_percent, format_ratio, write_csv, write_csv_row};
 pub use money::Money;
 pub use prob::Prob;
 pub use quantity::Quantity;

@@ -1,0 +1,100 @@
+//! Emits a machine-readable performance snapshot of the exploration
+//! engines as JSON on stdout — the `BENCH_explore.json` artifact CI
+//! uploads on every push, seeding the repo's performance trajectory.
+//!
+//! The numbers are wall-clock medians of a few runs (no criterion
+//! statistics; the artifact is for trend-watching across commits, not
+//! micro-benchmarking): grid cells per second for the single-system and
+//! portfolio grids at one thread and at full hardware parallelism, plus
+//! the cached-vs-uncached full-evaluation counts behind the RE-core cache.
+
+use std::time::Instant;
+
+use actuary_dse::explore::{explore, ExploreSpace};
+use actuary_dse::portfolio::{explore_portfolio, PortfolioSpace};
+use bench::library;
+
+/// Median wall-clock seconds of `runs` invocations of `f`.
+fn median_secs<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// One engine's JSON section.
+fn grid_section(name: &str, cells: usize, secs_1: f64, secs_all: f64, threads: usize) -> String {
+    format!(
+        "  \"{name}\": {{\n    \"cells\": {cells},\n    \"threads_all\": {threads},\n    \
+         \"secs_threads1\": {secs_1:.6},\n    \"secs_threads_all\": {secs_all:.6},\n    \
+         \"cells_per_sec_threads1\": {:.1},\n    \"cells_per_sec_threads_all\": {:.1}\n  }}",
+        cells as f64 / secs_1,
+        cells as f64 / secs_all,
+    )
+}
+
+fn main() {
+    let lib = library();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    const RUNS: usize = 3;
+
+    let explore_space = ExploreSpace::default();
+    let explore_1 = median_secs(RUNS, || {
+        explore(&lib, &explore_space, 1).expect("default grid");
+    });
+    let explore_all = median_secs(RUNS, || {
+        explore(&lib, &explore_space, threads).expect("default grid");
+    });
+
+    let portfolio_space = PortfolioSpace::default();
+    let portfolio_1 = median_secs(RUNS, || {
+        explore_portfolio(&lib, &portfolio_space, 1).expect("default portfolio grid");
+    });
+    let portfolio_all = median_secs(RUNS, || {
+        explore_portfolio(&lib, &portfolio_space, threads).expect("default portfolio grid");
+    });
+
+    // The uncached reference path evaluates every non-incompatible cell,
+    // so its count needs no sweep (byte-identity of the two paths is
+    // asserted by `tests/integration_portfolio.rs` in tier-1).
+    let cached = explore_portfolio(&lib, &portfolio_space, threads).expect("cached");
+    let uncached_evaluations = cached.len() - cached.incompatible_count();
+
+    println!("{{");
+    println!("  \"schema\": 1,");
+    println!(
+        "{},",
+        grid_section(
+            "explore_default_grid",
+            explore_space.len(),
+            explore_1,
+            explore_all,
+            threads
+        )
+    );
+    println!(
+        "{},",
+        grid_section(
+            "portfolio_default_grid",
+            portfolio_space.len(),
+            portfolio_1,
+            portfolio_all,
+            threads
+        )
+    );
+    println!(
+        "  \"core_cache\": {{\n    \"cached_evaluations\": {},\n    \
+         \"uncached_evaluations\": {},\n    \"reduction_factor\": {:.2}\n  }}",
+        cached.core_evaluations(),
+        uncached_evaluations,
+        uncached_evaluations as f64 / cached.core_evaluations() as f64,
+    );
+    println!("}}");
+}

@@ -7,6 +7,10 @@
 //! macros. Timing is a simple wall-clock median over a fixed number of
 //! samples — adequate for smoke-running benches and catching order-of-
 //! magnitude regressions, without criterion's statistics or plotting.
+//!
+//! Like real criterion, a `--quick` argument (`cargo bench -- --quick`)
+//! trades statistical resolution for speed: the sample count drops to 2,
+//! which is what CI uses to smoke-run the heavy exploration benches.
 
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
@@ -20,11 +24,19 @@ pub fn black_box<T>(x: T) -> T {
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
+    quick: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 20 }
+        // Mirror criterion's `--quick` CLI switch (benches are built with
+        // `harness = false`, so the arguments reach us untouched). Any
+        // other argument is ignored, as the shim has no filter support.
+        let quick = std::env::args().any(|a| a == "--quick");
+        Self {
+            sample_size: if quick { 2 } else { 20 },
+            quick,
+        }
     }
 }
 
@@ -43,6 +55,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             sample_size: self.sample_size,
+            quick: self.quick,
             _criterion: self,
         }
     }
@@ -53,13 +66,15 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    quick: bool,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Overrides the number of timing samples for subsequent benches.
+    /// Overrides the number of timing samples for subsequent benches
+    /// (capped at 2 under `--quick`, like criterion's quick mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = if self.quick { n.clamp(1, 2) } else { n.max(1) };
         self
     }
 
