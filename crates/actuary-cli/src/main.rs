@@ -25,7 +25,9 @@ use std::process::ExitCode;
 use actuary_arch::{partition::equal_chiplets, Portfolio, System};
 use actuary_dse::explore::{explore, ExploreSpace};
 use actuary_dse::optimizer::{recommend, SearchSpace};
-use actuary_dse::portfolio::{explore_portfolio, PortfolioSpace, ReuseScheme};
+use actuary_dse::portfolio::{
+    explore_portfolio, parse_fsmc_situation, PortfolioSpace, ReuseScheme,
+};
 use actuary_mc::{simulate_system, DefectProcess, McConfig};
 use actuary_model::{re_cost, AssemblyFlow, DiePlacement};
 use actuary_tech::{IntegrationKind, TechLibrary};
@@ -56,12 +58,17 @@ fn usage() -> &'static str {
        explore [--nodes N,N2,..] [--areas MM2,..] [--quantities Q,..]\n\
                [--integrations KIND,..] [--chiplets K,..] [--flow F]\n\
                [--schemes none,scms,ocme,fsmc|all] [--flow-axis]\n\
-               [--threads T] [--csv] [--out FILE]\n\
+               [--fsmc-situations KxN,..|paper] [--ocme-centers none,NODE,..]\n\
+               [--package-reuse] [--threads T] [--csv] [--out FILE]\n\
                                          multi-axis parallel grid exploration\n\
                                          (T = 0 or omitted: all hardware threads;\n\
                                          --schemes grids the paper's reuse schemes,\n\
                                          --flow-axis grids chip-first vs chip-last,\n\
+                                         --fsmc-situations grids Figure 10's (k,n) axis,\n\
+                                         --ocme-centers grids mature-node OCME centres,\n\
                                          --out streams the grid CSV to FILE)\n\
+       run SCENARIO.toml [--threads T] [--out-dir DIR] [--csv]\n\
+                                         execute a declarative scenario file\n\
        mc    --node N --area MM2 [--chiplets K] [--integration KIND] [--systems S]\n\
        repro --figure 2|4|5|6|8|9|10|ext|all [--csv]\n\
        experiments                        paper-vs-measured Markdown record\n\
@@ -70,7 +77,7 @@ fn usage() -> &'static str {
 }
 
 /// Flags that take no value (present = true).
-const BOOLEAN_FLAGS: [&str; 2] = ["csv", "flow-axis"];
+const BOOLEAN_FLAGS: [&str; 3] = ["csv", "flow-axis", "package-reuse"];
 
 /// Parses `--key value` pairs after the subcommand.
 fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
@@ -111,11 +118,7 @@ fn parse_integration(s: &str) -> Result<IntegrationKind, String> {
 }
 
 fn parse_flow(s: &str) -> Result<AssemblyFlow, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "chip-first" | "first" => Ok(AssemblyFlow::ChipFirst),
-        "chip-last" | "last" => Ok(AssemblyFlow::ChipLast),
-        other => Err(format!("unknown flow {other:?} (chip-first|chip-last)")),
-    }
+    s.parse()
 }
 
 fn get_f64(flags: &BTreeMap<String, String>, key: &str) -> Result<f64, String> {
@@ -146,6 +149,12 @@ fn run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--version" || a == "-V") {
         println!("actuary {}", env!("CARGO_PKG_VERSION"));
         return Ok(());
+    }
+    // `run` takes a positional scenario path and builds its own technology
+    // library from the file (`extends` overlay), so it dispatches before
+    // the table-driven subcommands below.
+    if command == "run" {
+        return cmd_run(&args[1..]);
     }
     // Every subcommand declares the flags it accepts alongside its
     // handler; anything else is rejected instead of silently ignored (a
@@ -178,6 +187,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 "flow",
                 "flow-axis",
                 "schemes",
+                "fsmc-situations",
+                "ocme-centers",
+                "package-reuse",
                 "threads",
                 "csv",
                 "out",
@@ -443,15 +455,7 @@ fn parse_list<T>(
 }
 
 fn parse_scheme(s: &str) -> Result<ReuseScheme, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "none" | "single" | "baseline" => Ok(ReuseScheme::None),
-        "scms" => Ok(ReuseScheme::Scms),
-        "ocme" => Ok(ReuseScheme::Ocme),
-        "fsmc" => Ok(ReuseScheme::Fsmc),
-        other => Err(format!(
-            "unknown reuse scheme {other:?} (none|scms|ocme|fsmc, or all)"
-        )),
-    }
+    s.parse()
 }
 
 /// Adapts an [`std::io::Write`] sink to [`std::fmt::Write`] so the
@@ -544,6 +548,49 @@ fn cmd_explore(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<()
         } else {
             parse_list(raw, "schemes", parse_scheme)?
         };
+    }
+    if let Some(raw) = flags.get("fsmc-situations") {
+        space.fsmc_situations = if raw.eq_ignore_ascii_case("paper") {
+            PortfolioSpace::FSMC_PAPER_SITUATIONS.to_vec()
+        } else {
+            parse_list(raw, "fsmc-situations", parse_fsmc_situation)?
+        };
+    }
+    if let Some(raw) = flags.get("ocme-centers") {
+        space.ocme_center_nodes = parse_list(raw, "ocme-centers", |s| {
+            Ok(if s.eq_ignore_ascii_case("none") {
+                None
+            } else {
+                Some(s.to_string())
+            })
+        })?;
+    }
+    if flags.contains_key("package-reuse") {
+        space.package_reuse = true;
+    }
+    // Scheme-parameter flags only act through their scheme; accepting them
+    // on a grid that never builds that scheme would silently drop the axis
+    // (the reject-don't-ignore rule applies to flag *combinations* too).
+    if flags.contains_key("fsmc-situations") && !space.schemes.contains(&ReuseScheme::Fsmc) {
+        return Err(
+            "--fsmc-situations grids the fsmc scheme; add --schemes fsmc (or all)".to_string(),
+        );
+    }
+    if flags.contains_key("ocme-centers") && !space.schemes.contains(&ReuseScheme::Ocme) {
+        return Err(
+            "--ocme-centers grids the ocme scheme; add --schemes ocme (or all)".to_string(),
+        );
+    }
+    if flags.contains_key("package-reuse")
+        && !space
+            .schemes
+            .iter()
+            .any(|s| matches!(s, ReuseScheme::Scms | ReuseScheme::Ocme))
+    {
+        return Err(
+            "--package-reuse affects only the scms/ocme families; add --schemes scms,ocme (or all)"
+                .to_string(),
+        );
     }
     let threads = get_u64_or(flags, "threads", 0)? as usize;
 
@@ -710,6 +757,164 @@ fn cmd_explore_portfolio(
         println!();
     }
     println!("(re-run with --csv or --out FILE for the full machine-readable grid)");
+    Ok(())
+}
+
+/// `actuary run <scenario.toml>`: parse, lower and execute a declarative
+/// scenario file through the scenario subsystem.
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    // Split the positional scenario path from the `--key value` flags.
+    let mut path: Option<&str> = None;
+    let mut flag_args: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(key) = arg.strip_prefix("--") {
+            flag_args.push(arg.clone());
+            i += 1;
+            if !BOOLEAN_FLAGS.contains(&key) {
+                if let Some(value) = args.get(i) {
+                    flag_args.push(value.clone());
+                    i += 1;
+                }
+            }
+        } else if path.is_none() {
+            path = Some(arg);
+            i += 1;
+        } else {
+            return Err(format!("unexpected extra argument {arg:?} for `run`"));
+        }
+    }
+    let path = path.ok_or("`run` needs a scenario file: actuary run SCENARIO.toml")?;
+    let flags = parse_flags(&flag_args)?;
+    reject_unknown_flags("run", &flags, &["threads", "out-dir", "csv"])?;
+    if flags.contains_key("csv") && flags.contains_key("out-dir") {
+        return Err("choose --csv (stdout) or --out-dir DIR, not both".to_string());
+    }
+    let threads = get_u64_or(&flags, "threads", 0)? as usize;
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let scenario =
+        actuary_scenario::Scenario::from_toml(&text).map_err(|e| format!("{path}: {e}"))?;
+    let run = scenario.run(threads).map_err(|e| e.to_string())?;
+
+    if let Some(dir) = flags.get("out-dir") {
+        return write_run_outputs(&run, dir);
+    }
+    if flags.contains_key("csv") {
+        if !run.cost_rows.is_empty() {
+            print!("{}", run.costs_csv());
+        }
+        if !run.yield_rows.is_empty() {
+            print!("{}", run.yields_csv());
+        }
+        for explore in &run.explores {
+            print!("{}", explore.result.to_csv());
+        }
+        return Ok(());
+    }
+
+    println!(
+        "scenario `{}`: {} job(s) on {}",
+        scenario.name,
+        scenario.jobs.len(),
+        scenario.library
+    );
+    if let Some(description) = &scenario.description {
+        println!("{description}");
+    }
+    // `last_job` is an Option so the very first row always opens a group,
+    // whatever the job is named.
+    let mut last_job: Option<&str> = None;
+    let mut table: Option<actuary_report::Table> = None;
+    let flush = |table: &mut Option<actuary_report::Table>| {
+        if let Some(t) = table.take() {
+            println!("{t}");
+        }
+    };
+    for row in &run.cost_rows {
+        if last_job != Some(&row.job) {
+            flush(&mut table);
+            println!("\n[{}] per-system cost breakdown ($/unit):", row.job);
+            table = Some(actuary_report::Table::new(vec![
+                "system", "quantity", "RE", "RE pkg", "NRE mod", "NRE chip", "NRE pkg", "NRE D2D",
+                "total",
+            ]));
+            last_job = Some(&row.job);
+        }
+        if let Some(t) = table.as_mut() {
+            t.push_row(vec![
+                row.system.clone(),
+                Quantity::new(row.quantity).to_string(),
+                format!("{:.2}", row.re_usd),
+                format!("{:.2}", row.re_packaging_usd),
+                format!("{:.2}", row.nre_modules_usd),
+                format!("{:.2}", row.nre_chips_usd),
+                format!("{:.2}", row.nre_packages_usd),
+                format!("{:.2}", row.nre_d2d_usd),
+                format!("{:.2}", row.per_unit_usd),
+            ]);
+        }
+    }
+    flush(&mut table);
+    let mut last_job: Option<&str> = None;
+    let mut table: Option<actuary_report::Table> = None;
+    for row in &run.yield_rows {
+        if last_job != Some(&row.job) {
+            flush(&mut table);
+            println!("\n[{}] yield and cost per area:", row.job);
+            table = Some(actuary_report::Table::new(vec![
+                "tech",
+                "area_mm2",
+                "yield",
+                "$/raw die",
+                "$/good die",
+                "norm $/mm2",
+            ]));
+            last_job = Some(&row.job);
+        }
+        if let Some(t) = table.as_mut() {
+            t.push_row(vec![
+                row.tech.clone(),
+                format!("{}", row.area_mm2),
+                format!("{:.4}", row.yield_frac),
+                format!("{:.2}", row.raw_die_usd),
+                format!("{:.2}", row.yielded_die_usd),
+                format!("{:.3}", row.norm_cost_per_area),
+            ]);
+        }
+    }
+    flush(&mut table);
+    for explore in &run.explores {
+        println!("\n[{}] explored {}", explore.name, explore.result);
+    }
+    if !run.explores.is_empty() {
+        println!("(re-run with --out-dir DIR or --csv for the machine-readable grids)");
+    }
+    Ok(())
+}
+
+/// Writes every output of a scenario run into `dir`:
+/// `<scenario>-costs.csv`, `<scenario>-yields.csv` and one
+/// `<scenario>-<job>-grid.csv` per explore job.
+fn write_run_outputs(run: &actuary_scenario::ScenarioRun, dir: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    let join = |file: String| format!("{}/{}", dir.trim_end_matches('/'), file);
+    if !run.cost_rows.is_empty() {
+        let path = join(format!("{}-costs.csv", run.name));
+        stream_to_file(&path, |sink| run.write_costs_csv(sink))?;
+        println!("wrote {} cost row(s) to {path}", run.cost_rows.len());
+    }
+    if !run.yield_rows.is_empty() {
+        let path = join(format!("{}-yields.csv", run.name));
+        stream_to_file(&path, |sink| run.write_yields_csv(sink))?;
+        println!("wrote {} yield row(s) to {path}", run.yield_rows.len());
+    }
+    for explore in &run.explores {
+        let path = join(format!("{}-{}-grid.csv", run.name, explore.name));
+        stream_to_file(&path, |sink| explore.result.write_csv_to(sink))?;
+        println!("wrote {} grid cell(s) to {path}", explore.result.len());
+    }
     Ok(())
 }
 

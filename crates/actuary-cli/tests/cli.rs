@@ -367,8 +367,8 @@ fn explore_schemes_csv_carries_the_new_axes() {
     ]);
     assert_eq!(
         csv.lines().next().unwrap(),
-        "node,area_mm2,quantity,integration,chiplets,flow,scheme,status,per_unit_usd,\
-         re_per_unit_usd,detail"
+        "node,area_mm2,quantity,integration,chiplets,flow,scheme,scheme_params,status,\
+         per_unit_usd,re_per_unit_usd,detail"
     );
     // 1 node × 1 area × 1 quantity × 4 integrations × 5 counts × 2 flows ×
     // 4 schemes.
@@ -435,4 +435,156 @@ fn explore_rejects_an_unknown_scheme() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown reuse scheme"), "{stderr}");
+}
+
+#[test]
+fn explore_fsmc_situation_axis_lands_in_the_csv() {
+    let csv = stdout(&[
+        "explore",
+        "--nodes",
+        "7nm",
+        "--areas",
+        "320",
+        "--quantities",
+        "500000",
+        "--integrations",
+        "mcm",
+        "--chiplets",
+        "2",
+        "--schemes",
+        "fsmc",
+        "--fsmc-situations",
+        "2x2,4x4",
+        "--threads",
+        "1",
+        "--csv",
+    ]);
+    assert!(csv.contains("\"k=2,n=2\""), "{csv}");
+    assert!(csv.contains("\"k=4,n=4\""), "{csv}");
+    // One cell per situation plus the header.
+    assert_eq!(csv.lines().count(), 3, "{csv}");
+}
+
+#[test]
+fn explore_ocme_center_axis_accepts_none_and_nodes() {
+    let csv = stdout(&[
+        "explore",
+        "--nodes",
+        "7nm",
+        "--areas",
+        "160",
+        "--quantities",
+        "500000",
+        "--integrations",
+        "mcm",
+        "--chiplets",
+        "1",
+        "--schemes",
+        "ocme",
+        "--ocme-centers",
+        "none,14nm",
+        "--package-reuse",
+        "--threads",
+        "1",
+        "--csv",
+    ]);
+    assert!(csv.contains("center=14nm"), "{csv}");
+    assert_eq!(csv.lines().count(), 3, "{csv}");
+}
+
+#[test]
+fn explore_rejects_a_malformed_fsmc_situation() {
+    let out = actuary(&["explore", "--fsmc-situations", "4by6"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("KxN"), "{stderr}");
+}
+
+#[test]
+fn run_executes_a_scenario_file() {
+    let dir = std::env::temp_dir().join(format!("actuary-run-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mini.toml");
+    std::fs::write(
+        &path,
+        concat!(
+            "name = \"mini\"\n",
+            "[nodes.7nm]\n",
+            "wafer_price_usd = 11500\n",
+            "[[portfolio]]\n",
+            "name = \"j\"\n",
+            "scheme = \"scms\"\n",
+            "node = \"7nm\"\n",
+            "chiplet_module_area_mm2 = 200.0\n",
+            "multiplicities = [1, 2]\n",
+            "integration = \"mcm\"\n",
+            "quantity = 500000\n",
+        ),
+    )
+    .unwrap();
+    let text = stdout(&["run", path.to_str().unwrap()]);
+    assert!(text.contains("scenario `mini`"), "{text}");
+    assert!(text.contains("2X"), "{text}");
+
+    // --csv emits the machine-readable cost rows.
+    let csv = stdout(&["run", path.to_str().unwrap(), "--csv"]);
+    assert!(csv.starts_with("job,system,quantity,"), "{csv}");
+    assert_eq!(csv.lines().count(), 3);
+
+    // --out-dir writes the per-scenario files.
+    let out_dir = dir.join("out");
+    stdout(&[
+        "run",
+        path.to_str().unwrap(),
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert!(out_dir.join("mini-costs.csv").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn run_reports_scenario_errors_with_positions() {
+    let dir = std::env::temp_dir().join(format!("actuary-run-err-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.toml");
+    std::fs::write(&path, "name = \"bad\"\nquanttiy = 1\n").unwrap();
+    let out = actuary(&["run", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 2, column 1") && stderr.contains("quanttiy"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn run_rejects_unknown_flags_and_missing_path() {
+    let out = actuary(&["run"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a scenario file"));
+
+    let out = actuary(&["run", "x.toml", "--quanttiy", "5"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --quanttiy"), "{stderr}");
+}
+
+#[test]
+fn explore_rejects_scheme_parameter_flags_without_their_scheme() {
+    // The axis flags act only through their scheme; accepting them on a
+    // grid that never builds that scheme would silently drop the axis.
+    for args in [
+        &["explore", "--fsmc-situations", "2x2"][..],
+        &["explore", "--ocme-centers", "14nm"],
+        &["explore", "--package-reuse"],
+        &["explore", "--schemes", "scms", "--fsmc-situations", "2x2"],
+        &["explore", "--schemes", "fsmc", "--ocme-centers", "14nm"],
+    ] {
+        let out = actuary(args);
+        assert!(!out.status.success(), "{args:?} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--schemes"), "{args:?}: {stderr}");
+    }
 }

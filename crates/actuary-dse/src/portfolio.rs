@@ -25,7 +25,7 @@
 //! | `none` | the member alone (PR-2 semantics) | any count |
 //! | `scms` | one chiplet design of `area/chiplets` builds every multiplicity in [`PortfolioSpace::scms_multiplicities`] | a listed multiplicity |
 //! | `ocme` | centre + extensions of `area/chiplets` sockets (`C`, `C+1X`, `C+1X+1Y`, `C+2X+2Y`) | 1, 2, 3 or 5 chips |
-//! | `fsmc` | every collocation of [`PortfolioSpace::fsmc_chiplet_types`] types in a [`PortfolioSpace::fsmc_sockets`]-socket package | a collocation size `1..=sockets` |
+//! | `fsmc` | every collocation of `n` types in a `k`-socket package, one family per [`PortfolioSpace::fsmc_situations`] entry | a collocation size `1..=k` |
 //!
 //! A cell whose `chiplets` is not a member of its scheme's family is
 //! recorded as incompatible, never dropped. Under the `Soc` integration a
@@ -129,6 +129,59 @@ impl fmt::Display for ReuseScheme {
     }
 }
 
+impl std::str::FromStr for ReuseScheme {
+    type Err = String;
+
+    /// Parses the user-facing scheme grammar (case-insensitive; `none`
+    /// also answers to `single`/`baseline`) — the single definition the
+    /// CLI flags and the scenario schema both use.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" | "single" | "baseline" => Ok(ReuseScheme::None),
+            "scms" => Ok(ReuseScheme::Scms),
+            "ocme" => Ok(ReuseScheme::Ocme),
+            "fsmc" => Ok(ReuseScheme::Fsmc),
+            other => Err(format!(
+                "unknown reuse scheme {other:?} (none|scms|ocme|fsmc)"
+            )),
+        }
+    }
+}
+
+/// Parses one FSMC `(sockets k, chiplet types n)` situation written `KxN`
+/// (e.g. `4x6`, case-insensitive `x`) — shared by the CLI's
+/// `--fsmc-situations` and the scenario schema's `fsmc_situations`.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the malformed part.
+///
+/// # Examples
+///
+/// ```
+/// use actuary_dse::portfolio::parse_fsmc_situation;
+///
+/// assert_eq!(parse_fsmc_situation("4x6"), Ok((4, 6)));
+/// assert_eq!(parse_fsmc_situation("2X2"), Ok((2, 2)));
+/// assert!(parse_fsmc_situation("4by6").is_err());
+/// ```
+pub fn parse_fsmc_situation(s: &str) -> Result<(u32, u32), String> {
+    let Some((k, n)) = s.split_once(['x', 'X']) else {
+        return Err(format!(
+            "invalid FSMC situation {s:?} (expected KxN, e.g. 4x6)"
+        ));
+    };
+    let k = k
+        .trim()
+        .parse()
+        .map_err(|e| format!("invalid FSMC sockets in {s:?}: {e}"))?;
+    let n = n
+        .trim()
+        .parse()
+        .map_err(|e| format!("invalid FSMC chiplet types in {s:?}: {e}"))?;
+    Ok((k, n))
+}
+
 /// The portfolio exploration grid: the Cartesian product of every axis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PortfolioSpace {
@@ -149,10 +202,19 @@ pub struct PortfolioSpace {
     pub schemes: Vec<ReuseScheme>,
     /// SCMS family multiplicities (the paper's 1X/2X/4X).
     pub scms_multiplicities: Vec<u32>,
-    /// FSMC package sockets `k`.
-    pub fsmc_sockets: u32,
-    /// FSMC chiplet types `n`.
-    pub fsmc_chiplet_types: u32,
+    /// FSMC `(sockets k, chiplet types n)` situations — a scheme-parameter
+    /// axis: every entry expands the `fsmc` scheme into one family, so one
+    /// run sweeps Figure 10's x-axis (the paper's five situations are
+    /// [`PortfolioSpace::FSMC_PAPER_SITUATIONS`]).
+    pub fsmc_situations: Vec<(u32, u32)>,
+    /// OCME centre nodes — a scheme-parameter axis: `None` keeps the centre
+    /// on the cell's node (homogeneous), `Some(id)` designs it at a mature
+    /// node (the Figure 9 "hetero" bar).
+    pub ocme_center_nodes: Vec<Option<String>>,
+    /// Whether the SCMS / OCME families share one package design across
+    /// their member systems (§5.1's package-reuse trade-off; FSMC always
+    /// shares the `k`-socket package by construction).
+    pub package_reuse: bool,
 }
 
 impl Default for PortfolioSpace {
@@ -168,8 +230,35 @@ impl Default for PortfolioSpace {
             flows: vec![AssemblyFlow::ChipLast],
             schemes: ReuseScheme::ALL.to_vec(),
             scms_multiplicities: vec![1, 2, 4],
-            fsmc_sockets: 4,
-            fsmc_chiplet_types: 4,
+            fsmc_situations: vec![(4, 4)],
+            ocme_center_nodes: vec![None],
+            package_reuse: false,
+        }
+    }
+}
+
+/// One resolved point of the scheme axis: a scheme plus the family
+/// parameters that distinguish it from its siblings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeVariant {
+    /// The reuse scheme.
+    pub scheme: ReuseScheme,
+    /// FSMC `(sockets, chiplet types)`; `None` for other schemes.
+    pub fsmc: Option<(u32, u32)>,
+    /// OCME centre node; `None` for a homogeneous centre (and for other
+    /// schemes).
+    pub center_node: Option<String>,
+}
+
+impl SchemeVariant {
+    /// Stable parameter label used in the CSV `scheme_params` column:
+    /// `"k=4,n=6"` for FSMC situations, `"center=14nm"` for heterogeneous
+    /// OCME, empty otherwise.
+    pub fn params_label(&self) -> String {
+        match (self.fsmc, &self.center_node) {
+            (Some((k, n)), _) => format!("k={k},n={n}"),
+            (None, Some(center)) => format!("center={center}"),
+            _ => String::new(),
         }
     }
 }
@@ -191,7 +280,46 @@ impl PortfolioSpace {
         }
     }
 
-    /// The number of grid cells (product of the axis lengths).
+    /// The paper's five Figure 10 `(sockets k, chiplet types n)` situations.
+    pub const FSMC_PAPER_SITUATIONS: [(u32, u32); 5] = [(2, 2), (2, 4), (3, 4), (4, 4), (4, 6)];
+
+    /// The scheme axis after parameter expansion: `fsmc` contributes one
+    /// variant per [`PortfolioSpace::fsmc_situations`] entry and `ocme` one
+    /// per [`PortfolioSpace::ocme_center_nodes`] entry.
+    pub fn scheme_variants(&self) -> Vec<SchemeVariant> {
+        let mut out = Vec::new();
+        for &scheme in &self.schemes {
+            match scheme {
+                ReuseScheme::Fsmc => {
+                    for &(k, n) in &self.fsmc_situations {
+                        out.push(SchemeVariant {
+                            scheme,
+                            fsmc: Some((k, n)),
+                            center_node: None,
+                        });
+                    }
+                }
+                ReuseScheme::Ocme => {
+                    for center in &self.ocme_center_nodes {
+                        out.push(SchemeVariant {
+                            scheme,
+                            fsmc: None,
+                            center_node: center.clone(),
+                        });
+                    }
+                }
+                ReuseScheme::None | ReuseScheme::Scms => out.push(SchemeVariant {
+                    scheme,
+                    fsmc: None,
+                    center_node: None,
+                }),
+            }
+        }
+        out
+    }
+
+    /// The number of grid cells (product of the axis lengths, with the
+    /// scheme axis expanded into its parameter variants).
     pub fn len(&self) -> usize {
         self.nodes.len()
             * self.areas_mm2.len()
@@ -199,7 +327,7 @@ impl PortfolioSpace {
             * self.integrations.len()
             * self.chiplet_counts.len()
             * self.flows.len()
-            * self.schemes.len()
+            * self.scheme_variants().len()
     }
 
     /// Whether the grid has no cells.
@@ -267,12 +395,40 @@ impl PortfolioSpace {
                 });
             }
         }
-        if self.schemes.contains(&ReuseScheme::Fsmc)
-            && (self.fsmc_sockets == 0 || self.fsmc_chiplet_types == 0)
-        {
-            return Err(ArchError::InvalidArchitecture {
-                reason: "FSMC needs at least one socket and one chiplet type".to_string(),
-            });
+        if self.schemes.contains(&ReuseScheme::Fsmc) {
+            if self.fsmc_situations.is_empty() {
+                return Err(axis_err("FSMC situations"));
+            }
+            if self.fsmc_situations.iter().any(|&(k, n)| k == 0 || n == 0) {
+                return Err(ArchError::InvalidArchitecture {
+                    reason: "FSMC needs at least one socket and one chiplet type".to_string(),
+                });
+            }
+            let unique: std::collections::BTreeSet<(u32, u32)> =
+                self.fsmc_situations.iter().copied().collect();
+            if unique.len() != self.fsmc_situations.len() {
+                return Err(ArchError::InvalidArchitecture {
+                    reason: format!(
+                        "FSMC situations must be distinct, got {:?}",
+                        self.fsmc_situations
+                    ),
+                });
+            }
+        }
+        if self.schemes.contains(&ReuseScheme::Ocme) {
+            if self.ocme_center_nodes.is_empty() {
+                return Err(axis_err("OCME centre nodes"));
+            }
+            let unique: std::collections::BTreeSet<&Option<String>> =
+                self.ocme_center_nodes.iter().collect();
+            if unique.len() != self.ocme_center_nodes.len() {
+                return Err(ArchError::InvalidArchitecture {
+                    reason: format!(
+                        "OCME centre nodes must be distinct, got {:?}",
+                        self.ocme_center_nodes
+                    ),
+                });
+            }
         }
         Ok(())
     }
@@ -309,6 +465,10 @@ pub struct PortfolioCell {
     pub flow: AssemblyFlow,
     /// Reuse scheme.
     pub scheme: ReuseScheme,
+    /// Scheme-parameter label of the cell's [`SchemeVariant`] (`"k=4,n=6"`
+    /// for an FSMC situation, `"center=14nm"` for heterogeneous OCME, empty
+    /// otherwise).
+    pub scheme_params: String,
     /// What evaluation produced.
     pub outcome: CellOutcome,
 }
@@ -455,7 +615,7 @@ impl PortfolioResult {
         let block = self.space.integrations.len()
             * self.space.chiplet_counts.len()
             * self.space.flows.len()
-            * self.space.schemes.len();
+            * self.space.scheme_variants().len();
         self.cells
             .chunks(block)
             .map(|cells| {
@@ -487,6 +647,7 @@ impl PortfolioResult {
                             c.integration == IntegrationKind::Soc
                                 && c.chiplets == baseline_chiplets
                                 && c.flow == bc.flow
+                                && c.scheme_params == bc.scheme_params
                         })
                         .and_then(|c| c.outcome.candidate());
                     match soc {
@@ -555,6 +716,7 @@ impl PortfolioResult {
                 "chiplets",
                 "flow",
                 "scheme",
+                "scheme_params",
                 "status",
                 "per_unit_usd",
                 "re_per_unit_usd",
@@ -579,6 +741,7 @@ impl PortfolioResult {
                     cell.chiplets.to_string(),
                     cell.flow.to_string(),
                     cell.scheme.to_string(),
+                    cell.scheme_params.clone(),
                     cell.outcome.status().to_string(),
                     per_unit,
                     re_per_unit,
@@ -668,7 +831,10 @@ struct CellCoord<'a> {
     integration: IntegrationKind,
     chiplets: u32,
     flow: AssemblyFlow,
-    scheme: ReuseScheme,
+    variant: &'a SchemeVariant,
+    /// Index of `variant` in the expanded scheme axis (part of the core
+    /// deduplication key).
+    variant_index: usize,
 }
 
 /// What phase C has to do for one cell.
@@ -683,10 +849,12 @@ enum CellPlan {
 /// The deduplication key of one core evaluation. `area_bits` carries the
 /// exact f64 bits of the per-system (scheme `none`) or per-socket (reuse
 /// families) module area, so cells share a core only on *identical*
-/// geometry.
+/// geometry; `variant` is the index into the expanded scheme axis, so
+/// different family parameters (FSMC situations, OCME centres) never share
+/// a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct CoreKey {
-    scheme: ReuseScheme,
+    variant: usize,
     node: usize,
     area_bits: u64,
     integration: u8,
@@ -702,6 +870,10 @@ struct CoreSpec<'a> {
     integration: IntegrationKind,
     chiplets: u32,
     flow: AssemblyFlow,
+    /// FSMC `(sockets, chiplet types)` of the cell's variant.
+    fsmc: Option<(u32, u32)>,
+    /// OCME centre node of the cell's variant.
+    center_node: Option<&'a str>,
 }
 
 /// A computed core: a standalone candidate or a whole reuse family.
@@ -761,8 +933,12 @@ pub fn explore_portfolio_with(
     for id in &space.nodes {
         lib.node(id).map_err(ArchError::Tech)?;
     }
+    for center in space.ocme_center_nodes.iter().flatten() {
+        lib.node(center).map_err(ArchError::Tech)?;
+    }
 
     // --- Phase A: expand the grid, classify cells, dedup core keys. ------
+    let variants = space.scheme_variants();
     let mut coords: Vec<CellCoord<'_>> = Vec::with_capacity(space.len());
     let mut plans: Vec<CellPlan> = Vec::with_capacity(space.len());
     let mut specs: Vec<CoreSpec<'_>> = Vec::new();
@@ -773,7 +949,7 @@ pub fn explore_portfolio_with(
                 for &integration in &space.integrations {
                     for &chiplets in &space.chiplet_counts {
                         for &flow in &space.flows {
-                            for &scheme in &space.schemes {
+                            for (variant_index, variant) in variants.iter().enumerate() {
                                 let coord = CellCoord {
                                     node,
                                     area_mm2,
@@ -781,7 +957,8 @@ pub fn explore_portfolio_with(
                                     integration,
                                     chiplets,
                                     flow,
-                                    scheme,
+                                    variant,
+                                    variant_index,
                                 };
                                 let plan = plan_cell(
                                     space,
@@ -890,7 +1067,8 @@ pub fn explore_portfolio_with(
                 integration: coord.integration,
                 chiplets: coord.chiplets,
                 flow: coord.flow,
-                scheme: coord.scheme,
+                scheme: coord.variant.scheme,
+                scheme_params: coord.variant.params_label(),
                 outcome,
             }
         })
@@ -916,7 +1094,7 @@ fn plan_cell<'a>(
 ) -> Result<CellPlan, ArchError> {
     let soc = coord.integration == IntegrationKind::Soc;
     let member_suffix = if soc { "-soc" } else { "" };
-    let (area_mm2, key_chiplets, member) = match coord.scheme {
+    let (area_mm2, key_chiplets, member) = match coord.variant.scheme {
         ReuseScheme::None => {
             if !coord.integration.is_multi_chip() && coord.chiplets != 1 {
                 return Ok(CellPlan::Incompatible(format!(
@@ -959,10 +1137,11 @@ fn plan_cell<'a>(
             )
         }
         ReuseScheme::Fsmc => {
-            if coord.chiplets > space.fsmc_sockets {
+            let (sockets, _) = coord.variant.fsmc.expect("FSMC variants carry a situation");
+            if coord.chiplets > sockets {
                 return Ok(CellPlan::Incompatible(format!(
-                    "FSMC package has {} sockets, cannot collocate {} chiplets",
-                    space.fsmc_sockets, coord.chiplets
+                    "FSMC package has {sockets} sockets, cannot collocate {} chiplets",
+                    coord.chiplets
                 )));
             }
             // Every size-s collocation of identical-footprint types costs
@@ -977,12 +1156,14 @@ fn plan_cell<'a>(
     };
     let area = Area::from_mm2(area_mm2)?;
     let spec = CoreSpec {
-        scheme: coord.scheme,
+        scheme: coord.variant.scheme,
         node: coord.node,
         area,
         integration: coord.integration,
         chiplets: key_chiplets,
         flow: coord.flow,
+        fsmc: coord.variant.fsmc,
+        center_node: coord.variant.center_node.as_deref(),
     };
     let spec_index = match policy {
         CorePolicy::Uncached => {
@@ -991,7 +1172,7 @@ fn plan_cell<'a>(
         }
         CorePolicy::Cached => {
             let key = CoreKey {
-                scheme: coord.scheme,
+                variant: coord.variant_index,
                 node: node_index,
                 area_bits: area.mm2().to_bits(),
                 integration: integration_rank(coord.integration),
@@ -1034,7 +1215,7 @@ fn eval_core(
                 multiplicities: space.scms_multiplicities.clone(),
                 integration: spec.integration,
                 quantity_each: Quantity::new(1),
-                package_reuse: false,
+                package_reuse: space.package_reuse,
             };
             let portfolio = if soc {
                 scms.soc_portfolio()?
@@ -1047,10 +1228,10 @@ fn eval_core(
             let ocme = OcmeSpec {
                 socket_module_area: spec.area,
                 node: NodeId::new(spec.node),
-                center_node: None,
+                center_node: spec.center_node.map(NodeId::new),
                 integration: spec.integration,
                 quantity_each: Quantity::new(1),
-                package_reuse: false,
+                package_reuse: space.package_reuse,
             };
             let portfolio = if soc {
                 ocme.soc_portfolio()?
@@ -1060,9 +1241,10 @@ fn eval_core(
             Ok(CoreValue::Family(portfolio.core(lib, spec.flow)?))
         }
         ReuseScheme::Fsmc => {
+            let (sockets, chiplet_types) = spec.fsmc.expect("FSMC specs carry a situation");
             let fsmc = FsmcSpec {
-                sockets: space.fsmc_sockets,
-                chiplet_types: space.fsmc_chiplet_types,
+                sockets,
+                chiplet_types,
                 socket_module_area: spec.area,
                 node: NodeId::new(spec.node),
                 integration: spec.integration,
@@ -1152,10 +1334,105 @@ mod tests {
         };
         assert!(explore_portfolio(&lib(), &dup, 1).is_err());
         let fsmc = PortfolioSpace {
-            fsmc_sockets: 0,
-            ..base
+            fsmc_situations: vec![(0, 2)],
+            ..base.clone()
         };
         assert!(explore_portfolio(&lib(), &fsmc, 1).is_err());
+        let fsmc_dup = PortfolioSpace {
+            fsmc_situations: vec![(2, 2), (2, 2)],
+            ..base.clone()
+        };
+        assert!(explore_portfolio(&lib(), &fsmc_dup, 1).is_err());
+        let fsmc_empty = PortfolioSpace {
+            fsmc_situations: vec![],
+            ..base.clone()
+        };
+        assert!(explore_portfolio(&lib(), &fsmc_empty, 1).is_err());
+        let center_dup = PortfolioSpace {
+            ocme_center_nodes: vec![None, None],
+            ..base.clone()
+        };
+        assert!(explore_portfolio(&lib(), &center_dup, 1).is_err());
+        let center_unknown = PortfolioSpace {
+            ocme_center_nodes: vec![Some("9nm".to_string())],
+            ..base
+        };
+        assert!(explore_portfolio(&lib(), &center_unknown, 1).is_err());
+    }
+
+    #[test]
+    fn fsmc_situation_axis_expands_the_scheme() {
+        let lib = lib();
+        let space = PortfolioSpace {
+            nodes: vec!["7nm".to_string()],
+            areas_mm2: vec![320.0],
+            quantities: vec![500_000],
+            integrations: vec![IntegrationKind::Mcm],
+            chiplet_counts: vec![2, 3],
+            flows: vec![AssemblyFlow::ChipLast],
+            schemes: vec![ReuseScheme::Fsmc],
+            fsmc_situations: vec![(2, 2), (4, 4)],
+            ..PortfolioSpace::default()
+        };
+        assert_eq!(space.scheme_variants().len(), 2);
+        let result = explore_portfolio(&lib, &space, 1).unwrap();
+        assert_eq!(result.len(), 2 * 2);
+        let cell = |chiplets: u32, params: &str| {
+            result
+                .cells()
+                .iter()
+                .find(|c| c.chiplets == chiplets && c.scheme_params == params)
+                .unwrap()
+        };
+        // 3 chiplets overflow the 2-socket package but fit the 4-socket one.
+        assert!(matches!(
+            cell(3, "k=2,n=2").outcome,
+            CellOutcome::Incompatible(_)
+        ));
+        assert!(cell(3, "k=4,n=4").outcome.is_feasible());
+        // Size-2 collocations are feasible in both situations, and the
+        // bigger family amortizes its NRE over more systems.
+        let p22 = cell(2, "k=2,n=2").outcome.candidate().unwrap();
+        let p44 = cell(2, "k=4,n=4").outcome.candidate().unwrap();
+        assert!(
+            p44.per_unit < p22.per_unit,
+            "more collocations must amortize further: {} vs {}",
+            p44.per_unit,
+            p22.per_unit
+        );
+    }
+
+    #[test]
+    fn ocme_center_axis_prices_the_heterogeneous_family() {
+        let lib = lib();
+        let space = PortfolioSpace {
+            nodes: vec!["7nm".to_string()],
+            areas_mm2: vec![160.0],
+            quantities: vec![500_000],
+            integrations: vec![IntegrationKind::Mcm],
+            chiplet_counts: vec![1],
+            flows: vec![AssemblyFlow::ChipLast],
+            schemes: vec![ReuseScheme::Ocme],
+            ocme_center_nodes: vec![None, Some("14nm".to_string())],
+            package_reuse: true,
+            ..PortfolioSpace::default()
+        };
+        assert_eq!(space.scheme_variants().len(), 2);
+        let result = explore_portfolio(&lib, &space, 1).unwrap();
+        let per_unit = |params: &str| {
+            result
+                .cells()
+                .iter()
+                .find(|c| c.scheme_params == params)
+                .and_then(|c| c.outcome.candidate())
+                .map(|c| c.per_unit.usd())
+                .unwrap_or_else(|| panic!("feasible cell for {params:?}"))
+        };
+        // §5.2: the single-C system nearly halves with a mature-node centre.
+        assert!(
+            per_unit("center=14nm") < per_unit(""),
+            "the mature-node centre must be cheaper"
+        );
     }
 
     #[test]
@@ -1378,8 +1655,8 @@ mod tests {
         let grid = result.to_csv();
         assert_eq!(
             grid.lines().next().unwrap(),
-            "node,area_mm2,quantity,integration,chiplets,flow,scheme,status,per_unit_usd,\
-             re_per_unit_usd,detail"
+            "node,area_mm2,quantity,integration,chiplets,flow,scheme,scheme_params,status,\
+             per_unit_usd,re_per_unit_usd,detail"
         );
         assert_eq!(grid.lines().count(), result.len() + 1);
         let winners = result.winners_to_csv();

@@ -83,6 +83,21 @@ impl fmt::Display for AssemblyFlow {
     }
 }
 
+impl std::str::FromStr for AssemblyFlow {
+    type Err = String;
+
+    /// Parses the user-facing flow grammar (`chip-first`/`first`,
+    /// `chip-last`/`last`, case-insensitive) — the single definition the
+    /// CLI flags and the scenario schema both use.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "chip-first" | "first" => Ok(AssemblyFlow::ChipFirst),
+            "chip-last" | "last" => Ok(AssemblyFlow::ChipLast),
+            other => Err(format!("unknown flow {other:?} (chip-first|chip-last)")),
+        }
+    }
+}
+
 /// The overall serial yield of a monolithic SoC, Eq. (2):
 /// `Y_overall = Y_die × Y_packaging × Y_test` (wafer yield is folded into
 /// the die defect density, as the paper's data does).

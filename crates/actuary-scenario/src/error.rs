@@ -1,0 +1,74 @@
+//! The scenario subsystem's error type.
+
+use std::fmt;
+
+use crate::toml::{ParseError, Pos};
+
+/// Everything that can go wrong between a scenario file and its results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The file is not valid scenario TOML (lexical/structural).
+    Parse {
+        /// Offending position.
+        pos: Pos,
+        /// What went wrong.
+        message: String,
+    },
+    /// The document parsed but violates the scenario schema (unknown key,
+    /// wrong type, missing field, unknown node id, …).
+    Schema {
+        /// Position of the offending key or value.
+        pos: Pos,
+        /// What went wrong.
+        message: String,
+    },
+    /// The scenario lowered cleanly but the cost engine rejected it at run
+    /// time (geometric infeasibility of a concrete job, …).
+    Engine {
+        /// The job (or stage) that failed.
+        context: String,
+        /// The engine's message.
+        message: String,
+    },
+}
+
+impl ScenarioError {
+    /// Convenience constructor for schema errors.
+    pub(crate) fn schema(pos: Pos, message: impl Into<String>) -> Self {
+        ScenarioError::Schema {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// The source position, if the error points into the file.
+    pub fn pos(&self) -> Option<Pos> {
+        match self {
+            ScenarioError::Parse { pos, .. } | ScenarioError::Schema { pos, .. } => Some(*pos),
+            ScenarioError::Engine { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse { pos, message } => write!(f, "{pos}: {message}"),
+            ScenarioError::Schema { pos, message } => write!(f, "{pos}: {message}"),
+            ScenarioError::Engine { context, message } => {
+                write!(f, "job `{context}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ParseError> for ScenarioError {
+    fn from(e: ParseError) -> Self {
+        ScenarioError::Parse {
+            pos: e.pos,
+            message: e.message,
+        }
+    }
+}

@@ -1,0 +1,812 @@
+//! Scenario jobs: `[[portfolio]]` / `[[yield]]` tables and the `[explore]`
+//! table, lowered into `actuary-arch` portfolios and an `actuary-dse`
+//! [`PortfolioSpace`], plus the runner that executes them through the
+//! existing engines.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use actuary_arch::reuse::{FsmcSpec, OcmeSpec, ScmsSpec};
+use actuary_arch::{Chip, Module, Portfolio, System};
+use actuary_dse::portfolio::{
+    explore_portfolio, parse_fsmc_situation, PortfolioResult, PortfolioSpace, ReuseScheme,
+};
+use actuary_model::AssemblyFlow;
+use actuary_tech::{IntegrationKind, NodeId, TechLibrary};
+use actuary_units::{write_csv_row, Area, Quantity};
+
+use crate::error::ScenarioError;
+use crate::schema::{elem_f64, elem_str, elem_u32, elem_u64, Spanned, View};
+use crate::tech::{library_to_scenario, lower_library, parse_kind};
+use crate::toml::{parse, Pos, Table};
+
+/// A fully lowered scenario: a technology library plus the jobs to run.
+#[derive(Debug)]
+pub struct Scenario {
+    /// Scenario name (used for output file naming).
+    pub name: String,
+    /// Optional free-form description.
+    pub description: Option<String>,
+    /// The technology library (presets plus overlays).
+    pub library: TechLibrary,
+    /// The jobs, in file order per kind (portfolio, then yield, then
+    /// explore).
+    pub jobs: Vec<Job>,
+}
+
+/// One executable unit of a scenario.
+#[derive(Debug)]
+pub enum Job {
+    /// Cost a portfolio and report one row per member system.
+    Cost(CostJob),
+    /// Tabulate die yield and cost-per-area over an area grid (Figure 2's
+    /// workload).
+    Yield(YieldJob),
+    /// Run a multi-axis grid exploration.
+    Explore(ExploreJob),
+}
+
+impl Job {
+    /// The job's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Job::Cost(j) => &j.name,
+            Job::Yield(j) => &j.name,
+            Job::Explore(j) => &j.name,
+        }
+    }
+}
+
+/// A portfolio-costing job.
+#[derive(Debug)]
+pub struct CostJob {
+    /// Job name (unique within the scenario).
+    pub name: String,
+    /// Assembly flow the portfolio is costed under.
+    pub flow: AssemblyFlow,
+    /// The portfolio to cost.
+    pub portfolio: Portfolio,
+}
+
+/// One technology of a yield job.
+#[derive(Debug)]
+pub enum YieldTech {
+    /// A process node id.
+    Node(String),
+    /// The interposer process of a packaging technology (`info` / `2.5d`).
+    Interposer(IntegrationKind),
+}
+
+impl fmt::Display for YieldTech {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YieldTech::Node(id) => f.write_str(id),
+            YieldTech::Interposer(kind) => write!(f, "{kind}-interposer"),
+        }
+    }
+}
+
+/// A yield/cost-per-area tabulation job.
+#[derive(Debug)]
+pub struct YieldJob {
+    /// Job name.
+    pub name: String,
+    /// The technologies to tabulate.
+    pub techs: Vec<YieldTech>,
+    /// The area grid in mm².
+    pub areas_mm2: Vec<f64>,
+}
+
+/// A grid-exploration job.
+#[derive(Debug)]
+pub struct ExploreJob {
+    /// Job name.
+    pub name: String,
+    /// The exploration space.
+    pub space: PortfolioSpace,
+}
+
+/// One row of a cost job's output: a member system's per-unit breakdown in
+/// raw dollars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostRow {
+    /// Job name.
+    pub job: String,
+    /// System name within the portfolio.
+    pub system: String,
+    /// Production quantity of the system.
+    pub quantity: u64,
+    /// Per-unit RE.
+    pub re_usd: f64,
+    /// Per-unit RE spent on packaging.
+    pub re_packaging_usd: f64,
+    /// Per-unit amortized module NRE.
+    pub nre_modules_usd: f64,
+    /// Per-unit amortized chip NRE.
+    pub nre_chips_usd: f64,
+    /// Per-unit amortized package NRE.
+    pub nre_packages_usd: f64,
+    /// Per-unit amortized D2D NRE.
+    pub nre_d2d_usd: f64,
+    /// Per-unit total (RE + amortized NRE).
+    pub per_unit_usd: f64,
+}
+
+/// One row of a yield job's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldRow {
+    /// Job name.
+    pub job: String,
+    /// Technology label.
+    pub tech: String,
+    /// Die area in mm².
+    pub area_mm2: f64,
+    /// Die yield per Eq. (1).
+    pub yield_frac: f64,
+    /// Raw (unyielded) die cost.
+    pub raw_die_usd: f64,
+    /// Cost per good die.
+    pub yielded_die_usd: f64,
+    /// Cost per good mm², normalized to the raw-wafer cost per usable mm²
+    /// (Figure 2's y-axis).
+    pub norm_cost_per_area: f64,
+}
+
+/// An executed explore job.
+#[derive(Debug)]
+pub struct ExploreRun {
+    /// Job name.
+    pub name: String,
+    /// The grid result.
+    pub result: PortfolioResult,
+}
+
+/// Everything a scenario run produced.
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// The scenario's name.
+    pub name: String,
+    /// All cost rows, in job order then portfolio order.
+    pub cost_rows: Vec<CostRow>,
+    /// All yield rows, in job order.
+    pub yield_rows: Vec<YieldRow>,
+    /// All explore results, in job order.
+    pub explores: Vec<ExploreRun>,
+}
+
+impl ScenarioRun {
+    /// Streams the cost rows as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's [`fmt::Error`] (infallible for `String`).
+    pub fn write_costs_csv<W: fmt::Write + ?Sized>(&self, out: &mut W) -> fmt::Result {
+        write_csv_row(
+            out,
+            &[
+                "job",
+                "system",
+                "quantity",
+                "re_usd",
+                "re_packaging_usd",
+                "nre_modules_usd",
+                "nre_chips_usd",
+                "nre_packages_usd",
+                "nre_d2d_usd",
+                "per_unit_usd",
+            ],
+        )?;
+        for r in &self.cost_rows {
+            write_csv_row(
+                out,
+                &[
+                    r.job.clone(),
+                    r.system.clone(),
+                    r.quantity.to_string(),
+                    format!("{:.6}", r.re_usd),
+                    format!("{:.6}", r.re_packaging_usd),
+                    format!("{:.6}", r.nre_modules_usd),
+                    format!("{:.6}", r.nre_chips_usd),
+                    format!("{:.6}", r.nre_packages_usd),
+                    format!("{:.6}", r.nre_d2d_usd),
+                    format!("{:.6}", r.per_unit_usd),
+                ],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// The cost rows as a CSV string.
+    pub fn costs_csv(&self) -> String {
+        let mut out = String::new();
+        self.write_costs_csv(&mut out)
+            .expect("writing to a String cannot fail");
+        out
+    }
+
+    /// Streams the yield rows as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's [`fmt::Error`] (infallible for `String`).
+    pub fn write_yields_csv<W: fmt::Write + ?Sized>(&self, out: &mut W) -> fmt::Result {
+        write_csv_row(
+            out,
+            &[
+                "job",
+                "tech",
+                "area_mm2",
+                "yield",
+                "raw_die_usd",
+                "yielded_die_usd",
+                "norm_cost_per_area",
+            ],
+        )?;
+        for r in &self.yield_rows {
+            write_csv_row(
+                out,
+                &[
+                    r.job.clone(),
+                    r.tech.clone(),
+                    format!("{}", r.area_mm2),
+                    format!("{:.9}", r.yield_frac),
+                    format!("{:.6}", r.raw_die_usd),
+                    format!("{:.6}", r.yielded_die_usd),
+                    format!("{:.9}", r.norm_cost_per_area),
+                ],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// The yield rows as a CSV string.
+    pub fn yields_csv(&self) -> String {
+        let mut out = String::new();
+        self.write_yields_csv(&mut out)
+            .expect("writing to a String cannot fail");
+        out
+    }
+}
+
+impl Scenario {
+    /// Parses and lowers a scenario document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Parse`] for malformed TOML and
+    /// [`ScenarioError::Schema`] for schema violations — both name the
+    /// offending line and column.
+    pub fn from_toml(input: &str) -> Result<Scenario, ScenarioError> {
+        let doc = parse(input)?;
+        let mut root = View::new(&doc, "the scenario root");
+        let name = check_file_name(root.req_str("name")?, "scenario name")?;
+        let description = root.opt_str("description")?.map(|s| s.value.to_string());
+        let library = lower_library(&mut root)?;
+
+        let mut jobs = Vec::new();
+        let mut names = BTreeSet::new();
+        for table in root.opt_tables("portfolio")? {
+            let job = lower_portfolio_job(table, &library)?;
+            check_unique(&mut names, &job.name, table.pos)?;
+            jobs.push(Job::Cost(job));
+        }
+        for table in root.opt_tables("yield")? {
+            let job = lower_yield_job(table, &library)?;
+            check_unique(&mut names, &job.name, table.pos)?;
+            jobs.push(Job::Yield(job));
+        }
+        for table in root.opt_tables("explore")? {
+            let job = lower_explore_job(table, &library)?;
+            check_unique(&mut names, &job.name, table.pos)?;
+            jobs.push(Job::Explore(job));
+        }
+        root.deny_unknown()?;
+        if jobs.is_empty() {
+            return Err(ScenarioError::schema(
+                doc.pos,
+                "the scenario defines no jobs (add a [[portfolio]], [[yield]] or [explore] \
+                 table)",
+            ));
+        }
+        Ok(Scenario {
+            name,
+            description,
+            library,
+            jobs,
+        })
+    }
+
+    /// Serializes a library to scenario form; see
+    /// [`library_to_scenario`].
+    pub fn library_toml(name: &str, lib: &TechLibrary) -> String {
+        library_to_scenario(name, lib)
+    }
+
+    /// Executes every job. `threads = 0` lets explore jobs use all
+    /// hardware threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Engine`] naming the failing job.
+    pub fn run(&self, threads: usize) -> Result<ScenarioRun, ScenarioError> {
+        let mut run = ScenarioRun {
+            name: self.name.clone(),
+            cost_rows: Vec::new(),
+            yield_rows: Vec::new(),
+            explores: Vec::new(),
+        };
+        let engine = |job: &str, e: &dyn fmt::Display| ScenarioError::Engine {
+            context: job.to_string(),
+            message: e.to_string(),
+        };
+        for job in &self.jobs {
+            match job {
+                Job::Cost(j) => {
+                    let cost = j
+                        .portfolio
+                        .cost(&self.library, j.flow)
+                        .map_err(|e| engine(&j.name, &e))?;
+                    for sc in cost.systems() {
+                        let nre = sc.nre_per_unit();
+                        run.cost_rows.push(CostRow {
+                            job: j.name.clone(),
+                            system: sc.name().to_string(),
+                            quantity: sc.quantity().count(),
+                            re_usd: sc.re().total().usd(),
+                            re_packaging_usd: sc.re().packaging_total().usd(),
+                            nre_modules_usd: nre.modules.usd(),
+                            nre_chips_usd: nre.chips.usd(),
+                            nre_packages_usd: nre.packages.usd(),
+                            nre_d2d_usd: nre.d2d.usd(),
+                            per_unit_usd: sc.per_unit_total().usd(),
+                        });
+                    }
+                }
+                Job::Yield(j) => {
+                    run_yield_job(&self.library, j, &mut run.yield_rows)
+                        .map_err(|e| engine(&j.name, &e))?;
+                }
+                Job::Explore(j) => {
+                    let result = explore_portfolio(&self.library, &j.space, threads)
+                        .map_err(|e| engine(&j.name, &e))?;
+                    run.explores.push(ExploreRun {
+                        name: j.name.clone(),
+                        result,
+                    });
+                }
+            }
+        }
+        Ok(run)
+    }
+}
+
+/// Validates a scenario or job name. Names become output file names
+/// (`<scenario>-<job>-grid.csv`), so they are restricted to a safe
+/// character set — a `name = "../evil"` must not escape `--out-dir`.
+fn check_file_name(s: Spanned<&str>, what: &str) -> Result<String, ScenarioError> {
+    let ok = !s.value.is_empty()
+        && s.value
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if !ok {
+        return Err(ScenarioError::schema(
+            s.pos,
+            format!(
+                "{what} {:?} must be non-empty and use only letters, digits, `-`, `_` and \
+                 `.` (it names output files)",
+                s.value
+            ),
+        ));
+    }
+    Ok(s.value.to_string())
+}
+
+fn check_unique(names: &mut BTreeSet<String>, name: &str, pos: Pos) -> Result<(), ScenarioError> {
+    if !names.insert(name.to_string()) {
+        return Err(ScenarioError::schema(
+            pos,
+            format!("duplicate job name `{name}`"),
+        ));
+    }
+    Ok(())
+}
+
+/// Validates a node reference against the library, pointing at the value.
+fn check_node(lib: &TechLibrary, id: Spanned<&str>) -> Result<NodeId, ScenarioError> {
+    lib.node(id.value)
+        .map_err(|e| ScenarioError::schema(id.pos, e.to_string()))?;
+    Ok(NodeId::new(id.value))
+}
+
+fn parse_flow(s: Spanned<&str>) -> Result<AssemblyFlow, ScenarioError> {
+    // The grammar is owned by actuary-model's FromStr, shared with the CLI.
+    s.value
+        .parse()
+        .map_err(|message: String| ScenarioError::schema(s.pos, message))
+}
+
+fn area_mm2(v: Spanned<f64>) -> Result<Area, ScenarioError> {
+    Area::from_mm2(v.value).map_err(|e| ScenarioError::schema(v.pos, e.to_string()))
+}
+
+/// Lowers one `[[portfolio]]` table into a [`CostJob`].
+fn lower_portfolio_job(table: &Table, lib: &TechLibrary) -> Result<CostJob, ScenarioError> {
+    let mut view = View::new(table, "[[portfolio]]");
+    let name = check_file_name(view.req_str("name")?, "job name")?;
+    let scheme = view.req_str("scheme")?;
+    let flow = match view.opt_str("flow")? {
+        Some(s) => parse_flow(s)?,
+        None => AssemblyFlow::ChipLast,
+    };
+    let soc_baseline = match view.opt_str("baseline")? {
+        None => false,
+        Some(s) => match s.value {
+            "reuse" | "multi-chip" => false,
+            "soc" | "monolithic" => true,
+            other => {
+                return Err(ScenarioError::schema(
+                    s.pos,
+                    format!("unknown baseline {other:?} (reuse|soc)"),
+                ))
+            }
+        },
+    };
+    let portfolio = match scheme.value {
+        "scms" => {
+            let node = check_node(lib, view.req_str("node")?)?;
+            let spec = ScmsSpec {
+                chiplet_module_area: area_mm2(view.req_f64("chiplet_module_area_mm2")?)?,
+                node,
+                multiplicities: view
+                    .req_array("multiplicities", |v, p| elem_u32(v, p, "a multiplicity"))?,
+                integration: {
+                    let s = view.req_str("integration")?;
+                    parse_kind(s.value, s.pos)?
+                },
+                quantity_each: Quantity::new(view.req_u64("quantity")?.value),
+                package_reuse: view.opt_bool("package_reuse")?.is_some_and(|s| s.value),
+            };
+            view.deny_unknown()?;
+            build_reuse_portfolio(&name, || {
+                if soc_baseline {
+                    spec.soc_portfolio()
+                } else {
+                    spec.portfolio()
+                }
+            })?
+        }
+        "ocme" => {
+            let node = check_node(lib, view.req_str("node")?)?;
+            let center_node = match view.opt_str("center_node")? {
+                None => None,
+                Some(s) => Some(check_node(lib, s)?),
+            };
+            let spec = OcmeSpec {
+                socket_module_area: area_mm2(view.req_f64("socket_module_area_mm2")?)?,
+                node,
+                center_node,
+                integration: {
+                    let s = view.req_str("integration")?;
+                    parse_kind(s.value, s.pos)?
+                },
+                quantity_each: Quantity::new(view.req_u64("quantity")?.value),
+                package_reuse: view.opt_bool("package_reuse")?.is_some_and(|s| s.value),
+            };
+            view.deny_unknown()?;
+            build_reuse_portfolio(&name, || {
+                if soc_baseline {
+                    spec.soc_portfolio()
+                } else {
+                    spec.portfolio()
+                }
+            })?
+        }
+        "fsmc" => {
+            let node = check_node(lib, view.req_str("node")?)?;
+            let spec = FsmcSpec {
+                sockets: view.req_u32("sockets")?.value,
+                chiplet_types: view.req_u32("chiplet_types")?.value,
+                socket_module_area: area_mm2(view.req_f64("socket_module_area_mm2")?)?,
+                node,
+                integration: {
+                    let s = view.req_str("integration")?;
+                    parse_kind(s.value, s.pos)?
+                },
+                quantity_each: Quantity::new(view.req_u64("quantity")?.value),
+            };
+            view.deny_unknown()?;
+            build_reuse_portfolio(&name, || {
+                if soc_baseline {
+                    spec.soc_portfolio()
+                } else {
+                    spec.portfolio()
+                }
+            })?
+        }
+        "custom" => {
+            let systems = view.opt_tables("system")?;
+            view.deny_unknown()?;
+            if systems.is_empty() {
+                return Err(ScenarioError::schema(
+                    table.pos,
+                    format!("custom portfolio `{name}` needs at least one [[portfolio.system]]"),
+                ));
+            }
+            if soc_baseline {
+                return Err(ScenarioError::schema(
+                    table.pos,
+                    "custom portfolios have no generated SoC baseline; describe it explicitly"
+                        .to_string(),
+                ));
+            }
+            let mut built = Vec::with_capacity(systems.len());
+            for system in systems {
+                built.push(lower_system(system, lib)?);
+            }
+            Portfolio::new(built)
+        }
+        other => {
+            return Err(ScenarioError::schema(
+                scheme.pos,
+                format!("unknown scheme {other:?} (scms|ocme|fsmc|custom)"),
+            ))
+        }
+    };
+    Ok(CostJob {
+        name,
+        flow,
+        portfolio,
+    })
+}
+
+/// Builds a reuse-scheme portfolio, mapping spec errors to schema errors
+/// with the job's name.
+fn build_reuse_portfolio(
+    name: &str,
+    build: impl FnOnce() -> Result<Portfolio, actuary_arch::ArchError>,
+) -> Result<Portfolio, ScenarioError> {
+    build().map_err(|e| ScenarioError::Engine {
+        context: name.to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Lowers one `[[portfolio.system]]` table.
+fn lower_system(table: &Table, lib: &TechLibrary) -> Result<System, ScenarioError> {
+    let mut view = View::new(table, "[[portfolio.system]]");
+    let name = view.req_str("name")?.value.to_string();
+    let integration = {
+        let s = view.req_str("integration")?;
+        parse_kind(s.value, s.pos)?
+    };
+    let quantity = view.req_u64("quantity")?.value;
+    let package_design = view.opt_str("package_design")?.map(|s| s.value.to_string());
+    let chips = view.opt_tables("chip")?;
+    view.deny_unknown()?;
+    if chips.is_empty() {
+        return Err(ScenarioError::schema(
+            table.pos,
+            format!("system `{name}` needs at least one [[portfolio.system.chip]]"),
+        ));
+    }
+    let mut builder = System::builder(&name, integration).quantity(Quantity::new(quantity));
+    if let Some(design) = package_design {
+        builder = builder.package_design(design);
+    }
+    for chip_table in chips {
+        let (chip, count) = lower_chip(chip_table, lib)?;
+        builder = builder.chip(chip, count);
+    }
+    builder.build().map_err(|e| ScenarioError::Schema {
+        pos: table.pos,
+        message: e.to_string(),
+    })
+}
+
+/// Lowers one `[[portfolio.system.chip]]` table.
+fn lower_chip(table: &Table, lib: &TechLibrary) -> Result<(Chip, u32), ScenarioError> {
+    let mut view = View::new(table, "[[portfolio.system.chip]]");
+    let name = view.req_str("name")?.value.to_string();
+    let node = check_node(lib, view.req_str("node")?)?;
+    let count = view.opt_u32("count")?.map_or(1, |s| s.value);
+    let monolithic = view.opt_bool("monolithic")?.is_some_and(|s| s.value);
+    let modules = view.opt_tables("module")?;
+    view.deny_unknown()?;
+    if modules.is_empty() {
+        return Err(ScenarioError::schema(
+            table.pos,
+            format!("chip `{name}` needs at least one [[portfolio.system.chip.module]]"),
+        ));
+    }
+    let mut built = Vec::with_capacity(modules.len());
+    for module_table in modules {
+        let mut m = View::new(module_table, "[[portfolio.system.chip.module]]");
+        let module_name = m.req_str("name")?.value.to_string();
+        let area = area_mm2(m.req_f64("area_mm2")?)?;
+        let module_node = match m.opt_str("node")? {
+            Some(s) => check_node(lib, s)?,
+            None => node.clone(),
+        };
+        m.deny_unknown()?;
+        built.push(Module::new(module_name, module_node, area));
+    }
+    let chip = if monolithic {
+        Chip::monolithic(name, node, built)
+    } else {
+        Chip::chiplet(name, node, built)
+    };
+    Ok((chip, count))
+}
+
+/// Lowers one `[[yield]]` table.
+fn lower_yield_job(table: &Table, lib: &TechLibrary) -> Result<YieldJob, ScenarioError> {
+    let mut view = View::new(table, "[[yield]]");
+    let name = check_file_name(view.req_str("name")?, "job name")?;
+    let techs = view.req_array("techs", |v, p| {
+        let s = elem_str(v, p, "a technology")?;
+        match s.value.to_ascii_lowercase().as_str() {
+            "info" | "rdl" => Ok(YieldTech::Interposer(IntegrationKind::Info)),
+            "2.5d" | "si" | "si-interposer" => {
+                Ok(YieldTech::Interposer(IntegrationKind::TwoPointFiveD))
+            }
+            _ => {
+                check_node(lib, s)?;
+                Ok(YieldTech::Node(s.value.to_string()))
+            }
+        }
+    })?;
+    let areas_mm2 = view.req_array("areas_mm2", |v, p| elem_f64(v, p, "an area"))?;
+    view.deny_unknown()?;
+    if techs.is_empty() || areas_mm2.is_empty() {
+        return Err(ScenarioError::schema(
+            table.pos,
+            format!("yield job `{name}` needs at least one technology and one area"),
+        ));
+    }
+    Ok(YieldJob {
+        name,
+        techs,
+        areas_mm2,
+    })
+}
+
+/// Executes a yield job (the Figure 2 computation, scenario-driven).
+fn run_yield_job(
+    lib: &TechLibrary,
+    job: &YieldJob,
+    rows: &mut Vec<YieldRow>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use actuary_yield::{NegativeBinomial, YieldModel};
+    for tech in &job.techs {
+        let (label, defect, cluster, price, wafer) = match tech {
+            YieldTech::Node(id) => {
+                let node = lib.node(id)?;
+                (
+                    tech.to_string(),
+                    node.defect_density(),
+                    node.cluster(),
+                    node.wafer_price(),
+                    node.wafer(),
+                )
+            }
+            YieldTech::Interposer(kind) => {
+                let p = lib.packaging(*kind)?;
+                let ip = p
+                    .interposer()
+                    .ok_or_else(|| format!("{kind} packaging defines no interposer process"))?;
+                (
+                    tech.to_string(),
+                    ip.defect_density(),
+                    ip.cluster(),
+                    ip.wafer_price(),
+                    ip.wafer(),
+                )
+            }
+        };
+        let model = NegativeBinomial::new(cluster)?;
+        let per_mm2 = wafer.cost_per_usable_mm2(price);
+        for &mm2 in &job.areas_mm2 {
+            let area = Area::from_mm2(mm2)?;
+            let y = model.die_yield(defect, area);
+            let raw = wafer.raw_die_cost(price, area)?;
+            let yielded = raw * y.reciprocal()?;
+            rows.push(YieldRow {
+                job: job.name.clone(),
+                tech: label.clone(),
+                area_mm2: mm2,
+                yield_frac: y.value(),
+                raw_die_usd: raw.usd(),
+                yielded_die_usd: yielded.usd(),
+                norm_cost_per_area: (yielded.usd() / mm2) / per_mm2.usd(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Lowers the `[explore]` table into an [`ExploreJob`].
+fn lower_explore_job(table: &Table, lib: &TechLibrary) -> Result<ExploreJob, ScenarioError> {
+    let mut view = View::new(table, "[explore]");
+    let name = match view.opt_str("name")? {
+        Some(s) => check_file_name(s, "job name")?,
+        None => "explore".to_string(),
+    };
+    let mut space = PortfolioSpace {
+        flows: vec![AssemblyFlow::ChipLast],
+        schemes: vec![ReuseScheme::None],
+        ..PortfolioSpace::default()
+    };
+    if let Some(nodes) = view.opt_array("nodes", |v, p| {
+        let s = elem_str(v, p, "a node id")?;
+        check_node(lib, s)?;
+        Ok(s.value.to_string())
+    })? {
+        space.nodes = nodes;
+    } else {
+        // The default axis references preset nodes; restrict it to the ones
+        // the scenario's library actually has.
+        space.nodes.retain(|n| lib.node(n).is_ok());
+        if space.nodes.is_empty() {
+            return Err(ScenarioError::schema(
+                table.pos,
+                "the scenario library has none of the default exploration nodes; \
+                 give [explore] an explicit `nodes` list",
+            ));
+        }
+    }
+    if let Some(areas) = view.opt_array("areas_mm2", |v, p| elem_f64(v, p, "an area"))? {
+        space.areas_mm2 = areas;
+    }
+    if let Some(q) = view.opt_array("quantities", |v, p| elem_u64(v, p, "a quantity"))? {
+        space.quantities = q;
+    }
+    if let Some(kinds) = view.opt_array("integrations", |v, p| {
+        let s = elem_str(v, p, "an integration")?;
+        parse_kind(s.value, s.pos)
+    })? {
+        space.integrations = kinds;
+    }
+    if let Some(chiplets) = view.opt_array("chiplets", |v, p| elem_u32(v, p, "a chiplet count"))? {
+        space.chiplet_counts = chiplets;
+    }
+    if let Some(flows) = view.opt_array("flows", |v, p| parse_flow(elem_str(v, p, "a flow")?))? {
+        space.flows = flows;
+    }
+    if let Some(schemes) = view.opt_array("schemes", |v, p| {
+        let s = elem_str(v, p, "a scheme")?;
+        // The grammar is owned by actuary-dse's FromStr, shared with the CLI.
+        s.value
+            .parse::<ReuseScheme>()
+            .map_err(|message| ScenarioError::schema(s.pos, message))
+    })? {
+        space.schemes = schemes;
+    }
+    if let Some(m) = view.opt_array("scms_multiplicities", |v, p| {
+        elem_u32(v, p, "a multiplicity")
+    })? {
+        space.scms_multiplicities = m;
+    }
+    if let Some(situations) = view.opt_array("fsmc_situations", |v, p| {
+        let s = elem_str(v, p, "an FSMC situation")?;
+        // The KxN grammar is owned by actuary-dse, shared with the CLI.
+        parse_fsmc_situation(s.value).map_err(|message| ScenarioError::schema(p, message))
+    })? {
+        space.fsmc_situations = situations;
+    }
+    if let Some(centers) = view.opt_array("ocme_center_nodes", |v, p| {
+        let s = elem_str(v, p, "a centre node")?;
+        if s.value.eq_ignore_ascii_case("none") {
+            Ok(None)
+        } else {
+            check_node(lib, s)?;
+            Ok(Some(s.value.to_string()))
+        }
+    })? {
+        space.ocme_center_nodes = centers;
+    }
+    if let Some(b) = view.opt_bool("package_reuse")? {
+        space.package_reuse = b.value;
+    }
+    view.deny_unknown()?;
+    Ok(ExploreJob { name, space })
+}

@@ -1,0 +1,359 @@
+//! **actuary-scenario** — declarative scenario files for the chiplet
+//! cost model.
+//!
+//! Everything the engine can evaluate — technology libraries, systems,
+//! portfolios, reuse schemes and exploration spaces — can be described in
+//! a TOML file instead of Rust. A scenario is parsed by the crate's own
+//! std-only [`toml`] parser (the offline serde shim has no deserializer),
+//! lowered through a schema layer with line/column diagnostics, and
+//! executed through the existing `actuary-arch` / `actuary-dse` engines.
+//!
+//! # File shape
+//!
+//! ```toml
+//! name = "my-study"
+//! extends = "preset"          # start from the paper's calibration
+//!
+//! [nodes.7nm]                 # overlay: only this key changes
+//! wafer_price_usd = 11000
+//!
+//! [[portfolio]]               # cost a reuse-scheme portfolio
+//! name = "scms-mcm"
+//! scheme = "scms"
+//! node = "7nm"
+//! chiplet_module_area_mm2 = 200.0
+//! multiplicities = [1, 2, 4]
+//! integration = "mcm"
+//! quantity = 500000
+//!
+//! [explore]                   # grid exploration through actuary-dse
+//! nodes = ["7nm"]
+//! areas_mm2 = [400.0, 800.0]
+//! quantities = [500000]
+//! ```
+//!
+//! See the repository README ("Scenario files") for the full schema
+//! reference; `examples/scenarios/` reproduces the paper's Figures 2, 6,
+//! 8, 9 and 10 from scenario files alone.
+//!
+//! # Examples
+//!
+//! ```
+//! use actuary_scenario::Scenario;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::from_toml(concat!(
+//!     "name = \"demo\"\n",
+//!     "[[portfolio]]\n",
+//!     "name = \"scms\"\n",
+//!     "scheme = \"scms\"\n",
+//!     "node = \"7nm\"\n",
+//!     "chiplet_module_area_mm2 = 200.0\n",
+//!     "multiplicities = [1, 2, 4]\n",
+//!     "integration = \"mcm\"\n",
+//!     "quantity = 500000\n",
+//! ))?;
+//! let run = scenario.run(1)?;
+//! assert_eq!(run.cost_rows.len(), 3); // 1X, 2X, 4X
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Errors always name the offending position:
+//!
+//! ```
+//! use actuary_scenario::Scenario;
+//!
+//! let err = Scenario::from_toml("name = \"x\"\nquanttiy = 1\n").unwrap_err();
+//! assert_eq!(
+//!     err.to_string(),
+//!     "line 2, column 1: unknown key `quanttiy` in the scenario root (accepted: \
+//!      description, explore, extends, name, nodes, packaging, portfolio, yield)"
+//! );
+//! ```
+
+pub mod error;
+mod jobs;
+mod schema;
+mod tech;
+pub mod toml;
+
+pub use error::ScenarioError;
+pub use jobs::{
+    CostJob, CostRow, ExploreJob, ExploreRun, Job, Scenario, ScenarioRun, YieldJob, YieldRow,
+    YieldTech,
+};
+pub use tech::library_to_scenario;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actuary_tech::TechLibrary;
+
+    fn minimal(job: &str) -> String {
+        format!("name = \"t\"\n{job}")
+    }
+
+    const SCMS_JOB: &str = concat!(
+        "[[portfolio]]\n",
+        "name = \"j\"\n",
+        "scheme = \"scms\"\n",
+        "node = \"7nm\"\n",
+        "chiplet_module_area_mm2 = 200.0\n",
+        "multiplicities = [1, 2, 4]\n",
+        "integration = \"mcm\"\n",
+        "quantity = 500000\n",
+    );
+
+    #[test]
+    fn scms_scenario_runs() {
+        let s = Scenario::from_toml(&minimal(SCMS_JOB)).unwrap();
+        assert_eq!(s.jobs.len(), 1);
+        let run = s.run(1).unwrap();
+        assert_eq!(run.cost_rows.len(), 3);
+        assert!(run.cost_rows.iter().all(|r| r.per_unit_usd > 0.0));
+        let csv = run.costs_csv();
+        assert!(csv.starts_with(
+            "job,system,quantity,re_usd,re_packaging_usd,nre_modules_usd,nre_chips_usd,\
+             nre_packages_usd,nre_d2d_usd,per_unit_usd\n"
+        ));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn schema_errors_name_line_and_column() {
+        // (scenario text, expected "line N, column M" prefix, fragment)
+        let cases: &[(String, &str, &str)] = &[
+            (
+                minimal("[[portfolio]]\nname = \"j\"\nscheme = \"scms\"\nnode = \"9nm\"\n"),
+                "line 5, column 8",
+                "unknown process node",
+            ),
+            (
+                minimal("[[portfolio]]\nname = \"j\"\nscheme = \"weird\"\n"),
+                "line 4, column 10",
+                "unknown scheme",
+            ),
+            (
+                minimal(&SCMS_JOB.replace("quantity = 500000", "quantity = \"many\"")),
+                "line 9, column 12",
+                "must be an integer",
+            ),
+            (
+                minimal(&format!("{SCMS_JOB}typo_key = 1\n")),
+                "line 10, column 1",
+                "unknown key `typo_key`",
+            ),
+            (
+                "extends = \"wat\"\nname = \"t\"\n".to_string(),
+                "line 1, column 11",
+                "unknown base library",
+            ),
+            (
+                minimal("[nodes.4nm]\ncluster = 9.0\n"),
+                "line 2, column 1",
+                "requires key `defect_density`",
+            ),
+        ];
+        for (input, prefix, fragment) in cases {
+            let err = Scenario::from_toml(input).expect_err(input);
+            let message = err.to_string();
+            assert!(
+                message.starts_with(prefix),
+                "{input:?}: {message} must start with {prefix:?}"
+            );
+            assert!(
+                message.contains(fragment),
+                "{input:?}: {message} must mention {fragment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn extends_overlay_keeps_unmentioned_parameters() {
+        let s = Scenario::from_toml(&minimal(&format!(
+            "[nodes.7nm]\nwafer_price_usd = 12000\n{SCMS_JOB}"
+        )))
+        .unwrap();
+        let base = TechLibrary::paper_defaults().unwrap();
+        let n7 = s.library.node("7nm").unwrap();
+        assert_eq!(n7.wafer_price().usd(), 12000.0);
+        // Everything else keeps the preset calibration.
+        let b7 = base.node("7nm").unwrap();
+        assert_eq!(n7.defect_density(), b7.defect_density());
+        assert_eq!(n7.nre().k_module, b7.nre().k_module);
+        assert_eq!(n7.d2d(), b7.d2d());
+        assert_eq!(s.library.node_count(), base.node_count());
+    }
+
+    #[test]
+    fn extends_none_starts_empty() {
+        let err =
+            Scenario::from_toml(&minimal(&format!("extends = \"none\"\n{SCMS_JOB}"))).unwrap_err();
+        assert!(err.to_string().contains("unknown process node"), "{err}");
+    }
+
+    #[test]
+    fn custom_heterogeneous_system() {
+        let s = Scenario::from_toml(&minimal(concat!(
+            "[[portfolio]]\n",
+            "name = \"amd-like\"\n",
+            "scheme = \"custom\"\n",
+            "flow = \"chip-first\"\n",
+            "[[portfolio.system]]\n",
+            "name = \"epyc\"\n",
+            "integration = \"mcm\"\n",
+            "quantity = 1000000\n",
+            "[[portfolio.system.chip]]\n",
+            "name = \"ccd\"\n",
+            "node = \"7nm\"\n",
+            "count = 8\n",
+            "[[portfolio.system.chip.module]]\n",
+            "name = \"cores\"\n",
+            "area_mm2 = 67.0\n",
+            "[[portfolio.system.chip]]\n",
+            "name = \"iod\"\n",
+            "node = \"12nm\"\n",
+            "[[portfolio.system.chip.module]]\n",
+            "name = \"io\"\n",
+            "area_mm2 = 370.0\n",
+        )))
+        .unwrap();
+        let run = s.run(1).unwrap();
+        assert_eq!(run.cost_rows.len(), 1);
+        let row = &run.cost_rows[0];
+        assert_eq!(row.system, "epyc");
+        assert!(row.per_unit_usd > 0.0);
+    }
+
+    #[test]
+    fn yield_job_matches_direct_computation() {
+        let s = Scenario::from_toml(&minimal(concat!(
+            "[[yield]]\n",
+            "name = \"y\"\n",
+            "techs = [\"7nm\", \"2.5d\"]\n",
+            "areas_mm2 = [100, 800]\n",
+        )))
+        .unwrap();
+        let run = s.run(1).unwrap();
+        assert_eq!(run.yield_rows.len(), 4);
+        let lib = TechLibrary::paper_defaults().unwrap();
+        let n7 = lib.node("7nm").unwrap();
+        let direct = n7.die_yield(actuary_units::Area::from_mm2(100.0).unwrap());
+        assert_eq!(run.yield_rows[0].yield_frac, direct.value());
+        assert!(run.yields_csv().contains("2.5D-interposer"));
+    }
+
+    #[test]
+    fn explore_job_rides_the_dse_engine() {
+        let s = Scenario::from_toml(&minimal(concat!(
+            "[explore]\n",
+            "nodes = [\"7nm\"]\n",
+            "areas_mm2 = [200.0, 400.0]\n",
+            "quantities = [500000]\n",
+            "integrations = [\"soc\", \"mcm\"]\n",
+            "chiplets = [1, 2]\n",
+            "schemes = [\"none\", \"scms\"]\n",
+        )))
+        .unwrap();
+        let run = s.run(1).unwrap();
+        assert_eq!(run.explores.len(), 1);
+        let result = &run.explores[0].result;
+        assert_eq!(result.len(), 2 * 2 * 2 * 2);
+        assert!(result.feasible_count() > 0);
+    }
+
+    #[test]
+    fn scenario_without_jobs_is_rejected() {
+        let err = Scenario::from_toml("name = \"t\"\n").unwrap_err();
+        assert!(err.to_string().contains("defines no jobs"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_job_names_are_rejected() {
+        let err = Scenario::from_toml(&minimal(&format!("{SCMS_JOB}{SCMS_JOB}"))).unwrap_err();
+        assert!(err.to_string().contains("duplicate job name"), "{err}");
+    }
+
+    #[test]
+    fn names_that_would_escape_the_output_directory_are_rejected() {
+        // Scenario and job names become output file names; a traversal
+        // name must fail at parse time, pointing at the value.
+        for bad in ["../evil", "a/b", "", "a b"] {
+            let input = minimal(SCMS_JOB).replace("name = \"t\"", &format!("name = \"{bad}\""));
+            let err = Scenario::from_toml(&input).expect_err(bad);
+            assert!(
+                err.to_string().contains("names output files"),
+                "{bad}: {err}"
+            );
+        }
+        let input = minimal(&SCMS_JOB.replace("name = \"j\"", "name = \"../j\""));
+        let err = Scenario::from_toml(&input).unwrap_err();
+        assert!(err.to_string().contains("job name"), "{err}");
+    }
+
+    #[test]
+    fn non_bare_node_ids_survive_the_round_trip() {
+        use actuary_units::Money;
+        let mut lib = TechLibrary::paper_defaults().unwrap();
+        // An id that is not a bare TOML key (contains a dot) must be quoted
+        // by the writer and reparsed identically.
+        lib.insert_node(
+            actuary_tech::ProcessNode::builder("8.5nm")
+                .defect_density(0.1)
+                .wafer_price(Money::from_usd(5_000.0).unwrap())
+                .k_module(Money::from_usd(300_000.0).unwrap())
+                .k_chip(Money::from_usd(180_000.0).unwrap())
+                .mask_set(Money::from_musd(5.0).unwrap())
+                .build()
+                .unwrap(),
+        );
+        let toml = library_to_scenario("weird", &lib);
+        let s = Scenario::from_toml(&format!(
+            "{toml}\n[[yield]]\nname = \"y\"\ntechs = [\"8.5nm\"]\nareas_mm2 = [100]\n"
+        ))
+        .unwrap();
+        assert_eq!(s.library, lib);
+    }
+
+    #[test]
+    fn library_round_trips_through_scenario_form() {
+        let lib = TechLibrary::paper_defaults().unwrap();
+        let toml = library_to_scenario("roundtrip", &lib);
+        let s = Scenario::from_toml(&format!(
+            "{toml}\n[[yield]]\nname = \"y\"\ntechs = [\"7nm\"]\nareas_mm2 = [100]\n"
+        ))
+        .unwrap();
+        assert_eq!(s.library, lib);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser and schema never panic, whatever the input.
+        #[test]
+        fn parser_never_panics(bytes in proptest::collection::vec(0u8..=255u8, 0..200usize)) {
+            let input = String::from_utf8_lossy(&bytes);
+            let _ = crate::Scenario::from_toml(&input);
+        }
+
+        /// Printable, structured-looking input doesn't panic either.
+        #[test]
+        fn structured_fuzz_never_panics(
+            bytes in proptest::collection::vec(32u8..127u8, 0..40usize),
+            which in 0u8..4u8,
+        ) {
+            let payload: String = bytes.iter().map(|&b| b as char).collect();
+            let input = match which {
+                0 => format!("{payload} = 1\n"),
+                1 => format!("a = {payload}\n"),
+                2 => format!("[{payload}]\nx = 1\n"),
+                _ => format!("name = \"t\"\n[[portfolio]]\n{payload}\n"),
+            };
+            let _ = crate::Scenario::from_toml(&input);
+        }
+    }
+}

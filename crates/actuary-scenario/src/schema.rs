@@ -1,0 +1,339 @@
+//! Typed access to a parsed [`Table`] with schema diagnostics.
+//!
+//! A [`View`] wraps a table, records every key the schema asks about, and
+//! rejects leftovers at [`View::deny_unknown`] time with the offending
+//! key's line and column plus the accepted-key list — the same philosophy
+//! as the CLI's `reject_unknown_flags`.
+
+use crate::error::ScenarioError;
+use crate::toml::{Pos, Table, Value};
+
+/// A schema-checking lens over one table.
+pub(crate) struct View<'a> {
+    table: &'a Table,
+    /// Human context for messages, e.g. "[nodes.7nm]".
+    context: String,
+    /// Keys the schema has asked about (accepted keys).
+    known: Vec<&'static str>,
+}
+
+impl<'a> View<'a> {
+    pub(crate) fn new(table: &'a Table, context: impl Into<String>) -> Self {
+        View {
+            table,
+            context: context.into(),
+            known: Vec::new(),
+        }
+    }
+
+    /// Position of the underlying table (its header or first key).
+    pub(crate) fn pos(&self) -> Pos {
+        self.table.pos
+    }
+
+    pub(crate) fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// The raw entries of the underlying table — for schemas whose keys are
+    /// data (node ids, packaging kinds) rather than a fixed vocabulary.
+    pub(crate) fn raw_entries(&self) -> &'a [crate::toml::Entry] {
+        self.table.entries()
+    }
+
+    fn lookup(&mut self, key: &'static str) -> Option<&'a crate::toml::Entry> {
+        if !self.known.contains(&key) {
+            self.known.push(key);
+        }
+        self.table.get(key)
+    }
+
+    fn type_error(&self, key: &str, pos: Pos, want: &str, got: &Value) -> ScenarioError {
+        ScenarioError::schema(
+            pos,
+            format!(
+                "key `{key}` in {} must be {want}, got {}",
+                self.context,
+                got.type_name()
+            ),
+        )
+    }
+
+    fn missing(&self, key: &str) -> ScenarioError {
+        ScenarioError::schema(
+            self.table.pos,
+            format!("missing required key `{key}` in {}", self.context),
+        )
+    }
+
+    /// Optional string.
+    pub(crate) fn opt_str(
+        &mut self,
+        key: &'static str,
+    ) -> Result<Option<Spanned<&'a str>>, ScenarioError> {
+        match self.lookup(key) {
+            None => Ok(None),
+            Some(e) => match &e.value {
+                Value::Str(s) => Ok(Some(Spanned {
+                    value: s.as_str(),
+                    pos: e.value_pos,
+                })),
+                other => Err(self.type_error(key, e.value_pos, "a string", other)),
+            },
+        }
+    }
+
+    /// Required string.
+    pub(crate) fn req_str(&mut self, key: &'static str) -> Result<Spanned<&'a str>, ScenarioError> {
+        self.opt_str(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    /// Optional float (integers are accepted and widened).
+    pub(crate) fn opt_f64(
+        &mut self,
+        key: &'static str,
+    ) -> Result<Option<Spanned<f64>>, ScenarioError> {
+        match self.lookup(key) {
+            None => Ok(None),
+            Some(e) => match &e.value {
+                Value::Float(v) => Ok(Some(Spanned {
+                    value: *v,
+                    pos: e.value_pos,
+                })),
+                Value::Int(v) => Ok(Some(Spanned {
+                    value: *v as f64,
+                    pos: e.value_pos,
+                })),
+                other => Err(self.type_error(key, e.value_pos, "a number", other)),
+            },
+        }
+    }
+
+    /// Required float.
+    pub(crate) fn req_f64(&mut self, key: &'static str) -> Result<Spanned<f64>, ScenarioError> {
+        self.opt_f64(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    /// Optional non-negative integer.
+    pub(crate) fn opt_u64(
+        &mut self,
+        key: &'static str,
+    ) -> Result<Option<Spanned<u64>>, ScenarioError> {
+        match self.lookup(key) {
+            None => Ok(None),
+            Some(e) => match &e.value {
+                Value::Int(v) if *v >= 0 => Ok(Some(Spanned {
+                    value: *v as u64,
+                    pos: e.value_pos,
+                })),
+                Value::Int(_) => Err(ScenarioError::schema(
+                    e.value_pos,
+                    format!(
+                        "key `{key}` in {} must be a non-negative integer",
+                        self.context
+                    ),
+                )),
+                other => Err(self.type_error(key, e.value_pos, "an integer", other)),
+            },
+        }
+    }
+
+    /// Required non-negative integer.
+    pub(crate) fn req_u64(&mut self, key: &'static str) -> Result<Spanned<u64>, ScenarioError> {
+        self.opt_u64(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    /// Optional `u32` (range-checked).
+    pub(crate) fn opt_u32(
+        &mut self,
+        key: &'static str,
+    ) -> Result<Option<Spanned<u32>>, ScenarioError> {
+        match self.opt_u64(key)? {
+            None => Ok(None),
+            Some(s) => {
+                let value = u32::try_from(s.value).map_err(|_| {
+                    ScenarioError::schema(
+                        s.pos,
+                        format!("key `{key}` in {} is too large for u32", self.context),
+                    )
+                })?;
+                Ok(Some(Spanned { value, pos: s.pos }))
+            }
+        }
+    }
+
+    /// Required `u32`.
+    pub(crate) fn req_u32(&mut self, key: &'static str) -> Result<Spanned<u32>, ScenarioError> {
+        self.opt_u32(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    /// Optional boolean.
+    pub(crate) fn opt_bool(
+        &mut self,
+        key: &'static str,
+    ) -> Result<Option<Spanned<bool>>, ScenarioError> {
+        match self.lookup(key) {
+            None => Ok(None),
+            Some(e) => match &e.value {
+                Value::Bool(v) => Ok(Some(Spanned {
+                    value: *v,
+                    pos: e.value_pos,
+                })),
+                other => Err(self.type_error(key, e.value_pos, "a boolean", other)),
+            },
+        }
+    }
+
+    /// Optional array, each element converted by `f` (which receives the
+    /// element and its position).
+    pub(crate) fn opt_array<T>(
+        &mut self,
+        key: &'static str,
+        mut f: impl FnMut(&'a Value, Pos) -> Result<T, ScenarioError>,
+    ) -> Result<Option<Vec<T>>, ScenarioError> {
+        match self.lookup(key) {
+            None => Ok(None),
+            Some(e) => match &e.value {
+                Value::Array(items) => {
+                    let mut out = Vec::with_capacity(items.len());
+                    for (value, pos) in items {
+                        out.push(f(value, *pos)?);
+                    }
+                    Ok(Some(out))
+                }
+                other => Err(self.type_error(key, e.value_pos, "an array", other)),
+            },
+        }
+    }
+
+    /// Required array.
+    pub(crate) fn req_array<T>(
+        &mut self,
+        key: &'static str,
+        f: impl FnMut(&'a Value, Pos) -> Result<T, ScenarioError>,
+    ) -> Result<Vec<T>, ScenarioError> {
+        self.opt_array(key, f)?.ok_or_else(|| self.missing(key))
+    }
+
+    /// Optional sub-table, returned as a child [`View`] whose context
+    /// extends this view's bracketed path (`[nodes]` → `[nodes.7nm]`).
+    pub(crate) fn opt_table(
+        &mut self,
+        key: &'static str,
+    ) -> Result<Option<View<'a>>, ScenarioError> {
+        let child_context = {
+            let inner = self.context.trim_start_matches('[').trim_end_matches(']');
+            if inner.is_empty() || !self.context.starts_with('[') {
+                format!("[{key}]")
+            } else {
+                format!("[{inner}.{key}]")
+            }
+        };
+        match self.lookup(key) {
+            None => Ok(None),
+            Some(e) => match &e.value {
+                Value::Table(t) => Ok(Some(View::new(t, child_context))),
+                other => Err(self.type_error(key, e.value_pos, "a table", other)),
+            },
+        }
+    }
+
+    /// Optional array of tables (`[[key]]`).
+    pub(crate) fn opt_tables(
+        &mut self,
+        key: &'static str,
+    ) -> Result<Vec<&'a Table>, ScenarioError> {
+        match self.lookup(key) {
+            None => Ok(Vec::new()),
+            Some(e) => match &e.value {
+                Value::Tables(tables) => Ok(tables.iter().collect()),
+                // A single [key] table is accepted as a one-element list.
+                Value::Table(t) => Ok(vec![t]),
+                other => Err(self.type_error(key, e.value_pos, "an array of tables", other)),
+            },
+        }
+    }
+
+    /// Errors on the first key the schema never asked about, naming its
+    /// position and the accepted keys.
+    pub(crate) fn deny_unknown(&self) -> Result<(), ScenarioError> {
+        for entry in self.table.entries() {
+            if !self.known.iter().any(|k| *k == entry.key) {
+                let mut accepted: Vec<&str> = self.known.clone();
+                accepted.sort_unstable();
+                return Err(ScenarioError::schema(
+                    entry.key_pos,
+                    format!(
+                        "unknown key `{}` in {} (accepted: {})",
+                        entry.key,
+                        self.context,
+                        if accepted.is_empty() {
+                            "none".to_string()
+                        } else {
+                            accepted.join(", ")
+                        }
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A value plus the position it came from.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Spanned<T> {
+    pub value: T,
+    pub pos: Pos,
+}
+
+/// Converts an array element to a string, with a position-carrying error.
+pub(crate) fn elem_str<'a>(
+    value: &'a Value,
+    pos: Pos,
+    what: &str,
+) -> Result<Spanned<&'a str>, ScenarioError> {
+    match value {
+        Value::Str(s) => Ok(Spanned {
+            value: s.as_str(),
+            pos,
+        }),
+        other => Err(ScenarioError::schema(
+            pos,
+            format!("{what} must be a string, got {}", other.type_name()),
+        )),
+    }
+}
+
+/// Converts an array element to an f64.
+pub(crate) fn elem_f64(value: &Value, pos: Pos, what: &str) -> Result<f64, ScenarioError> {
+    match value {
+        Value::Float(v) => Ok(*v),
+        Value::Int(v) => Ok(*v as f64),
+        other => Err(ScenarioError::schema(
+            pos,
+            format!("{what} must be a number, got {}", other.type_name()),
+        )),
+    }
+}
+
+/// Converts an array element to a u64.
+pub(crate) fn elem_u64(value: &Value, pos: Pos, what: &str) -> Result<u64, ScenarioError> {
+    match value {
+        Value::Int(v) if *v >= 0 => Ok(*v as u64),
+        Value::Int(_) => Err(ScenarioError::schema(
+            pos,
+            format!("{what} must be non-negative"),
+        )),
+        other => Err(ScenarioError::schema(
+            pos,
+            format!("{what} must be an integer, got {}", other.type_name()),
+        )),
+    }
+}
+
+/// Converts an array element to a u32.
+pub(crate) fn elem_u32(value: &Value, pos: Pos, what: &str) -> Result<u32, ScenarioError> {
+    let v = elem_u64(value, pos, what)?;
+    u32::try_from(v).map_err(|_| ScenarioError::schema(pos, format!("{what} is too large")))
+}

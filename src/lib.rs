@@ -75,6 +75,11 @@ pub mod arch {
     pub use actuary_arch::*;
 }
 
+/// Declarative scenario files ([`actuary_scenario`]).
+pub mod scenario {
+    pub use actuary_scenario::*;
+}
+
 /// Monte-Carlo assembly simulation ([`actuary_mc`]).
 pub mod mc {
     pub use actuary_mc::*;

@@ -297,6 +297,156 @@ fn fsmc_grid_cells_reconstruct_the_fig10_average() {
 }
 
 #[test]
+fn fsmc_situation_axis_reproduces_all_five_fig10_bars() {
+    // ROADMAP follow-up closed by this PR: the (k, n) situations are a
+    // grid axis, so ONE exploration run sweeps Figure 10's x-axis. Every
+    // situation's bar is reconstructed from its size cells weighted by the
+    // multiset counts and pinned against the figure to 1e-9.
+    let lib = lib();
+    let space = PortfolioSpace {
+        nodes: vec!["7nm".to_string()],
+        areas_mm2: vec![160.0, 320.0, 480.0, 640.0],
+        quantities: vec![500_000],
+        integrations: vec![
+            IntegrationKind::Soc,
+            IntegrationKind::Mcm,
+            IntegrationKind::TwoPointFiveD,
+        ],
+        chiplet_counts: vec![1, 2, 3, 4],
+        flows: vec![AssemblyFlow::ChipLast],
+        schemes: vec![ReuseScheme::Fsmc],
+        fsmc_situations: PortfolioSpace::FSMC_PAPER_SITUATIONS.to_vec(),
+        ..PortfolioSpace::default()
+    };
+    assert_eq!(space.scheme_variants().len(), 5);
+    let result = explore_portfolio(&lib, &space, 2).unwrap();
+    let fig = fig10::compute(&lib).unwrap();
+    let first_soc = FsmcSpec::paper_example(2, 2)
+        .unwrap()
+        .soc_portfolio()
+        .unwrap()
+        .cost(&lib, AssemblyFlow::ChipLast)
+        .unwrap();
+    let basis = first_soc.average_per_unit().usd();
+
+    for (k, n) in fig10::SITUATIONS {
+        let params = format!("k={k},n={n}");
+        for kind in [
+            IntegrationKind::Soc,
+            IntegrationKind::Mcm,
+            IntegrationKind::TwoPointFiveD,
+        ] {
+            let mut weighted = 0.0;
+            let mut weight = 0.0;
+            for size in 1..=k {
+                let area = 160.0 * f64::from(size);
+                let cell = result
+                    .cells()
+                    .iter()
+                    .find(|c| {
+                        c.area_mm2 == area
+                            && c.chiplets == size
+                            && c.integration == kind
+                            && c.scheme_params == params
+                    })
+                    .and_then(|c| c.outcome.candidate())
+                    .unwrap_or_else(|| panic!("({k},{n}) {kind} size-{size} must be feasible"));
+                let count = multiset_count(n, size) as f64;
+                weighted += cell.per_unit.usd() * count;
+                weight += count;
+            }
+            let bar = fig.cell(k, n, kind).unwrap();
+            let anchor = bar.total() * basis;
+            let grid_average = weighted / weight;
+            assert!(
+                (grid_average - anchor).abs() <= 1e-6 * basis,
+                "(k={k},n={n}) {kind}: grid average {grid_average} vs Figure 10 bar {anchor}"
+            );
+        }
+        // Oversized collocations of this situation are incompatible cells.
+        for size in (k + 1)..=4 {
+            let cell = result
+                .cells()
+                .iter()
+                .find(|c| {
+                    c.chiplets == size
+                        && c.scheme_params == params
+                        && c.integration == IntegrationKind::Mcm
+                        && c.area_mm2 == 160.0 * f64::from(size)
+                })
+                .unwrap();
+            assert!(
+                matches!(
+                    cell.outcome,
+                    chiplet_actuary::dse::explore::CellOutcome::Incompatible(_)
+                ),
+                "size {size} must not fit a {k}-socket package"
+            );
+        }
+    }
+}
+
+#[test]
+fn ocme_center_axis_reproduces_the_fig9_hetero_bars() {
+    // ROADMAP follow-up closed by this PR: the mature-node OCME centre is
+    // a grid axis. With package reuse on, the homogeneous variant pins the
+    // Figure 9 "MCM+pkg-reuse" bars and the 14nm-centre variant the
+    // "hetero" bars, to 1e-9.
+    let lib = lib();
+    let space = PortfolioSpace {
+        nodes: vec!["7nm".to_string()],
+        areas_mm2: vec![160.0, 320.0, 480.0, 800.0],
+        quantities: vec![500_000],
+        integrations: vec![IntegrationKind::Mcm],
+        chiplet_counts: vec![1, 2, 3, 5],
+        flows: vec![AssemblyFlow::ChipLast],
+        schemes: vec![ReuseScheme::Ocme],
+        ocme_center_nodes: vec![None, Some("14nm".to_string())],
+        package_reuse: true,
+        ..PortfolioSpace::default()
+    };
+    let result = explore_portfolio(&lib, &space, 2).unwrap();
+    let fig = fig9::compute(&lib).unwrap();
+    let basis = OcmeSpec::paper_example()
+        .unwrap()
+        .portfolio()
+        .unwrap()
+        .cost(&lib, AssemblyFlow::ChipLast)
+        .unwrap()
+        .system("C+2X+2Y")
+        .unwrap()
+        .re()
+        .total()
+        .usd();
+
+    for (chips, name) in [(1u32, "C"), (2, "C+1X"), (3, "C+1X+1Y"), (5, "C+2X+2Y")] {
+        let area = 160.0 * f64::from(chips);
+        let grid = |params: &str| {
+            result
+                .cells()
+                .iter()
+                .find(|c| c.area_mm2 == area && c.chiplets == chips && c.scheme_params == params)
+                .and_then(|c| c.outcome.candidate())
+                .unwrap_or_else(|| panic!("{name} ({params:?}) cell must be feasible"))
+        };
+        let homo = fig.cell(name, fig9::Fig9Variant::McmPackageReuse).unwrap();
+        close(
+            grid("").per_unit.usd(),
+            homo.total() * basis,
+            &format!("{name} pkg-reuse total"),
+        );
+        let hetero = fig
+            .cell(name, fig9::Fig9Variant::McmPackageReuseHetero)
+            .unwrap();
+        close(
+            grid("center=14nm").per_unit.usd(),
+            hetero.total() * basis,
+            &format!("{name} hetero total"),
+        );
+    }
+}
+
+#[test]
 fn streaming_csv_matches_the_materialized_string() {
     let lib = lib();
     let space = PortfolioSpace {

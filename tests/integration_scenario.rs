@@ -1,0 +1,335 @@
+//! Integration tests of the scenario subsystem against the full stack:
+//! the bundled `examples/scenarios/` files must reproduce the
+//! `actuary-figures` reproductions to 1e-9 *through the scenario path*
+//! (file → parser → schema → engines), the `extends` overlay must change
+//! only the cells it names, and a library serialized to scenario form must
+//! round-trip to a byte-identical exploration CSV.
+
+use chiplet_actuary::dse::portfolio::explore_portfolio;
+use chiplet_actuary::figures::{fig10, fig2, fig6, fig8, fig9};
+use chiplet_actuary::prelude::reuse::{OcmeSpec, ScmsSpec};
+use chiplet_actuary::prelude::*;
+use chiplet_actuary::scenario::{library_to_scenario, CostRow, Scenario, ScenarioRun};
+
+fn lib() -> TechLibrary {
+    TechLibrary::paper_defaults().unwrap()
+}
+
+fn close(a: f64, b: f64, what: &str) {
+    assert!(
+        (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+        "{what}: scenario {a} vs anchor {b}"
+    );
+}
+
+fn run_scenario(file: &str) -> ScenarioRun {
+    let path = format!("{}/examples/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    Scenario::from_toml(&text)
+        .unwrap_or_else(|e| panic!("{path}: {e}"))
+        .run(2)
+        .unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn row<'a>(run: &'a ScenarioRun, job: &str, system: &str) -> &'a CostRow {
+    run.cost_rows
+        .iter()
+        .find(|r| r.job == job && r.system == system)
+        .unwrap_or_else(|| panic!("missing row {job}/{system}"))
+}
+
+#[test]
+fn fig8_scenario_reproduces_the_figure_anchors() {
+    let lib = lib();
+    let run = run_scenario("fig8.toml");
+    let fig = fig8::compute(&lib).unwrap();
+    // Figure 8 normalizes to the RE of the 4X MCM system; reconstruct the
+    // basis from the same spec the figure module uses (the scenario crate
+    // itself carries zero figure data).
+    let basis = ScmsSpec::paper_example()
+        .unwrap()
+        .portfolio()
+        .unwrap()
+        .cost(&lib, AssemblyFlow::ChipLast)
+        .unwrap()
+        .system("4X")
+        .unwrap()
+        .re()
+        .total()
+        .usd();
+
+    let variants = [
+        ("soc", fig8::Fig8Variant::Soc, "-soc"),
+        ("mcm", fig8::Fig8Variant::Mcm, ""),
+        ("mcm-pkg-reuse", fig8::Fig8Variant::McmPackageReuse, ""),
+        ("2.5d", fig8::Fig8Variant::TwoPointFiveD, ""),
+        (
+            "2.5d-pkg-reuse",
+            fig8::Fig8Variant::TwoPointFiveDPackageReuse,
+            "",
+        ),
+    ];
+    for m in [1u32, 2, 4] {
+        for (job, variant, suffix) in &variants {
+            let r = row(&run, job, &format!("{m}X{suffix}"));
+            let cell = fig.cell(m, *variant).unwrap();
+            close(
+                r.per_unit_usd,
+                cell.total() * basis,
+                &format!("{m}X {job} total"),
+            );
+            close(r.re_usd, cell.re_norm * basis, &format!("{m}X {job} RE"));
+            close(
+                r.nre_chips_usd,
+                cell.nre_chips_norm * basis,
+                &format!("{m}X {job} chip NRE"),
+            );
+            close(
+                r.nre_packages_usd,
+                cell.nre_packages_norm * basis,
+                &format!("{m}X {job} package NRE"),
+            );
+        }
+    }
+}
+
+#[test]
+fn fig9_scenario_reproduces_the_figure_anchors() {
+    let lib = lib();
+    let run = run_scenario("fig9.toml");
+    let fig = fig9::compute(&lib).unwrap();
+    let basis = OcmeSpec::paper_example()
+        .unwrap()
+        .portfolio()
+        .unwrap()
+        .cost(&lib, AssemblyFlow::ChipLast)
+        .unwrap()
+        .system("C+2X+2Y")
+        .unwrap()
+        .re()
+        .total()
+        .usd();
+
+    let variants = [
+        ("soc", fig9::Fig9Variant::Soc, "-soc"),
+        ("mcm", fig9::Fig9Variant::Mcm, ""),
+        ("mcm-pkg-reuse", fig9::Fig9Variant::McmPackageReuse, ""),
+        (
+            "mcm-pkg-reuse-hetero",
+            fig9::Fig9Variant::McmPackageReuseHetero,
+            "",
+        ),
+    ];
+    for system in fig9::SYSTEMS {
+        for (job, variant, suffix) in &variants {
+            let r = row(&run, job, &format!("{system}{suffix}"));
+            let cell = fig.cell(system, *variant).unwrap();
+            close(
+                r.per_unit_usd,
+                cell.total() * basis,
+                &format!("{system} {job} total"),
+            );
+            close(
+                r.re_usd,
+                cell.re_norm * basis,
+                &format!("{system} {job} RE"),
+            );
+        }
+    }
+}
+
+#[test]
+fn fig10_scenario_reproduces_the_figure_averages() {
+    let lib = lib();
+    let run = run_scenario("fig10.toml");
+    let fig = fig10::compute(&lib).unwrap();
+    // Basis: the SoC average of the first situation — recomputed from the
+    // scenario's own rows (the figure normalizes every bar to it).
+    let average = |job: &str| {
+        let rows: Vec<&CostRow> = run.cost_rows.iter().filter(|r| r.job == job).collect();
+        assert!(!rows.is_empty(), "job {job} must produce rows");
+        rows.iter().map(|r| r.per_unit_usd).sum::<f64>() / rows.len() as f64
+    };
+    let basis = average("k2n2-soc");
+
+    for (k, n) in fig10::SITUATIONS {
+        for (kind, label) in [
+            (IntegrationKind::Soc, "soc"),
+            (IntegrationKind::Mcm, "mcm"),
+            (IntegrationKind::TwoPointFiveD, "2.5d"),
+        ] {
+            let bar = fig.cell(k, n, kind).unwrap();
+            close(
+                average(&format!("k{k}n{n}-{label}")),
+                bar.total() * basis,
+                &format!("k={k} n={n} {label} average"),
+            );
+        }
+    }
+}
+
+#[test]
+fn fig6_scenario_reproduces_the_figure_anchors() {
+    let lib = lib();
+    let run = run_scenario("fig6.toml");
+    let fig = fig6::compute(&lib).unwrap();
+    for node in fig6::NODES {
+        for quantity in fig6::QUANTITIES {
+            let qlabel = if quantity < 1_000_000 {
+                format!("q{}k", quantity / 1_000)
+            } else {
+                format!("q{}m", quantity / 1_000_000)
+            };
+            // The node's SoC RE is the figure's (quantity-independent)
+            // normalization basis, and it is one of the scenario's own rows.
+            let basis = row(&run, &format!("{node}-{qlabel}-soc"), "soc").re_usd;
+            for (kind, system) in [
+                (IntegrationKind::Soc, "soc"),
+                (IntegrationKind::Mcm, "mcm"),
+                (IntegrationKind::Info, "info"),
+                (IntegrationKind::TwoPointFiveD, "2.5d"),
+            ] {
+                let job = format!("{node}-{qlabel}-{system}");
+                let r = row(&run, &job, system);
+                let cell = fig.cell(node, quantity, kind).unwrap();
+                close(
+                    r.per_unit_usd,
+                    cell.total() * basis,
+                    &format!("{job} {system} total"),
+                );
+                close(
+                    r.re_usd,
+                    cell.re_norm * basis,
+                    &format!("{job} {system} RE"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fig2_scenario_reproduces_the_figure_rows() {
+    let lib = lib();
+    let run = run_scenario("fig2.toml");
+    let fig = fig2::compute(&lib).unwrap();
+    assert_eq!(run.yield_rows.len(), fig.rows.len());
+    let label_of = |tech: &str| match tech {
+        "InFO-interposer" => "RDL".to_string(),
+        "2.5D-interposer" => "SI".to_string(),
+        other => other.to_string(),
+    };
+    for r in &run.yield_rows {
+        let label = label_of(&r.tech);
+        let anchor = fig
+            .rows
+            .iter()
+            .find(|a| a.tech == label && a.area_mm2 == r.area_mm2)
+            .unwrap_or_else(|| panic!("no Figure 2 row for {label} at {}", r.area_mm2));
+        close(
+            r.yield_frac,
+            anchor.yield_frac,
+            &format!("{label} {} yield", r.area_mm2),
+        );
+        close(
+            r.norm_cost_per_area,
+            anchor.norm_cost_per_area,
+            &format!("{label} {} norm cost", r.area_mm2),
+        );
+    }
+}
+
+#[test]
+fn wafer_price_override_changes_only_the_named_node() {
+    let run = run_scenario("wafer-price-override.toml");
+    assert_eq!(run.explores.len(), 1);
+    let overridden = &run.explores[0].result;
+    // The preset run over the *same* space.
+    let preset = explore_portfolio(&lib(), overridden.space(), 2).unwrap();
+    assert_eq!(preset.len(), overridden.len());
+    let mut seven_nm_diffs = 0usize;
+    for (p, o) in preset.cells().iter().zip(overridden.cells()) {
+        assert_eq!(p.node, o.node);
+        assert_eq!(p.area_mm2, o.area_mm2);
+        let (Some(pc), Some(oc)) = (p.outcome.candidate(), o.outcome.candidate()) else {
+            assert_eq!(p.outcome, o.outcome, "non-feasible outcomes must agree");
+            continue;
+        };
+        if p.node == "7nm" {
+            // The wafer price rose from $9,346 to $11,500: every feasible
+            // 7nm cell must get strictly more expensive.
+            assert!(
+                oc.per_unit > pc.per_unit,
+                "7nm cell {p:?} must become more expensive"
+            );
+            seven_nm_diffs += 1;
+        } else {
+            assert_eq!(pc, oc, "cells of untouched nodes must be bit-identical");
+        }
+    }
+    assert!(
+        seven_nm_diffs > 0,
+        "the grid must contain feasible 7nm cells"
+    );
+}
+
+#[test]
+fn serialized_library_round_trips_to_byte_identical_exploration_csv() {
+    let lib = lib();
+    let toml = library_to_scenario("roundtrip", &lib);
+    let scenario = Scenario::from_toml(&format!(
+        concat!(
+            "{}\n",
+            "[explore]\n",
+            "name = \"grid\"\n",
+            "nodes = [\"14nm\", \"7nm\", \"5nm\"]\n",
+            "areas_mm2 = [200.0, 400.0, 800.0]\n",
+            "quantities = [500000, 2000000]\n",
+            "integrations = [\"soc\", \"mcm\", \"info\", \"2.5d\"]\n",
+            "chiplets = [1, 2, 3]\n",
+            "schemes = [\"none\", \"scms\", \"ocme\", \"fsmc\"]\n",
+        ),
+        toml
+    ))
+    .unwrap();
+    // The reconstructed library is *exactly* the preset one...
+    assert_eq!(scenario.library, lib);
+    // ...so the exploration CSV through the scenario path is byte-identical
+    // to the preset path.
+    let run = scenario.run(2).unwrap();
+    let direct = explore_portfolio(&lib, run.explores[0].result.space(), 2).unwrap();
+    assert_eq!(run.explores[0].result.to_csv(), direct.to_csv());
+}
+
+#[test]
+fn hetero_scenario_exposes_the_flow_comparison() {
+    let run = run_scenario("hetero-portfolio.toml");
+    let last = row(&run, "chip-last", "server-64c");
+    let first = row(&run, "chip-first", "server-64c");
+    // §5: chip-last avoids wasting known-good dies on interposer defects.
+    assert!(
+        last.per_unit_usd < first.per_unit_usd,
+        "chip-last must beat chip-first on the 2.5D server part"
+    );
+    // The MCM desktop part prices identically under both flows (Eq. 5).
+    let d_last = row(&run, "chip-last", "desktop-16c");
+    let d_first = row(&run, "chip-first", "desktop-16c");
+    close(
+        d_last.per_unit_usd,
+        d_first.per_unit_usd,
+        "desktop flow parity",
+    );
+    // Heterogeneous nodes in one package: the rows exist and priced > 0.
+    assert!(last.per_unit_usd > 0.0 && d_last.per_unit_usd > 0.0);
+}
+
+#[test]
+fn custom_node_scenario_runs_on_the_declared_node() {
+    let run = run_scenario("custom-node.toml");
+    assert_eq!(run.cost_rows.len(), 3); // SCMS 1X/2X/4X on the 4nm node
+    assert!(run.cost_rows.iter().all(|r| r.per_unit_usd > 0.0));
+    let grid = &run.explores[0].result;
+    // The non-preset node participates in the grid like any preset node.
+    assert!(grid
+        .feasible()
+        .any(|c| c.node == "4nm" && c.scheme_params == "k=4,n=4"));
+}
