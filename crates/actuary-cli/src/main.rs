@@ -12,12 +12,16 @@
 //!   optimizer's recommendation;
 //! * `actuary explore --threads 0` — the multi-axis (node × area ×
 //!   quantity × integration × chiplet count) grid, evaluated in parallel;
+//! * `actuary serve --addr 127.0.0.1:8080` — a long-running HTTP process
+//!   answering POSTed scenario files with chunk-streamed CSV artifacts;
 //! * `actuary mc --node 7nm --area 180 --chiplets 2 --integration 2.5d`
 //!   — Monte-Carlo vs analytic;
 //! * `actuary repro --figure 2|4|5|6|8|9|10|ext|all [--csv]` — regenerate
 //!   the paper's figures (and the extension studies);
 //! * `actuary experiments` — the paper-vs-measured Markdown record;
 //! * `actuary sensitivity --node 5nm --area 800` — cost elasticities.
+
+mod server;
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -60,15 +64,22 @@ fn usage() -> &'static str {
                [--schemes none,scms,ocme,fsmc|all] [--flow-axis]\n\
                [--fsmc-situations KxN,..|paper] [--ocme-centers none,NODE,..]\n\
                [--package-reuse] [--threads T] [--csv] [--out FILE]\n\
+               [--pareto-out FILE]\n\
                                          multi-axis parallel grid exploration\n\
                                          (T = 0 or omitted: all hardware threads;\n\
                                          --schemes grids the paper's reuse schemes,\n\
                                          --flow-axis grids chip-first vs chip-last,\n\
                                          --fsmc-situations grids Figure 10's (k,n) axis,\n\
                                          --ocme-centers grids mature-node OCME centres,\n\
-                                         --out streams the grid CSV to FILE)\n\
+                                         --out streams the grid CSV to FILE,\n\
+                                         --pareto-out streams the program-total vs\n\
+                                         per-unit Pareto front to FILE)\n\
        run SCENARIO.toml [--threads T] [--out-dir DIR] [--csv]\n\
                                          execute a declarative scenario file\n\
+       serve [--addr HOST:PORT] [--threads T] [--workers W]\n\
+                                         long-running HTTP process: POST /run with a\n\
+                                         scenario file, get its artifacts streamed\n\
+                                         back as CSV (default addr 127.0.0.1:8080)\n\
        mc    --node N --area MM2 [--chiplets K] [--integration KIND] [--systems S]\n\
        repro --figure 2|4|5|6|8|9|10|ext|all [--csv]\n\
        experiments                        paper-vs-measured Markdown record\n\
@@ -156,6 +167,11 @@ fn run(args: &[String]) -> Result<(), String> {
     if command == "run" {
         return cmd_run(&args[1..]);
     }
+    // `serve` never builds the preset library up front either: every
+    // request carries its own scenario (with its own `extends` overlay).
+    if command == "serve" {
+        return cmd_serve(&args[1..]);
+    }
     // Every subcommand declares the flags it accepts alongside its
     // handler; anything else is rejected instead of silently ignored (a
     // misspelled `--quanttiy` used to fall back to the default quantity
@@ -193,6 +209,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "threads",
                 "csv",
                 "out",
+                "pareto-out",
             ],
             cmd_explore,
         ),
@@ -458,47 +475,41 @@ fn parse_scheme(s: &str) -> Result<ReuseScheme, String> {
     s.parse()
 }
 
-/// Adapts an [`std::io::Write`] sink to [`std::fmt::Write`] so the
-/// exploration results can stream CSV straight into a file without
-/// materializing the document; the underlying io error is kept for the
-/// caller's message.
-struct IoSink<W: std::io::Write> {
-    inner: W,
-    error: Option<std::io::Error>,
-}
-
-impl<W: std::io::Write> std::fmt::Write for IoSink<W> {
-    fn write_str(&mut self, s: &str) -> std::fmt::Result {
-        self.inner.write_all(s.as_bytes()).map_err(|e| {
-            self.error = Some(e);
-            std::fmt::Error
-        })
-    }
-}
-
-/// Streams `write` into `path`, translating the sink's io error.
+/// Streams `write` into `path` through the library's
+/// [`actuary_report::IoSink`] adapter, translating the sink's io error.
 fn stream_to_file(
     path: &str,
     write: impl FnOnce(&mut dyn std::fmt::Write) -> std::fmt::Result,
 ) -> Result<(), String> {
-    let file = std::fs::File::create(path)
-        .map_err(|e| format!("cannot create --out file {path:?}: {e}"))?;
-    let mut sink = IoSink {
-        inner: std::io::BufWriter::new(file),
-        error: None,
-    };
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
+    let mut sink = actuary_report::IoSink::new(std::io::BufWriter::new(file));
     write(&mut sink).map_err(|_| {
         let cause = sink
-            .error
-            .take()
+            .take_error()
             .map(|e| e.to_string())
             .unwrap_or_else(|| "formatting error".to_string());
         format!("writing {path:?} failed: {cause}")
     })?;
     use std::io::Write as _;
-    sink.inner
+    sink.into_inner()
         .flush()
         .map_err(|e| format!("flushing {path:?} failed: {e}"))
+}
+
+/// `actuary serve`: parse the flags and hand off to the HTTP server.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    reject_unknown_flags("serve", &flags, &["addr", "threads", "workers"])?;
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:8080".to_string());
+    let threads = get_u64_or(&flags, "threads", 0)? as usize;
+    let workers = get_u64_or(&flags, "workers", 4)? as usize;
+    if workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    server::serve(&addr, threads, workers)
 }
 
 fn cmd_explore(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<(), String> {
@@ -610,13 +621,21 @@ fn cmd_explore(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<()
         flow: space.flows[0],
     };
     let result = explore(lib, &single, threads).map_err(|e| e.to_string())?;
+    if let Some(path) = flags.get("pareto-out") {
+        stream_to_file(path, |sink| {
+            result.pareto_program_artifact().write_csv_to(sink)
+        })?;
+        // No point count in the message: counting would recompute the
+        // front the artifact write just streamed.
+        println!("wrote the program-Pareto front to {path}");
+    }
     if let Some(path) = flags.get("out") {
-        stream_to_file(path, |sink| result.write_csv_to(sink))?;
+        stream_to_file(path, |sink| result.grid_artifact().write_csv_to(sink))?;
         println!("wrote {} grid cells to {path}", result.len());
         return Ok(());
     }
     if flags.contains_key("csv") {
-        print!("{}", result.to_csv());
+        print!("{}", result.grid_artifact().csv());
         return Ok(());
     }
 
@@ -686,13 +705,21 @@ fn cmd_explore_portfolio(
     threads: usize,
 ) -> Result<(), String> {
     let result = explore_portfolio(lib, space, threads).map_err(|e| e.to_string())?;
+    if let Some(path) = flags.get("pareto-out") {
+        stream_to_file(path, |sink| {
+            result.pareto_program_artifact().write_csv_to(sink)
+        })?;
+        // No point count in the message: counting would recompute every
+        // scheme's front the artifact write just streamed.
+        println!("wrote the program-Pareto front to {path}");
+    }
     if let Some(path) = flags.get("out") {
-        stream_to_file(path, |sink| result.write_csv_to(sink))?;
+        stream_to_file(path, |sink| result.grid_artifact().write_csv_to(sink))?;
         println!("wrote {} grid cells to {path}", result.len());
         return Ok(());
     }
     if flags.contains_key("csv") {
-        print!("{}", result.to_csv());
+        print!("{}", result.grid_artifact().csv());
         return Ok(());
     }
 
@@ -802,14 +829,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         return write_run_outputs(&run, dir);
     }
     if flags.contains_key("csv") {
-        if !run.cost_rows.is_empty() {
-            print!("{}", run.costs_csv());
-        }
-        if !run.yield_rows.is_empty() {
-            print!("{}", run.yields_csv());
-        }
-        for explore in &run.explores {
-            print!("{}", explore.result.to_csv());
+        // One concatenated stream, artifact by artifact — the same bytes
+        // `actuary serve` chunk-streams back over HTTP.
+        for artifact in run.artifacts() {
+            print!("{}", artifact.csv());
         }
         return Ok(());
     }
@@ -885,35 +908,47 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
     }
     flush(&mut table);
+    for sweep in &run.sweeps {
+        println!(
+            "\n[{}] per-unit RE cost over the area grid ($):",
+            sweep.name
+        );
+        let mut headers = vec![sweep.sweep.x_label().to_string()];
+        headers.extend(sweep.sweep.series().iter().cloned());
+        let mut table = actuary_report::Table::new(headers);
+        for p in sweep.sweep.points() {
+            let mut row = vec![format!("{}", p.x)];
+            row.extend(p.values.iter().map(|v| format!("{v:.2}")));
+            table.push_row(row);
+        }
+        println!("{table}");
+    }
     for explore in &run.explores {
         println!("\n[{}] explored {}", explore.name, explore.result);
     }
-    if !run.explores.is_empty() {
-        println!("(re-run with --out-dir DIR or --csv for the machine-readable grids)");
+    if !run.explores.is_empty() || !run.sweeps.is_empty() {
+        println!("(re-run with --out-dir DIR or --csv for the machine-readable artifacts)");
     }
     Ok(())
 }
 
-/// Writes every output of a scenario run into `dir`:
-/// `<scenario>-costs.csv`, `<scenario>-yields.csv` and one
-/// `<scenario>-<job>-grid.csv` per explore job.
+/// Writes every artifact of a scenario run into `dir` as
+/// `<scenario>-<artifact>.csv` — `<scenario>-costs.csv`,
+/// `<scenario>-<job>-grid.csv`, `<scenario>-<job>-winners.csv`,
+/// `<scenario>-<job>-sweep.csv`, … exactly the artifact stream, one file
+/// each.
 fn write_run_outputs(run: &actuary_scenario::ScenarioRun, dir: &str) -> Result<(), String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
-    let join = |file: String| format!("{}/{}", dir.trim_end_matches('/'), file);
-    if !run.cost_rows.is_empty() {
-        let path = join(format!("{}-costs.csv", run.name));
-        stream_to_file(&path, |sink| run.write_costs_csv(sink))?;
-        println!("wrote {} cost row(s) to {path}", run.cost_rows.len());
-    }
-    if !run.yield_rows.is_empty() {
-        let path = join(format!("{}-yields.csv", run.name));
-        stream_to_file(&path, |sink| run.write_yields_csv(sink))?;
-        println!("wrote {} yield row(s) to {path}", run.yield_rows.len());
-    }
-    for explore in &run.explores {
-        let path = join(format!("{}-{}-grid.csv", run.name, explore.name));
-        stream_to_file(&path, |sink| explore.result.write_csv_to(sink))?;
-        println!("wrote {} grid cell(s) to {path}", explore.result.len());
+    for artifact in run.artifacts() {
+        let path = format!(
+            "{}/{}-{}.csv",
+            dir.trim_end_matches('/'),
+            run.name,
+            artifact.name()
+        );
+        let kind = artifact.kind();
+        stream_to_file(&path, |sink| artifact.write_csv_to(sink))?;
+        println!("wrote {kind} artifact to {path}");
     }
     Ok(())
 }

@@ -1,0 +1,597 @@
+//! `actuary serve` — a long-running process answering POSTed scenario
+//! documents with chunk-streamed CSV artifacts over HTTP/1.1.
+//!
+//! The server is hand-rolled on `std::net::TcpListener` (no new
+//! dependencies): a bounded pool of worker threads pulls accepted
+//! connections from a rendezvous channel, parses a minimal HTTP/1.1
+//! request, and answers:
+//!
+//! | method | path       | body          | response |
+//! |--------|------------|---------------|----------|
+//! | `POST` | `/run`     | scenario TOML | `200`, chunked `text/csv`: every artifact of the run, in order |
+//! | `GET`  | `/healthz` | —             | `200 ok` |
+//!
+//! A served scenario goes through exactly the same `Scenario::run` +
+//! [`ScenarioRun::artifacts`](actuary_scenario::ScenarioRun::artifacts)
+//! path as `actuary run`, so the streamed body is byte-identical to
+//! `actuary run FILE --csv` — zero new model code. Malformed TOML answers
+//! `400` with the parser's line:column diagnostic in the body; a scenario
+//! that parses but fails in the engine answers `422`; oversized bodies
+//! answer `413`. All model work happens *before* the `200` header is
+//! written, so a success status never precedes a failure.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use actuary_report::IoSink;
+use actuary_scenario::{Job, Scenario};
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a POSTed scenario document.
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Target payload size of one response chunk.
+const CHUNK_BYTES: usize = 8 * 1024;
+/// Upper bound on one served explore job's grid, in cells. A few KB of
+/// TOML can request a combinatorially huge grid (five 2,000-entry axes =
+/// 3.2 × 10¹⁶ cells), so the body-size cap alone does not bound the
+/// server's work; `actuary run` stays uncapped — there the operator wrote
+/// the file.
+const MAX_SERVED_CELLS: u128 = 1_000_000;
+
+/// Binds `addr` and serves forever (until the process is killed).
+///
+/// `engine_threads` is handed to `Scenario::run` per request (`0` = all
+/// hardware threads); `workers` bounds the handler pool — requests beyond
+/// it queue in the channel and the OS accept backlog instead of spawning
+/// unbounded threads.
+///
+/// # Errors
+///
+/// Returns a message when the address cannot be bound; per-connection
+/// errors are answered over HTTP and never take the server down.
+pub fn serve(addr: &str, engine_threads: usize, workers: usize) -> Result<(), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve the bound address: {e}"))?;
+    // The address line is the startup handshake: tests (and scripts) bind
+    // port 0 and read the chosen port from it, so flush before serving.
+    println!(
+        "actuary serve: listening on http://{local} ({workers} worker(s); POST /run, GET /healthz)"
+    );
+    io::stdout().flush().map_err(|e| e.to_string())?;
+
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers);
+    let rx = Arc::new(Mutex::new(rx));
+    for _ in 0..workers {
+        let rx = Arc::clone(&rx);
+        std::thread::spawn(move || loop {
+            // Hold the lock only to pull the next connection, not to
+            // serve it — the pool drains the queue concurrently.
+            let next = match rx.lock() {
+                Ok(guard) => guard.recv(),
+                Err(_) => break,
+            };
+            match next {
+                Ok(stream) => {
+                    // A panicking request must cost at most its own
+                    // connection, never a pool slot — an uncaught panic
+                    // here would silently shrink the pool until the
+                    // server stops answering while still accepting.
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_connection(stream, engine_threads);
+                    }));
+                    if caught.is_err() {
+                        eprintln!("actuary serve: a request handler panicked (connection dropped)");
+                    }
+                }
+                Err(_) => break,
+            }
+        });
+    }
+    for stream in listener.incoming() {
+        match stream {
+            Ok(s) => {
+                if tx.send(s).is_err() {
+                    break;
+                }
+            }
+            // A failed accept (e.g. the peer reset before we got to it)
+            // must not take the server down.
+            Err(_) => continue,
+        }
+    }
+    Ok(())
+}
+
+/// One parsed request.
+#[derive(Debug)]
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// An error that maps onto an HTTP status response.
+#[derive(Debug)]
+struct HttpError {
+    status: u16,
+    reason: &'static str,
+    message: String,
+}
+
+impl HttpError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        HttpError {
+            status: 400,
+            reason: "Bad Request",
+            message: message.into(),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, engine_threads: usize) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            respond_plain(&mut stream, e.status, e.reason, &e.message);
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => respond_plain(&mut stream, 200, "OK", "ok\n"),
+        ("POST", "/run") => respond_run(&mut stream, &request.body, engine_threads),
+        ("GET" | "POST", _) => respond_plain(
+            &mut stream,
+            404,
+            "Not Found",
+            "no such endpoint (POST /run, GET /healthz)\n",
+        ),
+        _ => respond_plain(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "only POST /run and GET /healthz are served\n",
+        ),
+    }
+}
+
+/// Reads and parses one HTTP/1.1 request (head, then a `Content-Length`
+/// body for POST, honoring `Expect: 100-continue` the way curl sends it).
+fn read_request<S: Read + Write>(stream: &mut S) -> Result<Request, HttpError> {
+    let io_err = |e: io::Error| HttpError::bad_request(format!("request read failed: {e}\n"));
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_subslice(&buf, b"\r\n\r\n") {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError {
+                status: 431,
+                reason: "Request Header Fields Too Large",
+                message: format!("request heads are capped at {MAX_HEAD_BYTES} bytes\n"),
+            });
+        }
+        let n = stream.read(&mut tmp).map_err(io_err)?;
+        if n == 0 {
+            return Err(HttpError::bad_request("truncated request head\n"));
+        }
+        buf.extend_from_slice(&tmp[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::bad_request(format!(
+            "malformed request line {request_line:?}\n"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad_request(format!(
+            "unsupported protocol {version:?}\n"
+        )));
+    }
+    let mut content_length: Option<usize> = None;
+    let mut expect_continue = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = Some(value.parse().map_err(|_| {
+                HttpError::bad_request(format!("invalid Content-Length {value:?}\n"))
+            })?);
+        } else if name.trim().eq_ignore_ascii_case("expect")
+            && value.eq_ignore_ascii_case("100-continue")
+        {
+            expect_continue = true;
+        }
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    if method == "POST" {
+        let length = content_length.ok_or(HttpError {
+            status: 411,
+            reason: "Length Required",
+            message: "POST needs a Content-Length\n".to_string(),
+        })?;
+        if length > MAX_BODY_BYTES {
+            return Err(HttpError {
+                status: 413,
+                reason: "Content Too Large",
+                message: format!("scenario documents are capped at {MAX_BODY_BYTES} bytes\n"),
+            });
+        }
+        if expect_continue && body.len() < length {
+            // curl holds bodies over ~1 KiB until the interim response.
+            stream
+                .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+                .map_err(io_err)?;
+            stream.flush().map_err(io_err)?;
+        }
+        while body.len() < length {
+            let n = stream.read(&mut tmp).map_err(io_err)?;
+            if n == 0 {
+                return Err(HttpError::bad_request("truncated request body\n"));
+            }
+            body.extend_from_slice(&tmp[..n]);
+        }
+        body.truncate(length);
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// First index of `needle` in `haystack`.
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Writes a complete fixed-length plain-text response.
+fn respond_plain<S: Write>(stream: &mut S, status: u16, reason: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Parses, runs and chunk-streams one scenario document.
+fn respond_run<S: Write>(stream: &mut S, body: &[u8], engine_threads: usize) {
+    let Ok(text) = std::str::from_utf8(body) else {
+        respond_plain(
+            stream,
+            400,
+            "Bad Request",
+            "scenario documents must be UTF-8\n",
+        );
+        return;
+    };
+    let scenario = match Scenario::from_toml(text) {
+        Ok(s) => s,
+        Err(e) => {
+            // The diagnostic names the offending line and column.
+            respond_plain(
+                stream,
+                400,
+                "Bad Request",
+                &format!("scenario error: {e}\n"),
+            );
+            return;
+        }
+    };
+    if let Err(message) = check_served_grid_bound(&scenario) {
+        respond_plain(stream, 422, "Unprocessable Content", &message);
+        return;
+    }
+    let run = match scenario.run(engine_threads) {
+        Ok(r) => r,
+        Err(e) => {
+            respond_plain(
+                stream,
+                422,
+                "Unprocessable Content",
+                &format!("scenario error: {e}\n"),
+            );
+            return;
+        }
+    };
+    // All model work is done; from here on only serialization can fail,
+    // and a dropped client simply truncates the chunk stream (the missing
+    // terminal chunk marks the body incomplete).
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/csv; charset=utf-8\r\n\
+                Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    let mut chunked = ChunkedWriter::new(stream);
+    let mut sink = IoSink::new(&mut chunked);
+    for artifact in run.artifacts() {
+        if artifact.write_csv_to(&mut sink).is_err() {
+            return;
+        }
+    }
+    drop(sink);
+    let _ = chunked.finish();
+}
+
+/// Rejects explore jobs whose grid exceeds [`MAX_SERVED_CELLS`], using an
+/// overflow-proof u128 product (the engine's own `len()` would wrap in
+/// release builds long before the bound is reached).
+fn check_served_grid_bound(scenario: &Scenario) -> Result<(), String> {
+    for job in &scenario.jobs {
+        let Job::Explore(explore) = job else {
+            continue;
+        };
+        let space = &explore.space;
+        let cells = [
+            space.nodes.len(),
+            space.areas_mm2.len(),
+            space.quantities.len(),
+            space.integrations.len(),
+            space.chiplet_counts.len(),
+            space.flows.len(),
+            space.scheme_variants().len(),
+        ]
+        .iter()
+        .try_fold(1u128, |product, &axis| product.checked_mul(axis as u128))
+        .unwrap_or(u128::MAX);
+        if cells > MAX_SERVED_CELLS {
+            return Err(format!(
+                "scenario error: explore job `{}` asks for {cells} grid cells; served \
+                 requests are capped at {MAX_SERVED_CELLS} cells (run it locally with \
+                 `actuary run` for unbounded grids)\n",
+                explore.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Frames writes as HTTP/1.1 chunked transfer encoding, coalescing small
+/// writes (one CSV row each) into [`CHUNK_BYTES`]-sized chunks.
+struct ChunkedWriter<W: Write> {
+    inner: W,
+    buffer: Vec<u8>,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    fn new(inner: W) -> Self {
+        ChunkedWriter {
+            inner,
+            buffer: Vec::with_capacity(CHUNK_BYTES),
+        }
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        write!(self.inner, "{:x}\r\n", self.buffer.len())?;
+        self.inner.write_all(&self.buffer)?;
+        self.inner.write_all(b"\r\n")?;
+        self.buffer.clear();
+        Ok(())
+    }
+
+    /// Flushes the tail and writes the terminal chunk.
+    fn finish(mut self) -> io::Result<()> {
+        self.flush_chunk()?;
+        self.inner.write_all(b"0\r\n\r\n")?;
+        self.inner.flush()
+    }
+}
+
+impl<W: Write> Write for ChunkedWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buffer.extend_from_slice(buf);
+        if self.buffer.len() >= CHUNK_BYTES {
+            self.flush_chunk()?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flush_chunk()?;
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An in-memory duplex stream: reads deliver the queued segments one
+    /// `read` call each (so a body can arrive *after* the head, like on a
+    /// socket), writes are recorded.
+    struct Fake {
+        segments: std::collections::VecDeque<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Fake {
+        fn new(input: &[u8]) -> Self {
+            Fake::segmented(&[input])
+        }
+
+        fn segmented(segments: &[&[u8]]) -> Self {
+            Fake {
+                segments: segments.iter().map(|s| s.to_vec()).collect(),
+                output: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Fake {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let Some(mut segment) = self.segments.pop_front() else {
+                return Ok(0);
+            };
+            let n = segment.len().min(buf.len());
+            buf[..n].copy_from_slice(&segment[..n]);
+            if n < segment.len() {
+                self.segments.push_front(segment.split_off(n));
+            }
+            Ok(n)
+        }
+    }
+
+    impl Write for Fake {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let mut fake =
+            Fake::new(b"POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello");
+        let r = read_request(&mut fake).unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/run");
+        assert_eq!(r.body, b"hello");
+        assert!(fake.output.is_empty(), "no interim response without Expect");
+    }
+
+    #[test]
+    fn expect_100_continue_gets_the_interim_response() {
+        // curl's behavior: the body is held back until the interim
+        // response, so it arrives in a later packet than the head.
+        let mut fake = Fake::segmented(&[
+            b"POST /run HTTP/1.1\r\nContent-Length: 2\r\nExpect: 100-continue\r\n\r\n",
+            b"ok",
+        ]);
+        let r = read_request(&mut fake).unwrap();
+        assert_eq!(r.body, b"ok");
+        assert_eq!(fake.output, b"HTTP/1.1 100 Continue\r\n\r\n");
+
+        // A client that sent the body anyway gets no interim response.
+        let mut eager =
+            Fake::new(b"POST /run HTTP/1.1\r\nContent-Length: 2\r\nExpect: 100-continue\r\n\r\nok");
+        let r = read_request(&mut eager).unwrap();
+        assert_eq!(r.body, b"ok");
+        assert!(eager.output.is_empty());
+    }
+
+    #[test]
+    fn missing_length_and_bad_request_lines_are_4xx() {
+        let mut fake = Fake::new(b"POST /run HTTP/1.1\r\nHost: x\r\n\r\n");
+        let err = read_request(&mut fake).unwrap_err();
+        assert_eq!(err.status, 411);
+
+        let mut fake = Fake::new(b"nonsense\r\n\r\n");
+        let err = read_request(&mut fake).unwrap_err();
+        assert_eq!(err.status, 400);
+
+        let mut fake = Fake::new(b"GET / SPDY/9\r\n\r\n");
+        let err = read_request(&mut fake).unwrap_err();
+        assert_eq!(err.status, 400);
+
+        let mut fake = Fake::new(
+            format!(
+                "POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        );
+        let err = read_request(&mut fake).unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn chunked_framing_is_decodable_and_terminated() {
+        let mut out = Vec::new();
+        let mut w = ChunkedWriter::new(&mut out);
+        w.write_all(b"a,b\n").unwrap();
+        w.write_all(b"1,2\n").unwrap();
+        w.finish().unwrap();
+        // One coalesced 8-byte chunk plus the terminal chunk.
+        assert_eq!(out, b"8\r\na,b\n1,2\n\r\n0\r\n\r\n");
+    }
+
+    #[test]
+    fn large_payloads_split_into_multiple_chunks() {
+        let mut out = Vec::new();
+        let mut w = ChunkedWriter::new(&mut out);
+        let row = vec![b'x'; CHUNK_BYTES / 2 + 1];
+        w.write_all(&row).unwrap();
+        w.write_all(&row).unwrap();
+        w.write_all(b"tail").unwrap();
+        w.finish().unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.ends_with("4\r\ntail\r\n0\r\n\r\n"), "{text}");
+    }
+
+    #[test]
+    fn respond_run_streams_csv_or_diagnoses() {
+        let mut fake = Fake::new(b"");
+        respond_run(&mut fake, b"name = \"x\"\nquanttiy = 1\n", 1);
+        let text = String::from_utf8_lossy(&fake.output);
+        assert!(text.starts_with("HTTP/1.1 400 "), "{text}");
+        assert!(text.contains("line 2, column 1"), "{text}");
+
+        let mut fake = Fake::new(b"");
+        let scenario = concat!(
+            "name = \"t\"\n",
+            "[[yield]]\n",
+            "name = \"y\"\n",
+            "techs = [\"7nm\"]\n",
+            "areas_mm2 = [100]\n",
+        );
+        respond_run(&mut fake, scenario.as_bytes(), 1);
+        let text = String::from_utf8_lossy(&fake.output);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("Transfer-Encoding: chunked"), "{text}");
+        assert!(text.contains("job,tech,area_mm2"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "terminal chunk: {text}");
+    }
+
+    #[test]
+    fn combinatorially_huge_grids_are_refused_before_any_work() {
+        // A few hundred bytes of TOML requesting > 10¹⁰ cells: the server
+        // must answer 422 naming the cap instead of expanding the grid
+        // (this test would hang or abort if evaluation started).
+        let axis: Vec<String> = (1..=500).map(|i| format!("{}.0", i * 2)).collect();
+        let scenario = format!(
+            concat!(
+                "name = \"huge\"\n",
+                "[explore]\n",
+                "nodes = [\"7nm\", \"5nm\", \"14nm\"]\n",
+                "areas_mm2 = [{areas}]\n",
+                "quantities = [{quantities}]\n",
+                "chiplets = [1, 2, 3, 4, 5]\n",
+            ),
+            areas = axis.join(", "),
+            quantities = (1..=500)
+                .map(|i| (i * 1000).to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        let mut fake = Fake::new(b"");
+        respond_run(&mut fake, scenario.as_bytes(), 1);
+        let text = String::from_utf8_lossy(&fake.output);
+        assert!(text.starts_with("HTTP/1.1 422 "), "{text}");
+        assert!(text.contains("capped at 1000000 cells"), "{text}");
+    }
+}

@@ -274,6 +274,8 @@ fn every_subcommand_rejects_foreign_flags() {
             "--systems",
             "9",
         ],
+        // `serve` rejects foreign flags before ever binding the address.
+        &["serve", "--figure", "2"],
     ] {
         let out = actuary(args);
         assert!(!out.status.success(), "{args:?} must fail");
@@ -411,6 +413,114 @@ fn explore_out_streams_the_grid_to_a_file() {
         "--csv",
     ]);
     assert_eq!(written, csv);
+}
+
+#[test]
+fn explore_pareto_out_streams_the_program_front() {
+    let path = std::env::temp_dir().join(format!("actuary-pareto-{}.csv", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    let text = stdout(&[
+        "explore",
+        "--nodes",
+        "7nm",
+        "--areas",
+        "400",
+        "--quantities",
+        "500000,2000000",
+        "--chiplets",
+        "1,2",
+        "--threads",
+        "1",
+        "--pareto-out",
+        path_str,
+    ]);
+    assert!(text.contains("program-Pareto"), "{text}");
+    let written = std::fs::read_to_string(&path).expect("the --pareto-out file must exist");
+    assert_eq!(
+        written.lines().next().unwrap(),
+        "node,area_mm2,quantity,integration,chiplets,program_total_usd,per_unit_usd"
+    );
+    assert!(written.lines().count() >= 2, "{written}");
+
+    // The portfolio engine's front carries the scheme axis.
+    let scheme_text = stdout(&[
+        "explore",
+        "--nodes",
+        "7nm",
+        "--areas",
+        "400",
+        "--quantities",
+        "500000",
+        "--chiplets",
+        "1,2",
+        "--schemes",
+        "scms",
+        "--threads",
+        "1",
+        "--pareto-out",
+        path_str,
+    ]);
+    assert!(scheme_text.contains("program-Pareto"), "{scheme_text}");
+    let written = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        written.lines().next().unwrap(),
+        "scheme,scheme_params,node,area_mm2,quantity,integration,chiplets,flow,\
+         program_total_usd,per_unit_usd"
+    );
+    assert!(written.contains("scms"), "{written}");
+}
+
+#[test]
+fn run_writes_selected_outputs_and_sweeps_as_artifacts() {
+    let dir = std::env::temp_dir().join(format!("actuary-artifacts-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("study.toml");
+    std::fs::write(
+        &path,
+        concat!(
+            "name = \"study\"\n",
+            "[[sweep]]\n",
+            "name = \"fig4\"\n",
+            "node = \"7nm\"\n",
+            "chiplets = 2\n",
+            "integrations = [\"soc\", \"mcm\"]\n",
+            "areas_mm2 = [200, 800]\n",
+            "[explore]\n",
+            "name = \"grid\"\n",
+            "nodes = [\"7nm\"]\n",
+            "areas_mm2 = [400.0]\n",
+            "quantities = [500000, 2000000]\n",
+            "integrations = [\"soc\", \"mcm\"]\n",
+            "chiplets = [1, 2]\n",
+            "outputs = [\"grid\", \"winners\", \"pareto\", \"pareto_program\"]\n",
+        ),
+    )
+    .unwrap();
+    let out_dir = dir.join("out");
+    stdout(&[
+        "run",
+        path.to_str().unwrap(),
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+    ]);
+    for file in [
+        "study-grid-grid.csv",
+        "study-grid-winners.csv",
+        "study-grid-pareto.csv",
+        "study-grid-pareto_program.csv",
+        "study-fig4-sweep.csv",
+    ] {
+        assert!(out_dir.join(file).exists(), "{file} must be written");
+    }
+    let sweep = std::fs::read_to_string(out_dir.join("study-fig4-sweep.csv")).unwrap();
+    assert!(sweep.starts_with("area_mm2,SoC,MCM\n"), "{sweep}");
+
+    // --csv concatenates the same artifacts on stdout, in order.
+    let csv = stdout(&["run", path.to_str().unwrap(), "--csv"]);
+    assert!(csv.starts_with("node,area_mm2,"), "{csv}");
+    assert!(csv.contains("area_mm2,SoC,MCM"), "{csv}");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -1,0 +1,198 @@
+//! Integration tests of `actuary serve` against the real binary over real
+//! TCP: the streamed response must be byte-identical to the scenario
+//! subsystem's artifact CSV, diagnostics must carry line:column, and two
+//! concurrent clients must both be answered.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+/// A running `actuary serve` child on an ephemeral port, killed on drop.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn start() -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_actuary"))
+            .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("the actuary binary must spawn");
+        // The startup handshake: the first stdout line names the bound
+        // address (the ephemeral port the OS chose).
+        let stdout = child.stdout.as_mut().expect("stdout is piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("the server must print its address");
+        let addr = line
+            .split("http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no address in {line:?}"))
+            .to_string();
+        Server { child, addr }
+    }
+
+    /// Sends raw HTTP/1.1 bytes, reads to EOF, returns (status line,
+    /// header block, raw body bytes).
+    fn request(&self, raw: &[u8]) -> (String, String, Vec<u8>) {
+        let mut stream = TcpStream::connect(&self.addr).expect("connect");
+        stream.write_all(raw).expect("write request");
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).expect("read response");
+        let head_end = response
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("response head");
+        let head = String::from_utf8_lossy(&response[..head_end]).into_owned();
+        let (status, headers) = head.split_once("\r\n").unwrap_or((head.as_str(), ""));
+        (
+            status.to_string(),
+            headers.to_string(),
+            response[head_end + 4..].to_vec(),
+        )
+    }
+
+    fn post_run(&self, body: &str) -> (String, String, Vec<u8>) {
+        let raw = format!(
+            "POST /run HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.addr,
+            body.len(),
+            body
+        );
+        self.request(raw.as_bytes())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Decodes an HTTP/1.1 chunked body; panics on framing errors or a
+/// missing terminal chunk (a truncated stream must fail the test).
+fn dechunk(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    loop {
+        let line_end = rest
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .expect("chunk size line");
+        let size_text = std::str::from_utf8(&rest[..line_end]).expect("chunk size is ASCII");
+        let size = usize::from_str_radix(size_text.trim(), 16)
+            .unwrap_or_else(|_| panic!("bad chunk size {size_text:?}"));
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            assert_eq!(rest, b"\r\n", "terminal chunk must end the body");
+            return out;
+        }
+        out.extend_from_slice(&rest[..size]);
+        assert_eq!(&rest[size..size + 2], b"\r\n", "chunk terminator");
+        rest = &rest[size + 2..];
+    }
+}
+
+fn fig8_toml() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/scenarios/fig8.toml"
+    );
+    std::fs::read_to_string(path).expect("the bundled fig8 scenario exists")
+}
+
+#[test]
+fn healthz_answers_ok() {
+    let server = Server::start();
+    let (status, _, body) = server.request(
+        format!(
+            "GET /healthz HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            server.addr
+        )
+        .as_bytes(),
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, b"ok\n");
+}
+
+#[test]
+fn posted_scenario_streams_the_exact_artifact_csv() {
+    let server = Server::start();
+    let toml = fig8_toml();
+    let (status, headers, body) = server.post_run(&toml);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{headers}");
+    assert!(headers.contains("Transfer-Encoding: chunked"), "{headers}");
+    assert!(headers.contains("Content-Type: text/csv"), "{headers}");
+
+    // The reference bytes straight from the scenario subsystem — the
+    // server must add zero model code and zero formatting of its own.
+    let run = actuary_scenario::Scenario::from_toml(&toml)
+        .expect("fig8 parses")
+        .run(1)
+        .expect("fig8 runs");
+    let mut expected = String::new();
+    for artifact in run.artifacts() {
+        expected.push_str(&artifact.csv());
+    }
+    assert_eq!(dechunk(&body), expected.as_bytes());
+}
+
+#[test]
+fn malformed_toml_is_a_400_with_the_line_and_column() {
+    let server = Server::start();
+    let (status, _, body) = server.post_run("name = \"bad\"\nquanttiy = 1\n");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.contains("line 2, column 1"), "{text}");
+    assert!(text.contains("quanttiy"), "{text}");
+}
+
+#[test]
+fn unknown_paths_are_404() {
+    let server = Server::start();
+    let (status, _, body) = server.request(
+        format!(
+            "GET /nope HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            server.addr
+        )
+        .as_bytes(),
+    );
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    assert!(String::from_utf8_lossy(&body).contains("POST /run"));
+}
+
+#[test]
+fn two_concurrent_clients_both_get_complete_answers() {
+    let server = Server::start();
+    let toml = fig8_toml();
+    let expected = {
+        let run = actuary_scenario::Scenario::from_toml(&toml)
+            .unwrap()
+            .run(1)
+            .unwrap();
+        let mut out = String::new();
+        for artifact in run.artifacts() {
+            out.push_str(&artifact.csv());
+        }
+        out.into_bytes()
+    };
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (server, toml) = (&server, &toml);
+                scope.spawn(move || server.post_run(toml))
+            })
+            .collect();
+        for handle in handles {
+            let (status, _, body) = handle.join().expect("client thread");
+            assert_eq!(status, "HTTP/1.1 200 OK");
+            assert_eq!(dechunk(&body), expected);
+        }
+    });
+}

@@ -60,7 +60,7 @@ use serde::{Deserialize, Serialize};
 use actuary_arch::ArchError;
 use actuary_model::AssemblyFlow;
 use actuary_tech::{IntegrationKind, TechLibrary};
-use actuary_units::{write_csv, write_csv_row, Area};
+use actuary_units::{Area, Artifact};
 
 use crate::optimizer::Candidate;
 use crate::pareto::pareto_min_indices;
@@ -403,16 +403,36 @@ impl ExploreResult {
             .collect()
     }
 
-    /// Streams the full grid as CSV into `out`, one row per cell in grid
-    /// order, without materializing the document (10⁶-cell grids stay
-    /// memory-flat); byte-identical across thread counts.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the sink's [`fmt::Error`] (infallible for `String`).
-    pub fn write_csv_to<W: fmt::Write + ?Sized>(&self, out: &mut W) -> fmt::Result {
-        write_csv_row(
-            out,
+    /// The Pareto front over (program total, per-unit cost), minimizing
+    /// both: program total is the operating point's whole spend at its
+    /// quantity (RE plus the amortized NRE share, i.e. per-unit × units),
+    /// the decision-relevant trade-off when budgets cap the *program*
+    /// rather than the unit price. Returned in ascending program-total
+    /// order.
+    pub fn pareto_program(&self) -> Vec<&ExploreCell> {
+        let feasible: Vec<&ExploreCell> = self.feasible().collect();
+        let points: Vec<(f64, f64)> = feasible
+            .iter()
+            .map(|c| {
+                let candidate = c.outcome.candidate().expect("feasible cells carry one");
+                let per_unit = candidate.per_unit.usd();
+                (per_unit * c.quantity as f64, per_unit)
+            })
+            .collect();
+        pareto_min_indices(&points)
+            .into_iter()
+            .map(|i| feasible[i])
+            .collect()
+    }
+
+    /// The full grid as a streaming [`Artifact`] named `"grid"`: one row
+    /// per cell in grid order, never materialized as one string
+    /// (10⁶-cell grids stay memory-flat); byte-identical across thread
+    /// counts.
+    pub fn grid_artifact(&self) -> Artifact<'_> {
+        Artifact::new(
+            "grid",
+            "grid",
             &[
                 "node",
                 "area_mm2",
@@ -424,47 +444,39 @@ impl ExploreResult {
                 "re_per_unit_usd",
                 "detail",
             ],
-        )?;
-        for cell in &self.cells {
-            let (per_unit, re_per_unit) = match cell.outcome.candidate() {
-                Some(c) => (
-                    format!("{:.6}", c.per_unit.usd()),
-                    format!("{:.6}", c.re_per_unit.usd()),
-                ),
-                None => (String::new(), String::new()),
-            };
-            write_csv_row(
-                out,
-                &[
-                    cell.node.clone(),
-                    format!("{}", cell.area_mm2),
-                    cell.quantity.to_string(),
-                    cell.integration.to_string(),
-                    cell.chiplets.to_string(),
-                    cell.outcome.status().to_string(),
-                    per_unit,
-                    re_per_unit,
-                    cell.outcome.detail().to_string(),
-                ],
-            )?;
-        }
-        Ok(())
+            move |emit| {
+                for cell in &self.cells {
+                    let (per_unit, re_per_unit) = match cell.outcome.candidate() {
+                        Some(c) => (
+                            format!("{:.6}", c.per_unit.usd()),
+                            format!("{:.6}", c.re_per_unit.usd()),
+                        ),
+                        None => (String::new(), String::new()),
+                    };
+                    emit(&[
+                        cell.node.clone(),
+                        format!("{}", cell.area_mm2),
+                        cell.quantity.to_string(),
+                        cell.integration.to_string(),
+                        cell.chiplets.to_string(),
+                        cell.outcome.status().to_string(),
+                        per_unit,
+                        re_per_unit,
+                        cell.outcome.detail().to_string(),
+                    ])?;
+                }
+                Ok(())
+            },
+        )
     }
 
-    /// Renders the full grid as CSV (delegates to [`Self::write_csv_to`]).
-    pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        self.write_csv_to(&mut out)
-            .expect("writing to a String cannot fail");
-        out
-    }
-
-    /// Renders the winner table as CSV, one row per (node, area, quantity)
-    /// operating point.
-    pub fn winners_to_csv(&self) -> String {
-        let mut records = Vec::new();
-        records.push(
-            [
+    /// The winner table as an [`Artifact`] named `"winners"`, one row per
+    /// (node, area, quantity) operating point.
+    pub fn winners_artifact(&self) -> Artifact<'_> {
+        Artifact::new(
+            "winners",
+            "winners",
+            &[
                 "node",
                 "area_mm2",
                 "quantity",
@@ -472,32 +484,96 @@ impl ExploreResult {
                 "chiplets",
                 "per_unit_usd",
                 "saving_vs_soc",
-            ]
-            .map(str::to_string)
-            .to_vec(),
-        );
-        for w in self.winners() {
-            let (integration, chiplets, per_unit) = match &w.best {
-                Some(c) => (
-                    c.integration.to_string(),
-                    c.chiplets.to_string(),
-                    format!("{:.6}", c.per_unit.usd()),
-                ),
-                None => (String::new(), String::new(), String::new()),
-            };
-            records.push(vec![
-                w.node.clone(),
-                format!("{}", w.area_mm2),
-                w.quantity.to_string(),
-                integration,
-                chiplets,
-                per_unit,
-                w.saving_vs_soc
-                    .map(|s| format!("{s:.6}"))
-                    .unwrap_or_default(),
-            ]);
-        }
-        write_csv(&records)
+            ],
+            move |emit| {
+                for w in self.winners() {
+                    let (integration, chiplets, per_unit) = match &w.best {
+                        Some(c) => (
+                            c.integration.to_string(),
+                            c.chiplets.to_string(),
+                            format!("{:.6}", c.per_unit.usd()),
+                        ),
+                        None => (String::new(), String::new(), String::new()),
+                    };
+                    emit(&[
+                        w.node.clone(),
+                        format!("{}", w.area_mm2),
+                        w.quantity.to_string(),
+                        integration,
+                        chiplets,
+                        per_unit,
+                        w.saving_vs_soc
+                            .map(|s| format!("{s:.6}"))
+                            .unwrap_or_default(),
+                    ])?;
+                }
+                Ok(())
+            },
+        )
+    }
+
+    /// The (per-unit cost, chiplet count) Pareto front as an [`Artifact`]
+    /// named `"pareto"`, in ascending per-unit-cost order.
+    pub fn pareto_artifact(&self) -> Artifact<'_> {
+        Artifact::new(
+            "pareto",
+            "pareto",
+            &[
+                "node",
+                "area_mm2",
+                "quantity",
+                "integration",
+                "chiplets",
+                "per_unit_usd",
+            ],
+            move |emit| {
+                for cell in self.pareto_front() {
+                    let c = cell.outcome.candidate().expect("Pareto cells are feasible");
+                    emit(&[
+                        cell.node.clone(),
+                        format!("{}", cell.area_mm2),
+                        cell.quantity.to_string(),
+                        cell.integration.to_string(),
+                        cell.chiplets.to_string(),
+                        format!("{:.6}", c.per_unit.usd()),
+                    ])?;
+                }
+                Ok(())
+            },
+        )
+    }
+
+    /// The [`ExploreResult::pareto_program`] front as an [`Artifact`]
+    /// named `"pareto_program"`, in ascending program-total order.
+    pub fn pareto_program_artifact(&self) -> Artifact<'_> {
+        Artifact::new(
+            "pareto_program",
+            "pareto_program",
+            &[
+                "node",
+                "area_mm2",
+                "quantity",
+                "integration",
+                "chiplets",
+                "program_total_usd",
+                "per_unit_usd",
+            ],
+            move |emit| {
+                for cell in self.pareto_program() {
+                    let c = cell.outcome.candidate().expect("Pareto cells are feasible");
+                    emit(&[
+                        cell.node.clone(),
+                        format!("{}", cell.area_mm2),
+                        cell.quantity.to_string(),
+                        cell.integration.to_string(),
+                        cell.chiplets.to_string(),
+                        format!("{:.2}", c.per_unit.usd() * cell.quantity as f64),
+                        format!("{:.6}", c.per_unit.usd()),
+                    ])?;
+                }
+                Ok(())
+            },
+        )
     }
 }
 
@@ -737,7 +813,11 @@ mod tests {
         for threads in [2, 4, 8] {
             let parallel = explore(&lib, &space, threads).unwrap();
             assert_eq!(serial.cells(), parallel.cells(), "threads={threads}");
-            assert_eq!(serial.to_csv(), parallel.to_csv(), "threads={threads}");
+            assert_eq!(
+                serial.grid_artifact().csv(),
+                parallel.grid_artifact().csv(),
+                "threads={threads}"
+            );
         }
     }
 
@@ -805,19 +885,60 @@ mod tests {
     #[test]
     fn csv_shapes_are_machine_readable() {
         let result = explore(&lib(), &small_space(), 2).unwrap();
-        let grid = result.to_csv();
+        let grid = result.grid_artifact().csv();
         let mut lines = grid.lines();
         assert_eq!(
             lines.next().unwrap(),
             "node,area_mm2,quantity,integration,chiplets,status,per_unit_usd,re_per_unit_usd,detail"
         );
         assert_eq!(grid.lines().count(), result.len() + 1);
-        let winners = result.winners_to_csv();
+        let winners = result.winners_artifact().csv();
         assert_eq!(
             winners.lines().next().unwrap(),
             "node,area_mm2,quantity,integration,chiplets,per_unit_usd,saving_vs_soc"
         );
         assert_eq!(winners.lines().count(), 2 * 2 + 1); // operating points + header
+        let pareto = result.pareto_artifact().csv();
+        assert_eq!(
+            pareto.lines().next().unwrap(),
+            "node,area_mm2,quantity,integration,chiplets,per_unit_usd"
+        );
+        assert_eq!(pareto.lines().count(), result.pareto_front().len() + 1);
+        // Artifacts carry their metadata for composers (file naming).
+        assert_eq!(result.grid_artifact().name(), "grid");
+        assert_eq!(result.pareto_program_artifact().kind(), "pareto_program");
+    }
+
+    #[test]
+    fn program_pareto_trades_program_total_against_per_unit() {
+        let space = ExploreSpace {
+            quantities: vec![500_000, 2_000_000, 10_000_000],
+            ..small_space()
+        };
+        let result = explore(&lib(), &space, 2).unwrap();
+        let front = result.pareto_program();
+        assert!(!front.is_empty());
+        // Ascending program total, strictly improving per-unit cost: paying
+        // a bigger program buys a cheaper unit, or the point is dominated.
+        for pair in front.windows(2) {
+            let (a, b) = (
+                pair[0].outcome.candidate().unwrap(),
+                pair[1].outcome.candidate().unwrap(),
+            );
+            let program =
+                |cell: &ExploreCell, c: &Candidate| c.per_unit.usd() * cell.quantity as f64;
+            assert!(program(pair[0], a) <= program(pair[1], b));
+            assert!(a.per_unit > b.per_unit);
+        }
+        // The globally cheapest per-unit cell is always on the front.
+        let global_min = result
+            .feasible()
+            .map(|c| c.outcome.candidate().unwrap().per_unit)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .unwrap();
+        assert!(front
+            .iter()
+            .any(|c| c.outcome.candidate().unwrap().per_unit == global_min));
     }
 
     #[test]

@@ -82,7 +82,7 @@ use actuary_arch::reuse::{FsmcSpec, OcmeSpec, ScmsSpec};
 use actuary_arch::{ArchError, PortfolioCore, PortfolioCost};
 use actuary_model::AssemblyFlow;
 use actuary_tech::{IntegrationKind, NodeId, TechLibrary};
-use actuary_units::{write_csv, write_csv_row, Area, Quantity};
+use actuary_units::{Area, Artifact, Quantity};
 
 use crate::engine::{resolve_threads, run_chunked};
 use crate::explore::CellOutcome;
@@ -698,16 +698,36 @@ impl PortfolioResult {
             .collect()
     }
 
-    /// Streams the full grid as CSV into `out`, one row per cell in grid
-    /// order, without materializing the document — byte-identical across
-    /// thread counts.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the sink's [`fmt::Error`] (infallible for `String`).
-    pub fn write_csv_to<W: fmt::Write + ?Sized>(&self, out: &mut W) -> fmt::Result {
-        write_csv_row(
-            out,
+    /// The Pareto front of one scheme over (program total, per-unit
+    /// cost), minimizing both: program total is the member system's whole
+    /// spend at its quantity (RE plus its amortized NRE share, i.e.
+    /// per-unit × units), the ROADMAP's decision-relevant portfolio
+    /// trade-off — how much cheaper a unit each extra program dollar
+    /// buys. Returned in ascending program-total order.
+    pub fn pareto_program(&self, scheme: ReuseScheme) -> Vec<&PortfolioCell> {
+        let feasible: Vec<&PortfolioCell> =
+            self.feasible().filter(|c| c.scheme == scheme).collect();
+        let points: Vec<(f64, f64)> = feasible
+            .iter()
+            .map(|c| {
+                let candidate = c.outcome.candidate().expect("feasible cells carry one");
+                let per_unit = candidate.per_unit.usd();
+                (per_unit * c.quantity as f64, per_unit)
+            })
+            .collect();
+        pareto_min_indices(&points)
+            .into_iter()
+            .map(|i| feasible[i])
+            .collect()
+    }
+
+    /// The full grid as a streaming [`Artifact`] named `"grid"`: one row
+    /// per cell in grid order, never materialized as one string;
+    /// byte-identical across thread counts.
+    pub fn grid_artifact(&self) -> Artifact<'_> {
+        Artifact::new(
+            "grid",
+            "grid",
             &[
                 "node",
                 "area_mm2",
@@ -722,49 +742,42 @@ impl PortfolioResult {
                 "re_per_unit_usd",
                 "detail",
             ],
-        )?;
-        for cell in &self.cells {
-            let (per_unit, re_per_unit) = match cell.outcome.candidate() {
-                Some(c) => (
-                    format!("{:.6}", c.per_unit.usd()),
-                    format!("{:.6}", c.re_per_unit.usd()),
-                ),
-                None => (String::new(), String::new()),
-            };
-            write_csv_row(
-                out,
-                &[
-                    cell.node.clone(),
-                    format!("{}", cell.area_mm2),
-                    cell.quantity.to_string(),
-                    cell.integration.to_string(),
-                    cell.chiplets.to_string(),
-                    cell.flow.to_string(),
-                    cell.scheme.to_string(),
-                    cell.scheme_params.clone(),
-                    cell.outcome.status().to_string(),
-                    per_unit,
-                    re_per_unit,
-                    cell.outcome.detail().to_string(),
-                ],
-            )?;
-        }
-        Ok(())
+            move |emit| {
+                for cell in &self.cells {
+                    let (per_unit, re_per_unit) = match cell.outcome.candidate() {
+                        Some(c) => (
+                            format!("{:.6}", c.per_unit.usd()),
+                            format!("{:.6}", c.re_per_unit.usd()),
+                        ),
+                        None => (String::new(), String::new()),
+                    };
+                    emit(&[
+                        cell.node.clone(),
+                        format!("{}", cell.area_mm2),
+                        cell.quantity.to_string(),
+                        cell.integration.to_string(),
+                        cell.chiplets.to_string(),
+                        cell.flow.to_string(),
+                        cell.scheme.to_string(),
+                        cell.scheme_params.clone(),
+                        cell.outcome.status().to_string(),
+                        per_unit,
+                        re_per_unit,
+                        cell.outcome.detail().to_string(),
+                    ])?;
+                }
+                Ok(())
+            },
+        )
     }
 
-    /// Renders the full grid as CSV (delegates to [`Self::write_csv_to`]).
-    pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        self.write_csv_to(&mut out)
-            .expect("writing to a String cannot fail");
-        out
-    }
-
-    /// Renders every scheme's winner table as CSV.
-    pub fn winners_to_csv(&self) -> String {
-        let mut records = Vec::new();
-        records.push(
-            [
+    /// Every scheme's winner table as one [`Artifact`] named `"winners"`,
+    /// concatenated in scheme order.
+    pub fn winners_artifact(&self) -> Artifact<'_> {
+        Artifact::new(
+            "winners",
+            "winners",
+            &[
                 "scheme",
                 "node",
                 "area_mm2",
@@ -774,35 +787,116 @@ impl PortfolioResult {
                 "flow",
                 "per_unit_usd",
                 "saving_vs_soc",
-            ]
-            .map(str::to_string)
-            .to_vec(),
-        );
-        for w in self.all_winners() {
-            let (integration, chiplets, flow, per_unit) = match &w.best {
-                Some((c, flow)) => (
-                    c.integration.to_string(),
-                    c.chiplets.to_string(),
-                    flow.to_string(),
-                    format!("{:.6}", c.per_unit.usd()),
-                ),
-                None => (String::new(), String::new(), String::new(), String::new()),
-            };
-            records.push(vec![
-                w.scheme.to_string(),
-                w.node.clone(),
-                format!("{}", w.area_mm2),
-                w.quantity.to_string(),
-                integration,
-                chiplets,
-                flow,
-                per_unit,
-                w.saving_vs_soc
-                    .map(|s| format!("{s:.6}"))
-                    .unwrap_or_default(),
-            ]);
-        }
-        write_csv(&records)
+            ],
+            move |emit| {
+                for w in self.all_winners() {
+                    let (integration, chiplets, flow, per_unit) = match &w.best {
+                        Some((c, flow)) => (
+                            c.integration.to_string(),
+                            c.chiplets.to_string(),
+                            flow.to_string(),
+                            format!("{:.6}", c.per_unit.usd()),
+                        ),
+                        None => (String::new(), String::new(), String::new(), String::new()),
+                    };
+                    emit(&[
+                        w.scheme.to_string(),
+                        w.node.clone(),
+                        format!("{}", w.area_mm2),
+                        w.quantity.to_string(),
+                        integration,
+                        chiplets,
+                        flow,
+                        per_unit,
+                        w.saving_vs_soc
+                            .map(|s| format!("{s:.6}"))
+                            .unwrap_or_default(),
+                    ])?;
+                }
+                Ok(())
+            },
+        )
+    }
+
+    /// Every scheme's (per-unit cost, chiplet count) Pareto front as one
+    /// [`Artifact`] named `"pareto"`, concatenated in scheme order.
+    pub fn pareto_artifact(&self) -> Artifact<'_> {
+        Artifact::new(
+            "pareto",
+            "pareto",
+            &[
+                "scheme",
+                "scheme_params",
+                "node",
+                "area_mm2",
+                "quantity",
+                "integration",
+                "chiplets",
+                "flow",
+                "per_unit_usd",
+            ],
+            move |emit| {
+                for &scheme in &self.space.schemes {
+                    for cell in self.pareto_front(scheme) {
+                        let c = cell.outcome.candidate().expect("Pareto cells are feasible");
+                        emit(&[
+                            cell.scheme.to_string(),
+                            cell.scheme_params.clone(),
+                            cell.node.clone(),
+                            format!("{}", cell.area_mm2),
+                            cell.quantity.to_string(),
+                            cell.integration.to_string(),
+                            cell.chiplets.to_string(),
+                            cell.flow.to_string(),
+                            format!("{:.6}", c.per_unit.usd()),
+                        ])?;
+                    }
+                }
+                Ok(())
+            },
+        )
+    }
+
+    /// Every scheme's [`PortfolioResult::pareto_program`] front as one
+    /// [`Artifact`] named `"pareto_program"`, concatenated in scheme
+    /// order.
+    pub fn pareto_program_artifact(&self) -> Artifact<'_> {
+        Artifact::new(
+            "pareto_program",
+            "pareto_program",
+            &[
+                "scheme",
+                "scheme_params",
+                "node",
+                "area_mm2",
+                "quantity",
+                "integration",
+                "chiplets",
+                "flow",
+                "program_total_usd",
+                "per_unit_usd",
+            ],
+            move |emit| {
+                for &scheme in &self.space.schemes {
+                    for cell in self.pareto_program(scheme) {
+                        let c = cell.outcome.candidate().expect("Pareto cells are feasible");
+                        emit(&[
+                            cell.scheme.to_string(),
+                            cell.scheme_params.clone(),
+                            cell.node.clone(),
+                            format!("{}", cell.area_mm2),
+                            cell.quantity.to_string(),
+                            cell.integration.to_string(),
+                            cell.chiplets.to_string(),
+                            cell.flow.to_string(),
+                            format!("{:.2}", c.per_unit.usd() * cell.quantity as f64),
+                            format!("{:.6}", c.per_unit.usd()),
+                        ])?;
+                    }
+                }
+                Ok(())
+            },
+        )
     }
 }
 
@@ -1448,8 +1542,15 @@ mod tests {
         for threads in [2, 4, 8] {
             let parallel = explore_portfolio(&lib, &space, threads).unwrap();
             assert_eq!(serial.cells(), parallel.cells(), "threads={threads}");
-            assert_eq!(serial.to_csv(), parallel.to_csv(), "threads={threads}");
-            assert_eq!(serial.winners_to_csv(), parallel.winners_to_csv());
+            assert_eq!(
+                serial.grid_artifact().csv(),
+                parallel.grid_artifact().csv(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                serial.winners_artifact().csv(),
+                parallel.winners_artifact().csv()
+            );
         }
     }
 
@@ -1460,7 +1561,7 @@ mod tests {
         let cached = explore_portfolio_with(&lib, &space, 2, CorePolicy::Cached).unwrap();
         let uncached = explore_portfolio_with(&lib, &space, 2, CorePolicy::Uncached).unwrap();
         assert_eq!(cached.cells(), uncached.cells());
-        assert_eq!(cached.to_csv(), uncached.to_csv());
+        assert_eq!(cached.grid_artifact().csv(), uncached.grid_artifact().csv());
         assert!(
             cached.core_evaluations() * 2 <= uncached.core_evaluations(),
             "cache must at least halve the full evaluations: {} vs {}",
@@ -1652,23 +1753,60 @@ mod tests {
     #[test]
     fn csv_shapes_are_machine_readable() {
         let result = explore_portfolio(&lib(), &small_space(), 2).unwrap();
-        let grid = result.to_csv();
+        let grid = result.grid_artifact().csv();
         assert_eq!(
             grid.lines().next().unwrap(),
             "node,area_mm2,quantity,integration,chiplets,flow,scheme,scheme_params,status,\
              per_unit_usd,re_per_unit_usd,detail"
         );
         assert_eq!(grid.lines().count(), result.len() + 1);
-        let winners = result.winners_to_csv();
+        let winners = result.winners_artifact().csv();
         assert_eq!(
             winners.lines().next().unwrap(),
             "scheme,node,area_mm2,quantity,integration,chiplets,flow,per_unit_usd,saving_vs_soc"
         );
         assert_eq!(winners.lines().count(), 4 * 4 + 1);
-        // Streaming and materializing produce the same bytes.
+        // Streaming into a sink and materializing produce the same bytes.
         let mut streamed = String::new();
-        result.write_csv_to(&mut streamed).unwrap();
+        result.grid_artifact().write_csv_to(&mut streamed).unwrap();
         assert_eq!(streamed, grid);
+        let pareto = result.pareto_artifact().csv();
+        assert_eq!(
+            pareto.lines().next().unwrap(),
+            "scheme,scheme_params,node,area_mm2,quantity,integration,chiplets,flow,per_unit_usd"
+        );
+        let front_rows: usize = ReuseScheme::ALL
+            .iter()
+            .map(|&s| result.pareto_front(s).len())
+            .sum();
+        assert_eq!(pareto.lines().count(), front_rows + 1);
+    }
+
+    #[test]
+    fn program_pareto_is_per_scheme_and_non_dominated() {
+        let result = explore_portfolio(&lib(), &small_space(), 2).unwrap();
+        for &scheme in &ReuseScheme::ALL {
+            let front = result.pareto_program(scheme);
+            assert!(!front.is_empty(), "{scheme}");
+            assert!(front.iter().all(|c| c.scheme == scheme), "{scheme}");
+            for pair in front.windows(2) {
+                let (a, b) = (
+                    pair[0].outcome.candidate().unwrap(),
+                    pair[1].outcome.candidate().unwrap(),
+                );
+                assert!(
+                    a.per_unit.usd() * pair[0].quantity as f64
+                        <= b.per_unit.usd() * pair[1].quantity as f64
+                );
+                assert!(a.per_unit > b.per_unit, "{scheme}: dominated point kept");
+            }
+        }
+        let program_csv = result.pareto_program_artifact().csv();
+        assert_eq!(
+            program_csv.lines().next().unwrap(),
+            "scheme,scheme_params,node,area_mm2,quantity,integration,chiplets,flow,\
+             program_total_usd,per_unit_usd"
+        );
     }
 
     #[test]

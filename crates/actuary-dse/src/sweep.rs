@@ -2,7 +2,7 @@
 //! cost function, with CSV-ready results.
 
 use actuary_arch::ArchError;
-use actuary_units::{Area, Quantity};
+use actuary_units::{Area, Artifact, Quantity};
 
 /// One sampled point of a sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,18 +83,21 @@ impl Sweep {
             .map(|p| p.x)
     }
 
-    /// Renders the sweep as CSV (x column plus one column per series).
-    pub fn to_csv(&self) -> String {
-        let mut records = Vec::with_capacity(self.points.len() + 1);
-        let mut header = vec![self.x_label.clone()];
-        header.extend(self.series.iter().cloned());
-        records.push(header);
-        for p in &self.points {
-            let mut row = vec![format!("{}", p.x)];
-            row.extend(p.values.iter().map(|v| format!("{v:.6}")));
-            records.push(row);
-        }
-        actuary_units::write_csv(&records)
+    /// The sweep as a streaming [`Artifact`] (kind `"sweep"`): the x
+    /// column plus one column per series, one row per sampled point.
+    pub fn artifact(&self, name: impl Into<String>) -> Artifact<'_> {
+        let mut columns: Vec<&str> = Vec::with_capacity(1 + self.series.len());
+        columns.push(self.x_label.as_str());
+        columns.extend(self.series.iter().map(String::as_str));
+        Artifact::new(name, "sweep", &columns, move |emit| {
+            for p in &self.points {
+                let mut row = Vec::with_capacity(1 + p.values.len());
+                row.push(format!("{}", p.x));
+                row.extend(p.values.iter().map(|v| format!("{v:.6}")));
+                emit(&row)?;
+            }
+            Ok(())
+        })
     }
 }
 
@@ -229,7 +232,10 @@ mod tests {
             )],
         )
         .unwrap();
-        let csv = sweep.to_csv();
+        let artifact = sweep.artifact("s");
+        assert_eq!(artifact.name(), "s");
+        assert_eq!(artifact.kind(), "sweep");
+        let csv = artifact.csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "quantity,cost");
         assert_eq!(lines.len(), 3);

@@ -1,0 +1,51 @@
+//! The canonical home of the streaming [`Artifact`] output layer.
+//!
+//! Every tabular result in the workspace — exploration grids, winner
+//! tables, Pareto fronts, sweeps, scenario costs/yields, figure tables —
+//! is emitted as an [`Artifact`]: a named table (column schema + streaming
+//! row source + metadata) serialized by exactly one CSV writer,
+//! [`Artifact::write_csv_to`]. Sinks are anything `fmt::Write`; [`IoSink`]
+//! adapts files and sockets (`io::Write`), which is how `actuary explore
+//! --out`, `actuary run --out-dir` and the `actuary serve` HTTP responses
+//! all stream the same bytes.
+//!
+//! Like the CSV primitives, the mechanics live in the base layer
+//! (`actuary-units`) so the DSE and scenario crates can produce artifacts
+//! without depending upward on this crate; they are re-exported here to
+//! keep `actuary_report::{Artifact, IoSink}` the canonical public names.
+
+// See the module docs above: the type lives in `actuary-units` for DAG
+// reasons, this re-export is the canonical name.
+pub use actuary_units::{Artifact, IoSink, RowEmit};
+
+use crate::table::Table;
+
+impl Table {
+    /// The table as a streaming [`Artifact`] (kind `"table"`), borrowing
+    /// the rows; byte-identical to [`Table::to_csv`].
+    pub fn artifact(&self, name: impl Into<String>) -> Artifact<'_> {
+        let columns: Vec<&str> = self.headers().iter().map(String::as_str).collect();
+        Artifact::new(name, "table", &columns, move |emit| {
+            for row in self.rows() {
+                emit(row)?;
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_artifact_matches_to_csv_byte_for_byte() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.push_row(vec!["a,b".into(), "1".into()]);
+        t.push_row(vec!["plain".into(), "2.5".into()]);
+        let artifact = t.artifact("demo");
+        assert_eq!(artifact.name(), "demo");
+        assert_eq!(artifact.kind(), "table");
+        assert_eq!(artifact.csv(), t.to_csv());
+    }
+}

@@ -1,5 +1,7 @@
 //! Terminal-friendly reporting for the *Chiplet Actuary* reproduction:
-//! tables, stacked-bar charts, line charts, CSV and Markdown.
+//! tables, stacked-bar charts, line charts, CSV, Markdown — and the
+//! streaming [`Artifact`] layer every machine-readable result goes
+//! through (see [`artifact`](crate::Artifact)).
 //!
 //! The paper's evaluation figures are stacked bar charts (cost breakdowns
 //! per configuration) and line plots (yield/cost vs area). This crate
@@ -26,10 +28,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod artifact;
 mod chart;
 mod csv;
 mod table;
 
+pub use artifact::{Artifact, IoSink, RowEmit};
 pub use chart::{LineChart, StackedBarChart};
 pub use csv::{csv_escape, write_csv, write_csv_row};
 pub use table::Table;

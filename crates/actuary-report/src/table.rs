@@ -45,6 +45,16 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows (each padded/truncated to the header width).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of columns.
     pub fn column_count(&self) -> usize {
         self.headers.len()

@@ -1,19 +1,21 @@
-//! Scenario jobs: `[[portfolio]]` / `[[yield]]` tables and the `[explore]`
-//! table, lowered into `actuary-arch` portfolios and an `actuary-dse`
-//! [`PortfolioSpace`], plus the runner that executes them through the
-//! existing engines.
+//! Scenario jobs: `[[portfolio]]` / `[[yield]]` / `[[sweep]]` tables and
+//! the `[explore]` table, lowered into `actuary-arch` portfolios and an
+//! `actuary-dse` [`PortfolioSpace`], plus the runner that executes them
+//! through the existing engines and emits every result as a named
+//! streaming [`Artifact`].
 
 use std::collections::BTreeSet;
 use std::fmt;
 
 use actuary_arch::reuse::{FsmcSpec, OcmeSpec, ScmsSpec};
-use actuary_arch::{Chip, Module, Portfolio, System};
+use actuary_arch::{ArchError, Chip, Module, Portfolio, System};
 use actuary_dse::portfolio::{
     explore_portfolio, parse_fsmc_situation, PortfolioResult, PortfolioSpace, ReuseScheme,
 };
-use actuary_model::AssemblyFlow;
+use actuary_dse::sweep::{sweep_area, Sweep};
+use actuary_model::{re_cost, AssemblyFlow, DiePlacement};
 use actuary_tech::{IntegrationKind, NodeId, TechLibrary};
-use actuary_units::{write_csv_row, Area, Quantity};
+use actuary_units::{Area, Artifact, Quantity};
 
 use crate::error::ScenarioError;
 use crate::schema::{elem_f64, elem_str, elem_u32, elem_u64, Spanned, View};
@@ -42,6 +44,9 @@ pub enum Job {
     /// Tabulate die yield and cost-per-area over an area grid (Figure 2's
     /// workload).
     Yield(YieldJob),
+    /// Sweep per-unit RE cost over an area grid, one series per
+    /// integration kind (Figure 4's workload).
+    Sweep(SweepJob),
     /// Run a multi-axis grid exploration.
     Explore(ExploreJob),
 }
@@ -52,6 +57,7 @@ impl Job {
         match self {
             Job::Cost(j) => &j.name,
             Job::Yield(j) => &j.name,
+            Job::Sweep(j) => &j.name,
             Job::Explore(j) => &j.name,
         }
     }
@@ -97,6 +103,63 @@ pub struct YieldJob {
     pub areas_mm2: Vec<f64>,
 }
 
+/// One selectable output surface of an explore job (the `outputs` key):
+/// which [`Artifact`]s the job emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreOutput {
+    /// The full per-cell grid (the default).
+    Grid,
+    /// The per-scheme winner tables (the cheapest configuration of every
+    /// operating point).
+    Winners,
+    /// The per-scheme Pareto fronts over (per-unit cost, chiplet count).
+    Pareto,
+    /// The per-scheme Pareto fronts over (program total, per-unit cost).
+    ParetoProgram,
+}
+
+impl ExploreOutput {
+    /// Every output, in emission order.
+    pub const ALL: [ExploreOutput; 4] = [
+        ExploreOutput::Grid,
+        ExploreOutput::Winners,
+        ExploreOutput::Pareto,
+        ExploreOutput::ParetoProgram,
+    ];
+
+    /// The stable label used in scenario files and artifact names.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExploreOutput::Grid => "grid",
+            ExploreOutput::Winners => "winners",
+            ExploreOutput::Pareto => "pareto",
+            ExploreOutput::ParetoProgram => "pareto_program",
+        }
+    }
+}
+
+impl fmt::Display for ExploreOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for ExploreOutput {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "grid" => Ok(ExploreOutput::Grid),
+            "winners" => Ok(ExploreOutput::Winners),
+            "pareto" => Ok(ExploreOutput::Pareto),
+            "pareto_program" | "pareto-program" => Ok(ExploreOutput::ParetoProgram),
+            other => Err(format!(
+                "unknown output {other:?} (grid|winners|pareto|pareto_program)"
+            )),
+        }
+    }
+}
+
 /// A grid-exploration job.
 #[derive(Debug)]
 pub struct ExploreJob {
@@ -104,6 +167,27 @@ pub struct ExploreJob {
     pub name: String,
     /// The exploration space.
     pub space: PortfolioSpace,
+    /// Which surfaces the job emits, in file order (default: the grid).
+    pub outputs: Vec<ExploreOutput>,
+}
+
+/// An area-sweep job: per-unit RE cost vs total module area, one series
+/// per integration kind — the paper's Figure 4 panels, declaratively.
+#[derive(Debug)]
+pub struct SweepJob {
+    /// Job name.
+    pub name: String,
+    /// Process node of every series.
+    pub node: String,
+    /// Chiplet count of the multi-chip series (SoC series ignore it, as in
+    /// the figure).
+    pub chiplets: u32,
+    /// One series per integration kind, in file order.
+    pub integrations: Vec<IntegrationKind>,
+    /// The swept total module areas in mm².
+    pub areas_mm2: Vec<f64>,
+    /// Assembly flow of every series.
+    pub flow: AssemblyFlow,
 }
 
 /// One row of a cost job's output: a member system's per-unit breakdown in
@@ -157,8 +241,19 @@ pub struct YieldRow {
 pub struct ExploreRun {
     /// Job name.
     pub name: String,
+    /// The surfaces the job selected (drives [`ScenarioRun::artifacts`]).
+    pub outputs: Vec<ExploreOutput>,
     /// The grid result.
     pub result: PortfolioResult,
+}
+
+/// An executed sweep job.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// Job name.
+    pub name: String,
+    /// The sampled sweep.
+    pub sweep: Sweep,
 }
 
 /// Everything a scenario run produced.
@@ -172,17 +267,49 @@ pub struct ScenarioRun {
     pub yield_rows: Vec<YieldRow>,
     /// All explore results, in job order.
     pub explores: Vec<ExploreRun>,
+    /// All sweep results, in job order.
+    pub sweeps: Vec<SweepRun>,
 }
 
 impl ScenarioRun {
-    /// Streams the cost rows as CSV.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the sink's [`fmt::Error`] (infallible for `String`).
-    pub fn write_costs_csv<W: fmt::Write + ?Sized>(&self, out: &mut W) -> fmt::Result {
-        write_csv_row(
-            out,
+    /// The run's results as a stream of named [`Artifact`]s, in emission
+    /// order: the cost rows (if any), the yield rows (if any), every
+    /// explore job's selected surfaces, every sweep. Artifact names are
+    /// the output file stems — a consumer writes
+    /// `<scenario>-<artifact>.csv` per entry, streams them over HTTP, or
+    /// concatenates them for stdout; nothing is materialized until a sink
+    /// asks.
+    pub fn artifacts(&self) -> Vec<Artifact<'_>> {
+        let mut out = Vec::new();
+        if !self.cost_rows.is_empty() {
+            out.push(self.costs_artifact());
+        }
+        if !self.yield_rows.is_empty() {
+            out.push(self.yields_artifact());
+        }
+        for explore in &self.explores {
+            for output in &explore.outputs {
+                let artifact = match output {
+                    ExploreOutput::Grid => explore.result.grid_artifact(),
+                    ExploreOutput::Winners => explore.result.winners_artifact(),
+                    ExploreOutput::Pareto => explore.result.pareto_artifact(),
+                    ExploreOutput::ParetoProgram => explore.result.pareto_program_artifact(),
+                };
+                out.push(artifact.named(format!("{}-{}", explore.name, output.label())));
+            }
+        }
+        for s in &self.sweeps {
+            out.push(s.sweep.artifact(format!("{}-sweep", s.name)));
+        }
+        out
+    }
+
+    /// The cost rows as an [`Artifact`] named `"costs"`, one row per
+    /// member system in job order.
+    pub fn costs_artifact(&self) -> Artifact<'_> {
+        Artifact::new(
+            "costs",
+            "costs",
             &[
                 "job",
                 "system",
@@ -195,43 +322,32 @@ impl ScenarioRun {
                 "nre_d2d_usd",
                 "per_unit_usd",
             ],
-        )?;
-        for r in &self.cost_rows {
-            write_csv_row(
-                out,
-                &[
-                    r.job.clone(),
-                    r.system.clone(),
-                    r.quantity.to_string(),
-                    format!("{:.6}", r.re_usd),
-                    format!("{:.6}", r.re_packaging_usd),
-                    format!("{:.6}", r.nre_modules_usd),
-                    format!("{:.6}", r.nre_chips_usd),
-                    format!("{:.6}", r.nre_packages_usd),
-                    format!("{:.6}", r.nre_d2d_usd),
-                    format!("{:.6}", r.per_unit_usd),
-                ],
-            )?;
-        }
-        Ok(())
+            move |emit| {
+                for r in &self.cost_rows {
+                    emit(&[
+                        r.job.clone(),
+                        r.system.clone(),
+                        r.quantity.to_string(),
+                        format!("{:.6}", r.re_usd),
+                        format!("{:.6}", r.re_packaging_usd),
+                        format!("{:.6}", r.nre_modules_usd),
+                        format!("{:.6}", r.nre_chips_usd),
+                        format!("{:.6}", r.nre_packages_usd),
+                        format!("{:.6}", r.nre_d2d_usd),
+                        format!("{:.6}", r.per_unit_usd),
+                    ])?;
+                }
+                Ok(())
+            },
+        )
     }
 
-    /// The cost rows as a CSV string.
-    pub fn costs_csv(&self) -> String {
-        let mut out = String::new();
-        self.write_costs_csv(&mut out)
-            .expect("writing to a String cannot fail");
-        out
-    }
-
-    /// Streams the yield rows as CSV.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the sink's [`fmt::Error`] (infallible for `String`).
-    pub fn write_yields_csv<W: fmt::Write + ?Sized>(&self, out: &mut W) -> fmt::Result {
-        write_csv_row(
-            out,
+    /// The yield rows as an [`Artifact`] named `"yields"`, one row per
+    /// (technology, area) in job order.
+    pub fn yields_artifact(&self) -> Artifact<'_> {
+        Artifact::new(
+            "yields",
+            "yields",
             &[
                 "job",
                 "tech",
@@ -241,30 +357,21 @@ impl ScenarioRun {
                 "yielded_die_usd",
                 "norm_cost_per_area",
             ],
-        )?;
-        for r in &self.yield_rows {
-            write_csv_row(
-                out,
-                &[
-                    r.job.clone(),
-                    r.tech.clone(),
-                    format!("{}", r.area_mm2),
-                    format!("{:.9}", r.yield_frac),
-                    format!("{:.6}", r.raw_die_usd),
-                    format!("{:.6}", r.yielded_die_usd),
-                    format!("{:.9}", r.norm_cost_per_area),
-                ],
-            )?;
-        }
-        Ok(())
-    }
-
-    /// The yield rows as a CSV string.
-    pub fn yields_csv(&self) -> String {
-        let mut out = String::new();
-        self.write_yields_csv(&mut out)
-            .expect("writing to a String cannot fail");
-        out
+            move |emit| {
+                for r in &self.yield_rows {
+                    emit(&[
+                        r.job.clone(),
+                        r.tech.clone(),
+                        format!("{}", r.area_mm2),
+                        format!("{:.9}", r.yield_frac),
+                        format!("{:.6}", r.raw_die_usd),
+                        format!("{:.6}", r.yielded_die_usd),
+                        format!("{:.9}", r.norm_cost_per_area),
+                    ])?;
+                }
+                Ok(())
+            },
+        )
     }
 }
 
@@ -295,6 +402,11 @@ impl Scenario {
             check_unique(&mut names, &job.name, table.pos)?;
             jobs.push(Job::Yield(job));
         }
+        for table in root.opt_tables("sweep")? {
+            let job = lower_sweep_job(table, &library)?;
+            check_unique(&mut names, &job.name, table.pos)?;
+            jobs.push(Job::Sweep(job));
+        }
         for table in root.opt_tables("explore")? {
             let job = lower_explore_job(table, &library)?;
             check_unique(&mut names, &job.name, table.pos)?;
@@ -304,8 +416,8 @@ impl Scenario {
         if jobs.is_empty() {
             return Err(ScenarioError::schema(
                 doc.pos,
-                "the scenario defines no jobs (add a [[portfolio]], [[yield]] or [explore] \
-                 table)",
+                "the scenario defines no jobs (add a [[portfolio]], [[yield]], [[sweep]] or \
+                 [explore] table)",
             ));
         }
         Ok(Scenario {
@@ -334,6 +446,7 @@ impl Scenario {
             cost_rows: Vec::new(),
             yield_rows: Vec::new(),
             explores: Vec::new(),
+            sweeps: Vec::new(),
         };
         let engine = |job: &str, e: &dyn fmt::Display| ScenarioError::Engine {
             context: job.to_string(),
@@ -366,11 +479,19 @@ impl Scenario {
                     run_yield_job(&self.library, j, &mut run.yield_rows)
                         .map_err(|e| engine(&j.name, &e))?;
                 }
+                Job::Sweep(j) => {
+                    let sweep = run_sweep_job(&self.library, j).map_err(|e| engine(&j.name, &e))?;
+                    run.sweeps.push(SweepRun {
+                        name: j.name.clone(),
+                        sweep,
+                    });
+                }
                 Job::Explore(j) => {
                     let result = explore_portfolio(&self.library, &j.space, threads)
                         .map_err(|e| engine(&j.name, &e))?;
                     run.explores.push(ExploreRun {
                         name: j.name.clone(),
+                        outputs: j.outputs.clone(),
                         result,
                     });
                 }
@@ -724,6 +845,89 @@ fn run_yield_job(
     Ok(())
 }
 
+/// Lowers one `[[sweep]]` table into a [`SweepJob`].
+fn lower_sweep_job(table: &Table, lib: &TechLibrary) -> Result<SweepJob, ScenarioError> {
+    let mut view = View::new(table, "[[sweep]]");
+    let name = check_file_name(view.req_str("name")?, "job name")?;
+    let node = view.req_str("node")?;
+    check_node(lib, node)?;
+    let chiplets = view.req_u32("chiplets")?;
+    // Each integration becomes a series column named after it, so
+    // duplicates would emit ambiguous CSV columns — reject them like
+    // duplicate `outputs`.
+    let mut integrations: Vec<IntegrationKind> = Vec::new();
+    for (kind, pos) in view.req_array("integrations", |v, p| {
+        let s = elem_str(v, p, "an integration")?;
+        Ok((parse_kind(s.value, s.pos)?, s.pos))
+    })? {
+        if integrations.contains(&kind) {
+            return Err(ScenarioError::schema(
+                pos,
+                format!("duplicate integration `{kind}`"),
+            ));
+        }
+        integrations.push(kind);
+    }
+    let areas_mm2 = view.req_array("areas_mm2", |v, p| {
+        let mm2 = elem_f64(v, p, "an area")?;
+        Area::from_mm2(mm2).map_err(|e| ScenarioError::schema(p, e.to_string()))?;
+        Ok(mm2)
+    })?;
+    let flow = match view.opt_str("flow")? {
+        Some(s) => parse_flow(s)?,
+        None => AssemblyFlow::ChipLast,
+    };
+    view.deny_unknown()?;
+    if integrations.is_empty() || areas_mm2.is_empty() {
+        return Err(ScenarioError::schema(
+            table.pos,
+            format!("sweep job `{name}` needs at least one integration and one area"),
+        ));
+    }
+    if chiplets.value < 2 && integrations.iter().any(|k| k.is_multi_chip()) {
+        return Err(ScenarioError::schema(
+            chiplets.pos,
+            "multi-chip sweep series need at least 2 chiplets (a single die has no D2D \
+             interface)",
+        ));
+    }
+    Ok(SweepJob {
+        name,
+        node: node.value.to_string(),
+        chiplets: chiplets.value,
+        integrations,
+        areas_mm2,
+        flow,
+    })
+}
+
+/// Executes a sweep job: the Figure 4 computation — per-unit RE cost of
+/// every integration kind over the area grid, multi-chip series splitting
+/// the module area across `chiplets` D2D-inflated dies.
+#[allow(clippy::type_complexity)] // the series type is sweep_area's own signature
+fn run_sweep_job(lib: &TechLibrary, job: &SweepJob) -> Result<Sweep, ArchError> {
+    let node = lib.node(&job.node).map_err(ArchError::Tech)?;
+    let mut series: Vec<(String, Box<dyn FnMut(Area) -> Result<f64, ArchError> + '_>)> =
+        Vec::with_capacity(job.integrations.len());
+    for &kind in &job.integrations {
+        let packaging = lib.packaging(kind).map_err(ArchError::Tech)?;
+        let (chiplets, flow) = (job.chiplets, job.flow);
+        series.push((
+            kind.to_string(),
+            Box::new(move |area: Area| {
+                let placements = if kind.is_multi_chip() {
+                    let die = node.d2d().inflate_module_area(area / f64::from(chiplets))?;
+                    vec![DiePlacement::new(node, die, chiplets)]
+                } else {
+                    vec![DiePlacement::new(node, area, 1)]
+                };
+                Ok(re_cost(&placements, packaging, flow)?.total().usd())
+            }),
+        ));
+    }
+    sweep_area(&job.areas_mm2, series)
+}
+
 /// Lowers the `[explore]` table into an [`ExploreJob`].
 fn lower_explore_job(table: &Table, lib: &TechLibrary) -> Result<ExploreJob, ScenarioError> {
     let mut view = View::new(table, "[explore]");
@@ -807,6 +1011,39 @@ fn lower_explore_job(table: &Table, lib: &TechLibrary) -> Result<ExploreJob, Sce
     if let Some(b) = view.opt_bool("package_reuse")? {
         space.package_reuse = b.value;
     }
+    let outputs = match view.opt_array("outputs", |v, p| {
+        let s = elem_str(v, p, "an output")?;
+        // The grammar is owned by this crate's FromStr, shared with docs.
+        s.value
+            .parse::<ExploreOutput>()
+            .map(|o| (o, s.pos))
+            .map_err(|message| ScenarioError::schema(s.pos, message))
+    })? {
+        None => vec![ExploreOutput::Grid],
+        Some(list) => {
+            if list.is_empty() {
+                return Err(ScenarioError::schema(
+                    table.pos,
+                    "`outputs` needs at least one entry (grid|winners|pareto|pareto_program)",
+                ));
+            }
+            let mut outputs = Vec::with_capacity(list.len());
+            for (output, pos) in list {
+                if outputs.contains(&output) {
+                    return Err(ScenarioError::schema(
+                        pos,
+                        format!("duplicate output `{output}`"),
+                    ));
+                }
+                outputs.push(output);
+            }
+            outputs
+        }
+    };
     view.deny_unknown()?;
-    Ok(ExploreJob { name, space })
+    Ok(ExploreJob {
+        name,
+        space,
+        outputs,
+    })
 }

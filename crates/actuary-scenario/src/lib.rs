@@ -68,7 +68,7 @@
 //! assert_eq!(
 //!     err.to_string(),
 //!     "line 2, column 1: unknown key `quanttiy` in the scenario root (accepted: \
-//!      description, explore, extends, name, nodes, packaging, portfolio, yield)"
+//!      description, explore, extends, name, nodes, packaging, portfolio, sweep, yield)"
 //! );
 //! ```
 
@@ -80,8 +80,8 @@ pub mod toml;
 
 pub use error::ScenarioError;
 pub use jobs::{
-    CostJob, CostRow, ExploreJob, ExploreRun, Job, Scenario, ScenarioRun, YieldJob, YieldRow,
-    YieldTech,
+    CostJob, CostRow, ExploreJob, ExploreOutput, ExploreRun, Job, Scenario, ScenarioRun, SweepJob,
+    SweepRun, YieldJob, YieldRow, YieldTech,
 };
 pub use tech::library_to_scenario;
 
@@ -112,12 +112,16 @@ mod tests {
         let run = s.run(1).unwrap();
         assert_eq!(run.cost_rows.len(), 3);
         assert!(run.cost_rows.iter().all(|r| r.per_unit_usd > 0.0));
-        let csv = run.costs_csv();
+        let csv = run.costs_artifact().csv();
         assert!(csv.starts_with(
             "job,system,quantity,re_usd,re_packaging_usd,nre_modules_usd,nre_chips_usd,\
              nre_packages_usd,nre_d2d_usd,per_unit_usd\n"
         ));
         assert_eq!(csv.lines().count(), 4);
+        // The run exposes exactly one artifact — the cost table.
+        let artifacts = run.artifacts();
+        assert_eq!(artifacts.len(), 1);
+        assert_eq!(artifacts[0].name(), "costs");
     }
 
     #[test]
@@ -241,7 +245,7 @@ mod tests {
         let n7 = lib.node("7nm").unwrap();
         let direct = n7.die_yield(actuary_units::Area::from_mm2(100.0).unwrap());
         assert_eq!(run.yield_rows[0].yield_frac, direct.value());
-        assert!(run.yields_csv().contains("2.5D-interposer"));
+        assert!(run.yields_artifact().csv().contains("2.5D-interposer"));
     }
 
     #[test]
@@ -261,6 +265,117 @@ mod tests {
         let result = &run.explores[0].result;
         assert_eq!(result.len(), 2 * 2 * 2 * 2);
         assert!(result.feasible_count() > 0);
+    }
+
+    #[test]
+    fn sweep_job_runs_the_figure4_workload() {
+        let s = Scenario::from_toml(&minimal(concat!(
+            "[[sweep]]\n",
+            "name = \"re\"\n",
+            "node = \"7nm\"\n",
+            "chiplets = 2\n",
+            "integrations = [\"soc\", \"mcm\"]\n",
+            "areas_mm2 = [100, 400, 900]\n",
+        )))
+        .unwrap();
+        let run = s.run(1).unwrap();
+        assert_eq!(run.sweeps.len(), 1);
+        let sweep = &run.sweeps[0].sweep;
+        assert_eq!(sweep.points().len(), 3);
+        assert_eq!(sweep.x_label(), "area_mm2");
+        // §4.1: at 7nm the 2-chiplet MCM overtakes the SoC within the grid.
+        let mcm = sweep.series_values("MCM").unwrap();
+        let soc = sweep.series_values("SoC").unwrap();
+        assert!(mcm[2].1 < soc[2].1, "MCM must win at 900 mm²");
+        // The run's only artifact is the sweep table, job-qualified.
+        let artifacts = run.artifacts();
+        assert_eq!(artifacts.len(), 1);
+        assert_eq!(artifacts[0].name(), "re-sweep");
+        assert_eq!(artifacts[0].kind(), "sweep");
+        let csv = run.sweeps[0].sweep.artifact("re-sweep").csv();
+        assert!(csv.starts_with("area_mm2,SoC,MCM\n"), "{csv}");
+    }
+
+    #[test]
+    fn explore_outputs_select_the_emitted_artifacts() {
+        let s = Scenario::from_toml(&minimal(concat!(
+            "[explore]\n",
+            "nodes = [\"7nm\"]\n",
+            "areas_mm2 = [200.0, 400.0]\n",
+            "quantities = [500000, 2000000]\n",
+            "integrations = [\"soc\", \"mcm\"]\n",
+            "chiplets = [1, 2]\n",
+            "outputs = [\"winners\", \"pareto\", \"pareto_program\"]\n",
+        )))
+        .unwrap();
+        let run = s.run(1).unwrap();
+        let names: Vec<String> = run
+            .artifacts()
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "explore-winners",
+                "explore-pareto",
+                "explore-pareto_program"
+            ],
+            "the grid was not selected, so it must not be emitted"
+        );
+    }
+
+    #[test]
+    fn sweep_and_outputs_schema_errors_name_positions() {
+        let cases: &[(String, &str)] = &[
+            (
+                minimal(concat!(
+                    "[[sweep]]\n",
+                    "name = \"s\"\n",
+                    "node = \"7nm\"\n",
+                    "chiplets = 1\n",
+                    "integrations = [\"mcm\"]\n",
+                    "areas_mm2 = [100]\n",
+                )),
+                "at least 2 chiplets",
+            ),
+            (
+                minimal(concat!(
+                    "[explore]\n",
+                    "nodes = [\"7nm\"]\n",
+                    "outputs = [\"winers\"]\n",
+                )),
+                "unknown output",
+            ),
+            (
+                minimal(concat!(
+                    "[[sweep]]\n",
+                    "name = \"s\"\n",
+                    "node = \"7nm\"\n",
+                    "chiplets = 2\n",
+                    "integrations = [\"mcm\", \"mcm\"]\n",
+                    "areas_mm2 = [100]\n",
+                )),
+                "duplicate integration",
+            ),
+            (
+                minimal(concat!(
+                    "[explore]\n",
+                    "nodes = [\"7nm\"]\n",
+                    "outputs = [\"grid\", \"grid\"]\n",
+                )),
+                "duplicate output",
+            ),
+        ];
+        for (input, fragment) in cases {
+            let err = Scenario::from_toml(input).expect_err(input);
+            let message = err.to_string();
+            assert!(message.starts_with("line "), "{input:?}: {message}");
+            assert!(
+                message.contains(fragment),
+                "{input:?}: {message} must mention {fragment:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! The streaming [`Artifact`] abstraction: every tabular result the
+//! workspace emits — exploration grids, winner tables, Pareto fronts,
+//! sweeps, scenario costs and yields — is one *named table* with a column
+//! schema, a streaming row source and metadata, serialized by exactly one
+//! CSV writer.
+//!
+//! Before this layer existed, every emitter hand-rolled its own CSV string
+//! builder (`to_csv` here, `winners_to_csv` there, an `IoSink` in the CLI),
+//! which is the same drift-prone duplication the cached/direct cost split
+//! once had. An [`Artifact`] inverts that: producers describe *what* the
+//! table is (name, kind, columns) and stream rows through a callback;
+//! [`Artifact::write_csv_to`] is the single serializer, and any
+//! `fmt::Write` sink — a `String`, a file behind [`IoSink`], an HTTP
+//! chunked-transfer stream — receives the same bytes.
+//!
+//! The type lives in the base layer for the same reason `csv_escape` does
+//! (the DSE crate must produce artifacts without depending upward);
+//! `actuary_report::Artifact` is the canonical public name.
+//!
+//! # Examples
+//!
+//! ```
+//! use actuary_units::Artifact;
+//!
+//! let table = Artifact::new("demo", "grid", &["x", "y"], |emit| {
+//!     for i in 0..3u32 {
+//!         emit(&[i.to_string(), (i * i).to_string()])?;
+//!     }
+//!     Ok(())
+//! });
+//! assert_eq!(table.name(), "demo");
+//! assert_eq!(table.csv(), "x,y\n0,0\n1,1\n2,4\n");
+//! ```
+
+use std::fmt;
+use std::io;
+
+use crate::fmt::write_csv_row;
+
+/// The row callback an artifact's source streams into: called once per
+/// row, in order; a returned error aborts the stream.
+pub type RowEmit<'e> = dyn FnMut(&[String]) -> fmt::Result + 'e;
+
+/// A named tabular result: column schema + streaming row source +
+/// metadata — the one shape every tabular emitter in the workspace
+/// produces, serialized by exactly one CSV writer
+/// ([`Artifact::write_csv_to`]) into any `fmt::Write` sink (a `String`, a
+/// file or socket behind [`IoSink`], an HTTP chunked stream).
+///
+/// An artifact is *one-shot*: rendering it consumes it (the row source may
+/// borrow and iterate expensive state); producers hand out a fresh
+/// artifact per request.
+pub struct Artifact<'a> {
+    name: String,
+    kind: &'static str,
+    columns: Vec<String>,
+    #[allow(clippy::type_complexity)]
+    rows: Box<dyn FnOnce(&mut RowEmit<'_>) -> fmt::Result + 'a>,
+}
+
+impl fmt::Debug for Artifact<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Artifact")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("columns", &self.columns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Artifact<'a> {
+    /// Creates an artifact from its schema and streaming row source.
+    ///
+    /// `name` identifies the table (it becomes the output file stem, e.g.
+    /// `<scenario>-<name>.csv`); `kind` is coarse metadata (`"grid"`,
+    /// `"winners"`, `"pareto"`, …) for consumers that route by shape
+    /// rather than by name. `rows` is called exactly once, with a callback
+    /// to invoke per row; rows must match the column count.
+    pub fn new<F>(
+        name: impl Into<String>,
+        kind: &'static str,
+        columns: &[&str],
+        rows: F,
+    ) -> Artifact<'a>
+    where
+        F: FnOnce(&mut RowEmit<'_>) -> fmt::Result + 'a,
+    {
+        Artifact {
+            name: name.into(),
+            kind,
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Box::new(rows),
+        }
+    }
+
+    /// The artifact's name (output file stem).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The artifact's kind (`"grid"`, `"winners"`, `"pareto"`,
+    /// `"pareto_program"`, `"sweep"`, `"costs"`, `"yields"`, `"table"`).
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// The column names, in emission order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The same artifact under a new name — producers emit generic names
+    /// (`"grid"`), composers qualify them (`"fig10-grid"`).
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Artifact<'a> {
+        self.name = name.into();
+        self
+    }
+
+    /// Streams the artifact as RFC-4180 CSV into `out` — header row, then
+    /// every data row — without materializing the document. This is the
+    /// one serializer every emitter in the workspace goes through.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's [`fmt::Error`] (infallible for `String`; an
+    /// [`IoSink`] records the underlying [`io::Error`]).
+    pub fn write_csv_to<W: fmt::Write + ?Sized>(self, out: &mut W) -> fmt::Result {
+        write_csv_row(out, &self.columns)?;
+        (self.rows)(&mut |row: &[String]| write_csv_row(out, row))
+    }
+
+    /// Renders the artifact as a CSV string (delegates to
+    /// [`Artifact::write_csv_to`]).
+    pub fn csv(self) -> String {
+        let mut out = String::new();
+        self.write_csv_to(&mut out)
+            .expect("writing to a String cannot fail");
+        out
+    }
+}
+
+/// Adapts an [`io::Write`] sink to [`fmt::Write`] so artifacts can stream
+/// straight into files and sockets; the underlying io error is kept for
+/// the caller's message (a bare [`fmt::Error`] carries none).
+///
+/// # Examples
+///
+/// ```
+/// use actuary_units::{Artifact, IoSink};
+/// use std::fmt::Write as _;
+///
+/// let mut sink = IoSink::new(Vec::new());
+/// sink.write_str("x,y\n").unwrap();
+/// assert!(sink.take_error().is_none());
+/// assert_eq!(sink.into_inner(), b"x,y\n");
+/// ```
+#[derive(Debug)]
+pub struct IoSink<W: io::Write> {
+    inner: W,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> IoSink<W> {
+    /// Wraps an io sink.
+    pub fn new(inner: W) -> Self {
+        IoSink { inner, error: None }
+    }
+
+    /// The io error behind the last [`fmt::Error`], if any (taking it
+    /// resets the sink's error state).
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    /// Unwraps the underlying io sink (e.g. to flush a `BufWriter`).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: io::Write> fmt::Write for IoSink<W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.inner.write_all(s.as_bytes()).map_err(|e| {
+            self.error = Some(e);
+            fmt::Error
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Artifact<'static> {
+        Artifact::new("t", "table", &["a", "b"], |emit| {
+            emit(&["1".to_string(), "x,y".to_string()])?;
+            emit(&["2".to_string(), String::new()])
+        })
+    }
+
+    #[test]
+    fn csv_escapes_and_terminates_rows() {
+        assert_eq!(sample().csv(), "a,b\n1,\"x,y\"\n2,\n");
+    }
+
+    #[test]
+    fn metadata_is_inspectable_before_rendering() {
+        let a = sample();
+        assert_eq!(a.name(), "t");
+        assert_eq!(a.kind(), "table");
+        assert_eq!(a.columns(), ["a", "b"]);
+    }
+
+    #[test]
+    fn named_renames_without_touching_rows() {
+        let a = sample().named("renamed");
+        assert_eq!(a.name(), "renamed");
+        assert_eq!(a.csv(), "a,b\n1,\"x,y\"\n2,\n");
+    }
+
+    #[test]
+    fn streaming_into_a_string_matches_csv() {
+        let mut out = String::new();
+        sample().write_csv_to(&mut out).unwrap();
+        assert_eq!(out, sample().csv());
+    }
+
+    #[test]
+    fn empty_artifact_is_just_the_header() {
+        let a = Artifact::new("empty", "grid", &["only"], |_| Ok(()));
+        assert_eq!(a.csv(), "only\n");
+    }
+
+    #[test]
+    fn row_source_can_borrow_local_state() {
+        let rows: Vec<Vec<String>> = vec![vec!["r".to_string()]];
+        let a = Artifact::new("borrow", "table", &["c"], |emit| {
+            for row in &rows {
+                emit(row)?;
+            }
+            Ok(())
+        });
+        assert_eq!(a.csv(), "c\nr\n");
+    }
+
+    #[test]
+    fn io_sink_round_trips_bytes_and_keeps_errors() {
+        /// A writer that fails after `cap` bytes, like a full disk.
+        struct Full {
+            cap: usize,
+        }
+        impl io::Write for Full {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if buf.len() > self.cap {
+                    Err(io::Error::other("disk full"))
+                } else {
+                    self.cap -= buf.len();
+                    Ok(buf.len())
+                }
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut ok = IoSink::new(Vec::new());
+        sample().write_csv_to(&mut ok).unwrap();
+        assert_eq!(ok.into_inner(), sample().csv().into_bytes());
+
+        let mut full = IoSink::new(Full { cap: 4 });
+        assert!(sample().write_csv_to(&mut full).is_err());
+        let err = full.take_error().expect("the io cause must be kept");
+        assert!(err.to_string().contains("disk full"));
+        assert!(full.take_error().is_none(), "taking resets the state");
+    }
+}

@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 mod area;
+mod artifact;
 mod error;
 mod fmt;
 mod money;
@@ -41,6 +42,7 @@ mod prob;
 mod quantity;
 
 pub use area::Area;
+pub use artifact::{Artifact, IoSink, RowEmit};
 pub use error::UnitError;
 pub use fmt::{csv_escape, fmt_thousands, format_percent, format_ratio, write_csv, write_csv_row};
 pub use money::Money;

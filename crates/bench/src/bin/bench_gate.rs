@@ -3,20 +3,31 @@
 //!
 //! Usage: `bench_gate PREVIOUS.json CURRENT.json [max_ratio]`
 //!
-//! For every grid section present in both files, the gate checks
-//! `cells_per_sec_threads_all` (and the single-thread figure): if the
-//! previous snapshot was more than `max_ratio` (default 2.0) times faster,
-//! the gate exits 1 listing the regressions. Shared-runner noise is well
+//! For every section present in both files, the gate checks its
+//! throughput keys — `cells_per_sec_*` for the grid sections,
+//! `rows_per_sec` for the artifact-streaming section: if the previous
+//! snapshot was more than `max_ratio` (default 2.0) times faster, the
+//! gate exits 1 listing the regressions. Shared-runner noise is well
 //! under 2×, so only genuine algorithmic regressions trip it. A missing or
 //! unreadable *previous* file exits 0 (first run of a new repository has
 //! no history to gate against) — the caller decides whether that is
-//! acceptable.
+//! acceptable; a key missing on one side only is skipped, so a snapshot
+//! predating a section never blocks the commit that introduces it.
 
 use std::process::ExitCode;
 
-/// The throughput keys the gate watches, per grid section.
-const SECTIONS: [&str; 2] = ["explore_default_grid", "portfolio_default_grid"];
-const KEYS: [&str; 2] = ["cells_per_sec_threads1", "cells_per_sec_threads_all"];
+/// The throughput keys the gate watches, per section.
+const SECTIONS: [(&str, &[&str]); 3] = [
+    (
+        "explore_default_grid",
+        &["cells_per_sec_threads1", "cells_per_sec_threads_all"],
+    ),
+    (
+        "portfolio_default_grid",
+        &["cells_per_sec_threads1", "cells_per_sec_threads_all"],
+    ),
+    ("fig10_grid_streaming", &["rows_per_sec"]),
+];
 
 /// Extracts `"key": <number>` from the object literal following
 /// `"section": {`. The snapshot format is machine-written with no nested
@@ -74,8 +85,8 @@ fn main() -> ExitCode {
 
     let mut compared = 0;
     let mut regressions = Vec::new();
-    for section in SECTIONS {
-        for key in KEYS {
+    for (section, keys) in SECTIONS {
+        for &key in keys {
             let (Some(old), Some(new)) = (
                 extract(&previous, section, key),
                 extract(&current, section, key),
@@ -88,7 +99,7 @@ fn main() -> ExitCode {
             let ratio = old / new;
             let verdict = if ratio > max_ratio { "REGRESSED" } else { "ok" };
             println!(
-                "bench_gate: {section}.{key}: {old:.1} -> {new:.1} cells/sec \
+                "bench_gate: {section}.{key}: {old:.1} -> {new:.1} \
                  (x{ratio:.2} slower) {verdict}"
             );
             if ratio > max_ratio {
@@ -133,6 +144,11 @@ mod tests {
     "cells": 6480,
     "cells_per_sec_threads1": 1000.0,
     "cells_per_sec_threads_all": 3500.5
+  },
+  "fig10_grid_streaming": {
+    "rows": 241,
+    "secs": 0.000402,
+    "rows_per_sec": 599502.5
   }
 }"#;
 
@@ -157,6 +173,10 @@ mod tests {
         assert_eq!(
             extract(SNAPSHOT, "portfolio_default_grid", "cells_per_sec_threads1"),
             Some(1000.0)
+        );
+        assert_eq!(
+            extract(SNAPSHOT, "fig10_grid_streaming", "rows_per_sec"),
+            Some(599502.5)
         );
         assert_eq!(extract(SNAPSHOT, "missing_section", "cells"), None);
         assert_eq!(extract(SNAPSHOT, "explore_default_grid", "missing"), None);

@@ -5,13 +5,18 @@
 //! The numbers are wall-clock medians of a few runs (no criterion
 //! statistics; the artifact is for trend-watching across commits, not
 //! micro-benchmarking): grid cells per second for the single-system and
-//! portfolio grids at one thread and at full hardware parallelism, plus
-//! the cached-vs-uncached full-evaluation counts behind the RE-core cache.
+//! portfolio grids at one thread and at full hardware parallelism, the
+//! cached-vs-uncached full-evaluation counts behind the RE-core cache,
+//! and the rows/sec throughput of streaming the Figure 10 grid through
+//! the artifact CSV path (the serialization `actuary serve` rides).
 
+use std::fmt;
 use std::time::Instant;
 
 use actuary_dse::explore::{explore, ExploreSpace};
-use actuary_dse::portfolio::{explore_portfolio, PortfolioSpace};
+use actuary_dse::portfolio::{explore_portfolio, PortfolioSpace, ReuseScheme};
+use actuary_model::AssemblyFlow;
+use actuary_tech::IntegrationKind;
 use bench::library;
 
 /// Median wall-clock seconds of `runs` invocations of `f`.
@@ -67,6 +72,42 @@ fn main() {
     let cached = explore_portfolio(&lib, &portfolio_space, threads).expect("cached");
     let uncached_evaluations = cached.len() - cached.incompatible_count();
 
+    // Streaming throughput of the artifact CSV path on the Figure 10
+    // workload (every paper (k,n) situation × collocation sizes × the
+    // figure's three integration styles): rows/sec into a discarding
+    // sink, so the number isolates serialization, not evaluation.
+    let fig10_space = PortfolioSpace {
+        nodes: vec!["7nm".to_string()],
+        areas_mm2: vec![160.0, 320.0, 480.0, 640.0],
+        quantities: vec![500_000],
+        integrations: vec![
+            IntegrationKind::Soc,
+            IntegrationKind::Mcm,
+            IntegrationKind::TwoPointFiveD,
+        ],
+        chiplet_counts: vec![1, 2, 3, 4],
+        flows: vec![AssemblyFlow::ChipLast],
+        schemes: vec![ReuseScheme::Fsmc],
+        fsmc_situations: PortfolioSpace::FSMC_PAPER_SITUATIONS.to_vec(),
+        ..PortfolioSpace::default()
+    };
+    let fig10 = explore_portfolio(&lib, &fig10_space, threads).expect("fig10 grid");
+    struct Discard(usize);
+    impl fmt::Write for Discard {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            self.0 += s.len();
+            Ok(())
+        }
+    }
+    let stream_rows = fig10.len() + 1; // data rows + header
+    let stream_secs = median_secs(RUNS.max(5), || {
+        let mut sink = Discard(0);
+        fig10
+            .grid_artifact()
+            .write_csv_to(&mut sink)
+            .expect("stream");
+    });
+
     println!("{{");
     println!("  \"schema\": 1,");
     println!(
@@ -88,6 +129,11 @@ fn main() {
             portfolio_all,
             threads
         )
+    );
+    println!(
+        "  \"fig10_grid_streaming\": {{\n    \"rows\": {stream_rows},\n    \
+         \"secs\": {stream_secs:.6},\n    \"rows_per_sec\": {:.1}\n  }},",
+        stream_rows as f64 / stream_secs,
     );
     println!(
         "  \"core_cache\": {{\n    \"cached_evaluations\": {},\n    \
