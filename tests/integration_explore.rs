@@ -35,16 +35,19 @@ fn serial_and_parallel_exploration_agree_on_a_fixed_grid() {
         let parallel = explore(&lib, &space, threads).unwrap();
         assert_eq!(serial.cells(), parallel.cells(), "threads={threads}");
         assert_eq!(
-            serial.to_csv(),
-            parallel.to_csv(),
+            serial.grid_artifact().csv(),
+            parallel.grid_artifact().csv(),
             "threads={threads}: the CSV must be byte-identical"
         );
-        assert_eq!(serial.winners_to_csv(), parallel.winners_to_csv());
+        assert_eq!(
+            serial.winners_artifact().csv(),
+            parallel.winners_artifact().csv()
+        );
     }
     // threads = 0 resolves to the machine's parallelism and still agrees.
     let auto = explore(&lib, &space, 0).unwrap();
     assert!(auto.threads() >= 1);
-    assert_eq!(serial.to_csv(), auto.to_csv());
+    assert_eq!(serial.grid_artifact().csv(), auto.grid_artifact().csv());
 }
 
 #[test]

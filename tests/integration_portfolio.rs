@@ -43,14 +43,17 @@ fn portfolio_grid_is_deterministic_across_thread_counts() {
         let parallel = explore_portfolio(&lib, &space, threads).unwrap();
         assert_eq!(serial.cells(), parallel.cells(), "threads={threads}");
         assert_eq!(
-            serial.to_csv(),
-            parallel.to_csv(),
+            serial.grid_artifact().csv(),
+            parallel.grid_artifact().csv(),
             "threads={threads}: the CSV must be byte-identical"
         );
-        assert_eq!(serial.winners_to_csv(), parallel.winners_to_csv());
+        assert_eq!(
+            serial.winners_artifact().csv(),
+            parallel.winners_artifact().csv()
+        );
     }
     let auto = explore_portfolio(&lib, &space, 0).unwrap();
-    assert_eq!(serial.to_csv(), auto.to_csv());
+    assert_eq!(serial.grid_artifact().csv(), auto.grid_artifact().csv());
 }
 
 #[test]
@@ -63,8 +66,11 @@ fn cached_core_is_byte_identical_and_at_least_halves_the_evaluations() {
     let cached = explore_with(&lib, &single, 4, CorePolicy::Cached).unwrap();
     let uncached = explore_with(&lib, &single, 4, CorePolicy::Uncached).unwrap();
     assert_eq!(cached.cells(), uncached.cells());
-    assert_eq!(cached.to_csv(), uncached.to_csv());
-    assert_eq!(cached.winners_to_csv(), uncached.winners_to_csv());
+    assert_eq!(cached.grid_artifact().csv(), uncached.grid_artifact().csv());
+    assert_eq!(
+        cached.winners_artifact().csv(),
+        uncached.winners_artifact().csv()
+    );
     assert!(
         cached.core_evaluations() * 2 <= uncached.core_evaluations(),
         "single-system grid: {} cached vs {} uncached evaluations",
@@ -79,7 +85,7 @@ fn cached_core_is_byte_identical_and_at_least_halves_the_evaluations() {
     let cached = explore_portfolio_with(&lib, &portfolio, 4, CorePolicy::Cached).unwrap();
     let uncached = explore_portfolio_with(&lib, &portfolio, 4, CorePolicy::Uncached).unwrap();
     assert_eq!(cached.cells(), uncached.cells());
-    assert_eq!(cached.to_csv(), uncached.to_csv());
+    assert_eq!(cached.grid_artifact().csv(), uncached.grid_artifact().csv());
     assert!(
         cached.core_evaluations() * 2 <= uncached.core_evaluations(),
         "portfolio grid: {} cached vs {} uncached evaluations",
@@ -457,11 +463,60 @@ fn streaming_csv_matches_the_materialized_string() {
     };
     let result = explore_portfolio(&lib, &space, 1).unwrap();
     let mut streamed = String::new();
-    result.write_csv_to(&mut streamed).unwrap();
-    assert_eq!(streamed, result.to_csv());
+    result.grid_artifact().write_csv_to(&mut streamed).unwrap();
+    assert_eq!(streamed, result.grid_artifact().csv());
 
     let single = explore_with(&lib, &ExploreSpace::default(), 2, CorePolicy::Cached).unwrap();
     let mut streamed = String::new();
-    single.write_csv_to(&mut streamed).unwrap();
-    assert_eq!(streamed, single.to_csv());
+    single.grid_artifact().write_csv_to(&mut streamed).unwrap();
+    assert_eq!(streamed, single.grid_artifact().csv());
+}
+
+#[test]
+fn program_pareto_point_matches_the_fig8_anchor() {
+    // A one-cell SCMS grid at the Figure 8 operating point: the program
+    // Pareto front must contain exactly that cell, and its program total
+    // must be the figure-anchored per-unit cost times the quantity.
+    let lib = lib();
+    let space = PortfolioSpace {
+        nodes: vec!["7nm".to_string()],
+        areas_mm2: vec![400.0], // 2 chiplets × the paper's 200 mm² module
+        quantities: vec![500_000],
+        integrations: vec![IntegrationKind::Mcm],
+        chiplet_counts: vec![2],
+        flows: vec![AssemblyFlow::ChipLast],
+        schemes: vec![ReuseScheme::Scms],
+        ..PortfolioSpace::default()
+    };
+    let result = explore_portfolio(&lib, &space, 1).unwrap();
+    let front = result.pareto_program(ReuseScheme::Scms);
+    assert_eq!(front.len(), 1);
+    let cell = front[0];
+    let candidate = cell.outcome.candidate().unwrap();
+
+    // The anchor: the 2X member of the paper's SCMS MCM portfolio.
+    let anchor = ScmsSpec::paper_example()
+        .unwrap()
+        .portfolio()
+        .unwrap()
+        .cost(&lib, AssemblyFlow::ChipLast)
+        .unwrap()
+        .system("2X")
+        .unwrap()
+        .per_unit_total()
+        .usd();
+    close(
+        candidate.per_unit.usd(),
+        anchor,
+        "2X per-unit vs fig8 anchor",
+    );
+    close(
+        candidate.per_unit.usd() * cell.quantity as f64,
+        anchor * 500_000.0,
+        "2X program total vs fig8 anchor",
+    );
+    // The artifact reports the same point.
+    let csv = result.pareto_program_artifact().csv();
+    assert_eq!(csv.lines().count(), 2, "{csv}");
+    assert!(csv.lines().nth(1).unwrap().starts_with("scms,"), "{csv}");
 }

@@ -239,6 +239,70 @@ fn fig2_scenario_reproduces_the_figure_rows() {
 }
 
 #[test]
+fn fig4_sweep_scenario_reproduces_the_figure_to_1e9() {
+    let lib = lib();
+    let run = run_scenario("fig4-sweep.toml");
+    let fig = chiplet_actuary::figures::fig4::compute(&lib).unwrap();
+    assert_eq!(run.sweeps.len(), 3);
+    for (sweep_run, node) in run.sweeps.iter().zip(["14nm", "7nm", "5nm"]) {
+        assert_eq!(sweep_run.name, format!("re-{node}-2c"));
+        let sweep = &sweep_run.sweep;
+        // The figure normalizes each panel to the node's 100 mm² SoC; the
+        // sweep reports raw dollars, so the basis is computed directly
+        // from the model (the scenario crate carries zero figure data).
+        let n = lib.node(node).unwrap();
+        let basis = re_cost(
+            &[DiePlacement::new(n, Area::from_mm2(100.0).unwrap(), 1)],
+            lib.packaging(IntegrationKind::Soc).unwrap(),
+            AssemblyFlow::ChipLast,
+        )
+        .unwrap()
+        .total()
+        .usd();
+        for (kind, series) in [
+            (IntegrationKind::Soc, "SoC"),
+            (IntegrationKind::Mcm, "MCM"),
+            (IntegrationKind::Info, "InFO"),
+            (IntegrationKind::TwoPointFiveD, "2.5D"),
+        ] {
+            let values = sweep.series_values(series).unwrap();
+            assert_eq!(values.len(), 9);
+            for (area, value) in values {
+                let cell = fig.cell(node, 2, kind, area).unwrap();
+                close(
+                    value,
+                    cell.total() * basis,
+                    &format!("{node} {series} at {area} mm²"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scenario_artifacts_cover_every_selected_surface() {
+    // wafer-price-override selects all four explore outputs; the artifact
+    // stream must carry them in order, named for the output files.
+    let run = run_scenario("wafer-price-override.toml");
+    let artifacts = run.artifacts();
+    let names: Vec<&str> = artifacts.iter().map(|a| a.name()).collect();
+    assert_eq!(
+        names,
+        [
+            "grid-grid",
+            "grid-winners",
+            "grid-pareto",
+            "grid-pareto_program"
+        ]
+    );
+    // The grid artifact is byte-identical to the engine's own emission —
+    // the scenario layer only renames it.
+    let direct = run.explores[0].result.grid_artifact().csv();
+    let first = run.artifacts().remove(0);
+    assert_eq!(first.csv(), direct);
+}
+
+#[test]
 fn wafer_price_override_changes_only_the_named_node() {
     let run = run_scenario("wafer-price-override.toml");
     assert_eq!(run.explores.len(), 1);
@@ -297,7 +361,10 @@ fn serialized_library_round_trips_to_byte_identical_exploration_csv() {
     // to the preset path.
     let run = scenario.run(2).unwrap();
     let direct = explore_portfolio(&lib, run.explores[0].result.space(), 2).unwrap();
-    assert_eq!(run.explores[0].result.to_csv(), direct.to_csv());
+    assert_eq!(
+        run.explores[0].result.grid_artifact().csv(),
+        direct.grid_artifact().csv()
+    );
 }
 
 #[test]
