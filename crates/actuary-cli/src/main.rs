@@ -32,6 +32,7 @@ use actuary_dse::optimizer::{recommend, SearchSpace};
 use actuary_dse::portfolio::{
     explore_portfolio, parse_fsmc_situation, PortfolioSpace, ReuseScheme,
 };
+use actuary_dse::refine::{explore_portfolio_refined, explore_refined};
 use actuary_mc::{simulate_system, DefectProcess, McConfig};
 use actuary_model::{re_cost, AssemblyFlow, DiePlacement};
 use actuary_tech::{IntegrationKind, TechLibrary};
@@ -63,7 +64,7 @@ fn usage() -> &'static str {
                [--integrations KIND,..] [--chiplets K,..] [--flow F]\n\
                [--schemes none,scms,ocme,fsmc|all] [--flow-axis]\n\
                [--fsmc-situations KxN,..|paper] [--ocme-centers none,NODE,..]\n\
-               [--package-reuse] [--threads T] [--csv] [--out FILE]\n\
+               [--package-reuse] [--refine] [--threads T] [--csv] [--out FILE]\n\
                [--pareto-out FILE]\n\
                                          multi-axis parallel grid exploration\n\
                                          (T = 0 or omitted: all hardware threads;\n\
@@ -71,6 +72,8 @@ fn usage() -> &'static str {
                                          --flow-axis grids chip-first vs chip-last,\n\
                                          --fsmc-situations grids Figure 10's (k,n) axis,\n\
                                          --ocme-centers grids mature-node OCME centres,\n\
+                                         --refine explores coarse-to-fine, pruning\n\
+                                         cells away from winner/front changes,\n\
                                          --out streams the grid CSV to FILE,\n\
                                          --pareto-out streams the program-total vs\n\
                                          per-unit Pareto front to FILE)\n\
@@ -88,7 +91,7 @@ fn usage() -> &'static str {
 }
 
 /// Flags that take no value (present = true).
-const BOOLEAN_FLAGS: [&str; 3] = ["csv", "flow-axis", "package-reuse"];
+const BOOLEAN_FLAGS: [&str; 4] = ["csv", "flow-axis", "package-reuse", "refine"];
 
 /// Parses `--key value` pairs after the subcommand.
 fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
@@ -206,6 +209,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "fsmc-situations",
                 "ocme-centers",
                 "package-reuse",
+                "refine",
                 "threads",
                 "csv",
                 "out",
@@ -620,7 +624,12 @@ fn cmd_explore(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<()
         chiplet_counts: space.chiplet_counts,
         flow: space.flows[0],
     };
-    let result = explore(lib, &single, threads).map_err(|e| e.to_string())?;
+    let result = if flags.contains_key("refine") {
+        explore_refined(lib, &single, threads)
+    } else {
+        explore(lib, &single, threads)
+    }
+    .map_err(|e| e.to_string())?;
     if let Some(path) = flags.get("pareto-out") {
         stream_to_file(path, |sink| {
             result.pareto_program_artifact().write_csv_to(sink)
@@ -704,7 +713,12 @@ fn cmd_explore_portfolio(
     space: &PortfolioSpace,
     threads: usize,
 ) -> Result<(), String> {
-    let result = explore_portfolio(lib, space, threads).map_err(|e| e.to_string())?;
+    let result = if flags.contains_key("refine") {
+        explore_portfolio_refined(lib, space, threads)
+    } else {
+        explore_portfolio(lib, space, threads)
+    }
+    .map_err(|e| e.to_string())?;
     if let Some(path) = flags.get("pareto-out") {
         stream_to_file(path, |sink| {
             result.pareto_program_artifact().write_csv_to(sink)

@@ -26,6 +26,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use actuary_dse::refine::ExploreMode;
 use actuary_report::IoSink;
 use actuary_scenario::{Job, Scenario};
 
@@ -41,6 +42,11 @@ const CHUNK_BYTES: usize = 8 * 1024;
 /// server's work; `actuary run` stays uncapped — there the operator wrote
 /// the file.
 const MAX_SERVED_CELLS: u128 = 1_000_000;
+/// Upper bound for `mode = "refine"` explore jobs. Refinement evaluates a
+/// stride-sampled subgrid plus the cells near winner flips and front
+/// changes, so the served work scales with the *structure* of the space,
+/// not its cell count — grids up to 10⁸ cells stay answerable.
+const MAX_SERVED_CELLS_REFINE: u128 = 100_000_000;
 
 /// Binds `addr` and serves forever (until the process is killed).
 ///
@@ -332,7 +338,8 @@ fn respond_run<S: Write>(stream: &mut S, body: &[u8], engine_threads: usize) {
     let _ = chunked.finish();
 }
 
-/// Rejects explore jobs whose grid exceeds [`MAX_SERVED_CELLS`], using an
+/// Rejects explore jobs whose grid exceeds [`MAX_SERVED_CELLS`]
+/// ([`MAX_SERVED_CELLS_REFINE`] for `mode = "refine"` jobs), using an
 /// overflow-proof u128 product (the engine's own `len()` would wrap in
 /// release builds long before the bound is reached).
 fn check_served_grid_bound(scenario: &Scenario) -> Result<(), String> {
@@ -353,12 +360,16 @@ fn check_served_grid_bound(scenario: &Scenario) -> Result<(), String> {
         .iter()
         .try_fold(1u128, |product, &axis| product.checked_mul(axis as u128))
         .unwrap_or(u128::MAX);
-        if cells > MAX_SERVED_CELLS {
+        let cap = match explore.mode {
+            ExploreMode::Exhaustive => MAX_SERVED_CELLS,
+            ExploreMode::Refine => MAX_SERVED_CELLS_REFINE,
+        };
+        if cells > cap {
             return Err(format!(
                 "scenario error: explore job `{}` asks for {cells} grid cells; served \
-                 requests are capped at {MAX_SERVED_CELLS} cells (run it locally with \
+                 {} requests are capped at {cap} cells (run it locally with \
                  `actuary run` for unbounded grids)\n",
-                explore.name
+                explore.name, explore.mode,
             ));
         }
     }
@@ -593,5 +604,49 @@ mod tests {
         let text = String::from_utf8_lossy(&fake.output);
         assert!(text.starts_with("HTTP/1.1 422 "), "{text}");
         assert!(text.contains("capped at 1000000 cells"), "{text}");
+    }
+
+    /// Builds a one-job explore scenario with `areas × quantities` grid
+    /// cells (single node, SoC only, one chiplet count) in the given mode.
+    fn grid_scenario(mode: &str, areas: usize, quantities: usize) -> Scenario {
+        let area_axis: Vec<String> = (1..=areas).map(|i| format!("{i}.0")).collect();
+        let quantity_axis: Vec<String> = (1..=quantities).map(|i| (i * 1000).to_string()).collect();
+        let text = format!(
+            concat!(
+                "name = \"bound\"\n",
+                "[explore]\n",
+                "mode = \"{mode}\"\n",
+                "nodes = [\"7nm\"]\n",
+                "areas_mm2 = [{areas}]\n",
+                "quantities = [{quantities}]\n",
+                "integrations = [\"soc\"]\n",
+                "chiplets = [1]\n",
+            ),
+            mode = mode,
+            areas = area_axis.join(", "),
+            quantities = quantity_axis.join(", "),
+        );
+        Scenario::from_toml(&text).unwrap()
+    }
+
+    #[test]
+    fn refine_mode_raises_the_served_grid_cap_to_one_hundred_million() {
+        // 2,000 × 2,000 = 4 × 10⁶ cells: over the exhaustive cap, under
+        // the refine cap. The bound check (not a full run — that is the
+        // engine's job) must let the refine job through.
+        assert!(check_served_grid_bound(&grid_scenario("refine", 2_000, 2_000)).is_ok());
+        let refused = check_served_grid_bound(&grid_scenario("exhaustive", 2_000, 2_000));
+        let message = refused.unwrap_err();
+        assert!(message.contains("capped at 1000000 cells"), "{message}");
+        assert!(message.contains("exhaustive"), "{message}");
+    }
+
+    #[test]
+    fn even_refine_mode_grids_are_bounded() {
+        // 20,000 × 20,000 = 4 × 10⁸ cells exceeds even the refine cap.
+        let refused = check_served_grid_bound(&grid_scenario("refine", 20_000, 20_000));
+        let message = refused.unwrap_err();
+        assert!(message.contains("capped at 100000000 cells"), "{message}");
+        assert!(message.contains("refine"), "{message}");
     }
 }

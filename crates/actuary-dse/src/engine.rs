@@ -3,17 +3,21 @@
 //! Workers pull *ranges* of the pre-expanded work list from one atomic
 //! index instead of single items: with sub-microsecond cells on many-core
 //! machines, a per-cell `fetch_add` becomes the contended hot spot, while a
-//! chunk of [`CHUNK`] cells amortizes the atomic to noise (the ROADMAP's
-//! "chunked work distribution" item). Results are reassembled in work-list
-//! order, so the output is independent of the thread count.
+//! chunk of [`chunk_for`] cells amortizes the atomic to noise (the
+//! ROADMAP's "chunked work distribution" item). Results are reassembled in
+//! work-list order, so the output is independent of the thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// How many work items one atomic fetch claims. Small enough that a grid of
-/// a few hundred cells still load-balances across threads, large enough
-/// that the atomic stops being a contention point for microsecond cells.
-pub(crate) const CHUNK: usize = 32;
+/// How many work items one atomic fetch claims, scaled to the work list:
+/// small lists keep the historical 32 (a grid of a few hundred cells still
+/// load-balances across threads), while huge refine-mode lists take bites
+/// of up to 8,192 so the per-chunk bookkeeping stays off the profile.
+/// Targets ~16 chunks per worker, enough slack for uneven cell costs.
+pub(crate) fn chunk_for(items: usize, threads: usize) -> usize {
+    (items / (threads.max(1) * 16)).clamp(32, 8192)
+}
 
 /// Resolves a requested worker count (`0` = the machine's available
 /// parallelism) against the size of the work list.
@@ -29,8 +33,8 @@ pub(crate) fn resolve_threads(requested: usize, work_items: usize) -> usize {
 }
 
 /// Evaluates `eval(index, item)` for every item on `threads` scoped worker
-/// threads pulling [`CHUNK`]-sized ranges from an atomic index; returns the
-/// results in item order regardless of which worker ran what.
+/// threads pulling [`chunk_for`]-sized ranges from an atomic index; returns
+/// the results in item order regardless of which worker ran what.
 pub(crate) fn run_chunked<T, R, F>(items: &[T], threads: usize, eval: F) -> Vec<R>
 where
     T: Sync,
@@ -41,6 +45,7 @@ where
         return Vec::new();
     }
     let threads = threads.min(items.len()).max(1);
+    let chunk = chunk_for(items.len(), threads);
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|scope| {
@@ -48,11 +53,11 @@ where
             scope.spawn(|| {
                 let mut local = Vec::new();
                 loop {
-                    let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
                     if start >= items.len() {
                         break;
                     }
-                    let end = (start + CHUNK).min(items.len());
+                    let end = (start + chunk).min(items.len());
                     for (i, item) in items.iter().enumerate().take(end).skip(start) {
                         local.push((i, eval(i, item)));
                     }
@@ -95,6 +100,18 @@ mod tests {
         // Fewer items than one chunk, more threads than items.
         let few = vec![10u32, 20, 30];
         assert_eq!(run_chunked(&few, 64, |_, &x| x + 1), vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn chunk_size_scales_with_the_work_list() {
+        // Small grids keep the historical fine-grained chunk.
+        assert_eq!(chunk_for(1_620, 8), 32);
+        assert_eq!(chunk_for(100, 1), 32);
+        // Large grids take proportionally bigger bites...
+        assert_eq!(chunk_for(1_000_000, 8), 7_812);
+        // ...up to a balance-preserving ceiling.
+        assert_eq!(chunk_for(100_000_000, 4), 8_192);
+        assert_eq!(chunk_for(0, 0), 32);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Four properties distinguish the engine from a nest of loops:
 //!
 //! * **Parallel** — candidates are pre-expanded into a flat work list and
-//!   pulled in small chunks by `std::thread::scope` workers over an atomic
+//!   pulled in chunks by `std::thread::scope` workers over an atomic
 //!   index (the shared chunked engine); the [`actuary_tech::TechLibrary`] is
 //!   shared by reference, no dependencies are added.
 //! * **Cached** — the expensive RE/NRE core of a cell depends only on
@@ -26,11 +26,16 @@
 //! * **Loss-free** — infeasible cells (die exceeds the wafer, interposer
 //!   unmanufacturable) and incompatible cells (monolithic SoC × several
 //!   chiplets) are *recorded* with their reason, not silently dropped.
+//!   Incompatible reasons are interned as a copyable
+//!   [`IncompatibleReason`] and re-derived from a cell's coordinates on
+//!   read, so mostly-incompatible grids never materialize a string (or an
+//!   outcome at all) per dead cell.
 //!
 //! This engine grids *single systems*; [`crate::portfolio`] crosses the
 //! same axes with the paper's reuse schemes and the assembly-flow axis
 //! (both engines share one implementation — `explore` is the
-//! single-scheme, single-flow special case).
+//! single-scheme, single-flow special case). [`crate::refine`] runs either
+//! grid coarse-to-fine instead of exhaustively.
 //!
 //! # Examples
 //!
@@ -63,8 +68,9 @@ use actuary_tech::{IntegrationKind, TechLibrary};
 use actuary_units::{Area, Artifact};
 
 use crate::optimizer::Candidate;
-use crate::pareto::pareto_min_indices;
-use crate::portfolio::{explore_portfolio_with, CorePolicy, PortfolioSpace};
+use crate::portfolio::{
+    explore_portfolio_with, CorePolicy, PortfolioCell, PortfolioResult, PortfolioSpace, ReuseScheme,
+};
 
 /// The exploration grid: the Cartesian product of every axis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -155,6 +161,128 @@ impl ExploreSpace {
     }
 }
 
+/// The SCMS multiplicity list of an [`IncompatibleReason::ScmsNonMember`],
+/// interned into a fixed-size copyable value (the reason enum must stay
+/// `Copy`, so it cannot carry the space's `Vec<u32>`).
+///
+/// [`fmt::Display`] reproduces the `Vec` debug formatting the reason
+/// strings have always used (`[1, 2, 4]`); families beyond
+/// [`ScmsFamily::MAX`] multiplicities — far past the paper's `{1, 2, 4}` —
+/// render the kept prefix followed by `...`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScmsFamily {
+    multiplicities: [u32; Self::MAX],
+    len: u8,
+    truncated: bool,
+}
+
+impl ScmsFamily {
+    /// How many multiplicities the interned family keeps.
+    pub const MAX: usize = 8;
+
+    /// Interns `multiplicities`, keeping the first [`ScmsFamily::MAX`].
+    pub fn new(multiplicities: &[u32]) -> Self {
+        let mut kept = [0u32; Self::MAX];
+        let len = multiplicities.len().min(Self::MAX);
+        kept[..len].copy_from_slice(&multiplicities[..len]);
+        ScmsFamily {
+            multiplicities: kept,
+            len: len as u8,
+            truncated: multiplicities.len() > Self::MAX,
+        }
+    }
+}
+
+impl fmt::Display for ScmsFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, m) in self.multiplicities[..usize::from(self.len)]
+            .iter()
+            .enumerate()
+        {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        if self.truncated {
+            f.write_str(", ...")?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// Why a cell's axes contradict each other, interned as a copyable value.
+///
+/// The grid used to carry a pre-formatted `String` per incompatible cell —
+/// one heap allocation each on grids that are *mostly* incompatible (family
+/// schemes × a wide chiplet-count axis). The enum is `Copy`, is re-derived
+/// from a cell's coordinates instead of being stored at all, and its
+/// [`fmt::Display`] reproduces the historical CSV text byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncompatibleReason {
+    /// A monolithic (non-multi-chip) integration × more than one chiplet.
+    MonolithicMultiChip {
+        /// The monolithic integration kind.
+        integration: IntegrationKind,
+        /// The contradicting chiplet count.
+        chiplets: u32,
+    },
+    /// A multi-chip integration × fewer than two chiplets.
+    SingleDieMultiChip {
+        /// The multi-chip integration kind.
+        integration: IntegrationKind,
+    },
+    /// The chiplet count is not one of the SCMS family's multiplicities.
+    ScmsNonMember {
+        /// The family's multiplicity list.
+        family: ScmsFamily,
+        /// The non-member chiplet count.
+        chiplets: u32,
+    },
+    /// The chiplet count is not an OCME family member size.
+    OcmeNonMember {
+        /// The non-member chip count.
+        chiplets: u32,
+    },
+    /// More chiplets than the FSMC package has sockets.
+    FsmcOverflow {
+        /// The package's socket count.
+        sockets: u32,
+        /// The overflowing collocation size.
+        chiplets: u32,
+    },
+}
+
+impl fmt::Display for IncompatibleReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncompatibleReason::MonolithicMultiChip {
+                integration,
+                chiplets,
+            } => write!(
+                f,
+                "monolithic {integration} cannot hold {chiplets} chiplets"
+            ),
+            IncompatibleReason::SingleDieMultiChip { integration } => write!(
+                f,
+                "{integration} needs at least 2 chiplets (a single die has no D2D interface)"
+            ),
+            IncompatibleReason::ScmsNonMember { family, chiplets } => {
+                write!(f, "SCMS family {family} has no {chiplets}-chiplet member")
+            }
+            IncompatibleReason::OcmeNonMember { chiplets } => write!(
+                f,
+                "OCME family (C, C+1X, C+1X+1Y, C+2X+2Y) has no {chiplets}-chip member"
+            ),
+            IncompatibleReason::FsmcOverflow { sockets, chiplets } => write!(
+                f,
+                "FSMC package has {sockets} sockets, cannot collocate {chiplets} chiplets"
+            ),
+        }
+    }
+}
+
 /// What happened when one grid cell was evaluated.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CellOutcome {
@@ -165,7 +293,11 @@ pub enum CellOutcome {
     Infeasible(String),
     /// The axes combined into a contradiction (monolithic SoC × more than
     /// one chiplet); recorded so grid accounting stays exhaustive.
-    Incompatible(String),
+    Incompatible(IncompatibleReason),
+    /// The cell was skipped by coarse-to-fine refinement (see
+    /// [`crate::refine`]): compatible axes, but the refinement proof never
+    /// needed its evaluation. Exhaustive runs produce none.
+    Pruned,
 }
 
 impl CellOutcome {
@@ -188,14 +320,19 @@ impl CellOutcome {
             CellOutcome::Feasible(_) => "feasible",
             CellOutcome::Infeasible(_) => "infeasible",
             CellOutcome::Incompatible(_) => "incompatible",
+            CellOutcome::Pruned => "pruned",
         }
     }
 
     /// The recorded reason for a cell that was not costed.
-    pub(crate) fn detail(&self) -> &str {
+    pub(crate) fn detail(&self) -> String {
         match self {
-            CellOutcome::Feasible(_) => "",
-            CellOutcome::Infeasible(reason) | CellOutcome::Incompatible(reason) => reason,
+            CellOutcome::Feasible(_) => String::new(),
+            CellOutcome::Infeasible(reason) => reason.clone(),
+            CellOutcome::Incompatible(reason) => reason.to_string(),
+            CellOutcome::Pruned => {
+                "not evaluated (pruned by coarse-to-fine refinement)".to_string()
+            }
         }
     }
 }
@@ -215,6 +352,21 @@ pub struct ExploreCell {
     pub chiplets: u32,
     /// What evaluation produced.
     pub outcome: CellOutcome,
+}
+
+impl ExploreCell {
+    /// Drops the portfolio-only coordinates (flow, scheme) of a lifted
+    /// single-system cell.
+    fn from_portfolio(cell: PortfolioCell) -> Self {
+        ExploreCell {
+            node: cell.node,
+            area_mm2: cell.area_mm2,
+            quantity: cell.quantity,
+            integration: cell.integration,
+            chiplets: cell.chiplets,
+            outcome: cell.outcome,
+        }
+    }
 }
 
 /// The cheapest feasible configuration of one (node, area, quantity)
@@ -270,41 +422,55 @@ impl fmt::Display for GridWinner {
     }
 }
 
-/// The outcome of [`explore`]: every cell in grid order plus the
-/// post-processed views.
+/// The outcome of [`explore`]: a sparse grid store plus the post-processed
+/// views, all reading through the lifted portfolio result (single systems
+/// *are* the one-scheme, one-flow portfolio grid).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExploreResult {
     space: ExploreSpace,
-    cells: Vec<ExploreCell>,
-    threads: usize,
-    core_evaluations: usize,
+    inner: PortfolioResult,
 }
 
 impl ExploreResult {
+    /// Wraps the lifted portfolio result of a single-system run.
+    pub(crate) fn from_inner(space: &ExploreSpace, inner: PortfolioResult) -> Self {
+        ExploreResult {
+            space: space.clone(),
+            inner,
+        }
+    }
+
     /// The space that was explored.
     pub fn space(&self) -> &ExploreSpace {
         &self.space
     }
 
-    /// Every cell, in deterministic grid order (node → area → quantity →
-    /// integration → chiplet count).
-    pub fn cells(&self) -> &[ExploreCell] {
-        &self.cells
+    /// Every cell materialized in deterministic grid order (node → area →
+    /// quantity → integration → chiplet count). On huge grids prefer
+    /// [`ExploreResult::iter_cells`] or the artifacts, which stream out of
+    /// the sparse store without materializing the grid.
+    pub fn cells(&self) -> Vec<ExploreCell> {
+        self.iter_cells().collect()
+    }
+
+    /// Streams every cell in grid order without materializing the grid.
+    pub fn iter_cells(&self) -> impl Iterator<Item = ExploreCell> + '_ {
+        self.inner.iter_cells().map(ExploreCell::from_portfolio)
     }
 
     /// The number of grid cells.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.inner.len()
     }
 
     /// Whether the grid has no cells (never true for a validated space).
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.inner.is_empty()
     }
 
     /// The number of worker threads the evaluation ran on.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.inner.threads()
     }
 
     /// How many full RE/NRE core evaluations the run performed — under the
@@ -313,50 +479,43 @@ impl ExploreResult {
     /// (the quantity axis amortizes cached cores instead of re-evaluating
     /// them).
     pub fn core_evaluations(&self) -> usize {
-        self.core_evaluations
+        self.inner.core_evaluations()
     }
 
-    /// The cells that were costed successfully.
-    pub fn feasible(&self) -> impl Iterator<Item = &ExploreCell> {
-        self.cells.iter().filter(|c| c.outcome.is_feasible())
+    /// The cells that were costed successfully, in grid order.
+    pub fn feasible(&self) -> impl Iterator<Item = ExploreCell> + '_ {
+        self.inner.feasible().map(ExploreCell::from_portfolio)
     }
 
     /// How many cells were costed successfully.
     pub fn feasible_count(&self) -> usize {
-        self.feasible().count()
+        self.inner.feasible_count()
     }
 
     /// How many cells were manufacturable in principle but infeasible.
     pub fn infeasible_count(&self) -> usize {
-        self.cells
-            .iter()
-            .filter(|c| matches!(c.outcome, CellOutcome::Infeasible(_)))
-            .count()
+        self.inner.infeasible_count()
     }
 
     /// How many cells combined contradictory axes (SoC × several chiplets).
     pub fn incompatible_count(&self) -> usize {
-        self.cells
-            .iter()
-            .filter(|c| matches!(c.outcome, CellOutcome::Incompatible(_)))
-            .count()
+        self.inner.incompatible_count()
+    }
+
+    /// How many compatible cells a refinement run skipped (always 0 for
+    /// exhaustive runs).
+    pub fn pruned_count(&self) -> usize {
+        self.inner.pruned_count()
     }
 
     /// The Pareto front over (per-unit cost, chiplet count), minimizing
     /// both: the cheapest way to buy each level of partitioning restraint.
     /// Returned in ascending per-unit-cost order.
-    pub fn pareto_front(&self) -> Vec<&ExploreCell> {
-        let feasible: Vec<&ExploreCell> = self.feasible().collect();
-        let points: Vec<(f64, f64)> = feasible
-            .iter()
-            .map(|c| {
-                let candidate = c.outcome.candidate().expect("feasible cells carry one");
-                (candidate.per_unit.usd(), f64::from(c.chiplets))
-            })
-            .collect();
-        pareto_min_indices(&points)
+    pub fn pareto_front(&self) -> Vec<ExploreCell> {
+        self.inner
+            .pareto_front(ReuseScheme::None)
             .into_iter()
-            .map(|i| feasible[i])
+            .map(ExploreCell::from_portfolio)
             .collect()
     }
 
@@ -366,39 +525,15 @@ impl ExploreResult {
     /// with no feasible configuration are reported with `best: None`, not
     /// dropped.
     pub fn winners(&self) -> Vec<GridWinner> {
-        // Grid order makes each (node, area, quantity) block contiguous.
-        let block = self.space.integrations.len() * self.space.chiplet_counts.len();
-        self.cells
-            .chunks(block)
-            .map(|cells| {
-                let head = &cells[0];
-                let best = cells
-                    .iter()
-                    .filter_map(|c| c.outcome.candidate())
-                    .min_by(|a, b| {
-                        a.per_unit
-                            .partial_cmp(&b.per_unit)
-                            .expect("costs are finite")
-                    })
-                    .cloned();
-                let soc = cells.iter().find_map(|c| {
-                    (c.integration == IntegrationKind::Soc && c.chiplets == 1)
-                        .then(|| c.outcome.candidate())
-                        .flatten()
-                });
-                let saving_vs_soc = match (&best, soc) {
-                    (Some(b), Some(s)) if s.per_unit.usd() > 0.0 => {
-                        Some((s.per_unit.usd() - b.per_unit.usd()) / s.per_unit.usd())
-                    }
-                    _ => None,
-                };
-                GridWinner {
-                    node: head.node.clone(),
-                    area_mm2: head.area_mm2,
-                    quantity: head.quantity,
-                    best,
-                    saving_vs_soc,
-                }
+        self.inner
+            .winners(ReuseScheme::None)
+            .into_iter()
+            .map(|w| GridWinner {
+                node: w.node,
+                area_mm2: w.area_mm2,
+                quantity: w.quantity,
+                best: w.best.map(|(candidate, _flow)| candidate),
+                saving_vs_soc: w.saving_vs_soc,
             })
             .collect()
     }
@@ -409,19 +544,11 @@ impl ExploreResult {
     /// the decision-relevant trade-off when budgets cap the *program*
     /// rather than the unit price. Returned in ascending program-total
     /// order.
-    pub fn pareto_program(&self) -> Vec<&ExploreCell> {
-        let feasible: Vec<&ExploreCell> = self.feasible().collect();
-        let points: Vec<(f64, f64)> = feasible
-            .iter()
-            .map(|c| {
-                let candidate = c.outcome.candidate().expect("feasible cells carry one");
-                let per_unit = candidate.per_unit.usd();
-                (per_unit * c.quantity as f64, per_unit)
-            })
-            .collect();
-        pareto_min_indices(&points)
+    pub fn pareto_program(&self) -> Vec<ExploreCell> {
+        self.inner
+            .pareto_program(ReuseScheme::None)
             .into_iter()
-            .map(|i| feasible[i])
+            .map(ExploreCell::from_portfolio)
             .collect()
     }
 
@@ -445,7 +572,7 @@ impl ExploreResult {
                 "detail",
             ],
             move |emit| {
-                for cell in &self.cells {
+                for cell in self.iter_cells() {
                     let (per_unit, re_per_unit) = match cell.outcome.candidate() {
                         Some(c) => (
                             format!("{:.6}", c.per_unit.usd()),
@@ -462,7 +589,7 @@ impl ExploreResult {
                         cell.outcome.status().to_string(),
                         per_unit,
                         re_per_unit,
-                        cell.outcome.detail().to_string(),
+                        cell.outcome.detail(),
                     ])?;
                 }
                 Ok(())
@@ -581,20 +708,24 @@ impl fmt::Display for ExploreResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} cells ({} feasible, {} infeasible, {} incompatible) on {} thread(s)",
+            "{} cells ({} feasible, {} infeasible, {} incompatible",
             self.len(),
             self.feasible_count(),
             self.infeasible_count(),
             self.incompatible_count(),
-            self.threads
-        )
+        )?;
+        let pruned = self.pruned_count();
+        if pruned > 0 {
+            write!(f, ", {pruned} pruned")?;
+        }
+        write!(f, ") on {} thread(s)", self.threads())
     }
 }
 
 /// Evaluates every cell of `space` through the cached RE-core engine, on
 /// `threads` worker threads (`0` = the machine's available parallelism).
 ///
-/// Cells are pulled from a pre-expanded work list in small chunks via an
+/// Cells are pulled from a pre-expanded work list in chunks via an
 /// atomic index, so the split adapts to whatever cells turn out to be
 /// slow; results are reassembled in grid order, making the output
 /// independent of the thread count. One RE/NRE core is evaluated per
@@ -641,24 +772,7 @@ pub fn explore_with(
     // this module's documented order.
     let lifted = PortfolioSpace::from_single_system(space);
     let result = explore_portfolio_with(lib, &lifted, threads, policy)?;
-    let cells = result
-        .cells
-        .into_iter()
-        .map(|c| ExploreCell {
-            node: c.node,
-            area_mm2: c.area_mm2,
-            quantity: c.quantity,
-            integration: c.integration,
-            chiplets: c.chiplets,
-            outcome: c.outcome,
-        })
-        .collect();
-    Ok(ExploreResult {
-        space: space.clone(),
-        cells,
-        threads: result.threads,
-        core_evaluations: result.core_evaluations,
-    })
+    Ok(ExploreResult::from_inner(space, result))
 }
 
 #[cfg(test)]
@@ -750,18 +864,66 @@ mod tests {
     }
 
     #[test]
+    fn incompatible_reasons_keep_their_historical_text() {
+        assert_eq!(
+            IncompatibleReason::MonolithicMultiChip {
+                integration: IntegrationKind::Soc,
+                chiplets: 3,
+            }
+            .to_string(),
+            "monolithic SoC cannot hold 3 chiplets"
+        );
+        assert_eq!(
+            IncompatibleReason::SingleDieMultiChip {
+                integration: IntegrationKind::Mcm,
+            }
+            .to_string(),
+            "MCM needs at least 2 chiplets (a single die has no D2D interface)"
+        );
+        assert_eq!(
+            IncompatibleReason::ScmsNonMember {
+                family: ScmsFamily::new(&[1, 2, 4]),
+                chiplets: 3,
+            }
+            .to_string(),
+            "SCMS family [1, 2, 4] has no 3-chiplet member"
+        );
+        assert_eq!(
+            IncompatibleReason::OcmeNonMember { chiplets: 4 }.to_string(),
+            "OCME family (C, C+1X, C+1X+1Y, C+2X+2Y) has no 4-chip member"
+        );
+        assert_eq!(
+            IncompatibleReason::FsmcOverflow {
+                sockets: 2,
+                chiplets: 4,
+            }
+            .to_string(),
+            "FSMC package has 2 sockets, cannot collocate 4 chiplets"
+        );
+        // The interned family renders exactly like the Vec debug format the
+        // reason always used, and marks oversized lists instead of lying.
+        let long: Vec<u32> = (1..=12).collect();
+        assert_eq!(
+            ScmsFamily::new(&long).to_string(),
+            "[1, 2, 3, 4, 5, 6, 7, 8, ...]"
+        );
+        assert_eq!(ScmsFamily::new(&[2]).to_string(), "[2]");
+    }
+
+    #[test]
     fn grid_is_exhaustive_and_in_canonical_order() {
         let lib = lib();
         let space = small_space();
         let result = explore(&lib, &space, 2).unwrap();
         assert_eq!(result.len(), space.len());
         // First block: 7nm, 200 mm², every integration × count in order.
-        let first = &result.cells()[0];
+        let cells = result.cells();
+        let first = &cells[0];
         assert_eq!(
             (first.node.as_str(), first.integration, first.chiplets),
             ("7nm", IntegrationKind::Soc, 1)
         );
-        let second = &result.cells()[1];
+        let second = &cells[1];
         assert_eq!(
             (second.integration, second.chiplets),
             (IntegrationKind::Soc, 2)
@@ -776,6 +938,7 @@ mod tests {
             result.feasible_count() + result.infeasible_count() + result.incompatible_count(),
             result.len()
         );
+        assert_eq!(result.pruned_count(), 0, "exhaustive runs prune nothing");
     }
 
     #[test]
@@ -927,7 +1090,7 @@ mod tests {
             );
             let program =
                 |cell: &ExploreCell, c: &Candidate| c.per_unit.usd() * cell.quantity as f64;
-            assert!(program(pair[0], a) <= program(pair[1], b));
+            assert!(program(&pair[0], a) <= program(&pair[1], b));
             assert!(a.per_unit > b.per_unit);
         }
         // The globally cheapest per-unit cell is always on the front.

@@ -22,6 +22,10 @@
 //!   (node × area × quantity × integration × chiplet count) Cartesian
 //!   grid in parallel and post-processes it into winner tables, Pareto
 //!   fronts and CSV.
+//! * Adaptive exploration — [`refine::explore_portfolio_refined`] reaches
+//!   the same winner tables and fronts coarse-to-fine, evaluating a
+//!   stride-sampled subgrid and refining only around winner flips and
+//!   front membership changes instead of exhausting the grid.
 //!
 //! # Examples
 //!
@@ -54,6 +58,7 @@ pub mod maturity;
 pub mod optimizer;
 pub mod pareto;
 pub mod portfolio;
+pub mod refine;
 pub mod sensitivity;
 pub mod sweep;
 

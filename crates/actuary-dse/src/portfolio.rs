@@ -32,6 +32,19 @@
 //! scheme cell is the family's *monolithic baseline* member (one SoC die
 //! per derivative, module reuse only — the comparison bar of Figs. 8–10).
 //!
+//! # Sparse grid storage
+//!
+//! The result stores only the cells that evaluation actually produced
+//! (feasible and infeasible ones) as a sorted `(index, outcome)` list;
+//! everything else — incompatible cells, and cells a [`crate::refine`] run
+//! pruned — is re-derived from its grid coordinates on read through the
+//! internal `classify` pass. A family-scheme grid with a wide chiplet-count axis is
+//! *mostly* incompatible, so this turns the dominant storage term into
+//! nothing at all: a 10⁸-cell refine run keeps a few hundred thousand
+//! entries, not 10⁸ `CellOutcome`s. Readers ([`PortfolioResult::cells`],
+//! the artifacts, the winner tables, the fronts) see the identical dense
+//! grid in the identical order.
+//!
 //! # The cached RE core
 //!
 //! The expensive half of a cell (RE: yield models, wafer gridding; NRE
@@ -45,9 +58,15 @@
 //! [`actuary_arch::Portfolio::cost`] itself is core + amortize.
 //! [`CorePolicy::Uncached`] keeps the reference path alive for tests.
 //!
-//! Work is pulled in small chunks from an atomic index (the shared
-//! chunked engine), and results are reassembled in grid order: one
-//! thread and N threads emit byte-identical CSV.
+//! The amortization pass is structured struct-of-arrays over the cells
+//! sharing one core: every core walks its own cell list contiguously,
+//! amortizing each distinct quantity once and reading members out of that
+//! one allocation, instead of the cells chasing a shared `(core,
+//! quantity)` map cell by cell.
+//!
+//! Work is pulled in chunks from an atomic index (the shared chunked
+//! engine), and results are reassembled in grid order: one thread and N
+//! threads emit byte-identical CSV.
 //!
 //! # Examples
 //!
@@ -85,7 +104,7 @@ use actuary_tech::{IntegrationKind, NodeId, TechLibrary};
 use actuary_units::{Area, Artifact, Quantity};
 
 use crate::engine::{resolve_threads, run_chunked};
-use crate::explore::CellOutcome;
+use crate::explore::{CellOutcome, IncompatibleReason, ScmsFamily};
 use crate::optimizer::{candidate_core, Candidate, CandidateCore};
 use crate::pareto::pareto_min_indices;
 
@@ -536,36 +555,264 @@ impl fmt::Display for SchemeWinner {
     }
 }
 
-/// The outcome of [`explore_portfolio`]: every cell in grid order plus the
-/// post-processed per-scheme views.
+/// The dense-grid geometry of a [`PortfolioSpace`]: axis lengths plus the
+/// index arithmetic that maps between a flat cell index and its
+/// per-axis coordinates. Shared by the engine, the sparse readers and the
+/// refinement driver so there is exactly one definition of grid order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct GridShape {
+    pub(crate) nodes: usize,
+    pub(crate) areas: usize,
+    pub(crate) quantities: usize,
+    pub(crate) integrations: usize,
+    pub(crate) chiplets: usize,
+    pub(crate) flows: usize,
+    pub(crate) variants: usize,
+}
+
+/// Per-axis coordinates of one grid cell (indices into the space's axes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CellIdx {
+    pub(crate) node: usize,
+    pub(crate) area: usize,
+    pub(crate) quantity: usize,
+    pub(crate) integration: usize,
+    pub(crate) chiplets: usize,
+    pub(crate) flow: usize,
+    pub(crate) variant: usize,
+}
+
+impl GridShape {
+    pub(crate) fn of(space: &PortfolioSpace, variants: usize) -> Self {
+        GridShape {
+            nodes: space.nodes.len(),
+            areas: space.areas_mm2.len(),
+            quantities: space.quantities.len(),
+            integrations: space.integrations.len(),
+            chiplets: space.chiplet_counts.len(),
+            flows: space.flows.len(),
+            variants,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.nodes
+            * self.areas
+            * self.quantities
+            * self.integrations
+            * self.chiplets
+            * self.flows
+            * self.variants
+    }
+
+    /// Cells per (node, area, quantity) operating point: the
+    /// configuration block the winner tables chunk by.
+    pub(crate) fn block(&self) -> usize {
+        self.integrations * self.chiplets * self.flows * self.variants
+    }
+
+    pub(crate) fn index(&self, c: CellIdx) -> usize {
+        (((((c.node * self.areas + c.area) * self.quantities + c.quantity) * self.integrations
+            + c.integration)
+            * self.chiplets
+            + c.chiplets)
+            * self.flows
+            + c.flow)
+            * self.variants
+            + c.variant
+    }
+
+    pub(crate) fn coords(&self, index: usize) -> CellIdx {
+        let variant = index % self.variants;
+        let rest = index / self.variants;
+        let flow = rest % self.flows;
+        let rest = rest / self.flows;
+        let chiplets = rest % self.chiplets;
+        let rest = rest / self.chiplets;
+        let integration = rest % self.integrations;
+        let rest = rest / self.integrations;
+        let quantity = rest % self.quantities;
+        let rest = rest / self.quantities;
+        CellIdx {
+            node: rest / self.areas,
+            area: rest % self.areas,
+            quantity,
+            integration,
+            chiplets,
+            flow,
+            variant,
+        }
+    }
+}
+
+/// Classifies one configuration's axis compatibility — the single source
+/// of truth shared by the evaluation engine (to skip dead cells), the
+/// sparse readers (to re-derive [`CellOutcome::Incompatible`] without
+/// storing it) and the refinement driver. Returns `None` for a
+/// configuration the scheme can actually build.
+pub(crate) fn classify(
+    space: &PortfolioSpace,
+    variant: &SchemeVariant,
+    integration: IntegrationKind,
+    chiplets: u32,
+) -> Option<IncompatibleReason> {
+    match variant.scheme {
+        ReuseScheme::None => {
+            if !integration.is_multi_chip() && chiplets != 1 {
+                return Some(IncompatibleReason::MonolithicMultiChip {
+                    integration,
+                    chiplets,
+                });
+            }
+            if integration.is_multi_chip() && chiplets < 2 {
+                return Some(IncompatibleReason::SingleDieMultiChip { integration });
+            }
+            None
+        }
+        ReuseScheme::Scms => {
+            if !space.scms_multiplicities.contains(&chiplets) {
+                return Some(IncompatibleReason::ScmsNonMember {
+                    family: ScmsFamily::new(&space.scms_multiplicities),
+                    chiplets,
+                });
+            }
+            None
+        }
+        ReuseScheme::Ocme => {
+            if !OCME_MEMBERS.iter().any(|(n, _)| *n == chiplets) {
+                return Some(IncompatibleReason::OcmeNonMember { chiplets });
+            }
+            None
+        }
+        ReuseScheme::Fsmc => {
+            let (sockets, _) = variant.fsmc.expect("FSMC variants carry a situation");
+            if chiplets > sockets {
+                return Some(IncompatibleReason::FsmcOverflow { sockets, chiplets });
+            }
+            None
+        }
+    }
+}
+
+/// The outcome of [`explore_portfolio`]: the sparse store of evaluated
+/// cells plus the post-processed per-scheme views, all reading as the
+/// dense grid in deterministic order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PortfolioResult {
     pub(crate) space: PortfolioSpace,
-    pub(crate) cells: Vec<PortfolioCell>,
+    variants: Vec<SchemeVariant>,
+    params_labels: Vec<String>,
+    len: usize,
+    /// Evaluated cells only (feasible and infeasible), sorted by flat grid
+    /// index. Incompatible and pruned cells are re-derived on read.
+    stored: Vec<(usize, CellOutcome)>,
     pub(crate) threads: usize,
     pub(crate) core_evaluations: usize,
 }
 
 impl PortfolioResult {
+    /// Assembles a result from the sparse list of evaluated cells
+    /// (duplicates keep the first entry; order is normalized here).
+    pub(crate) fn from_parts(
+        space: &PortfolioSpace,
+        threads: usize,
+        core_evaluations: usize,
+        mut stored: Vec<(usize, CellOutcome)>,
+    ) -> Self {
+        stored.sort_by_key(|entry| entry.0);
+        stored.dedup_by_key(|entry| entry.0);
+        let variants = space.scheme_variants();
+        let params_labels = variants.iter().map(SchemeVariant::params_label).collect();
+        let len = space.len();
+        debug_assert!(stored.last().is_none_or(|entry| entry.0 < len));
+        PortfolioResult {
+            space: space.clone(),
+            variants,
+            params_labels,
+            len,
+            stored,
+            threads,
+            core_evaluations,
+        }
+    }
+
     /// The space that was explored.
     pub fn space(&self) -> &PortfolioSpace {
         &self.space
     }
 
-    /// Every cell, in deterministic grid order (node → area → quantity →
-    /// integration → chiplet count → flow → scheme).
-    pub fn cells(&self) -> &[PortfolioCell] {
-        &self.cells
+    pub(crate) fn shape(&self) -> GridShape {
+        GridShape::of(&self.space, self.variants.len())
+    }
+
+    /// The sparse store: evaluated cells as `(flat index, outcome)`,
+    /// sorted by index. The refinement driver reads partial results
+    /// through this.
+    pub(crate) fn stored_entries(&self) -> &[(usize, CellOutcome)] {
+        &self.stored
+    }
+
+    /// Materializes the cell at `idx` with the given outcome.
+    fn cell_at(&self, idx: CellIdx, outcome: CellOutcome) -> PortfolioCell {
+        PortfolioCell {
+            node: self.space.nodes[idx.node].clone(),
+            area_mm2: self.space.areas_mm2[idx.area],
+            quantity: self.space.quantities[idx.quantity],
+            integration: self.space.integrations[idx.integration],
+            chiplets: self.space.chiplet_counts[idx.chiplets],
+            flow: self.space.flows[idx.flow],
+            scheme: self.variants[idx.variant].scheme,
+            scheme_params: self.params_labels[idx.variant].clone(),
+            outcome,
+        }
+    }
+
+    /// The outcome of a cell absent from the sparse store: incompatible
+    /// (re-derived from its coordinates) or pruned.
+    fn unstored_outcome(&self, idx: CellIdx) -> CellOutcome {
+        match classify(
+            &self.space,
+            &self.variants[idx.variant],
+            self.space.integrations[idx.integration],
+            self.space.chiplet_counts[idx.chiplets],
+        ) {
+            Some(reason) => CellOutcome::Incompatible(reason),
+            None => CellOutcome::Pruned,
+        }
+    }
+
+    /// Every cell materialized in deterministic grid order (node → area →
+    /// quantity → integration → chiplet count → flow → scheme). On huge
+    /// grids prefer [`PortfolioResult::iter_cells`] or the artifacts,
+    /// which stream out of the sparse store.
+    pub fn cells(&self) -> Vec<PortfolioCell> {
+        self.iter_cells().collect()
+    }
+
+    /// Streams every cell in grid order without materializing the grid.
+    pub fn iter_cells(&self) -> impl Iterator<Item = PortfolioCell> + '_ {
+        let shape = self.shape();
+        let mut cursor = 0usize;
+        (0..self.len).map(move |i| {
+            while cursor < self.stored.len() && self.stored[cursor].0 < i {
+                cursor += 1;
+            }
+            let outcome = match self.stored.get(cursor) {
+                Some((stored_i, outcome)) if *stored_i == i => outcome.clone(),
+                _ => self.unstored_outcome(shape.coords(i)),
+            };
+            self.cell_at(shape.coords(i), outcome)
+        })
     }
 
     /// The number of grid cells.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.len
     }
 
     /// Whether the grid has no cells (never true for a validated space).
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.len == 0
     }
 
     /// The number of worker threads the evaluation ran on.
@@ -581,93 +828,144 @@ impl PortfolioResult {
         self.core_evaluations
     }
 
-    /// The cells that were costed successfully.
-    pub fn feasible(&self) -> impl Iterator<Item = &PortfolioCell> {
-        self.cells.iter().filter(|c| c.outcome.is_feasible())
+    /// The cells that were costed successfully, in grid order.
+    pub fn feasible(&self) -> impl Iterator<Item = PortfolioCell> + '_ {
+        let shape = self.shape();
+        self.stored
+            .iter()
+            .filter(|(_, outcome)| outcome.is_feasible())
+            .map(move |(i, outcome)| self.cell_at(shape.coords(*i), outcome.clone()))
     }
 
     /// How many cells were costed successfully.
     pub fn feasible_count(&self) -> usize {
-        self.feasible().count()
+        self.stored
+            .iter()
+            .filter(|(_, outcome)| outcome.is_feasible())
+            .count()
     }
 
     /// How many cells were recorded infeasible (their own geometry, or a
     /// sibling of their reuse family, cannot be manufactured).
     pub fn infeasible_count(&self) -> usize {
-        self.cells
+        self.stored
             .iter()
-            .filter(|c| matches!(c.outcome, CellOutcome::Infeasible(_)))
+            .filter(|(_, outcome)| matches!(outcome, CellOutcome::Infeasible(_)))
             .count()
     }
 
     /// How many cells combined contradictory axes (SoC × several chiplets,
-    /// a chiplet count outside the scheme's family).
+    /// a chiplet count outside the scheme's family). Computed
+    /// combinatorially from the axes — incompatible cells are never
+    /// stored.
     pub fn incompatible_count(&self) -> usize {
-        self.cells
-            .iter()
-            .filter(|c| matches!(c.outcome, CellOutcome::Incompatible(_)))
-            .count()
+        let mut dead = 0usize;
+        for &integration in &self.space.integrations {
+            for &chiplets in &self.space.chiplet_counts {
+                for variant in &self.variants {
+                    if classify(&self.space, variant, integration, chiplets).is_some() {
+                        dead += 1;
+                    }
+                }
+            }
+        }
+        dead * self.space.nodes.len()
+            * self.space.areas_mm2.len()
+            * self.space.quantities.len()
+            * self.space.flows.len()
+    }
+
+    /// How many compatible cells a [`crate::refine`] run skipped (always
+    /// 0 for exhaustive runs).
+    pub fn pruned_count(&self) -> usize {
+        self.len - self.stored.len() - self.incompatible_count()
     }
 
     /// The per-(node, area, quantity) winner table of one scheme; every
     /// operating point is reported, feasible or not.
     pub fn winners(&self, scheme: ReuseScheme) -> Vec<SchemeWinner> {
-        let block = self.space.integrations.len()
-            * self.space.chiplet_counts.len()
-            * self.space.flows.len()
-            * self.space.scheme_variants().len();
-        self.cells
-            .chunks(block)
-            .map(|cells| {
-                let head = &cells[0];
-                let scheme_cells: Vec<&PortfolioCell> =
-                    cells.iter().filter(|c| c.scheme == scheme).collect();
-                let best_cell = scheme_cells
-                    .iter()
-                    .filter(|c| c.outcome.is_feasible())
-                    .min_by(|a, b| {
-                        let (ca, cb) = (
-                            a.outcome.candidate().expect("feasible cells carry one"),
-                            b.outcome.candidate().expect("feasible cells carry one"),
-                        );
-                        ca.per_unit
-                            .partial_cmp(&cb.per_unit)
-                            .expect("costs are finite")
-                    })
-                    .copied();
-                let saving_vs_soc = best_cell.and_then(|bc| {
-                    let best = bc.outcome.candidate().expect("feasible");
-                    let baseline_chiplets = match scheme {
-                        ReuseScheme::None => 1,
-                        _ => bc.chiplets,
-                    };
-                    let soc = scheme_cells
-                        .iter()
-                        .find(|c| {
-                            c.integration == IntegrationKind::Soc
-                                && c.chiplets == baseline_chiplets
-                                && c.flow == bc.flow
-                                && c.scheme_params == bc.scheme_params
-                        })
-                        .and_then(|c| c.outcome.candidate());
-                    match soc {
-                        Some(s) if s.per_unit.usd() > 0.0 => {
-                            Some((s.per_unit.usd() - best.per_unit.usd()) / s.per_unit.usd())
-                        }
-                        _ => None,
-                    }
-                });
-                SchemeWinner {
-                    scheme,
-                    node: head.node.clone(),
-                    area_mm2: head.area_mm2,
-                    quantity: head.quantity,
-                    best: best_cell
-                        .map(|c| (c.outcome.candidate().expect("feasible").clone(), c.flow)),
-                    saving_vs_soc,
+        let shape = self.shape();
+        let block = shape.block();
+        let ops = shape.nodes * shape.areas * shape.quantities;
+        let mut out = Vec::with_capacity(ops);
+        let mut s = 0usize;
+        for op in 0..ops {
+            let start = s;
+            while s < self.stored.len() && self.stored[s].0 < (op + 1) * block {
+                s += 1;
+            }
+            let entries = &self.stored[start..s];
+            // Decode a block-local offset into the configuration axes.
+            let local_variant = |local: usize| local % shape.variants;
+            let local_flow = |local: usize| (local / shape.variants) % shape.flows;
+            let local_chiplets =
+                |local: usize| (local / (shape.variants * shape.flows)) % shape.chiplets;
+            let local_integration =
+                |local: usize| local / (shape.variants * shape.flows * shape.chiplets);
+            // First strict minimum in grid order, matching `min_by`'s
+            // first-among-equals tie rule on the dense path.
+            let mut best: Option<(usize, &Candidate)> = None;
+            for (i, outcome) in entries {
+                let local = i - op * block;
+                if self.variants[local_variant(local)].scheme != scheme {
+                    continue;
                 }
-            })
-            .collect()
+                if let CellOutcome::Feasible(c) = outcome {
+                    let better = match &best {
+                        None => true,
+                        Some((_, b)) => c.per_unit < b.per_unit,
+                    };
+                    if better {
+                        best = Some((local, c));
+                    }
+                }
+            }
+            let best = best.map(|(local, c)| {
+                (
+                    c.clone(),
+                    self.space.flows[local_flow(local)],
+                    self.space.chiplet_counts[local_chiplets(local)],
+                    local_variant(local),
+                )
+            });
+            let saving_vs_soc = best.as_ref().and_then(|(bc, bflow, bchiplets, bvariant)| {
+                let baseline_chiplets = match scheme {
+                    ReuseScheme::None => 1,
+                    _ => *bchiplets,
+                };
+                let soc = entries
+                    .iter()
+                    .find(|(i, _)| {
+                        let local = i - op * block;
+                        let v = local_variant(local);
+                        self.variants[v].scheme == scheme
+                            && self.space.integrations[local_integration(local)]
+                                == IntegrationKind::Soc
+                            && self.space.chiplet_counts[local_chiplets(local)] == baseline_chiplets
+                            && self.space.flows[local_flow(local)] == *bflow
+                            && self.params_labels[v] == self.params_labels[*bvariant]
+                    })
+                    .and_then(|(_, outcome)| outcome.candidate());
+                match soc {
+                    Some(s) if s.per_unit.usd() > 0.0 => {
+                        Some((s.per_unit.usd() - bc.per_unit.usd()) / s.per_unit.usd())
+                    }
+                    _ => None,
+                }
+            });
+            let q_i = op % shape.quantities;
+            let a_i = (op / shape.quantities) % shape.areas;
+            let n_i = op / (shape.quantities * shape.areas);
+            out.push(SchemeWinner {
+                scheme,
+                node: self.space.nodes[n_i].clone(),
+                area_mm2: self.space.areas_mm2[a_i],
+                quantity: self.space.quantities[q_i],
+                best: best.map(|(c, flow, _, _)| (c, flow)),
+                saving_vs_soc,
+            });
+        }
+        out
     }
 
     /// The winner tables of every scheme in the space, concatenated in
@@ -680,21 +978,42 @@ impl PortfolioResult {
             .collect()
     }
 
+    /// The feasible cells of one scheme as `(flat index, candidate)`, in
+    /// grid order.
+    fn feasible_of(&self, scheme: ReuseScheme) -> Vec<(usize, &Candidate)> {
+        let variants = self.variants.len();
+        self.stored
+            .iter()
+            .filter_map(|(i, outcome)| match outcome {
+                CellOutcome::Feasible(c) if self.variants[i % variants].scheme == scheme => {
+                    Some((*i, c))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
     /// The Pareto front of one scheme over (per-unit cost, chiplet count),
     /// minimizing both; ascending per-unit-cost order.
-    pub fn pareto_front(&self, scheme: ReuseScheme) -> Vec<&PortfolioCell> {
-        let feasible: Vec<&PortfolioCell> =
-            self.feasible().filter(|c| c.scheme == scheme).collect();
+    pub fn pareto_front(&self, scheme: ReuseScheme) -> Vec<PortfolioCell> {
+        let shape = self.shape();
+        let feasible = self.feasible_of(scheme);
         let points: Vec<(f64, f64)> = feasible
             .iter()
-            .map(|c| {
-                let candidate = c.outcome.candidate().expect("feasible cells carry one");
-                (candidate.per_unit.usd(), f64::from(c.chiplets))
+            .map(|&(i, c)| {
+                let idx = shape.coords(i);
+                (
+                    c.per_unit.usd(),
+                    f64::from(self.space.chiplet_counts[idx.chiplets]),
+                )
             })
             .collect();
         pareto_min_indices(&points)
             .into_iter()
-            .map(|i| feasible[i])
+            .map(|k| {
+                let (i, c) = feasible[k];
+                self.cell_at(shape.coords(i), CellOutcome::Feasible(c.clone()))
+            })
             .collect()
     }
 
@@ -704,20 +1023,26 @@ impl PortfolioResult {
     /// per-unit × units), the ROADMAP's decision-relevant portfolio
     /// trade-off — how much cheaper a unit each extra program dollar
     /// buys. Returned in ascending program-total order.
-    pub fn pareto_program(&self, scheme: ReuseScheme) -> Vec<&PortfolioCell> {
-        let feasible: Vec<&PortfolioCell> =
-            self.feasible().filter(|c| c.scheme == scheme).collect();
+    pub fn pareto_program(&self, scheme: ReuseScheme) -> Vec<PortfolioCell> {
+        let shape = self.shape();
+        let feasible = self.feasible_of(scheme);
         let points: Vec<(f64, f64)> = feasible
             .iter()
-            .map(|c| {
-                let candidate = c.outcome.candidate().expect("feasible cells carry one");
-                let per_unit = candidate.per_unit.usd();
-                (per_unit * c.quantity as f64, per_unit)
+            .map(|&(i, c)| {
+                let idx = shape.coords(i);
+                let per_unit = c.per_unit.usd();
+                (
+                    per_unit * self.space.quantities[idx.quantity] as f64,
+                    per_unit,
+                )
             })
             .collect();
         pareto_min_indices(&points)
             .into_iter()
-            .map(|i| feasible[i])
+            .map(|k| {
+                let (i, c) = feasible[k];
+                self.cell_at(shape.coords(i), CellOutcome::Feasible(c.clone()))
+            })
             .collect()
     }
 
@@ -743,7 +1068,7 @@ impl PortfolioResult {
                 "detail",
             ],
             move |emit| {
-                for cell in &self.cells {
+                for cell in self.iter_cells() {
                     let (per_unit, re_per_unit) = match cell.outcome.candidate() {
                         Some(c) => (
                             format!("{:.6}", c.per_unit.usd()),
@@ -763,7 +1088,7 @@ impl PortfolioResult {
                         cell.outcome.status().to_string(),
                         per_unit,
                         re_per_unit,
-                        cell.outcome.detail().to_string(),
+                        cell.outcome.detail(),
                     ])?;
                 }
                 Ok(())
@@ -904,40 +1229,24 @@ impl fmt::Display for PortfolioResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} cells ({} feasible, {} infeasible, {} incompatible) across {} scheme(s) \
-             on {} thread(s), {} core evaluation(s)",
+            "{} cells ({} feasible, {} infeasible, {} incompatible",
             self.len(),
             self.feasible_count(),
             self.infeasible_count(),
             self.incompatible_count(),
+        )?;
+        let pruned = self.pruned_count();
+        if pruned > 0 {
+            write!(f, ", {pruned} pruned")?;
+        }
+        write!(
+            f,
+            ") across {} scheme(s) on {} thread(s), {} core evaluation(s)",
             self.space.schemes.len(),
             self.threads,
             self.core_evaluations
         )
     }
-}
-
-/// The resolved coordinates of one grid cell.
-struct CellCoord<'a> {
-    node: &'a str,
-    area_mm2: f64,
-    quantity: u64,
-    integration: IntegrationKind,
-    chiplets: u32,
-    flow: AssemblyFlow,
-    variant: &'a SchemeVariant,
-    /// Index of `variant` in the expanded scheme axis (part of the core
-    /// deduplication key).
-    variant_index: usize,
-}
-
-/// What phase C has to do for one cell.
-enum CellPlan {
-    /// The axes contradict each other; the reason is final.
-    Incompatible(String),
-    /// Amortize core `spec` at the cell's quantity and read out `member`
-    /// (`None` = the single-system core itself).
-    Eval { spec: usize, member: Option<String> },
 }
 
 /// The deduplication key of one core evaluation. `area_bits` carries the
@@ -957,6 +1266,7 @@ struct CoreKey {
 }
 
 /// Everything phase B needs to build and evaluate one core.
+#[derive(Clone, Copy)]
 struct CoreSpec<'a> {
     scheme: ReuseScheme,
     node: &'a str,
@@ -974,6 +1284,14 @@ struct CoreSpec<'a> {
 enum CoreValue {
     Single(CandidateCore),
     Family(PortfolioCore),
+}
+
+/// How one compatible configuration maps to its core under the active
+/// [`CorePolicy`]: a shared, already-registered spec, or a template spec
+/// pushed fresh for every cell that uses it.
+enum Planned<'a> {
+    Shared(usize),
+    PerCell(CoreSpec<'a>),
 }
 
 fn integration_rank(kind: IntegrationKind) -> u8 {
@@ -994,6 +1312,41 @@ fn flow_rank(flow: AssemblyFlow) -> u8 {
 
 /// The OCME family's chip counts and member names, in portfolio order.
 const OCME_MEMBERS: [(u32, &str); 4] = [(1, "C"), (2, "C+1X"), (3, "C+1X+1Y"), (5, "C+2X+2Y")];
+
+/// The core geometry of a compatible configuration: the area the core is
+/// designed at (total for a standalone system, per-socket for the reuse
+/// families) and the chiplet count that enters the dedup key (0 for
+/// families, whose cores cover every member count at once).
+fn core_geometry(scheme: ReuseScheme, area_mm2: f64, chiplets: u32) -> (f64, u32) {
+    match scheme {
+        ReuseScheme::None => (area_mm2, chiplets),
+        ReuseScheme::Scms | ReuseScheme::Ocme | ReuseScheme::Fsmc => {
+            (area_mm2 / f64::from(chiplets), 0)
+        }
+    }
+}
+
+/// The family member a compatible cell reads out of its
+/// [`PortfolioCost`]. Only called for family schemes (`none` cells read
+/// their single core directly).
+fn member_name(scheme: ReuseScheme, chiplets: u32, soc: bool) -> String {
+    let suffix = if soc { "-soc" } else { "" };
+    match scheme {
+        ReuseScheme::Scms => format!("{chiplets}X{suffix}"),
+        ReuseScheme::Ocme => {
+            let (_, name) = OCME_MEMBERS
+                .iter()
+                .find(|(n, _)| *n == chiplets)
+                .expect("classified OCME cells are members");
+            format!("{name}{suffix}")
+        }
+        // Every size-s collocation of identical-footprint types costs the
+        // same (symmetric usage weights); `sA` is the canonical read-out
+        // member.
+        ReuseScheme::Fsmc => format!("{chiplets}A{suffix}"),
+        ReuseScheme::None => unreachable!("single-system cells have no family member"),
+    }
+}
 
 /// Evaluates every cell of `space` on `threads` worker threads (`0` = the
 /// machine's available parallelism) with core caching enabled.
@@ -1031,40 +1384,75 @@ pub fn explore_portfolio_with(
         lib.node(center).map_err(ArchError::Tech)?;
     }
 
-    // --- Phase A: expand the grid, classify cells, dedup core keys. ------
+    // --- Phase A: classify configurations, dedup core keys. --------------
+    // Compatibility and geometry depend only on (node, area, integration,
+    // chiplets, flow, variant) — never on quantity — so each (node, area)
+    // builds its configuration template once and stamps it across the
+    // quantity axis, instead of walking all seven loops per cell.
     let variants = space.scheme_variants();
-    let mut coords: Vec<CellCoord<'_>> = Vec::with_capacity(space.len());
-    let mut plans: Vec<CellPlan> = Vec::with_capacity(space.len());
+    let shape = GridShape::of(space, variants.len());
+    let block = shape.block();
     let mut specs: Vec<CoreSpec<'_>> = Vec::new();
     let mut key_index: BTreeMap<CoreKey, usize> = BTreeMap::new();
-    for (node_index, node) in space.nodes.iter().enumerate() {
-        for &area_mm2 in &space.areas_mm2 {
-            for &quantity in &space.quantities {
-                for &integration in &space.integrations {
-                    for &chiplets in &space.chiplet_counts {
-                        for &flow in &space.flows {
-                            for (variant_index, variant) in variants.iter().enumerate() {
-                                let coord = CellCoord {
-                                    node,
-                                    area_mm2,
-                                    quantity,
-                                    integration,
-                                    chiplets,
-                                    flow,
-                                    variant,
-                                    variant_index,
-                                };
-                                let plan = plan_cell(
-                                    space,
-                                    node_index,
-                                    &coord,
-                                    policy,
-                                    &mut specs,
-                                    &mut key_index,
-                                )?;
-                                coords.push(coord);
-                                plans.push(plan);
+    // (flat cell index, spec index) for every evaluable cell, in grid order.
+    let mut evaluable: Vec<(usize, usize)> = Vec::new();
+    let mut template: Vec<Option<Planned<'_>>> = Vec::with_capacity(block);
+    for (n_i, node) in space.nodes.iter().enumerate() {
+        for (a_i, &area_mm2) in space.areas_mm2.iter().enumerate() {
+            template.clear();
+            for &integration in &space.integrations {
+                for &chiplets in &space.chiplet_counts {
+                    for &flow in &space.flows {
+                        for (v_i, variant) in variants.iter().enumerate() {
+                            if classify(space, variant, integration, chiplets).is_some() {
+                                template.push(None);
+                                continue;
                             }
+                            let (core_area_mm2, key_chiplets) =
+                                core_geometry(variant.scheme, area_mm2, chiplets);
+                            let area = Area::from_mm2(core_area_mm2)?;
+                            let spec = CoreSpec {
+                                scheme: variant.scheme,
+                                node,
+                                area,
+                                integration,
+                                chiplets: key_chiplets,
+                                flow,
+                                fsmc: variant.fsmc,
+                                center_node: variant.center_node.as_deref(),
+                            };
+                            template.push(Some(match policy {
+                                CorePolicy::Uncached => Planned::PerCell(spec),
+                                CorePolicy::Cached => {
+                                    let key = CoreKey {
+                                        variant: v_i,
+                                        node: n_i,
+                                        area_bits: area.mm2().to_bits(),
+                                        integration: integration_rank(integration),
+                                        chiplets: key_chiplets,
+                                        flow: flow_rank(flow),
+                                    };
+                                    Planned::Shared(*key_index.entry(key).or_insert_with(|| {
+                                        specs.push(spec);
+                                        specs.len() - 1
+                                    }))
+                                }
+                            }));
+                        }
+                    }
+                }
+            }
+            for q_i in 0..shape.quantities {
+                let base = ((n_i * shape.areas + a_i) * shape.quantities + q_i) * block;
+                for (off, planned) in template.iter().enumerate() {
+                    match planned {
+                        None => {}
+                        Some(Planned::Shared(spec)) => evaluable.push((base + off, *spec)),
+                        Some(Planned::PerCell(spec)) => {
+                            // The uncached reference path evaluates every
+                            // cell from scratch, including per quantity.
+                            specs.push(*spec);
+                            evaluable.push((base + off, specs.len() - 1));
                         }
                     }
                 }
@@ -1072,7 +1460,7 @@ pub fn explore_portfolio_with(
         }
     }
 
-    let threads = resolve_threads(threads, coords.len());
+    let threads = resolve_threads(threads, shape.len());
 
     // --- Phase B: evaluate each distinct core once, in parallel. ---------
     let core_results = run_chunked(&specs, threads, |_, spec| eval_core(lib, space, spec));
@@ -1088,201 +1476,85 @@ pub fn explore_portfolio_with(
     }
     let core_evaluations = cores.len();
 
-    // --- Phase C: one amortization per (core, quantity) pair, in ---------
-    // parallel. Cells sharing a core at the same quantity (different
-    // members of one family, or the same geometry under several schemes'
-    // readouts) reuse one amortization instead of redoing the whole-family
-    // allocation each.
-    let mut amort_jobs: Vec<(usize, u64)> = Vec::new();
-    let mut amort_index: BTreeMap<(usize, u64), usize> = BTreeMap::new();
-    for (plan, coord) in plans.iter().zip(&coords) {
-        if let CellPlan::Eval { spec, .. } = plan {
-            amort_index
-                .entry((*spec, coord.quantity))
-                .or_insert_with(|| {
-                    amort_jobs.push((*spec, coord.quantity));
-                    amort_jobs.len() - 1
-                });
-        }
+    // --- Phase C: struct-of-arrays amortization, one contiguous pass per -
+    // core. Every core owns the list of cells that read it; a worker walks
+    // that list once, amortizing each distinct quantity a single time and
+    // reading family members out of the same allocation — no shared
+    // (core, quantity) map, no per-cell pointer chasing.
+    let mut by_core: Vec<Vec<usize>> = vec![Vec::new(); specs.len()];
+    for (j, &(_, spec)) in evaluable.iter().enumerate() {
+        by_core[spec].push(j);
     }
-    enum Amortized {
-        Single(Candidate),
-        Family(PortfolioCost),
-        /// The core failed; the per-cell reason is cloned from `cores`.
-        Infeasible,
-    }
-    let amortized = run_chunked(&amort_jobs, threads, |_, &(spec, quantity)| {
-        match &cores[spec] {
-            Err(_) => Amortized::Infeasible,
-            Ok(CoreValue::Single(core)) => {
-                Amortized::Single(core.at_quantity(Quantity::new(quantity)))
-            }
-            Ok(CoreValue::Family(core)) => {
-                Amortized::Family(core.amortize_at(Quantity::new(quantity)))
-            }
-        }
-    });
-
-    // --- Member readout: trivial per cell (a name lookup and a clone). ---
-    let cells = coords
-        .into_iter()
-        .zip(&plans)
-        .map(|(coord, plan)| {
-            let outcome = match plan {
-                CellPlan::Incompatible(reason) => CellOutcome::Incompatible(reason.clone()),
-                CellPlan::Eval { spec, member } => {
-                    match &amortized[amort_index[&(*spec, coord.quantity)]] {
-                        Amortized::Infeasible => {
-                            let Err(reason) = &cores[*spec] else {
-                                unreachable!("infeasible amortizations come from failed cores")
-                            };
-                            CellOutcome::Infeasible(reason.clone())
-                        }
-                        Amortized::Single(candidate) => CellOutcome::Feasible(candidate.clone()),
-                        Amortized::Family(cost) => {
-                            let name = member.as_deref().expect("family plans name their member");
-                            let sc = cost
-                                .system(name)
-                                .expect("the family contains every planned member");
-                            CellOutcome::Feasible(Candidate {
-                                integration: coord.integration,
-                                chiplets: coord.chiplets,
-                                per_unit: sc.per_unit_total(),
-                                re_per_unit: sc.re().total(),
-                            })
-                        }
+    let outcome_groups: Vec<Vec<(usize, CellOutcome)>> =
+        run_chunked(&by_core, threads, |core_idx, core_cells| {
+            let mut out = Vec::with_capacity(core_cells.len());
+            match &cores[core_idx] {
+                Err(reason) => {
+                    for &j in core_cells {
+                        out.push((j, CellOutcome::Infeasible(reason.clone())));
                     }
                 }
-            };
-            PortfolioCell {
-                node: coord.node.to_string(),
-                area_mm2: coord.area_mm2,
-                quantity: coord.quantity,
-                integration: coord.integration,
-                chiplets: coord.chiplets,
-                flow: coord.flow,
-                scheme: coord.variant.scheme,
-                scheme_params: coord.variant.params_label(),
-                outcome,
+                Ok(CoreValue::Single(core)) => {
+                    let mut amortized: BTreeMap<u64, Candidate> = BTreeMap::new();
+                    for &j in core_cells {
+                        let idx = shape.coords(evaluable[j].0);
+                        let quantity = space.quantities[idx.quantity];
+                        let candidate = amortized
+                            .entry(quantity)
+                            .or_insert_with(|| core.at_quantity(Quantity::new(quantity)));
+                        out.push((j, CellOutcome::Feasible(candidate.clone())));
+                    }
+                }
+                Ok(CoreValue::Family(core)) => {
+                    let mut amortized: BTreeMap<u64, PortfolioCost> = BTreeMap::new();
+                    for &j in core_cells {
+                        let idx = shape.coords(evaluable[j].0);
+                        let quantity = space.quantities[idx.quantity];
+                        let cost = amortized
+                            .entry(quantity)
+                            .or_insert_with(|| core.amortize_at(Quantity::new(quantity)));
+                        let integration = space.integrations[idx.integration];
+                        let chiplets = space.chiplet_counts[idx.chiplets];
+                        let soc = integration == IntegrationKind::Soc;
+                        let member = member_name(variants[idx.variant].scheme, chiplets, soc);
+                        let sc = cost
+                            .system(&member)
+                            .expect("the family contains every planned member");
+                        out.push((
+                            j,
+                            CellOutcome::Feasible(Candidate {
+                                integration,
+                                chiplets,
+                                per_unit: sc.per_unit_total(),
+                                re_per_unit: sc.re().total(),
+                            }),
+                        ));
+                    }
+                }
             }
-        })
+            out
+        });
+
+    // Scatter the per-core groups back into evaluable order, pairing each
+    // outcome with its flat grid index — the sparse store.
+    let mut slots: Vec<Option<CellOutcome>> = vec![None; evaluable.len()];
+    for group in outcome_groups {
+        for (j, outcome) in group {
+            slots[j] = Some(outcome);
+        }
+    }
+    let stored: Vec<(usize, CellOutcome)> = evaluable
+        .iter()
+        .zip(slots)
+        .map(|(&(cell, _), outcome)| (cell, outcome.expect("every evaluable cell was amortized")))
         .collect();
-    Ok(PortfolioResult {
-        space: space.clone(),
-        cells,
+
+    Ok(PortfolioResult::from_parts(
+        space,
         threads,
         core_evaluations,
-    })
-}
-
-/// Classifies one cell and registers its core spec (deduplicated under
-/// [`CorePolicy::Cached`], one spec per cell under
-/// [`CorePolicy::Uncached`]).
-fn plan_cell<'a>(
-    space: &PortfolioSpace,
-    node_index: usize,
-    coord: &CellCoord<'a>,
-    policy: CorePolicy,
-    specs: &mut Vec<CoreSpec<'a>>,
-    key_index: &mut BTreeMap<CoreKey, usize>,
-) -> Result<CellPlan, ArchError> {
-    let soc = coord.integration == IntegrationKind::Soc;
-    let member_suffix = if soc { "-soc" } else { "" };
-    let (area_mm2, key_chiplets, member) = match coord.variant.scheme {
-        ReuseScheme::None => {
-            if !coord.integration.is_multi_chip() && coord.chiplets != 1 {
-                return Ok(CellPlan::Incompatible(format!(
-                    "monolithic {} cannot hold {} chiplets",
-                    coord.integration, coord.chiplets
-                )));
-            }
-            if coord.integration.is_multi_chip() && coord.chiplets < 2 {
-                return Ok(CellPlan::Incompatible(format!(
-                    "{} needs at least 2 chiplets (a single die has no D2D interface)",
-                    coord.integration
-                )));
-            }
-            (coord.area_mm2, coord.chiplets, None)
-        }
-        ReuseScheme::Scms => {
-            if !space.scms_multiplicities.contains(&coord.chiplets) {
-                return Ok(CellPlan::Incompatible(format!(
-                    "SCMS family {:?} has no {}-chiplet member",
-                    space.scms_multiplicities, coord.chiplets
-                )));
-            }
-            (
-                coord.area_mm2 / f64::from(coord.chiplets),
-                0,
-                Some(format!("{}X{member_suffix}", coord.chiplets)),
-            )
-        }
-        ReuseScheme::Ocme => {
-            let Some((_, name)) = OCME_MEMBERS.iter().find(|(n, _)| *n == coord.chiplets) else {
-                return Ok(CellPlan::Incompatible(format!(
-                    "OCME family (C, C+1X, C+1X+1Y, C+2X+2Y) has no {}-chip member",
-                    coord.chiplets
-                )));
-            };
-            (
-                coord.area_mm2 / f64::from(coord.chiplets),
-                0,
-                Some(format!("{name}{member_suffix}")),
-            )
-        }
-        ReuseScheme::Fsmc => {
-            let (sockets, _) = coord.variant.fsmc.expect("FSMC variants carry a situation");
-            if coord.chiplets > sockets {
-                return Ok(CellPlan::Incompatible(format!(
-                    "FSMC package has {sockets} sockets, cannot collocate {} chiplets",
-                    coord.chiplets
-                )));
-            }
-            // Every size-s collocation of identical-footprint types costs
-            // the same (symmetric usage weights); `sA` is the canonical
-            // read-out member.
-            (
-                coord.area_mm2 / f64::from(coord.chiplets),
-                0,
-                Some(format!("{}A{member_suffix}", coord.chiplets)),
-            )
-        }
-    };
-    let area = Area::from_mm2(area_mm2)?;
-    let spec = CoreSpec {
-        scheme: coord.variant.scheme,
-        node: coord.node,
-        area,
-        integration: coord.integration,
-        chiplets: key_chiplets,
-        flow: coord.flow,
-        fsmc: coord.variant.fsmc,
-        center_node: coord.variant.center_node.as_deref(),
-    };
-    let spec_index = match policy {
-        CorePolicy::Uncached => {
-            specs.push(spec);
-            specs.len() - 1
-        }
-        CorePolicy::Cached => {
-            let key = CoreKey {
-                variant: coord.variant_index,
-                node: node_index,
-                area_bits: area.mm2().to_bits(),
-                integration: integration_rank(coord.integration),
-                chiplets: key_chiplets,
-                flow: flow_rank(coord.flow),
-            };
-            *key_index.entry(key).or_insert_with(|| {
-                specs.push(spec);
-                specs.len() - 1
-            })
-        }
-    };
-    Ok(CellPlan::Eval {
-        spec: spec_index,
-        member,
-    })
+        stored,
+    ))
 }
 
 /// Evaluates one core: the standalone candidate or the whole reuse family,
@@ -1386,6 +1658,16 @@ mod tests {
     }
 
     #[test]
+    fn grid_shape_round_trips_every_index() {
+        let space = small_space();
+        let shape = GridShape::of(&space, space.scheme_variants().len());
+        assert_eq!(shape.len(), space.len());
+        for i in 0..shape.len() {
+            assert_eq!(shape.index(shape.coords(i)), i);
+        }
+    }
+
+    #[test]
     fn every_axis_is_validated_independently() {
         let base = small_space();
         let cases: Vec<(PortfolioSpace, &str)> = vec![
@@ -1474,7 +1756,7 @@ mod tests {
         let cell = |chiplets: u32, params: &str| {
             result
                 .cells()
-                .iter()
+                .into_iter()
                 .find(|c| c.chiplets == chiplets && c.scheme_params == params)
                 .unwrap()
         };
@@ -1486,8 +1768,8 @@ mod tests {
         assert!(cell(3, "k=4,n=4").outcome.is_feasible());
         // Size-2 collocations are feasible in both situations, and the
         // bigger family amortizes its NRE over more systems.
-        let p22 = cell(2, "k=2,n=2").outcome.candidate().unwrap();
-        let p44 = cell(2, "k=4,n=4").outcome.candidate().unwrap();
+        let p22 = cell(2, "k=2,n=2").outcome.candidate().cloned().unwrap();
+        let p44 = cell(2, "k=4,n=4").outcome.candidate().cloned().unwrap();
         assert!(
             p44.per_unit < p22.per_unit,
             "more collocations must amortize further: {} vs {}",
@@ -1539,6 +1821,7 @@ mod tests {
             serial.feasible_count() + serial.infeasible_count() + serial.incompatible_count(),
             serial.len()
         );
+        assert_eq!(serial.pruned_count(), 0, "exhaustive runs prune nothing");
         for threads in [2, 4, 8] {
             let parallel = explore_portfolio(&lib, &space, threads).unwrap();
             assert_eq!(serial.cells(), parallel.cells(), "threads={threads}");
@@ -1571,6 +1854,51 @@ mod tests {
     }
 
     #[test]
+    fn mostly_incompatible_grids_stay_sparse() {
+        // A family scheme over a wide chiplet-count axis is mostly dead
+        // cells; the store must hold only the evaluated members, while the
+        // readers still see (and account for) every cell.
+        let lib = lib();
+        let space = PortfolioSpace {
+            nodes: vec!["7nm".to_string()],
+            areas_mm2: vec![400.0],
+            quantities: vec![500_000],
+            integrations: vec![IntegrationKind::Mcm],
+            chiplet_counts: (1..=50).collect(),
+            flows: vec![AssemblyFlow::ChipLast],
+            schemes: vec![ReuseScheme::Scms],
+            ..PortfolioSpace::default()
+        };
+        let result = explore_portfolio(&lib, &space, 1).unwrap();
+        assert_eq!(result.len(), 50);
+        // SCMS members are {1, 2, 4}: 47 of 50 counts are incompatible.
+        assert_eq!(result.incompatible_count(), 47);
+        assert!(
+            result.stored_entries().len() <= 3,
+            "only evaluated cells may be stored, got {}",
+            result.stored_entries().len()
+        );
+        let cells = result.cells();
+        assert_eq!(cells.len(), 50);
+        assert_eq!(
+            cells
+                .iter()
+                .filter(|c| matches!(c.outcome, CellOutcome::Incompatible(_)))
+                .count(),
+            47
+        );
+        // Re-derived incompatible cells still render the historical reason.
+        let dead = cells
+            .iter()
+            .find(|c| c.chiplets == 3)
+            .expect("the grid is dense on read");
+        assert_eq!(
+            dead.outcome.detail(),
+            "SCMS family [1, 2, 4] has no 3-chiplet member"
+        );
+    }
+
+    #[test]
     fn scms_member_matches_the_direct_reuse_portfolio() {
         // A cell must read out exactly what costing the ScmsSpec family
         // directly reports for the same member — the grid adds nothing.
@@ -1587,7 +1915,8 @@ mod tests {
         };
         let result = explore_portfolio(&lib, &space, 1).unwrap();
         assert_eq!(result.feasible_count(), 1);
-        let cell = &result.cells()[0];
+        let cells = result.cells();
+        let cell = &cells[0];
         let grid = cell.outcome.candidate().unwrap();
 
         let spec = ScmsSpec {
@@ -1623,9 +1952,9 @@ mod tests {
         };
         let result = explore_portfolio(&lib, &space, 1).unwrap();
         let outcome_of = |chiplets: u32, scheme: ReuseScheme| {
-            &result
+            result
                 .cells()
-                .iter()
+                .into_iter()
                 .find(|c| c.chiplets == chiplets && c.scheme == scheme)
                 .unwrap()
                 .outcome

@@ -1,0 +1,873 @@
+//! Coarse-to-fine grid refinement: the exhaustive engines' winner tables
+//! and Pareto fronts at a fraction of the full core evaluations.
+//!
+//! The exhaustive engines ([`crate::explore`], [`crate::portfolio`]) price
+//! every cell of the axis product. The paper's successors explore spaces
+//! where that product reaches 10⁸ cells (Tang & Xie, arXiv:2206.07308;
+//! CATCH, arXiv:2503.15753) — far past what full enumeration can serve.
+//! This module exploits the structure those grids actually have: along the
+//! *area* axis, per-scheme winners and Pareto-front membership are
+//! piecewise-constant with a handful of crossover points (the paper's §4
+//! crossovers are exactly such points). The driver therefore:
+//!
+//! 1. **samples** a stride-spaced subgrid of the area axis (every
+//!    configuration, every node and quantity) plus the last area;
+//! 2. **bisects** every sampled gap whose endpoints disagree — a
+//!    per-scheme winner flip at any (node, quantity) operating point, or a
+//!    change in which configurations sit on a scheme's Pareto fronts —
+//!    until each disagreement is bracketed by adjacent areas, pricing each
+//!    midpoint only on the *candidate configurations* its gap endpoints
+//!    consider relevant: their winners at every operating point, their
+//!    front members, and the winners' monolithic baselines;
+//! 3. **fills** each remaining (provably quiet) gap the same way — a
+//!    handful of candidate configurations per gap instead of the full
+//!    breadth;
+//! 4. **escalates** until stable: each side of a still-disagreeing
+//!    boundary must have priced every configuration that wins or sits on
+//!    a front on the other side — any it skipped gets priced now, so a
+//!    crossover can't hide behind a narrow evaluation.
+//!
+//! Skipped cells are recorded as [`CellOutcome::Pruned`] in the sparse
+//! result; counts, artifacts and grid order are unchanged.
+//!
+//! # Exact vs heuristic
+//!
+//! Refinement is *exact* — byte-identical winner tables and Pareto fronts
+//! to the exhaustive engine — whenever winner regions and front
+//! membership are contiguous along the area axis, which the bisection
+//! step then brackets completely. It is heuristic against structure that
+//! is invisible at every evaluated area: a configuration that wins (or
+//! joins a front) only strictly inside an unevaluated gap while both
+//! endpoints agree on a different picture. The reference tests pin the
+//! exact case on tier-1-sized grids across strides and thread counts;
+//! `core_evaluations()` reports the honest total work, counting every
+//! sub-evaluation performed (a core re-evaluated by a later pass counts
+//! again).
+//!
+//! # Examples
+//!
+//! ```
+//! use actuary_dse::explore::ExploreSpace;
+//! use actuary_dse::refine::explore_refined;
+//! use actuary_tech::TechLibrary;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = TechLibrary::paper_defaults()?;
+//! let space = ExploreSpace {
+//!     nodes: vec!["7nm".to_string()],
+//!     areas_mm2: (1..=30).map(|i| f64::from(i) * 30.0).collect(),
+//!     quantities: vec![2_000_000],
+//!     ..ExploreSpace::default()
+//! };
+//! let refined = explore_refined(&lib, &space, 2)?;
+//! assert_eq!(refined.len(), space.len());
+//! // Pruned cells are accounted for, never silently dropped.
+//! assert_eq!(
+//!     refined.feasible_count()
+//!         + refined.infeasible_count()
+//!         + refined.incompatible_count()
+//!         + refined.pruned_count(),
+//!     refined.len()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use actuary_arch::ArchError;
+use actuary_tech::{IntegrationKind, TechLibrary};
+
+use crate::engine::resolve_threads;
+use crate::explore::{CellOutcome, ExploreResult, ExploreSpace};
+use crate::pareto::pareto_min_indices;
+use crate::portfolio::{
+    explore_portfolio, explore_portfolio_with, CellIdx, CorePolicy, GridShape, PortfolioResult,
+    PortfolioSpace,
+};
+
+/// How an exploration request walks its grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreMode {
+    /// Evaluate every cell (the reference path).
+    Exhaustive,
+    /// Coarse-to-fine refinement over the area axis (this module).
+    Refine,
+}
+
+impl ExploreMode {
+    /// Stable lower-case label (used on the CLI and in scenario files).
+    pub fn label(self) -> &'static str {
+        match self {
+            ExploreMode::Exhaustive => "exhaustive",
+            ExploreMode::Refine => "refine",
+        }
+    }
+}
+
+impl fmt::Display for ExploreMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for ExploreMode {
+    type Err = String;
+
+    /// Parses the user-facing mode grammar (case-insensitive) — the single
+    /// definition the CLI flag and the scenario schema both use.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "exhaustive" => Ok(ExploreMode::Exhaustive),
+            "refine" | "refined" => Ok(ExploreMode::Refine),
+            other => Err(format!(
+                "unknown explore mode {other:?} (exhaustive|refine)"
+            )),
+        }
+    }
+}
+
+/// A configuration point of one operating point's block: indices into the
+/// (integration, chiplet count, flow, scheme variant) axes.
+type Config = (usize, usize, usize, usize);
+
+/// How thoroughly an area has been evaluated so far: every configuration,
+/// or the union of the restricted (integration, chiplet, flow) axis
+/// products it has been priced on. Recording the products — not just a
+/// restricted/full bit — lets the escalation pass ask the precise
+/// question that matters for exactness: "has this area priced the
+/// configuration that wins next door?"
+#[derive(Debug, Clone)]
+enum Coverage {
+    /// Every configuration.
+    Full,
+    /// Only the recorded axis products.
+    Products(Vec<ConfigFilter>),
+}
+
+struct Refiner<'a> {
+    lib: &'a TechLibrary,
+    space: &'a PortfolioSpace,
+    /// The caller's thread request, passed through to every sub-run.
+    threads: usize,
+    shape: GridShape,
+    /// Variant index → position of its scheme in `space.schemes`.
+    scheme_pos: Vec<usize>,
+    /// Evaluated cells by flat master-grid index.
+    master: BTreeMap<usize, CellOutcome>,
+    /// Pricing coverage per evaluated area index.
+    coverage: BTreeMap<usize, Coverage>,
+    core_evaluations: usize,
+}
+
+impl<'a> Refiner<'a> {
+    fn new(lib: &'a TechLibrary, space: &'a PortfolioSpace, threads: usize) -> Self {
+        let variants = space.scheme_variants();
+        let scheme_pos = variants
+            .iter()
+            .map(|v| {
+                space
+                    .schemes
+                    .iter()
+                    .position(|&s| s == v.scheme)
+                    .expect("variants come from the scheme axis")
+            })
+            .collect();
+        Refiner {
+            lib,
+            space,
+            threads,
+            shape: GridShape::of(space, variants.len()),
+            scheme_pos,
+            master: BTreeMap::new(),
+            coverage: BTreeMap::new(),
+            core_evaluations: 0,
+        }
+    }
+
+    /// Evaluates the given master-axis areas through the exhaustive engine
+    /// — every configuration when `filter` is `None`, the filtered
+    /// (integration, chiplet, flow) index product otherwise — and merges
+    /// the evaluated cells into the master store. Scheme axes are always
+    /// carried whole so variant indices map one-to-one.
+    fn eval_areas(
+        &mut self,
+        areas: &BTreeSet<usize>,
+        filter: Option<&ConfigFilter>,
+    ) -> Result<(), ArchError> {
+        if areas.is_empty() {
+            return Ok(());
+        }
+        let area_list: Vec<usize> = areas.iter().copied().collect();
+        let full = ConfigFilter {
+            integrations: (0..self.shape.integrations).collect(),
+            chiplets: (0..self.shape.chiplets).collect(),
+            flows: (0..self.shape.flows).collect(),
+        };
+        let restriction = filter;
+        let filter = filter.unwrap_or(&full);
+        let sub = PortfolioSpace {
+            nodes: self.space.nodes.clone(),
+            areas_mm2: area_list.iter().map(|&a| self.space.areas_mm2[a]).collect(),
+            quantities: self.space.quantities.clone(),
+            integrations: filter
+                .integrations
+                .iter()
+                .map(|&i| self.space.integrations[i])
+                .collect(),
+            chiplet_counts: filter
+                .chiplets
+                .iter()
+                .map(|&c| self.space.chiplet_counts[c])
+                .collect(),
+            flows: filter.flows.iter().map(|&f| self.space.flows[f]).collect(),
+            schemes: self.space.schemes.clone(),
+            scms_multiplicities: self.space.scms_multiplicities.clone(),
+            fsmc_situations: self.space.fsmc_situations.clone(),
+            ocme_center_nodes: self.space.ocme_center_nodes.clone(),
+            package_reuse: self.space.package_reuse,
+        };
+        let result = explore_portfolio_with(self.lib, &sub, self.threads, CorePolicy::Cached)?;
+        self.core_evaluations += result.core_evaluations();
+        let sub_shape = result.shape();
+        for (sub_i, outcome) in result.stored_entries() {
+            let c = sub_shape.coords(*sub_i);
+            let master_idx = self.shape.index(CellIdx {
+                node: c.node,
+                area: area_list[c.area],
+                quantity: c.quantity,
+                integration: filter.integrations[c.integration],
+                chiplets: filter.chiplets[c.chiplets],
+                flow: filter.flows[c.flow],
+                variant: c.variant,
+            });
+            self.master.insert(master_idx, outcome.clone());
+        }
+        for &a in &area_list {
+            let entry = self
+                .coverage
+                .entry(a)
+                .or_insert_with(|| Coverage::Products(Vec::new()));
+            match (restriction, &mut *entry) {
+                (None, entry) => *entry = Coverage::Full,
+                (Some(f), Coverage::Products(products)) => products.push(f.clone()),
+                (Some(_), Coverage::Full) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the area has been evaluated at every configuration.
+    fn is_full(&self, area: usize) -> bool {
+        matches!(self.coverage.get(&area), Some(Coverage::Full))
+    }
+
+    /// Whether the area's evaluations so far have priced the given
+    /// configuration (the variant axis is always carried whole, so only
+    /// the filtered axes decide).
+    fn priced(&self, area: usize, config: Config) -> bool {
+        match self.coverage.get(&area) {
+            Some(Coverage::Full) => true,
+            Some(Coverage::Products(products)) => products.iter().any(|f| {
+                f.integrations.contains(&config.0)
+                    && f.chiplets.contains(&config.1)
+                    && f.flows.contains(&config.2)
+            }),
+            None => false,
+        }
+    }
+
+    /// The current per-scheme winner of every (node, quantity, area)
+    /// operating point: first strict minimum in grid order, matching the
+    /// exhaustive winner tables' tie rule. Keyed
+    /// (scheme position, node, quantity, area).
+    fn winner_map(&self) -> BTreeMap<(usize, usize, usize, usize), (Config, f64)> {
+        let mut winners: BTreeMap<(usize, usize, usize, usize), (Config, f64)> = BTreeMap::new();
+        for (&i, outcome) in &self.master {
+            let CellOutcome::Feasible(c) = outcome else {
+                continue;
+            };
+            let idx = self.shape.coords(i);
+            let key = (
+                self.scheme_pos[idx.variant],
+                idx.node,
+                idx.quantity,
+                idx.area,
+            );
+            let cost = c.per_unit.usd();
+            let config = (idx.integration, idx.chiplets, idx.flow, idx.variant);
+            match winners.get(&key) {
+                Some((_, best)) if cost >= *best => {}
+                _ => {
+                    winners.insert(key, (config, cost));
+                }
+            }
+        }
+        winners
+    }
+
+    /// Which configurations sit on each scheme's Pareto fronts (both the
+    /// per-unit × chiplet-count and the program-total × per-unit front),
+    /// grouped by area.
+    fn front_map(&self) -> BTreeMap<usize, BTreeSet<Config>> {
+        let mut fronts: BTreeMap<usize, BTreeSet<Config>> = BTreeMap::new();
+        for s_pos in 0..self.space.schemes.len() {
+            // (flat index, per-unit, chiplet count, program total)
+            let mut cells: Vec<(usize, f64, f64, f64)> = Vec::new();
+            for (&i, outcome) in &self.master {
+                let CellOutcome::Feasible(c) = outcome else {
+                    continue;
+                };
+                let idx = self.shape.coords(i);
+                if self.scheme_pos[idx.variant] != s_pos {
+                    continue;
+                }
+                let per_unit = c.per_unit.usd();
+                cells.push((
+                    i,
+                    per_unit,
+                    f64::from(self.space.chiplet_counts[idx.chiplets]),
+                    per_unit * self.space.quantities[idx.quantity] as f64,
+                ));
+            }
+            let chip_points: Vec<(f64, f64)> = cells.iter().map(|&(_, p, ch, _)| (p, ch)).collect();
+            let program_points: Vec<(f64, f64)> =
+                cells.iter().map(|&(_, p, _, pr)| (pr, p)).collect();
+            for k in pareto_min_indices(&chip_points)
+                .into_iter()
+                .chain(pareto_min_indices(&program_points))
+            {
+                let idx = self.shape.coords(cells[k].0);
+                fronts.entry(idx.area).or_default().insert((
+                    idx.integration,
+                    idx.chiplets,
+                    idx.flow,
+                    idx.variant,
+                ));
+            }
+        }
+        fronts
+    }
+
+    /// The candidate configurations the given areas consider relevant:
+    /// their per-operating-point winners and their Pareto-front members.
+    fn candidates_at(
+        &self,
+        winners: &BTreeMap<(usize, usize, usize, usize), (Config, f64)>,
+        fronts: &BTreeMap<usize, BTreeSet<Config>>,
+        areas: &[usize],
+    ) -> BTreeSet<Config> {
+        let mut candidates: BTreeSet<Config> = BTreeSet::new();
+        let local_winners = winners
+            .iter()
+            .filter(|((_, _, _, a), _)| areas.contains(a))
+            .map(|(_, (config, _))| *config);
+        candidates.extend(local_winners);
+        for a in areas {
+            if let Some(members) = fronts.get(a) {
+                candidates.extend(members.iter().copied());
+            }
+        }
+        candidates
+    }
+
+    /// The monolithic-baseline companion of a restricted filter: whatever
+    /// SoC cells the main product misses that a winner it can produce
+    /// would quote its saving against — SoC at the same chiplet count for
+    /// the family schemes, SoC at chiplet count 1 for scheme-free cells.
+    /// Kept separate from the main product so the chiplet-1 baseline
+    /// can't drag a narrow chiplet range back toward full breadth.
+    fn baseline_filter(&self, main: &ConfigFilter) -> Option<ConfigFilter> {
+        let soc = self
+            .space
+            .integrations
+            .iter()
+            .position(|&k| k == IntegrationKind::Soc)?;
+        let mut chiplets: BTreeSet<usize> = if main.integrations.contains(&soc) {
+            BTreeSet::new()
+        } else {
+            main.chiplets.iter().copied().collect()
+        };
+        if let Some(one) = self.space.chiplet_counts.iter().position(|&c| c == 1) {
+            if !(main.integrations.contains(&soc) && main.chiplets.contains(&one)) {
+                chiplets.insert(one);
+            }
+        }
+        if chiplets.is_empty() {
+            return None;
+        }
+        Some(ConfigFilter {
+            integrations: vec![soc],
+            chiplets: chiplets.into_iter().collect(),
+            flows: main.flows.clone(),
+        })
+    }
+
+    /// Evaluates the areas on the contiguous axis product spanning the
+    /// given configurations, plus the monolithic baselines that product
+    /// misses.
+    fn eval_restricted(
+        &mut self,
+        areas: &BTreeSet<usize>,
+        configs: &[Config],
+    ) -> Result<(), ArchError> {
+        let main = ConfigFilter::spanning(configs);
+        let baseline = self.baseline_filter(&main);
+        self.eval_areas(areas, Some(&main))?;
+        if let Some(baseline) = baseline {
+            self.eval_areas(areas, Some(&baseline))?;
+        }
+        Ok(())
+    }
+
+    /// Whether areas `lo` and `hi` disagree: a per-scheme winner flip at
+    /// any operating point, or a difference in front membership.
+    fn differs(
+        &self,
+        winners: &BTreeMap<(usize, usize, usize, usize), (Config, f64)>,
+        fronts: &BTreeMap<usize, BTreeSet<Config>>,
+        lo: usize,
+        hi: usize,
+    ) -> bool {
+        for s in 0..self.space.schemes.len() {
+            for n in 0..self.shape.nodes {
+                for q in 0..self.shape.quantities {
+                    let at = |a: usize| winners.get(&(s, n, q, a)).map(|(config, _)| *config);
+                    if at(lo) != at(hi) {
+                        return true;
+                    }
+                }
+            }
+        }
+        let empty = BTreeSet::new();
+        fronts.get(&lo).unwrap_or(&empty) != fronts.get(&hi).unwrap_or(&empty)
+    }
+}
+
+/// The (integration, chiplet count, flow) axis-index subsets a restricted
+/// evaluation covers.
+#[derive(Debug, Clone)]
+struct ConfigFilter {
+    integrations: Vec<usize>,
+    chiplets: Vec<usize>,
+    flows: Vec<usize>,
+}
+
+impl ConfigFilter {
+    /// The smallest *contiguous* axis product covering every given
+    /// configuration: per axis, every index between the smallest and
+    /// largest one used. Contiguity is deliberate — winner structure
+    /// moves monotonically along the ordered axes (larger areas favour
+    /// more chiplets and climb the integration ladder), so a
+    /// configuration that wins strictly between two bracketing winners
+    /// almost always sits between them on each axis too, and the range
+    /// prices it where the bare index set would miss it.
+    fn spanning(configs: &[Config]) -> ConfigFilter {
+        let mut ranges = [(usize::MAX, 0usize); 3];
+        for &(i, c, f, _) in configs {
+            for (range, v) in ranges.iter_mut().zip([i, c, f]) {
+                range.0 = range.0.min(v);
+                range.1 = range.1.max(v);
+            }
+        }
+        let [integrations, chiplets, flows] = ranges.map(|(lo, hi)| (lo..=hi).collect());
+        ConfigFilter {
+            integrations,
+            chiplets,
+            flows,
+        }
+    }
+}
+
+/// The stride refinement starts from: covers the area axis with roughly
+/// `4 × stride` coarse samples, doubling as long as the axis affords it.
+fn auto_stride(areas: usize) -> usize {
+    let mut stride = 1;
+    while stride * stride * 4 <= areas {
+        stride *= 2;
+    }
+    stride
+}
+
+/// [`explore_portfolio_refined`] with an explicit starting stride
+/// (`0` = automatic). Exposed so the benches and the reference tests can
+/// force coarse starts on small grids.
+///
+/// # Errors
+///
+/// Everything [`crate::portfolio::explore_portfolio`] raises, plus
+/// [`ArchError::InvalidArchitecture`] when the area axis is not strictly
+/// increasing (refinement bisects area gaps, so the axis must be ordered).
+pub fn explore_portfolio_refined_with(
+    lib: &TechLibrary,
+    space: &PortfolioSpace,
+    threads: usize,
+    stride: usize,
+) -> Result<PortfolioResult, ArchError> {
+    space.validate()?;
+    for id in &space.nodes {
+        lib.node(id).map_err(ArchError::Tech)?;
+    }
+    for center in space.ocme_center_nodes.iter().flatten() {
+        lib.node(center).map_err(ArchError::Tech)?;
+    }
+    if !space.areas_mm2.windows(2).all(|w| w[0] < w[1]) {
+        return Err(ArchError::InvalidArchitecture {
+            reason: "coarse-to-fine refinement requires a strictly increasing areas_mm2 axis"
+                .to_string(),
+        });
+    }
+    let areas = space.areas_mm2.len();
+    let stride = if stride == 0 {
+        auto_stride(areas)
+    } else {
+        stride
+    };
+    if stride <= 1 || areas <= 2 {
+        // Nothing to skip: the coarse pass would already be exhaustive.
+        return explore_portfolio(lib, space, threads);
+    }
+
+    let mut refiner = Refiner::new(lib, space, threads);
+
+    // 1. Coarse pass: stride-sampled areas plus the axis endpoint, every
+    //    configuration.
+    let mut coarse: BTreeSet<usize> = (0..areas).step_by(stride).collect();
+    coarse.insert(areas - 1);
+    refiner.eval_areas(&coarse, None)?;
+    let trace = |label: &str, r: &Refiner| {
+        if std::env::var_os("ACTUARY_REFINE_TRACE").is_some() {
+            eprintln!(
+                "refine trace[{label}]: {} areas evaluated, {} core evals",
+                r.coverage.len(),
+                r.core_evaluations
+            );
+        }
+    };
+    trace("coarse", &refiner);
+
+    // 2. Bisection: split every gap whose endpoints disagree until each
+    //    disagreement is bracketed by adjacent areas. Midpoints are priced
+    //    only on the configurations their gap endpoints consider relevant
+    //    — winner flips are dense along a fine area axis, so full-breadth
+    //    midpoints would dominate the whole run; the escalation pass below
+    //    re-prices any boundary this narrowness gets wrong. Each area is
+    //    evaluated at most once here, so this terminates.
+    loop {
+        let winners = refiner.winner_map();
+        let fronts = refiner.front_map();
+        let evaluated: Vec<usize> = refiner.coverage.keys().copied().collect();
+        let mut requests: BTreeMap<Vec<Config>, BTreeSet<usize>> = BTreeMap::new();
+        let mut full_requests: BTreeSet<usize> = BTreeSet::new();
+        for pair in evaluated.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            if hi - lo > 1 && refiner.differs(&winners, &fronts, lo, hi) {
+                let mid = lo + (hi - lo) / 2;
+                let local = refiner.candidates_at(&winners, &fronts, &[lo, hi]);
+                if local.is_empty() {
+                    full_requests.insert(mid);
+                } else {
+                    requests
+                        .entry(local.into_iter().collect())
+                        .or_default()
+                        .insert(mid);
+                }
+            }
+        }
+        if requests.is_empty() && full_requests.is_empty() {
+            break;
+        }
+        refiner.eval_areas(&full_requests, None)?;
+        for (local, mids) in requests {
+            refiner.eval_restricted(&mids, &local)?;
+        }
+    }
+
+    trace("bisect", &refiner);
+
+    // 3.+4. Fill each quiet gap with only the configurations its two
+    //    (agreeing) endpoints consider relevant — the sub-space is an axis
+    //    product, so a *global* candidate union would multiply back out
+    //    toward full breadth, while per-gap candidates stay a handful.
+    //    Gaps that resolve to the same candidate set batch into one run.
+    {
+        let winners = refiner.winner_map();
+        let fronts = refiner.front_map();
+        let evaluated: Vec<usize> = refiner.coverage.keys().copied().collect();
+        let mut fills: BTreeMap<Vec<Config>, BTreeSet<usize>> = BTreeMap::new();
+        let mut full_fills: BTreeSet<usize> = BTreeSet::new();
+        for pair in evaluated.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            if hi - lo <= 1 {
+                continue;
+            }
+            let local = refiner.candidates_at(&winners, &fronts, &[lo, hi]);
+            if local.is_empty() {
+                // Nothing feasible at either endpoint: no structure to
+                // trust inside the gap.
+                full_fills.extend(lo + 1..hi);
+            } else {
+                fills
+                    .entry(local.into_iter().collect())
+                    .or_default()
+                    .extend(lo + 1..hi);
+            }
+        }
+        refiner.eval_areas(&full_fills, None)?;
+        for (local, gap_areas) in fills {
+            refiner.eval_restricted(&gap_areas, &local)?;
+        }
+    }
+
+    trace("fill", &refiner);
+
+    // 5. Escalate: every boundary disagreement that survives bisection and
+    //    fill should be genuine structure — but a narrowly priced area is
+    //    only trustworthy evidence of that if it actually priced the
+    //    configurations winning (or sitting on the fronts) right next
+    //    door. Re-price each suspect area on exactly the configurations it
+    //    is missing; winners may shift as cheaper configs come into view,
+    //    so loop until every disagreeing boundary is mutually priced.
+    //    Coverage only ever grows, so this terminates.
+    loop {
+        let winners = refiner.winner_map();
+        let fronts = refiner.front_map();
+        let mut escalate: BTreeMap<usize, BTreeSet<Config>> = BTreeMap::new();
+        for lo in 0..areas.saturating_sub(1) {
+            let hi = lo + 1;
+            if (refiner.is_full(lo) && refiner.is_full(hi))
+                || !refiner.differs(&winners, &fronts, lo, hi)
+            {
+                continue;
+            }
+            for (a, b) in [(lo, hi), (hi, lo)] {
+                if refiner.is_full(a) {
+                    continue;
+                }
+                let missing: BTreeSet<Config> = refiner
+                    .candidates_at(&winners, &fronts, &[b])
+                    .into_iter()
+                    .filter(|&c| !refiner.priced(a, c))
+                    .collect();
+                if !missing.is_empty() {
+                    escalate.entry(a).or_default().extend(missing);
+                }
+            }
+        }
+        if escalate.is_empty() {
+            break;
+        }
+        for (a, missing) in escalate {
+            let missing: Vec<Config> = missing.into_iter().collect();
+            refiner.eval_restricted(&BTreeSet::from([a]), &missing)?;
+        }
+    }
+
+    if std::env::var_os("ACTUARY_REFINE_TRACE").is_some() {
+        let full = (0..areas).filter(|&a| refiner.is_full(a)).count();
+        let restricted = refiner.coverage.len() - full;
+        eprintln!(
+            "refine trace: {} areas total, {} full, {} restricted, {} unevaluated, {} core evals",
+            areas,
+            full,
+            restricted,
+            areas - refiner.coverage.len(),
+            refiner.core_evaluations
+        );
+    }
+    let threads = resolve_threads(threads, space.len());
+    Ok(PortfolioResult::from_parts(
+        space,
+        threads,
+        refiner.core_evaluations,
+        refiner.master.into_iter().collect(),
+    ))
+}
+
+/// Explores `space` coarse-to-fine with an automatically chosen starting
+/// stride: the portfolio twin of [`crate::portfolio::explore_portfolio`],
+/// returning the same sparse result type with skipped cells recorded as
+/// [`CellOutcome::Pruned`].
+///
+/// # Errors
+///
+/// See [`explore_portfolio_refined_with`].
+pub fn explore_portfolio_refined(
+    lib: &TechLibrary,
+    space: &PortfolioSpace,
+    threads: usize,
+) -> Result<PortfolioResult, ArchError> {
+    explore_portfolio_refined_with(lib, space, threads, 0)
+}
+
+/// Explores a single-system space coarse-to-fine: the refinement twin of
+/// [`crate::explore::explore`].
+///
+/// # Errors
+///
+/// See [`explore_portfolio_refined_with`] (the single-system axes are
+/// validated with this module's messages first).
+pub fn explore_refined(
+    lib: &TechLibrary,
+    space: &ExploreSpace,
+    threads: usize,
+) -> Result<ExploreResult, ArchError> {
+    space.validate()?;
+    for id in &space.nodes {
+        lib.node(id).map_err(ArchError::Tech)?;
+    }
+    let lifted = PortfolioSpace::from_single_system(space);
+    let inner = explore_portfolio_refined(lib, &lifted, threads)?;
+    Ok(ExploreResult::from_inner(space, inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portfolio::ReuseScheme;
+    use actuary_model::AssemblyFlow;
+
+    fn lib() -> TechLibrary {
+        TechLibrary::paper_defaults().unwrap()
+    }
+
+    /// A 16-area ramp across every scheme: large enough for real gaps,
+    /// small enough to exhaust as the reference.
+    fn ramp_space() -> PortfolioSpace {
+        PortfolioSpace {
+            nodes: vec!["7nm".to_string()],
+            areas_mm2: (1..=16).map(|i| f64::from(i) * 60.0).collect(),
+            quantities: vec![500_000, 10_000_000],
+            integrations: IntegrationKind::ALL.to_vec(),
+            chiplet_counts: vec![1, 2, 3, 4, 5],
+            flows: vec![AssemblyFlow::ChipLast],
+            schemes: ReuseScheme::ALL.to_vec(),
+            ..PortfolioSpace::default()
+        }
+    }
+
+    #[test]
+    fn mode_labels_round_trip() {
+        assert_eq!("refine".parse::<ExploreMode>(), Ok(ExploreMode::Refine));
+        assert_eq!(
+            "Exhaustive".parse::<ExploreMode>(),
+            Ok(ExploreMode::Exhaustive)
+        );
+        assert_eq!(ExploreMode::Refine.to_string(), "refine");
+        assert!("adaptive".parse::<ExploreMode>().is_err());
+    }
+
+    #[test]
+    fn auto_stride_grows_with_the_area_axis() {
+        assert_eq!(auto_stride(3), 1);
+        assert_eq!(auto_stride(9), 2);
+        assert_eq!(auto_stride(16), 4);
+        assert_eq!(auto_stride(100), 8);
+        assert_eq!(auto_stride(500), 16);
+    }
+
+    #[test]
+    fn refinement_requires_an_ordered_area_axis() {
+        let space = PortfolioSpace {
+            areas_mm2: vec![400.0, 200.0],
+            ..ramp_space()
+        };
+        let err = explore_portfolio_refined(&lib(), &space, 1).unwrap_err();
+        assert!(
+            err.to_string().contains("strictly increasing"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn refined_winners_and_fronts_match_exhaustion_across_strides_and_threads() {
+        let lib = lib();
+        let space = ramp_space();
+        let exhaustive = explore_portfolio(&lib, &space, 1).unwrap();
+        for (stride, threads) in [(2, 1), (4, 1), (4, 4), (8, 4)] {
+            let refined = explore_portfolio_refined_with(&lib, &space, threads, stride).unwrap();
+            assert_eq!(refined.len(), exhaustive.len());
+            assert_eq!(
+                refined.winners_artifact().csv(),
+                exhaustive.winners_artifact().csv(),
+                "stride={stride} threads={threads}: winner tables must be byte-identical"
+            );
+            assert_eq!(
+                refined.pareto_artifact().csv(),
+                exhaustive.pareto_artifact().csv(),
+                "stride={stride} threads={threads}: Pareto fronts must be byte-identical"
+            );
+            assert_eq!(
+                refined.pareto_program_artifact().csv(),
+                exhaustive.pareto_program_artifact().csv(),
+                "stride={stride} threads={threads}"
+            );
+            // Every cell accounted for: evaluated + re-derived + pruned.
+            assert_eq!(
+                refined.feasible_count()
+                    + refined.infeasible_count()
+                    + refined.incompatible_count()
+                    + refined.pruned_count(),
+                refined.len(),
+                "stride={stride} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_is_thread_count_independent() {
+        let lib = lib();
+        let space = ramp_space();
+        let serial = explore_portfolio_refined_with(&lib, &space, 1, 4).unwrap();
+        let parallel = explore_portfolio_refined_with(&lib, &space, 4, 4).unwrap();
+        // The refinement decisions (and therefore the evaluated set, the
+        // grid CSV and the pruned accounting) must not depend on threads.
+        assert_eq!(serial.grid_artifact().csv(), parallel.grid_artifact().csv());
+        assert_eq!(serial.pruned_count(), parallel.pruned_count());
+        assert_eq!(serial.core_evaluations(), parallel.core_evaluations());
+    }
+
+    #[test]
+    fn tiny_area_axes_fall_back_to_exhaustion() {
+        let lib = lib();
+        let space = PortfolioSpace {
+            areas_mm2: vec![200.0, 800.0],
+            ..ramp_space()
+        };
+        let refined = explore_portfolio_refined(&lib, &space, 1).unwrap();
+        let exhaustive = explore_portfolio(&lib, &space, 1).unwrap();
+        assert_eq!(
+            refined.grid_artifact().csv(),
+            exhaustive.grid_artifact().csv()
+        );
+        assert_eq!(refined.pruned_count(), 0);
+    }
+
+    #[test]
+    fn single_system_refinement_matches_explore() {
+        let lib = lib();
+        let space = ExploreSpace {
+            nodes: vec!["14nm".to_string(), "5nm".to_string()],
+            areas_mm2: (1..=12).map(|i| f64::from(i) * 80.0).collect(),
+            quantities: vec![500_000, 10_000_000],
+            integrations: IntegrationKind::ALL.to_vec(),
+            chiplet_counts: vec![1, 2, 3, 4, 5],
+            flow: AssemblyFlow::ChipLast,
+        };
+        let exhaustive = crate::explore::explore(&lib, &space, 2).unwrap();
+        let refined = explore_refined(&lib, &space, 2).unwrap();
+        assert_eq!(
+            refined.winners_artifact().csv(),
+            exhaustive.winners_artifact().csv()
+        );
+        assert_eq!(
+            refined.pareto_artifact().csv(),
+            exhaustive.pareto_artifact().csv()
+        );
+        assert_eq!(
+            refined.pareto_program_artifact().csv(),
+            exhaustive.pareto_program_artifact().csv()
+        );
+    }
+}

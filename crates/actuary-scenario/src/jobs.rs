@@ -9,10 +9,12 @@ use std::fmt;
 
 use actuary_arch::reuse::{FsmcSpec, OcmeSpec, ScmsSpec};
 use actuary_arch::{ArchError, Chip, Module, Portfolio, System};
+use actuary_dse::optimizer::candidate_core;
 use actuary_dse::portfolio::{
     explore_portfolio, parse_fsmc_situation, PortfolioResult, PortfolioSpace, ReuseScheme,
 };
-use actuary_dse::sweep::{sweep_area, Sweep};
+use actuary_dse::refine::{explore_portfolio_refined, ExploreMode};
+use actuary_dse::sweep::{sweep_area, sweep_quantity, Sweep};
 use actuary_model::{re_cost, AssemblyFlow, DiePlacement};
 use actuary_tech::{IntegrationKind, NodeId, TechLibrary};
 use actuary_units::{Area, Artifact, Quantity};
@@ -167,12 +169,33 @@ pub struct ExploreJob {
     pub name: String,
     /// The exploration space.
     pub space: PortfolioSpace,
+    /// How the grid is walked: exhaustively (the default) or coarse-to-fine
+    /// (the `mode = "refine"` key).
+    pub mode: ExploreMode,
     /// Which surfaces the job emits, in file order (default: the grid).
     pub outputs: Vec<ExploreOutput>,
 }
 
-/// An area-sweep job: per-unit RE cost vs total module area, one series
-/// per integration kind — the paper's Figure 4 panels, declaratively.
+/// The swept axis of a `[[sweep]]` job.
+#[derive(Debug)]
+pub enum SweepAxis {
+    /// Per-unit RE cost vs total module area (the `areas_mm2` key — the
+    /// paper's Figure 4 panels).
+    Area(Vec<f64>),
+    /// Per-unit *total* cost (RE plus amortized NRE) vs production
+    /// quantity at a fixed module area (the `quantities` + `area_mm2`
+    /// keys — the §4.2 crossover study, where NRE amortization decides
+    /// the turning point).
+    Quantity {
+        /// The fixed total module area in mm².
+        area_mm2: f64,
+        /// The swept production quantities.
+        quantities: Vec<u64>,
+    },
+}
+
+/// A sweep job: cost curves over one swept axis, one series per
+/// integration kind, declaratively.
 #[derive(Debug)]
 pub struct SweepJob {
     /// Job name.
@@ -180,12 +203,13 @@ pub struct SweepJob {
     /// Process node of every series.
     pub node: String,
     /// Chiplet count of the multi-chip series (SoC series ignore it, as in
-    /// the figure).
+    /// the figures).
     pub chiplets: u32,
     /// One series per integration kind, in file order.
     pub integrations: Vec<IntegrationKind>,
-    /// The swept total module areas in mm².
-    pub areas_mm2: Vec<f64>,
+    /// The swept axis (`areas_mm2`, or `quantities` with a fixed
+    /// `area_mm2`).
+    pub axis: SweepAxis,
     /// Assembly flow of every series.
     pub flow: AssemblyFlow,
 }
@@ -487,8 +511,15 @@ impl Scenario {
                     });
                 }
                 Job::Explore(j) => {
-                    let result = explore_portfolio(&self.library, &j.space, threads)
-                        .map_err(|e| engine(&j.name, &e))?;
+                    let result = match j.mode {
+                        ExploreMode::Exhaustive => {
+                            explore_portfolio(&self.library, &j.space, threads)
+                        }
+                        ExploreMode::Refine => {
+                            explore_portfolio_refined(&self.library, &j.space, threads)
+                        }
+                    }
+                    .map_err(|e| engine(&j.name, &e))?;
                     run.explores.push(ExploreRun {
                         name: j.name.clone(),
                         outputs: j.outputs.clone(),
@@ -868,20 +899,69 @@ fn lower_sweep_job(table: &Table, lib: &TechLibrary) -> Result<SweepJob, Scenari
         }
         integrations.push(kind);
     }
-    let areas_mm2 = view.req_array("areas_mm2", |v, p| {
+    let areas_mm2 = view.opt_array("areas_mm2", |v, p| {
         let mm2 = elem_f64(v, p, "an area")?;
         Area::from_mm2(mm2).map_err(|e| ScenarioError::schema(p, e.to_string()))?;
         Ok(mm2)
     })?;
+    let quantities = view.opt_array("quantities", |v, p| elem_u64(v, p, "a quantity"))?;
+    let fixed_area = view.opt_f64("area_mm2")?;
+    let axis = match (areas_mm2, quantities) {
+        (Some(areas), None) => {
+            if let Some(a) = fixed_area {
+                return Err(ScenarioError::schema(
+                    a.pos,
+                    "`area_mm2` only pairs with a `quantities` sweep (an `areas_mm2` sweep \
+                     already sweeps the area)",
+                ));
+            }
+            if areas.is_empty() {
+                return Err(ScenarioError::schema(
+                    table.pos,
+                    format!("sweep job `{name}` needs at least one area"),
+                ));
+            }
+            SweepAxis::Area(areas)
+        }
+        (None, Some(quantities)) => {
+            let area = fixed_area.ok_or_else(|| {
+                ScenarioError::schema(
+                    table.pos,
+                    format!("quantity sweep `{name}` needs the fixed `area_mm2` key"),
+                )
+            })?;
+            Area::from_mm2(area.value)
+                .map_err(|e| ScenarioError::schema(area.pos, e.to_string()))?;
+            if quantities.is_empty() {
+                return Err(ScenarioError::schema(
+                    table.pos,
+                    format!("sweep job `{name}` needs at least one quantity"),
+                ));
+            }
+            SweepAxis::Quantity {
+                area_mm2: area.value,
+                quantities,
+            }
+        }
+        (Some(_), Some(_)) | (None, None) => {
+            return Err(ScenarioError::schema(
+                table.pos,
+                format!(
+                    "sweep job `{name}` needs exactly one swept axis: `areas_mm2` or \
+                     `quantities` (with a fixed `area_mm2`)"
+                ),
+            ));
+        }
+    };
     let flow = match view.opt_str("flow")? {
         Some(s) => parse_flow(s)?,
         None => AssemblyFlow::ChipLast,
     };
     view.deny_unknown()?;
-    if integrations.is_empty() || areas_mm2.is_empty() {
+    if integrations.is_empty() {
         return Err(ScenarioError::schema(
             table.pos,
-            format!("sweep job `{name}` needs at least one integration and one area"),
+            format!("sweep job `{name}` needs at least one integration"),
         ));
     }
     if chiplets.value < 2 && integrations.iter().any(|k| k.is_multi_chip()) {
@@ -896,36 +976,68 @@ fn lower_sweep_job(table: &Table, lib: &TechLibrary) -> Result<SweepJob, Scenari
         node: node.value.to_string(),
         chiplets: chiplets.value,
         integrations,
-        areas_mm2,
+        axis,
         flow,
     })
 }
 
-/// Executes a sweep job: the Figure 4 computation — per-unit RE cost of
-/// every integration kind over the area grid, multi-chip series splitting
-/// the module area across `chiplets` D2D-inflated dies.
-#[allow(clippy::type_complexity)] // the series type is sweep_area's own signature
+/// Executes a sweep job. An area sweep is the Figure 4 computation —
+/// per-unit RE cost of every integration kind over the area grid,
+/// multi-chip series splitting the module area across `chiplets`
+/// D2D-inflated dies. A quantity sweep is the §4.2 crossover workload —
+/// per-unit *total* cost (RE plus NRE amortized at each quantity) of every
+/// integration kind at the fixed area, each series evaluating its
+/// quantity-independent [`candidate_core`] once and re-amortizing it per
+/// point.
+#[allow(clippy::type_complexity)] // the series types are the sweep functions' own signatures
 fn run_sweep_job(lib: &TechLibrary, job: &SweepJob) -> Result<Sweep, ArchError> {
     let node = lib.node(&job.node).map_err(ArchError::Tech)?;
-    let mut series: Vec<(String, Box<dyn FnMut(Area) -> Result<f64, ArchError> + '_>)> =
-        Vec::with_capacity(job.integrations.len());
-    for &kind in &job.integrations {
-        let packaging = lib.packaging(kind).map_err(ArchError::Tech)?;
-        let (chiplets, flow) = (job.chiplets, job.flow);
-        series.push((
-            kind.to_string(),
-            Box::new(move |area: Area| {
-                let placements = if kind.is_multi_chip() {
-                    let die = node.d2d().inflate_module_area(area / f64::from(chiplets))?;
-                    vec![DiePlacement::new(node, die, chiplets)]
+    match &job.axis {
+        SweepAxis::Area(areas_mm2) => {
+            let mut series: Vec<(String, Box<dyn FnMut(Area) -> Result<f64, ArchError> + '_>)> =
+                Vec::with_capacity(job.integrations.len());
+            for &kind in &job.integrations {
+                let packaging = lib.packaging(kind).map_err(ArchError::Tech)?;
+                let (chiplets, flow) = (job.chiplets, job.flow);
+                series.push((
+                    kind.to_string(),
+                    Box::new(move |area: Area| {
+                        let placements = if kind.is_multi_chip() {
+                            let die = node.d2d().inflate_module_area(area / f64::from(chiplets))?;
+                            vec![DiePlacement::new(node, die, chiplets)]
+                        } else {
+                            vec![DiePlacement::new(node, area, 1)]
+                        };
+                        Ok(re_cost(&placements, packaging, flow)?.total().usd())
+                    }),
+                ));
+            }
+            sweep_area(areas_mm2, series)
+        }
+        SweepAxis::Quantity {
+            area_mm2,
+            quantities,
+        } => {
+            let area = Area::from_mm2(*area_mm2)?;
+            let mut series: Vec<(
+                String,
+                Box<dyn FnMut(Quantity) -> Result<f64, ArchError> + '_>,
+            )> = Vec::with_capacity(job.integrations.len());
+            for &kind in &job.integrations {
+                let chiplets = if kind.is_multi_chip() {
+                    job.chiplets
                 } else {
-                    vec![DiePlacement::new(node, area, 1)]
+                    1
                 };
-                Ok(re_cost(&placements, packaging, flow)?.total().usd())
-            }),
-        ));
+                let core = candidate_core(lib, &job.node, area, kind, chiplets, job.flow)?;
+                series.push((
+                    kind.to_string(),
+                    Box::new(move |q: Quantity| Ok(core.at_quantity(q).per_unit.usd())),
+                ));
+            }
+            sweep_quantity(quantities, series)
+        }
     }
-    sweep_area(&job.areas_mm2, series)
 }
 
 /// Lowers the `[explore]` table into an [`ExploreJob`].
@@ -1011,6 +1123,15 @@ fn lower_explore_job(table: &Table, lib: &TechLibrary) -> Result<ExploreJob, Sce
     if let Some(b) = view.opt_bool("package_reuse")? {
         space.package_reuse = b.value;
     }
+    let mode = match view.opt_str("mode")? {
+        None => ExploreMode::Exhaustive,
+        Some(s) => s
+            .value
+            // The grammar is owned by actuary-dse's FromStr, shared with
+            // the CLI's --refine flag.
+            .parse::<ExploreMode>()
+            .map_err(|message| ScenarioError::schema(s.pos, message))?,
+    };
     let outputs = match view.opt_array("outputs", |v, p| {
         let s = elem_str(v, p, "an output")?;
         // The grammar is owned by this crate's FromStr, shared with docs.
@@ -1044,6 +1165,7 @@ fn lower_explore_job(table: &Table, lib: &TechLibrary) -> Result<ExploreJob, Sce
     Ok(ExploreJob {
         name,
         space,
+        mode,
         outputs,
     })
 }

@@ -80,8 +80,8 @@ pub mod toml;
 
 pub use error::ScenarioError;
 pub use jobs::{
-    CostJob, CostRow, ExploreJob, ExploreOutput, ExploreRun, Job, Scenario, ScenarioRun, SweepJob,
-    SweepRun, YieldJob, YieldRow, YieldTech,
+    CostJob, CostRow, ExploreJob, ExploreOutput, ExploreRun, Job, Scenario, ScenarioRun, SweepAxis,
+    SweepJob, SweepRun, YieldJob, YieldRow, YieldTech,
 };
 pub use tech::library_to_scenario;
 
@@ -294,6 +294,103 @@ mod tests {
         assert_eq!(artifacts[0].kind(), "sweep");
         let csv = run.sweeps[0].sweep.artifact("re-sweep").csv();
         assert!(csv.starts_with("area_mm2,SoC,MCM\n"), "{csv}");
+    }
+
+    #[test]
+    fn quantity_sweep_runs_the_crossover_workload() {
+        // §4.2 declaratively: per-unit total cost vs production quantity at
+        // a fixed area. NRE dominates at low volume, so every series must
+        // fall monotonically as the quantity grows.
+        let s = Scenario::from_toml(&minimal(concat!(
+            "[[sweep]]\n",
+            "name = \"payback\"\n",
+            "node = \"7nm\"\n",
+            "chiplets = 2\n",
+            "area_mm2 = 600.0\n",
+            "integrations = [\"soc\", \"mcm\"]\n",
+            "quantities = [10000, 100000, 1000000, 10000000]\n",
+        )))
+        .unwrap();
+        let run = s.run(1).unwrap();
+        let sweep = &run.sweeps[0].sweep;
+        assert_eq!(sweep.x_label(), "quantity");
+        assert_eq!(sweep.points().len(), 4);
+        for name in ["SoC", "MCM"] {
+            let values = sweep.series_values(name).unwrap();
+            for pair in values.windows(2) {
+                assert!(
+                    pair[1].1 < pair[0].1,
+                    "{name}: per-unit total must fall with quantity, got {values:?}"
+                );
+            }
+        }
+        let csv = run.artifacts().remove(0).csv();
+        assert!(csv.starts_with("quantity,SoC,MCM\n"), "{csv}");
+    }
+
+    #[test]
+    fn sweep_axis_keys_are_mutually_exclusive() {
+        let base = concat!(
+            "[[sweep]]\n",
+            "name = \"s\"\n",
+            "node = \"7nm\"\n",
+            "chiplets = 2\n",
+            "integrations = [\"mcm\"]\n",
+        );
+        let cases: &[(String, &str)] = &[
+            (
+                minimal(&format!(
+                    "{base}areas_mm2 = [100]\nquantities = [1000]\narea_mm2 = 100.0\n"
+                )),
+                "exactly one swept axis",
+            ),
+            (minimal(base), "exactly one swept axis"),
+            (
+                minimal(&format!("{base}quantities = [1000]\n")),
+                "needs the fixed `area_mm2` key",
+            ),
+            (
+                minimal(&format!("{base}areas_mm2 = [100]\narea_mm2 = 100.0\n")),
+                "only pairs with a `quantities` sweep",
+            ),
+        ];
+        for (input, fragment) in cases {
+            let err = Scenario::from_toml(input).expect_err(input);
+            assert!(
+                err.to_string().contains(fragment),
+                "{input:?}: {err} must mention {fragment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn refine_mode_matches_the_exhaustive_explore_job() {
+        let axes = concat!(
+            "nodes = [\"7nm\"]\n",
+            "areas_mm2 = [100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0]\n",
+            "quantities = [500000, 10000000]\n",
+            "integrations = [\"soc\", \"mcm\"]\n",
+            "chiplets = [1, 2, 4]\n",
+            "outputs = [\"winners\", \"pareto\"]\n",
+        );
+        let refined =
+            Scenario::from_toml(&minimal(&format!("[explore]\nmode = \"refine\"\n{axes}")))
+                .unwrap()
+                .run(1)
+                .unwrap();
+        let exhaustive = Scenario::from_toml(&minimal(&format!(
+            "[explore]\nmode = \"exhaustive\"\n{axes}"
+        )))
+        .unwrap()
+        .run(1)
+        .unwrap();
+        let csvs = |run: &ScenarioRun| -> Vec<String> {
+            run.artifacts().into_iter().map(|a| a.csv()).collect()
+        };
+        assert_eq!(csvs(&refined), csvs(&exhaustive));
+
+        let err = Scenario::from_toml(&minimal("[explore]\nmode = \"wat\"\n")).unwrap_err();
+        assert!(err.to_string().contains("unknown explore mode"), "{err}");
     }
 
     #[test]

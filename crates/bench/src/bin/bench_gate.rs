@@ -17,7 +17,7 @@
 use std::process::ExitCode;
 
 /// The throughput keys the gate watches, per section.
-const SECTIONS: [(&str, &[&str]); 3] = [
+const SECTIONS: [(&str, &[&str]); 4] = [
     (
         "explore_default_grid",
         &["cells_per_sec_threads1", "cells_per_sec_threads_all"],
@@ -27,6 +27,10 @@ const SECTIONS: [(&str, &[&str]); 3] = [
         &["cells_per_sec_threads1", "cells_per_sec_threads_all"],
     ),
     ("fig10_grid_streaming", &["rows_per_sec"]),
+    (
+        "refine_large_grid",
+        &["cells_per_sec_exhaustive", "cells_per_sec_refine"],
+    ),
 ];
 
 /// Extracts `"key": <number>` from the object literal following
@@ -149,6 +153,15 @@ mod tests {
     "rows": 241,
     "secs": 0.000402,
     "rows_per_sec": 599502.5
+  },
+  "refine_large_grid": {
+    "cells": 10000000,
+    "stride": 32,
+    "cells_per_sec_exhaustive": 55000.0,
+    "cells_per_sec_refine": 1250000.0,
+    "full_evaluations_exhaustive": 60000,
+    "full_evaluations_refine": 5000,
+    "evaluation_reduction_factor": 12.0
   }
 }"#;
 
@@ -177,6 +190,14 @@ mod tests {
         assert_eq!(
             extract(SNAPSHOT, "fig10_grid_streaming", "rows_per_sec"),
             Some(599502.5)
+        );
+        assert_eq!(
+            extract(SNAPSHOT, "refine_large_grid", "cells_per_sec_refine"),
+            Some(1_250_000.0)
+        );
+        assert_eq!(
+            extract(SNAPSHOT, "refine_large_grid", "evaluation_reduction_factor"),
+            Some(12.0)
         );
         assert_eq!(extract(SNAPSHOT, "missing_section", "cells"), None);
         assert_eq!(extract(SNAPSHOT, "explore_default_grid", "missing"), None);

@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use actuary_dse::explore::{explore, ExploreSpace};
 use actuary_dse::portfolio::{explore_portfolio, PortfolioSpace, ReuseScheme};
+use actuary_dse::refine::explore_portfolio_refined_with;
 use actuary_model::AssemblyFlow;
 use actuary_tech::IntegrationKind;
 use bench::library;
@@ -108,6 +109,40 @@ fn main() {
             .expect("stream");
     });
 
+    // The coarse-to-fine headline: a 10⁷-cell single-scheme grid (500
+    // areas × 100 quantities × 4 integrations × 50 chiplet counts) that
+    // both engines answer identically (pinned by tier-1), timed once per
+    // engine — at this size a median of repeats would cost minutes for a
+    // number CI only trend-watches. `core_evaluations` counts full
+    // RE-core computations, the expensive half of a cell; refinement must
+    // prune most of them to claim the 10⁸-cell spaces the served API
+    // now admits in refine mode.
+    let large_space = PortfolioSpace {
+        nodes: vec!["7nm".to_string()],
+        areas_mm2: (1..=500).map(|i| f64::from(i) * 4.0).collect(),
+        quantities: (1..=100).map(|i| 5_000_000 + i as u64 * 100_000).collect(),
+        integrations: IntegrationKind::ALL.to_vec(),
+        chiplet_counts: (1..=50).collect(),
+        flows: vec![AssemblyFlow::ChipLast],
+        schemes: vec![ReuseScheme::None],
+        ..PortfolioSpace::default()
+    };
+    let large_cells = large_space.len();
+    let start = Instant::now();
+    let large_exhaustive =
+        explore_portfolio(&lib, &large_space, threads).expect("large exhaustive grid");
+    let large_exhaustive_secs = start.elapsed().as_secs_f64();
+    const LARGE_STRIDE: usize = 32;
+    let start = Instant::now();
+    let large_refined = explore_portfolio_refined_with(&lib, &large_space, threads, LARGE_STRIDE)
+        .expect("large refined grid");
+    let large_refined_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        large_refined.winners_artifact().csv(),
+        large_exhaustive.winners_artifact().csv(),
+        "the timed paths must agree before their timings mean anything"
+    );
+
     println!("{{");
     println!("  \"schema\": 1,");
     println!(
@@ -137,10 +172,28 @@ fn main() {
     );
     println!(
         "  \"core_cache\": {{\n    \"cached_evaluations\": {},\n    \
-         \"uncached_evaluations\": {},\n    \"reduction_factor\": {:.2}\n  }}",
+         \"uncached_evaluations\": {},\n    \"reduction_factor\": {:.2}\n  }},",
         cached.core_evaluations(),
         uncached_evaluations,
         uncached_evaluations as f64 / cached.core_evaluations() as f64,
+    );
+    println!(
+        "  \"refine_large_grid\": {{\n    \"cells\": {large_cells},\n    \
+         \"stride\": {LARGE_STRIDE},\n    \"threads\": {threads},\n    \
+         \"exhaustive_secs\": {large_exhaustive_secs:.3},\n    \
+         \"refine_secs\": {large_refined_secs:.3},\n    \
+         \"cells_per_sec_exhaustive\": {:.1},\n    \
+         \"cells_per_sec_refine\": {:.1},\n    \
+         \"full_evaluations_exhaustive\": {},\n    \
+         \"full_evaluations_refine\": {},\n    \
+         \"evaluation_reduction_factor\": {:.2},\n    \
+         \"pruned_cells\": {}\n  }}",
+        large_cells as f64 / large_exhaustive_secs,
+        large_cells as f64 / large_refined_secs,
+        large_exhaustive.core_evaluations(),
+        large_refined.core_evaluations(),
+        large_exhaustive.core_evaluations() as f64 / large_refined.core_evaluations() as f64,
+        large_refined.pruned_count(),
     );
     println!("}}");
 }

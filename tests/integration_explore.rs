@@ -67,9 +67,11 @@ fn every_cell_is_accounted_for() {
     for cell in result.cells() {
         match &cell.outcome {
             CellOutcome::Feasible(c) => assert!(c.per_unit.usd() > 0.0),
-            CellOutcome::Infeasible(reason) | CellOutcome::Incompatible(reason) => {
-                assert!(!reason.is_empty())
+            CellOutcome::Infeasible(reason) => assert!(!reason.is_empty()),
+            CellOutcome::Incompatible(reason) => {
+                assert!(!reason.to_string().is_empty())
             }
+            CellOutcome::Pruned => panic!("exhaustive exploration never prunes"),
         }
     }
 }

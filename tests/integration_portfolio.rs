@@ -129,11 +129,11 @@ fn scms_grid_cells_match_the_fig8_anchors() {
         .total()
         .usd();
 
+    let cells = result.cells();
     for m in [1u32, 2, 4] {
         let area = 200.0 * f64::from(m);
         let grid = |integration: IntegrationKind| {
-            result
-                .cells()
+            cells
                 .iter()
                 .find(|c| c.area_mm2 == area && c.chiplets == m && c.integration == integration)
                 .and_then(|c| c.outcome.candidate())
@@ -210,11 +210,11 @@ fn ocme_grid_cells_match_the_fig9_anchors() {
         .total()
         .usd();
 
+    let cells = result.cells();
     for (chips, name) in [(1u32, "C"), (2, "C+1X"), (3, "C+1X+1Y"), (5, "C+2X+2Y")] {
         let area = 160.0 * f64::from(chips);
         let grid = |integration: IntegrationKind| {
-            result
-                .cells()
+            cells
                 .iter()
                 .find(|c| c.area_mm2 == area && c.chiplets == chips && c.integration == integration)
                 .and_then(|c| c.outcome.candidate())
@@ -262,12 +262,12 @@ fn fsmc_grid_cells_reconstruct_the_fig10_average() {
         .unwrap()
         .cost(&lib, AssemblyFlow::ChipLast)
         .unwrap();
+    let cells = result.cells();
     let mut weighted = 0.0;
     let mut weight = 0.0;
     for s in [1u32, 2, 3, 4] {
         let area = 160.0 * f64::from(s);
-        let cell = result
-            .cells()
+        let cell = cells
             .iter()
             .find(|c| c.area_mm2 == area && c.chiplets == s)
             .and_then(|c| c.outcome.candidate())
@@ -326,6 +326,7 @@ fn fsmc_situation_axis_reproduces_all_five_fig10_bars() {
     };
     assert_eq!(space.scheme_variants().len(), 5);
     let result = explore_portfolio(&lib, &space, 2).unwrap();
+    let cells = result.cells();
     let fig = fig10::compute(&lib).unwrap();
     let first_soc = FsmcSpec::paper_example(2, 2)
         .unwrap()
@@ -346,8 +347,7 @@ fn fsmc_situation_axis_reproduces_all_five_fig10_bars() {
             let mut weight = 0.0;
             for size in 1..=k {
                 let area = 160.0 * f64::from(size);
-                let cell = result
-                    .cells()
+                let cell = cells
                     .iter()
                     .find(|c| {
                         c.area_mm2 == area
@@ -371,8 +371,7 @@ fn fsmc_situation_axis_reproduces_all_five_fig10_bars() {
         }
         // Oversized collocations of this situation are incompatible cells.
         for size in (k + 1)..=4 {
-            let cell = result
-                .cells()
+            let cell = cells
                 .iter()
                 .find(|c| {
                     c.chiplets == size
@@ -425,11 +424,11 @@ fn ocme_center_axis_reproduces_the_fig9_hetero_bars() {
         .total()
         .usd();
 
+    let cells = result.cells();
     for (chips, name) in [(1u32, "C"), (2, "C+1X"), (3, "C+1X+1Y"), (5, "C+2X+2Y")] {
         let area = 160.0 * f64::from(chips);
         let grid = |params: &str| {
-            result
-                .cells()
+            cells
                 .iter()
                 .find(|c| c.area_mm2 == area && c.chiplets == chips && c.scheme_params == params)
                 .and_then(|c| c.outcome.candidate())
@@ -491,7 +490,7 @@ fn program_pareto_point_matches_the_fig8_anchor() {
     let result = explore_portfolio(&lib, &space, 1).unwrap();
     let front = result.pareto_program(ReuseScheme::Scms);
     assert_eq!(front.len(), 1);
-    let cell = front[0];
+    let cell = &front[0];
     let candidate = cell.outcome.candidate().unwrap();
 
     // The anchor: the 2X member of the paper's SCMS MCM portfolio.

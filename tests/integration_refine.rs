@@ -1,0 +1,125 @@
+//! Integration tests of coarse-to-fine refinement against the full model
+//! stack: on tier-1-sized grids the refined path must reproduce the
+//! exhaustive winner tables and both Pareto fronts byte for byte — across
+//! strides, across 1 vs 4 threads, and across the reuse-scheme axes —
+//! while evaluating strictly fewer cells than exhaustion.
+
+use chiplet_actuary::dse::explore::{explore, ExploreSpace};
+use chiplet_actuary::dse::portfolio::{explore_portfolio, PortfolioSpace, ReuseScheme};
+use chiplet_actuary::dse::refine::{explore_portfolio_refined_with, explore_refined, ExploreMode};
+use chiplet_actuary::prelude::*;
+
+fn lib() -> TechLibrary {
+    TechLibrary::paper_defaults().unwrap()
+}
+
+/// A tier-1-sized reference grid with a long strictly increasing area
+/// ramp (the refinement axis) crossed with every reuse scheme: 2 nodes ×
+/// 24 areas × 2 quantities × 4 integrations × 5 chiplet counts × 6
+/// scheme variants = 11,520 cells of mixed feasibility.
+fn reference_space() -> PortfolioSpace {
+    PortfolioSpace {
+        nodes: vec!["14nm".to_string(), "5nm".to_string()],
+        areas_mm2: (1..=24).map(|i| f64::from(i) * 45.0).collect(),
+        quantities: vec![500_000, 10_000_000],
+        integrations: IntegrationKind::ALL.to_vec(),
+        chiplet_counts: vec![1, 2, 3, 4, 5],
+        flows: vec![AssemblyFlow::ChipLast],
+        schemes: ReuseScheme::ALL.to_vec(),
+        ..PortfolioSpace::default()
+    }
+}
+
+#[test]
+fn refined_portfolio_matches_exhaustion_across_strides_and_threads() {
+    let lib = lib();
+    let space = reference_space();
+    let exhaustive = explore_portfolio(&lib, &space, 1).unwrap();
+    for (stride, threads) in [(4, 1), (4, 4), (8, 1), (8, 4)] {
+        let refined = explore_portfolio_refined_with(&lib, &space, threads, stride).unwrap();
+        assert_eq!(refined.len(), exhaustive.len());
+        assert_eq!(
+            refined.winners_artifact().csv(),
+            exhaustive.winners_artifact().csv(),
+            "stride={stride} threads={threads}: winner tables must be byte-identical"
+        );
+        assert_eq!(
+            refined.pareto_artifact().csv(),
+            exhaustive.pareto_artifact().csv(),
+            "stride={stride} threads={threads}: per-unit fronts must be byte-identical"
+        );
+        assert_eq!(
+            refined.pareto_program_artifact().csv(),
+            exhaustive.pareto_program_artifact().csv(),
+            "stride={stride} threads={threads}: program fronts must be byte-identical"
+        );
+        assert_eq!(
+            refined.feasible_count()
+                + refined.infeasible_count()
+                + refined.incompatible_count()
+                + refined.pruned_count(),
+            refined.len(),
+            "stride={stride} threads={threads}: no cell may be silently dropped"
+        );
+        // Refinement must visit strictly fewer cells than exhaustion.
+        // (Core-evaluation counts can exceed cached exhaustion on grids
+        // this small — each refinement pass re-derives the cores it
+        // touches — so the ≥10× evaluation reduction is pinned by the
+        // 10⁷-cell benchmark, not here.)
+        assert!(
+            refined.len() - refined.pruned_count() < exhaustive.len(),
+            "stride={stride} threads={threads}: refinement must actually skip cells"
+        );
+    }
+}
+
+#[test]
+fn refined_decisions_do_not_depend_on_the_thread_count() {
+    let lib = lib();
+    let space = reference_space();
+    let serial = explore_portfolio_refined_with(&lib, &space, 1, 8).unwrap();
+    let parallel = explore_portfolio_refined_with(&lib, &space, 4, 8).unwrap();
+    // Not just the headline tables: the entire evaluated/pruned cell set
+    // and the evaluation count must be identical, or refinement decisions
+    // leaked a dependence on work scheduling.
+    assert_eq!(serial.grid_artifact().csv(), parallel.grid_artifact().csv());
+    assert_eq!(serial.pruned_count(), parallel.pruned_count());
+    assert_eq!(serial.core_evaluations(), parallel.core_evaluations());
+}
+
+#[test]
+fn single_system_refinement_matches_explore_through_the_facade() {
+    let lib = lib();
+    let space = ExploreSpace {
+        nodes: vec!["7nm".to_string(), "5nm".to_string()],
+        areas_mm2: (1..=30).map(|i| f64::from(i) * 40.0).collect(),
+        quantities: vec![500_000, 10_000_000],
+        integrations: IntegrationKind::ALL.to_vec(),
+        chiplet_counts: vec![1, 2, 3, 4, 5],
+        flow: AssemblyFlow::ChipLast,
+    };
+    let exhaustive = explore(&lib, &space, 2).unwrap();
+    let refined = explore_refined(&lib, &space, 2).unwrap();
+    assert_eq!(
+        refined.winners_artifact().csv(),
+        exhaustive.winners_artifact().csv()
+    );
+    assert_eq!(
+        refined.pareto_artifact().csv(),
+        exhaustive.pareto_artifact().csv()
+    );
+    assert_eq!(
+        refined.pareto_program_artifact().csv(),
+        exhaustive.pareto_program_artifact().csv()
+    );
+}
+
+#[test]
+fn explore_mode_parses_the_scenario_spelling() {
+    assert_eq!("refine".parse::<ExploreMode>(), Ok(ExploreMode::Refine));
+    assert_eq!(
+        "EXHAUSTIVE".parse::<ExploreMode>(),
+        Ok(ExploreMode::Exhaustive)
+    );
+    assert!("adaptive".parse::<ExploreMode>().is_err());
+}
