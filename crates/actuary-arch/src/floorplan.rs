@@ -87,6 +87,7 @@ impl Floorplan {
             .map(|p| p.width_mm * p.height_mm)
             .sum();
         let bb = self.width_mm * self.height_mm;
+        // lint:allow(determinism): exact-zero guard against dividing by an empty bounding box
         if bb == 0.0 {
             0.0
         } else {
@@ -182,6 +183,7 @@ pub fn shelf_pack(
     let mut bb_width = 0.0f64;
 
     for die in order {
+        // lint:allow(determinism): cursor_x is assigned exactly 0.0 at each shelf start
         let needed = if cursor_x == 0.0 {
             die.width_mm()
         } else {
@@ -193,6 +195,7 @@ pub fn shelf_pack(
             shelf_height = 0.0;
             cursor_x = 0.0;
         }
+        // lint:allow(determinism): same shelf-start sentinel as above
         let x = if cursor_x == 0.0 {
             0.0
         } else {

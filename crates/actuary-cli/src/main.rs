@@ -21,6 +21,8 @@
 //! * `actuary experiments` — the paper-vs-measured Markdown record;
 //! * `actuary sensitivity --node 5nm --area 800` — cost elasticities.
 
+#![forbid(unsafe_code)]
+
 mod server;
 
 use std::collections::BTreeMap;
@@ -917,7 +919,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 format!("{:.4}", row.yield_frac),
                 format!("{:.2}", row.raw_die_usd),
                 format!("{:.2}", row.yielded_die_usd),
-                format!("{:.3}", row.norm_cost_per_area),
+                format!("{:.3}", row.cost_per_area_norm),
             ]);
         }
     }

@@ -48,9 +48,11 @@ where
     let mut hi = hi_mm2;
     let mut f_lo = f(Area::from_mm2(lo)?)?;
     let f_hi = f(Area::from_mm2(hi)?)?;
+    // lint:allow(determinism): exact root at a bracket endpoint ends the bisection early
     if f_lo == 0.0 {
         return Ok(Some(Area::from_mm2(lo)?));
     }
+    // lint:allow(determinism): exact root at a bracket endpoint ends the bisection early
     if f_hi == 0.0 {
         return Ok(Some(Area::from_mm2(hi)?));
     }
@@ -60,6 +62,7 @@ where
     while hi - lo > tol_mm2 {
         let mid = 0.5 * (lo + hi);
         let f_mid = f(Area::from_mm2(mid)?)?;
+        // lint:allow(determinism): exact root at the midpoint ends the bisection early
         if f_mid == 0.0 {
             return Ok(Some(Area::from_mm2(mid)?));
         }

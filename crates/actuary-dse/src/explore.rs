@@ -385,7 +385,7 @@ pub struct GridWinner {
     /// Relative saving of the winner vs the monolithic SoC baseline
     /// (`0.25` = 25 % cheaper); `None` when the SoC cell itself was
     /// infeasible or absent from the grid.
-    pub saving_vs_soc: Option<f64>,
+    pub saving_vs_soc_frac: Option<f64>,
 }
 
 impl GridWinner {
@@ -394,7 +394,7 @@ impl GridWinner {
     /// when there is no SoC baseline to compare against.
     pub fn saving_vs_soc_display(&self) -> Option<String> {
         // `+ 0.0` folds the negative zero of a SoC winner to "+0.0%".
-        self.saving_vs_soc
+        self.saving_vs_soc_frac
             .map(|s| format!("{:+.1}%", -s * 100.0 + 0.0))
     }
 }
@@ -533,7 +533,7 @@ impl ExploreResult {
                 area_mm2: w.area_mm2,
                 quantity: w.quantity,
                 best: w.best.map(|(candidate, _flow)| candidate),
-                saving_vs_soc: w.saving_vs_soc,
+                saving_vs_soc_frac: w.saving_vs_soc_frac,
             })
             .collect()
     }
@@ -629,7 +629,7 @@ impl ExploreResult {
                         integration,
                         chiplets,
                         per_unit,
-                        w.saving_vs_soc
+                        w.saving_vs_soc_frac
                             .map(|s| format!("{s:.6}"))
                             .unwrap_or_default(),
                     ])?;

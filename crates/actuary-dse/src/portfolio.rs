@@ -513,7 +513,7 @@ pub struct SchemeWinner {
     /// the same system* (the scheme's SoC-baseline cell with the winner's
     /// chiplet count — for `none`, the one-die SoC): `0.25` = 25 % cheaper.
     /// `None` when that baseline is absent or infeasible.
-    pub saving_vs_soc: Option<f64>,
+    pub saving_vs_soc_frac: Option<f64>,
 }
 
 impl SchemeWinner {
@@ -521,7 +521,7 @@ impl SchemeWinner {
     /// (`"-13.6%"` = 13.6 % cheaper than the monolithic baseline).
     pub fn saving_vs_soc_display(&self) -> Option<String> {
         // `+ 0.0` folds the negative zero of a SoC winner to "+0.0%".
-        self.saving_vs_soc
+        self.saving_vs_soc_frac
             .map(|s| format!("{:+.1}%", -s * 100.0 + 0.0))
     }
 }
@@ -928,7 +928,7 @@ impl PortfolioResult {
                     local_variant(local),
                 )
             });
-            let saving_vs_soc = best.as_ref().and_then(|(bc, bflow, bchiplets, bvariant)| {
+            let saving_vs_soc_frac = best.as_ref().and_then(|(bc, bflow, bchiplets, bvariant)| {
                 let baseline_chiplets = match scheme {
                     ReuseScheme::None => 1,
                     _ => *bchiplets,
@@ -962,7 +962,7 @@ impl PortfolioResult {
                 area_mm2: self.space.areas_mm2[a_i],
                 quantity: self.space.quantities[q_i],
                 best: best.map(|(c, flow, _, _)| (c, flow)),
-                saving_vs_soc,
+                saving_vs_soc_frac,
             });
         }
         out
@@ -1133,7 +1133,7 @@ impl PortfolioResult {
                         chiplets,
                         flow,
                         per_unit,
-                        w.saving_vs_soc
+                        w.saving_vs_soc_frac
                             .map(|s| format!("{s:.6}"))
                             .unwrap_or_default(),
                     ])?;

@@ -59,9 +59,12 @@ where
 pub struct Sensitivity {
     /// Parameter name (e.g. `"defect density 5nm"`).
     pub parameter: String,
-    /// Base value of the parameter.
+    /// Base value of the parameter, in whatever unit the parameter itself
+    /// carries (USD for wafer prices, /cm² for defect densities, …).
+    // lint:allow(unit-suffix): the unit varies with the swept parameter
     pub base_value: f64,
     /// Estimated elasticity at the base value.
+    // lint:allow(unit-suffix): elasticities are dimensionless log-log slopes
     pub elasticity: f64,
 }
 

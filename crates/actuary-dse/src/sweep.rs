@@ -8,6 +8,7 @@ use actuary_units::{Area, Artifact, Quantity};
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// The swept parameter value (mm² or units, depending on the sweep).
+    // lint:allow(unit-suffix): the axis unit is the sweep's own, named by x_label
     pub x: f64,
     /// One value per configured series, in series order.
     pub values: Vec<f64>,

@@ -29,15 +29,15 @@ pub struct MaturityRow {
     /// Defect density at this age (/cm²).
     pub defect_density: f64,
     /// Monolithic SoC RE cost (USD/unit).
-    pub soc_cost: f64,
+    pub soc_cost_usd: f64,
     /// Two-chiplet MCM RE cost (USD/unit).
-    pub mcm_cost: f64,
+    pub mcm_cost_usd: f64,
 }
 
 impl MaturityRow {
     /// Relative chiplet saving vs monolithic at this age.
     pub fn saving(&self) -> f64 {
-        (self.soc_cost - self.mcm_cost) / self.soc_cost
+        (self.soc_cost_usd - self.mcm_cost_usd) / self.soc_cost_usd
     }
 }
 
@@ -76,8 +76,8 @@ pub fn maturity_study(lib: &TechLibrary) -> Result<MaturityStudy> {
         rows.push(MaturityRow {
             age_months: age,
             defect_density: node.defect_density().value(),
-            soc_cost: soc.total().usd(),
-            mcm_cost: mcm.total().usd(),
+            soc_cost_usd: soc.total().usd(),
+            mcm_cost_usd: mcm.total().usd(),
         });
     }
     Ok(MaturityStudy { rows })
@@ -97,8 +97,8 @@ impl MaturityStudy {
             table.push_row(vec![
                 format!("{:.0}", r.age_months),
                 format!("{:.3}", r.defect_density),
-                format!("{:.2}", r.soc_cost),
-                format!("{:.2}", r.mcm_cost),
+                format!("{:.2}", r.soc_cost_usd),
+                format!("{:.2}", r.mcm_cost_usd),
                 pct(r.saving()),
             ]);
         }
@@ -144,12 +144,12 @@ pub struct HarvestRow {
     /// Sellable yield of the 74 mm² CCD.
     pub ccd_yield: f64,
     /// Effective cost per sellable CCD (USD).
-    pub ccd_cost: f64,
+    pub ccd_cost_usd: f64,
     /// Sellable yield of the ~700 mm² monolithic 64-core die (same core
     /// fraction salvaged).
     pub mono_yield: f64,
     /// Effective cost per sellable monolithic die (USD).
-    pub mono_cost: f64,
+    pub mono_cost_usd: f64,
 }
 
 /// The harvest study result.
@@ -184,11 +184,11 @@ pub fn harvest_study(lib: &TechLibrary) -> Result<HarvestStudy> {
         rows.push(HarvestRow {
             min_good,
             ccd_yield: ccd_yield.value(),
-            ccd_cost: ccd_spec
+            ccd_cost_usd: ccd_spec
                 .cost_per_sellable_die(ccd_raw, d, ccd, cluster)?
                 .usd(),
             mono_yield: mono_yield.value(),
-            mono_cost: mono_spec
+            mono_cost_usd: mono_spec
                 .cost_per_sellable_die(mono_raw, d, mono, cluster)?
                 .usd(),
         });
@@ -211,10 +211,10 @@ impl HarvestStudy {
             table.push_row(vec![
                 format!("≥{}", r.min_good),
                 pct(r.ccd_yield),
-                format!("{:.2}", r.ccd_cost),
+                format!("{:.2}", r.ccd_cost_usd),
                 pct(r.mono_yield),
-                format!("{:.2}", r.mono_cost),
-                format!("{:.2}x", 8.0 * r.ccd_cost / r.mono_cost),
+                format!("{:.2}", r.mono_cost_usd),
+                format!("{:.2}x", 8.0 * r.ccd_cost_usd / r.mono_cost_usd),
             ]);
         }
         table
@@ -241,20 +241,22 @@ impl HarvestStudy {
                 "mono cost reduction > ccd cost reduction",
                 format!(
                     "mono {} vs ccd {}",
-                    pct(1.0 - loose.mono_cost / strict.mono_cost),
-                    pct(1.0 - loose.ccd_cost / strict.ccd_cost)
+                    pct(1.0 - loose.mono_cost_usd / strict.mono_cost_usd),
+                    pct(1.0 - loose.ccd_cost_usd / strict.ccd_cost_usd)
                 ),
-                (1.0 - loose.mono_cost / strict.mono_cost)
-                    > (1.0 - loose.ccd_cost / strict.ccd_cost),
+                (1.0 - loose.mono_cost_usd / strict.mono_cost_usd)
+                    > (1.0 - loose.ccd_cost_usd / strict.ccd_cost_usd),
             ));
             checks.push(ShapeCheck::new(
                 "even with salvage, eight chiplets stay cheaper than the monolith",
                 "8 × ccd cost < mono cost at every bin",
                 format!(
                     "{:.2}x at the loosest bin",
-                    8.0 * loose.ccd_cost / loose.mono_cost
+                    8.0 * loose.ccd_cost_usd / loose.mono_cost_usd
                 ),
-                self.rows.iter().all(|r| 8.0 * r.ccd_cost < r.mono_cost),
+                self.rows
+                    .iter()
+                    .all(|r| 8.0 * r.ccd_cost_usd < r.mono_cost_usd),
             ));
         }
         checks
@@ -267,9 +269,10 @@ pub struct YieldModelRow {
     /// Variant label ("poisson-like", "paper (c=10)", "max clustering").
     pub label: String,
     /// Cluster parameter used.
+    // lint:allow(unit-suffix): the negative-binomial clustering α is dimensionless
     pub cluster: f64,
     /// Yield of an 800 mm² 5 nm die under this model.
-    pub yield_800mm2: f64,
+    pub yield_800mm2_frac: f64,
     /// Smallest Figure 4 grid area where the 2-chiplet MCM beats the SoC.
     pub crossover_mm2: Option<f64>,
 }
@@ -312,7 +315,7 @@ pub fn yield_model_ablation(lib: &TechLibrary) -> Result<YieldModelAblation> {
                 .build()
         })?;
         let node = snapshot.node("5nm")?;
-        let yield_800mm2 = node.die_yield(Area::from_mm2(800.0)?).value();
+        let yield_800mm2_frac = node.die_yield(Area::from_mm2(800.0)?).value();
         // Discrete crossover on the Figure 4 grid.
         let mut crossover = None;
         for step in 1..=18 {
@@ -336,7 +339,7 @@ pub fn yield_model_ablation(lib: &TechLibrary) -> Result<YieldModelAblation> {
         rows.push(YieldModelRow {
             label: label.to_string(),
             cluster,
-            yield_800mm2,
+            yield_800mm2_frac,
             crossover_mm2: crossover,
         });
     }
@@ -351,7 +354,7 @@ impl YieldModelAblation {
             table.push_row(vec![
                 r.label.clone(),
                 format!("{:.0}", r.cluster),
-                pct(r.yield_800mm2),
+                pct(r.yield_800mm2_frac),
                 r.crossover_mm2
                     .map_or("none".to_string(), |a| format!("{a:.0} mm²")),
             ]);
@@ -369,12 +372,12 @@ impl YieldModelAblation {
                 "monotone in clustering",
                 format!(
                     "{} < {} < {}",
-                    pct(poisson.yield_800mm2),
-                    pct(paper.yield_800mm2),
-                    pct(clustered.yield_800mm2)
+                    pct(poisson.yield_800mm2_frac),
+                    pct(paper.yield_800mm2_frac),
+                    pct(clustered.yield_800mm2_frac)
                 ),
-                poisson.yield_800mm2 < paper.yield_800mm2
-                    && paper.yield_800mm2 < clustered.yield_800mm2,
+                poisson.yield_800mm2_frac < paper.yield_800mm2_frac
+                    && paper.yield_800mm2_frac < clustered.yield_800mm2_frac,
             ));
             let cross = |r: &YieldModelRow| r.crossover_mm2.unwrap_or(f64::INFINITY);
             checks.push(ShapeCheck::new(
@@ -432,8 +435,8 @@ mod tests {
     fn harvest_costs_decrease_with_looser_bins() {
         let study = harvest_study(&lib()).unwrap();
         for pair in study.rows.windows(2) {
-            assert!(pair[1].ccd_cost <= pair[0].ccd_cost + 1e-9);
-            assert!(pair[1].mono_cost <= pair[0].mono_cost + 1e-9);
+            assert!(pair[1].ccd_cost_usd <= pair[0].ccd_cost_usd + 1e-9);
+            assert!(pair[1].mono_cost_usd <= pair[0].mono_cost_usd + 1e-9);
         }
     }
 
@@ -453,9 +456,9 @@ mod tests {
         // c = 1e6 ≈ Poisson: e^(−0.88) ≈ 0.4148 at 800 mm², D = 0.11.
         let poisson_row = &ablation.rows[0];
         assert!(
-            (poisson_row.yield_800mm2 - (-0.88f64).exp()).abs() < 1e-3,
+            (poisson_row.yield_800mm2_frac - (-0.88f64).exp()).abs() < 1e-3,
             "{}",
-            poisson_row.yield_800mm2
+            poisson_row.yield_800mm2_frac
         );
     }
 }

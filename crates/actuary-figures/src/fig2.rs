@@ -19,7 +19,7 @@ pub struct Fig2Row {
     /// Die yield per Eq. (1), in `[0, 1]`.
     pub yield_frac: f64,
     /// Cost per good mm², normalized to the raw-wafer cost per mm².
-    pub norm_cost_per_area: f64,
+    pub cost_per_area_norm: f64,
 }
 
 /// The full Figure 2 dataset.
@@ -101,7 +101,7 @@ pub fn compute(lib: &TechLibrary) -> Result<Fig2> {
                 tech: curve.label.clone(),
                 area_mm2,
                 yield_frac: y.value(),
-                norm_cost_per_area: norm,
+                cost_per_area_norm: norm,
             });
         }
     }
@@ -147,7 +147,7 @@ impl Fig2 {
                 .rows
                 .iter()
                 .filter(|r| r.tech == tech)
-                .map(|r| (r.area_mm2, r.norm_cost_per_area))
+                .map(|r| (r.area_mm2, r.cost_per_area_norm))
                 .collect();
             yield_chart.push_series(tech, pts_yield);
             cost_chart.push_series(tech, pts_cost);
@@ -167,7 +167,7 @@ impl Fig2 {
                 r.tech.clone(),
                 format!("{:.0}", r.area_mm2),
                 format!("{:.2}", r.yield_frac * 100.0),
-                format!("{:.4}", r.norm_cost_per_area),
+                format!("{:.4}", r.cost_per_area_norm),
             ]);
         }
         table
@@ -209,11 +209,11 @@ impl Fig2 {
         let rise = |tech: &str| -> f64 {
             let first = self
                 .point(tech, 50.0)
-                .map(|r| r.norm_cost_per_area)
+                .map(|r| r.cost_per_area_norm)
                 .unwrap_or(1.0);
             let last = self
                 .point(tech, 800.0)
-                .map(|r| r.norm_cost_per_area)
+                .map(|r| r.cost_per_area_norm)
                 .unwrap_or(1.0);
             last / first
         };
@@ -293,9 +293,9 @@ mod tests {
         for tech in f.technologies() {
             let p = f.point(tech, 50.0).unwrap();
             assert!(
-                (1.0..1.5).contains(&p.norm_cost_per_area),
+                (1.0..1.5).contains(&p.cost_per_area_norm),
                 "{tech}: {}",
-                p.norm_cost_per_area
+                p.cost_per_area_norm
             );
         }
     }

@@ -1,0 +1,17 @@
+// lint:allow-file(single-serializer) — this module demonstrates the
+// file-scope allow form.
+
+pub struct Cell {
+    // lint:allow(unit-suffix): preceding-line allow form
+    pub cost: f64,
+    pub saving: f64, // lint:allow(unit-suffix): same-line allow form
+}
+
+pub fn to_csv(cell: &Cell) -> String {
+    let row = format!("{},{}", cell.cost, cell.saving);
+    // lint:allow(determinism): exact-zero guard
+    if cell.cost == 0.0 {
+        return String::new();
+    }
+    row
+}

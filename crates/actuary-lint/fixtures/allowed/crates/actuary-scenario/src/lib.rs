@@ -1,0 +1,6 @@
+/* Block comments carry allows too.
+   lint:allow-file(no-panic) */
+
+pub fn parse(input: &str) -> f64 {
+    input.parse().unwrap()
+}

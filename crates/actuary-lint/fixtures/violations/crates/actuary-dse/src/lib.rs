@@ -1,0 +1,35 @@
+// crate-dag violation: actuary-figures is referenced but never declared.
+use actuary_figures::fig8;
+use std::collections::HashMap; // determinism violation
+use std::time::Instant; // determinism violation
+
+// unit-suffix violation: a bare f64 cost field.
+pub struct Cell {
+    pub cost: f64,
+    pub area_mm2: f64, // compliant — no finding
+}
+
+// single-serializer violation: a to_csv definition outside units/report.
+pub fn to_csv(cell: &Cell) -> String {
+    // single-serializer violation: hand-rolled row format string.
+    let row = format!("{},{}", cell.cost, cell.area_mm2);
+    // single-serializer violation: joining with a comma.
+    let cols = ["a".to_string(), "b".to_string()].join(",");
+    // determinism violation: float equality against a literal.
+    if cell.cost == 0.0 {
+        return cols;
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: test code may compare floats exactly and use HashMap.
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact() {
+        assert!(1.5 == 1.5);
+        let _ = HashMap::<u32, u32>::new();
+    }
+}

@@ -1,0 +1,3 @@
+// The base layer declares one column schema; the golden CSV next to this
+// workspace has a second column nothing declares (golden-header drift).
+pub const COLUMNS: [&str; 1] = ["declared_col"];

@@ -1,0 +1,128 @@
+//! `actuary-lint` binary: run the workspace invariant checks and fail
+//! on any finding.
+//!
+//! ```text
+//! actuary-lint [--root DIR] [--check NAME]... [--list]
+//! ```
+//!
+//! With no flags, lints the workspace containing the current directory.
+//! Exit status: 0 clean, 1 findings, 2 usage/io error.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use actuary_lint::{find_root, run_checks, CHECK_NAMES};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--check" => match args.next() {
+                Some(name) => {
+                    if !CHECK_NAMES.contains(&name.as_str()) {
+                        return usage(&format!(
+                            "unknown check `{name}` (available: {})",
+                            CHECK_NAMES.join(", ")
+                        ));
+                    }
+                    only.push(name);
+                }
+                None => return usage("--check needs a check name"),
+            },
+            "--list" => {
+                for name in CHECK_NAMES {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "actuary-lint [--root DIR] [--check NAME]... [--list]\n\n\
+                     Enforces the workspace invariants ({}).\n\
+                     Exempt a line with `// lint:allow(check-name): reason` on the same\n\
+                     or preceding line; `// lint:allow-file(check-name)` exempts a file.",
+                    CHECK_NAMES.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("actuary-lint: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "actuary-lint: no workspace root found above {} \
+                         (pass --root DIR)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let selection = if only.is_empty() {
+        None
+    } else {
+        Some(&only[..])
+    };
+    match run_checks(&root, selection) {
+        Ok(findings) if findings.is_empty() => {
+            let ran: Vec<&str> = match selection {
+                None => CHECK_NAMES.to_vec(),
+                Some(names) => names.iter().map(|s| s.as_str()).collect(),
+            };
+            println!(
+                "actuary-lint: clean ({} check{} over {})",
+                ran.len(),
+                if ran.len() == 1 { "" } else { "s" },
+                root.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!(
+                "actuary-lint: {} finding{} — exempt a line with \
+                 `// lint:allow(check-name): reason`, or fix it",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" },
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("actuary-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!(
+        "actuary-lint: {message}\nusage: actuary-lint [--root DIR] [--check NAME]... [--list]"
+    );
+    ExitCode::from(2)
+}

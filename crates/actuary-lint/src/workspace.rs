@@ -1,0 +1,360 @@
+//! Workspace discovery: members from the root manifest, per-crate
+//! dependency declarations from each member's `Cargo.toml`, and every
+//! Rust source file lexed once up front.
+//!
+//! The manifest scanning is deliberately minimal — section headers,
+//! `name = "..."`, dependency keys and a `members = [...]` array are the
+//! only constructs the workspace's own manifests use. It is not a TOML
+//! parser and does not need to be one: malformed manifests fail `cargo`
+//! itself long before they reach the lint.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, LexedFile};
+
+/// Where a source file lives within its crate — checks exempt non-library
+/// targets (tests, benches, examples) from production-only invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// `src/` — production code.
+    Lib,
+    /// `tests/`, `benches/` or `examples/` — test-adjacent code.
+    TestBenchExample,
+}
+
+/// One lexed Rust source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated (stable across
+    /// platforms for findings and fixtures).
+    pub rel: String,
+    /// Target kind (see [`Role`]).
+    pub role: Role,
+    /// The lexed content.
+    pub lexed: LexedFile,
+}
+
+/// One workspace member crate.
+#[derive(Debug)]
+pub struct CrateInfo {
+    /// Package name as declared in `[package] name`.
+    pub name: String,
+    /// Member directory relative to the workspace root (empty for the
+    /// root package itself).
+    pub dir: String,
+    /// `[dependencies]` keys.
+    pub deps: Vec<String>,
+    /// `[dev-dependencies]` + `[build-dependencies]` keys.
+    pub dev_deps: Vec<String>,
+    /// All lexed source files of this crate.
+    pub files: Vec<SourceFile>,
+}
+
+impl CrateInfo {
+    /// True when `dep` is declared as a normal dependency.
+    pub fn declares(&self, dep: &str) -> bool {
+        self.deps.iter().any(|d| d == dep)
+    }
+
+    /// True when `dep` is declared as a dev/build dependency.
+    pub fn declares_dev(&self, dep: &str) -> bool {
+        self.dev_deps.iter().any(|d| d == dep)
+    }
+}
+
+/// The whole workspace, ready for checks.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// All member crates (including the root package), sorted by name.
+    pub crates: Vec<CrateInfo>,
+}
+
+impl Workspace {
+    /// Loads the workspace rooted at `root` (a directory whose
+    /// `Cargo.toml` declares `[workspace]`).
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let manifest_path = root.join("Cargo.toml");
+        let manifest = fs::read_to_string(&manifest_path)?;
+        let mut member_dirs = parse_members(&manifest);
+        member_dirs.sort();
+        member_dirs.dedup();
+
+        let mut crates = Vec::new();
+        // The root manifest may also be a package (the facade crate).
+        if let Some(name) = parse_package_name(&manifest) {
+            crates.push(load_crate(root, "", &name, &manifest)?);
+        }
+        for dir in &member_dirs {
+            let member_manifest_path = root.join(dir).join("Cargo.toml");
+            let member_manifest = fs::read_to_string(&member_manifest_path)?;
+            let name = parse_package_name(&member_manifest).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: missing [package] name", member_manifest_path.display()),
+                )
+            })?;
+            crates.push(load_crate(root, dir, &name, &member_manifest)?);
+        }
+        crates.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            crates,
+        })
+    }
+
+    /// The crate named `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&CrateInfo> {
+        self.crates.iter().find(|c| c.name == name)
+    }
+}
+
+/// Walks up from `start` to the nearest directory whose `Cargo.toml`
+/// contains a `[workspace]` section.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if section_names(&text).any(|s| s == "workspace") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn load_crate(root: &Path, dir: &str, name: &str, manifest: &str) -> io::Result<CrateInfo> {
+    let (deps, dev_deps) = parse_deps(manifest);
+    let crate_dir = if dir.is_empty() {
+        root.to_path_buf()
+    } else {
+        root.join(dir)
+    };
+    let mut files = Vec::new();
+    for (sub, role) in [
+        ("src", Role::Lib),
+        ("tests", Role::TestBenchExample),
+        ("benches", Role::TestBenchExample),
+        ("examples", Role::TestBenchExample),
+    ] {
+        let target_dir = crate_dir.join(sub);
+        if target_dir.is_dir() {
+            collect_rs(&target_dir, role, root, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(CrateInfo {
+        name: name.to_string(),
+        dir: dir.to_string(),
+        deps,
+        dev_deps,
+        files,
+    })
+}
+
+/// Recursively collects and lexes `.rs` files, skipping `fixtures/` and
+/// `target/` subtrees (fixture files intentionally violate invariants).
+fn collect_rs(dir: &Path, role: Role, root: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if file_name == "fixtures" || file_name == "target" {
+                continue;
+            }
+            collect_rs(&path, role, root, out)?;
+        } else if file_name.ends_with(".rs") {
+            let text = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                rel,
+                role,
+                lexed: lex(&text),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Iterates `[section]` / `[[section]]` header names in a manifest.
+fn section_names(manifest: &str) -> impl Iterator<Item = &str> {
+    manifest.lines().filter_map(|line| {
+        let line = line.trim();
+        let inner = line.strip_prefix('[')?.strip_suffix(']')?;
+        Some(inner.trim_matches('[').trim_matches(']').trim())
+    })
+}
+
+/// Extracts `name = "..."` from the `[package]` section.
+fn parse_package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(value) = rest.strip_prefix('=') {
+                    return Some(value.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Extracts dependency keys: `[dependencies]` vs `[dev-dependencies]` +
+/// `[build-dependencies]` (both count as dev for layering purposes —
+/// neither ships in the library).
+fn parse_deps(manifest: &str) -> (Vec<String>, Vec<String>) {
+    #[derive(PartialEq)]
+    enum Section {
+        Deps,
+        DevDeps,
+        Other,
+    }
+    let mut section = Section::Other;
+    let mut deps = Vec::new();
+    let mut dev_deps = Vec::new();
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            let name = line.trim_matches(['[', ']']);
+            section = match name {
+                "dependencies" => Section::Deps,
+                "dev-dependencies" | "build-dependencies" => Section::DevDeps,
+                // Inline target/feature-specific dep tables would land in
+                // Other; the workspace doesn't use them.
+                _ => Section::Other,
+            };
+            continue;
+        }
+        if section == Section::Other || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim().trim_matches('"');
+            // `foo.workspace = true` dotted form: key is before the dot.
+            let key = key.split('.').next().unwrap_or(key);
+            let target = match section {
+                Section::Deps => &mut deps,
+                _ => &mut dev_deps,
+            };
+            target.push(key.to_string());
+        }
+    }
+    (deps, dev_deps)
+}
+
+/// Extracts the `members = [...]` array from the `[workspace]` section.
+fn parse_members(manifest: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut in_workspace = false;
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') && !in_members {
+            in_workspace = line == "[workspace]";
+            continue;
+        }
+        if in_workspace {
+            if in_members {
+                if line.starts_with(']') {
+                    in_members = false;
+                    continue;
+                }
+                for piece in line.split(',') {
+                    let piece = piece.trim().trim_matches('"');
+                    if !piece.is_empty() && !piece.starts_with('#') {
+                        members.push(piece.to_string());
+                    }
+                }
+            } else if let Some(rest) = line.strip_prefix("members") {
+                let rest = rest.trim_start();
+                if let Some(array) = rest.strip_prefix('=') {
+                    let array = array.trim();
+                    if let Some(inline) = array.strip_prefix('[') {
+                        if let Some(end) = inline.find(']') {
+                            for piece in inline[..end].split(',') {
+                                let piece = piece.trim().trim_matches('"');
+                                if !piece.is_empty() {
+                                    members.push(piece.to_string());
+                                }
+                            }
+                        } else {
+                            in_members = true;
+                            for piece in inline.split(',') {
+                                let piece = piece.trim().trim_matches('"');
+                                if !piece.is_empty() {
+                                    members.push(piece.to_string());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MANIFEST: &str = r#"
+[workspace]
+members = [
+    "crates/a",
+    "crates/b", # trailing comment
+]
+
+[package]
+name = "root-pkg"
+
+[dependencies]
+actuary-units = { workspace = true }
+serde.workspace = true
+
+[dev-dependencies]
+proptest = { workspace = true }
+"#;
+
+    #[test]
+    fn members_and_package_name() {
+        assert_eq!(parse_members(MANIFEST), ["crates/a", "crates/b"]);
+        assert_eq!(parse_package_name(MANIFEST).as_deref(), Some("root-pkg"));
+    }
+
+    #[test]
+    fn deps_split_by_section_and_dotted_keys_work() {
+        let (deps, dev) = parse_deps(MANIFEST);
+        assert_eq!(deps, ["actuary-units", "serde"]);
+        assert_eq!(dev, ["proptest"]);
+    }
+
+    #[test]
+    fn single_line_members_array() {
+        let m = "[workspace]\nmembers = [\"x\", \"y\"]\n";
+        assert_eq!(parse_members(m), ["x", "y"]);
+    }
+}

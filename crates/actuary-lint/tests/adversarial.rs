@@ -1,0 +1,216 @@
+//! Adversarial lexer inputs: the constructs that defeat naive grepping
+//! must not defeat the lexer. Each test feeds a pathological source
+//! string and asserts the token stream (and test-region marking) is
+//! exactly right — these are the foundations every check stands on.
+
+use actuary_lint::lexer::{lex, TokenKind};
+
+fn live_idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && !t.in_test)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+#[test]
+fn raw_string_containing_unwrap_is_not_an_ident() {
+    let src = r####"
+fn doc() -> &'static str {
+    r#"call .unwrap() and panic!("boom") freely in docs"#
+}
+"####;
+    let idents = live_idents(src);
+    assert!(!idents.contains(&"unwrap".to_string()), "{idents:?}");
+    assert!(!idents.contains(&"panic".to_string()), "{idents:?}");
+}
+
+#[test]
+fn raw_string_with_more_hashes_than_content_quotes() {
+    let src = r###"let s = r##"inner "# quote stays inside"##; after()"###;
+    let idents = live_idents(src);
+    assert_eq!(idents, ["let", "s", "after"]);
+}
+
+#[test]
+fn nested_block_comments_track_depth() {
+    let src = "/* level1 /* level2 /* level3 unwrap() */ */ still comment */ fn real() {}";
+    assert_eq!(live_idents(src), ["fn", "real"]);
+}
+
+#[test]
+fn block_comment_terminator_inside_string_does_not_terminate() {
+    // The `*/` inside the string is string content, not a comment close.
+    let src = r#"let s = "*/ not a comment close"; fn live() {}"#;
+    let idents = live_idents(src);
+    assert_eq!(idents, ["let", "s", "fn", "live"]);
+}
+
+#[test]
+fn string_spanning_lines_keeps_line_numbers_right() {
+    let src = "let s = \"line one\nline two\nline three\";\nlet after = 1;";
+    let f = lex(src);
+    let after = f
+        .tokens
+        .iter()
+        .find(|t| t.text == "after")
+        .expect("after token");
+    assert_eq!(after.line, 4, "multi-line string must advance line count");
+}
+
+#[test]
+fn cfg_test_nested_modules_and_code_after() {
+    let src = r#"
+fn prod_before() {}
+#[cfg(test)]
+mod tests {
+    fn helper() { inner_test_call() }
+    #[cfg(test)]
+    mod nested {
+        fn deeper() { deepest_call() }
+    }
+    fn after_nested() { still_test() }
+}
+fn prod_after() {}
+"#;
+    let f = lex(src);
+    let by_name = |name: &str| -> Vec<bool> {
+        f.tokens
+            .iter()
+            .filter(|t| t.text == name)
+            .map(|t| t.in_test)
+            .collect()
+    };
+    assert_eq!(by_name("prod_before"), [false]);
+    assert_eq!(by_name("inner_test_call"), [true]);
+    assert_eq!(by_name("deepest_call"), [true]);
+    assert_eq!(
+        by_name("still_test"),
+        [true],
+        "code after a nested test mod closes is still in the outer test mod"
+    );
+    assert_eq!(
+        by_name("prod_after"),
+        [false],
+        "the outer test mod must close exactly at its brace"
+    );
+}
+
+#[test]
+fn cfg_test_on_a_path_import_does_not_open_a_region() {
+    let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn prod() { live_call() }";
+    let f = lex(src);
+    let live = f
+        .tokens
+        .iter()
+        .find(|t| t.text == "live_call")
+        .expect("token");
+    assert!(
+        !live.in_test,
+        "a `;`-terminated cfg(test) item must not swallow what follows"
+    );
+}
+
+#[test]
+fn braces_inside_strings_and_chars_do_not_move_depth() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    fn t() { let s = "}"; let c = '}'; test_only() }
+}
+fn prod() { live() }
+"#;
+    let f = lex(src);
+    let test_only = f
+        .tokens
+        .iter()
+        .find(|t| t.text == "test_only")
+        .expect("tok");
+    assert!(test_only.in_test);
+    let live = f.tokens.iter().find(|t| t.text == "live").expect("tok");
+    assert!(
+        !live.in_test,
+        "`}}` inside literals must not close the test region"
+    );
+}
+
+#[test]
+fn lifetimes_generics_and_char_literals_disambiguate() {
+    let src =
+        "impl<'a, T: Iterator<Item = &'a str>> X<'a, T> { fn f(c: char) -> bool { c == 'a' } }";
+    let f = lex(src);
+    let lifetimes = f
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .count();
+    let chars: Vec<&str> = f
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, 3);
+    assert_eq!(chars, ["a"]);
+}
+
+#[test]
+fn float_detection_across_literal_shapes() {
+    let floats = |src: &str| -> Vec<bool> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.is_float())
+            .collect()
+    };
+    assert_eq!(floats("a == 0.0"), [true]);
+    assert_eq!(floats("a == 1e-9"), [true]);
+    assert_eq!(floats("a == 2f64"), [true]);
+    assert_eq!(floats("a == 10"), [false]);
+    assert_eq!(
+        floats("a == 0xAB"),
+        [false],
+        "hex digits are not an exponent"
+    );
+    assert_eq!(
+        floats("for i in 0..10 {}"),
+        [false, false],
+        "ranges are two ints"
+    );
+    assert_eq!(
+        floats("1.max(2)"),
+        [false, false],
+        "method call on int literal"
+    );
+}
+
+#[test]
+fn allow_directive_inside_block_comment_spanning_lines() {
+    let src =
+        "/* preamble\n   lint:allow(determinism): documented exactness\n*/\nlet x = 1.0 == y;\n";
+    let f = lex(src);
+    assert!(f.allowed("determinism", 2));
+    assert!(
+        f.allowed("determinism", 3),
+        "allow reaches the following line"
+    );
+}
+
+#[test]
+fn allow_text_inside_a_string_is_not_a_directive() {
+    let src = r#"let s = "lint:allow(no-panic)"; x.unwrap()"#;
+    let f = lex(src);
+    assert!(
+        !f.allowed("no-panic", 1),
+        "directives live in comments, not strings"
+    );
+}
+
+#[test]
+fn raw_identifiers_and_byte_literals() {
+    let src = r#"let r#type = b"bytes with unwrap()"; let b = b'x'; r2d2()"#;
+    let idents = live_idents(src);
+    assert_eq!(idents, ["let", "type", "let", "b", "r2d2"]);
+}

@@ -25,6 +25,7 @@
 //! assert!(table.to_markdown().contains("| area |"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -257,7 +257,7 @@ pub struct YieldRow {
     pub yielded_die_usd: f64,
     /// Cost per good mm², normalized to the raw-wafer cost per usable mm²
     /// (Figure 2's y-axis).
-    pub norm_cost_per_area: f64,
+    pub cost_per_area_norm: f64,
 }
 
 /// An executed explore job.
@@ -390,7 +390,7 @@ impl ScenarioRun {
                         format!("{:.9}", r.yield_frac),
                         format!("{:.6}", r.raw_die_usd),
                         format!("{:.6}", r.yielded_die_usd),
-                        format!("{:.9}", r.norm_cost_per_area),
+                        format!("{:.9}", r.cost_per_area_norm),
                     ])?;
                 }
                 Ok(())
@@ -869,7 +869,7 @@ fn run_yield_job(
                 yield_frac: y.value(),
                 raw_die_usd: raw.usd(),
                 yielded_die_usd: yielded.usd(),
-                norm_cost_per_area: (yielded.usd() / mm2) / per_mm2.usd(),
+                cost_per_area_norm: (yielded.usd() / mm2) / per_mm2.usd(),
             });
         }
     }

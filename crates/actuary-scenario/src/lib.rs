@@ -72,6 +72,8 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 mod jobs;
 mod schema;

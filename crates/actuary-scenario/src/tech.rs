@@ -86,6 +86,7 @@ fn lower_node(
 ) -> Result<ProcessNode, ScenarioError> {
     let table_pos = view.pos();
     let defect = view.opt_f64("defect_density")?;
+    // lint:allow(unit-suffix): `cluster` is the paper's dimensionless α; the key is scenario-file API
     let cluster = view.opt_f64("cluster")?;
     let wafer_price = view.opt_f64("wafer_price_usd")?.map(money).transpose()?;
     let k_module = view.opt_f64("k_module_usd")?.map(money).transpose()?;
@@ -110,11 +111,11 @@ fn lower_node(
             )
         }
     };
-    let wafer = opt_wafer(
-        &mut view,
-        base.map(|n| n.wafer())
-            .unwrap_or(WaferSpec::mm300().expect("300 mm wafer is valid")),
-    )?;
+    let default_wafer = match base.map(|n| n.wafer()) {
+        Some(w) => w,
+        None => WaferSpec::mm300().map_err(|e| ScenarioError::schema(table_pos, e.to_string()))?,
+    };
+    let wafer = opt_wafer(&mut view, default_wafer)?;
     view.deny_unknown()?;
 
     let require = |value: Option<f64>, base_value: Option<f64>, key: &str| {
@@ -236,15 +237,17 @@ fn lower_packaging(
             let pos = ip_view.pos();
             let base_ip = base.and_then(|p| p.interposer());
             let defect = ip_view.opt_f64("defect_density")?;
+            // lint:allow(unit-suffix): `cluster` is the paper's dimensionless α; the key is scenario-file API
             let cluster = ip_view.opt_f64("cluster")?;
             let price = ip_view.opt_f64("wafer_price_usd")?.map(money).transpose()?;
             let area_factor = ip_view.opt_f64("area_factor")?;
-            let wafer = opt_wafer(
-                &mut ip_view,
-                base_ip
-                    .map(|ip| ip.wafer())
-                    .unwrap_or(WaferSpec::mm300().expect("300 mm wafer is valid")),
-            )?;
+            let default_wafer = match base_ip.map(|ip| ip.wafer()) {
+                Some(w) => w,
+                None => {
+                    WaferSpec::mm300().map_err(|e| ScenarioError::schema(pos, e.to_string()))?
+                }
+            };
+            let wafer = opt_wafer(&mut ip_view, default_wafer)?;
             ip_view.deny_unknown()?;
             let req = |name: &str, v: Option<f64>, b: Option<f64>| {
                 v.or(b).ok_or_else(|| {

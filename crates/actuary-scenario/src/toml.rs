@@ -319,11 +319,14 @@ fn parse_header(cur: &mut Cursor, root: &mut Table) -> Result<Vec<String>, Parse
 
     // Walk to the parent of the last segment, descending into the newest
     // element of any array-of-tables on the way.
+    let Some((last_entry, parents)) = path.split_last() else {
+        return Err(cur.error("expected at least one key segment in the table header"));
+    };
+    let (last, last_pos) = last_entry.clone();
     let mut table = root;
-    for (segment, seg_pos) in &path[..path.len() - 1] {
+    for (segment, seg_pos) in parents {
         table = descend(table, segment, *seg_pos)?;
     }
-    let (last, last_pos) = path.last().expect("paths are non-empty").clone();
     if array {
         match table.get_mut(&last) {
             None => {
@@ -388,18 +391,27 @@ fn parse_header(cur: &mut Cursor, root: &mut Table) -> Result<Vec<String>, Parse
 /// Descends one segment, creating an implicit table if absent and entering
 /// the last element of an array of tables.
 fn descend<'t>(table: &'t mut Table, segment: &str, pos: Pos) -> Result<&'t mut Table, ParseError> {
-    if table.get(segment).is_none() {
-        table.entries.push(Entry {
-            key: segment.to_string(),
-            key_pos: pos,
-            value_pos: pos,
-            value: Value::Table(Table::new(pos)),
-        });
-    }
-    let entry = table.get_mut(segment).expect("just inserted");
-    match &mut entry.value {
+    let idx = match table.entries.iter().position(|e| e.key == segment) {
+        Some(idx) => idx,
+        None => {
+            table.entries.push(Entry {
+                key: segment.to_string(),
+                key_pos: pos,
+                value_pos: pos,
+                value: Value::Table(Table::new(pos)),
+            });
+            table.entries.len() - 1
+        }
+    };
+    match &mut table.entries[idx].value {
         Value::Table(t) => Ok(t),
-        Value::Tables(tables) => Ok(tables.last_mut().expect("array tables are non-empty")),
+        Value::Tables(tables) => match tables.last_mut() {
+            Some(t) => Ok(t),
+            None => Err(ParseError {
+                pos,
+                message: format!("array of tables `{segment}` has no elements"),
+            }),
+        },
         other => Err(ParseError {
             pos,
             message: format!(
@@ -427,16 +439,19 @@ fn parse_key_value(
     let value = parse_value(cur)?;
     cur.expect_line_end()?;
 
+    let Some((last_entry, parents)) = path.split_last() else {
+        return Err(cur.error("expected a key before `=`"));
+    };
+    let (key, key_pos) = last_entry.clone();
     let mut table = root;
     for segment in current {
         // The current path was established by a header, so this never
         // fails; descend re-resolves it to satisfy the borrow checker.
         table = descend(table, segment, Pos::default())?;
     }
-    for (segment, seg_pos) in &path[..path.len() - 1] {
+    for (segment, seg_pos) in parents {
         table = descend(table, segment, *seg_pos)?;
     }
-    let (key, key_pos) = path.last().expect("paths are non-empty").clone();
     if let Some(existing) = table.get(&key) {
         return Err(ParseError {
             pos: key_pos,
@@ -468,7 +483,9 @@ fn parse_value(cur: &mut Cursor) -> Result<Value, ParseError> {
 
 /// Parses a basic or literal string (the opening quote is at the cursor).
 fn parse_string(cur: &mut Cursor) -> Result<String, ParseError> {
-    let quote = cur.bump().expect("caller saw the quote");
+    let Some(quote) = cur.bump() else {
+        return Err(cur.error("expected a string"));
+    };
     let mut out = String::new();
     loop {
         match cur.bump() {
@@ -502,7 +519,10 @@ fn parse_string(cur: &mut Cursor) -> Result<String, ParseError> {
                                 }
                             }
                         }
-                        let n = u32::from_str_radix(&code, 16).expect("four hex digits");
+                        let n = u32::from_str_radix(&code, 16).map_err(|_| ParseError {
+                            pos: escape_pos,
+                            message: "\\u escape needs four hex digits".to_string(),
+                        })?;
                         match char::from_u32(n) {
                             Some(c) => out.push(c),
                             None => {

@@ -81,6 +81,7 @@ impl HarvestSpec {
         }
         if !unit_area_fraction.is_finite()
             || !(0.0..=1.0).contains(&unit_area_fraction)
+            // lint:allow(determinism): rejecting exactly-zero input is validation, not comparison drift
             || unit_area_fraction == 0.0
         {
             return Err(YieldError::InvalidModelParameter {

@@ -132,6 +132,7 @@ impl Murphy {
 impl YieldModel for Murphy {
     fn die_yield(&self, density: DefectDensity, die: Area) -> Prob {
         let ds = density.expected_defects(die);
+        // lint:allow(determinism): removable singularity of (1 - e^-x)/x at exactly zero
         if ds == 0.0 {
             return Prob::ONE;
         }

@@ -4,6 +4,8 @@
 //! the reproduced data series (the "rows the paper reports") together with
 //! the shape-claim verdicts, then times the computation under Criterion.
 
+#![forbid(unsafe_code)]
+
 use actuary_figures::ShapeCheck;
 use actuary_tech::TechLibrary;
 

@@ -48,6 +48,7 @@
 //! [`Quantity`]: units::Quantity
 //! [`TechLibrary`]: tech::TechLibrary
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Unit and money newtypes ([`actuary_units`]).

@@ -172,7 +172,7 @@ fn scms_winners_reproduce_the_fig8_takeaway() {
     for w in &winners {
         let (best, _) = w.best.as_ref().expect("anchor grid is feasible");
         assert_eq!(best.integration, IntegrationKind::Mcm, "{w}");
-        let saving = w.saving_vs_soc.expect("SoC baseline is on the grid");
+        let saving = w.saving_vs_soc_frac.expect("SoC baseline is on the grid");
         assert!(saving > 0.0, "{w}");
         savings.push((w.area_mm2, saving));
     }

@@ -231,8 +231,8 @@ fn fig2_scenario_reproduces_the_figure_rows() {
             &format!("{label} {} yield", r.area_mm2),
         );
         close(
-            r.norm_cost_per_area,
-            anchor.norm_cost_per_area,
+            r.cost_per_area_norm,
+            anchor.cost_per_area_norm,
             &format!("{label} {} norm cost", r.area_mm2),
         );
     }
