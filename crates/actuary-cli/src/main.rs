@@ -82,9 +82,19 @@ fn usage() -> &'static str {
        run SCENARIO.toml [--threads T] [--out-dir DIR] [--csv]\n\
                                          execute a declarative scenario file\n\
        serve [--addr HOST:PORT] [--threads T] [--workers W]\n\
+             [--cache-entries N] [--core-cache N]\n\
+             [--rate-limit R] [--max-concurrent C]\n\
                                          long-running HTTP process: POST /run with a\n\
                                          scenario file, get its artifacts streamed\n\
-                                         back as CSV (default addr 127.0.0.1:8080)\n\
+                                         back as CSV (or JSON lines under\n\
+                                         Accept: application/json); keeps connections\n\
+                                         alive, caches results content-addressed\n\
+                                         (--cache-entries runs, --core-cache cores;\n\
+                                         0 disables), limits each client to R req/s\n\
+                                         and C concurrent runs (0 = off), serves\n\
+                                         counters on GET /statz, drains on SIGTERM\n\
+                                         (default addr 127.0.0.1:8080; see\n\
+                                         docs/http-api.md and docs/operations.md)\n\
        mc    --node N --area MM2 [--chiplets K] [--integration KIND] [--systems S]\n\
        repro --figure 2|4|5|6|8|9|10|ext|all [--csv]\n\
        experiments                        paper-vs-measured Markdown record\n\
@@ -505,17 +515,42 @@ fn stream_to_file(
 /// `actuary serve`: parse the flags and hand off to the HTTP server.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    reject_unknown_flags("serve", &flags, &["addr", "threads", "workers"])?;
-    let addr = flags
-        .get("addr")
-        .cloned()
-        .unwrap_or_else(|| "127.0.0.1:8080".to_string());
-    let threads = get_u64_or(&flags, "threads", 0)? as usize;
-    let workers = get_u64_or(&flags, "workers", 4)? as usize;
-    if workers == 0 {
+    reject_unknown_flags(
+        "serve",
+        &flags,
+        &[
+            "addr",
+            "threads",
+            "workers",
+            "cache-entries",
+            "core-cache",
+            "rate-limit",
+            "max-concurrent",
+        ],
+    )?;
+    let defaults = server::ServeOptions::default();
+    let options = server::ServeOptions {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+        engine_threads: get_u64_or(&flags, "threads", 0)? as usize,
+        workers: get_u64_or(&flags, "workers", 4)? as usize,
+        result_cache_entries: get_u64_or(
+            &flags,
+            "cache-entries",
+            defaults.result_cache_entries as u64,
+        )? as usize,
+        core_cache_entries: get_u64_or(&flags, "core-cache", defaults.core_cache_entries as u64)?
+            as usize,
+        rate_limit: get_u64_or(&flags, "rate-limit", u64::from(defaults.rate_limit))? as u32,
+        max_concurrent: get_u64_or(&flags, "max-concurrent", u64::from(defaults.max_concurrent))?
+            as u32,
+    };
+    if options.workers == 0 {
         return Err("--workers must be at least 1".to_string());
     }
-    server::serve(&addr, threads, workers)
+    server::serve(&options)
 }
 
 fn cmd_explore(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<(), String> {

@@ -1,34 +1,65 @@
 //! `actuary serve` — a long-running process answering POSTed scenario
-//! documents with chunk-streamed CSV artifacts over HTTP/1.1.
+//! documents with chunk-streamed artifacts over HTTP/1.1.
 //!
 //! The server is hand-rolled on `std::net::TcpListener` (no new
 //! dependencies): a bounded pool of worker threads pulls accepted
-//! connections from a rendezvous channel, parses a minimal HTTP/1.1
-//! request, and answers:
+//! connections from a rendezvous channel, speaks persistent HTTP/1.1
+//! (keep-alive with pipelined request parsing), and answers:
 //!
 //! | method | path       | body          | response |
 //! |--------|------------|---------------|----------|
-//! | `POST` | `/run`     | scenario TOML | `200`, chunked `text/csv`: every artifact of the run, in order |
+//! | `POST` | `/run`     | scenario TOML | `200`, chunked: every artifact of the run, in order — `text/csv` by default, JSON lines under `Accept: application/json` |
 //! | `GET`  | `/healthz` | —             | `200 ok` |
+//! | `GET`  | `/statz`   | —             | `200`, one JSON object of serving counters |
 //!
 //! A served scenario goes through exactly the same `Scenario::run` +
 //! [`ScenarioRun::artifacts`](actuary_scenario::ScenarioRun::artifacts)
-//! path as `actuary run`, so the streamed body is byte-identical to
-//! `actuary run FILE --csv` — zero new model code. Malformed TOML answers
-//! `400` with the parser's line:column diagnostic in the body; a scenario
-//! that parses but fails in the engine answers `422`; oversized bodies
-//! answer `413`. All model work happens *before* the `200` header is
-//! written, so a success status never precedes a failure.
+//! path as `actuary run`, so the streamed CSV body is byte-identical to
+//! `actuary run FILE --csv` — zero new model code. The JSON-lines
+//! encoding is the [`Artifact`](actuary_report::Artifact) layer's second
+//! *sink* over the same row source, not a second serializer. Malformed
+//! TOML answers `400` with the parser's line:column diagnostic in the
+//! body; a scenario that parses but fails in the engine answers `422`;
+//! oversized bodies answer `413`. All model work happens *before* the
+//! `200` header is written, so a success status never precedes a failure.
+//!
+//! # Content-addressed result cache
+//!
+//! Successful runs are cached under the canonical digest of the *parsed*
+//! document ([`actuary_scenario::canon::digest_document`]), so formatting,
+//! key order and comments do not defeat the cache — only semantics do. A
+//! hit replays the stored run through the same artifact renderers,
+//! byte-identical to a cold miss (in either encoding). Below the result
+//! cache, a [`SharedCoreCache`] reuses the expensive quantity-independent
+//! core evaluations across *overlapping* (not just identical) requests,
+//! keyed by the canonical digest of the library portion of the document.
+//! Hit/miss/eviction counters for both layers are served on `GET /statz`.
+//!
+//! # Backpressure and shutdown
+//!
+//! Per-client-IP admission happens before any work: an optional token-
+//! bucket request rate and an optional concurrent-request cap, both
+//! answering `429` with a `Retry-After` header when exceeded. When every
+//! worker is busy, accepted connections queue in the dispatch channel and
+//! the OS backlog (never dropped), and a rate-limited one-line note lands
+//! on stderr so operators can tell server saturation from client
+//! slowness. `SIGTERM`/`SIGINT` stop the accept loop, drain in-flight and
+//! queued requests to completion (responses carry `Connection: close`),
+//! then exit cleanly.
 
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::net::{IpAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
+use actuary_dse::portfolio::SharedCoreCache;
 use actuary_dse::refine::ExploreMode;
 use actuary_report::IoSink;
-use actuary_scenario::{Job, Scenario};
+use actuary_scenario::canon::{digest_document, library_digest};
+use actuary_scenario::toml::parse as parse_toml;
+use actuary_scenario::{Job, Scenario, ScenarioRun};
 
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -36,6 +67,16 @@ const MAX_HEAD_BYTES: usize = 16 * 1024;
 const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 /// Target payload size of one response chunk.
 const CHUNK_BYTES: usize = 8 * 1024;
+/// Upper bound on requests served over one keep-alive connection; the
+/// 1001st answer says `Connection: close` so no client monopolizes a
+/// worker forever.
+const MAX_KEEPALIVE_REQUESTS: usize = 1000;
+/// Seconds an idle keep-alive connection may sit between requests before
+/// the worker reclaims itself (also the timeout between body segments).
+const IDLE_READ_SECS: u64 = 5;
+/// Per-client entries the admission governor tracks before it prunes
+/// idle buckets.
+const MAX_TRACKED_CLIENTS: usize = 4096;
 /// Upper bound on one served explore job's grid, in cells. A few KB of
 /// TOML can request a combinatorially huge grid (five 2,000-entry axes =
 /// 3.2 × 10¹⁶ cells), so the body-size cap alone does not bound the
@@ -48,34 +89,80 @@ const MAX_SERVED_CELLS: u128 = 1_000_000;
 /// not its cell count — grids up to 10⁸ cells stay answerable.
 const MAX_SERVED_CELLS_REFINE: u128 = 100_000_000;
 
-/// Binds `addr` and serves forever (until the process is killed).
-///
-/// `engine_threads` is handed to `Scenario::run` per request (`0` = all
-/// hardware threads); `workers` bounds the handler pool — requests beyond
-/// it queue in the channel and the OS accept backlog instead of spawning
-/// unbounded threads.
+/// Everything `actuary serve` can be configured with; see the flag docs
+/// in `main.rs` and `docs/operations.md`.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Address to bind, `host:port` (port `0` = OS-assigned).
+    pub addr: String,
+    /// Engine threads per request (`0` = all hardware threads).
+    pub engine_threads: usize,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Result-cache capacity in cached runs (`0` disables it).
+    pub result_cache_entries: usize,
+    /// Core-cache capacity in cached core evaluations (`0` disables it).
+    pub core_cache_entries: usize,
+    /// Per-client-IP sustained request rate per second (`0` = unlimited).
+    pub rate_limit: u32,
+    /// Per-client-IP concurrent `/run` requests (`0` = unlimited).
+    pub max_concurrent: u32,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:8080".to_string(),
+            engine_threads: 0,
+            workers: 4,
+            result_cache_entries: 16,
+            core_cache_entries: 4096,
+            rate_limit: 0,
+            max_concurrent: 0,
+        }
+    }
+}
+
+/// Binds the address and serves until `SIGTERM`/`SIGINT`, then drains
+/// in-flight requests and returns.
 ///
 /// # Errors
 ///
-/// Returns a message when the address cannot be bound; per-connection
-/// errors are answered over HTTP and never take the server down.
-pub fn serve(addr: &str, engine_threads: usize, workers: usize) -> Result<(), String> {
-    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
+/// Returns a message when the address cannot be bound or the shutdown
+/// handler cannot be registered; per-connection errors are answered over
+/// HTTP and never take the server down.
+pub fn serve(options: &ServeOptions) -> Result<(), String> {
+    let listener = TcpListener::bind(&options.addr)
+        .map_err(|e| format!("cannot bind {:?}: {e}", options.addr))?;
     let local = listener
         .local_addr()
         .map_err(|e| format!("cannot resolve the bound address: {e}"))?;
     // The address line is the startup handshake: tests (and scripts) bind
     // port 0 and read the chosen port from it, so flush before serving.
     println!(
-        "actuary serve: listening on http://{local} ({workers} worker(s); POST /run, GET /healthz)"
+        "actuary serve: listening on http://{local} ({} worker(s); POST /run, GET /healthz, GET /statz)",
+        options.workers
     );
     io::stdout().flush().map_err(|e| e.to_string())?;
 
-    let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers);
+    let state = Arc::new(ServerState::new(options));
+    for sig in [signal_hook::consts::SIGTERM, signal_hook::consts::SIGINT] {
+        signal_hook::flag::register(sig, Arc::clone(&state.shutdown))
+            .map_err(|e| format!("cannot register the shutdown handler: {e}"))?;
+    }
+    // Shutdown is a flag poll, so the accept loop must never block in
+    // `accept` indefinitely: nonblocking accept + a short sleep.
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot configure the listener: {e}"))?;
+
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(options.workers);
     let rx = Arc::new(Mutex::new(rx));
-    for _ in 0..workers {
+    let mut workers = Vec::with_capacity(options.workers);
+    for _ in 0..options.workers {
         let rx = Arc::clone(&rx);
-        std::thread::spawn(move || loop {
+        let state = Arc::clone(&state);
+        workers.push(std::thread::spawn(move || loop {
             // Hold the lock only to pull the next connection, not to
             // serve it — the pool drains the queue concurrently.
             let next = match rx.lock() {
@@ -89,29 +176,378 @@ pub fn serve(addr: &str, engine_threads: usize, workers: usize) -> Result<(), St
                     // here would silently shrink the pool until the
                     // server stops answering while still accepting.
                     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        handle_connection(stream, engine_threads);
+                        handle_connection(stream, &state);
                     }));
                     if caught.is_err() {
                         eprintln!("actuary serve: a request handler panicked (connection dropped)");
                     }
                 }
+                // Channel closed: the accept loop is shutting down and
+                // the queue is drained.
                 Err(_) => break,
             }
-        });
+        }));
     }
-    for stream in listener.incoming() {
-        match stream {
-            Ok(s) => {
-                if tx.send(s).is_err() {
-                    break;
-                }
+
+    let mut last_saturation_note: Option<Instant> = None;
+    while !state.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The accepted socket must block normally regardless of
+                // the listener's mode.
+                let _ = stream.set_nonblocking(false);
+                dispatch(stream, &tx, &state, &mut last_saturation_note);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
             }
             // A failed accept (e.g. the peer reset before we got to it)
             // must not take the server down.
             Err(_) => continue,
         }
     }
+
+    // Graceful drain: closing the channel makes every worker finish its
+    // current connection (responses during shutdown say `Connection:
+    // close`), drain the queue, and exit.
+    drop(tx);
+    for worker in workers {
+        let _ = worker.join();
+    }
+    println!("actuary serve: drained in-flight requests, exiting");
     Ok(())
+}
+
+/// Hands one accepted connection to the worker pool, logging (at most one
+/// line per ~5 s) when the pool is saturated, then queueing anyway — the
+/// backpressure lands on the accept loop and the OS backlog, never on a
+/// dropped connection.
+fn dispatch(
+    stream: TcpStream,
+    tx: &mpsc::SyncSender<TcpStream>,
+    state: &ServerState,
+    last_note: &mut Option<Instant>,
+) {
+    match tx.try_send(stream) {
+        Ok(()) => {}
+        Err(mpsc::TrySendError::Full(stream)) => {
+            state.counters.saturation.fetch_add(1, Ordering::SeqCst);
+            let now = Instant::now();
+            let due = last_note.is_none_or(|at| now.duration_since(at) >= Duration::from_secs(5));
+            if due {
+                *last_note = Some(now);
+                eprintln!(
+                    "actuary serve: worker pool saturated, connection queued \
+                     (raise --workers if this persists)"
+                );
+            }
+            let _ = tx.send(stream);
+        }
+        Err(mpsc::TrySendError::Disconnected(_)) => {}
+    }
+}
+
+/// Everything the workers share: caches, admission control, counters and
+/// the shutdown flag.
+struct ServerState {
+    engine_threads: usize,
+    results: ResultCache,
+    cores: SharedCoreCache,
+    governor: Governor,
+    counters: Counters,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerState {
+    fn new(options: &ServeOptions) -> Self {
+        ServerState {
+            engine_threads: options.engine_threads,
+            results: ResultCache::new(options.result_cache_entries),
+            cores: SharedCoreCache::new(options.core_cache_entries),
+            governor: Governor::new(options.rate_limit, options.max_concurrent),
+            counters: Counters::default(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    rate_limited: AtomicU64,
+    saturation: AtomicU64,
+}
+
+/// Locks a mutex, surviving poisoning: every guarded structure here is
+/// plain data that stays coherent even if a panic ever unwound through
+/// an update.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+// --- Result cache ---------------------------------------------------------
+
+/// LRU cache of successful runs, keyed by the canonical digest of the
+/// parsed scenario document. One cached run serves both encodings — the
+/// renderers run per response, only the model work is skipped.
+struct ResultCache {
+    capacity: usize,
+    inner: Mutex<ResultCacheInner>,
+}
+
+struct ResultCacheInner {
+    map: BTreeMap<[u8; 32], (u64, Arc<ScenarioRun>)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// One cache layer's `GET /statz` row.
+#[derive(Debug, Clone, Copy)]
+struct CacheCounters {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    entries: usize,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            inner: Mutex::new(ResultCacheInner {
+                map: BTreeMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    fn get(&self, key: [u8; 32]) -> Option<Arc<ScenarioRun>> {
+        let mut inner = lock(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        let hit = inner.map.get_mut(&key).map(|(last_used, run)| {
+            *last_used = tick;
+            Arc::clone(run)
+        });
+        match hit {
+            Some(run) => {
+                inner.hits += 1;
+                Some(run)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: [u8; 32], run: Arc<ScenarioRun>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = lock(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key, (tick, run));
+        while inner.map.len() > self.capacity {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (last_used, _))| *last_used)
+                .map(|(key, _)| *key);
+            match oldest {
+                Some(key) => {
+                    inner.map.remove(&key);
+                    inner.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn stats(&self) -> CacheCounters {
+        let inner = lock(&self.inner);
+        CacheCounters {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+// --- Admission control ----------------------------------------------------
+
+/// Per-client-IP admission: a token bucket for sustained rate (burst up
+/// to one second's worth) and a concurrent-request cap. Both off by
+/// default; `/healthz` and `/statz` are always exempt.
+struct Governor {
+    rate_limit: u32,
+    max_concurrent: u32,
+    clients: Mutex<BTreeMap<IpAddr, ClientBucket>>,
+}
+
+struct ClientBucket {
+    tokens: f64,
+    refilled: Instant,
+    active: u32,
+}
+
+/// Proof of admission; dropping it releases the concurrency slot.
+struct Admission<'a> {
+    governor: &'a Governor,
+    ip: Option<IpAddr>,
+}
+
+impl Drop for Admission<'_> {
+    fn drop(&mut self) {
+        if let Some(ip) = self.ip {
+            let mut clients = lock(&self.governor.clients);
+            if let Some(bucket) = clients.get_mut(&ip) {
+                bucket.active = bucket.active.saturating_sub(1);
+            }
+        }
+    }
+}
+
+impl Governor {
+    fn new(rate_limit: u32, max_concurrent: u32) -> Self {
+        Governor {
+            rate_limit,
+            max_concurrent,
+            clients: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Admits or asks the client to retry after the returned number of
+    /// seconds. Connections without a peer address (unit-test streams)
+    /// have nothing to key on and are always admitted.
+    fn admit(&self, peer: Option<IpAddr>) -> Result<Admission<'_>, u64> {
+        if self.rate_limit == 0 && self.max_concurrent == 0 {
+            return Ok(Admission {
+                governor: self,
+                ip: None,
+            });
+        }
+        let Some(ip) = peer else {
+            return Ok(Admission {
+                governor: self,
+                ip: None,
+            });
+        };
+        let mut clients = lock(&self.clients);
+        if clients.len() > MAX_TRACKED_CLIENTS {
+            // Keep only clients with requests in flight; a pruned heavy
+            // client restarts with a full bucket, which under-limits for
+            // one second — bounded memory is worth that.
+            clients.retain(|_, bucket| bucket.active > 0);
+        }
+        let now = Instant::now();
+        let bucket = clients.entry(ip).or_insert_with(|| ClientBucket {
+            tokens: f64::from(self.rate_limit.max(1)),
+            refilled: now,
+            active: 0,
+        });
+        if self.rate_limit > 0 {
+            let rate = f64::from(self.rate_limit);
+            let elapsed = now.duration_since(bucket.refilled).as_secs_f64();
+            bucket.tokens = (bucket.tokens + elapsed * rate).min(rate);
+            bucket.refilled = now;
+            if bucket.tokens < 1.0 {
+                let wait = ((1.0 - bucket.tokens) / rate).ceil().max(1.0);
+                return Err(wait as u64);
+            }
+        }
+        if self.max_concurrent > 0 && bucket.active >= self.max_concurrent {
+            return Err(1);
+        }
+        if self.rate_limit > 0 {
+            bucket.tokens -= 1.0;
+        }
+        bucket.active += 1;
+        Ok(Admission {
+            governor: self,
+            ip: Some(ip),
+        })
+    }
+}
+
+// --- Connection handling --------------------------------------------------
+
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    // A response is written as head + chunks before the next read; with
+    // Nagle on, that write-write-read pattern stalls ~40 ms per request
+    // on delayed ACKs, dwarfing a cache hit.
+    let _ = stream.set_nodelay(true);
+    // The read timeout doubles as the keep-alive idle timeout: a worker
+    // blocked on a silent client reclaims itself after this long.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(IDLE_READ_SECS)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let peer = stream.peer_addr().ok().map(|addr| addr.ip());
+    let mut stream = stream;
+    serve_connection(&mut stream, peer, state);
+}
+
+/// Serves one connection: a keep-alive loop over pipelined requests.
+/// Generic over the stream so the unit tests drive it with an in-memory
+/// duplex.
+fn serve_connection<S: Read + Write>(stream: &mut S, peer: Option<IpAddr>, state: &ServerState) {
+    // Bytes read past the previous request (pipelining) wait here.
+    let mut buf: Vec<u8> = Vec::new();
+    for served in 1..=MAX_KEEPALIVE_REQUESTS {
+        let request = match read_request(stream, &mut buf) {
+            Ok(Some(request)) => request,
+            // Clean close or idle timeout between requests.
+            Ok(None) => return,
+            Err(e) => {
+                // After a read-level error the stream position is
+                // unknowable (an unread body would parse as the next
+                // head), so the connection always closes.
+                respond_plain(stream, e.status, e.reason, &e.message, false);
+                return;
+            }
+        };
+        state.counters.requests.fetch_add(1, Ordering::SeqCst);
+        let keep = request.keep_alive
+            && served < MAX_KEEPALIVE_REQUESTS
+            && !state.shutdown.load(Ordering::SeqCst);
+        let usable = match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => respond_plain(stream, 200, "OK", "ok\n", keep),
+            ("GET", "/statz") => respond_statz(stream, state, keep),
+            ("POST", "/run") => match state.governor.admit(peer) {
+                Ok(_admission) => respond_run(stream, &request, state, keep),
+                Err(retry_after) => {
+                    state.counters.rate_limited.fetch_add(1, Ordering::SeqCst);
+                    respond_rate_limited(stream, retry_after, keep)
+                }
+            },
+            ("GET" | "POST", _) => respond_plain(
+                stream,
+                404,
+                "Not Found",
+                "no such endpoint (POST /run, GET /healthz, GET /statz)\n",
+                keep,
+            ),
+            _ => respond_plain(
+                stream,
+                405,
+                "Method Not Allowed",
+                "only POST /run, GET /healthz and GET /statz are served\n",
+                keep,
+            ),
+        };
+        if !keep || !usable {
+            return;
+        }
+    }
 }
 
 /// One parsed request.
@@ -120,6 +556,11 @@ struct Request {
     method: String,
     path: String,
     body: Vec<u8>,
+    /// The client's keep-alive wish: `Connection` header if present,
+    /// otherwise the HTTP-version default (1.1 keeps, 1.0 closes).
+    keep_alive: bool,
+    /// `Accept: application/json` selects the JSON-lines encoding.
+    accept_json: bool,
 }
 
 /// An error that maps onto an HTTP status response.
@@ -140,42 +581,28 @@ impl HttpError {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, engine_threads: usize) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let request = match read_request(&mut stream) {
-        Ok(r) => r,
-        Err(e) => {
-            respond_plain(&mut stream, e.status, e.reason, &e.message);
-            return;
-        }
-    };
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => respond_plain(&mut stream, 200, "OK", "ok\n"),
-        ("POST", "/run") => respond_run(&mut stream, &request.body, engine_threads),
-        ("GET" | "POST", _) => respond_plain(
-            &mut stream,
-            404,
-            "Not Found",
-            "no such endpoint (POST /run, GET /healthz)\n",
-        ),
-        _ => respond_plain(
-            &mut stream,
-            405,
-            "Method Not Allowed",
-            "only POST /run and GET /healthz are served\n",
-        ),
-    }
-}
-
 /// Reads and parses one HTTP/1.1 request (head, then a `Content-Length`
 /// body for POST, honoring `Expect: 100-continue` the way curl sends it).
-fn read_request<S: Read + Write>(stream: &mut S) -> Result<Request, HttpError> {
+///
+/// `buf` persists across calls on one connection: bytes past the parsed
+/// request (the next pipelined request) stay buffered for the next call.
+/// `Ok(None)` means the client closed (or went idle past the timeout)
+/// *between* requests — a normal end of a keep-alive conversation, not an
+/// error.
+fn read_request<S: Read + Write>(
+    stream: &mut S,
+    buf: &mut Vec<u8>,
+) -> Result<Option<Request>, HttpError> {
     let io_err = |e: io::Error| HttpError::bad_request(format!("request read failed: {e}\n"));
-    let mut buf = Vec::new();
+    let is_timeout = |e: &io::Error| {
+        matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    };
     let mut tmp = [0u8; 4096];
     let head_end = loop {
-        if let Some(pos) = find_subslice(&buf, b"\r\n\r\n") {
+        if let Some(pos) = find_subslice(buf, b"\r\n\r\n") {
             break pos;
         }
         if buf.len() > MAX_HEAD_BYTES {
@@ -185,11 +612,22 @@ fn read_request<S: Read + Write>(stream: &mut S) -> Result<Request, HttpError> {
                 message: format!("request heads are capped at {MAX_HEAD_BYTES} bytes\n"),
             });
         }
-        let n = stream.read(&mut tmp).map_err(io_err)?;
-        if n == 0 {
-            return Err(HttpError::bad_request("truncated request head\n"));
+        match stream.read(&mut tmp) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::bad_request("truncated request head\n"));
+            }
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) if is_timeout(&e) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::bad_request("timed out mid-request head\n"));
+            }
+            Err(e) => return Err(io_err(e)),
         }
-        buf.extend_from_slice(&tmp[..n]);
     };
 
     let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
@@ -209,23 +647,38 @@ fn read_request<S: Read + Write>(stream: &mut S) -> Result<Request, HttpError> {
     }
     let mut content_length: Option<usize> = None;
     let mut expect_continue = false;
+    let mut connection: Option<String> = None;
+    let mut accept_json = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
+        let name = name.trim();
         let value = value.trim();
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        if name.eq_ignore_ascii_case("content-length") {
             content_length = Some(value.parse().map_err(|_| {
                 HttpError::bad_request(format!("invalid Content-Length {value:?}\n"))
             })?);
-        } else if name.trim().eq_ignore_ascii_case("expect")
-            && value.eq_ignore_ascii_case("100-continue")
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
         {
             expect_continue = true;
+        } else if name.eq_ignore_ascii_case("connection") {
+            connection = Some(value.to_ascii_lowercase());
+        } else if name.eq_ignore_ascii_case("accept") {
+            accept_json = value.to_ascii_lowercase().contains("application/json");
         }
     }
+    let keep_alive = match connection.as_deref() {
+        Some(value) if value.contains("close") => false,
+        Some(value) if value.contains("keep-alive") => true,
+        _ => version == "HTTP/1.1",
+    };
 
-    let mut body = buf[head_end + 4..].to_vec();
+    // Everything past the head stays in `buf` (body, then any pipelined
+    // next request).
+    let after_head = buf.split_off(head_end + 4);
+    *buf = after_head;
+    let mut body = Vec::new();
     if method == "POST" {
         let length = content_length.ok_or(HttpError {
             status: 411,
@@ -239,27 +692,33 @@ fn read_request<S: Read + Write>(stream: &mut S) -> Result<Request, HttpError> {
                 message: format!("scenario documents are capped at {MAX_BODY_BYTES} bytes\n"),
             });
         }
-        if expect_continue && body.len() < length {
+        if expect_continue && buf.len() < length {
             // curl holds bodies over ~1 KiB until the interim response.
             stream
                 .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
                 .map_err(io_err)?;
             stream.flush().map_err(io_err)?;
         }
-        while body.len() < length {
-            let n = stream.read(&mut tmp).map_err(io_err)?;
-            if n == 0 {
-                return Err(HttpError::bad_request("truncated request body\n"));
+        while buf.len() < length {
+            match stream.read(&mut tmp) {
+                Ok(0) => return Err(HttpError::bad_request("truncated request body\n")),
+                Ok(n) => buf.extend_from_slice(&tmp[..n]),
+                Err(e) if is_timeout(&e) => {
+                    return Err(HttpError::bad_request("timed out mid-request body\n"));
+                }
+                Err(e) => return Err(io_err(e)),
             }
-            body.extend_from_slice(&tmp[..n]);
         }
-        body.truncate(length);
+        let after_body = buf.split_off(length);
+        body = std::mem::replace(buf, after_body);
     }
-    Ok(Request {
+    Ok(Some(Request {
         method: method.to_string(),
         path: path.to_string(),
         body,
-    })
+        keep_alive,
+        accept_json,
+    }))
 }
 
 /// First index of `needle` in `haystack`.
@@ -267,75 +726,198 @@ fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     haystack.windows(needle.len()).position(|w| w == needle)
 }
 
-/// Writes a complete fixed-length plain-text response.
-fn respond_plain<S: Write>(stream: &mut S, status: u16, reason: &str, body: &str) {
+// --- Responses ------------------------------------------------------------
+
+/// Writes a complete fixed-length response. Returns whether the
+/// connection is still usable (all bytes written).
+fn respond_head_body<S: Write>(
+    stream: &mut S,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &str,
+    body: &str,
+    keep: bool,
+) -> bool {
+    let connection = if keep { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain; charset=utf-8\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\n{extra_headers}Connection: {connection}\r\n\r\n",
         body.len()
     );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
-    let _ = stream.flush();
+    stream.write_all(head.as_bytes()).is_ok()
+        && stream.write_all(body.as_bytes()).is_ok()
+        && stream.flush().is_ok()
 }
 
-/// Parses, runs and chunk-streams one scenario document.
-fn respond_run<S: Write>(stream: &mut S, body: &[u8], engine_threads: usize) {
-    let Ok(text) = std::str::from_utf8(body) else {
-        respond_plain(
+/// Writes a complete fixed-length plain-text response.
+fn respond_plain<S: Write>(
+    stream: &mut S,
+    status: u16,
+    reason: &str,
+    body: &str,
+    keep: bool,
+) -> bool {
+    respond_head_body(
+        stream,
+        status,
+        reason,
+        "text/plain; charset=utf-8",
+        "",
+        body,
+        keep,
+    )
+}
+
+/// `429` with the mandated `Retry-After` header.
+fn respond_rate_limited<S: Write>(stream: &mut S, retry_after: u64, keep: bool) -> bool {
+    respond_head_body(
+        stream,
+        429,
+        "Too Many Requests",
+        "text/plain; charset=utf-8",
+        &format!("Retry-After: {retry_after}\r\n"),
+        &format!("rate limit exceeded; retry in {retry_after}s\n"),
+        keep,
+    )
+}
+
+/// `GET /statz`: the serving counters as one JSON object.
+fn respond_statz<S: Write>(stream: &mut S, state: &ServerState, keep: bool) -> bool {
+    let results = state.results.stats();
+    let cores = state.cores.stats();
+    let body = format!(
+        concat!(
+            "{{\"requests_total\":{},\"rate_limited_total\":{},\"saturation_total\":{},",
+            "\"result_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{}}},",
+            "\"core_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{}}}}}\n"
+        ),
+        state.counters.requests.load(Ordering::SeqCst),
+        state.counters.rate_limited.load(Ordering::SeqCst),
+        state.counters.saturation.load(Ordering::SeqCst),
+        results.hits,
+        results.misses,
+        results.evictions,
+        results.entries,
+        cores.hits,
+        cores.misses,
+        cores.evictions,
+        cores.entries,
+    );
+    respond_head_body(
+        stream,
+        200,
+        "OK",
+        "application/json; charset=utf-8",
+        "",
+        &body,
+        keep,
+    )
+}
+
+/// Parses, runs (or replays from cache) and chunk-streams one scenario
+/// document. Returns whether the connection is still usable.
+fn respond_run<S: Write>(
+    stream: &mut S,
+    request: &Request,
+    state: &ServerState,
+    keep: bool,
+) -> bool {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return respond_plain(
             stream,
             400,
             "Bad Request",
             "scenario documents must be UTF-8\n",
+            keep,
         );
-        return;
     };
-    let scenario = match Scenario::from_toml(text) {
-        Ok(s) => s,
+    let doc = match parse_toml(text) {
+        Ok(doc) => doc,
         Err(e) => {
             // The diagnostic names the offending line and column.
-            respond_plain(
+            return respond_plain(
                 stream,
                 400,
                 "Bad Request",
                 &format!("scenario error: {e}\n"),
+                keep,
             );
-            return;
+        }
+    };
+    // Content addressing happens on the *parsed* document: formatting,
+    // comments and key order hit the cache; semantic changes miss it.
+    let digest = digest_document(&doc);
+    if let Some(run) = state.results.get(digest.bytes()) {
+        return stream_artifacts(stream, &run, request.accept_json, keep);
+    }
+    let scenario = match Scenario::from_doc(&doc) {
+        Ok(scenario) => scenario,
+        Err(e) => {
+            return respond_plain(
+                stream,
+                400,
+                "Bad Request",
+                &format!("scenario error: {e}\n"),
+                keep,
+            );
         }
     };
     if let Err(message) = check_served_grid_bound(&scenario) {
-        respond_plain(stream, 422, "Unprocessable Content", &message);
-        return;
+        return respond_plain(stream, 422, "Unprocessable Content", &message, keep);
     }
-    let run = match scenario.run(engine_threads) {
-        Ok(r) => r,
+    let tag = library_digest(&doc).bytes();
+    let run = match scenario.run_shared(state.engine_threads, &state.cores, tag) {
+        Ok(run) => Arc::new(run),
         Err(e) => {
-            respond_plain(
+            return respond_plain(
                 stream,
                 422,
                 "Unprocessable Content",
                 &format!("scenario error: {e}\n"),
+                keep,
             );
-            return;
         }
     };
+    state.results.put(digest.bytes(), Arc::clone(&run));
+    stream_artifacts(stream, &run, request.accept_json, keep)
+}
+
+/// Chunk-streams every artifact of a run in the chosen encoding. Returns
+/// whether the connection is still usable — a mid-stream write failure
+/// breaks the chunked framing, so the caller must close.
+fn stream_artifacts<S: Write>(stream: &mut S, run: &ScenarioRun, json: bool, keep: bool) -> bool {
+    let content_type = if json {
+        "application/jsonl; charset=utf-8"
+    } else {
+        "text/csv; charset=utf-8"
+    };
+    let connection = if keep { "keep-alive" } else { "close" };
     // All model work is done; from here on only serialization can fail,
     // and a dropped client simply truncates the chunk stream (the missing
     // terminal chunk marks the body incomplete).
-    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/csv; charset=utf-8\r\n\
-                Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\n\
+         Transfer-Encoding: chunked\r\nConnection: {connection}\r\n\r\n"
+    );
     if stream.write_all(head.as_bytes()).is_err() {
-        return;
+        return false;
     }
     let mut chunked = ChunkedWriter::new(stream);
-    let mut sink = IoSink::new(&mut chunked);
-    for artifact in run.artifacts() {
-        if artifact.write_csv_to(&mut sink).is_err() {
-            return;
+    {
+        let mut sink = IoSink::new(&mut chunked);
+        for artifact in run.artifacts() {
+            let written = if json {
+                artifact.write_jsonl_to(&mut sink)
+            } else {
+                artifact.write_csv_to(&mut sink)
+            };
+            if written.is_err() {
+                return false;
+            }
         }
     }
-    drop(sink);
-    let _ = chunked.finish();
+    chunked.finish().is_ok()
 }
 
 /// Rejects explore jobs whose grid exceeds [`MAX_SERVED_CELLS`]
@@ -428,6 +1010,7 @@ impl<W: Write> Write for ChunkedWriter<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::Ipv4Addr;
 
     /// An in-memory duplex stream: reads deliver the queued segments one
     /// `read` call each (so a body can arrive *after* the head, like on a
@@ -474,15 +1057,90 @@ mod tests {
         }
     }
 
+    fn state() -> ServerState {
+        ServerState::new(&ServeOptions::default())
+    }
+
+    fn parse_one(fake: &mut Fake) -> Request {
+        read_request(fake, &mut Vec::new()).unwrap().unwrap()
+    }
+
+    const TINY_SCENARIO: &str = concat!(
+        "name = \"t\"\n",
+        "[[yield]]\n",
+        "name = \"y\"\n",
+        "techs = [\"7nm\"]\n",
+        "areas_mm2 = [100]\n",
+    );
+
+    fn post(body: &str, extra_headers: &str) -> Vec<u8> {
+        format!(
+            "POST /run HTTP/1.1\r\nContent-Length: {}\r\n{extra_headers}\r\n{body}",
+            body.len()
+        )
+        .into_bytes()
+    }
+
+    /// Splits concatenated keep-alive responses on their status lines.
+    fn responses(output: &[u8]) -> Vec<String> {
+        let text = String::from_utf8_lossy(output);
+        let mut out: Vec<String> = Vec::new();
+        for line in text.split_inclusive("\r\n") {
+            if line.starts_with("HTTP/1.1 ") && !out.last().is_some_and(|r| r.is_empty()) {
+                out.push(String::new());
+            }
+            if out.is_empty() {
+                out.push(String::new());
+            }
+            if let Some(last) = out.last_mut() {
+                last.push_str(line);
+            }
+        }
+        out
+    }
+
     #[test]
     fn parses_a_post_with_body() {
         let mut fake =
             Fake::new(b"POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello");
-        let r = read_request(&mut fake).unwrap();
+        let r = parse_one(&mut fake);
         assert_eq!(r.method, "POST");
         assert_eq!(r.path, "/run");
         assert_eq!(r.body, b"hello");
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(!r.accept_json);
         assert!(fake.output.is_empty(), "no interim response without Expect");
+    }
+
+    #[test]
+    fn connection_and_accept_headers_steer_keep_alive_and_encoding() {
+        let mut fake = Fake::new(
+            b"POST /run HTTP/1.1\r\nContent-Length: 2\r\nConnection: close\r\n\
+              Accept: application/json\r\n\r\nok",
+        );
+        let r = parse_one(&mut fake);
+        assert!(!r.keep_alive);
+        assert!(r.accept_json);
+
+        let mut fake = Fake::new(b"GET /healthz HTTP/1.0\r\n\r\n");
+        assert!(!parse_one(&mut fake).keep_alive, "1.0 defaults to close");
+
+        let mut fake = Fake::new(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(parse_one(&mut fake).keep_alive);
+    }
+
+    #[test]
+    fn pipelined_requests_stay_buffered_for_the_next_read() {
+        let mut fake = Fake::new(
+            b"POST /run HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /healthz HTTP/1.1\r\n\r\n",
+        );
+        let mut buf = Vec::new();
+        let first = read_request(&mut fake, &mut buf).unwrap().unwrap();
+        assert_eq!(first.body, b"hello");
+        let second = read_request(&mut fake, &mut buf).unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert!(read_request(&mut fake, &mut buf).unwrap().is_none());
     }
 
     #[test]
@@ -493,14 +1151,14 @@ mod tests {
             b"POST /run HTTP/1.1\r\nContent-Length: 2\r\nExpect: 100-continue\r\n\r\n",
             b"ok",
         ]);
-        let r = read_request(&mut fake).unwrap();
+        let r = parse_one(&mut fake);
         assert_eq!(r.body, b"ok");
         assert_eq!(fake.output, b"HTTP/1.1 100 Continue\r\n\r\n");
 
         // A client that sent the body anyway gets no interim response.
         let mut eager =
             Fake::new(b"POST /run HTTP/1.1\r\nContent-Length: 2\r\nExpect: 100-continue\r\n\r\nok");
-        let r = read_request(&mut eager).unwrap();
+        let r = parse_one(&mut eager);
         assert_eq!(r.body, b"ok");
         assert!(eager.output.is_empty());
     }
@@ -508,15 +1166,15 @@ mod tests {
     #[test]
     fn missing_length_and_bad_request_lines_are_4xx() {
         let mut fake = Fake::new(b"POST /run HTTP/1.1\r\nHost: x\r\n\r\n");
-        let err = read_request(&mut fake).unwrap_err();
+        let err = read_request(&mut fake, &mut Vec::new()).unwrap_err();
         assert_eq!(err.status, 411);
 
         let mut fake = Fake::new(b"nonsense\r\n\r\n");
-        let err = read_request(&mut fake).unwrap_err();
+        let err = read_request(&mut fake, &mut Vec::new()).unwrap_err();
         assert_eq!(err.status, 400);
 
         let mut fake = Fake::new(b"GET / SPDY/9\r\n\r\n");
-        let err = read_request(&mut fake).unwrap_err();
+        let err = read_request(&mut fake, &mut Vec::new()).unwrap_err();
         assert_eq!(err.status, 400);
 
         let mut fake = Fake::new(
@@ -526,8 +1184,25 @@ mod tests {
             )
             .as_bytes(),
         );
-        let err = read_request(&mut fake).unwrap_err();
+        let err = read_request(&mut fake, &mut Vec::new()).unwrap_err();
         assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn oversized_request_heads_are_431() {
+        let huge = format!(
+            "GET /healthz HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "x".repeat(MAX_HEAD_BYTES * 2)
+        );
+        let mut fake = Fake::new(huge.as_bytes());
+        let err = read_request(&mut fake, &mut Vec::new()).unwrap_err();
+        assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn clean_eof_between_requests_is_not_an_error() {
+        let mut fake = Fake::new(b"");
+        assert!(read_request(&mut fake, &mut Vec::new()).unwrap().is_none());
     }
 
     #[test]
@@ -554,28 +1229,198 @@ mod tests {
         assert!(text.ends_with("4\r\ntail\r\n0\r\n\r\n"), "{text}");
     }
 
+    fn run_request(body: &[u8], json: bool) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: "/run".to_string(),
+            body: body.to_vec(),
+            keep_alive: false,
+            accept_json: json,
+        }
+    }
+
     #[test]
     fn respond_run_streams_csv_or_diagnoses() {
+        let state = state();
         let mut fake = Fake::new(b"");
-        respond_run(&mut fake, b"name = \"x\"\nquanttiy = 1\n", 1);
+        respond_run(
+            &mut fake,
+            &run_request(b"name = \"x\"\nquanttiy = 1\n", false),
+            &state,
+            false,
+        );
         let text = String::from_utf8_lossy(&fake.output);
         assert!(text.starts_with("HTTP/1.1 400 "), "{text}");
         assert!(text.contains("line 2, column 1"), "{text}");
 
         let mut fake = Fake::new(b"");
-        let scenario = concat!(
-            "name = \"t\"\n",
-            "[[yield]]\n",
-            "name = \"y\"\n",
-            "techs = [\"7nm\"]\n",
-            "areas_mm2 = [100]\n",
+        respond_run(
+            &mut fake,
+            &run_request(TINY_SCENARIO.as_bytes(), false),
+            &state,
+            false,
         );
-        respond_run(&mut fake, scenario.as_bytes(), 1);
         let text = String::from_utf8_lossy(&fake.output);
         assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
         assert!(text.contains("Transfer-Encoding: chunked"), "{text}");
+        assert!(text.contains("Content-Type: text/csv"), "{text}");
         assert!(text.contains("job,tech,area_mm2"), "{text}");
         assert!(text.ends_with("0\r\n\r\n"), "terminal chunk: {text}");
+    }
+
+    #[test]
+    fn accept_json_streams_jsonl_rows() {
+        let state = state();
+        let mut fake = Fake::new(b"");
+        respond_run(
+            &mut fake,
+            &run_request(TINY_SCENARIO.as_bytes(), true),
+            &state,
+            false,
+        );
+        let text = String::from_utf8_lossy(&fake.output);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("Content-Type: application/jsonl"), "{text}");
+        assert!(text.contains("{\"artifact\":"), "{text}");
+        assert!(text.contains("\"job\":\"y\""), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "terminal chunk: {text}");
+    }
+
+    #[test]
+    fn cache_hits_replay_byte_identical_bodies_in_both_encodings() {
+        let state = state();
+        // Cold miss, then a formatting-only variant (extra whitespace and
+        // a comment): same canonical digest, so the second answer comes
+        // from the cache and must be byte-identical.
+        let reformatted = format!("# a comment\n{}", TINY_SCENARIO.replace(" = ", "   =  "));
+        let mut cold = Fake::new(b"");
+        respond_run(
+            &mut cold,
+            &run_request(TINY_SCENARIO.as_bytes(), false),
+            &state,
+            false,
+        );
+        let mut hot = Fake::new(b"");
+        respond_run(
+            &mut hot,
+            &run_request(reformatted.as_bytes(), false),
+            &state,
+            false,
+        );
+        assert_eq!(cold.output, hot.output);
+
+        // The same cached run also serves the JSON-lines encoding.
+        let mut json = Fake::new(b"");
+        respond_run(
+            &mut json,
+            &run_request(TINY_SCENARIO.as_bytes(), true),
+            &state,
+            false,
+        );
+        assert!(
+            String::from_utf8_lossy(&json.output).contains("application/jsonl"),
+            "cache hits honor the requested encoding"
+        );
+
+        let stats = state.results.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn keep_alive_serves_two_requests_on_one_connection() {
+        let state = state();
+        let mut requests = post(TINY_SCENARIO, "");
+        requests.extend_from_slice(&post(TINY_SCENARIO, "Connection: close\r\n"));
+        let mut fake = Fake::new(&requests);
+        serve_connection(&mut fake, None, &state);
+        let replies = responses(&fake.output);
+        assert_eq!(replies.len(), 2, "{:?}", replies);
+        assert!(
+            replies[0].contains("Connection: keep-alive"),
+            "{}",
+            replies[0]
+        );
+        assert!(replies[1].contains("Connection: close"), "{}", replies[1]);
+        // Byte-identical bodies: same scenario, second served from cache.
+        let body = |r: &str| r.split_once("\r\n\r\n").map(|(_, b)| b.to_string());
+        assert_eq!(body(&replies[0]), {
+            let b = body(&replies[1]);
+            b.map(|b| b.replace("Connection: close", "Connection: keep-alive"))
+        });
+        assert_eq!(state.results.stats().hits, 1);
+    }
+
+    #[test]
+    fn rate_limit_answers_429_with_retry_after() {
+        let options = ServeOptions {
+            rate_limit: 1,
+            ..ServeOptions::default()
+        };
+        let state = ServerState::new(&options);
+        let peer = Some(IpAddr::V4(Ipv4Addr::LOCALHOST));
+
+        let mut requests = post(TINY_SCENARIO, "");
+        requests.extend_from_slice(&post(TINY_SCENARIO, ""));
+        let mut fake = Fake::new(&requests);
+        serve_connection(&mut fake, peer, &state);
+        let replies = responses(&fake.output);
+        assert_eq!(replies.len(), 2, "{:?}", replies);
+        assert!(replies[0].starts_with("HTTP/1.1 200 "), "{}", replies[0]);
+        assert!(replies[1].starts_with("HTTP/1.1 429 "), "{}", replies[1]);
+        assert!(replies[1].contains("Retry-After: 1"), "{}", replies[1]);
+        assert_eq!(state.counters.rate_limited.load(Ordering::SeqCst), 1);
+
+        // /healthz and /statz stay exempt.
+        let mut fake = Fake::new(b"GET /healthz HTTP/1.1\r\n\r\n");
+        serve_connection(&mut fake, peer, &state);
+        assert!(String::from_utf8_lossy(&fake.output).starts_with("HTTP/1.1 200 "));
+    }
+
+    #[test]
+    fn concurrency_cap_releases_its_slot_after_each_request() {
+        let options = ServeOptions {
+            max_concurrent: 1,
+            ..ServeOptions::default()
+        };
+        let state = ServerState::new(&options);
+        let peer = Some(IpAddr::V4(Ipv4Addr::LOCALHOST));
+        // Sequential requests never trip a concurrency cap of 1 — the
+        // admission guard must release on drop.
+        for _ in 0..3 {
+            let admission = state.governor.admit(peer);
+            assert!(admission.is_ok());
+        }
+        // Holding one admission makes the next one bounce with retry 1s.
+        let held = state.governor.admit(peer);
+        assert!(held.is_ok());
+        let bounced = state.governor.admit(peer);
+        assert_eq!(bounced.err(), Some(1));
+    }
+
+    #[test]
+    fn statz_reports_counters_as_json() {
+        let state = state();
+        let mut fake = Fake::new(b"");
+        respond_run(
+            &mut fake,
+            &run_request(TINY_SCENARIO.as_bytes(), false),
+            &state,
+            false,
+        );
+        let mut fake = Fake::new(b"GET /statz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        serve_connection(&mut fake, None, &state);
+        let text = String::from_utf8_lossy(&fake.output);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("Content-Type: application/json"), "{text}");
+        assert!(text.contains("\"requests_total\":1"), "{text}");
+        assert!(
+            text.contains("\"result_cache\":{\"hits\":0,\"misses\":1"),
+            "{text}"
+        );
+        assert!(text.contains("\"core_cache\":"), "{text}");
+        assert!(text.contains("\"saturation_total\":0"), "{text}");
     }
 
     #[test]
@@ -599,8 +1444,14 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join(", "),
         );
+        let state = state();
         let mut fake = Fake::new(b"");
-        respond_run(&mut fake, scenario.as_bytes(), 1);
+        respond_run(
+            &mut fake,
+            &run_request(scenario.as_bytes(), false),
+            &state,
+            false,
+        );
         let text = String::from_utf8_lossy(&fake.output);
         assert!(text.starts_with("HTTP/1.1 422 "), "{text}");
         assert!(text.contains("capped at 1000000 cells"), "{text}");

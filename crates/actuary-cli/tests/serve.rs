@@ -1,11 +1,14 @@
 //! Integration tests of `actuary serve` against the real binary over real
 //! TCP: the streamed response must be byte-identical to the scenario
-//! subsystem's artifact CSV, diagnostics must carry line:column, and two
-//! concurrent clients must both be answered.
+//! subsystem's artifact output (in both encodings), keep-alive must reuse
+//! one connection, SIGTERM must drain in-flight requests, the result
+//! cache must replay byte-identically, and the rate limiter must answer
+//! `429` with `Retry-After`.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
+use std::time::Duration;
 
 /// A running `actuary serve` child on an ephemeral port, killed on drop.
 struct Server {
@@ -15,8 +18,13 @@ struct Server {
 
 impl Server {
     fn start() -> Server {
+        Server::start_with(&[])
+    }
+
+    fn start_with(extra: &[&str]) -> Server {
         let mut child = Command::new(env!("CARGO_BIN_EXE_actuary"))
             .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
             .spawn()
@@ -44,17 +52,7 @@ impl Server {
         stream.write_all(raw).expect("write request");
         let mut response = Vec::new();
         stream.read_to_end(&mut response).expect("read response");
-        let head_end = response
-            .windows(4)
-            .position(|w| w == b"\r\n\r\n")
-            .expect("response head");
-        let head = String::from_utf8_lossy(&response[..head_end]).into_owned();
-        let (status, headers) = head.split_once("\r\n").unwrap_or((head.as_str(), ""));
-        (
-            status.to_string(),
-            headers.to_string(),
-            response[head_end + 4..].to_vec(),
-        )
+        split_response(&response)
     }
 
     fn post_run(&self, body: &str) -> (String, String, Vec<u8>) {
@@ -73,6 +71,62 @@ impl Drop for Server {
         let _ = self.child.kill();
         let _ = self.child.wait();
     }
+}
+
+/// Splits one complete response into (status line, header block, raw
+/// body bytes).
+fn split_response(response: &[u8]) -> (String, String, Vec<u8>) {
+    let head_end = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head");
+    let head = String::from_utf8_lossy(&response[..head_end]).into_owned();
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head.as_str(), ""));
+    (
+        status.to_string(),
+        headers.to_string(),
+        response[head_end + 4..].to_vec(),
+    )
+}
+
+/// Reads exactly one response off a (possibly still-open) keep-alive
+/// connection: the head, then a chunked or `Content-Length`-framed body.
+/// Returns (status line, header block, *decoded* body bytes).
+fn read_response(reader: &mut impl BufRead) -> (String, String, Vec<u8>) {
+    let mut head = Vec::new();
+    while !head.ends_with(b"\r\n\r\n") {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte).expect("response head byte");
+        head.push(byte[0]);
+    }
+    let text = String::from_utf8_lossy(&head[..head.len() - 4]).into_owned();
+    let mut parts = text.splitn(2, "\r\n");
+    let status = parts.next().unwrap_or("").to_string();
+    let headers = parts.next().unwrap_or("").to_string();
+    let mut body = Vec::new();
+    if headers.contains("Transfer-Encoding: chunked") {
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("chunk size line");
+            let size = usize::from_str_radix(line.trim(), 16)
+                .unwrap_or_else(|_| panic!("bad chunk size {line:?}"));
+            let mut chunk = vec![0u8; size + 2];
+            reader.read_exact(&mut chunk).expect("chunk payload");
+            assert_eq!(&chunk[size..], b"\r\n", "chunk terminator");
+            if size == 0 {
+                break;
+            }
+            body.extend_from_slice(&chunk[..size]);
+        }
+    } else if let Some(length) = headers
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+    {
+        let length: usize = length.trim().parse().expect("Content-Length value");
+        body = vec![0u8; length];
+        reader.read_exact(&mut body).expect("fixed-length body");
+    }
+    (status, headers, body)
 }
 
 /// Decodes an HTTP/1.1 chunked body; panics on framing errors or a
@@ -106,6 +160,15 @@ fn fig8_toml() -> String {
     );
     std::fs::read_to_string(path).expect("the bundled fig8 scenario exists")
 }
+
+/// A scenario small enough that a request completes in milliseconds.
+const TINY_SCENARIO: &str = concat!(
+    "name = \"t\"\n",
+    "[[yield]]\n",
+    "name = \"y\"\n",
+    "techs = [\"7nm\"]\n",
+    "areas_mm2 = [100]\n",
+);
 
 #[test]
 fn healthz_answers_ok() {
@@ -144,6 +207,153 @@ fn posted_scenario_streams_the_exact_artifact_csv() {
 }
 
 #[test]
+fn accept_json_streams_the_jsonl_encoding() {
+    let server = Server::start();
+    let toml = fig8_toml();
+    let raw = format!(
+        "POST /run HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
+         Accept: application/json\r\nConnection: close\r\n\r\n{}",
+        server.addr,
+        toml.len(),
+        toml
+    );
+    let (status, headers, body) = server.request(raw.as_bytes());
+    assert_eq!(status, "HTTP/1.1 200 OK", "{headers}");
+    assert!(
+        headers.contains("Content-Type: application/jsonl"),
+        "{headers}"
+    );
+    let run = actuary_scenario::Scenario::from_toml(&toml)
+        .expect("fig8 parses")
+        .run(1)
+        .expect("fig8 runs");
+    let mut expected = String::new();
+    for artifact in run.artifacts() {
+        expected.push_str(&artifact.jsonl());
+    }
+    assert_eq!(dechunk(&body), expected.as_bytes());
+}
+
+#[test]
+fn keep_alive_serves_two_requests_on_one_connection() {
+    let server = Server::start();
+    let toml = fig8_toml();
+    let request = format!(
+        "POST /run HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n{}",
+        server.addr,
+        toml.len(),
+        toml
+    );
+    let mut stream = TcpStream::connect(&server.addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone the socket"));
+    stream.write_all(request.as_bytes()).expect("first request");
+    let (status1, headers1, body1) = read_response(&mut reader);
+    assert_eq!(status1, "HTTP/1.1 200 OK", "{headers1}");
+    assert!(headers1.contains("Connection: keep-alive"), "{headers1}");
+    // Same socket, second request: the replay (a cache hit) must be
+    // byte-identical to the cold answer.
+    stream
+        .write_all(request.as_bytes())
+        .expect("second request");
+    let (status2, headers2, body2) = read_response(&mut reader);
+    assert_eq!(status2, "HTTP/1.1 200 OK", "{headers2}");
+    assert_eq!(body1, body2, "keep-alive replay must be byte-identical");
+}
+
+#[test]
+fn repeated_scenarios_hit_the_cache_and_statz_reports_it() {
+    let server = Server::start();
+    let toml = fig8_toml();
+    let (status1, _, body1) = server.post_run(&toml);
+    let (status2, _, body2) = server.post_run(&toml);
+    assert_eq!(status1, "HTTP/1.1 200 OK");
+    assert_eq!(status2, "HTTP/1.1 200 OK");
+    assert_eq!(
+        dechunk(&body1),
+        dechunk(&body2),
+        "a cache hit must replay the cold bytes exactly"
+    );
+    let (status, headers, body) = server.request(
+        format!(
+            "GET /statz HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            server.addr
+        )
+        .as_bytes(),
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(
+        headers.contains("Content-Type: application/json"),
+        "{headers}"
+    );
+    let text = String::from_utf8_lossy(&body);
+    assert!(
+        text.contains("\"result_cache\":{\"hits\":1,\"misses\":1"),
+        "{text}"
+    );
+    // The statz request itself is the third counted request.
+    assert!(text.contains("\"requests_total\":3"), "{text}");
+    assert!(text.contains("\"core_cache\":"), "{text}");
+}
+
+#[test]
+fn rate_limited_clients_get_429_with_retry_after() {
+    let server = Server::start_with(&["--rate-limit", "1"]);
+    let mut saw_429 = false;
+    for _ in 0..5 {
+        let (status, headers, body) = server.post_run(TINY_SCENARIO);
+        if status.starts_with("HTTP/1.1 429 ") {
+            assert!(headers.contains("Retry-After: "), "{headers}");
+            assert!(
+                String::from_utf8_lossy(&body).contains("rate limit"),
+                "{body:?}"
+            );
+            saw_429 = true;
+            break;
+        }
+        assert_eq!(status, "HTTP/1.1 200 OK");
+    }
+    assert!(
+        saw_429,
+        "five back-to-back requests at --rate-limit 1 must trip the limiter"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_the_in_flight_request_then_exits_cleanly() {
+    let mut server = Server::start();
+    let toml = fig8_toml();
+    let request = format!(
+        "POST /run HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        server.addr,
+        toml.len(),
+        toml
+    );
+    let mut stream = TcpStream::connect(&server.addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("write request");
+    // Give the worker a moment to pick the request up, then ask the
+    // server to stop while the run is (most likely) still in flight.
+    std::thread::sleep(Duration::from_millis(50));
+    let killed = Command::new("kill")
+        .arg("-TERM")
+        .arg(server.child.id().to_string())
+        .status()
+        .expect("kill(1) exists on unix");
+    assert!(killed.success());
+    // The in-flight request must still be answered in full…
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let (status, _, body) = split_response(&response);
+    assert_eq!(status, "HTTP/1.1 200 OK", "drained response must complete");
+    // …with an intact terminal chunk (dechunk panics on truncation)…
+    let decoded = dechunk(&body);
+    assert!(!decoded.is_empty());
+    // …and the process must then exit cleanly on its own.
+    let exit = server.child.wait().expect("server exits after SIGTERM");
+    assert!(exit.success(), "graceful shutdown exits 0, got {exit:?}");
+}
+
+#[test]
 fn malformed_toml_is_a_400_with_the_line_and_column() {
     let server = Server::start();
     let (status, _, body) = server.post_run("name = \"bad\"\nquanttiy = 1\n");
@@ -154,7 +364,7 @@ fn malformed_toml_is_a_400_with_the_line_and_column() {
 }
 
 #[test]
-fn unknown_paths_are_404() {
+fn unknown_paths_are_404_and_unknown_methods_405() {
     let server = Server::start();
     let (status, _, body) = server.request(
         format!(
@@ -165,6 +375,15 @@ fn unknown_paths_are_404() {
     );
     assert_eq!(status, "HTTP/1.1 404 Not Found");
     assert!(String::from_utf8_lossy(&body).contains("POST /run"));
+
+    let (status, _, _) = server.request(
+        format!(
+            "PUT /run HTTP/1.1\r\nHost: {}\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+            server.addr
+        )
+        .as_bytes(),
+    );
+    assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
 }
 
 #[test]

@@ -27,6 +27,20 @@
 //!   stride-sampled subgrid and refining only around winner flips and
 //!   front membership changes instead of exhausting the grid.
 //!
+//! # Layer role
+//!
+//! This is the *engine layer*: it sits directly on the cost model
+//! (`actuary-cost`, `actuary-yield`, `actuary-tech`) and below the
+//! boundary crates — `actuary-scenario` lowers parsed documents into
+//! calls here, and `actuary-report` turns the typed results into bytes.
+//! Everything in this crate is deterministic by contract (ordered
+//! collections, no wall-clock, byte-identical results across thread
+//! counts) so the layers above can diff and cache its output.
+//! [`portfolio::SharedCoreCache`] is the piece built for long-running
+//! callers: it memoizes quantity-independent core evaluations across
+//! *separate* engine invocations, which is how the HTTP server reuses
+//! work between overlapping requests.
+//!
 //! # Examples
 //!
 //! ```

@@ -94,6 +94,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use serde::{Deserialize, Serialize};
 
@@ -465,6 +466,209 @@ pub enum CorePolicy {
     /// tested against; it exists so the byte-identity claim stays a
     /// mechanical assertion instead of an argument.
     Uncached,
+}
+
+/// Counters and occupancy of a [`SharedCoreCache`], read without blocking
+/// evaluations (the server surfaces them on `GET /statz`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreCacheStats {
+    /// Core lookups answered from the cache.
+    pub hits: u64,
+    /// Core lookups that required a fresh evaluation.
+    pub misses: u64,
+    /// Entries discarded to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A cross-call core cache: evaluated cores keyed by *everything an
+/// evaluation reads* — the caller-supplied library tag, the core spec
+/// (scheme, node, area, integration, chiplet key, flow, scheme
+/// parameters), and the space-level knobs the scheme actually consumes
+/// (SCMS multiplicities, package reuse). Two requests whose grids overlap
+/// share the expensive RE/NRE evaluations even when their spaces differ on
+/// axes a core never reads (quantities, extra nodes, other schemes).
+///
+/// The cache is LRU-bounded at `capacity` entries and safe to share across
+/// threads; recoverable per-cell infeasibilities are cached (they are
+/// results too), hard engine errors are not. Results are byte-identical to
+/// the uncached path because amortization always reruns per request —
+/// only the quantity-independent core is reused.
+pub struct SharedCoreCache {
+    capacity: usize,
+    inner: Mutex<SharedCacheInner>,
+}
+
+struct SharedCacheInner {
+    map: BTreeMap<SharedCoreKey, SharedCoreEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+struct SharedCoreEntry {
+    last_used: u64,
+    value: Arc<Result<CoreValue, String>>,
+}
+
+impl SharedCoreCache {
+    /// An empty cache holding at most `capacity` cores. A capacity of `0`
+    /// disables storage: every lookup misses and nothing is retained.
+    pub fn new(capacity: usize) -> Self {
+        SharedCoreCache {
+            capacity,
+            inner: Mutex::new(SharedCacheInner {
+                map: BTreeMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Lifetime hit/miss/eviction counters and current occupancy.
+    pub fn stats(&self) -> CoreCacheStats {
+        let inner = self.lock();
+        CoreCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+        }
+    }
+
+    /// The cache never holds the lock across an evaluation, so a panicking
+    /// evaluator cannot poison it; if a panic ever unwinds through a
+    /// counter update anyway, the plain-data state is still coherent.
+    fn lock(&self) -> MutexGuard<'_, SharedCacheInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Looks up every key, refreshing recency on hits. One call is one
+    /// recency tick: all cores of one request age together.
+    fn fetch(&self, keys: &[SharedCoreKey]) -> Vec<Option<Arc<Result<CoreValue, String>>>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(entry) = inner.map.get_mut(key) {
+                entry.last_used = tick;
+                hits += 1;
+                out.push(Some(Arc::clone(&entry.value)));
+            } else {
+                misses += 1;
+                out.push(None);
+            }
+        }
+        inner.hits += hits;
+        inner.misses += misses;
+        out
+    }
+
+    /// Inserts freshly evaluated cores, then evicts least-recently-used
+    /// entries until the capacity bound holds again.
+    fn store(&self, fresh: Vec<(SharedCoreKey, Arc<Result<CoreValue, String>>)>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        for (key, value) in fresh {
+            inner.map.insert(
+                key,
+                SharedCoreEntry {
+                    last_used: tick,
+                    value,
+                },
+            );
+        }
+        let mut evicted = 0u64;
+        while inner.map.len() > self.capacity {
+            // O(n) scan, deterministic tie-break (first minimum in key
+            // order). n is the capacity bound (small); no clock involved.
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key.clone());
+            match oldest {
+                Some(key) => {
+                    inner.map.remove(&key);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        inner.evictions += evicted;
+    }
+}
+
+impl fmt::Debug for SharedCoreCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedCoreCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Everything a core evaluation reads, flattened into an `Ord` key. Fields
+/// a scheme never consumes are normalized away (`fsmc` only matters to
+/// FSMC, the center node only to OCME, multiplicities only to SCMS,
+/// package reuse only to SCMS/OCME) so overlapping spaces hit as often as
+/// correctness allows — and never more.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SharedCoreKey {
+    tag: [u8; 32],
+    scheme: ReuseScheme,
+    node: String,
+    area_bits: u64,
+    integration: u8,
+    chiplets: u32,
+    flow: u8,
+    fsmc: Option<(u32, u32)>,
+    center_node: Option<String>,
+    scms_multiplicities: Vec<u32>,
+    package_reuse: bool,
+}
+
+fn shared_core_key(tag: &[u8; 32], space: &PortfolioSpace, spec: &CoreSpec<'_>) -> SharedCoreKey {
+    let (scms_multiplicities, package_reuse) = match spec.scheme {
+        ReuseScheme::Scms => (space.scms_multiplicities.clone(), space.package_reuse),
+        ReuseScheme::Ocme => (Vec::new(), space.package_reuse),
+        ReuseScheme::None | ReuseScheme::Fsmc => (Vec::new(), false),
+    };
+    SharedCoreKey {
+        tag: *tag,
+        scheme: spec.scheme,
+        node: spec.node.to_string(),
+        area_bits: spec.area.mm2().to_bits(),
+        integration: integration_rank(spec.integration),
+        chiplets: spec.chiplets,
+        flow: flow_rank(spec.flow),
+        fsmc: if spec.scheme == ReuseScheme::Fsmc {
+            spec.fsmc
+        } else {
+            None
+        },
+        center_node: if spec.scheme == ReuseScheme::Ocme {
+            spec.center_node.map(str::to_string)
+        } else {
+            None
+        },
+        scms_multiplicities,
+        package_reuse,
+    }
 }
 
 /// One evaluated portfolio-grid cell: its coordinates plus the outcome.
@@ -1376,6 +1580,51 @@ pub fn explore_portfolio_with(
     threads: usize,
     policy: CorePolicy,
 ) -> Result<PortfolioResult, ArchError> {
+    explore_portfolio_impl(lib, space, threads, policy, None)
+}
+
+/// Evaluates every cell of `space` with cores additionally reused *across
+/// calls* through `cache`. `tag` names the technology library the caller
+/// evaluated under (any collision-resistant fingerprint — the scenario
+/// layer uses its canonical library digest); cores computed under one tag
+/// are invisible to every other, so a cache can safely serve requests that
+/// carry different library overrides.
+///
+/// Output is byte-identical to [`explore_portfolio`] on the same inputs;
+/// only [`PortfolioResult::core_evaluations`] drops, to the number of
+/// cores the cache could not supply.
+///
+/// # Errors
+///
+/// See [`explore_portfolio_with`]. Hard errors are never cached.
+pub fn explore_portfolio_shared(
+    lib: &TechLibrary,
+    space: &PortfolioSpace,
+    threads: usize,
+    cache: &SharedCoreCache,
+    tag: [u8; 32],
+) -> Result<PortfolioResult, ArchError> {
+    explore_portfolio_impl(lib, space, threads, CorePolicy::Cached, Some((cache, tag)))
+}
+
+/// Maps recoverable per-cell failures (infeasible geometry, yield-model
+/// domain) into the per-cell `Err` channel and propagates everything else.
+fn soften(result: Result<CoreValue, ArchError>) -> Result<Result<CoreValue, String>, ArchError> {
+    match result {
+        Ok(value) => Ok(Ok(value)),
+        Err(ArchError::Model(e)) => Ok(Err(e.to_string())),
+        Err(ArchError::Yield(e)) => Ok(Err(e.to_string())),
+        Err(e) => Err(e),
+    }
+}
+
+fn explore_portfolio_impl(
+    lib: &TechLibrary,
+    space: &PortfolioSpace,
+    threads: usize,
+    policy: CorePolicy,
+    shared: Option<(&SharedCoreCache, [u8; 32])>,
+) -> Result<PortfolioResult, ArchError> {
     space.validate()?;
     for id in &space.nodes {
         lib.node(id).map_err(ArchError::Tech)?;
@@ -1462,19 +1711,52 @@ pub fn explore_portfolio_with(
 
     let threads = resolve_threads(threads, shape.len());
 
-    // --- Phase B: evaluate each distinct core once, in parallel. ---------
-    let core_results = run_chunked(&specs, threads, |_, spec| eval_core(lib, space, spec));
-    let mut cores: Vec<Result<CoreValue, String>> = Vec::with_capacity(core_results.len());
-    for result in core_results {
-        match result {
-            Ok(value) => cores.push(Ok(value)),
-            // Infeasible geometry: recorded per referencing cell.
-            Err(ArchError::Model(e)) => cores.push(Err(e.to_string())),
-            Err(ArchError::Yield(e)) => cores.push(Err(e.to_string())),
-            Err(e) => return Err(e),
+    // --- Phase B: evaluate each distinct core once, in parallel. With a
+    // shared cache, first serve whatever an earlier call (same library tag)
+    // already evaluated, and run only the misses. `core_evaluations`
+    // reports fresh work either way.
+    type SharedCore = Arc<Result<CoreValue, String>>;
+    let (cores, core_evaluations): (Vec<SharedCore>, usize) = match shared {
+        None => {
+            let core_results = run_chunked(&specs, threads, |_, spec| eval_core(lib, space, spec));
+            let mut cores = Vec::with_capacity(core_results.len());
+            for result in core_results {
+                cores.push(Arc::new(soften(result)?));
+            }
+            let evaluated = cores.len();
+            (cores, evaluated)
         }
-    }
-    let core_evaluations = cores.len();
+        Some((cache, tag)) => {
+            let keys: Vec<SharedCoreKey> = specs
+                .iter()
+                .map(|spec| shared_core_key(&tag, space, spec))
+                .collect();
+            let mut cores = cache.fetch(&keys);
+            let miss_indices: Vec<usize> = cores
+                .iter()
+                .enumerate()
+                .filter_map(|(i, cached)| cached.is_none().then_some(i))
+                .collect();
+            let miss_specs: Vec<CoreSpec<'_>> = miss_indices.iter().map(|&i| specs[i]).collect();
+            let miss_results =
+                run_chunked(&miss_specs, threads, |_, spec| eval_core(lib, space, spec));
+            let mut fresh = Vec::with_capacity(miss_indices.len());
+            for (&i, result) in miss_indices.iter().zip(miss_results) {
+                // A hard error aborts here, before `store` — it is never
+                // cached.
+                let value = Arc::new(soften(result)?);
+                cores[i] = Some(Arc::clone(&value));
+                fresh.push((keys[i].clone(), value));
+            }
+            let evaluated = fresh.len();
+            cache.store(fresh);
+            let cores = cores
+                .into_iter()
+                .map(|core| core.expect("every core is fetched or freshly evaluated"))
+                .collect();
+            (cores, evaluated)
+        }
+    };
 
     // --- Phase C: struct-of-arrays amortization, one contiguous pass per -
     // core. Every core owns the list of cells that read it; a worker walks
@@ -1488,7 +1770,7 @@ pub fn explore_portfolio_with(
     let outcome_groups: Vec<Vec<(usize, CellOutcome)>> =
         run_chunked(&by_core, threads, |core_idx, core_cells| {
             let mut out = Vec::with_capacity(core_cells.len());
-            match &cores[core_idx] {
+            match &*cores[core_idx] {
                 Err(reason) => {
                     for &j in core_cells {
                         out.push((j, CellOutcome::Infeasible(reason.clone())));
@@ -2144,5 +2426,110 @@ mod tests {
             assert_eq!(s.to_string(), s.label());
         }
         assert_eq!(ReuseScheme::Scms.to_string(), "scms");
+    }
+
+    /// All three artifact renderings of a result, for byte-identity checks.
+    fn render(result: &PortfolioResult) -> String {
+        format!(
+            "{}\n{}\n{}",
+            result.grid_artifact().csv(),
+            result.winners_artifact().csv(),
+            result.pareto_artifact().csv()
+        )
+    }
+
+    #[test]
+    fn shared_cache_is_byte_identical_and_skips_warm_cores() {
+        let lib = lib();
+        let space = small_space();
+        let reference = explore_portfolio(&lib, &space, 1).unwrap();
+
+        let cache = SharedCoreCache::new(1024);
+        let cold = explore_portfolio_shared(&lib, &space, 1, &cache, [7; 32]).unwrap();
+        assert_eq!(render(&cold), render(&reference));
+        assert_eq!(cold.core_evaluations(), reference.core_evaluations());
+
+        let warm = explore_portfolio_shared(&lib, &space, 1, &cache, [7; 32]).unwrap();
+        assert_eq!(render(&warm), render(&reference));
+        assert_eq!(
+            warm.core_evaluations(),
+            0,
+            "warm rerun re-evaluates nothing"
+        );
+
+        let stats = cache.stats();
+        assert_eq!(stats.misses, reference.core_evaluations() as u64);
+        assert_eq!(stats.hits, reference.core_evaluations() as u64);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.entries, reference.core_evaluations());
+    }
+
+    #[test]
+    fn shared_cache_reuses_overlapping_spaces() {
+        let lib = lib();
+        let cache = SharedCoreCache::new(1024);
+        let first = small_space();
+        explore_portfolio_shared(&lib, &first, 1, &cache, [0; 32]).unwrap();
+
+        // Same nodes/areas/schemes, different quantities and one new area:
+        // only the new area's cores need evaluating (quantity is not part
+        // of a core).
+        let second = PortfolioSpace {
+            areas_mm2: vec![200.0, 400.0, 800.0],
+            quantities: vec![100_000, 10_000_000],
+            ..small_space()
+        };
+        let overlapping = explore_portfolio_shared(&lib, &second, 1, &cache, [0; 32]).unwrap();
+        let from_scratch = explore_portfolio(&lib, &second, 1).unwrap();
+        assert_eq!(render(&overlapping), render(&from_scratch));
+        assert!(
+            overlapping.core_evaluations() < from_scratch.core_evaluations(),
+            "{} cores re-evaluated out of {}",
+            overlapping.core_evaluations(),
+            from_scratch.core_evaluations()
+        );
+        assert!(
+            overlapping.core_evaluations() > 0,
+            "the 400 mm² cores are new"
+        );
+    }
+
+    #[test]
+    fn shared_cache_isolates_library_tags() {
+        let lib = lib();
+        let space = small_space();
+        let cache = SharedCoreCache::new(1024);
+        let a = explore_portfolio_shared(&lib, &space, 1, &cache, [1; 32]).unwrap();
+        let b = explore_portfolio_shared(&lib, &space, 1, &cache, [2; 32]).unwrap();
+        assert_eq!(
+            a.core_evaluations(),
+            b.core_evaluations(),
+            "a different library tag must not hit the first tag's cores"
+        );
+    }
+
+    #[test]
+    fn shared_cache_honors_its_capacity_bound() {
+        let lib = lib();
+        let space = small_space();
+        let reference = explore_portfolio(&lib, &space, 1).unwrap();
+        assert!(reference.core_evaluations() > 4);
+
+        let cache = SharedCoreCache::new(4);
+        let result = explore_portfolio_shared(&lib, &space, 1, &cache, [0; 32]).unwrap();
+        assert_eq!(render(&result), render(&reference));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 4, "occupancy stays at the bound");
+        assert_eq!(
+            stats.evictions,
+            reference.core_evaluations() as u64 - 4,
+            "everything over the bound was evicted"
+        );
+
+        // Disabled cache: nothing retained, results still correct.
+        let off = SharedCoreCache::new(0);
+        let uncachable = explore_portfolio_shared(&lib, &space, 1, &off, [0; 32]).unwrap();
+        assert_eq!(render(&uncachable), render(&reference));
+        assert_eq!(off.stats().entries, 0);
     }
 }

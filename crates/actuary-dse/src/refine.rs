@@ -83,8 +83,8 @@ use crate::engine::resolve_threads;
 use crate::explore::{CellOutcome, ExploreResult, ExploreSpace};
 use crate::pareto::pareto_min_indices;
 use crate::portfolio::{
-    explore_portfolio, explore_portfolio_with, CellIdx, CorePolicy, GridShape, PortfolioResult,
-    PortfolioSpace,
+    explore_portfolio, explore_portfolio_shared, explore_portfolio_with, CellIdx, CorePolicy,
+    GridShape, PortfolioResult, PortfolioSpace, SharedCoreCache,
 };
 
 /// How an exploration request walks its grid.
@@ -159,10 +159,18 @@ struct Refiner<'a> {
     /// Pricing coverage per evaluated area index.
     coverage: BTreeMap<usize, Coverage>,
     core_evaluations: usize,
+    /// When present, every sub-run reuses cores through this cross-call
+    /// cache under the given library tag.
+    shared: Option<(&'a SharedCoreCache, [u8; 32])>,
 }
 
 impl<'a> Refiner<'a> {
-    fn new(lib: &'a TechLibrary, space: &'a PortfolioSpace, threads: usize) -> Self {
+    fn new(
+        lib: &'a TechLibrary,
+        space: &'a PortfolioSpace,
+        threads: usize,
+        shared: Option<(&'a SharedCoreCache, [u8; 32])>,
+    ) -> Self {
         let variants = space.scheme_variants();
         let scheme_pos = variants
             .iter()
@@ -183,6 +191,7 @@ impl<'a> Refiner<'a> {
             master: BTreeMap::new(),
             coverage: BTreeMap::new(),
             core_evaluations: 0,
+            shared,
         }
     }
 
@@ -228,7 +237,12 @@ impl<'a> Refiner<'a> {
             ocme_center_nodes: self.space.ocme_center_nodes.clone(),
             package_reuse: self.space.package_reuse,
         };
-        let result = explore_portfolio_with(self.lib, &sub, self.threads, CorePolicy::Cached)?;
+        let result = match self.shared {
+            Some((cache, tag)) => {
+                explore_portfolio_shared(self.lib, &sub, self.threads, cache, tag)?
+            }
+            None => explore_portfolio_with(self.lib, &sub, self.threads, CorePolicy::Cached)?,
+        };
         self.core_evaluations += result.core_evaluations();
         let sub_shape = result.shape();
         for (sub_i, outcome) in result.stored_entries() {
@@ -505,6 +519,35 @@ pub fn explore_portfolio_refined_with(
     threads: usize,
     stride: usize,
 ) -> Result<PortfolioResult, ArchError> {
+    explore_portfolio_refined_impl(lib, space, threads, stride, None)
+}
+
+/// [`explore_portfolio_refined`] with cores reused *across calls* through
+/// `cache` under the given library `tag` — the refinement twin of
+/// [`explore_portfolio_shared`]. Every coarse, bisection, fill and
+/// escalation sub-run consults the cache, so overlapping requests skip
+/// straight to amortization.
+///
+/// # Errors
+///
+/// See [`explore_portfolio_refined_with`].
+pub fn explore_portfolio_refined_shared(
+    lib: &TechLibrary,
+    space: &PortfolioSpace,
+    threads: usize,
+    cache: &SharedCoreCache,
+    tag: [u8; 32],
+) -> Result<PortfolioResult, ArchError> {
+    explore_portfolio_refined_impl(lib, space, threads, 0, Some((cache, tag)))
+}
+
+fn explore_portfolio_refined_impl(
+    lib: &TechLibrary,
+    space: &PortfolioSpace,
+    threads: usize,
+    stride: usize,
+    shared: Option<(&SharedCoreCache, [u8; 32])>,
+) -> Result<PortfolioResult, ArchError> {
     space.validate()?;
     for id in &space.nodes {
         lib.node(id).map_err(ArchError::Tech)?;
@@ -526,10 +569,13 @@ pub fn explore_portfolio_refined_with(
     };
     if stride <= 1 || areas <= 2 {
         // Nothing to skip: the coarse pass would already be exhaustive.
-        return explore_portfolio(lib, space, threads);
+        return match shared {
+            Some((cache, tag)) => explore_portfolio_shared(lib, space, threads, cache, tag),
+            None => explore_portfolio(lib, space, threads),
+        };
     }
 
-    let mut refiner = Refiner::new(lib, space, threads);
+    let mut refiner = Refiner::new(lib, space, threads, shared);
 
     // 1. Coarse pass: stride-sampled areas plus the axis endpoint, every
     //    configuration.
@@ -869,5 +915,38 @@ mod tests {
             refined.pareto_program_artifact().csv(),
             exhaustive.pareto_program_artifact().csv()
         );
+    }
+
+    #[test]
+    fn refined_shared_matches_refined_and_reuses_warm_cores() {
+        let lib = lib();
+        let space = ramp_space();
+        let reference = explore_portfolio_refined(&lib, &space, 2).unwrap();
+
+        let cache = SharedCoreCache::new(4096);
+        let cold = explore_portfolio_refined_shared(&lib, &space, 2, &cache, [9; 32]).unwrap();
+        assert_eq!(
+            cold.winners_artifact().csv(),
+            reference.winners_artifact().csv()
+        );
+        assert_eq!(
+            cold.pareto_artifact().csv(),
+            reference.pareto_artifact().csv()
+        );
+        // The cache also dedups *within* the run: escalation/fill sub-runs
+        // re-request cores a previous sub-run already priced, so the cold
+        // shared pass does at most — often fewer than — the uncached
+        // refined pass's evaluations.
+        assert!(cold.core_evaluations() > 0);
+        assert!(cold.core_evaluations() <= reference.core_evaluations());
+
+        // Warm rerun: refinement takes the same adaptive path, and every
+        // core it asks for is already resident.
+        let warm = explore_portfolio_refined_shared(&lib, &space, 2, &cache, [9; 32]).unwrap();
+        assert_eq!(
+            warm.winners_artifact().csv(),
+            reference.winners_artifact().csv()
+        );
+        assert_eq!(warm.core_evaluations(), 0);
     }
 }

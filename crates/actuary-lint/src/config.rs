@@ -103,6 +103,13 @@ pub const UNIT_SUFFIXES: &[&str] = &[
 /// columns must be declared somewhere in (non-test, library) source.
 pub const GOLDEN_DIR: &str = "examples/scenarios/golden";
 
+/// Workspace-relative directory holding the golden JSON-lines artifacts
+/// (the `Accept: application/json` serving encoding); the column names in
+/// their meta lines are held to the same declared-literal rule as CSV
+/// headers. A separate directory so `diff -r` over [`GOLDEN_DIR`] in the
+/// scenario smoke test keeps comparing only what `actuary run` emits.
+pub const GOLDEN_JSONL_DIR: &str = "examples/scenarios/golden-jsonl";
+
 /// True when `rel` (workspace-relative path) is under a compat shim —
 /// compat crates mirror external APIs and are exempt from project
 /// conventions.

@@ -17,7 +17,7 @@
 //! | `single-serializer` | no CSV serialization defined outside `actuary-units`/`actuary-report` |
 //! | `unit-suffix` | `pub` `f64` fields and scenario float keys end in a unit suffix (`_usd`, `_mm2`, …) |
 //! | `determinism` | no `SystemTime`/`Instant`/`HashMap`/`HashSet`, no float `==` against literals, in result-producing crates |
-//! | `golden-header` | every golden-CSV header column is declared in library source |
+//! | `golden-header` | every golden CSV header / JSON-lines meta column is declared in library source |
 //!
 //! A finding prints as `file:line: [check] message` and fails the run.
 //! To exempt one line, put `// lint:allow(check-name): reason` on the

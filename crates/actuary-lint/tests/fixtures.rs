@@ -141,13 +141,20 @@ fn golden_header_rejects_undeclared_columns() {
         "examples/scenarios/golden/drifted.csv",
         1,
     );
-    // Only the phantom column fires; declared_col is in the units crate.
+    // The JSON-lines golden's meta line is held to the same rule.
+    assert_fires(
+        &found,
+        "golden-header",
+        "examples/scenarios/golden-jsonl/drifted.jsonl",
+        1,
+    );
+    // Only the phantom columns fire; declared_col is in the units crate.
     let drift: Vec<&Finding> = found
         .iter()
         .filter(|f| f.check == "golden-header")
         .collect();
-    assert_eq!(drift.len(), 1, "{drift:?}");
-    assert!(drift[0].message.contains("phantom_col"));
+    assert_eq!(drift.len(), 2, "{drift:?}");
+    assert!(drift.iter().all(|f| f.message.contains("phantom")));
 }
 
 #[test]

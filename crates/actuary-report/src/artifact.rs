@@ -4,10 +4,13 @@
 //! tables, Pareto fronts, sweeps, scenario costs/yields, figure tables —
 //! is emitted as an [`Artifact`]: a named table (column schema + streaming
 //! row source + metadata) serialized by exactly one CSV writer,
-//! [`Artifact::write_csv_to`]. Sinks are anything `fmt::Write`; [`IoSink`]
-//! adapts files and sockets (`io::Write`), which is how `actuary explore
-//! --out`, `actuary run --out-dir` and the `actuary serve` HTTP responses
-//! all stream the same bytes.
+//! [`Artifact::write_csv_to`], with [`Artifact::write_jsonl_to`] as the
+//! second *sink* over the same row source (JSON lines for `Accept:
+//! application/json` clients — same cells, keyed by column name). Sinks
+//! are anything `fmt::Write`; [`IoSink`] adapts files and sockets
+//! (`io::Write`), which is how `actuary explore --out`, `actuary run
+//! --out-dir` and the `actuary serve` HTTP responses all stream the same
+//! bytes.
 //!
 //! Like the CSV primitives, the mechanics live in the base layer
 //! (`actuary-units`) so the DSE and scenario crates can produce artifacts

@@ -9,6 +9,20 @@
 //! terminal, diffed in CI, and pasted into `EXPERIMENTS.md` — replacing the
 //! original matplotlib pipeline.
 //!
+//! # Layer role
+//!
+//! In the workspace DAG this crate is the *output boundary*, one layer
+//! above the engines (`actuary-mc`, `actuary-dse`) and beside
+//! `actuary-scenario`: engines produce typed rows, and this crate is the
+//! only place those rows become bytes. The workspace's single-serializer
+//! invariant (enforced by `actuary-lint`) pins all row formatting here
+//! and in `actuary-units`: [`Artifact`] holds the typed rows once, and
+//! every encoding — CSV ([`Artifact::write_csv_to`]) and JSON lines
+//! ([`Artifact::write_jsonl_to`]) — is a *sink* over that same data, not
+//! a second serializer. That is what lets the CLI, the HTTP server and
+//! the committed goldens stay byte-identical by construction: there is
+//! exactly one formatter per value, reused everywhere.
+//!
 //! # Examples
 //!
 //! ```

@@ -1,0 +1,448 @@
+//! Content addressing for scenario documents: a canonical digest of the
+//! *parsed* TOML tree, not the request bytes.
+//!
+//! `actuary serve` keys its result cache on [`ScenarioDigest`], so two
+//! requests whose documents differ only in formatting — whitespace,
+//! comments, key order, `1_000` vs `1000`, `"a"` vs `'a'` — address the
+//! same cached run. The digest walks the parse tree ([`crate::toml`])
+//! rather than any lowered struct, which gives the cache its safety
+//! property for free: every key a future schema adds is part of the
+//! encoding automatically, so forgetting to update a hash implementation
+//! can only *under*-merge (a spurious miss), never over-merge (serving
+//! the wrong cached bytes).
+//!
+//! The canonical encoding is injective over parse trees: every value is
+//! type-tagged and length-prefixed, table entries are sorted by key
+//! (duplicates are a parse error, so sorting loses nothing), array and
+//! array-of-tables order is preserved (it is semantic), and source
+//! positions are excluded. The hash is SHA-256 (implemented here on `std`
+//! alone — the build environment has no registry access), so a shared
+//! cache cannot be poisoned by crafted collisions.
+
+use std::fmt;
+
+use crate::toml::{Table, Value};
+
+/// The SHA-256 digest of a scenario document's canonical encoding.
+///
+/// Ordered and hashable so it can key caches directly; [`fmt::Display`]
+/// renders lowercase hex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ScenarioDigest([u8; 32]);
+
+impl ScenarioDigest {
+    /// The raw digest bytes.
+    pub fn bytes(&self) -> [u8; 32] {
+        self.0
+    }
+}
+
+impl fmt::Display for ScenarioDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for byte in self.0 {
+            write!(f, "{byte:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Digests a parsed document (typically [`crate::toml::parse`]'s root
+/// table). Formatting never changes the digest; any semantic difference
+/// does.
+///
+/// # Examples
+///
+/// ```
+/// use actuary_scenario::canon::digest_document;
+/// use actuary_scenario::toml::parse;
+///
+/// let a = digest_document(&parse("x = 1_000\ny = \"s\"\n").unwrap());
+/// let b = digest_document(&parse("# same doc\ny = 's'\nx = 1000\n").unwrap());
+/// let c = digest_document(&parse("x = 1001\ny = \"s\"\n").unwrap());
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+pub fn digest_document(doc: &Table) -> ScenarioDigest {
+    digest_excluding(doc, &[])
+}
+
+/// Digests a parsed document with the named *top-level* entries excluded.
+///
+/// This is how the serving layer derives the cross-request core-cache tag:
+/// excluding the job tables and the display-only `name`/`description`
+/// leaves exactly the context that configures the tech library, so
+/// scenarios that share a library (but run different jobs) share evaluated
+/// cores. Exclusion is top-level only and opt-out — an unknown future key
+/// stays *in* the digest, which errs toward cache misses, never wrong
+/// hits.
+pub fn digest_excluding(doc: &Table, exclude_top_level: &[&str]) -> ScenarioDigest {
+    let mut hasher = sha256::Hasher::new();
+    encode_table(&mut hasher, doc, exclude_top_level);
+    ScenarioDigest(hasher.finish())
+}
+
+/// The top-level scenario keys that do not configure the tech library:
+/// the job tables plus the display-only document identity. Everything
+/// else (node tables, packaging, defaults — and any future library key)
+/// enters [`library_digest`].
+pub const NON_LIBRARY_KEYS: &[&str] = &[
+    "name",
+    "description",
+    "portfolio",
+    "yield",
+    "sweep",
+    "explore",
+];
+
+/// Digests the library-defining context of a document: everything except
+/// [`NON_LIBRARY_KEYS`]. Used as the tag under which evaluated
+/// `PortfolioCore`s may be shared across requests.
+pub fn library_digest(doc: &Table) -> ScenarioDigest {
+    digest_excluding(doc, NON_LIBRARY_KEYS)
+}
+
+// Type tags of the canonical encoding. Each encoded value is its tag
+// byte followed by a fixed-width or length-prefixed payload, so distinct
+// trees cannot collide by concatenation.
+const TAG_STR: u8 = b'S';
+const TAG_INT: u8 = b'I';
+const TAG_FLOAT: u8 = b'F';
+const TAG_BOOL: u8 = b'B';
+const TAG_ARRAY: u8 = b'A';
+const TAG_TABLE: u8 = b'T';
+const TAG_TABLES: u8 = b'V';
+
+fn encode_len(hasher: &mut sha256::Hasher, len: usize) {
+    hasher.update(&(len as u64).to_le_bytes());
+}
+
+fn encode_table(hasher: &mut sha256::Hasher, table: &Table, exclude: &[&str]) {
+    // Sort by key: `a=1` then `b=2` and the reverse are the same table
+    // (duplicate keys are a parse error, so keys are unique).
+    let mut entries: Vec<_> = table
+        .entries()
+        .iter()
+        .filter(|e| !exclude.contains(&e.key.as_str()))
+        .collect();
+    entries.sort_by(|a, b| a.key.cmp(&b.key));
+    hasher.update(&[TAG_TABLE]);
+    encode_len(hasher, entries.len());
+    for entry in entries {
+        encode_len(hasher, entry.key.len());
+        hasher.update(entry.key.as_bytes());
+        encode_value(hasher, &entry.value);
+    }
+}
+
+fn encode_value(hasher: &mut sha256::Hasher, value: &Value) {
+    match value {
+        Value::Str(s) => {
+            hasher.update(&[TAG_STR]);
+            encode_len(hasher, s.len());
+            hasher.update(s.as_bytes());
+        }
+        Value::Int(i) => {
+            hasher.update(&[TAG_INT]);
+            hasher.update(&i.to_le_bytes());
+        }
+        // Bit pattern, not text: `1e3` and `1000.0` parse to the same
+        // float and must digest identically. (`-0.0` differs from `0.0`
+        // by design — under-merging is the safe direction.)
+        Value::Float(f) => {
+            hasher.update(&[TAG_FLOAT]);
+            hasher.update(&f.to_bits().to_le_bytes());
+        }
+        Value::Bool(b) => {
+            hasher.update(&[TAG_BOOL, u8::from(*b)]);
+        }
+        // Element order is semantic (axes, member lists): preserved.
+        Value::Array(items) => {
+            hasher.update(&[TAG_ARRAY]);
+            encode_len(hasher, items.len());
+            for (item, _pos) in items {
+                encode_value(hasher, item);
+            }
+        }
+        Value::Table(t) => encode_table(hasher, t, &[]),
+        Value::Tables(tables) => {
+            hasher.update(&[TAG_TABLES]);
+            encode_len(hasher, tables.len());
+            for t in tables {
+                encode_table(hasher, t, &[]);
+            }
+        }
+    }
+}
+
+/// A minimal SHA-256 (FIPS 180-4) on `std` alone. The scenario crate
+/// parses untrusted input end to end, so like everything on this path the
+/// implementation is panic-free; the test module pins the FIPS vectors.
+mod sha256 {
+    /// Streaming SHA-256 state.
+    pub struct Hasher {
+        state: [u32; 8],
+        /// Unprocessed tail of the message, always < 64 bytes after
+        /// `update` returns.
+        buffer: Vec<u8>,
+        /// Total message length in bytes.
+        length: u64,
+    }
+
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+
+    impl Hasher {
+        pub fn new() -> Self {
+            Hasher {
+                state: [
+                    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c,
+                    0x1f83d9ab, 0x5be0cd19,
+                ],
+                buffer: Vec::with_capacity(64),
+                length: 0,
+            }
+        }
+
+        pub fn update(&mut self, data: &[u8]) {
+            self.length = self.length.wrapping_add(data.len() as u64);
+            self.buffer.extend_from_slice(data);
+            let mut offset = 0;
+            while self.buffer.len() - offset >= 64 {
+                let mut block = [0u8; 64];
+                block.copy_from_slice(&self.buffer[offset..offset + 64]);
+                self.compress(&block);
+                offset += 64;
+            }
+            self.buffer.drain(..offset);
+        }
+
+        pub fn finish(mut self) -> [u8; 32] {
+            let bit_length = self.length.wrapping_mul(8);
+            self.buffer.push(0x80);
+            while self.buffer.len() % 64 != 56 {
+                self.buffer.push(0);
+            }
+            let mut tail = std::mem::take(&mut self.buffer);
+            tail.extend_from_slice(&bit_length.to_be_bytes());
+            let mut chunks = tail.chunks_exact(64);
+            for chunk in &mut chunks {
+                let mut block = [0u8; 64];
+                block.copy_from_slice(chunk);
+                self.compress(&block);
+            }
+            let mut out = [0u8; 32];
+            for (slot, word) in out.chunks_exact_mut(4).zip(self.state) {
+                slot.copy_from_slice(&word.to_be_bytes());
+            }
+            out
+        }
+
+        fn compress(&mut self, block: &[u8; 64]) {
+            let mut w = [0u32; 64];
+            for (i, chunk) in block.chunks_exact(4).enumerate() {
+                // chunks_exact(4) yields 4-byte slices; the fallback arm
+                // is unreachable but keeps this path panic-free.
+                w[i] = match chunk {
+                    [a, b, c, d] => u32::from_be_bytes([*a, *b, *c, *d]),
+                    _ => 0,
+                };
+            }
+            for i in 16..64 {
+                let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+                let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+                w[i] = w[i - 16]
+                    .wrapping_add(s0)
+                    .wrapping_add(w[i - 7])
+                    .wrapping_add(s1);
+            }
+            let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+            for i in 0..64 {
+                let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+                let ch = (e & f) ^ (!e & g);
+                let t1 = h
+                    .wrapping_add(s1)
+                    .wrapping_add(ch)
+                    .wrapping_add(K[i])
+                    .wrapping_add(w[i]);
+                let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+                let maj = (a & b) ^ (a & c) ^ (b & c);
+                let t2 = s0.wrapping_add(maj);
+                h = g;
+                g = f;
+                f = e;
+                e = d.wrapping_add(t1);
+                d = c;
+                c = b;
+                b = a;
+                a = t1.wrapping_add(t2);
+            }
+            let worked = [a, b, c, d, e, f, g, h];
+            for (slot, word) in self.state.iter_mut().zip(worked) {
+                *slot = slot.wrapping_add(word);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn hex(bytes: &[u8]) -> String {
+            bytes.iter().map(|b| format!("{b:02x}")).collect()
+        }
+
+        fn digest(data: &[u8]) -> String {
+            let mut h = Hasher::new();
+            h.update(data);
+            hex(&h.finish())
+        }
+
+        #[test]
+        fn fips_180_4_vectors() {
+            assert_eq!(
+                digest(b""),
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+            );
+            assert_eq!(
+                digest(b"abc"),
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+            );
+            assert_eq!(
+                digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+            );
+            // One million 'a's: exercises many compress rounds and the
+            // length counter.
+            let million = vec![b'a'; 1_000_000];
+            assert_eq!(
+                digest(&million),
+                "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+            );
+        }
+
+        #[test]
+        fn streaming_matches_one_shot() {
+            let mut h = Hasher::new();
+            // Splits that straddle the 64-byte block boundary.
+            h.update(b"abcdbcdecdefdefgefghfghighijhijkijkl");
+            h.update(b"");
+            h.update(b"jklmklmnlmnomnopnopq");
+            assert_eq!(
+                hex(&h.finish()),
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toml::parse;
+
+    fn digest(input: &str) -> ScenarioDigest {
+        digest_document(&parse(input).expect(input))
+    }
+
+    #[test]
+    fn formatting_never_changes_the_digest() {
+        let canonical = digest("name = \"x\"\n[t]\na = 1000\nb = 2.0\n");
+        for same in [
+            // Comments, blank lines, spacing.
+            "# c\nname = \"x\"\n\n[t]\n  a   = 1000\nb = 2.0 # t\n",
+            // Key order within a table.
+            "name = \"x\"\n[t]\nb = 2.0\na = 1000\n",
+            // Integer separators, float spelling, string quoting.
+            "name = 'x'\n[t]\na = 1_000\nb = 2e0\n",
+        ] {
+            assert_eq!(digest(same), canonical, "{same:?}");
+        }
+    }
+
+    #[test]
+    fn semantic_differences_change_the_digest() {
+        let base = digest("a = 1\nb = [1, 2]\n");
+        for different in [
+            "a = 2\nb = [1, 2]\n",        // value
+            "a = \"1\"\nb = [1, 2]\n",    // type (int vs string)
+            "a = 1.0\nb = [1, 2]\n",      // type (int vs float)
+            "a = 1\nb = [2, 1]\n",        // array order is semantic
+            "a = 1\nb = [1, 2, 3]\n",     // array length
+            "c = 1\nb = [1, 2]\n",        // key name
+            "a = 1\nb = [1, 2]\nc = 0\n", // extra key
+        ] {
+            assert_ne!(digest(different), base, "{different:?}");
+        }
+    }
+
+    #[test]
+    fn nesting_is_unambiguous() {
+        // `[t] a=1` vs a top-level `t.a`-shaped string — distinct trees
+        // must never collide by concatenation tricks.
+        assert_ne!(digest("[t]\na = 1\n"), digest("t = \"a1\"\n"));
+        assert_ne!(digest("[[t]]\na = 1\n"), digest("[t]\na = 1\n"));
+        assert_ne!(digest("[t]\n"), digest("[u]\n"));
+    }
+
+    #[test]
+    fn array_of_tables_order_is_semantic() {
+        let ab = digest("[[j]]\nname = \"a\"\n[[j]]\nname = \"b\"\n");
+        let ba = digest("[[j]]\nname = \"b\"\n[[j]]\nname = \"a\"\n");
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn library_digest_ignores_jobs_and_identity() {
+        let doc_a = parse(concat!(
+            "name = \"a\"\n",
+            "description = \"first\"\n",
+            "[nodes.x]\n",
+            "wafer_price_usd = 1.0\n",
+            "[[yield]]\n",
+            "name = \"y\"\n",
+        ))
+        .unwrap();
+        let doc_b = parse(concat!(
+            "name = \"b\"\n",
+            "[nodes.x]\n",
+            "wafer_price_usd = 1.0\n",
+            "[explore]\n",
+            "nodes = [\"x\"]\n",
+        ))
+        .unwrap();
+        assert_eq!(library_digest(&doc_a), library_digest(&doc_b));
+        assert_ne!(digest_document(&doc_a), digest_document(&doc_b));
+
+        // A changed library key changes the tag.
+        let doc_c = parse("name = \"a\"\n[nodes.x]\nwafer_price_usd = 2.0\n").unwrap();
+        assert_ne!(library_digest(&doc_a), library_digest(&doc_c));
+    }
+
+    #[test]
+    fn exclusion_is_top_level_only() {
+        // A nested `name` key is NOT display identity; it must stay in
+        // the library digest.
+        let a = parse("[nodes.x]\nname = \"n1\"\n").unwrap();
+        let b = parse("[nodes.x]\nname = \"n2\"\n").unwrap();
+        assert_ne!(library_digest(&a), library_digest(&b));
+    }
+
+    #[test]
+    fn digest_displays_as_hex() {
+        let d = digest("a = 1\n");
+        let hex = d.to_string();
+        assert_eq!(hex.len(), 64);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(d.bytes().len(), 32);
+    }
+}

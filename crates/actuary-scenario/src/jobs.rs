@@ -11,9 +11,12 @@ use actuary_arch::reuse::{FsmcSpec, OcmeSpec, ScmsSpec};
 use actuary_arch::{ArchError, Chip, Module, Portfolio, System};
 use actuary_dse::optimizer::candidate_core;
 use actuary_dse::portfolio::{
-    explore_portfolio, parse_fsmc_situation, PortfolioResult, PortfolioSpace, ReuseScheme,
+    explore_portfolio, explore_portfolio_shared, parse_fsmc_situation, PortfolioResult,
+    PortfolioSpace, ReuseScheme, SharedCoreCache,
 };
-use actuary_dse::refine::{explore_portfolio_refined, ExploreMode};
+use actuary_dse::refine::{
+    explore_portfolio_refined, explore_portfolio_refined_shared, ExploreMode,
+};
 use actuary_dse::sweep::{sweep_area, sweep_quantity, Sweep};
 use actuary_model::{re_cost, AssemblyFlow, DiePlacement};
 use actuary_tech::{IntegrationKind, NodeId, TechLibrary};
@@ -409,7 +412,20 @@ impl Scenario {
     /// offending line and column.
     pub fn from_toml(input: &str) -> Result<Scenario, ScenarioError> {
         let doc = parse(input)?;
-        let mut root = View::new(&doc, "the scenario root");
+        Scenario::from_doc(&doc)
+    }
+
+    /// Lowers an already-parsed scenario document — the entry point for
+    /// callers that need the parsed tree for other purposes too, like the
+    /// server, which content-addresses requests by
+    /// [`crate::canon::digest_document`] over the same `doc` it lowers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Schema`] for schema violations, naming the
+    /// offending line and column.
+    pub fn from_doc(doc: &Table) -> Result<Scenario, ScenarioError> {
+        let mut root = View::new(doc, "the scenario root");
         let name = check_file_name(root.req_str("name")?, "scenario name")?;
         let description = root.opt_str("description")?.map(|s| s.value.to_string());
         let library = lower_library(&mut root)?;
@@ -465,6 +481,32 @@ impl Scenario {
     ///
     /// Returns [`ScenarioError::Engine`] naming the failing job.
     pub fn run(&self, threads: usize) -> Result<ScenarioRun, ScenarioError> {
+        self.run_impl(threads, None)
+    }
+
+    /// [`Scenario::run`] with explore-job cores reused *across runs*
+    /// through `cache`. `tag` must fingerprint the technology library this
+    /// scenario lowered — use [`crate::canon::library_digest`] over the
+    /// same document — so scenarios with different library overrides never
+    /// share cores. Output is byte-identical to [`Scenario::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::run`].
+    pub fn run_shared(
+        &self,
+        threads: usize,
+        cache: &SharedCoreCache,
+        tag: [u8; 32],
+    ) -> Result<ScenarioRun, ScenarioError> {
+        self.run_impl(threads, Some((cache, tag)))
+    }
+
+    fn run_impl(
+        &self,
+        threads: usize,
+        shared: Option<(&SharedCoreCache, [u8; 32])>,
+    ) -> Result<ScenarioRun, ScenarioError> {
         let mut run = ScenarioRun {
             name: self.name.clone(),
             cost_rows: Vec::new(),
@@ -511,12 +553,24 @@ impl Scenario {
                     });
                 }
                 Job::Explore(j) => {
-                    let result = match j.mode {
-                        ExploreMode::Exhaustive => {
+                    let result = match (j.mode, shared) {
+                        (ExploreMode::Exhaustive, None) => {
                             explore_portfolio(&self.library, &j.space, threads)
                         }
-                        ExploreMode::Refine => {
+                        (ExploreMode::Exhaustive, Some((cache, tag))) => {
+                            explore_portfolio_shared(&self.library, &j.space, threads, cache, tag)
+                        }
+                        (ExploreMode::Refine, None) => {
                             explore_portfolio_refined(&self.library, &j.space, threads)
+                        }
+                        (ExploreMode::Refine, Some((cache, tag))) => {
+                            explore_portfolio_refined_shared(
+                                &self.library,
+                                &j.space,
+                                threads,
+                                cache,
+                                tag,
+                            )
                         }
                     }
                     .map_err(|e| engine(&j.name, &e))?;

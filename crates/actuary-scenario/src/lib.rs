@@ -8,6 +8,20 @@
 //! lowered through a schema layer with line/column diagnostics, and
 //! executed through the existing `actuary-arch` / `actuary-dse` engines.
 //!
+//! # Layer role
+//!
+//! In the workspace's strict dependency DAG (`units → yield → tech →
+//! model → arch → {mc, dse} → {scenario, report} → figures → cli`), this
+//! crate is the *input boundary*: the only layer that parses untrusted
+//! text. Everything below it takes typed values; everything above it
+//! (`actuary-cli`'s `run` and `serve`) hands raw documents here and gets
+//! either a [`Scenario`] or a positioned [`ScenarioError`] back. That is
+//! why the whole crate is panic-free (machine-checked by `actuary-lint`)
+//! and why content addressing lives here too: [`canon`] digests the
+//! *parsed* tree ([`Scenario::from_doc`] runs on the same tree), so the
+//! serving layer can cache results by what a document means rather than
+//! how it is formatted.
+//!
 //! # File shape
 //!
 //! ```toml
@@ -73,13 +87,16 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
+pub mod canon;
 pub mod error;
 mod jobs;
 mod schema;
 mod tech;
 pub mod toml;
 
+pub use canon::ScenarioDigest;
 pub use error::ScenarioError;
 pub use jobs::{
     CostJob, CostRow, ExploreJob, ExploreOutput, ExploreRun, Job, Scenario, ScenarioRun, SweepAxis,

@@ -138,6 +138,133 @@ impl<'a> Artifact<'a> {
             .expect("writing to a String cannot fail");
         out
     }
+
+    /// Streams the artifact as JSON lines (NDJSON) into `out`: one
+    /// metadata object naming the table and its column schema, then one
+    /// object per row keyed by column name.
+    ///
+    /// This is the *second sink* over the same streaming row source, not a
+    /// second serializer family: emitters still describe their rows
+    /// exactly once, and both encodings render the identical cells. A cell
+    /// that is a valid JSON number literal is emitted verbatim as a bare
+    /// number (so `jq`-style consumers get real numbers with the CSV's
+    /// exact digits); every other cell becomes a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's [`fmt::Error`] (infallible for `String`; an
+    /// [`IoSink`] records the underlying [`io::Error`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use actuary_units::Artifact;
+    ///
+    /// let a = Artifact::new("demo", "grid", &["x", "label"], |emit| {
+    ///     emit(&["1.5".to_string(), "a,b".to_string()])
+    /// });
+    /// assert_eq!(
+    ///     a.jsonl(),
+    ///     "{\"artifact\":\"demo\",\"kind\":\"grid\",\"columns\":[\"x\",\"label\"]}\n\
+    ///      {\"x\":1.5,\"label\":\"a,b\"}\n"
+    /// );
+    /// ```
+    pub fn write_jsonl_to<W: fmt::Write + ?Sized>(self, out: &mut W) -> fmt::Result {
+        out.write_str("{\"artifact\":")?;
+        write_json_string(out, &self.name)?;
+        out.write_str(",\"kind\":")?;
+        write_json_string(out, self.kind)?;
+        out.write_str(",\"columns\":[")?;
+        for (i, column) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.write_str(",")?;
+            }
+            write_json_string(out, column)?;
+        }
+        out.write_str("]}\n")?;
+        let columns = self.columns;
+        (self.rows)(&mut |row: &[String]| {
+            out.write_str("{")?;
+            for (i, (column, cell)) in columns.iter().zip(row).enumerate() {
+                if i > 0 {
+                    out.write_str(",")?;
+                }
+                write_json_string(out, column)?;
+                out.write_str(":")?;
+                if is_json_number(cell) {
+                    out.write_str(cell)?;
+                } else {
+                    write_json_string(out, cell)?;
+                }
+            }
+            out.write_str("}\n")
+        })
+    }
+
+    /// Renders the artifact as a JSON-lines string (delegates to
+    /// [`Artifact::write_jsonl_to`]).
+    pub fn jsonl(self) -> String {
+        let mut out = String::new();
+        self.write_jsonl_to(&mut out)
+            .expect("writing to a String cannot fail");
+        out
+    }
+}
+
+/// Writes `s` as a JSON string literal, escaping per RFC 8259.
+fn write_json_string<W: fmt::Write + ?Sized>(out: &mut W, s: &str) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+/// Whether `s` is a valid JSON number literal per the RFC 8259 grammar
+/// (`-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`). Such cells are
+/// emitted verbatim as bare numbers — the digits the CSV encoding carries
+/// — so the check is strict: `007`, `1.`, `+1`, `NaN` and `inf` all fail
+/// and fall back to strings.
+fn is_json_number(s: &str) -> bool {
+    let mut rest = s.strip_prefix('-').unwrap_or(s).as_bytes();
+    // Integer part: `0` alone, or a non-zero digit followed by digits.
+    match rest {
+        [b'0', tail @ ..] => rest = tail,
+        [b'1'..=b'9', ..] => {
+            let digits = rest.iter().take_while(|b| b.is_ascii_digit()).count();
+            rest = &rest[digits..];
+        }
+        _ => return false,
+    }
+    // Optional fraction: `.` followed by one or more digits.
+    if let [b'.', tail @ ..] = rest {
+        let digits = tail.iter().take_while(|b| b.is_ascii_digit()).count();
+        if digits == 0 {
+            return false;
+        }
+        rest = &tail[digits..];
+    }
+    // Optional exponent: `e`/`E`, optional sign, one or more digits.
+    if let [b'e' | b'E', tail @ ..] = rest {
+        let tail = match tail {
+            [b'+' | b'-', t @ ..] => t,
+            t => t,
+        };
+        let digits = tail.iter().take_while(|b| b.is_ascii_digit()).count();
+        if digits == 0 {
+            return false;
+        }
+        rest = &tail[digits..];
+    }
+    rest.is_empty()
 }
 
 /// Adapts an [`io::Write`] sink to [`fmt::Write`] so artifacts can stream
@@ -242,6 +369,57 @@ mod tests {
             Ok(())
         });
         assert_eq!(a.csv(), "c\nr\n");
+    }
+
+    #[test]
+    fn jsonl_emits_meta_line_then_keyed_rows() {
+        assert_eq!(
+            sample().jsonl(),
+            concat!(
+                "{\"artifact\":\"t\",\"kind\":\"table\",\"columns\":[\"a\",\"b\"]}\n",
+                "{\"a\":1,\"b\":\"x,y\"}\n",
+                "{\"a\":2,\"b\":\"\"}\n",
+            )
+        );
+    }
+
+    #[test]
+    fn jsonl_escapes_strings_and_passes_numbers_verbatim() {
+        let a = Artifact::new("esc", "table", &["q\"c", "v"], |emit| {
+            emit(&["say \"hi\"\n".to_string(), "-12.5e3".to_string()])?;
+            emit(&["tab\there".to_string(), "007".to_string()])
+        });
+        assert_eq!(
+            a.jsonl(),
+            concat!(
+                "{\"artifact\":\"esc\",\"kind\":\"table\",\"columns\":[\"q\\\"c\",\"v\"]}\n",
+                "{\"q\\\"c\":\"say \\\"hi\\\"\\n\",\"v\":-12.5e3}\n",
+                "{\"q\\\"c\":\"tab\\there\",\"v\":\"007\"}\n",
+            )
+        );
+    }
+
+    #[test]
+    fn json_number_grammar_is_strict() {
+        for ok in [
+            "0", "-0", "7", "123", "1.5", "-0.25", "1e3", "2.5E-7", "9e+2",
+        ] {
+            assert!(is_json_number(ok), "{ok:?} must be a JSON number");
+        }
+        for bad in [
+            "", "-", "007", "1.", ".5", "+1", "1e", "1e+", "NaN", "inf", "0x10", "1_000", "1 ",
+        ] {
+            assert!(!is_json_number(bad), "{bad:?} must fall back to a string");
+        }
+    }
+
+    #[test]
+    fn jsonl_and_csv_render_the_same_cells() {
+        // The two sinks consume the same row source; every CSV cell must
+        // appear (escaped or verbatim) in the JSON-lines encoding.
+        let jsonl = sample().jsonl();
+        assert!(jsonl.contains("\"x,y\""), "{jsonl}");
+        assert!(jsonl.contains(":1,"), "{jsonl}");
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! Compares two `BENCH_explore.json` snapshots (see `bench_json.rs`) and
+//! Compares two benchmark snapshots — `BENCH_explore.json` (see
+//! `bench_json.rs`) or `BENCH_serve.json` (see `bench_serve.rs`) — and
 //! fails when throughput regressed — the CI perf trend gate.
 //!
 //! Usage: `bench_gate PREVIOUS.json CURRENT.json [max_ratio]`
 //!
 //! For every section present in both files, the gate checks its
 //! throughput keys — `cells_per_sec_*` for the grid sections,
-//! `rows_per_sec` for the artifact-streaming section: if the previous
+//! `rows_per_sec` for the artifact-streaming section, `requests_per_sec`
+//! for the serving sections: if the previous
 //! snapshot was more than `max_ratio` (default 2.0) times faster, the
 //! gate exits 1 listing the regressions. Shared-runner noise is well
 //! under 2×, so only genuine algorithmic regressions trip it. A missing or
@@ -17,7 +19,7 @@
 use std::process::ExitCode;
 
 /// The throughput keys the gate watches, per section.
-const SECTIONS: [(&str, &[&str]); 4] = [
+const SECTIONS: [(&str, &[&str]); 7] = [
     (
         "explore_default_grid",
         &["cells_per_sec_threads1", "cells_per_sec_threads_all"],
@@ -31,6 +33,11 @@ const SECTIONS: [(&str, &[&str]); 4] = [
         "refine_large_grid",
         &["cells_per_sec_exhaustive", "cells_per_sec_refine"],
     ),
+    // BENCH_serve.json sections (bench_serve.rs); a gate run over the
+    // explore snapshot skips them because they are missing on both sides.
+    ("serve_cold", &["requests_per_sec"]),
+    ("serve_hot", &["requests_per_sec"]),
+    ("serve_mixed", &["requests_per_sec"]),
 ];
 
 /// Extracts `"key": <number>` from the object literal following

@@ -1,0 +1,345 @@
+//! Load generator for `actuary serve` — emits the `BENCH_serve.json`
+//! snapshot CI uploads and gates (see `bench_gate.rs`).
+//!
+//! Three phases against a real server child over real TCP, all on
+//! keep-alive connections:
+//!
+//! * **cold** — distinct explore scenarios (unique area axes, so neither
+//!   the result cache nor the core cache can help), sequential;
+//! * **hot** — one scenario repeated, so every request after the warmup
+//!   is a content-addressed result-cache hit; each hot body is asserted
+//!   byte-identical to the cold (warmup) answer;
+//! * **mixed** — N concurrent clients, each posting 80% hot / 20% fresh
+//!   cold scenarios, the production-shaped workload; the phase's cache
+//!   hit rate comes from the `GET /statz` counter delta.
+//!
+//! The snapshot records requests/sec and p99 latency per phase. The run
+//! itself enforces the serving contract: it exits nonzero when the hot
+//! phase is not at least 5× the cold phase's requests/sec or when a hot
+//! body deviates from the cold bytes.
+//!
+//! The bench crate sits in the same workspace layer as the CLI, so it
+//! spawns the built binary instead of linking it: `$ACTUARY_BIN` when
+//! set, otherwise `target/release/actuary` (falling back to the debug
+//! build).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+const COLD_REQUESTS: usize = 12;
+const HOT_REQUESTS: usize = 60;
+const MIXED_CLIENTS: usize = 4;
+const MIXED_REQUESTS_PER_CLIENT: usize = 25;
+
+fn binary() -> PathBuf {
+    if let Ok(path) = std::env::var("ACTUARY_BIN") {
+        return PathBuf::from(path);
+    }
+    let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let release = root.join("target/release/actuary");
+    if release.exists() {
+        return release;
+    }
+    root.join("target/debug/actuary")
+}
+
+/// A running `actuary serve` child on an ephemeral port, killed on drop.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn start() -> Server {
+        let binary = binary();
+        assert!(
+            binary.exists(),
+            "no actuary binary at {binary:?}; build it (cargo build --release -p actuary-cli) \
+             or point $ACTUARY_BIN at one"
+        );
+        let mut child = Command::new(&binary)
+            .args(["serve", "--addr", "127.0.0.1:0", "--workers", "4"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap_or_else(|e| panic!("cannot spawn {binary:?}: {e}"));
+        let stdout = child.stdout.as_mut().expect("stdout is piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("the server must print its address");
+        let addr = line
+            .split("http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no address in {line:?}"))
+            .to_string();
+        Server { child, addr }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One keep-alive connection to the server.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    addr: String,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to the server");
+        // Without this the client's own Nagle stalls add ~40 ms per
+        // request, drowning the server-side numbers being measured.
+        stream.set_nodelay(true).expect("TCP_NODELAY");
+        let reader = BufReader::new(stream.try_clone().expect("clone the socket"));
+        Client {
+            stream,
+            reader,
+            addr: addr.to_string(),
+        }
+    }
+
+    /// POSTs a scenario on the persistent connection; returns (status
+    /// line, decoded body bytes).
+    fn post_run(&mut self, body: &str) -> (String, Vec<u8>) {
+        let request = format!(
+            "POST /run HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n{}",
+            self.addr,
+            body.len(),
+            body
+        );
+        self.stream
+            .write_all(request.as_bytes())
+            .expect("write request");
+        self.read_response()
+    }
+
+    fn get(&mut self, path: &str) -> (String, Vec<u8>) {
+        let request = format!("GET {path} HTTP/1.1\r\nHost: {}\r\n\r\n", self.addr);
+        self.stream
+            .write_all(request.as_bytes())
+            .expect("write request");
+        self.read_response()
+    }
+
+    /// Reads one response: the head, then a chunked or fixed-length body.
+    fn read_response(&mut self) -> (String, Vec<u8>) {
+        let mut head = Vec::new();
+        while !head.ends_with(b"\r\n\r\n") {
+            let mut byte = [0u8; 1];
+            self.reader.read_exact(&mut byte).expect("response head");
+            head.push(byte[0]);
+        }
+        let text = String::from_utf8_lossy(&head[..head.len() - 4]).into_owned();
+        let mut parts = text.splitn(2, "\r\n");
+        let status = parts.next().unwrap_or("").to_string();
+        let headers = parts.next().unwrap_or("").to_string();
+        let mut body = Vec::new();
+        if headers.contains("Transfer-Encoding: chunked") {
+            loop {
+                let mut line = String::new();
+                self.reader.read_line(&mut line).expect("chunk size line");
+                let size = usize::from_str_radix(line.trim(), 16)
+                    .unwrap_or_else(|_| panic!("bad chunk size {line:?}"));
+                let mut chunk = vec![0u8; size + 2];
+                self.reader.read_exact(&mut chunk).expect("chunk payload");
+                if size == 0 {
+                    break;
+                }
+                body.extend_from_slice(&chunk[..size]);
+            }
+        } else if let Some(length) = headers
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+        {
+            let length: usize = length.trim().parse().expect("Content-Length value");
+            body = vec![0u8; length];
+            self.reader.read_exact(&mut body).expect("body");
+        }
+        (status, body)
+    }
+}
+
+/// A scenario whose explore grid does real engine work and whose area
+/// axis is unique per `seed` — distinct canonical digest *and* distinct
+/// core-cache keys, so a fresh seed defeats both cache layers. The grid
+/// is core-heavy but row-light (one quantity), so a cold request is
+/// dominated by engine work, not by serializing the answer — the shape a
+/// result-cache hit can actually skip.
+fn scenario(seed: usize) -> String {
+    let areas: Vec<String> = (1..=50)
+        .map(|i| format!("{}.0", 100 + seed * 50 + i))
+        .collect();
+    format!(
+        concat!(
+            "name = \"load-{seed}\"\n",
+            "[explore]\n",
+            "nodes = [\"7nm\", \"5nm\"]\n",
+            "areas_mm2 = [{areas}]\n",
+            "quantities = [1000000]\n",
+            "integrations = [\"soc\", \"mcm\", \"2.5d\"]\n",
+            "chiplets = [1, 2, 3, 4, 5, 6, 7, 8]\n",
+        ),
+        seed = seed,
+        areas = areas.join(", "),
+    )
+}
+
+/// The repeated (hot) scenario; its seed never collides with a cold one.
+fn hot_scenario() -> String {
+    scenario(1_000_000)
+}
+
+/// p99 latency in milliseconds (max of the sample for small batches).
+fn p99_ms(latencies: &mut [f64]) -> f64 {
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((latencies.len() as f64) * 0.99).ceil() as usize;
+    latencies[idx.clamp(1, latencies.len()) - 1] * 1000.0
+}
+
+/// Extracts `"key": <integer>` from the flat object after `"section"` —
+/// the statz JSON is machine-written and flat per cache layer.
+fn statz_counter(json: &str, section: &str, key: &str) -> u64 {
+    let start = json
+        .find(&format!("\"{section}\""))
+        .unwrap_or_else(|| panic!("no {section} in {json}"));
+    let object = &json[start..];
+    let key_start = object
+        .find(&format!("\"{key}\""))
+        .unwrap_or_else(|| panic!("no {key} in {object}"));
+    let rest = &object[key_start..];
+    let colon = rest.find(':').expect("colon") + 1;
+    let digits: String = rest[colon..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().expect("counter value")
+}
+
+fn main() {
+    let server = Server::start();
+    let mut client = Client::connect(&server.addr);
+
+    // --- cold: every request defeats both caches -------------------------
+    let mut cold_latencies = Vec::with_capacity(COLD_REQUESTS);
+    let cold_start = Instant::now();
+    for seed in 0..COLD_REQUESTS {
+        let begin = Instant::now();
+        let (status, body) = client.post_run(&scenario(seed));
+        cold_latencies.push(begin.elapsed().as_secs_f64());
+        assert_eq!(status, "HTTP/1.1 200 OK", "cold request {seed}");
+        assert!(!body.is_empty(), "cold request {seed} returned no bytes");
+    }
+    let cold_secs = cold_start.elapsed().as_secs_f64();
+
+    // --- hot: one warmup miss, then pure result-cache hits ---------------
+    let hot = hot_scenario();
+    let (status, reference) = client.post_run(&hot);
+    assert_eq!(status, "HTTP/1.1 200 OK", "hot warmup");
+    let mut hot_latencies = Vec::with_capacity(HOT_REQUESTS);
+    let hot_start = Instant::now();
+    for i in 0..HOT_REQUESTS {
+        let begin = Instant::now();
+        let (status, body) = client.post_run(&hot);
+        hot_latencies.push(begin.elapsed().as_secs_f64());
+        assert_eq!(status, "HTTP/1.1 200 OK", "hot request {i}");
+        assert_eq!(
+            body, reference,
+            "hot request {i}: a cache hit must replay the cold bytes exactly"
+        );
+    }
+    let hot_secs = hot_start.elapsed().as_secs_f64();
+
+    // --- mixed: concurrent clients, 80% hot / 20% fresh cold -------------
+    let (_, statz) = client.get("/statz");
+    let before = String::from_utf8_lossy(&statz).into_owned();
+    let mut mixed_latencies: Vec<f64> = Vec::new();
+    let mixed_start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..MIXED_CLIENTS)
+            .map(|t| {
+                let (addr, hot, reference) = (&server.addr, &hot, &reference);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut latencies = Vec::with_capacity(MIXED_REQUESTS_PER_CLIENT);
+                    for k in 0..MIXED_REQUESTS_PER_CLIENT {
+                        // Every 5th request is a never-seen scenario.
+                        let cold = k % 5 == 4;
+                        let body = if cold {
+                            scenario(10_000 + t * 1_000 + k)
+                        } else {
+                            hot.clone()
+                        };
+                        let begin = Instant::now();
+                        let (status, answer) = client.post_run(&body);
+                        latencies.push(begin.elapsed().as_secs_f64());
+                        assert_eq!(status, "HTTP/1.1 200 OK", "mixed client {t} request {k}");
+                        if !cold {
+                            assert_eq!(
+                                &answer, reference,
+                                "mixed client {t} request {k}: hot bytes deviated"
+                            );
+                        }
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        for handle in handles {
+            mixed_latencies.extend(handle.join().expect("mixed client thread"));
+        }
+    });
+    let mixed_secs = mixed_start.elapsed().as_secs_f64();
+    let (_, statz) = client.get("/statz");
+    let after = String::from_utf8_lossy(&statz).into_owned();
+    let phase = |key| {
+        statz_counter(&after, "result_cache", key) - statz_counter(&before, "result_cache", key)
+    };
+    let (mixed_hits, mixed_misses) = (phase("hits"), phase("misses"));
+    let hit_rate = mixed_hits as f64 / (mixed_hits + mixed_misses).max(1) as f64;
+
+    let cold_rps = COLD_REQUESTS as f64 / cold_secs;
+    let hot_rps = HOT_REQUESTS as f64 / hot_secs;
+    let mixed_requests = MIXED_CLIENTS * MIXED_REQUESTS_PER_CLIENT;
+    let speedup = hot_rps / cold_rps;
+
+    println!("{{");
+    println!("  \"schema\": 1,");
+    println!(
+        "  \"serve_cold\": {{\n    \"requests\": {COLD_REQUESTS},\n    \
+         \"secs\": {cold_secs:.4},\n    \"requests_per_sec\": {cold_rps:.1},\n    \
+         \"p99_ms\": {:.2}\n  }},",
+        p99_ms(&mut cold_latencies),
+    );
+    println!(
+        "  \"serve_hot\": {{\n    \"requests\": {HOT_REQUESTS},\n    \
+         \"secs\": {hot_secs:.4},\n    \"requests_per_sec\": {hot_rps:.1},\n    \
+         \"p99_ms\": {:.2},\n    \"hot_over_cold_speedup\": {speedup:.1}\n  }},",
+        p99_ms(&mut hot_latencies),
+    );
+    println!(
+        "  \"serve_mixed\": {{\n    \"requests\": {mixed_requests},\n    \
+         \"clients\": {MIXED_CLIENTS},\n    \"secs\": {mixed_secs:.4},\n    \
+         \"requests_per_sec\": {:.1},\n    \"p99_ms\": {:.2},\n    \
+         \"cache_hit_rate\": {hit_rate:.3}\n  }}",
+        mixed_requests as f64 / mixed_secs,
+        p99_ms(&mut mixed_latencies),
+    );
+    println!("}}");
+
+    assert!(
+        speedup >= 5.0,
+        "the content-addressed cache must make hot requests at least 5x the cold \
+         requests/sec, measured {speedup:.1}x ({hot_rps:.1} vs {cold_rps:.1})"
+    );
+}

@@ -368,6 +368,47 @@ fn serialized_library_round_trips_to_byte_identical_exploration_csv() {
 }
 
 #[test]
+fn run_shared_is_byte_identical_and_reuses_cores_across_runs() {
+    use chiplet_actuary::dse::portfolio::SharedCoreCache;
+    use chiplet_actuary::scenario::canon::library_digest;
+    use chiplet_actuary::scenario::toml::parse;
+
+    let path = format!(
+        "{}/examples/scenarios/custom-node.toml",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = parse(&text).unwrap();
+    let scenario = Scenario::from_doc(&doc).unwrap();
+    let tag = library_digest(&doc).bytes();
+
+    let reference = scenario.run(2).unwrap();
+    let cache = SharedCoreCache::new(4096);
+    let cold = scenario.run_shared(2, &cache, tag).unwrap();
+    let warm = scenario.run_shared(2, &cache, tag).unwrap();
+
+    // Every artifact of every run renders byte-identically: the cache only
+    // short-circuits the quantity-independent core evaluations.
+    let render = |run: &ScenarioRun| -> Vec<String> {
+        run.artifacts().into_iter().map(|a| a.csv()).collect()
+    };
+    assert_eq!(render(&cold), render(&reference));
+    assert_eq!(render(&warm), render(&reference));
+
+    // The warm run answered every explore core from the cache.
+    for (c, w) in cold.explores.iter().zip(&warm.explores) {
+        assert!(c.result.core_evaluations() > 0);
+        assert_eq!(w.result.core_evaluations(), 0, "{}", w.name);
+    }
+
+    // A different library tag is invisible to the warm cores.
+    let other = scenario.run_shared(2, &cache, [0xAB; 32]).unwrap();
+    for (c, o) in cold.explores.iter().zip(&other.explores) {
+        assert_eq!(o.result.core_evaluations(), c.result.core_evaluations());
+    }
+}
+
+#[test]
 fn hetero_scenario_exposes_the_flow_comparison() {
     let run = run_scenario("hetero-portfolio.toml");
     let last = row(&run, "chip-last", "server-64c");
