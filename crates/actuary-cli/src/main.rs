@@ -41,6 +41,9 @@ use actuary_tech::{IntegrationKind, TechLibrary};
 use actuary_units::{Area, Quantity};
 
 fn main() -> ExitCode {
+    // `ACTUARY_LOG=debug` surfaces engine phase spans on any subcommand;
+    // `actuary serve` re-initializes from its own flags.
+    actuary_obs::log::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
@@ -84,6 +87,7 @@ fn usage() -> &'static str {
        serve [--addr HOST:PORT] [--threads T] [--workers W]\n\
              [--cache-entries N] [--core-cache N]\n\
              [--rate-limit R] [--max-concurrent C]\n\
+             [--log-level error|warn|info|debug|trace] [--log-format text|json]\n\
                                          long-running HTTP process: POST /run with a\n\
                                          scenario file, get its artifacts streamed\n\
                                          back as CSV (or JSON lines under\n\
@@ -92,9 +96,12 @@ fn usage() -> &'static str {
                                          (--cache-entries runs, --core-cache cores;\n\
                                          0 disables), limits each client to R req/s\n\
                                          and C concurrent runs (0 = off), serves\n\
-                                         counters on GET /statz, drains on SIGTERM\n\
+                                         counters on GET /statz and Prometheus text\n\
+                                         on GET /metricsz, logs one structured\n\
+                                         stderr event per request, drains on SIGTERM\n\
                                          (default addr 127.0.0.1:8080; see\n\
-                                         docs/http-api.md and docs/operations.md)\n\
+                                         docs/http-api.md, docs/operations.md and\n\
+                                         docs/observability.md)\n\
        mc    --node N --area MM2 [--chiplets K] [--integration KIND] [--systems S]\n\
        repro --figure 2|4|5|6|8|9|10|ext|all [--csv]\n\
        experiments                        paper-vs-measured Markdown record\n\
@@ -526,6 +533,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "core-cache",
             "rate-limit",
             "max-concurrent",
+            "log-level",
+            "log-format",
         ],
     )?;
     let defaults = server::ServeOptions::default();
@@ -546,6 +555,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         rate_limit: get_u64_or(&flags, "rate-limit", u64::from(defaults.rate_limit))? as u32,
         max_concurrent: get_u64_or(&flags, "max-concurrent", u64::from(defaults.max_concurrent))?
             as u32,
+        log_level: match flags.get("log-level") {
+            Some(raw) => actuary_obs::log::Level::parse(raw).ok_or_else(|| {
+                format!("invalid --log-level {raw:?} (error|warn|info|debug|trace)")
+            })?,
+            None => defaults.log_level,
+        },
+        log_format: match flags.get("log-format") {
+            Some(raw) => actuary_obs::log::Format::parse(raw)
+                .ok_or_else(|| format!("invalid --log-format {raw:?} (text|json)"))?,
+            None => defaults.log_format,
+        },
     };
     if options.workers == 0 {
         return Err("--workers must be at least 1".to_string());

@@ -11,6 +11,7 @@
 //! | `POST` | `/run`     | scenario TOML | `200`, chunked: every artifact of the run, in order — `text/csv` by default, JSON lines under `Accept: application/json` |
 //! | `GET`  | `/healthz` | —             | `200 ok` |
 //! | `GET`  | `/statz`   | —             | `200`, one JSON object of serving counters |
+//! | `GET`  | `/metricsz`| —             | `200`, Prometheus text exposition of the same registry |
 //!
 //! A served scenario goes through exactly the same `Scenario::run` +
 //! [`ScenarioRun::artifacts`](actuary_scenario::ScenarioRun::artifacts)
@@ -35,6 +36,22 @@
 //! keyed by the canonical digest of the library portion of the document.
 //! Hit/miss/eviction counters for both layers are served on `GET /statz`.
 //!
+//! # Observability
+//!
+//! Every instrument lives in one per-server [`actuary_obs::Registry`]:
+//! request counters, per-request latency/size histograms (labeled by
+//! method, route and status), and collector callbacks polling the two
+//! cache layers. `GET /metricsz` renders that registry (merged with the
+//! process-global one, where the engine's phase spans land) in
+//! Prometheus text exposition format, and `GET /statz` is a JSON view
+//! over the *same snapshot type* — the two endpoints cannot drift.
+//! Each served request also emits one `http.request` access-log event
+//! through [`actuary_obs::log`] (`--log-format text|json`,
+//! `--log-level`). Observability is off the result path: artifact
+//! bytes are asserted identical with metrics enabled (see the
+//! `serve_obs` integration test), and all log output goes to stderr —
+//! stdout stays reserved for the handshake.
+//!
 //! # Backpressure and shutdown
 //!
 //! Per-client-IP admission happens before any work: an optional token-
@@ -50,12 +67,16 @@
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use actuary_dse::portfolio::SharedCoreCache;
 use actuary_dse::refine::ExploreMode;
+use actuary_obs::clock::{self, Stopwatch, Tick};
+use actuary_obs::log::{self, Format, Level, RateLimited};
+use actuary_obs::metrics::{LATENCY_SECONDS, SIZE_BYTES};
+use actuary_obs::{expo, Counter, Registry};
 use actuary_report::IoSink;
 use actuary_scenario::canon::{digest_document, library_digest};
 use actuary_scenario::toml::parse as parse_toml;
@@ -107,6 +128,10 @@ pub struct ServeOptions {
     pub rate_limit: u32,
     /// Per-client-IP concurrent `/run` requests (`0` = unlimited).
     pub max_concurrent: u32,
+    /// Minimum severity of emitted log events.
+    pub log_level: Level,
+    /// Log line encoding, `text` or `json`.
+    pub log_format: Format,
 }
 
 impl Default for ServeOptions {
@@ -119,6 +144,8 @@ impl Default for ServeOptions {
             core_cache_entries: 4096,
             rate_limit: 0,
             max_concurrent: 0,
+            log_level: Level::Info,
+            log_format: Format::Text,
         }
     }
 }
@@ -132,6 +159,7 @@ impl Default for ServeOptions {
 /// handler cannot be registered; per-connection errors are answered over
 /// HTTP and never take the server down.
 pub fn serve(options: &ServeOptions) -> Result<(), String> {
+    log::init(options.log_level, options.log_format);
     let listener = TcpListener::bind(&options.addr)
         .map_err(|e| format!("cannot bind {:?}: {e}", options.addr))?;
     let local = listener
@@ -140,7 +168,7 @@ pub fn serve(options: &ServeOptions) -> Result<(), String> {
     // The address line is the startup handshake: tests (and scripts) bind
     // port 0 and read the chosen port from it, so flush before serving.
     println!(
-        "actuary serve: listening on http://{local} ({} worker(s); POST /run, GET /healthz, GET /statz)",
+        "actuary serve: listening on http://{local} ({} worker(s); POST /run, GET /healthz, GET /statz, GET /metricsz)",
         options.workers
     );
     io::stdout().flush().map_err(|e| e.to_string())?;
@@ -179,7 +207,14 @@ pub fn serve(options: &ServeOptions) -> Result<(), String> {
                         handle_connection(stream, &state);
                     }));
                     if caught.is_err() {
-                        eprintln!("actuary serve: a request handler panicked (connection dropped)");
+                        log::event(
+                            Level::Error,
+                            "serve.panic",
+                            &[(
+                                "note",
+                                "request handler panicked; connection dropped".into(),
+                            )],
+                        );
                     }
                 }
                 // Channel closed: the accept loop is shutting down and
@@ -189,14 +224,13 @@ pub fn serve(options: &ServeOptions) -> Result<(), String> {
         }));
     }
 
-    let mut last_saturation_note: Option<Instant> = None;
     while !state.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 // The accepted socket must block normally regardless of
                 // the listener's mode.
                 let _ = stream.set_nonblocking(false);
-                dispatch(stream, &tx, &state, &mut last_saturation_note);
+                dispatch(stream, &tx, &state);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(25));
@@ -218,64 +252,156 @@ pub fn serve(options: &ServeOptions) -> Result<(), String> {
     Ok(())
 }
 
-/// Hands one accepted connection to the worker pool, logging (at most one
-/// line per ~5 s) when the pool is saturated, then queueing anyway — the
-/// backpressure lands on the accept loop and the OS backlog, never on a
-/// dropped connection.
-fn dispatch(
-    stream: TcpStream,
-    tx: &mpsc::SyncSender<TcpStream>,
-    state: &ServerState,
-    last_note: &mut Option<Instant>,
-) {
+/// Hands one accepted connection to the worker pool, emitting a
+/// rate-limited (≤ 1 per ~5 s) `serve.saturated` log event when the pool
+/// is saturated, then queueing anyway — the backpressure lands on the
+/// accept loop and the OS backlog, never on a dropped connection.
+fn dispatch(stream: TcpStream, tx: &mpsc::SyncSender<TcpStream>, state: &ServerState) {
     match tx.try_send(stream) {
         Ok(()) => {}
         Err(mpsc::TrySendError::Full(stream)) => {
-            state.counters.saturation.fetch_add(1, Ordering::SeqCst);
-            let now = Instant::now();
-            let due = last_note.is_none_or(|at| now.duration_since(at) >= Duration::from_secs(5));
-            if due {
-                *last_note = Some(now);
-                eprintln!(
-                    "actuary serve: worker pool saturated, connection queued \
-                     (raise --workers if this persists)"
-                );
-            }
+            state.metrics.saturation.inc();
+            state.saturation_note.emit(
+                Level::Warn,
+                "serve.saturated",
+                &[
+                    ("saturated_total", state.metrics.saturation.get().into()),
+                    ("hint", "raise --workers if this persists".into()),
+                ],
+            );
             let _ = tx.send(stream);
         }
         Err(mpsc::TrySendError::Disconnected(_)) => {}
     }
 }
 
-/// Everything the workers share: caches, admission control, counters and
-/// the shutdown flag.
+/// Everything the workers share: caches, admission control, the metric
+/// registry and the shutdown flag.
 struct ServerState {
     engine_threads: usize,
-    results: ResultCache,
-    cores: SharedCoreCache,
+    results: Arc<ResultCache>,
+    cores: Arc<SharedCoreCache>,
     governor: Governor,
-    counters: Counters,
+    metrics: Metrics,
+    registry: Arc<Registry>,
+    saturation_note: RateLimited,
     shutdown: Arc<AtomicBool>,
+}
+
+/// The hot-path counters, resolved once at startup so serving a request
+/// never takes the registry lock for them.
+struct Metrics {
+    requests: Arc<Counter>,
+    rate_limited: Arc<Counter>,
+    saturation: Arc<Counter>,
 }
 
 impl ServerState {
     fn new(options: &ServeOptions) -> Self {
+        // One registry per server (not the process-global one): unit
+        // tests build many servers in one process and each must count
+        // from zero. The global registry — engine phase spans — is
+        // merged in at render time instead.
+        let registry = Arc::new(Registry::new());
+        let metrics = Metrics {
+            requests: registry.counter(
+                "actuary_http_requests_total",
+                "Requests parsed and routed, across all endpoints.",
+                &[],
+            ),
+            rate_limited: registry.counter(
+                "actuary_http_rate_limited_total",
+                "Requests answered 429 by the per-client admission governor.",
+                &[],
+            ),
+            saturation: registry.counter(
+                "actuary_worker_saturation_total",
+                "Accepted connections that found every worker busy and queued.",
+                &[],
+            ),
+        };
+        let results = Arc::new(ResultCache::new(options.result_cache_entries));
+        let cores = Arc::new(SharedCoreCache::new(options.core_cache_entries));
+        register_cache_metrics(&registry, &results, &cores);
         ServerState {
             engine_threads: options.engine_threads,
-            results: ResultCache::new(options.result_cache_entries),
-            cores: SharedCoreCache::new(options.core_cache_entries),
+            results,
+            cores,
             governor: Governor::new(options.rate_limit, options.max_concurrent),
-            counters: Counters::default(),
+            metrics,
+            registry,
+            saturation_note: RateLimited::new(5.0),
             shutdown: Arc::new(AtomicBool::new(false)),
         }
     }
 }
 
-#[derive(Default)]
-struct Counters {
-    requests: AtomicU64,
-    rate_limited: AtomicU64,
-    saturation: AtomicU64,
+/// A counter family entry: metric name, help text, and the reader
+/// plucking that counter out of a cache's stats struct.
+type CounterSpec<S> = (&'static str, &'static str, fn(&S) -> u64);
+
+/// Joins both cache layers to the registry via collector callbacks: the
+/// caches keep owning their counters, and every snapshot (so both
+/// `/statz` and `/metricsz`) polls the live values.
+fn register_cache_metrics(
+    registry: &Registry,
+    results: &Arc<ResultCache>,
+    cores: &Arc<SharedCoreCache>,
+) {
+    let result_counters: [CounterSpec<CacheCounters>; 3] = [
+        (
+            "actuary_result_cache_hits_total",
+            "Result-cache hits.",
+            |s| s.hits,
+        ),
+        (
+            "actuary_result_cache_misses_total",
+            "Result-cache misses.",
+            |s| s.misses,
+        ),
+        (
+            "actuary_result_cache_evictions_total",
+            "Result-cache LRU evictions.",
+            |s| s.evictions,
+        ),
+    ];
+    for (name, help, read) in result_counters {
+        let cache = Arc::clone(results);
+        registry.counter_fn(name, help, &[], move || read(&cache.stats()));
+    }
+    let entries = Arc::clone(results);
+    registry.gauge_fn(
+        "actuary_result_cache_entries",
+        "Cached runs resident in the result cache.",
+        &[],
+        move || entries.stats().entries as f64,
+    );
+    let core_counters: [CounterSpec<actuary_dse::portfolio::CoreCacheStats>; 3] = [
+        ("actuary_core_cache_hits_total", "Core-cache hits.", |s| {
+            s.hits
+        }),
+        (
+            "actuary_core_cache_misses_total",
+            "Core-cache misses.",
+            |s| s.misses,
+        ),
+        (
+            "actuary_core_cache_evictions_total",
+            "Core-cache LRU evictions.",
+            |s| s.evictions,
+        ),
+    ];
+    for (name, help, read) in core_counters {
+        let cache = Arc::clone(cores);
+        registry.counter_fn(name, help, &[], move || read(&cache.stats()));
+    }
+    let entries = Arc::clone(cores);
+    registry.gauge_fn(
+        "actuary_core_cache_entries",
+        "Core evaluations resident in the shared core cache.",
+        &[],
+        move || entries.stats().entries as f64,
+    );
 }
 
 /// Locks a mutex, surviving poisoning: every guarded structure here is
@@ -397,7 +523,7 @@ struct Governor {
 
 struct ClientBucket {
     tokens: f64,
-    refilled: Instant,
+    refilled: Tick,
     active: u32,
 }
 
@@ -450,7 +576,7 @@ impl Governor {
             // one second — bounded memory is worth that.
             clients.retain(|_, bucket| bucket.active > 0);
         }
-        let now = Instant::now();
+        let now = clock::now();
         let bucket = clients.entry(ip).or_insert_with(|| ClientBucket {
             tokens: f64::from(self.rate_limit.max(1)),
             refilled: now,
@@ -458,7 +584,7 @@ impl Governor {
         });
         if self.rate_limit > 0 {
             let rate = f64::from(self.rate_limit);
-            let elapsed = now.duration_since(bucket.refilled).as_secs_f64();
+            let elapsed = now.seconds_since(bucket.refilled);
             bucket.tokens = (bucket.tokens + elapsed * rate).min(rate);
             bucket.refilled = now;
             if bucket.tokens < 1.0 {
@@ -500,10 +626,16 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
 /// Generic over the stream so the unit tests drive it with an in-memory
 /// duplex.
 fn serve_connection<S: Read + Write>(stream: &mut S, peer: Option<IpAddr>, state: &ServerState) {
+    // Count response bytes at the stream boundary so every handler's
+    // output (heads, chunk framing, bodies) lands in one histogram.
+    let mut stream = Metered {
+        inner: stream,
+        written: 0,
+    };
     // Bytes read past the previous request (pipelining) wait here.
     let mut buf: Vec<u8> = Vec::new();
     for served in 1..=MAX_KEEPALIVE_REQUESTS {
-        let request = match read_request(stream, &mut buf) {
+        let request = match read_request(&mut stream, &mut buf) {
             Ok(Some(request)) => request,
             // Clean close or idle timeout between requests.
             Ok(None) => return,
@@ -511,42 +643,177 @@ fn serve_connection<S: Read + Write>(stream: &mut S, peer: Option<IpAddr>, state
                 // After a read-level error the stream position is
                 // unknowable (an unread body would parse as the next
                 // head), so the connection always closes.
-                respond_plain(stream, e.status, e.reason, &e.message, false);
+                respond_plain(&mut stream, e.status, e.reason, &e.message, false);
                 return;
             }
         };
-        state.counters.requests.fetch_add(1, Ordering::SeqCst);
+        // The stopwatch starts after the request is fully read: idle
+        // keep-alive time between requests is the client's, not ours.
+        let stopwatch = Stopwatch::start();
+        let written_before = stream.written;
+        state.metrics.requests.inc();
         let keep = request.keep_alive
             && served < MAX_KEEPALIVE_REQUESTS
             && !state.shutdown.load(Ordering::SeqCst);
-        let usable = match (request.method.as_str(), request.path.as_str()) {
-            ("GET", "/healthz") => respond_plain(stream, 200, "OK", "ok\n", keep),
-            ("GET", "/statz") => respond_statz(stream, state, keep),
+        let reply = match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                Reply::new(200, respond_plain(&mut stream, 200, "OK", "ok\n", keep))
+            }
+            ("GET", "/statz") => Reply::new(200, respond_statz(&mut stream, state, keep)),
+            ("GET", "/metricsz") => Reply::new(200, respond_metricsz(&mut stream, state, keep)),
             ("POST", "/run") => match state.governor.admit(peer) {
-                Ok(_admission) => respond_run(stream, &request, state, keep),
+                Ok(_admission) => respond_run(&mut stream, &request, state, keep),
                 Err(retry_after) => {
-                    state.counters.rate_limited.fetch_add(1, Ordering::SeqCst);
-                    respond_rate_limited(stream, retry_after, keep)
+                    state.metrics.rate_limited.inc();
+                    Reply::new(429, respond_rate_limited(&mut stream, retry_after, keep))
                 }
             },
-            ("GET" | "POST", _) => respond_plain(
-                stream,
+            ("GET" | "POST", _) => Reply::new(
                 404,
-                "Not Found",
-                "no such endpoint (POST /run, GET /healthz, GET /statz)\n",
-                keep,
+                respond_plain(
+                    &mut stream,
+                    404,
+                    "Not Found",
+                    "no such endpoint (POST /run, GET /healthz, GET /statz, GET /metricsz)\n",
+                    keep,
+                ),
             ),
-            _ => respond_plain(
-                stream,
+            _ => Reply::new(
                 405,
-                "Method Not Allowed",
-                "only POST /run, GET /healthz and GET /statz are served\n",
-                keep,
+                respond_plain(
+                    &mut stream,
+                    405,
+                    "Method Not Allowed",
+                    "only POST /run, GET /healthz, GET /statz and GET /metricsz are served\n",
+                    keep,
+                ),
             ),
         };
-        if !keep || !usable {
+        record_request(
+            state,
+            &request,
+            reply.status,
+            stopwatch.elapsed_seconds(),
+            stream.written - written_before,
+        );
+        if !keep || !reply.usable {
             return;
         }
+    }
+}
+
+/// What a handler reports back to the keep-alive loop: the status it
+/// answered (for metrics and the access log) and whether the connection
+/// is still usable.
+struct Reply {
+    status: u16,
+    usable: bool,
+}
+
+impl Reply {
+    fn new(status: u16, usable: bool) -> Reply {
+        Reply { status, usable }
+    }
+}
+
+/// Counts bytes written through to the inner stream; reads delegate.
+struct Metered<'a, S> {
+    inner: &'a mut S,
+    written: u64,
+}
+
+impl<S: Read> Read for Metered<'_, S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for Metered<'_, S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Bounded label values: anything a client can vary freely (paths,
+/// methods) collapses to `other` so metric cardinality stays fixed.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/run" => "/run",
+        "/healthz" => "/healthz",
+        "/statz" => "/statz",
+        "/metricsz" => "/metricsz",
+        _ => "other",
+    }
+}
+
+fn method_label(method: &str) -> &'static str {
+    match method {
+        "GET" => "GET",
+        "POST" => "POST",
+        _ => "other",
+    }
+}
+
+fn status_label(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        411 => "411",
+        413 => "413",
+        422 => "422",
+        429 => "429",
+        431 => "431",
+        _ => "other",
+    }
+}
+
+/// Records one served request into the latency and size histograms and
+/// emits its access-log event.
+fn record_request(state: &ServerState, request: &Request, status: u16, seconds: f64, bytes: u64) {
+    let method = method_label(&request.method);
+    let route = route_label(&request.path);
+    state
+        .registry
+        .histogram(
+            "actuary_http_request_seconds",
+            "Wall time from request fully read to response fully written.",
+            &[
+                ("method", method),
+                ("route", route),
+                ("status", status_label(status)),
+            ],
+            LATENCY_SECONDS,
+        )
+        .observe(seconds);
+    state
+        .registry
+        .histogram(
+            "actuary_http_response_bytes",
+            "Response size on the wire, including head and chunk framing.",
+            &[("route", route)],
+            SIZE_BYTES,
+        )
+        .observe(bytes as f64);
+    if log::enabled(Level::Info) {
+        log::event(
+            Level::Info,
+            "http.request",
+            &[
+                ("method", method.into()),
+                ("route", route.into()),
+                ("status", status.into()),
+                ("seconds", seconds.into()),
+                ("bytes", bytes.into()),
+            ],
+        );
     }
 }
 
@@ -782,27 +1049,30 @@ fn respond_rate_limited<S: Write>(stream: &mut S, retry_after: u64, keep: bool) 
     )
 }
 
-/// `GET /statz`: the serving counters as one JSON object.
+/// `GET /statz`: the serving counters as one JSON object — a JSON view
+/// over the same registry snapshot `/metricsz` renders, so the two
+/// endpoints cannot disagree about a value.
 fn respond_statz<S: Write>(stream: &mut S, state: &ServerState, keep: bool) -> bool {
-    let results = state.results.stats();
-    let cores = state.cores.stats();
+    let snapshot = state.registry.snapshot();
+    let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
+    let entries = |name: &str| snapshot.gauge(name).unwrap_or(0.0) as u64;
     let body = format!(
         concat!(
             "{{\"requests_total\":{},\"rate_limited_total\":{},\"saturation_total\":{},",
             "\"result_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{}}},",
             "\"core_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{}}}}}\n"
         ),
-        state.counters.requests.load(Ordering::SeqCst),
-        state.counters.rate_limited.load(Ordering::SeqCst),
-        state.counters.saturation.load(Ordering::SeqCst),
-        results.hits,
-        results.misses,
-        results.evictions,
-        results.entries,
-        cores.hits,
-        cores.misses,
-        cores.evictions,
-        cores.entries,
+        counter("actuary_http_requests_total"),
+        counter("actuary_http_rate_limited_total"),
+        counter("actuary_worker_saturation_total"),
+        counter("actuary_result_cache_hits_total"),
+        counter("actuary_result_cache_misses_total"),
+        counter("actuary_result_cache_evictions_total"),
+        entries("actuary_result_cache_entries"),
+        counter("actuary_core_cache_hits_total"),
+        counter("actuary_core_cache_misses_total"),
+        counter("actuary_core_cache_evictions_total"),
+        entries("actuary_core_cache_entries"),
     );
     respond_head_body(
         stream,
@@ -815,33 +1085,58 @@ fn respond_statz<S: Write>(stream: &mut S, state: &ServerState, keep: bool) -> b
     )
 }
 
+/// `GET /metricsz`: the per-server registry merged with the process
+/// registry (engine phase spans), in Prometheus text exposition format.
+fn respond_metricsz<S: Write>(stream: &mut S, state: &ServerState, keep: bool) -> bool {
+    let snapshot = state
+        .registry
+        .snapshot()
+        .merged(Registry::global().snapshot());
+    respond_head_body(
+        stream,
+        200,
+        "OK",
+        expo::CONTENT_TYPE,
+        "",
+        &expo::render(&snapshot),
+        keep,
+    )
+}
+
 /// Parses, runs (or replays from cache) and chunk-streams one scenario
-/// document. Returns whether the connection is still usable.
+/// document. Reports the answered status and whether the connection is
+/// still usable.
 fn respond_run<S: Write>(
     stream: &mut S,
     request: &Request,
     state: &ServerState,
     keep: bool,
-) -> bool {
+) -> Reply {
     let Ok(text) = std::str::from_utf8(&request.body) else {
-        return respond_plain(
-            stream,
+        return Reply::new(
             400,
-            "Bad Request",
-            "scenario documents must be UTF-8\n",
-            keep,
+            respond_plain(
+                stream,
+                400,
+                "Bad Request",
+                "scenario documents must be UTF-8\n",
+                keep,
+            ),
         );
     };
     let doc = match parse_toml(text) {
         Ok(doc) => doc,
         Err(e) => {
             // The diagnostic names the offending line and column.
-            return respond_plain(
-                stream,
+            return Reply::new(
                 400,
-                "Bad Request",
-                &format!("scenario error: {e}\n"),
-                keep,
+                respond_plain(
+                    stream,
+                    400,
+                    "Bad Request",
+                    &format!("scenario error: {e}\n"),
+                    keep,
+                ),
             );
         }
     };
@@ -849,38 +1144,53 @@ fn respond_run<S: Write>(
     // comments and key order hit the cache; semantic changes miss it.
     let digest = digest_document(&doc);
     if let Some(run) = state.results.get(digest.bytes()) {
-        return stream_artifacts(stream, &run, request.accept_json, keep);
+        return Reply::new(
+            200,
+            stream_artifacts(stream, &run, request.accept_json, keep),
+        );
     }
     let scenario = match Scenario::from_doc(&doc) {
         Ok(scenario) => scenario,
         Err(e) => {
-            return respond_plain(
-                stream,
+            return Reply::new(
                 400,
-                "Bad Request",
-                &format!("scenario error: {e}\n"),
-                keep,
+                respond_plain(
+                    stream,
+                    400,
+                    "Bad Request",
+                    &format!("scenario error: {e}\n"),
+                    keep,
+                ),
             );
         }
     };
     if let Err(message) = check_served_grid_bound(&scenario) {
-        return respond_plain(stream, 422, "Unprocessable Content", &message, keep);
+        return Reply::new(
+            422,
+            respond_plain(stream, 422, "Unprocessable Content", &message, keep),
+        );
     }
     let tag = library_digest(&doc).bytes();
     let run = match scenario.run_shared(state.engine_threads, &state.cores, tag) {
         Ok(run) => Arc::new(run),
         Err(e) => {
-            return respond_plain(
-                stream,
+            return Reply::new(
                 422,
-                "Unprocessable Content",
-                &format!("scenario error: {e}\n"),
-                keep,
+                respond_plain(
+                    stream,
+                    422,
+                    "Unprocessable Content",
+                    &format!("scenario error: {e}\n"),
+                    keep,
+                ),
             );
         }
     };
     state.results.put(digest.bytes(), Arc::clone(&run));
-    stream_artifacts(stream, &run, request.accept_json, keep)
+    Reply::new(
+        200,
+        stream_artifacts(stream, &run, request.accept_json, keep),
+    )
 }
 
 /// Chunk-streams every artifact of a run in the chosen encoding. Returns
@@ -1370,7 +1680,7 @@ mod tests {
         assert!(replies[0].starts_with("HTTP/1.1 200 "), "{}", replies[0]);
         assert!(replies[1].starts_with("HTTP/1.1 429 "), "{}", replies[1]);
         assert!(replies[1].contains("Retry-After: 1"), "{}", replies[1]);
-        assert_eq!(state.counters.rate_limited.load(Ordering::SeqCst), 1);
+        assert_eq!(state.metrics.rate_limited.get(), 1);
 
         // /healthz and /statz stay exempt.
         let mut fake = Fake::new(b"GET /healthz HTTP/1.1\r\n\r\n");
@@ -1421,6 +1731,75 @@ mod tests {
         );
         assert!(text.contains("\"core_cache\":"), "{text}");
         assert!(text.contains("\"saturation_total\":0"), "{text}");
+    }
+
+    #[test]
+    fn metricsz_serves_valid_exposition_with_request_histograms() {
+        let state = state();
+        let mut warm = Fake::new(&post(TINY_SCENARIO, ""));
+        serve_connection(&mut warm, None, &state);
+        let mut fake = Fake::new(b"GET /metricsz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        serve_connection(&mut fake, None, &state);
+        let text = String::from_utf8_lossy(&fake.output).into_owned();
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(
+            text.contains("Content-Type: text/plain; version=0.0.4"),
+            "{text}"
+        );
+        let body = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+        expo::validate(body).expect("exposition body validates");
+        assert!(
+            body.contains(
+                "actuary_http_request_seconds_bucket{method=\"POST\",route=\"/run\",status=\"200\",le=\"+Inf\"} 1"
+            ),
+            "{body}"
+        );
+        assert!(
+            body.contains("actuary_http_response_bytes_bucket{route=\"/run\""),
+            "{body}"
+        );
+        assert!(
+            body.contains("\nactuary_result_cache_misses_total 1\n"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn statz_and_metricsz_agree_because_they_share_a_registry() {
+        let state = state();
+        // Two identical runs: one miss, one hit, three requests total
+        // once /statz itself is counted.
+        let mut requests = post(TINY_SCENARIO, "");
+        requests.extend_from_slice(&post(TINY_SCENARIO, ""));
+        let mut fake = Fake::new(&requests);
+        serve_connection(&mut fake, None, &state);
+
+        let mut statz = Fake::new(b"GET /statz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        serve_connection(&mut statz, None, &state);
+        let statz_text = String::from_utf8_lossy(&statz.output).into_owned();
+        assert!(
+            statz_text.contains("\"result_cache\":{\"hits\":1,\"misses\":1"),
+            "{statz_text}"
+        );
+        assert!(statz_text.contains("\"requests_total\":3"), "{statz_text}");
+
+        // The Prometheus view of the same counters must agree exactly
+        // (one more request: /statz above).
+        let mut metricsz = Fake::new(b"GET /metricsz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        serve_connection(&mut metricsz, None, &state);
+        let metrics_text = String::from_utf8_lossy(&metricsz.output).into_owned();
+        assert!(
+            metrics_text.contains("\nactuary_result_cache_hits_total 1\n"),
+            "{metrics_text}"
+        );
+        assert!(
+            metrics_text.contains("\nactuary_result_cache_misses_total 1\n"),
+            "{metrics_text}"
+        );
+        assert!(
+            metrics_text.contains("\nactuary_http_requests_total 4\n"),
+            "{metrics_text}"
+        );
     }
 
     #[test]

@@ -1638,6 +1638,7 @@ fn explore_portfolio_impl(
     // chiplets, flow, variant) — never on quantity — so each (node, area)
     // builds its configuration template once and stamps it across the
     // quantity axis, instead of walking all seven loops per cell.
+    let mut classify_span = actuary_obs::span!("dse.classify");
     let variants = space.scheme_variants();
     let shape = GridShape::of(space, variants.len());
     let block = shape.block();
@@ -1709,12 +1710,17 @@ fn explore_portfolio_impl(
         }
     }
 
+    classify_span.record("distinct_cores", specs.len() as u64);
+    classify_span.record("cells", evaluable.len() as u64);
+    drop(classify_span);
+
     let threads = resolve_threads(threads, shape.len());
 
     // --- Phase B: evaluate each distinct core once, in parallel. With a
     // shared cache, first serve whatever an earlier call (same library tag)
     // already evaluated, and run only the misses. `core_evaluations`
     // reports fresh work either way.
+    let mut evaluate_span = actuary_obs::span!("dse.evaluate");
     type SharedCore = Arc<Result<CoreValue, String>>;
     let (cores, core_evaluations): (Vec<SharedCore>, usize) = match shared {
         None => {
@@ -1758,11 +1764,16 @@ fn explore_portfolio_impl(
         }
     };
 
+    evaluate_span.record("core_evaluations", core_evaluations as u64);
+    drop(evaluate_span);
+
     // --- Phase C: struct-of-arrays amortization, one contiguous pass per -
     // core. Every core owns the list of cells that read it; a worker walks
     // that list once, amortizing each distinct quantity a single time and
     // reading family members out of the same allocation — no shared
     // (core, quantity) map, no per-cell pointer chasing.
+    let mut amortize_span = actuary_obs::span!("dse.amortize");
+    amortize_span.record("cells", evaluable.len() as u64);
     let mut by_core: Vec<Vec<usize>> = vec![Vec::new(); specs.len()];
     for (j, &(_, spec)) in evaluable.iter().enumerate() {
         by_core[spec].push(j);

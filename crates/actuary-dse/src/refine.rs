@@ -578,20 +578,17 @@ fn explore_portfolio_refined_impl(
     let mut refiner = Refiner::new(lib, space, threads, shared);
 
     // 1. Coarse pass: stride-sampled areas plus the axis endpoint, every
-    //    configuration.
+    //    configuration. Each pass below closes a span recording cumulative
+    //    coverage and core-evaluation counts; watch them with
+    //    `--log-level debug` or via the `actuary_engine_phase_seconds`
+    //    histogram on `/metricsz`.
+    let mut coarse_span = actuary_obs::span!("refine.coarse");
     let mut coarse: BTreeSet<usize> = (0..areas).step_by(stride).collect();
     coarse.insert(areas - 1);
     refiner.eval_areas(&coarse, None)?;
-    let trace = |label: &str, r: &Refiner| {
-        if std::env::var_os("ACTUARY_REFINE_TRACE").is_some() {
-            eprintln!(
-                "refine trace[{label}]: {} areas evaluated, {} core evals",
-                r.coverage.len(),
-                r.core_evaluations
-            );
-        }
-    };
-    trace("coarse", &refiner);
+    coarse_span.record("areas_evaluated", refiner.coverage.len() as u64);
+    coarse_span.record("core_evaluations", refiner.core_evaluations as u64);
+    drop(coarse_span);
 
     // 2. Bisection: split every gap whose endpoints disagree until each
     //    disagreement is bracketed by adjacent areas. Midpoints are priced
@@ -600,6 +597,7 @@ fn explore_portfolio_refined_impl(
     //    midpoints would dominate the whole run; the escalation pass below
     //    re-prices any boundary this narrowness gets wrong. Each area is
     //    evaluated at most once here, so this terminates.
+    let mut bisect_span = actuary_obs::span!("refine.bisect");
     loop {
         let winners = refiner.winner_map();
         let fronts = refiner.front_map();
@@ -630,13 +628,16 @@ fn explore_portfolio_refined_impl(
         }
     }
 
-    trace("bisect", &refiner);
+    bisect_span.record("areas_evaluated", refiner.coverage.len() as u64);
+    bisect_span.record("core_evaluations", refiner.core_evaluations as u64);
+    drop(bisect_span);
 
     // 3.+4. Fill each quiet gap with only the configurations its two
     //    (agreeing) endpoints consider relevant — the sub-space is an axis
     //    product, so a *global* candidate union would multiply back out
     //    toward full breadth, while per-gap candidates stay a handful.
     //    Gaps that resolve to the same candidate set batch into one run.
+    let mut fill_span = actuary_obs::span!("refine.fill");
     {
         let winners = refiner.winner_map();
         let fronts = refiner.front_map();
@@ -666,7 +667,9 @@ fn explore_portfolio_refined_impl(
         }
     }
 
-    trace("fill", &refiner);
+    fill_span.record("areas_evaluated", refiner.coverage.len() as u64);
+    fill_span.record("core_evaluations", refiner.core_evaluations as u64);
+    drop(fill_span);
 
     // 5. Escalate: every boundary disagreement that survives bisection and
     //    fill should be genuine structure — but a narrowly priced area is
@@ -676,6 +679,7 @@ fn explore_portfolio_refined_impl(
     //    is missing; winners may shift as cheaper configs come into view,
     //    so loop until every disagreeing boundary is mutually priced.
     //    Coverage only ever grows, so this terminates.
+    let mut escalate_span = actuary_obs::span!("refine.escalate");
     loop {
         let winners = refiner.winner_map();
         let fronts = refiner.front_map();
@@ -710,16 +714,22 @@ fn explore_portfolio_refined_impl(
         }
     }
 
-    if std::env::var_os("ACTUARY_REFINE_TRACE").is_some() {
+    escalate_span.record("areas_evaluated", refiner.coverage.len() as u64);
+    escalate_span.record("core_evaluations", refiner.core_evaluations as u64);
+    drop(escalate_span);
+
+    if actuary_obs::log::enabled(actuary_obs::log::Level::Debug) {
         let full = (0..areas).filter(|&a| refiner.is_full(a)).count();
-        let restricted = refiner.coverage.len() - full;
-        eprintln!(
-            "refine trace: {} areas total, {} full, {} restricted, {} unevaluated, {} core evals",
-            areas,
-            full,
-            restricted,
-            areas - refiner.coverage.len(),
-            refiner.core_evaluations
+        actuary_obs::log::event(
+            actuary_obs::log::Level::Debug,
+            "refine.summary",
+            &[
+                ("areas", areas.into()),
+                ("full", full.into()),
+                ("restricted", (refiner.coverage.len() - full).into()),
+                ("unevaluated", (areas - refiner.coverage.len()).into()),
+                ("core_evaluations", refiner.core_evaluations.into()),
+            ],
         );
     }
     let threads = resolve_threads(threads, space.len());

@@ -1,0 +1,11 @@
+// determinism violation: the clock ban covers every crate outside
+// actuary-obs, including serving code that is not a result crate.
+use std::time::Instant;
+
+// NOT a violation: HashMap is only banned in result-producing crates,
+// and actuary-cli is not one.
+use std::collections::HashMap;
+
+pub fn table_len() -> usize {
+    HashMap::<u32, u32>::new().len()
+}

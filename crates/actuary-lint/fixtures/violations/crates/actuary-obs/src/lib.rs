@@ -1,0 +1,7 @@
+// NOT a violation: actuary-obs is the approved clock crate — Instant
+// and SystemTime here must produce no determinism finding.
+use std::time::{Instant, SystemTime};
+
+pub fn anchor() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

@@ -422,14 +422,24 @@ fn has_unit_suffix(name: &str) -> bool {
 // determinism
 // ---------------------------------------------------------------------
 
-/// In result-producing crates: bans wall-clock time sources
-/// (`SystemTime`, `Instant`), iteration-order-unstable collections
-/// (`HashMap`, `HashSet`), and float `==`/`!=` against a literal
-/// outside the approved unit-type modules. Byte-identical grids across
-/// thread counts is a pinned guarantee; these are the ways it breaks.
+/// Determinism has two scopes. Wall-clock time sources (`SystemTime`,
+/// `Instant`) are banned in *every* non-compat crate except
+/// [`config::CLOCK_CRATE`] (the observability layer owns the clock seam)
+/// and [`config::CLOCK_EXEMPT_CRATES`] (the bench harness times from
+/// outside). Iteration-order-unstable collections (`HashMap`,
+/// `HashSet`) and float `==`/`!=` against a literal outside the
+/// approved unit-type modules stay scoped to result-producing crates.
+/// Byte-identical grids across thread counts is a pinned guarantee;
+/// these are the ways it breaks.
 fn determinism(ws: &Workspace, findings: &mut Vec<Finding>) {
     for krate in &ws.crates {
-        if !config::RESULT_CRATES.contains(&krate.name.as_str()) {
+        if config::is_compat(&krate.dir) {
+            continue;
+        }
+        let result_crate = config::RESULT_CRATES.contains(&krate.name.as_str());
+        let clock_banned = krate.name != config::CLOCK_CRATE
+            && !config::CLOCK_EXEMPT_CRATES.contains(&krate.name.as_str());
+        if !result_crate && !clock_banned {
             continue;
         }
         for file in &krate.files {
@@ -443,10 +453,11 @@ fn determinism(ws: &Workspace, findings: &mut Vec<Finding>) {
                 }
                 if tok.kind == TokenKind::Ident {
                     let banned = match tok.text.as_str() {
-                        "SystemTime" | "Instant" => {
-                            Some("wall-clock time in a result-producing crate")
-                        }
-                        "HashMap" | "HashSet" => Some(
+                        "SystemTime" | "Instant" if clock_banned => Some(
+                            "wall-clock time outside the observability layer — go \
+                             through actuary_obs::clock (Tick/Stopwatch) instead",
+                        ),
+                        "HashMap" | "HashSet" if result_crate => Some(
                             "iteration order is nondeterministic in a result-producing \
                              crate — use BTreeMap/BTreeSet or a Vec",
                         ),
@@ -461,7 +472,8 @@ fn determinism(ws: &Workspace, findings: &mut Vec<Finding>) {
                         });
                     }
                 }
-                if tok.kind == TokenKind::Op
+                if result_crate
+                    && tok.kind == TokenKind::Op
                     && (tok.text == "==" || tok.text == "!=")
                     && !float_eq_approved
                 {

@@ -13,6 +13,7 @@
 /// upward edges (dse → report) and same-layer edges (scenario ↔ report)
 /// are rejected, keeping the sibling pairs independent.
 pub const LAYERS: &[(&str, u32)] = &[
+    ("actuary-obs", 0),
     ("actuary-units", 0),
     ("actuary-yield", 1),
     ("actuary-tech", 2),
@@ -73,6 +74,17 @@ pub const RESULT_CRATES: &[&str] = &[
     "actuary-figures",
     "chiplet-actuary",
 ];
+
+/// The one crate approved to touch wall-clock time sources
+/// (`Instant`/`SystemTime`): the observability layer anchors its
+/// monotonic `Tick` and log timestamps in `actuary_obs::clock` so every
+/// other crate reads time through an auditable seam — or not at all.
+pub const CLOCK_CRATE: &str = "actuary-obs";
+
+/// Crates exempt from the clock ban without being the clock owner: the
+/// benchmark harness times the engine from outside by definition, and
+/// its numbers never feed a result artifact.
+pub const CLOCK_EXEMPT_CRATES: &[&str] = &["bench"];
 
 /// Modules where float `==`/`!=` against a literal is approved: the
 /// unit value types own their exact-zero semantics (`Money::is_zero`

@@ -16,7 +16,7 @@
 //! | `no-panic` | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` outside tests in the serving path and scenario parser |
 //! | `single-serializer` | no CSV serialization defined outside `actuary-units`/`actuary-report` |
 //! | `unit-suffix` | `pub` `f64` fields and scenario float keys end in a unit suffix (`_usd`, `_mm2`, …) |
-//! | `determinism` | no `SystemTime`/`Instant`/`HashMap`/`HashSet`, no float `==` against literals, in result-producing crates |
+//! | `determinism` | no `SystemTime`/`Instant` outside `actuary-obs` (bench exempt); no `HashMap`/`HashSet` or float `==` against literals in result-producing crates |
 //! | `golden-header` | every golden CSV header / JSON-lines meta column is declared in library source |
 //!
 //! A finding prints as `file:line: [check] message` and fails the run.

@@ -133,6 +133,23 @@ fn determinism_rejects_time_hash_and_float_eq() {
 }
 
 #[test]
+fn determinism_clock_ban_spans_crates_but_spares_actuary_obs() {
+    let found = violations();
+    // actuary-cli is NOT a result crate, yet the clock ban fires there…
+    assert_fires(&found, "determinism", "crates/actuary-cli/src/lib.rs", 3); // Instant
+    let stray: Vec<&Finding> = found
+        .iter()
+        .filter(|f| {
+            // …while its HashMap (a result-crate-only rule) stays silent,
+            (f.file == "crates/actuary-cli/src/lib.rs" && f.line != 3)
+                // and the approved clock crate produces no findings at all.
+                || f.file.starts_with("crates/actuary-obs/")
+        })
+        .collect();
+    assert!(stray.is_empty(), "clock scoping leaked: {stray:#?}");
+}
+
+#[test]
 fn golden_header_rejects_undeclared_columns() {
     let found = violations();
     assert_fires(

@@ -1,0 +1,85 @@
+//! The workspace's one approved clock.
+//!
+//! `actuary-lint`'s determinism check bans `Instant`/`SystemTime` in
+//! every non-compat crate *except this one* (the bench crate, a load
+//! generator, is exempt): result-producing code must never read time,
+//! and the serving layer routes all its timing — request latency, the
+//! admission governor's token refill, rate-limited operator notes —
+//! through here. Centralizing the reads keeps "who looks at the clock"
+//! a one-crate audit.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+/// A monotonic instant, measured as the duration since the process-wide
+/// anchor (first clock read). Copy-sized and totally ordered, unlike
+/// `Instant` arithmetic which panics on misuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Tick(Duration);
+
+impl Tick {
+    /// Seconds elapsed from `earlier` to `self`; zero when the ticks are
+    /// out of order (saturating, never negative).
+    pub fn seconds_since(self, earlier: Tick) -> f64 {
+        self.0.saturating_sub(earlier.0).as_secs_f64()
+    }
+}
+
+/// The current monotonic tick.
+pub fn now() -> Tick {
+    let anchor = *ANCHOR.get_or_init(Instant::now);
+    Tick(Instant::now().saturating_duration_since(anchor))
+}
+
+/// A started timer; [`Stopwatch::elapsed_seconds`] reads it.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Tick,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch { started: now() }
+    }
+
+    /// Seconds since [`Stopwatch::start`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        now().seconds_since(self.started)
+    }
+}
+
+/// Milliseconds since the Unix epoch — wall-clock, **only** for log
+/// timestamps (a machine with a stepping clock may emit non-monotone
+/// `ts_ms` values; durations always come from [`now`]).
+pub fn unix_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_monotone_and_saturating() {
+        let a = now();
+        let b = now();
+        assert!(b >= a);
+        assert!(b.seconds_since(a) >= 0.0);
+        assert_eq!(a.seconds_since(b).max(0.0), a.seconds_since(b));
+        // Out-of-order subtraction saturates to zero instead of panicking.
+        assert_eq!(a.seconds_since(b), 0.0);
+    }
+
+    #[test]
+    fn stopwatch_measures_forward_time() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sw.elapsed_seconds() >= 0.001);
+    }
+}

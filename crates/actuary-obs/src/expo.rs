@@ -1,0 +1,476 @@
+//! Prometheus text exposition format (version 0.0.4).
+//!
+//! [`render`] turns a [`Snapshot`] into the text served by
+//! `GET /metricsz`: `# HELP` / `# TYPE` headers per family, one sample
+//! line per label set, and for histograms the cumulative
+//! `_bucket{le="..."}` series (including `+Inf`) plus `_sum` and
+//! `_count`. [`validate`] is the same contract read back — the property
+//! tests hold every renderable registry to it, and the integration test
+//! holds the live endpoint to it.
+
+use std::fmt::Write as _;
+
+use crate::registry::{Snapshot, Value};
+
+/// The `Content-Type` a scraper expects for this format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Renders a snapshot as Prometheus text exposition.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    for family in &snapshot.families {
+        let _ = write!(out, "# HELP {} ", family.name);
+        push_help_escaped(&mut out, &family.help);
+        out.push('\n');
+        let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+        for sample in &family.samples {
+            match &sample.value {
+                Value::Counter(v) => {
+                    push_series(&mut out, &family.name, &sample.labels, None);
+                    let _ = writeln!(out, " {v}");
+                }
+                Value::Gauge(v) => {
+                    push_series(&mut out, &family.name, &sample.labels, None);
+                    out.push(' ');
+                    push_f64(&mut out, *v);
+                    out.push('\n');
+                }
+                Value::Histogram(h) => {
+                    let bucket_name = format!("{}_bucket", family.name);
+                    for &(upper, cumulative) in &h.buckets {
+                        let mut le = String::new();
+                        push_f64(&mut le, upper);
+                        push_series(&mut out, &bucket_name, &sample.labels, Some(&le));
+                        let _ = writeln!(out, " {cumulative}");
+                    }
+                    push_series(&mut out, &bucket_name, &sample.labels, Some("+Inf"));
+                    let _ = writeln!(out, " {}", h.count);
+                    push_series(
+                        &mut out,
+                        &format!("{}_sum", family.name),
+                        &sample.labels,
+                        None,
+                    );
+                    out.push(' ');
+                    push_f64(&mut out, h.sum());
+                    out.push('\n');
+                    push_series(
+                        &mut out,
+                        &format!("{}_count", family.name),
+                        &sample.labels,
+                        None,
+                    );
+                    let _ = writeln!(out, " {}", h.count);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn push_series(out: &mut String, name: &str, labels: &[(String, String)], le: Option<&str>) {
+    out.push_str(name);
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (key, value) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(key);
+        out.push_str("=\"");
+        push_label_escaped(out, value);
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn push_label_escaped(out: &mut String, value: &str) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_help_escaped(out: &mut String, help: &str) {
+    for ch in help.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Checks `text` against the exposition contract: valid family and
+/// label names, `# HELP` and `# TYPE` lines preceding every sample of
+/// their family, histogram buckets cumulative and nondecreasing in
+/// increasing `le` order, and each `+Inf` bucket equal to its series'
+/// `_count`. Returns the first violation found.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut kinds: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    let mut helped: std::collections::BTreeMap<String, bool> = std::collections::BTreeMap::new();
+    // Per-(family, non-le labels): bucket series state and _count value.
+    let mut buckets: std::collections::BTreeMap<String, Vec<(f64, u64)>> =
+        std::collections::BTreeMap::new();
+    let mut counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !valid_sample_name(name) {
+                return Err(format!(
+                    "line {lineno}: invalid family name in HELP: {name:?}"
+                ));
+            }
+            helped.insert(name.to_string(), true);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !valid_sample_name(name) {
+                return Err(format!(
+                    "line {lineno}: invalid family name in TYPE: {name:?}"
+                ));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {lineno}: unknown TYPE {kind:?}"));
+            }
+            if !helped.contains_key(name) {
+                return Err(format!("line {lineno}: TYPE {name} precedes its HELP"));
+            }
+            if kinds.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+
+        let parsed = parse_sample(line)
+            .ok_or_else(|| format!("line {lineno}: unparseable sample: {line:?}"))?;
+        if !valid_sample_name(&parsed.name) {
+            return Err(format!(
+                "line {lineno}: invalid sample name {:?}",
+                parsed.name
+            ));
+        }
+        for (key, _) in &parsed.labels {
+            if !valid_label_name(key) {
+                return Err(format!("line {lineno}: invalid label name {key:?}"));
+            }
+        }
+        let (family, suffix) = family_of(&parsed.name, &kinds);
+        let Some(kind) = kinds.get(&family) else {
+            return Err(format!(
+                "line {lineno}: sample {} has no preceding TYPE",
+                parsed.name
+            ));
+        };
+        if kind == "histogram" && suffix.is_none() {
+            return Err(format!(
+                "line {lineno}: histogram {family} exposed without _bucket/_sum/_count suffix"
+            ));
+        }
+
+        if kind == "histogram" {
+            let mut series_key = family.clone();
+            let mut le: Option<String> = None;
+            for (key, value) in &parsed.labels {
+                if key == "le" {
+                    le = Some(value.clone());
+                } else {
+                    let _ = write!(series_key, ";{key}={value}");
+                }
+            }
+            match suffix {
+                Some("bucket") => {
+                    let le = le.ok_or_else(|| {
+                        format!("line {lineno}: _bucket sample without an le label")
+                    })?;
+                    let upper = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.parse::<f64>()
+                            .map_err(|_| format!("line {lineno}: unparseable le value {le:?}"))?
+                    };
+                    let count = parsed
+                        .value_u64
+                        .ok_or_else(|| format!("line {lineno}: bucket count is not an integer"))?;
+                    buckets.entry(series_key).or_default().push((upper, count));
+                }
+                Some("count") => {
+                    let count = parsed
+                        .value_u64
+                        .ok_or_else(|| format!("line {lineno}: _count is not an integer"))?;
+                    counts.insert(series_key, count);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    for (series, series_buckets) in &buckets {
+        for pair in series_buckets.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                return Err(format!("series {series}: le bounds not increasing"));
+            }
+            if pair[1].1 < pair[0].1 {
+                return Err(format!("series {series}: bucket counts not cumulative"));
+            }
+        }
+        let Some(&(last_le, last_count)) = series_buckets.last() else {
+            continue;
+        };
+        if !last_le.is_infinite() {
+            return Err(format!("series {series}: missing +Inf bucket"));
+        }
+        match counts.get(series) {
+            Some(&count) if count == last_count => {}
+            Some(&count) => {
+                return Err(format!(
+                    "series {series}: +Inf bucket {last_count} != _count {count}"
+                ));
+            }
+            None => return Err(format!("series {series}: missing _count")),
+        }
+    }
+    Ok(())
+}
+
+struct ParsedSample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value_u64: Option<u64>,
+}
+
+fn parse_sample(line: &str) -> Option<ParsedSample> {
+    let name_end = line.find(['{', ' '])?;
+    let name = line[..name_end].to_string();
+    let mut labels = Vec::new();
+    let rest = if line.as_bytes()[name_end] == b'{' {
+        let mut chars = line[name_end + 1..].char_indices();
+        let body = &line[name_end + 1..];
+        let close;
+        let mut start = 0usize;
+        loop {
+            let (i, ch) = chars.next()?;
+            match ch {
+                '}' => {
+                    close = i;
+                    break;
+                }
+                ',' => start = i + 1,
+                '=' => {
+                    let key = body[start..i].to_string();
+                    // Opening quote, then scan to the unescaped close.
+                    let (_, quote) = chars.next()?;
+                    if quote != '"' {
+                        return None;
+                    }
+                    let mut value = String::new();
+                    loop {
+                        let (_, c) = chars.next()?;
+                        match c {
+                            '\\' => {
+                                let (_, esc) = chars.next()?;
+                                value.push(match esc {
+                                    'n' => '\n',
+                                    other => other,
+                                });
+                            }
+                            '"' => break,
+                            other => value.push(other),
+                        }
+                    }
+                    labels.push((key, value));
+                }
+                _ => {}
+            }
+        }
+        &body[close + 1..]
+    } else {
+        &line[name_end..]
+    };
+    let value_text = rest.trim();
+    let value_u64 = value_text.parse::<u64>().ok();
+    if value_u64.is_none() {
+        // Must at least be a float (or the special tokens).
+        let float_ok =
+            value_text.parse::<f64>().is_ok() || matches!(value_text, "+Inf" | "-Inf" | "NaN");
+        if !float_ok {
+            return None;
+        }
+    }
+    Some(ParsedSample {
+        name,
+        labels,
+        value_u64,
+    })
+}
+
+fn family_of<'a>(
+    name: &'a str,
+    kinds: &std::collections::BTreeMap<String, String>,
+) -> (String, Option<&'a str>) {
+    for suffix in ["bucket", "sum", "count"] {
+        if let Some(base) = name.strip_suffix(&format!("_{suffix}")) {
+            if kinds.get(base).is_some_and(|k| k == "histogram") {
+                return (base.to_string(), Some(suffix));
+            }
+        }
+    }
+    (name.to_string(), None)
+}
+
+fn valid_sample_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::LATENCY_SECONDS;
+    use crate::registry::{Registry, NO_LABELS};
+
+    #[test]
+    fn counters_and_gauges_render_with_headers() {
+        let registry = Registry::new();
+        registry
+            .counter(
+                "actuary_http_requests_total",
+                "Requests accepted.",
+                NO_LABELS,
+            )
+            .add(3);
+        registry
+            .gauge(
+                "actuary_result_cache_entries",
+                "Entries resident.",
+                NO_LABELS,
+            )
+            .set(2.0);
+        let text = render(&registry.snapshot());
+        assert!(text.contains("# HELP actuary_http_requests_total Requests accepted.\n"));
+        assert!(text.contains("# TYPE actuary_http_requests_total counter\n"));
+        assert!(text.contains("\nactuary_http_requests_total 3\n"));
+        assert!(text.contains("actuary_result_cache_entries 2\n"));
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_sum_count() {
+        let registry = Registry::new();
+        let h = registry.histogram(
+            "actuary_http_request_seconds",
+            "Latency.",
+            &[("route", "/run")],
+            &[0.01, 0.1],
+        );
+        h.observe(0.005);
+        h.observe(0.05);
+        h.observe(5.0);
+        let text = render(&registry.snapshot());
+        assert!(
+            text.contains("actuary_http_request_seconds_bucket{route=\"/run\",le=\"0.01\"} 1\n")
+        );
+        assert!(text.contains("actuary_http_request_seconds_bucket{route=\"/run\",le=\"0.1\"} 2\n"));
+        assert!(
+            text.contains("actuary_http_request_seconds_bucket{route=\"/run\",le=\"+Inf\"} 3\n")
+        );
+        assert!(text.contains("actuary_http_request_seconds_count{route=\"/run\"} 3\n"));
+        assert!(text.contains("actuary_http_request_seconds_sum{route=\"/run\"} 5.055\n"));
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_round_trip() {
+        let registry = Registry::new();
+        registry
+            .counter("actuary_odd_total", "h", &[("path", "a\"b\\c\nd")])
+            .inc();
+        let text = render(&registry.snapshot());
+        assert!(text.contains("path=\"a\\\"b\\\\c\\nd\""));
+        validate(&text).unwrap();
+        let parsed = parse_sample(text.lines().last().unwrap()).unwrap();
+        assert_eq!(
+            parsed.labels,
+            vec![("path".to_string(), "a\"b\\c\nd".to_string())]
+        );
+    }
+
+    #[test]
+    fn validator_rejects_broken_exposition() {
+        assert!(validate("actuary_orphan_total 1\n").is_err(), "no TYPE");
+        let no_help = "# TYPE actuary_x counter\nactuary_x 1\n";
+        assert!(validate(no_help).is_err(), "TYPE without HELP");
+        let bad_buckets = "# HELP actuary_h h\n# TYPE actuary_h histogram\n\
+                           actuary_h_bucket{le=\"0.1\"} 5\n\
+                           actuary_h_bucket{le=\"1\"} 3\n\
+                           actuary_h_bucket{le=\"+Inf\"} 5\n\
+                           actuary_h_sum 1\nactuary_h_count 5\n";
+        assert!(validate(bad_buckets).is_err(), "non-cumulative buckets");
+        let inf_mismatch = "# HELP actuary_h h\n# TYPE actuary_h histogram\n\
+                            actuary_h_bucket{le=\"+Inf\"} 4\n\
+                            actuary_h_sum 1\nactuary_h_count 5\n";
+        assert!(validate(inf_mismatch).is_err(), "+Inf != _count");
+    }
+
+    #[test]
+    fn default_latency_buckets_validate() {
+        let registry = Registry::new();
+        let h = registry.histogram(
+            "actuary_engine_phase_seconds",
+            "Phase wall time.",
+            &[("phase", "dse.evaluate")],
+            LATENCY_SECONDS,
+        );
+        h.observe(0.0001);
+        h.observe(31.0);
+        validate(&render(&registry.snapshot())).unwrap();
+    }
+}

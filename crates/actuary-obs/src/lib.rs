@@ -1,0 +1,48 @@
+//! **actuary-obs** — the workspace's unified observability layer.
+//!
+//! Every window into a running actuary process goes through this crate:
+//!
+//! * [`metrics`] — lock-free [`Counter`]s, [`Gauge`]s and fixed-bucket
+//!   [`Histogram`]s;
+//! * [`registry`] — named, labeled instrument families behind a
+//!   [`Registry`], snapshotted atomically enough for rendering; external
+//!   counters (the serve caches) join via collector callbacks, so every
+//!   view renders from the *same* [`Snapshot`];
+//! * [`expo`] — the Prometheus text exposition format (`GET /metricsz`)
+//!   plus a validator the tests hold every rendered family to;
+//! * [`mod@span`] — `span!("phase")` guard timers: on drop they record into
+//!   the global `actuary_engine_phase_seconds` histogram and notify the
+//!   installed [`span::SpanObserver`] (by default a `debug`-level log
+//!   event — the replacement for the old `ACTUARY_REFINE_TRACE` hack);
+//! * [`log`] — a structured stderr logger with `text`/`json` formats,
+//!   level filtering (`--log-format` / `--log-level` on `actuary serve`,
+//!   `ACTUARY_LOG` / `ACTUARY_LOG_FORMAT` elsewhere) and a
+//!   [`log::RateLimited`] helper for once-per-interval operator notes;
+//! * [`clock`] — the **only** approved home of `std::time` reads in the
+//!   workspace (enforced by `actuary-lint`'s determinism check): a
+//!   monotonic [`clock::Tick`] since process start and a
+//!   [`clock::Stopwatch`].
+//!
+//! # Off the result path, by construction
+//!
+//! Observability must never change what the engine computes: metrics are
+//! atomics the result path only ever *increments*, spans read the clock
+//! but feed nothing back, and log output goes exclusively to stderr —
+//! stdout stays reserved for artifacts and the serve handshake. Artifact
+//! bytes are asserted identical with observability enabled (see the
+//! `serve_obs` integration test in actuary-cli).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clock;
+pub mod expo;
+pub mod log;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{Registry, Snapshot};
+pub use span::Span;

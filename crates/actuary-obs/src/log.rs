@@ -1,0 +1,414 @@
+//! Structured stderr logging.
+//!
+//! One event is one stderr line, in either of two formats:
+//!
+//! ```text
+//! level=info event=http.request ts_ms=1754526000000 method=POST route=/run status=200 seconds=0.0123
+//! {"ts_ms":1754526000000,"level":"info","event":"http.request","method":"POST",...}
+//! ```
+//!
+//! Level and format are process-wide atomics, set once at startup via
+//! [`init`] (from `actuary serve --log-level/--log-format`) or
+//! [`init_from_env`] (`ACTUARY_LOG`, `ACTUARY_LOG_FORMAT`). Everything
+//! goes to stderr; stdout stays reserved for artifacts and the serve
+//! handshake, which is what keeps logging off the determinism-checked
+//! result path.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+use crate::clock::{self, Tick};
+
+/// Event severity, most severe first. The filter keeps events at or
+/// above the configured level (`Error` passes everywhere; `Trace` only
+/// when everything is on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The process cannot do what was asked of it.
+    Error,
+    /// Degraded but proceeding (saturation, rejected admission).
+    Warn,
+    /// Normal operational record — one line per served request.
+    Info,
+    /// Engine internals: span closings, cache decisions.
+    Debug,
+    /// Firehose; nothing in-tree emits at this level yet.
+    Trace,
+}
+
+impl Level {
+    /// Lower-case name as it appears in output and flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a flag/env value (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    #[cfg(test)]
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+/// Output format for log lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `key=value` pairs, human-first.
+    Text,
+    /// One JSON object per line, machine-first.
+    Json,
+}
+
+impl Format {
+    /// Parses a flag/env value (case-insensitive).
+    pub fn parse(s: &str) -> Option<Format> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static FORMAT: AtomicU8 = AtomicU8::new(0); // 0 = Text, 1 = Json
+
+/// Sets the process-wide level and format. Callable any time; takes
+/// effect for the next event.
+pub fn init(level: Level, format: Format) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+    FORMAT.store(u8::from(format == Format::Json), Ordering::Relaxed);
+}
+
+/// Configures from `ACTUARY_LOG` (level) and `ACTUARY_LOG_FORMAT`
+/// (`text`/`json`); unset or unparseable values keep the defaults
+/// (`info`, `text`).
+pub fn init_from_env() {
+    let level = std::env::var("ACTUARY_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .unwrap_or(Level::Info);
+    let format = std::env::var("ACTUARY_LOG_FORMAT")
+        .ok()
+        .and_then(|v| Format::parse(&v))
+        .unwrap_or(Format::Text);
+    init(level, format);
+}
+
+/// Whether events at `level` currently pass the filter. Check this
+/// before building expensive field sets.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// A typed field value; build via the `From` impls, e.g.
+/// `("status", 200u64.into())`.
+#[derive(Debug, Clone)]
+pub enum Field {
+    /// Free text (JSON-escaped in json format; text format replaces
+    /// internal whitespace so lines stay single-line greppable).
+    Str(String),
+    /// Unsigned quantity.
+    U64(u64),
+    /// Signed quantity.
+    I64(i64),
+    /// Measurement; rendered with enough digits to round-trip.
+    F64(f64),
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Field {
+        Field::Str(v.to_string())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Field {
+        Field::Str(v)
+    }
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Field {
+        Field::U64(v)
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Field {
+        Field::U64(v as u64)
+    }
+}
+
+impl From<u32> for Field {
+    fn from(v: u32) -> Field {
+        Field::U64(u64::from(v))
+    }
+}
+
+impl From<u16> for Field {
+    fn from(v: u16) -> Field {
+        Field::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Field {
+    fn from(v: i64) -> Field {
+        Field::I64(v)
+    }
+}
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Field {
+        Field::F64(v)
+    }
+}
+
+/// Emits one event if `level` passes the filter. `name` is a dotted
+/// static identifier (`http.request`, `span.close`, `serve.saturated`);
+/// fields render in the order given.
+pub fn event(level: Level, name: &'static str, fields: &[(&'static str, Field)]) {
+    if !enabled(level) {
+        return;
+    }
+    let format = if FORMAT.load(Ordering::Relaxed) == 1 {
+        Format::Json
+    } else {
+        Format::Text
+    };
+    eprintln!(
+        "{}",
+        render(format, level, name, fields, clock::unix_millis())
+    );
+}
+
+fn render(
+    format: Format,
+    level: Level,
+    name: &'static str,
+    fields: &[(&'static str, Field)],
+    ts_ms: u64,
+) -> String {
+    let mut out = String::with_capacity(96);
+    if format == Format::Json {
+        let _ = write!(
+            out,
+            "{{\"ts_ms\":{ts_ms},\"level\":\"{}\",\"event\":\"{name}\"",
+            level.as_str()
+        );
+        for (key, value) in fields {
+            out.push(',');
+            out.push('"');
+            push_json_escaped(&mut out, key);
+            out.push_str("\":");
+            match value {
+                Field::Str(s) => {
+                    out.push('"');
+                    push_json_escaped(&mut out, s);
+                    out.push('"');
+                }
+                Field::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Field::I64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Field::F64(v) => push_json_f64(&mut out, *v),
+            }
+        }
+        out.push('}');
+    } else {
+        let _ = write!(out, "level={} event={name} ts_ms={ts_ms}", level.as_str());
+        for (key, value) in fields {
+            let _ = write!(out, " {key}=");
+            match value {
+                Field::Str(s) => {
+                    for ch in s.chars() {
+                        out.push(if ch.is_whitespace() { '_' } else { ch });
+                    }
+                }
+                Field::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Field::I64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Field::F64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+            }
+        }
+    }
+    out
+}
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    // JSON has no Infinity/NaN tokens; clamp to null rather than emit
+    // an unparseable line.
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// A once-per-interval emitter for operator notes that would otherwise
+/// spam (worker-pool saturation being the canonical case). The
+/// suppressed-since-last-emit count is appended as a `suppressed` field
+/// so bursts remain visible in the log even when collapsed.
+#[derive(Debug)]
+pub struct RateLimited {
+    min_seconds: f64,
+    state: Mutex<RateState>,
+}
+
+#[derive(Debug, Default)]
+struct RateState {
+    last: Option<Tick>,
+    suppressed: u64,
+}
+
+impl RateLimited {
+    /// A limiter that lets one event through per `min_seconds`.
+    pub fn new(min_seconds: f64) -> RateLimited {
+        RateLimited {
+            min_seconds,
+            state: Mutex::new(RateState::default()),
+        }
+    }
+
+    /// Emits the event if the interval has elapsed (always on first
+    /// call); otherwise counts it as suppressed. Returns whether the
+    /// event was emitted.
+    pub fn emit(&self, level: Level, name: &'static str, fields: &[(&'static str, Field)]) -> bool {
+        let now = clock::now();
+        let suppressed = {
+            let mut state = match self.state.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let due = state
+                .last
+                .is_none_or(|last| now.seconds_since(last) >= self.min_seconds);
+            if !due {
+                state.suppressed += 1;
+                return false;
+            }
+            state.last = Some(now);
+            std::mem::take(&mut state.suppressed)
+        };
+        let mut all: Vec<(&'static str, Field)> = fields.to_vec();
+        all.push(("suppressed", Field::U64(suppressed)));
+        event(level, name, &all);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_and_order() {
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(Level::from_u8(Level::Debug as u8), Level::Debug);
+    }
+
+    #[test]
+    fn text_render_is_single_line_key_value() {
+        let line = render(
+            Format::Text,
+            Level::Info,
+            "http.request",
+            &[
+                ("route", "/run".into()),
+                ("status", 200u16.into()),
+                ("note", "two words".into()),
+            ],
+            42,
+        );
+        assert_eq!(
+            line,
+            "level=info event=http.request ts_ms=42 route=/run status=200 note=two_words"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn json_render_escapes_and_clamps() {
+        let line = render(
+            Format::Json,
+            Level::Warn,
+            "serve.saturated",
+            &[
+                ("msg", "say \"hi\"\n".into()),
+                ("queued", 3u64.into()),
+                ("ratio", Field::F64(f64::INFINITY)),
+            ],
+            42,
+        );
+        assert_eq!(
+            line,
+            "{\"ts_ms\":42,\"level\":\"warn\",\"event\":\"serve.saturated\",\
+             \"msg\":\"say \\\"hi\\\"\\n\",\"queued\":3,\"ratio\":null}"
+        );
+    }
+
+    #[test]
+    fn rate_limiter_passes_first_then_counts_suppressed() {
+        let limiter = RateLimited::new(3600.0);
+        assert!(limiter.emit(Level::Trace, "x", &[]));
+        assert!(!limiter.emit(Level::Trace, "x", &[]));
+        assert!(!limiter.emit(Level::Trace, "x", &[]));
+        let state = limiter.state.lock().unwrap();
+        assert_eq!(state.suppressed, 2);
+    }
+
+    #[test]
+    fn zero_interval_limiter_never_suppresses() {
+        let limiter = RateLimited::new(0.0);
+        assert!(limiter.emit(Level::Trace, "y", &[]));
+        assert!(limiter.emit(Level::Trace, "y", &[]));
+    }
+}

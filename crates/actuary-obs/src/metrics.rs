@@ -1,0 +1,234 @@
+//! Lock-free instruments: monotone [`Counter`]s, last-value [`Gauge`]s
+//! and fixed-bucket [`Histogram`]s. All updates are relaxed atomics —
+//! observation must never serialize the threads it observes — and every
+//! read path goes through a snapshot so renderers see one coherent-enough
+//! view (bucket counts may trail the sum by in-flight observations, never
+//! the other way into negative territory).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default latency bucket upper bounds, in seconds: half-millisecond
+/// resolution at the cache-hit end, stretching to the tens of seconds a
+/// cold 10⁸-cell refine request can take.
+pub const LATENCY_SECONDS: &[f64] = &[
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+];
+
+/// Default size bucket upper bounds, in bytes: one chunk up through the
+/// 4 MiB body cap and the multi-megabyte grids above it.
+pub const SIZE_BYTES: &[f64] = &[
+    256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0, 4194304.0, 16777216.0,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a last-written f64 (stored as bits, so the write is atomic).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The last written value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram: per-bucket counts plus a running sum. The
+/// bucket bounds are upper bounds (`value <= bound` lands in a bucket);
+/// everything above the last bound lands in the implicit `+Inf` bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    uppers: Vec<f64>,
+    /// One count per finite bucket plus the overflow (`+Inf`) bucket —
+    /// *non*-cumulative; the snapshot accumulates.
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given upper bounds. Non-finite bounds are
+    /// dropped (the `+Inf` bucket is implicit) and the rest are sorted
+    /// and deduplicated, so any bound list renders as valid monotone
+    /// Prometheus buckets.
+    pub fn new(uppers: &[f64]) -> Histogram {
+        let mut uppers: Vec<f64> = uppers.iter().copied().filter(|u| u.is_finite()).collect();
+        uppers.sort_by(f64::total_cmp);
+        uppers.dedup_by(|a, b| a == b);
+        let counts = (0..=uppers.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            uppers,
+            counts,
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .uppers
+            .iter()
+            .position(|&upper| value <= upper)
+            .unwrap_or(self.uppers.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        // f64 sum via a CAS loop on the bit pattern (std has no atomic
+        // float); contention here is one retry per racing observer.
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// A render-ready snapshot: cumulative buckets, sum and count.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = 0u64;
+        let mut buckets = Vec::with_capacity(self.uppers.len());
+        for (i, &upper) in self.uppers.iter().enumerate() {
+            cumulative += self.counts[i].load(Ordering::Relaxed);
+            buckets.push((upper, cumulative));
+        }
+        cumulative += self.counts[self.uppers.len()].load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            count: cumulative,
+        }
+    }
+}
+
+/// One coherent read of a [`Histogram`]: `buckets` are `(upper_bound,
+/// cumulative_count)` pairs in increasing bound order; `count` is the
+/// total including the implicit `+Inf` bucket (so `count >=` the last
+/// finite bucket's cumulative count, always).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Cumulative `(upper_bound, count)` pairs, increasing in both.
+    pub buckets: Vec<(f64, u64)>,
+    sum: f64,
+    /// Total observations (the `+Inf` cumulative count).
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Sum of all observed values (unit: whatever was observed, named by
+    /// the metric's `_seconds`/`_bytes` suffix).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let h = Histogram::new(&[0.01, 0.1, 1.0]);
+        for v in [0.005, 0.005, 0.05, 0.5, 50.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![(0.01, 2), (0.1, 3), (1.0, 4)]);
+        assert_eq!(snap.count, 5, "+Inf covers the 50.0 observation");
+        assert!((snap.sum() - 50.56).abs() < 1e-9);
+        for pair in snap.buckets.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn bound_edge_lands_in_its_bucket() {
+        // Prometheus buckets are `le` (less-or-equal) bounds.
+        let h = Histogram::new(&[1.0]);
+        h.observe(1.0);
+        assert_eq!(h.snapshot().buckets, vec![(1.0, 1)]);
+    }
+
+    #[test]
+    fn unsorted_and_nonfinite_bounds_are_sanitized() {
+        let h = Histogram::new(&[5.0, 1.0, f64::INFINITY, 1.0, f64::NAN]);
+        let snap = h.snapshot();
+        let uppers: Vec<f64> = snap.buckets.iter().map(|&(u, _)| u).collect();
+        assert_eq!(uppers, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn concurrent_observations_are_all_counted() {
+        let h = std::sync::Arc::new(Histogram::new(LATENCY_SECONDS));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe(f64::from(i) * 0.001);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert!((snap.sum() - 4.0 * 499.5).abs() < 1e-6);
+    }
+}

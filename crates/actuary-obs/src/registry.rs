@@ -1,0 +1,428 @@
+//! Named, labeled instrument families.
+//!
+//! A [`Registry`] maps metric family names to instruments, keyed by
+//! label set. Registration is idempotent — asking twice for the same
+//! `(name, labels)` returns the same underlying atomic — and external
+//! state (the serve caches own their hit/miss counters) joins via
+//! [`Registry::counter_fn`] / [`Registry::gauge_fn`] collector
+//! callbacks, read at snapshot time. Both `/metricsz` and `/statz`
+//! render from the same [`Snapshot`], which is what makes it impossible
+//! for the two views to drift.
+//!
+//! Per-server registries (constructed with [`Registry::new`]) keep test
+//! servers isolated; [`Registry::global`] hosts process-wide families
+//! like the engine phase histogram, and a server merges both snapshots
+//! when rendering.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// The Prometheus family kind, driving the `# TYPE` line and how the
+/// sample renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotone count.
+    Counter,
+    /// Last-value measurement.
+    Gauge,
+    /// Bucketed distribution.
+    Histogram,
+}
+
+impl Kind {
+    /// Lower-case name for the `# TYPE` line.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    Gauge(Arc<Gauge>),
+    GaugeFn(Box<dyn Fn() -> f64 + Send + Sync>),
+    Histogram(Arc<Histogram>),
+}
+
+impl fmt::Debug for Instrument {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Instrument::Counter(_) => "Counter",
+            Instrument::CounterFn(_) => "CounterFn",
+            Instrument::Gauge(_) => "Gauge",
+            Instrument::GaugeFn(_) => "GaugeFn",
+            Instrument::Histogram(_) => "Histogram",
+        };
+        f.write_str(name)
+    }
+}
+
+#[derive(Debug)]
+struct FamilyEntry {
+    help: String,
+    kind: Kind,
+    samples: Vec<(Vec<(String, String)>, Instrument)>,
+}
+
+/// A collection of instrument families, snapshot-rendered by
+/// [`crate::expo`] (Prometheus text) and the serve layer's `/statz`
+/// (JSON).
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, FamilyEntry>>,
+}
+
+/// Label pairs for an unlabeled sample.
+pub const NO_LABELS: &[(&str, &str)] = &[];
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label(name: &str) -> bool {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    for (key, _) in labels {
+        assert!(valid_label(key), "invalid metric label name: {key:?}");
+    }
+    labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry, home of families recorded from deep
+    /// inside the engine (phase spans) where no server handle reaches.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn instrument<F>(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        make: F,
+    ) -> Instrumented
+    where
+        F: FnOnce() -> Instrument,
+    {
+        assert!(valid_name(name), "invalid metric family name: {name:?}");
+        let labels = owned_labels(labels);
+        let mut families = lock(&self.families);
+        let entry = families
+            .entry(name.to_string())
+            .or_insert_with(|| FamilyEntry {
+                help: help.to_string(),
+                kind,
+                samples: Vec::new(),
+            });
+        assert!(
+            entry.kind == kind,
+            "metric family {name:?} registered as {} and {}",
+            entry.kind.as_str(),
+            kind.as_str()
+        );
+        if let Some(position) = entry.samples.iter().position(|(l, _)| *l == labels) {
+            match &entry.samples[position].1 {
+                Instrument::Counter(c) => Instrumented::Counter(Arc::clone(c)),
+                Instrument::Gauge(g) => Instrumented::Gauge(Arc::clone(g)),
+                Instrument::Histogram(h) => Instrumented::Histogram(Arc::clone(h)),
+                // Callbacks can't be handed back out; re-registration
+                // replaces the closure (fresh caches on a fresh server).
+                Instrument::CounterFn(_) | Instrument::GaugeFn(_) => {
+                    entry.samples[position].1 = make();
+                    Instrumented::Callback
+                }
+            }
+        } else {
+            let made = make();
+            let out = match &made {
+                Instrument::Counter(c) => Instrumented::Counter(Arc::clone(c)),
+                Instrument::Gauge(g) => Instrumented::Gauge(Arc::clone(g)),
+                Instrument::Histogram(h) => Instrumented::Histogram(Arc::clone(h)),
+                Instrument::CounterFn(_) | Instrument::GaugeFn(_) => Instrumented::Callback,
+            };
+            entry.samples.push((labels, made));
+            out
+        }
+    }
+
+    /// Registers (or retrieves) a counter sample.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.instrument(name, help, Kind::Counter, labels, || {
+            Instrument::Counter(Arc::new(Counter::new()))
+        }) {
+            Instrumented::Counter(c) => c,
+            other => unreachable!("counter family held {other:?}"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge sample.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.instrument(name, help, Kind::Gauge, labels, || {
+            Instrument::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Instrumented::Gauge(g) => g,
+            other => unreachable!("gauge family held {other:?}"),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram sample over `uppers` bucket
+    /// bounds (see [`crate::metrics::LATENCY_SECONDS`] /
+    /// [`crate::metrics::SIZE_BYTES`]).
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        uppers: &[f64],
+    ) -> Arc<Histogram> {
+        match self.instrument(name, help, Kind::Histogram, labels, || {
+            Instrument::Histogram(Arc::new(Histogram::new(uppers)))
+        }) {
+            Instrumented::Histogram(h) => h,
+            other => unreachable!("histogram family held {other:?}"),
+        }
+    }
+
+    /// Registers a counter whose value is polled from `read` at snapshot
+    /// time — for counts owned elsewhere (cache hit totals).
+    pub fn counter_fn<F>(&self, name: &str, help: &str, labels: &[(&str, &str)], read: F)
+    where
+        F: Fn() -> u64 + Send + Sync + 'static,
+    {
+        self.instrument(name, help, Kind::Counter, labels, move || {
+            Instrument::CounterFn(Box::new(read))
+        });
+    }
+
+    /// Registers a gauge polled from `read` at snapshot time (cache
+    /// entry counts).
+    pub fn gauge_fn<F>(&self, name: &str, help: &str, labels: &[(&str, &str)], read: F)
+    where
+        F: Fn() -> f64 + Send + Sync + 'static,
+    {
+        self.instrument(name, help, Kind::Gauge, labels, move || {
+            Instrument::GaugeFn(Box::new(read))
+        });
+    }
+
+    /// Reads every instrument (including collector callbacks) into an
+    /// immutable, renderable snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let families = lock(&self.families);
+        let rendered = families
+            .iter()
+            .map(|(name, entry)| Family {
+                name: name.clone(),
+                help: entry.help.clone(),
+                kind: entry.kind,
+                samples: entry
+                    .samples
+                    .iter()
+                    .map(|(labels, instrument)| Sample {
+                        labels: labels.clone(),
+                        value: match instrument {
+                            Instrument::Counter(c) => Value::Counter(c.get()),
+                            Instrument::CounterFn(f) => Value::Counter(f()),
+                            Instrument::Gauge(g) => Value::Gauge(g.get()),
+                            Instrument::GaugeFn(f) => Value::Gauge(f()),
+                            Instrument::Histogram(h) => Value::Histogram(h.snapshot()),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect();
+        Snapshot { families: rendered }
+    }
+}
+
+enum Instrumented {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    Callback,
+}
+
+impl fmt::Debug for Instrumented {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Instrumented::Counter(_) => "Counter",
+            Instrumented::Gauge(_) => "Gauge",
+            Instrumented::Histogram(_) => "Histogram",
+            Instrumented::Callback => "Callback",
+        };
+        f.write_str(name)
+    }
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One sample's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// One labeled sample within a family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Label `(name, value)` pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The reading.
+    pub value: Value,
+}
+
+/// One metric family: name, help text, kind and its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    /// Family name (`actuary_http_requests_total`).
+    pub name: String,
+    /// `# HELP` text.
+    pub help: String,
+    /// Counter / gauge / histogram.
+    pub kind: Kind,
+    /// All registered label combinations.
+    pub samples: Vec<Sample>,
+}
+
+/// A point-in-time read of a registry, sorted by family name. Both the
+/// Prometheus exposition and the `/statz` JSON view render from this,
+/// so they cannot disagree about a value's source.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Families in name order.
+    pub families: Vec<Family>,
+}
+
+impl Snapshot {
+    /// Sum of all counter samples in `name`'s family, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let family = self.families.iter().find(|f| f.name == name)?;
+        let mut total = 0u64;
+        for sample in &family.samples {
+            if let Value::Counter(v) = sample.value {
+                total += v;
+            }
+        }
+        Some(total)
+    }
+
+    /// The first gauge sample in `name`'s family, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let family = self.families.iter().find(|f| f.name == name)?;
+        family.samples.iter().find_map(|s| match s.value {
+            Value::Gauge(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Merges two snapshots into one, re-sorting by family name. When a
+    /// family appears in both (it shouldn't — per-server and global
+    /// registries own disjoint names), samples concatenate.
+    pub fn merged(mut self, other: Snapshot) -> Snapshot {
+        for family in other.families {
+            if let Some(mine) = self.families.iter_mut().find(|f| f.name == family.name) {
+                mine.samples.extend(family.samples);
+            } else {
+                self.families.push(family);
+            }
+        }
+        self.families.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot {
+            families: self.families,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_per_label_set() {
+        let registry = Registry::new();
+        let a = registry.counter("actuary_test_total", "help", &[("route", "/run")]);
+        let b = registry.counter("actuary_test_total", "help", &[("route", "/run")]);
+        let c = registry.counter("actuary_test_total", "help", &[("route", "/statz")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "same labels share the atomic");
+        assert_eq!(c.get(), 0, "different labels do not");
+        assert_eq!(registry.snapshot().counter("actuary_test_total"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric family name")]
+    fn bad_names_are_rejected_at_registration() {
+        Registry::new().counter("actuary-dashes", "help", NO_LABELS);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter and gauge")]
+    fn kind_conflicts_are_rejected() {
+        let registry = Registry::new();
+        registry.counter("actuary_conflict", "help", NO_LABELS);
+        registry.gauge("actuary_conflict", "help", NO_LABELS);
+    }
+
+    #[test]
+    fn collector_callbacks_read_at_snapshot_time() {
+        let registry = Registry::new();
+        let shared = Arc::new(Counter::new());
+        let reader = Arc::clone(&shared);
+        registry.counter_fn("actuary_cb_total", "help", NO_LABELS, move || reader.get());
+        registry.gauge_fn("actuary_cb_entries", "help", NO_LABELS, || 7.0);
+        shared.add(9);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("actuary_cb_total"), Some(9));
+        assert_eq!(snap.gauge("actuary_cb_entries"), Some(7.0));
+    }
+
+    #[test]
+    fn merged_snapshots_stay_sorted_and_disjoint() {
+        let a = Registry::new();
+        a.counter("actuary_zzz_total", "z", NO_LABELS).add(1);
+        let b = Registry::new();
+        b.counter("actuary_aaa_total", "a", NO_LABELS).add(2);
+        let merged = a.snapshot().merged(b.snapshot());
+        let names: Vec<&str> = merged.families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["actuary_aaa_total", "actuary_zzz_total"]);
+        assert_eq!(merged.counter("actuary_aaa_total"), Some(2));
+    }
+}

@@ -1,0 +1,139 @@
+//! Phase span timers.
+//!
+//! A [`Span`] is a guard: created at phase entry (use the
+//! [`crate::span!`] macro), it times the enclosed work and on drop
+//! records the duration into the global
+//! `actuary_engine_phase_seconds{phase="..."}` histogram, then notifies
+//! the installed [`SpanObserver`]. The default observer emits a
+//! `debug`-level `span.close` log event — run with `ACTUARY_LOG=debug`
+//! (or `actuary serve --log-level debug`) to watch refine phases stream
+//! by, which replaces the old `ACTUARY_REFINE_TRACE=1` hack.
+//!
+//! Spans are observation-only: they read the clock and write atomics,
+//! and nothing on the result path ever reads them back.
+
+use std::sync::OnceLock;
+
+use crate::clock::Stopwatch;
+use crate::log::{self, Field, Level};
+use crate::metrics::LATENCY_SECONDS;
+use crate::registry::Registry;
+
+/// The histogram family every span records into (one sample per
+/// distinct phase name).
+pub const PHASE_HISTOGRAM: &str = "actuary_engine_phase_seconds";
+
+/// Receives every closed span. Install one with [`set_observer`] to
+/// redirect span telemetry somewhere other than the structured log.
+pub trait SpanObserver: Send + Sync {
+    /// Called as a span drops, with its wall time and recorded fields.
+    fn on_close(&self, name: &'static str, seconds: f64, fields: &[(&'static str, u64)]);
+}
+
+static OBSERVER: OnceLock<Box<dyn SpanObserver>> = OnceLock::new();
+
+/// Installs the process-wide span observer. The first call wins; later
+/// calls return `Err` with the rejected observer.
+pub fn set_observer(observer: Box<dyn SpanObserver>) -> Result<(), Box<dyn SpanObserver>> {
+    OBSERVER.set(observer)
+}
+
+/// A running phase timer; see the module docs. Construct via
+/// [`Span::enter`] or the [`crate::span!`] macro and let it drop at the
+/// end of the phase.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    stopwatch: Stopwatch,
+    fields: Vec<(&'static str, u64)>,
+}
+
+impl Span {
+    /// Starts timing a phase. `name` should be a dotted static path
+    /// (`dse.evaluate`, `refine.coarse`) — it becomes the `phase` label.
+    pub fn enter(name: &'static str) -> Span {
+        Span {
+            name,
+            stopwatch: Stopwatch::start(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches a quantity to the span (`cells`, `core_evaluations`);
+    /// reported to the observer at close.
+    pub fn record(&mut self, key: &'static str, value: u64) {
+        self.fields.push((key, value));
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let seconds = self.stopwatch.elapsed_seconds();
+        Registry::global()
+            .histogram(
+                PHASE_HISTOGRAM,
+                "Wall time per engine phase.",
+                &[("phase", self.name)],
+                LATENCY_SECONDS,
+            )
+            .observe(seconds);
+        if let Some(observer) = OBSERVER.get() {
+            observer.on_close(self.name, seconds, &self.fields);
+        } else if log::enabled(Level::Debug) {
+            let mut fields: Vec<(&'static str, Field)> = Vec::with_capacity(self.fields.len() + 2);
+            fields.push(("phase", self.name.into()));
+            fields.push(("seconds", seconds.into()));
+            for &(key, value) in &self.fields {
+                fields.push((key, value.into()));
+            }
+            log::event(Level::Debug, "span.close", &fields);
+        }
+    }
+}
+
+/// Opens a [`Span`] for the current scope:
+///
+/// ```
+/// let mut span = actuary_obs::span!("dse.evaluate");
+/// span.record("core_evaluations", 128);
+/// // ... phase work; the drop at scope end records the duration.
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::Span::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Value;
+
+    #[test]
+    fn dropped_spans_land_in_the_global_phase_histogram() {
+        {
+            let mut span = crate::span!("test.phase");
+            span.record("cells", 42);
+        }
+        let snap = Registry::global().snapshot();
+        let family = snap
+            .families
+            .iter()
+            .find(|f| f.name == PHASE_HISTOGRAM)
+            .expect("phase family registered");
+        let sample = family
+            .samples
+            .iter()
+            .find(|s| {
+                s.labels
+                    .iter()
+                    .any(|(k, v)| k == "phase" && v == "test.phase")
+            })
+            .expect("phase sample present");
+        match &sample.value {
+            Value::Histogram(h) => assert!(h.count >= 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: any registry built from valid names renders
+//! exposition text that passes [`actuary_obs::expo::validate`] — name
+//! charset, HELP/TYPE ordering, monotone cumulative buckets, `+Inf`
+//! matching `_count` — regardless of label contents or observation mix.
+
+use actuary_obs::expo;
+use actuary_obs::metrics::{LATENCY_SECONDS, SIZE_BYTES};
+use actuary_obs::Registry;
+use proptest::prelude::*;
+
+const NAMES: &[&str] = &[
+    "actuary_http_requests_total",
+    "actuary_result_cache_hits_total",
+    "actuary_http_request_seconds",
+    "actuary_engine_phase_seconds",
+    "actuary_http_response_bytes",
+    "a:colon:name",
+    "_leading_underscore",
+];
+
+const LABEL_KEYS: &[&str] = &["route", "method", "status", "phase", "_k9"];
+
+// Deliberately hostile label values: every escape class, plus unicode
+// and an empty string.
+const LABEL_VALUES: &[&str] = &[
+    "/run",
+    "GET",
+    "200",
+    "",
+    "two words",
+    "quote\"inside",
+    "back\\slash",
+    "new\nline",
+    "µ-héllo",
+    "a,b}c{d",
+];
+
+/// One generated instrument: which family, which kind, which labels,
+/// and what to record into it.
+type Spec = (usize, usize, (usize, usize), u64, Vec<f64>);
+
+fn build(specs: &[Spec]) -> Registry {
+    let registry = Registry::new();
+    for &(name_idx, kind, (label_key, label_value), count, ref observations) in specs {
+        // Suffix the family name by kind so one name is never registered
+        // as two different kinds (that's a programming error the registry
+        // rejects by panicking, not a renderable state).
+        let kind = kind % 3;
+        let base = NAMES[name_idx % NAMES.len()];
+        let name = match kind {
+            0 => format!("{base}_c"),
+            1 => format!("{base}_g"),
+            _ => format!("{base}_h"),
+        };
+        let labels = [(
+            LABEL_KEYS[label_key % LABEL_KEYS.len()],
+            LABEL_VALUES[label_value % LABEL_VALUES.len()],
+        )];
+        match kind {
+            0 => registry
+                .counter(&name, "generated counter", &labels)
+                .add(count),
+            1 => registry
+                .gauge(&name, "generated gauge", &labels)
+                .set(count as f64 / 3.0),
+            _ => {
+                let uppers = if count % 2 == 0 {
+                    LATENCY_SECONDS
+                } else {
+                    SIZE_BYTES
+                };
+                let h = registry.histogram(&name, "generated histogram", &labels, uppers);
+                for &v in observations {
+                    h.observe(v);
+                }
+            }
+        }
+    }
+    registry
+}
+
+proptest! {
+    #[test]
+    fn every_generated_registry_renders_valid_exposition(
+        specs in proptest::collection::vec(
+            (
+                0usize..7,
+                0usize..3,
+                (0usize..5, 0usize..10),
+                0u64..100_000,
+                proptest::collection::vec(0.0f64..100.0, 0..12),
+            ),
+            1..12,
+        ),
+    ) {
+        let registry = build(&specs);
+        let text = expo::render(&registry.snapshot());
+        if let Err(violation) = expo::validate(&text) {
+            return Err(TestCaseError::fail(format!(
+                "rendered exposition failed validation: {violation}\n--- text ---\n{text}"
+            )));
+        }
+    }
+
+    #[test]
+    fn histogram_totals_survive_the_render(
+        observations in proptest::collection::vec(0.0f64..50.0, 1..64),
+    ) {
+        let registry = Registry::new();
+        let histogram = registry.histogram(
+            "actuary_prop_seconds",
+            "histogram under test",
+            &[("phase", "prop")],
+            LATENCY_SECONDS,
+        );
+        for &v in &observations {
+            histogram.observe(v);
+        }
+        let text = expo::render(&registry.snapshot());
+        expo::validate(&text).map_err(TestCaseError::fail)?;
+        let count_line = text
+            .lines()
+            .find(|l| l.starts_with("actuary_prop_seconds_count"))
+            .map(str::to_string)
+            .unwrap_or_default();
+        prop_assert!(
+            count_line.ends_with(&format!(" {}", observations.len())),
+            "_count line {count_line:?} != {} observations",
+            observations.len()
+        );
+    }
+}

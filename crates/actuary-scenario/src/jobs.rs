@@ -521,6 +521,7 @@ impl Scenario {
         for job in &self.jobs {
             match job {
                 Job::Cost(j) => {
+                    let _span = actuary_obs::span!("scenario.cost");
                     let cost = j
                         .portfolio
                         .cost(&self.library, j.flow)
@@ -542,10 +543,12 @@ impl Scenario {
                     }
                 }
                 Job::Yield(j) => {
+                    let _span = actuary_obs::span!("scenario.yield");
                     run_yield_job(&self.library, j, &mut run.yield_rows)
                         .map_err(|e| engine(&j.name, &e))?;
                 }
                 Job::Sweep(j) => {
+                    let _span = actuary_obs::span!("scenario.sweep");
                     let sweep = run_sweep_job(&self.library, j).map_err(|e| engine(&j.name, &e))?;
                     run.sweeps.push(SweepRun {
                         name: j.name.clone(),
@@ -553,6 +556,8 @@ impl Scenario {
                     });
                 }
                 Job::Explore(j) => {
+                    let mut span = actuary_obs::span!("scenario.explore");
+                    span.record("cells", j.space.len() as u64);
                     let result = match (j.mode, shared) {
                         (ExploreMode::Exhaustive, None) => {
                             explore_portfolio(&self.library, &j.space, threads)

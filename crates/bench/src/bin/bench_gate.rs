@@ -40,6 +40,14 @@ const SECTIONS: [(&str, &[&str]); 7] = [
     ("serve_mixed", &["requests_per_sec"]),
 ];
 
+/// Latency keys the gate watches — lower is better, so the regression
+/// ratio inverts to new/old, and the threshold doubles: quantiles
+/// interpolated from a 100-request histogram are noisier than whole-run
+/// throughput. The +1 ms smoothing keeps sub-millisecond jitter from
+/// tripping the ratio.
+const LATENCY_SECTIONS: [(&str, &[&str]); 1] =
+    [("serve_mixed", &["server_p50_ms", "server_p99_ms"])];
+
 /// Extracts `"key": <number>` from the object literal following
 /// `"section": {`. The snapshot format is machine-written with no nested
 /// objects inside grid sections, so a scan is sufficient (the offline
@@ -114,6 +122,31 @@ fn main() -> ExitCode {
                  (x{ratio:.2} slower) {verdict}"
             );
             if ratio > max_ratio {
+                regressions.push(format!("{section}.{key} is {ratio:.2}x slower"));
+            }
+        }
+    }
+    for (section, keys) in LATENCY_SECTIONS {
+        for &key in keys {
+            let (Some(old), Some(new)) = (
+                extract(&previous, section, key),
+                extract(&current, section, key),
+            ) else {
+                continue;
+            };
+            compared += 1;
+            let latency_max = max_ratio * 2.0;
+            let ratio = (new + 1.0) / (old + 1.0);
+            let verdict = if ratio > latency_max {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "bench_gate: {section}.{key}: {old:.2} -> {new:.2} ms \
+                 (x{ratio:.2} slower) {verdict}"
+            );
+            if ratio > latency_max {
                 regressions.push(format!("{section}.{key} is {ratio:.2}x slower"));
             }
         }

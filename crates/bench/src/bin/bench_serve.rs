@@ -11,18 +11,23 @@
 //!   byte-identical to the cold (warmup) answer;
 //! * **mixed** — N concurrent clients, each posting 80% hot / 20% fresh
 //!   cold scenarios, the production-shaped workload; the phase's cache
-//!   hit rate comes from the `GET /statz` counter delta.
+//!   hit rate comes from the `GET /statz` counter delta, and its
+//!   server-side latency quantiles from the `GET /metricsz` request
+//!   histogram delta (so the snapshot cross-checks the server's own
+//!   instruments against the client stopwatch).
 //!
 //! The snapshot records requests/sec and p99 latency per phase. The run
 //! itself enforces the serving contract: it exits nonzero when the hot
-//! phase is not at least 5× the cold phase's requests/sec or when a hot
-//! body deviates from the cold bytes.
+//! phase is not at least 5× the cold phase's requests/sec, when a hot
+//! body deviates from the cold bytes, or when the server-side histogram
+//! disagrees wildly with the client-side measurement.
 //!
 //! The bench crate sits in the same workspace layer as the CLI, so it
 //! spawns the built binary instead of linking it: `$ACTUARY_BIN` when
 //! set, otherwise `target/release/actuary` (falling back to the debug
 //! build).
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -226,6 +231,89 @@ fn statz_counter(json: &str, section: &str, key: &str) -> u64 {
     digits.parse().expect("counter value")
 }
 
+/// Cumulative `upper_bound → count` buckets for the server-side
+/// `actuary_http_request_seconds` histogram restricted to
+/// `route="/run"`, summed across the method/status label axes, parsed
+/// out of a `/metricsz` Prometheus exposition body.
+fn run_latency_buckets(exposition: &str) -> Vec<(f64, u64)> {
+    let mut by_le: BTreeMap<String, u64> = BTreeMap::new();
+    for line in exposition.lines() {
+        if !line.starts_with("actuary_http_request_seconds_bucket{")
+            || !line.contains("route=\"/run\"")
+        {
+            continue;
+        }
+        let le_start = line.find("le=\"").expect("bucket line carries le") + 4;
+        let le_end = le_start + line[le_start..].find('"').expect("closing quote");
+        let count: u64 = line
+            .rsplit(' ')
+            .next()
+            .expect("sample value")
+            .trim()
+            .parse()
+            .expect("bucket count");
+        *by_le.entry(line[le_start..le_end].to_string()).or_insert(0) += count;
+    }
+    let mut buckets: Vec<(f64, u64)> = by_le
+        .into_iter()
+        .map(|(le, count)| {
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().expect("le bound")
+            };
+            (bound, count)
+        })
+        .collect();
+    buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+    buckets
+}
+
+/// Subtracts a `before` snapshot from an `after` snapshot of the same
+/// histogram (both cumulative, same bounds), yielding the cumulative
+/// buckets of just the requests in between.
+fn bucket_delta(after: &[(f64, u64)], before: &[(f64, u64)]) -> Vec<(f64, u64)> {
+    assert_eq!(
+        after.len(),
+        before.len(),
+        "histogram bounds changed between scrapes"
+    );
+    after
+        .iter()
+        .zip(before)
+        .map(|(&(bound, a), &(bound_b, b))| {
+            assert_eq!(bound.to_bits(), bound_b.to_bits(), "bucket bounds disagree");
+            (bound, a - b)
+        })
+        .collect()
+}
+
+/// Quantile in milliseconds from cumulative histogram buckets, linearly
+/// interpolated inside the winning bucket (the standard Prometheus
+/// `histogram_quantile` estimate); the +Inf bucket clamps to the
+/// largest finite bound.
+fn histogram_quantile_ms(buckets: &[(f64, u64)], q: f64) -> f64 {
+    let total = buckets.last().map_or(0, |last| last.1);
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = q * total as f64;
+    let mut prev_bound = 0.0;
+    let mut prev_cum = 0u64;
+    for &(bound, cum) in buckets {
+        if cum as f64 >= rank {
+            if bound.is_infinite() {
+                return prev_bound * 1000.0;
+            }
+            let inside = (rank - prev_cum as f64) / (cum - prev_cum).max(1) as f64;
+            return (prev_bound + (bound - prev_bound) * inside) * 1000.0;
+        }
+        prev_bound = bound;
+        prev_cum = cum;
+    }
+    prev_bound * 1000.0
+}
+
 fn main() {
     let server = Server::start();
     let mut client = Client::connect(&server.addr);
@@ -263,6 +351,8 @@ fn main() {
     // --- mixed: concurrent clients, 80% hot / 20% fresh cold -------------
     let (_, statz) = client.get("/statz");
     let before = String::from_utf8_lossy(&statz).into_owned();
+    let (_, exposition) = client.get("/metricsz");
+    let server_before = run_latency_buckets(&String::from_utf8_lossy(&exposition));
     let mut mixed_latencies: Vec<f64> = Vec::new();
     let mixed_start = Instant::now();
     std::thread::scope(|scope| {
@@ -302,6 +392,8 @@ fn main() {
     let mixed_secs = mixed_start.elapsed().as_secs_f64();
     let (_, statz) = client.get("/statz");
     let after = String::from_utf8_lossy(&statz).into_owned();
+    let (_, exposition) = client.get("/metricsz");
+    let server_after = run_latency_buckets(&String::from_utf8_lossy(&exposition));
     let phase = |key| {
         statz_counter(&after, "result_cache", key) - statz_counter(&before, "result_cache", key)
     };
@@ -312,6 +404,30 @@ fn main() {
     let hot_rps = HOT_REQUESTS as f64 / hot_secs;
     let mixed_requests = MIXED_CLIENTS * MIXED_REQUESTS_PER_CLIENT;
     let speedup = hot_rps / cold_rps;
+    let mixed_p99 = p99_ms(&mut mixed_latencies);
+
+    // Server-side view of the same mixed phase, from the request-latency
+    // histogram delta. The count must match exactly (nothing else POSTs
+    // /run between the scrapes), and the estimated p99 must land in the
+    // same ballpark as the client stopwatch — bucket interpolation and
+    // client-side network overhead both smear, so the tolerance is loose.
+    let server_buckets = bucket_delta(&server_after, &server_before);
+    let server_total = server_buckets.last().map_or(0, |last| last.1);
+    assert_eq!(
+        server_total, mixed_requests as u64,
+        "the server-side /run histogram must count exactly the mixed-phase requests"
+    );
+    let server_p50 = histogram_quantile_ms(&server_buckets, 0.50);
+    let server_p99 = histogram_quantile_ms(&server_buckets, 0.99);
+    assert!(
+        server_p99 > 0.0,
+        "server-side p99 must be positive once requests were served"
+    );
+    assert!(
+        server_p99 <= mixed_p99 * 4.0 + 250.0,
+        "server-side p99 ({server_p99:.2} ms) wildly exceeds the client-side \
+         measurement ({mixed_p99:.2} ms) — the histogram or the scrape is wrong"
+    );
 
     println!("{{");
     println!("  \"schema\": 1,");
@@ -330,10 +446,11 @@ fn main() {
     println!(
         "  \"serve_mixed\": {{\n    \"requests\": {mixed_requests},\n    \
          \"clients\": {MIXED_CLIENTS},\n    \"secs\": {mixed_secs:.4},\n    \
-         \"requests_per_sec\": {:.1},\n    \"p99_ms\": {:.2},\n    \
+         \"requests_per_sec\": {:.1},\n    \"p99_ms\": {mixed_p99:.2},\n    \
+         \"server_p50_ms\": {server_p50:.2},\n    \
+         \"server_p99_ms\": {server_p99:.2},\n    \
          \"cache_hit_rate\": {hit_rate:.3}\n  }}",
         mixed_requests as f64 / mixed_secs,
-        p99_ms(&mut mixed_latencies),
     );
     println!("}}");
 
