@@ -34,7 +34,7 @@ use actuary_dse::optimizer::{recommend, SearchSpace};
 use actuary_dse::portfolio::{
     explore_portfolio, parse_fsmc_situation, PortfolioSpace, ReuseScheme,
 };
-use actuary_dse::refine::{explore_portfolio_refined, explore_refined};
+use actuary_dse::refine::{explore_portfolio_refined_with, explore_refined_with, RefineOptions};
 use actuary_mc::{simulate_system, DefectProcess, McConfig};
 use actuary_model::{re_cost, AssemblyFlow, DiePlacement};
 use actuary_tech::{IntegrationKind, TechLibrary};
@@ -69,16 +69,18 @@ fn usage() -> &'static str {
                [--integrations KIND,..] [--chiplets K,..] [--flow F]\n\
                [--schemes none,scms,ocme,fsmc|all] [--flow-axis]\n\
                [--fsmc-situations KxN,..|paper] [--ocme-centers none,NODE,..]\n\
-               [--package-reuse] [--refine] [--threads T] [--csv] [--out FILE]\n\
-               [--pareto-out FILE]\n\
+               [--package-reuse] [--refine] [--quantity-stride N] [--threads T]\n\
+               [--csv] [--out FILE] [--pareto-out FILE]\n\
                                          multi-axis parallel grid exploration\n\
                                          (T = 0 or omitted: all hardware threads;\n\
                                          --schemes grids the paper's reuse schemes,\n\
                                          --flow-axis grids chip-first vs chip-last,\n\
                                          --fsmc-situations grids Figure 10's (k,n) axis,\n\
                                          --ocme-centers grids mature-node OCME centres,\n\
-                                         --refine explores coarse-to-fine, pruning\n\
-                                         cells away from winner/front changes,\n\
+                                         --refine explores coarse-to-fine over the\n\
+                                         area and quantity axes, pruning cells away\n\
+                                         from winner/front changes (--quantity-stride\n\
+                                         sets its coarse quantity sampling),\n\
                                          --out streams the grid CSV to FILE,\n\
                                          --pareto-out streams the program-total vs\n\
                                          per-unit Pareto front to FILE)\n\
@@ -229,6 +231,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "ocme-centers",
                 "package-reuse",
                 "refine",
+                "quantity-stride",
                 "threads",
                 "csv",
                 "out",
@@ -592,6 +595,17 @@ fn cmd_explore(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<()
             s.parse()
                 .map_err(|e| format!("invalid quantity {s:?}: {e}"))
         })?;
+        // Quantity axes feed ordered-axis machinery (amortization curves,
+        // coarse-to-fine refinement), so an unordered list is a mistake
+        // worth naming here rather than deep in the engine.
+        for pair in space.quantities.windows(2) {
+            if pair[1] <= pair[0] {
+                return Err(format!(
+                    "--quantities must be strictly increasing ({} follows {})",
+                    pair[1], pair[0]
+                ));
+            }
+        }
     }
     if let Some(raw) = flags.get("integrations") {
         space.integrations = parse_list(raw, "integrations", parse_integration)?;
@@ -664,6 +678,9 @@ fn cmd_explore(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<()
                 .to_string(),
         );
     }
+    if flags.contains_key("quantity-stride") && !flags.contains_key("refine") {
+        return Err("--quantity-stride tunes the coarse-to-fine walk; add --refine".to_string());
+    }
     let threads = get_u64_or(flags, "threads", 0)? as usize;
 
     // A portfolio request (a scheme or flow axis) runs the portfolio
@@ -682,7 +699,7 @@ fn cmd_explore(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<()
         flow: space.flows[0],
     };
     let result = if flags.contains_key("refine") {
-        explore_refined(lib, &single, threads)
+        explore_refined_with(lib, &single, threads, parse_refine_options(flags)?)
     } else {
         explore(lib, &single, threads)
     }
@@ -762,6 +779,32 @@ fn cmd_explore(lib: &TechLibrary, flags: &BTreeMap<String, String>) -> Result<()
     Ok(())
 }
 
+/// The refinement options the explore flags select: `--quantity-stride N`
+/// sets the coarse sampling stride along the quantity axis (absent = the
+/// engine picks from the axis length; the area stride stays
+/// engine-picked).
+fn parse_refine_options(flags: &BTreeMap<String, String>) -> Result<RefineOptions, String> {
+    let quantity_stride = match flags.get("quantity-stride") {
+        None => 0,
+        Some(raw) => {
+            let stride: usize = raw
+                .parse()
+                .map_err(|e| format!("invalid --quantity-stride {raw:?}: {e}"))?;
+            if stride == 0 {
+                return Err(
+                    "--quantity-stride must be at least 1 (omit it to let the engine pick)"
+                        .to_string(),
+                );
+            }
+            stride
+        }
+    };
+    Ok(RefineOptions {
+        area_stride: 0,
+        quantity_stride,
+    })
+}
+
 /// The `--schemes` / `--flow-axis` output path: per-scheme winner tables
 /// and Pareto fronts over the portfolio grid.
 fn cmd_explore_portfolio(
@@ -771,7 +814,7 @@ fn cmd_explore_portfolio(
     threads: usize,
 ) -> Result<(), String> {
     let result = if flags.contains_key("refine") {
-        explore_portfolio_refined(lib, space, threads)
+        explore_portfolio_refined_with(lib, space, threads, parse_refine_options(flags)?)
     } else {
         explore_portfolio(lib, space, threads)
     }

@@ -17,7 +17,7 @@
 //! [`ScenarioRun::artifacts`](actuary_scenario::ScenarioRun::artifacts)
 //! path as `actuary run`, so the streamed CSV body is byte-identical to
 //! `actuary run FILE --csv` — zero new model code. The JSON-lines
-//! encoding is the [`Artifact`](actuary_report::Artifact) layer's second
+//! encoding is the [`Artifact`] layer's second
 //! *sink* over the same row source, not a second serializer. Malformed
 //! TOML answers `400` with the parser's line:column diagnostic in the
 //! body; a scenario that parses but fails in the engine answers `422`;
@@ -77,10 +77,10 @@ use actuary_obs::clock::{self, Stopwatch, Tick};
 use actuary_obs::log::{self, Format, Level, RateLimited};
 use actuary_obs::metrics::{LATENCY_SECONDS, SIZE_BYTES};
 use actuary_obs::{expo, Counter, Registry};
-use actuary_report::IoSink;
+use actuary_report::{Artifact, IoSink};
 use actuary_scenario::canon::{digest_document, library_digest};
 use actuary_scenario::toml::parse as parse_toml;
-use actuary_scenario::{Job, Scenario, ScenarioRun};
+use actuary_scenario::{Job, Scenario, ScenarioRun, StreamSink};
 
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -655,14 +655,20 @@ fn serve_connection<S: Read + Write>(stream: &mut S, peer: Option<IpAddr>, state
         let keep = request.keep_alive
             && served < MAX_KEEPALIVE_REQUESTS
             && !state.shutdown.load(Ordering::SeqCst);
-        let reply = match (request.method.as_str(), request.path.as_str()) {
+        // The query string selects response *delivery* (`?stream=refine`),
+        // not the resource; routing happens on the bare path.
+        let (path, query) = match request.path.split_once('?') {
+            Some((path, query)) => (path, Some(query)),
+            None => (request.path.as_str(), None),
+        };
+        let reply = match (request.method.as_str(), path) {
             ("GET", "/healthz") => {
                 Reply::new(200, respond_plain(&mut stream, 200, "OK", "ok\n", keep))
             }
             ("GET", "/statz") => Reply::new(200, respond_statz(&mut stream, state, keep)),
             ("GET", "/metricsz") => Reply::new(200, respond_metricsz(&mut stream, state, keep)),
             ("POST", "/run") => match state.governor.admit(peer) {
-                Ok(_admission) => respond_run(&mut stream, &request, state, keep),
+                Ok(_admission) => respond_run(&mut stream, &request, query, state, keep),
                 Err(retry_after) => {
                     state.metrics.rate_limited.inc();
                     Reply::new(429, respond_rate_limited(&mut stream, retry_after, keep))
@@ -743,6 +749,7 @@ impl<S: Write> Write for Metered<'_, S> {
 /// Bounded label values: anything a client can vary freely (paths,
 /// methods) collapses to `other` so metric cardinality stays fixed.
 fn route_label(path: &str) -> &'static str {
+    let path = path.split_once('?').map_or(path, |(bare, _)| bare);
     match path {
         "/run" => "/run",
         "/healthz" => "/healthz",
@@ -1105,13 +1112,34 @@ fn respond_metricsz<S: Write>(stream: &mut S, state: &ServerState, keep: bool) -
 
 /// Parses, runs (or replays from cache) and chunk-streams one scenario
 /// document. Reports the answered status and whether the connection is
-/// still usable.
+/// still usable. `query` selects delivery: `stream=refine` switches to
+/// incremental delivery through [`respond_run_streamed`]; any other
+/// non-empty query is rejected, not ignored.
 fn respond_run<S: Write>(
     stream: &mut S,
     request: &Request,
+    query: Option<&str>,
     state: &ServerState,
     keep: bool,
 ) -> Reply {
+    let streamed = match query {
+        None | Some("") => false,
+        Some("stream=refine") => true,
+        Some(other) => {
+            return Reply::new(
+                400,
+                respond_plain(
+                    stream,
+                    400,
+                    "Bad Request",
+                    &format!(
+                        "unknown query {other:?} (the only supported query is ?stream=refine)\n"
+                    ),
+                    keep,
+                ),
+            );
+        }
+    };
     let Ok(text) = std::str::from_utf8(&request.body) else {
         return Reply::new(
             400,
@@ -1142,12 +1170,17 @@ fn respond_run<S: Write>(
     };
     // Content addressing happens on the *parsed* document: formatting,
     // comments and key order hit the cache; semantic changes miss it.
+    // Streamed delivery bypasses the cache *read* — replaying a finished
+    // run cannot deliver phases incrementally — but still stores its
+    // completed run for later batch requests.
     let digest = digest_document(&doc);
-    if let Some(run) = state.results.get(digest.bytes()) {
-        return Reply::new(
-            200,
-            stream_artifacts(stream, &run, request.accept_json, keep),
-        );
+    if !streamed {
+        if let Some(run) = state.results.get(digest.bytes()) {
+            return Reply::new(
+                200,
+                stream_artifacts(stream, &run, request.accept_json, keep),
+            );
+        }
     }
     let scenario = match Scenario::from_doc(&doc) {
         Ok(scenario) => scenario,
@@ -1171,6 +1204,17 @@ fn respond_run<S: Write>(
         );
     }
     let tag = library_digest(&doc).bytes();
+    if streamed {
+        return respond_run_streamed(
+            stream,
+            &scenario,
+            digest.bytes(),
+            tag,
+            state,
+            request.accept_json,
+            keep,
+        );
+    }
     let run = match scenario.run_shared(state.engine_threads, &state.cores, tag) {
         Ok(run) => Arc::new(run),
         Err(e) => {
@@ -1191,6 +1235,74 @@ fn respond_run<S: Write>(
         200,
         stream_artifacts(stream, &run, request.accept_json, keep),
     )
+}
+
+/// Answers `?stream=refine`: the `200` head goes out *before* the engine
+/// runs, and every artifact segment is flushed as its own chunk batch the
+/// moment the runner delivers it — a refine-mode grid's coarse segment
+/// reaches the client while bisection is still running. The price of
+/// immediacy is the error contract: an engine failure after the head
+/// cannot change the status, so it truncates the chunked body instead
+/// (no terminal `0\r\n\r\n` chunk) and drops the connection. All
+/// *schema-level* rejections (parse errors, grid bounds, unknown query)
+/// still answer 4xx because they are checked before the head.
+#[allow(clippy::too_many_arguments)]
+fn respond_run_streamed<S: Write>(
+    stream: &mut S,
+    scenario: &Scenario,
+    digest: [u8; 32],
+    tag: [u8; 32],
+    state: &ServerState,
+    json: bool,
+    keep: bool,
+) -> Reply {
+    let content_type = if json {
+        "application/jsonl; charset=utf-8"
+    } else {
+        "text/csv; charset=utf-8"
+    };
+    let connection = if keep { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\n\
+         Transfer-Encoding: chunked\r\nConnection: {connection}\r\n\r\n"
+    );
+    if stream.write_all(head.as_bytes()).is_err() {
+        return Reply::new(200, false);
+    }
+    let mut sink = HttpStreamSink {
+        chunked: ChunkedWriter::new(stream),
+        json,
+    };
+    match scenario.run_streamed_shared(state.engine_threads, &state.cores, tag, &mut sink) {
+        Ok(run) => {
+            state.results.put(digest, Arc::new(run));
+            Reply::new(200, sink.chunked.finish().is_ok())
+        }
+        Err(_) => Reply::new(200, false),
+    }
+}
+
+/// Adapts the HTTP chunk stream to the scenario runner's [`StreamSink`]:
+/// opening segments carry the header (or JSON-lines metadata object),
+/// continuations are rows-only, and every segment is flushed through the
+/// chunked framing immediately so phases arrive as they complete rather
+/// than when the buffer fills.
+struct HttpStreamSink<'a, S: Write> {
+    chunked: ChunkedWriter<&'a mut S>,
+    json: bool,
+}
+
+impl<S: Write> StreamSink for HttpStreamSink<'_, S> {
+    fn segment(&mut self, artifact: Artifact<'_>, continuation: bool) -> bool {
+        let mut sink = IoSink::new(&mut self.chunked);
+        let written = match (self.json, continuation) {
+            (false, false) => artifact.write_csv_to(&mut sink),
+            (false, true) => artifact.write_csv_rows_to(&mut sink),
+            (true, false) => artifact.write_jsonl_to(&mut sink),
+            (true, true) => artifact.write_jsonl_rows_to(&mut sink),
+        };
+        written.is_ok() && self.chunked.flush().is_ok()
+    }
 }
 
 /// Chunk-streams every artifact of a run in the chosen encoding. Returns
@@ -1556,6 +1668,7 @@ mod tests {
         respond_run(
             &mut fake,
             &run_request(b"name = \"x\"\nquanttiy = 1\n", false),
+            None,
             &state,
             false,
         );
@@ -1567,6 +1680,7 @@ mod tests {
         respond_run(
             &mut fake,
             &run_request(TINY_SCENARIO.as_bytes(), false),
+            None,
             &state,
             false,
         );
@@ -1585,6 +1699,7 @@ mod tests {
         respond_run(
             &mut fake,
             &run_request(TINY_SCENARIO.as_bytes(), true),
+            None,
             &state,
             false,
         );
@@ -1594,6 +1709,110 @@ mod tests {
         assert!(text.contains("{\"artifact\":"), "{text}");
         assert!(text.contains("\"job\":\"y\""), "{text}");
         assert!(text.ends_with("0\r\n\r\n"), "terminal chunk: {text}");
+    }
+
+    const REFINE_SCENARIO: &str = concat!(
+        "name = \"r\"\n",
+        "[explore]\n",
+        "name = \"job\"\n",
+        "nodes = [\"7nm\"]\n",
+        "areas_mm2 = [100, 200, 300, 400, 500, 600, 700, 800]\n",
+        "quantities = [1000000, 2000000, 3000000, 4000000, 5000000, 6000000, 7000000, 8000000]\n",
+        "integrations = [\"soc\", \"mcm\"]\n",
+        "chiplets = [1, 2]\n",
+        "mode = \"refine\"\n",
+        "quantity_stride = 4\n",
+        "outputs = [\"grid\", \"winners\"]\n",
+    );
+
+    /// Strips the response head and chunked framing, returning each
+    /// chunk's payload separately.
+    fn dechunk(output: &[u8]) -> Vec<String> {
+        let text = String::from_utf8_lossy(output);
+        let (_, mut rest) = text.split_once("\r\n\r\n").expect("a response head");
+        let mut chunks = Vec::new();
+        loop {
+            let (size, tail) = rest.split_once("\r\n").expect("a chunk size line");
+            let size = usize::from_str_radix(size, 16).expect("a hex chunk size");
+            if size == 0 {
+                return chunks;
+            }
+            chunks.push(tail[..size].to_string());
+            rest = &tail[size + 2..];
+        }
+    }
+
+    #[test]
+    fn stream_refine_delivers_incremental_segments_matching_the_batch_body() {
+        let batch_state = state();
+        let mut batch = Fake::new(b"");
+        respond_run(
+            &mut batch,
+            &run_request(REFINE_SCENARIO.as_bytes(), false),
+            None,
+            &batch_state,
+            false,
+        );
+        let batch_body = dechunk(&batch.output).concat();
+
+        // A fresh state, so the streamed request cannot lean on the
+        // result cache even by accident.
+        let state = state();
+        let mut streamed = Fake::new(b"");
+        let reply = respond_run(
+            &mut streamed,
+            &run_request(REFINE_SCENARIO.as_bytes(), false),
+            Some("stream=refine"),
+            &state,
+            false,
+        );
+        assert_eq!(reply.status, 200);
+        let text = String::from_utf8_lossy(&streamed.output);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "terminal chunk: {text}");
+        let chunks = dechunk(&streamed.output);
+        // The coarse segment flushes as its own chunk batch: the first
+        // chunk opens the grid but must not already hold the whole run.
+        assert!(chunks.len() >= 3, "phase flushes, got {}", chunks.len());
+        assert!(chunks[0].starts_with("node,area_mm2,"), "{}", chunks[0]);
+        let streamed_body = chunks.concat();
+        assert!(chunks[0].lines().count() < streamed_body.lines().count());
+        // Same rows, phase-interleaved delivery: every grid row carries
+        // its full coordinates, so line-sorting both bodies must agree.
+        let mut batch_lines: Vec<&str> = batch_body.lines().collect();
+        let mut streamed_lines: Vec<&str> = streamed_body.lines().collect();
+        batch_lines.sort_unstable();
+        streamed_lines.sort_unstable();
+        assert_eq!(batch_lines, streamed_lines);
+
+        // The streamed run still lands in the result cache for later
+        // batch requests.
+        let mut replay = Fake::new(b"");
+        respond_run(
+            &mut replay,
+            &run_request(REFINE_SCENARIO.as_bytes(), false),
+            None,
+            &state,
+            false,
+        );
+        assert_eq!(dechunk(&replay.output).concat(), batch_body);
+    }
+
+    #[test]
+    fn unknown_run_queries_are_rejected_not_ignored() {
+        let state = state();
+        let mut fake = Fake::new(b"");
+        let reply = respond_run(
+            &mut fake,
+            &run_request(TINY_SCENARIO.as_bytes(), false),
+            Some("stream=everything"),
+            &state,
+            false,
+        );
+        assert_eq!(reply.status, 400);
+        let text = String::from_utf8_lossy(&fake.output);
+        assert!(text.starts_with("HTTP/1.1 400 "), "{text}");
+        assert!(text.contains("stream=refine"), "{text}");
     }
 
     #[test]
@@ -1607,6 +1826,7 @@ mod tests {
         respond_run(
             &mut cold,
             &run_request(TINY_SCENARIO.as_bytes(), false),
+            None,
             &state,
             false,
         );
@@ -1614,6 +1834,7 @@ mod tests {
         respond_run(
             &mut hot,
             &run_request(reformatted.as_bytes(), false),
+            None,
             &state,
             false,
         );
@@ -1624,6 +1845,7 @@ mod tests {
         respond_run(
             &mut json,
             &run_request(TINY_SCENARIO.as_bytes(), true),
+            None,
             &state,
             false,
         );
@@ -1716,6 +1938,7 @@ mod tests {
         respond_run(
             &mut fake,
             &run_request(TINY_SCENARIO.as_bytes(), false),
+            None,
             &state,
             false,
         );
@@ -1828,6 +2051,7 @@ mod tests {
         respond_run(
             &mut fake,
             &run_request(scenario.as_bytes(), false),
+            None,
             &state,
             false,
         );

@@ -1,22 +1,34 @@
-//! Chunked parallel work distribution shared by the exploration engines.
+//! Work-stealing parallel work distribution shared by the exploration
+//! engines.
 //!
-//! Workers pull *ranges* of the pre-expanded work list from one atomic
-//! index instead of single items: with sub-microsecond cells on many-core
-//! machines, a per-cell `fetch_add` becomes the contended hot spot, while a
-//! chunk of [`chunk_for`] cells amortizes the atomic to noise (the
-//! ROADMAP's "chunked work distribution" item). Results are reassembled in
-//! work-list order, so the output is independent of the thread count.
+//! Workers own *deques of chunk ranges* over the pre-expanded work list
+//! instead of racing one atomic index: the list is pre-split into
+//! [`chunk_for`]-sized ranges dealt contiguously across workers, each
+//! worker drains its own queue front-to-back, and a worker that runs dry
+//! steals the back half of a victim's queue. Uniform workloads never
+//! steal (the deal is already balanced and contention-free); skewed
+//! workloads — refine's escalation phase can concentrate every expensive
+//! cell in one stretch of the list — rebalance instead of serializing on
+//! the tail. Results are reassembled in work-list order, so the output
+//! stays independent of both the thread count and the steal schedule.
+//!
+//! Steal events are counted into the global
+//! `actuary_engine_steals_total` counter (see `docs/observability.md`).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
-/// How many work items one atomic fetch claims, scaled to the work list:
-/// small lists keep the historical 32 (a grid of a few hundred cells still
-/// load-balances across threads), while huge refine-mode lists take bites
-/// of up to 8,192 so the per-chunk bookkeeping stays off the profile.
-/// Targets ~16 chunks per worker, enough slack for uneven cell costs.
+/// How many work items one queued range covers, scaled to the work list:
+/// small lists keep a fine 16-item grain (a grid of a few hundred cells
+/// still load-balances across threads), while huge refine-mode lists take
+/// ranges of up to 2,048 items so per-range bookkeeping stays off the
+/// profile. Targets ~64 ranges per worker — finer than the pre-stealing
+/// ~16, because a range is the unit of theft: one oversized range pinning
+/// every expensive cell to a single worker is exactly the skew stealing
+/// exists to fix.
 pub(crate) fn chunk_for(items: usize, threads: usize) -> usize {
-    (items / (threads.max(1) * 16)).clamp(32, 8192)
+    (items / (threads.max(1) * 64)).clamp(16, 2048)
 }
 
 /// Resolves a requested worker count (`0` = the machine's available
@@ -32,9 +44,21 @@ pub(crate) fn resolve_threads(requested: usize, work_items: usize) -> usize {
     threads.min(work_items).max(1)
 }
 
+/// A worker's queue of `(start, end)` item ranges, lowest indices at the
+/// front. Owners pop the front (preserving cache-friendly ascending
+/// order); thieves take from the back, furthest from where the owner is
+/// working.
+type RangeQueue = Mutex<VecDeque<(usize, usize)>>;
+
+fn lock_queue(queue: &RangeQueue) -> MutexGuard<'_, VecDeque<(usize, usize)>> {
+    queue
+        .lock()
+        .expect("a worker panicked while holding a range queue")
+}
+
 /// Evaluates `eval(index, item)` for every item on `threads` scoped worker
-/// threads pulling [`chunk_for`]-sized ranges from an atomic index; returns
-/// the results in item order regardless of which worker ran what.
+/// threads under the work-stealing scheduler; returns the results in item
+/// order regardless of which worker ran what.
 pub(crate) fn run_chunked<T, R, F>(items: &[T], threads: usize, eval: F) -> Vec<R>
 where
     T: Sync,
@@ -45,22 +69,60 @@ where
         return Vec::new();
     }
     let threads = threads.min(items.len()).max(1);
+    if threads == 1 {
+        // No scheduler to pay for: one worker, ascending order.
+        return items.iter().enumerate().map(|(i, x)| eval(i, x)).collect();
+    }
     let chunk = chunk_for(items.len(), threads);
-    let next = AtomicUsize::new(0);
+    let ranges: Vec<(usize, usize)> = (0..items.len())
+        .step_by(chunk)
+        .map(|start| (start, (start + chunk).min(items.len())))
+        .collect();
+    // Deal contiguous runs of ranges so neighbours stay on one worker and
+    // an even workload finishes with zero steals.
+    let per_worker = ranges.len().div_ceil(threads);
+    let queues: Vec<RangeQueue> = ranges
+        .chunks(per_worker)
+        .map(|run| Mutex::new(run.iter().copied().collect()))
+        .collect();
+    let steals = AtomicU64::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
+        for w in 0..queues.len() {
+            let (queues, steals, collected, eval) = (&queues, &steals, &collected, &eval);
+            scope.spawn(move || {
                 let mut local = Vec::new();
-                loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= items.len() {
-                        break;
+                let mut local_steals = 0u64;
+                'work: loop {
+                    if let Some((start, end)) = lock_queue(&queues[w]).pop_front() {
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            local.push((i, eval(i, item)));
+                        }
+                        continue;
                     }
-                    let end = (start + chunk).min(items.len());
-                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                        local.push((i, eval(i, item)));
+                    // Own queue dry: scan the other workers and steal the
+                    // back half of the first non-empty queue found.
+                    for off in 1..queues.len() {
+                        let victim = (w + off) % queues.len();
+                        let stolen: Vec<(usize, usize)> = {
+                            let mut queue = lock_queue(&queues[victim]);
+                            let len = queue.len();
+                            if len == 0 {
+                                continue;
+                            }
+                            queue.drain(len - len.div_ceil(2)..).collect()
+                        };
+                        local_steals += 1;
+                        lock_queue(&queues[w]).extend(stolen);
+                        continue 'work;
                     }
+                    // Every queue momentarily empty: any range not yet in a
+                    // queue is already claimed by the worker processing it,
+                    // so there is nothing left to take.
+                    break;
+                }
+                if local_steals > 0 {
+                    steals.fetch_add(local_steals, Ordering::Relaxed);
                 }
                 collected
                     .lock()
@@ -69,6 +131,17 @@ where
             });
         }
     });
+    // Registered even when zero so a uniform workload reads 0 on
+    // /metricsz rather than omitting the family.
+    let stolen = steals.into_inner();
+    actuary_obs::Registry::global()
+        .counter(
+            "actuary_engine_steals_total",
+            "Work-stealing events in the chunked evaluation engine \
+             (one per successful theft of queued chunk ranges).",
+            &[],
+        )
+        .add(stolen);
     let mut out = collected
         .into_inner()
         .expect("a worker panicked while holding the result lock");
@@ -104,14 +177,14 @@ mod tests {
 
     #[test]
     fn chunk_size_scales_with_the_work_list() {
-        // Small grids keep the historical fine-grained chunk.
-        assert_eq!(chunk_for(1_620, 8), 32);
-        assert_eq!(chunk_for(100, 1), 32);
+        // Small grids keep a fine steal-friendly grain.
+        assert_eq!(chunk_for(1_620, 8), 16);
+        assert_eq!(chunk_for(100, 1), 16);
         // Large grids take proportionally bigger bites...
-        assert_eq!(chunk_for(1_000_000, 8), 7_812);
-        // ...up to a balance-preserving ceiling.
-        assert_eq!(chunk_for(100_000_000, 4), 8_192);
-        assert_eq!(chunk_for(0, 0), 32);
+        assert_eq!(chunk_for(1_000_000, 8), 1_953);
+        // ...up to a theft-preserving ceiling.
+        assert_eq!(chunk_for(100_000_000, 4), 2_048);
+        assert_eq!(chunk_for(0, 0), 16);
     }
 
     #[test]
@@ -120,5 +193,51 @@ mod tests {
         assert_eq!(resolve_threads(64, 3), 3);
         assert_eq!(resolve_threads(4, 0), 1);
         assert!(resolve_threads(0, 100) >= 1);
+    }
+
+    /// Deterministic busy work proportional to `units`, opaque enough that
+    /// the optimizer cannot elide it.
+    fn busy(units: u64) -> u64 {
+        let mut acc = 0x9e37_79b9_7f4a_7c15_u64;
+        for i in 0..units * 500 {
+            acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        }
+        acc
+    }
+
+    /// The regression test behind the work-stealing swap: a pathologically
+    /// skewed cost distribution — 5% of items carry ~95% of the work —
+    /// must cost about the same wall-clock whether the expensive items are
+    /// clustered at the tail of the list (where the old single-atomic
+    /// claim left them all to whichever workers claimed last) or spread
+    /// uniformly. The tolerance is generous: the point is "no tail
+    /// serialization", not a micro-benchmark.
+    #[test]
+    fn skewed_cost_distributions_keep_wall_clock_parity_across_orderings() {
+        let n = 4096usize;
+        let clustered: Vec<u64> = (0..n)
+            .map(|i| if i >= n - n / 20 { 120 } else { 1 })
+            .collect();
+        let spread: Vec<u64> = (0..n).map(|i| if i % 20 == 0 { 120 } else { 1 }).collect();
+        let time = |items: &[u64]| {
+            let sw = actuary_obs::clock::Stopwatch::start();
+            let out = run_chunked(items, 4, |_, &units| busy(units));
+            assert_eq!(out.len(), items.len());
+            sw.elapsed_seconds()
+        };
+        // Warm-up evens out thread-pool and frequency-scaling cold starts.
+        time(&spread);
+        let spread_secs = time(&spread);
+        let clustered_secs = time(&clustered);
+        assert!(
+            clustered_secs <= spread_secs * 4.0 + 0.05,
+            "clustered tail serialized: {clustered_secs:.3}s vs {spread_secs:.3}s spread"
+        );
+        // Both orderings evaluate the same multiset of items and must keep
+        // exact output order.
+        assert_eq!(
+            run_chunked(&clustered, 4, |i, _| i),
+            (0..n).collect::<Vec<_>>()
+        );
     }
 }

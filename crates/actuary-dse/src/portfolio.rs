@@ -1085,6 +1085,15 @@ impl PortfolioResult {
         self.len - self.stored.len() - self.incompatible_count()
     }
 
+    /// How many cells the run actually priced — the sparse store's size:
+    /// feasible and infeasible evaluations, excluding the pruned and
+    /// incompatible cells derived on read. The refinement benches compare
+    /// engines on this number (cores are deduplicated separately; see
+    /// [`PortfolioResult::core_evaluations`]).
+    pub fn evaluated_cells(&self) -> usize {
+        self.stored.len()
+    }
+
     /// The per-(node, area, quantity) winner table of one scheme; every
     /// operating point is reported, feasible or not.
     pub fn winners(&self, scheme: ReuseScheme) -> Vec<SchemeWinner> {
@@ -1250,54 +1259,107 @@ impl PortfolioResult {
             .collect()
     }
 
+    /// The column set every grid-shaped artifact shares.
+    const GRID_COLUMNS: [&'static str; 12] = [
+        "node",
+        "area_mm2",
+        "quantity",
+        "integration",
+        "chiplets",
+        "flow",
+        "scheme",
+        "scheme_params",
+        "status",
+        "per_unit_usd",
+        "re_per_unit_usd",
+        "detail",
+    ];
+
+    /// The one grid-row encoding, shared by the batch artifact and the
+    /// streamed-segment artifacts so their bytes can never drift apart.
+    fn grid_row(cell: &PortfolioCell) -> [String; 12] {
+        let (per_unit, re_per_unit) = match cell.outcome.candidate() {
+            Some(c) => (
+                format!("{:.6}", c.per_unit.usd()),
+                format!("{:.6}", c.re_per_unit.usd()),
+            ),
+            None => (String::new(), String::new()),
+        };
+        [
+            cell.node.clone(),
+            format!("{}", cell.area_mm2),
+            cell.quantity.to_string(),
+            cell.integration.to_string(),
+            cell.chiplets.to_string(),
+            cell.flow.to_string(),
+            cell.scheme.to_string(),
+            cell.scheme_params.clone(),
+            cell.outcome.status().to_string(),
+            per_unit,
+            re_per_unit,
+            cell.outcome.detail(),
+        ]
+    }
+
     /// The full grid as a streaming [`Artifact`] named `"grid"`: one row
     /// per cell in grid order, never materialized as one string;
     /// byte-identical across thread counts.
     pub fn grid_artifact(&self) -> Artifact<'_> {
-        Artifact::new(
-            "grid",
-            "grid",
-            &[
-                "node",
-                "area_mm2",
-                "quantity",
-                "integration",
-                "chiplets",
-                "flow",
-                "scheme",
-                "scheme_params",
-                "status",
-                "per_unit_usd",
-                "re_per_unit_usd",
-                "detail",
-            ],
-            move |emit| {
-                for cell in self.iter_cells() {
-                    let (per_unit, re_per_unit) = match cell.outcome.candidate() {
-                        Some(c) => (
-                            format!("{:.6}", c.per_unit.usd()),
-                            format!("{:.6}", c.re_per_unit.usd()),
-                        ),
-                        None => (String::new(), String::new()),
-                    };
-                    emit(&[
-                        cell.node.clone(),
-                        format!("{}", cell.area_mm2),
-                        cell.quantity.to_string(),
-                        cell.integration.to_string(),
-                        cell.chiplets.to_string(),
-                        cell.flow.to_string(),
-                        cell.scheme.to_string(),
-                        cell.scheme_params.clone(),
-                        cell.outcome.status().to_string(),
-                        per_unit,
-                        re_per_unit,
-                        cell.outcome.detail(),
-                    ])?;
+        Artifact::new("grid", "grid", &Self::GRID_COLUMNS, move |emit| {
+            for cell in self.iter_cells() {
+                emit(&Self::grid_row(&cell))?;
+            }
+            Ok(())
+        })
+    }
+
+    /// The grid rows of exactly the given flat cell indices, with the
+    /// same name, columns and row encoding as
+    /// [`PortfolioResult::grid_artifact`] — the segment emitter behind
+    /// streamed refinement. Indices should be ascending (each segment is
+    /// then internally in grid order); indices absent from the sparse
+    /// store are emitted with their derived (pruned or incompatible)
+    /// outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of the grid's bounds.
+    pub fn grid_rows_artifact(&self, indices: Vec<usize>) -> Artifact<'_> {
+        Artifact::new("grid", "grid", &Self::GRID_COLUMNS, move |emit| {
+            let shape = self.shape();
+            for i in indices {
+                assert!(i < self.len, "grid row index {i} out of bounds");
+                let outcome = match self.stored.binary_search_by_key(&i, |(k, _)| *k) {
+                    Ok(s) => self.stored[s].1.clone(),
+                    Err(_) => self.unstored_outcome(shape.coords(i)),
+                };
+                let cell = self.cell_at(shape.coords(i), outcome);
+                emit(&Self::grid_row(&cell))?;
+            }
+            Ok(())
+        })
+    }
+
+    /// The grid rows of every cell *absent* from the sparse store — the
+    /// pruned and incompatible remainder, in grid order. A streamed
+    /// refinement emits this after the per-phase segments: the segments
+    /// plus this artifact's rows cover every grid row exactly once.
+    pub fn grid_unstored_artifact(&self) -> Artifact<'_> {
+        Artifact::new("grid", "grid", &Self::GRID_COLUMNS, move |emit| {
+            let shape = self.shape();
+            let mut cursor = 0usize;
+            for i in 0..self.len {
+                while cursor < self.stored.len() && self.stored[cursor].0 < i {
+                    cursor += 1;
                 }
-                Ok(())
-            },
-        )
+                if matches!(self.stored.get(cursor), Some((stored_i, _)) if *stored_i == i) {
+                    continue;
+                }
+                let cell = self.cell_at(shape.coords(i), self.unstored_outcome(shape.coords(i)));
+                emit(&Self::grid_row(&cell))?;
+            }
+            Ok(())
+        })
     }
 
     /// Every scheme's winner table as one [`Artifact`] named `"winners"`,

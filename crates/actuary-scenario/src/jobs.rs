@@ -15,7 +15,7 @@ use actuary_dse::portfolio::{
     PortfolioSpace, ReuseScheme, SharedCoreCache,
 };
 use actuary_dse::refine::{
-    explore_portfolio_refined, explore_portfolio_refined_shared, ExploreMode,
+    explore_portfolio_refined_observed, ExploreMode, RefineObserver, RefineOptions,
 };
 use actuary_dse::sweep::{sweep_area, sweep_quantity, Sweep};
 use actuary_model::{re_cost, AssemblyFlow, DiePlacement};
@@ -175,6 +175,10 @@ pub struct ExploreJob {
     /// How the grid is walked: exhaustively (the default) or coarse-to-fine
     /// (the `mode = "refine"` key).
     pub mode: ExploreMode,
+    /// Coarse sampling stride along the quantity axis for `mode =
+    /// "refine"` (the `quantity_stride` key); `0` lets the engine pick
+    /// from the axis length.
+    pub quantity_stride: usize,
     /// Which surfaces the job emits, in file order (default: the grid).
     pub outputs: Vec<ExploreOutput>,
 }
@@ -556,29 +560,8 @@ impl Scenario {
                     });
                 }
                 Job::Explore(j) => {
-                    let mut span = actuary_obs::span!("scenario.explore");
-                    span.record("cells", j.space.len() as u64);
-                    let result = match (j.mode, shared) {
-                        (ExploreMode::Exhaustive, None) => {
-                            explore_portfolio(&self.library, &j.space, threads)
-                        }
-                        (ExploreMode::Exhaustive, Some((cache, tag))) => {
-                            explore_portfolio_shared(&self.library, &j.space, threads, cache, tag)
-                        }
-                        (ExploreMode::Refine, None) => {
-                            explore_portfolio_refined(&self.library, &j.space, threads)
-                        }
-                        (ExploreMode::Refine, Some((cache, tag))) => {
-                            explore_portfolio_refined_shared(
-                                &self.library,
-                                &j.space,
-                                threads,
-                                cache,
-                                tag,
-                            )
-                        }
-                    }
-                    .map_err(|e| engine(&j.name, &e))?;
+                    let result = run_explore_job(&self.library, threads, shared, j, None)
+                        .map_err(|e| engine(&j.name, &e))?;
                     run.explores.push(ExploreRun {
                         name: j.name.clone(),
                         outputs: j.outputs.clone(),
@@ -589,6 +572,231 @@ impl Scenario {
         }
         Ok(run)
     }
+
+    /// [`Scenario::run`] with incremental delivery: every artifact is
+    /// handed to `sink` as soon as it is complete, and refine-mode explore
+    /// jobs that emit the grid stream it *segment by segment* as
+    /// refinement phases finish — the coarse segment goes out while
+    /// bisection is still running — instead of holding the table back
+    /// until the whole scenario returns.
+    ///
+    /// Delivery order: the cost table, the yield table, then each explore
+    /// job (a streamed grid's segments first, then the job's remaining
+    /// surfaces in selected order), then the sweeps. Within a streamed
+    /// grid every segment is internally grid-ordered and every cell
+    /// appears in exactly one segment, so re-sorting the concatenated
+    /// rows by grid coordinates reproduces the batch grid byte for byte.
+    ///
+    /// The full [`ScenarioRun`] is still returned, so callers can cache
+    /// or re-render it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::run`]; additionally returns
+    /// [`ScenarioError::Engine`] naming the job whose delivery the sink
+    /// declined.
+    pub fn run_streamed(
+        &self,
+        threads: usize,
+        sink: &mut dyn StreamSink,
+    ) -> Result<ScenarioRun, ScenarioError> {
+        self.run_streamed_impl(threads, None, sink)
+    }
+
+    /// [`Scenario::run_streamed`] with explore-job cores reused across
+    /// runs through `cache`; see [`Scenario::run_shared`] for the `tag`
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::run_streamed`].
+    pub fn run_streamed_shared(
+        &self,
+        threads: usize,
+        cache: &SharedCoreCache,
+        tag: [u8; 32],
+        sink: &mut dyn StreamSink,
+    ) -> Result<ScenarioRun, ScenarioError> {
+        self.run_streamed_impl(threads, Some((cache, tag)), sink)
+    }
+
+    fn run_streamed_impl(
+        &self,
+        threads: usize,
+        shared: Option<(&SharedCoreCache, [u8; 32])>,
+        sink: &mut dyn StreamSink,
+    ) -> Result<ScenarioRun, ScenarioError> {
+        let engine = |job: &str, e: &dyn fmt::Display| ScenarioError::Engine {
+            context: job.to_string(),
+            message: e.to_string(),
+        };
+        let abort = |job: &str| ScenarioError::Engine {
+            context: job.to_string(),
+            message: "the stream sink declined to continue".to_string(),
+        };
+        // Non-explore jobs first (the lowering already groups them ahead
+        // of [explore]), so the cost and yield tables are complete — and
+        // on the wire — before the first long-running grid starts.
+        let mut run = ScenarioRun {
+            name: self.name.clone(),
+            cost_rows: Vec::new(),
+            yield_rows: Vec::new(),
+            explores: Vec::new(),
+            sweeps: Vec::new(),
+        };
+        for job in &self.jobs {
+            match job {
+                Job::Cost(j) => {
+                    let _span = actuary_obs::span!("scenario.cost");
+                    let cost = j
+                        .portfolio
+                        .cost(&self.library, j.flow)
+                        .map_err(|e| engine(&j.name, &e))?;
+                    for sc in cost.systems() {
+                        let nre = sc.nre_per_unit();
+                        run.cost_rows.push(CostRow {
+                            job: j.name.clone(),
+                            system: sc.name().to_string(),
+                            quantity: sc.quantity().count(),
+                            re_usd: sc.re().total().usd(),
+                            re_packaging_usd: sc.re().packaging_total().usd(),
+                            nre_modules_usd: nre.modules.usd(),
+                            nre_chips_usd: nre.chips.usd(),
+                            nre_packages_usd: nre.packages.usd(),
+                            nre_d2d_usd: nre.d2d.usd(),
+                            per_unit_usd: sc.per_unit_total().usd(),
+                        });
+                    }
+                }
+                Job::Yield(j) => {
+                    let _span = actuary_obs::span!("scenario.yield");
+                    run_yield_job(&self.library, j, &mut run.yield_rows)
+                        .map_err(|e| engine(&j.name, &e))?;
+                }
+                Job::Sweep(j) => {
+                    let _span = actuary_obs::span!("scenario.sweep");
+                    let sweep = run_sweep_job(&self.library, j).map_err(|e| engine(&j.name, &e))?;
+                    run.sweeps.push(SweepRun {
+                        name: j.name.clone(),
+                        sweep,
+                    });
+                }
+                Job::Explore(_) => {}
+            }
+        }
+        if !run.cost_rows.is_empty() && !sink.segment(run.costs_artifact(), false) {
+            return Err(abort("costs"));
+        }
+        if !run.yield_rows.is_empty() && !sink.segment(run.yields_artifact(), false) {
+            return Err(abort("yields"));
+        }
+        for job in &self.jobs {
+            let Job::Explore(j) = job else {
+                continue;
+            };
+            let streams_grid =
+                j.mode == ExploreMode::Refine && j.outputs.contains(&ExploreOutput::Grid);
+            let result = if streams_grid {
+                let grid_name = format!("{}-grid", j.name);
+                let mut first = true;
+                let mut delivered = true;
+                let mut observer = |_phase, snapshot: &PortfolioResult, fresh: &[usize]| {
+                    let segment = snapshot
+                        .grid_rows_artifact(fresh.to_vec())
+                        .named(grid_name.clone());
+                    delivered = sink.segment(segment, !first);
+                    first = false;
+                    delivered
+                };
+                let result =
+                    run_explore_job(&self.library, threads, shared, j, Some(&mut observer));
+                if !delivered {
+                    return Err(abort(&j.name));
+                }
+                let result = result.map_err(|e| engine(&j.name, &e))?;
+                // The evaluated cells all went out with the phases above;
+                // the pruned/incompatible residual completes the table.
+                if !sink.segment(result.grid_unstored_artifact().named(grid_name), true) {
+                    return Err(abort(&j.name));
+                }
+                result
+            } else {
+                run_explore_job(&self.library, threads, shared, j, None)
+                    .map_err(|e| engine(&j.name, &e))?
+            };
+            for output in &j.outputs {
+                if streams_grid && *output == ExploreOutput::Grid {
+                    continue;
+                }
+                let artifact = match output {
+                    ExploreOutput::Grid => result.grid_artifact(),
+                    ExploreOutput::Winners => result.winners_artifact(),
+                    ExploreOutput::Pareto => result.pareto_artifact(),
+                    ExploreOutput::ParetoProgram => result.pareto_program_artifact(),
+                };
+                if !sink.segment(
+                    artifact.named(format!("{}-{}", j.name, output.label())),
+                    false,
+                ) {
+                    return Err(abort(&j.name));
+                }
+            }
+            run.explores.push(ExploreRun {
+                name: j.name.clone(),
+                outputs: j.outputs.clone(),
+                result,
+            });
+        }
+        for s in &run.sweeps {
+            if !sink.segment(s.sweep.artifact(format!("{}-sweep", s.name)), false) {
+                return Err(abort(&s.name));
+            }
+        }
+        Ok(run)
+    }
+}
+
+/// Runs one explore job through the engine the job's mode selects,
+/// threading the optional shared core cache and (for refine mode) the
+/// optional phase observer — the single dispatch [`Scenario::run`] and
+/// [`Scenario::run_streamed`] both go through.
+fn run_explore_job(
+    library: &TechLibrary,
+    threads: usize,
+    shared: Option<(&SharedCoreCache, [u8; 32])>,
+    j: &ExploreJob,
+    observer: Option<&mut RefineObserver<'_>>,
+) -> Result<PortfolioResult, ArchError> {
+    let mut span = actuary_obs::span!("scenario.explore");
+    span.record("cells", j.space.len() as u64);
+    match j.mode {
+        ExploreMode::Exhaustive => match shared {
+            None => explore_portfolio(library, &j.space, threads),
+            Some((cache, tag)) => explore_portfolio_shared(library, &j.space, threads, cache, tag),
+        },
+        ExploreMode::Refine => {
+            let options = RefineOptions {
+                area_stride: 0,
+                quantity_stride: j.quantity_stride,
+            };
+            explore_portfolio_refined_observed(
+                library, &j.space, threads, options, shared, observer,
+            )
+        }
+    }
+}
+
+/// The incremental consumer [`Scenario::run_streamed`] delivers to: one
+/// call per artifact segment, in emission order. A segment with
+/// `continuation = false` opens a new artifact (its serialization carries
+/// the header or metadata line); `continuation = true` extends the
+/// previously opened artifact of the same name with more rows (serialize
+/// it rows-only, e.g. [`Artifact::write_csv_rows_to`]). Returning `false`
+/// abandons the run.
+pub trait StreamSink {
+    /// Receives one artifact segment; see the trait docs for the
+    /// continuation contract.
+    fn segment(&mut self, artifact: Artifact<'_>, continuation: bool) -> bool;
 }
 
 /// Validates a scenario or job name. Names become output file names
@@ -610,6 +818,27 @@ fn check_file_name(s: Spanned<&str>, what: &str) -> Result<String, ScenarioError
         ));
     }
     Ok(s.value.to_string())
+}
+
+/// Validates a `quantities` axis: strictly increasing, diagnosed by axis
+/// name and offending value. Both the sweep and explore quantity axes
+/// feed machinery that walks them as *ordered* axes — amortization
+/// crossover curves, coarse-to-fine refinement — so an unordered or
+/// duplicated list is always a mistake, caught at the schema layer where
+/// the diagnostic can point at the element.
+fn check_increasing_quantities(list: Vec<(u64, Pos)>) -> Result<Vec<u64>, ScenarioError> {
+    for pair in list.windows(2) {
+        let ((prev, _), (next, pos)) = (pair[0], pair[1]);
+        if next <= prev {
+            return Err(ScenarioError::schema(
+                pos,
+                format!(
+                    "the `quantities` axis must be strictly increasing ({next} follows {prev})"
+                ),
+            ));
+        }
+    }
+    Ok(list.into_iter().map(|(q, _)| q).collect())
 }
 
 fn check_unique(names: &mut BTreeSet<String>, name: &str, pos: Pos) -> Result<(), ScenarioError> {
@@ -963,7 +1192,10 @@ fn lower_sweep_job(table: &Table, lib: &TechLibrary) -> Result<SweepJob, Scenari
         Area::from_mm2(mm2).map_err(|e| ScenarioError::schema(p, e.to_string()))?;
         Ok(mm2)
     })?;
-    let quantities = view.opt_array("quantities", |v, p| elem_u64(v, p, "a quantity"))?;
+    let quantities = view
+        .opt_array("quantities", |v, p| Ok((elem_u64(v, p, "a quantity")?, p)))?
+        .map(check_increasing_quantities)
+        .transpose()?;
     let fixed_area = view.opt_f64("area_mm2")?;
     let axis = match (areas_mm2, quantities) {
         (Some(areas), None) => {
@@ -1132,8 +1364,8 @@ fn lower_explore_job(table: &Table, lib: &TechLibrary) -> Result<ExploreJob, Sce
     if let Some(areas) = view.opt_array("areas_mm2", |v, p| elem_f64(v, p, "an area"))? {
         space.areas_mm2 = areas;
     }
-    if let Some(q) = view.opt_array("quantities", |v, p| elem_u64(v, p, "a quantity"))? {
-        space.quantities = q;
+    if let Some(q) = view.opt_array("quantities", |v, p| Ok((elem_u64(v, p, "a quantity")?, p)))? {
+        space.quantities = check_increasing_quantities(q)?;
     }
     if let Some(kinds) = view.opt_array("integrations", |v, p| {
         let s = elem_str(v, p, "an integration")?;
@@ -1191,6 +1423,27 @@ fn lower_explore_job(table: &Table, lib: &TechLibrary) -> Result<ExploreJob, Sce
             .parse::<ExploreMode>()
             .map_err(|message| ScenarioError::schema(s.pos, message))?,
     };
+    let quantity_stride = match view.opt_u64("quantity_stride")? {
+        None => 0,
+        Some(s) => {
+            if mode != ExploreMode::Refine {
+                return Err(ScenarioError::schema(
+                    s.pos,
+                    "`quantity_stride` requires `mode = \"refine\"` (exhaustive walks visit \
+                     every quantity anyway)",
+                ));
+            }
+            if s.value == 0 {
+                return Err(ScenarioError::schema(
+                    s.pos,
+                    "`quantity_stride` must be at least 1 (omit it to let the engine pick)",
+                ));
+            }
+            usize::try_from(s.value).map_err(|_| {
+                ScenarioError::schema(s.pos, "`quantity_stride` exceeds the platform word size")
+            })?
+        }
+    };
     let outputs = match view.opt_array("outputs", |v, p| {
         let s = elem_str(v, p, "an output")?;
         // The grammar is owned by this crate's FromStr, shared with docs.
@@ -1225,6 +1478,7 @@ fn lower_explore_job(table: &Table, lib: &TechLibrary) -> Result<ExploreJob, Sce
         name,
         space,
         mode,
+        quantity_stride,
         outputs,
     })
 }

@@ -99,8 +99,8 @@ pub mod toml;
 pub use canon::ScenarioDigest;
 pub use error::ScenarioError;
 pub use jobs::{
-    CostJob, CostRow, ExploreJob, ExploreOutput, ExploreRun, Job, Scenario, ScenarioRun, SweepAxis,
-    SweepJob, SweepRun, YieldJob, YieldRow, YieldTech,
+    CostJob, CostRow, ExploreJob, ExploreOutput, ExploreRun, Job, Scenario, ScenarioRun,
+    StreamSink, SweepAxis, SweepJob, SweepRun, YieldJob, YieldRow, YieldTech,
 };
 pub use tech::library_to_scenario;
 

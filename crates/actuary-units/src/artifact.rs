@@ -127,6 +127,20 @@ impl<'a> Artifact<'a> {
     /// [`IoSink`] records the underlying [`io::Error`]).
     pub fn write_csv_to<W: fmt::Write + ?Sized>(self, out: &mut W) -> fmt::Result {
         write_csv_row(out, &self.columns)?;
+        self.write_csv_rows_to(out)
+    }
+
+    /// Streams only the artifact's data rows as CSV — no header row. The
+    /// continuation form of [`Artifact::write_csv_to`]: a consumer that
+    /// already holds the header (an earlier segment of the same table on
+    /// an incremental HTTP stream) appends these bytes and ends up with a
+    /// document the one CSV serializer could have produced in one shot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's [`fmt::Error`] (infallible for `String`; an
+    /// [`IoSink`] records the underlying [`io::Error`]).
+    pub fn write_csv_rows_to<W: fmt::Write + ?Sized>(self, out: &mut W) -> fmt::Result {
         (self.rows)(&mut |row: &[String]| write_csv_row(out, row))
     }
 
@@ -182,23 +196,22 @@ impl<'a> Artifact<'a> {
             write_json_string(out, column)?;
         }
         out.write_str("]}\n")?;
+        self.write_jsonl_rows_to(out)
+    }
+
+    /// Streams only the artifact's data rows as JSON lines — no metadata
+    /// object. The continuation form of [`Artifact::write_jsonl_to`],
+    /// mirroring [`Artifact::write_csv_rows_to`]: later segments of an
+    /// incrementally streamed table append row objects under the schema
+    /// the first segment already announced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's [`fmt::Error`] (infallible for `String`; an
+    /// [`IoSink`] records the underlying [`io::Error`]).
+    pub fn write_jsonl_rows_to<W: fmt::Write + ?Sized>(self, out: &mut W) -> fmt::Result {
         let columns = self.columns;
-        (self.rows)(&mut |row: &[String]| {
-            out.write_str("{")?;
-            for (i, (column, cell)) in columns.iter().zip(row).enumerate() {
-                if i > 0 {
-                    out.write_str(",")?;
-                }
-                write_json_string(out, column)?;
-                out.write_str(":")?;
-                if is_json_number(cell) {
-                    out.write_str(cell)?;
-                } else {
-                    write_json_string(out, cell)?;
-                }
-            }
-            out.write_str("}\n")
-        })
+        (self.rows)(&mut |row: &[String]| write_jsonl_row(out, &columns, row))
     }
 
     /// Renders the artifact as a JSON-lines string (delegates to
@@ -209,6 +222,29 @@ impl<'a> Artifact<'a> {
             .expect("writing to a String cannot fail");
         out
     }
+}
+
+/// Writes one artifact row as a JSON object keyed by column name — the
+/// row encoder both the full and rows-only JSON-lines sinks share.
+fn write_jsonl_row<W: fmt::Write + ?Sized>(
+    out: &mut W,
+    columns: &[String],
+    row: &[String],
+) -> fmt::Result {
+    out.write_str("{")?;
+    for (i, (column, cell)) in columns.iter().zip(row).enumerate() {
+        if i > 0 {
+            out.write_str(",")?;
+        }
+        write_json_string(out, column)?;
+        out.write_str(":")?;
+        if is_json_number(cell) {
+            out.write_str(cell)?;
+        } else {
+            write_json_string(out, cell)?;
+        }
+    }
+    out.write_str("}\n")
 }
 
 /// Writes `s` as a JSON string literal, escaping per RFC 8259.
@@ -411,6 +447,23 @@ mod tests {
         ] {
             assert!(!is_json_number(bad), "{bad:?} must fall back to a string");
         }
+    }
+
+    #[test]
+    fn rows_only_writers_complete_a_headed_segment() {
+        // Header from one rendering plus rows-only continuations must be
+        // byte-identical to the one-shot serializers — the invariant the
+        // incremental HTTP stream relies on.
+        let mut csv = String::new();
+        write_csv_row(&mut csv, &["a".to_string(), "b".to_string()]).unwrap();
+        sample().write_csv_rows_to(&mut csv).unwrap();
+        assert_eq!(csv, sample().csv());
+
+        let full = sample().jsonl();
+        let (meta, _) = full.split_once('\n').unwrap();
+        let mut jsonl = format!("{meta}\n");
+        sample().write_jsonl_rows_to(&mut jsonl).unwrap();
+        assert_eq!(jsonl, full);
     }
 
     #[test]

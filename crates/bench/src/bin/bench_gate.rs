@@ -19,7 +19,7 @@
 use std::process::ExitCode;
 
 /// The throughput keys the gate watches, per section.
-const SECTIONS: [(&str, &[&str]); 7] = [
+const SECTIONS: [(&str, &[&str]); 9] = [
     (
         "explore_default_grid",
         &["cells_per_sec_threads1", "cells_per_sec_threads_all"],
@@ -33,6 +33,17 @@ const SECTIONS: [(&str, &[&str]); 7] = [
         "refine_large_grid",
         &["cells_per_sec_exhaustive", "cells_per_sec_refine"],
     ),
+    // Throughput only: steal counts vary with scheduling and are
+    // reported for observability, not gated.
+    (
+        "refine_quantity_grid",
+        &[
+            "cells_per_sec_exhaustive",
+            "cells_per_sec_area_only",
+            "cells_per_sec_two_d",
+        ],
+    ),
+    ("engine_steal", &["cells_per_sec"]),
     // BENCH_serve.json sections (bench_serve.rs); a gate run over the
     // explore snapshot skips them because they are missing on both sides.
     ("serve_cold", &["requests_per_sec"]),

@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use actuary_dse::explore::{explore, ExploreSpace};
 use actuary_dse::portfolio::{explore_portfolio, PortfolioSpace, ReuseScheme};
-use actuary_dse::refine::explore_portfolio_refined_with;
+use actuary_dse::refine::{explore_portfolio_refined_with, RefineOptions};
 use actuary_model::AssemblyFlow;
 use actuary_tech::IntegrationKind;
 use bench::library;
@@ -134,14 +134,119 @@ fn main() {
     let large_exhaustive_secs = start.elapsed().as_secs_f64();
     const LARGE_STRIDE: usize = 32;
     let start = Instant::now();
-    let large_refined = explore_portfolio_refined_with(&lib, &large_space, threads, LARGE_STRIDE)
-        .expect("large refined grid");
+    let large_refined = explore_portfolio_refined_with(
+        &lib,
+        &large_space,
+        threads,
+        RefineOptions {
+            area_stride: LARGE_STRIDE,
+            quantity_stride: 0,
+        },
+    )
+    .expect("large refined grid");
     let large_refined_secs = start.elapsed().as_secs_f64();
     assert_eq!(
         large_refined.winners_artifact().csv(),
         large_exhaustive.winners_artifact().csv(),
         "the timed paths must agree before their timings mean anything"
     );
+
+    // The 2-D refinement headline: a quantity-heavy grid spanning the
+    // §4.2 crossover band (120 quantities — crossover flips live on this
+    // axis), refined area-only (quantity axis dense, the PR-6 behaviour)
+    // versus on both axes. All three paths must agree on the winner
+    // tables and both Pareto fronts before the comparison means anything;
+    // `evaluated_cells` counts the cells each engine actually priced.
+    let quantity_space = PortfolioSpace {
+        nodes: vec!["7nm".to_string()],
+        areas_mm2: (1..=40).map(|i| f64::from(i) * 20.0).collect(),
+        quantities: (1..=120).map(|i| i as u64 * 100_000).collect(),
+        integrations: IntegrationKind::ALL.to_vec(),
+        chiplet_counts: (1..=48).collect(),
+        flows: vec![AssemblyFlow::ChipLast],
+        schemes: vec![ReuseScheme::None],
+        ..PortfolioSpace::default()
+    };
+    let quantity_cells = quantity_space.len();
+    let start = Instant::now();
+    let q_exhaustive =
+        explore_portfolio(&lib, &quantity_space, threads).expect("quantity exhaustive grid");
+    let q_exhaustive_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let q_area_only = explore_portfolio_refined_with(
+        &lib,
+        &quantity_space,
+        threads,
+        RefineOptions {
+            area_stride: 8,
+            quantity_stride: 1,
+        },
+    )
+    .expect("area-only refined grid");
+    let q_area_only_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let q_two_d = explore_portfolio_refined_with(
+        &lib,
+        &quantity_space,
+        threads,
+        RefineOptions {
+            area_stride: 8,
+            quantity_stride: 8,
+        },
+    )
+    .expect("2-D refined grid");
+    let q_two_d_secs = start.elapsed().as_secs_f64();
+    for (label, refined) in [("area-only", &q_area_only), ("2-D", &q_two_d)] {
+        assert_eq!(
+            refined.winners_artifact().csv(),
+            q_exhaustive.winners_artifact().csv(),
+            "{label}: winner tables must match exhaustion"
+        );
+        assert_eq!(
+            refined.pareto_artifact().csv(),
+            q_exhaustive.pareto_artifact().csv(),
+            "{label}: the per-unit Pareto front must match exhaustion"
+        );
+        assert_eq!(
+            refined.pareto_program_artifact().csv(),
+            q_exhaustive.pareto_program_artifact().csv(),
+            "{label}: the program-total Pareto front must match exhaustion"
+        );
+    }
+    let quantity_reduction =
+        q_area_only.evaluated_cells() as f64 / q_two_d.evaluated_cells() as f64;
+    assert!(
+        quantity_reduction >= 3.0,
+        "2-D refinement must price >=3x fewer cells than area-only \
+         (area-only {} vs 2-D {})",
+        q_area_only.evaluated_cells(),
+        q_two_d.evaluated_cells(),
+    );
+
+    // Work-stealing scheduler: a chiplet-heavy grid whose per-cell cost
+    // climbs steeply with chiplet count, so the chunked work list is
+    // cost-skewed — the shape the stealing engine exists for. The
+    // throughput key is gate-tracked; the steal counter (fed by every
+    // chunked run in this process) varies run to run and is recorded for
+    // visibility only.
+    let steal_space = PortfolioSpace {
+        nodes: vec!["7nm".to_string()],
+        areas_mm2: (1..=30).map(|i| f64::from(i) * 25.0).collect(),
+        quantities: vec![1_000_000],
+        integrations: IntegrationKind::ALL.to_vec(),
+        chiplet_counts: (1..=40).collect(),
+        flows: vec![AssemblyFlow::ChipLast],
+        schemes: vec![ReuseScheme::None],
+        ..PortfolioSpace::default()
+    };
+    let steal_cells = steal_space.len();
+    let steal_secs = median_secs(RUNS, || {
+        explore_portfolio(&lib, &steal_space, threads).expect("steal grid");
+    });
+    let steals_total = actuary_obs::Registry::global()
+        .snapshot()
+        .counter("actuary_engine_steals_total")
+        .unwrap_or(0);
 
     println!("{{");
     println!("  \"schema\": 1,");
@@ -187,13 +292,40 @@ fn main() {
          \"full_evaluations_exhaustive\": {},\n    \
          \"full_evaluations_refine\": {},\n    \
          \"evaluation_reduction_factor\": {:.2},\n    \
-         \"pruned_cells\": {}\n  }}",
+         \"pruned_cells\": {}\n  }},",
         large_cells as f64 / large_exhaustive_secs,
         large_cells as f64 / large_refined_secs,
         large_exhaustive.core_evaluations(),
         large_refined.core_evaluations(),
         large_exhaustive.core_evaluations() as f64 / large_refined.core_evaluations() as f64,
         large_refined.pruned_count(),
+    );
+    println!(
+        "  \"refine_quantity_grid\": {{\n    \"cells\": {quantity_cells},\n    \
+         \"quantities\": {},\n    \"threads\": {threads},\n    \
+         \"exhaustive_secs\": {q_exhaustive_secs:.3},\n    \
+         \"area_only_secs\": {q_area_only_secs:.3},\n    \
+         \"two_d_secs\": {q_two_d_secs:.3},\n    \
+         \"cells_per_sec_exhaustive\": {:.1},\n    \
+         \"cells_per_sec_area_only\": {:.1},\n    \
+         \"cells_per_sec_two_d\": {:.1},\n    \
+         \"evaluated_cells_area_only\": {},\n    \
+         \"evaluated_cells_two_d\": {},\n    \
+         \"evaluation_reduction_factor\": {quantity_reduction:.2},\n    \
+         \"pruned_cells_two_d\": {}\n  }},",
+        quantity_space.quantities.len(),
+        quantity_cells as f64 / q_exhaustive_secs,
+        quantity_cells as f64 / q_area_only_secs,
+        quantity_cells as f64 / q_two_d_secs,
+        q_area_only.evaluated_cells(),
+        q_two_d.evaluated_cells(),
+        q_two_d.pruned_count(),
+    );
+    println!(
+        "  \"engine_steal\": {{\n    \"cells\": {steal_cells},\n    \
+         \"threads\": {threads},\n    \"secs\": {steal_secs:.6},\n    \
+         \"cells_per_sec\": {:.1},\n    \"steals_total\": {steals_total}\n  }}",
+        steal_cells as f64 / steal_secs,
     );
     println!("}}");
 }

@@ -408,6 +408,168 @@ fn run_shared_is_byte_identical_and_reuses_cores_across_runs() {
     }
 }
 
+/// A scenario exercising incremental delivery: a yield table ahead of a
+/// refine-mode explore job with a real 2-D grid and multiple surfaces.
+const STREAMED_SCENARIO: &str = concat!(
+    "name = \"streamed\"\n",
+    "[[yield]]\n",
+    "name = \"y\"\n",
+    "techs = [\"7nm\"]\n",
+    "areas_mm2 = [100, 200]\n",
+    "[explore]\n",
+    "name = \"job\"\n",
+    "nodes = [\"7nm\"]\n",
+    "areas_mm2 = [90, 180, 270, 360, 450, 540, 630, 720]\n",
+    "quantities = [750000, 1500000, 2250000, 3000000, 3750000, 4500000, \
+     5250000, 6000000, 6750000, 7500000, 8250000, 9000000]\n",
+    "integrations = [\"soc\", \"mcm\", \"info\", \"2.5d\"]\n",
+    "chiplets = [1, 2, 3]\n",
+    "mode = \"refine\"\n",
+    "quantity_stride = 4\n",
+    "outputs = [\"grid\", \"winners\", \"pareto\"]\n",
+);
+
+/// Records every streamed segment as (artifact name, continuation, CSV
+/// text) — header-bearing for opening segments, rows-only otherwise,
+/// exactly as a serializing consumer would render them.
+struct Collect {
+    segments: Vec<(String, bool, String)>,
+}
+
+impl chiplet_actuary::scenario::StreamSink for Collect {
+    fn segment(
+        &mut self,
+        artifact: chiplet_actuary::report::Artifact<'_>,
+        continuation: bool,
+    ) -> bool {
+        let name = artifact.name().to_string();
+        let mut text = String::new();
+        if continuation {
+            artifact.write_csv_rows_to(&mut text).unwrap();
+        } else {
+            artifact.write_csv_to(&mut text).unwrap();
+        }
+        self.segments.push((name, continuation, text));
+        true
+    }
+}
+
+#[test]
+fn run_streamed_segments_reassemble_to_the_batch_run_byte_for_byte() {
+    let scenario = Scenario::from_toml(STREAMED_SCENARIO).unwrap();
+    let batch = scenario.run(2).unwrap();
+    let mut sink = Collect {
+        segments: Vec::new(),
+    };
+    let streamed = scenario.run_streamed(2, &mut sink).unwrap();
+
+    // The returned run is the same run: every artifact renders
+    // byte-identically to the batch path.
+    let render = |run: &ScenarioRun| -> Vec<String> {
+        run.artifacts().into_iter().map(|a| a.csv()).collect()
+    };
+    assert_eq!(render(&streamed), render(&batch));
+
+    // Delivery order: the yield table, the streamed grid (opening
+    // segment, then rows-only continuations), then the remaining
+    // surfaces as whole artifacts.
+    let names: Vec<(&str, bool)> = sink
+        .segments
+        .iter()
+        .map(|(n, c, _)| (n.as_str(), *c))
+        .collect();
+    assert_eq!(names[0], ("yields", false));
+    assert_eq!(names[1], ("job-grid", false));
+    let n = names.len();
+    assert_eq!(names[n - 2], ("job-winners", false));
+    assert_eq!(names[n - 1], ("job-pareto", false));
+    let grid: Vec<&(String, bool, String)> = sink
+        .segments
+        .iter()
+        .filter(|(name, _, _)| name == "job-grid")
+        .collect();
+    assert!(
+        grid.len() >= 3,
+        "coarse, at least one refinement phase, and the residual: got {}",
+        grid.len()
+    );
+    assert!(grid[1..].iter().all(|(_, c, _)| *c), "continuations only");
+    assert_eq!(
+        n,
+        grid.len() + 3,
+        "nothing besides yields/grid/winners/pareto may be delivered"
+    );
+
+    // The streamed-grid contract: the opening segment carries the
+    // header, every segment is internally grid-ordered, every cell
+    // appears exactly once, and re-sorting the concatenated rows by
+    // grid position reproduces the batch grid byte for byte.
+    let batch_grid = batch.explores[0].result.grid_artifact().csv();
+    let batch_lines: Vec<&str> = batch_grid.lines().collect();
+    let header = batch_lines[0];
+    let position: std::collections::BTreeMap<&str, usize> = batch_lines[1..]
+        .iter()
+        .enumerate()
+        .map(|(i, line)| (*line, i))
+        .collect();
+    assert_eq!(position.len(), batch_lines.len() - 1, "rows must be unique");
+    let mut streamed_rows: Vec<(usize, &str)> = Vec::new();
+    for (i, (_, _, text)) in grid.iter().enumerate() {
+        let mut lines = text.lines();
+        if i == 0 {
+            assert_eq!(lines.next(), Some(header));
+        }
+        let mut previous = None;
+        for line in lines {
+            let at = *position
+                .get(line)
+                .unwrap_or_else(|| panic!("streamed a row the batch grid lacks: {line}"));
+            assert!(
+                previous.is_none_or(|p| p < at),
+                "segment {i} must be internally grid-ordered"
+            );
+            previous = Some(at);
+            streamed_rows.push((at, line));
+        }
+    }
+    assert_eq!(streamed_rows.len(), position.len(), "each row exactly once");
+    streamed_rows.sort_unstable_by_key(|(at, _)| *at);
+    let mut reassembled = format!("{header}\n");
+    for (_, line) in streamed_rows {
+        reassembled.push_str(line);
+        reassembled.push('\n');
+    }
+    assert_eq!(reassembled, batch_grid);
+}
+
+#[test]
+fn a_declining_stream_sink_aborts_the_run() {
+    /// Accepts `budget` segments, then declines.
+    struct Stop {
+        budget: usize,
+    }
+    impl chiplet_actuary::scenario::StreamSink for Stop {
+        fn segment(&mut self, _: chiplet_actuary::report::Artifact<'_>, _: bool) -> bool {
+            let go = self.budget > 0;
+            self.budget = self.budget.saturating_sub(1);
+            go
+        }
+    }
+    let scenario = Scenario::from_toml(STREAMED_SCENARIO).unwrap();
+    // Declining the very first segment and declining mid-grid must both
+    // surface as an engine error naming the job, not a silent success.
+    for budget in [0, 2] {
+        let err = scenario
+            .run_streamed(2, &mut Stop { budget })
+            .expect_err("a declined delivery must abort the run");
+        let text = err.to_string();
+        assert!(
+            text.contains("declined") || text.contains("aborted"),
+            "{text}"
+        );
+    }
+}
+
 #[test]
 fn hetero_scenario_exposes_the_flow_comparison() {
     let run = run_scenario("hetero-portfolio.toml");
